@@ -1,0 +1,47 @@
+(* P-SSP-LV (SIV-B): guarding critical local variables, not just the
+   return address.
+
+     dune exec examples/local_variable_guard.exe
+
+   The victim keeps an audit buffer marked `critical` above a plain
+   input buffer. A measured overflow corrupts the audit data but stops
+   short of the return-address guard - stealthy under every
+   return-address-only scheme, caught by P-SSP-LV's per-variable
+   canary. *)
+
+let () =
+  print_endline "Victim (note the `critical` qualifier):";
+  print_endline Workload.Vuln.lv_stealth_victim;
+  let payload = Workload.Vuln.lv_stealth_payload in
+  Printf.printf "Attack payload: %d bytes (fills input[16], spills 8 into whatever sits above)\n\n"
+    (Bytes.length payload);
+  let run scheme =
+    let image =
+      Mcc.Driver.compile ~scheme (Minic.Parser.parse Workload.Vuln.lv_stealth_victim)
+    in
+    let kernel = Os.Kernel.create () in
+    let proc =
+      Os.Kernel.spawn kernel ~input:payload
+        ~preload:(Mcc.Driver.preload_for scheme) image
+    in
+    let stop = Os.Kernel.run kernel proc in
+    Printf.printf "  %-10s -> %-45s stdout: %s\n" (Pssp.Scheme.name scheme)
+      (Os.Kernel.stop_to_string stop)
+      (String.trim (Os.Process.stdout proc))
+  in
+  run Pssp.Scheme.Ssp;
+  run Pssp.Scheme.Pssp_nt;
+  run (Pssp.Scheme.Pssp_lv 1);
+  print_endline
+    "\nUnder SSP / P-SSP-NT the run exits cleanly with audit=X - the audit\n\
+     record was silently corrupted (the paper's 'far more stealthy'\n\
+     non-control-data attack). P-SSP-LV's canary below the critical\n\
+     variable dies instead, and the epilogue aborts.";
+  (* show the Algorithm 2 chain invariant at the model level *)
+  let rng = Util.Prng.create 0xD1CEL in
+  let c = 0x1122334455667788L in
+  let chain = Pssp.Canary.split_chain rng c ~n:3 in
+  Printf.printf
+    "\nAlgorithm 2 invariant: XOR of all %d frame canaries = C (%b)\n"
+    (List.length chain)
+    (Pssp.Canary.chain_checks_out ~tls_canary:c chain)

@@ -1,0 +1,60 @@
+(* Quickstart: compile a vulnerable Mini-C program, run it on the
+   simulated machine, and watch the canary schemes catch an overflow.
+
+     dune exec examples/quickstart.exe *)
+
+let vulnerable_source =
+  {|
+int greet() {
+  char name[16];
+  read_input(name);      /* recv-like: no bounds check! */
+  print_str("hi there\n");
+  return 0;
+}
+
+int main() {
+  greet();
+  return 0;
+}
+|}
+
+let run_under scheme ~input =
+  (* 1. compile (the "LLVM pass" step) *)
+  let program = Minic.Parser.parse vulnerable_source in
+  let image = Mcc.Driver.compile ~name:"greeter" ~scheme program in
+  (* 2. load into a fresh simulated process, with the runtime support the
+        scheme needs (the LD_PRELOAD shim for P-SSP) *)
+  let kernel = Os.Kernel.create () in
+  let proc =
+    Os.Kernel.spawn kernel ~input ~preload:(Mcc.Driver.preload_for scheme) image
+  in
+  (* 3. run to completion *)
+  let stop = Os.Kernel.run kernel proc in
+  Printf.printf "  %-10s %-12s -> %s\n" (Pssp.Scheme.name scheme)
+    (Printf.sprintf "(%dB input)" (Bytes.length input))
+    (Os.Kernel.stop_to_string stop)
+
+let () =
+  print_endline "A friendly request (fits the 16-byte buffer):";
+  List.iter
+    (fun s -> run_under s ~input:(Bytes.of_string "alice"))
+    [ Pssp.Scheme.None_; Pssp.Scheme.Ssp; Pssp.Scheme.Pssp; Pssp.Scheme.Pssp_owf ];
+  print_endline "";
+  print_endline "A 48-byte overflow (through the canary into the return address):";
+  List.iter
+    (fun s -> run_under s ~input:(Bytes.make 48 'A'))
+    [ Pssp.Scheme.None_; Pssp.Scheme.Ssp; Pssp.Scheme.Pssp; Pssp.Scheme.Pssp_owf ];
+  print_endline "";
+  print_endline
+    "Unprotected, the overflow seizes the return address (segfault at\n\
+     0x4141...); every canary scheme turns it into a clean abort.";
+  (* bonus: look at the code the P-SSP pass emitted (Codes 3 and 4) *)
+  print_endline "";
+  print_endline "The P-SSP prologue/epilogue emitted for greet():";
+  let image =
+    Mcc.Driver.compile ~scheme:Pssp.Scheme.Pssp (Minic.Parser.parse vulnerable_source)
+  in
+  List.iter
+    (fun (addr, insn) ->
+      Printf.printf "  %6Lx:  %s\n" addr (Isa.Asm.to_string (Os.Image.annotate_targets image insn)))
+    (Os.Image.disassemble_symbol image "greet")

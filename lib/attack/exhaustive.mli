@@ -1,0 +1,19 @@
+(** Whole-canary brute force (§III-C1) — the only strategy left against
+    P-SSP. Each trial guesses the complete canary region and fires a
+    full hijack payload; expected work is 2^(8·len-1) trials, so within
+    any realistic budget it fails. Used by the security experiments to
+    show P-SSP degrades the byte-by-byte attacker to exhaustive
+    search. *)
+
+type outcome =
+  | Broken of { canary : bytes; trials : int }
+  | Exhausted of { trials : int }
+  | Oracle_lost of { trials : int; detail : string }
+
+val outcome_to_string : outcome -> string
+
+val run :
+  ?seed:int64 -> Oracle.t -> layout:Payload.layout -> max_trials:int -> outcome
+(** Uniform random guesses (with a P-SSP-shaped twist: guesses for a
+    2-word canary are generated as a random pair, which is how an
+    attacker aware of the C0^C1 structure would search). *)

@@ -1,0 +1,44 @@
+type t = {
+  kernel : Os.Kernel.t;
+  server : Os.Process.t;
+  mutable queries : int;
+  mutable alive : bool;
+}
+
+let create ?(seed = 0xA77ACCL) ?(preload = Os.Preload.No_preload)
+    ?(insn_tax = 0) image =
+  let kernel = Os.Kernel.create ~seed () in
+  let server = Os.Kernel.spawn kernel ~preload ~insn_tax image in
+  match Os.Kernel.run kernel server with
+  | Os.Kernel.Stop_accept -> { kernel; server; queries = 0; alive = true }
+  | other ->
+    failwith
+      ("Oracle.create: server did not reach accept: "
+      ^ Os.Kernel.stop_to_string other)
+
+type response =
+  | Survived of string
+  | Crashed of Os.Process.signal * string
+  | Server_down of string
+
+let query t payload =
+  if not t.alive then Server_down "server already down"
+  else begin
+    t.queries <- t.queries + 1;
+    match Os.Kernel.resume_with_request t.kernel t.server payload with
+    | Os.Kernel.Stop_accept -> (
+      match Os.Kernel.last_reaped t.kernel with
+      | Some child -> (
+        match child.Os.Process.status with
+        | Os.Process.Exited _ -> Survived (Os.Process.stdout child)
+        | Os.Process.Killed (signal, msg) -> Crashed (signal, msg)
+        | Os.Process.Runnable | Os.Process.Blocked_accept ->
+          Server_down "child in impossible state")
+      | None -> Server_down "no child reaped")
+    | other ->
+      t.alive <- false;
+      Server_down (Os.Kernel.stop_to_string other)
+  end
+
+let queries t = t.queries
+let server_alive t = t.alive

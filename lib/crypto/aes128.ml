@@ -1,0 +1,196 @@
+(* FIPS-197 AES-128, byte-oriented implementation. The state is kept as a
+   16-byte block in the standard column-major order: byte i is row (i mod 4),
+   column (i / 4) — the same layout the x86 AES-NI instructions use. *)
+
+let sbox = [|
+  0x63; 0x7c; 0x77; 0x7b; 0xf2; 0x6b; 0x6f; 0xc5; 0x30; 0x01; 0x67; 0x2b; 0xfe; 0xd7; 0xab; 0x76;
+  0xca; 0x82; 0xc9; 0x7d; 0xfa; 0x59; 0x47; 0xf0; 0xad; 0xd4; 0xa2; 0xaf; 0x9c; 0xa4; 0x72; 0xc0;
+  0xb7; 0xfd; 0x93; 0x26; 0x36; 0x3f; 0xf7; 0xcc; 0x34; 0xa5; 0xe5; 0xf1; 0x71; 0xd8; 0x31; 0x15;
+  0x04; 0xc7; 0x23; 0xc3; 0x18; 0x96; 0x05; 0x9a; 0x07; 0x12; 0x80; 0xe2; 0xeb; 0x27; 0xb2; 0x75;
+  0x09; 0x83; 0x2c; 0x1a; 0x1b; 0x6e; 0x5a; 0xa0; 0x52; 0x3b; 0xd6; 0xb3; 0x29; 0xe3; 0x2f; 0x84;
+  0x53; 0xd1; 0x00; 0xed; 0x20; 0xfc; 0xb1; 0x5b; 0x6a; 0xcb; 0xbe; 0x39; 0x4a; 0x4c; 0x58; 0xcf;
+  0xd0; 0xef; 0xaa; 0xfb; 0x43; 0x4d; 0x33; 0x85; 0x45; 0xf9; 0x02; 0x7f; 0x50; 0x3c; 0x9f; 0xa8;
+  0x51; 0xa3; 0x40; 0x8f; 0x92; 0x9d; 0x38; 0xf5; 0xbc; 0xb6; 0xda; 0x21; 0x10; 0xff; 0xf3; 0xd2;
+  0xcd; 0x0c; 0x13; 0xec; 0x5f; 0x97; 0x44; 0x17; 0xc4; 0xa7; 0x7e; 0x3d; 0x64; 0x5d; 0x19; 0x73;
+  0x60; 0x81; 0x4f; 0xdc; 0x22; 0x2a; 0x90; 0x88; 0x46; 0xee; 0xb8; 0x14; 0xde; 0x5e; 0x0b; 0xdb;
+  0xe0; 0x32; 0x3a; 0x0a; 0x49; 0x06; 0x24; 0x5c; 0xc2; 0xd3; 0xac; 0x62; 0x91; 0x95; 0xe4; 0x79;
+  0xe7; 0xc8; 0x37; 0x6d; 0x8d; 0xd5; 0x4e; 0xa9; 0x6c; 0x56; 0xf4; 0xea; 0x65; 0x7a; 0xae; 0x08;
+  0xba; 0x78; 0x25; 0x2e; 0x1c; 0xa6; 0xb4; 0xc6; 0xe8; 0xdd; 0x74; 0x1f; 0x4b; 0xbd; 0x8b; 0x8a;
+  0x70; 0x3e; 0xb5; 0x66; 0x48; 0x03; 0xf6; 0x0e; 0x61; 0x35; 0x57; 0xb9; 0x86; 0xc1; 0x1d; 0x9e;
+  0xe1; 0xf8; 0x98; 0x11; 0x69; 0xd9; 0x8e; 0x94; 0x9b; 0x1e; 0x87; 0xe9; 0xce; 0x55; 0x28; 0xdf;
+  0x8c; 0xa1; 0x89; 0x0d; 0xbf; 0xe6; 0x42; 0x68; 0x41; 0x99; 0x2d; 0x0f; 0xb0; 0x54; 0xbb; 0x16;
+|]
+
+let inv_sbox =
+  let inv = Array.make 256 0 in
+  Array.iteri (fun i v -> inv.(v) <- i) sbox;
+  inv
+
+(* Multiplication in GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1. *)
+let xtime b =
+  let b2 = b lsl 1 in
+  if b land 0x80 <> 0 then (b2 lxor 0x1B) land 0xFF else b2 land 0xFF
+
+let gmul a b =
+  let rec loop a b acc =
+    if b = 0 then acc
+    else
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      loop (xtime a) (b lsr 1) acc
+  in
+  loop a b 0
+
+type key = { rk : bytes array }
+
+let round_keys k = Array.map Bytes.copy k.rk
+
+let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1B; 0x36 |]
+
+let expand_key key_bytes =
+  if Bytes.length key_bytes <> 16 then invalid_arg "Aes128.expand_key: need 16 bytes";
+  (* Key schedule over 44 words of 4 bytes. *)
+  let w = Array.make 44 (Bytes.create 4) in
+  for i = 0 to 3 do
+    w.(i) <- Bytes.sub key_bytes (4 * i) 4
+  done;
+  for i = 4 to 43 do
+    let prev = w.(i - 1) in
+    let tmp = Bytes.copy prev in
+    if i mod 4 = 0 then begin
+      (* RotWord *)
+      let b0 = Bytes.get tmp 0 in
+      Bytes.set tmp 0 (Bytes.get tmp 1);
+      Bytes.set tmp 1 (Bytes.get tmp 2);
+      Bytes.set tmp 2 (Bytes.get tmp 3);
+      Bytes.set tmp 3 b0;
+      (* SubWord *)
+      for j = 0 to 3 do
+        Bytes.set tmp j (Char.chr sbox.(Char.code (Bytes.get tmp j)))
+      done;
+      Bytes.set tmp 0 (Char.chr (Char.code (Bytes.get tmp 0) lxor rcon.((i / 4) - 1)))
+    end;
+    let out = Bytes.create 4 in
+    for j = 0 to 3 do
+      Bytes.set out j
+        (Char.chr (Char.code (Bytes.get w.(i - 4) j) lxor Char.code (Bytes.get tmp j)))
+    done;
+    w.(i) <- out
+  done;
+  let rk =
+    Array.init 11 (fun r ->
+        let b = Bytes.create 16 in
+        for c = 0 to 3 do
+          Bytes.blit w.((4 * r) + c) 0 b (4 * c) 4
+        done;
+        b)
+  in
+  { rk }
+
+let key_of_int64s lo hi =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 lo;
+  Bytes.set_int64_le b 8 hi;
+  expand_key b
+
+let add_round_key state rk =
+  let out = Bytes.create 16 in
+  for i = 0 to 15 do
+    Bytes.set out i (Char.chr (Char.code (Bytes.get state i) lxor Char.code (Bytes.get rk i)))
+  done;
+  out
+
+let sub_bytes state =
+  let out = Bytes.create 16 in
+  for i = 0 to 15 do
+    Bytes.set out i (Char.chr sbox.(Char.code (Bytes.get state i)))
+  done;
+  out
+
+let inv_sub_bytes state =
+  let out = Bytes.create 16 in
+  for i = 0 to 15 do
+    Bytes.set out i (Char.chr inv_sbox.(Char.code (Bytes.get state i)))
+  done;
+  out
+
+(* Byte i sits at row (i mod 4), column (i / 4). ShiftRows rotates row r
+   left by r columns. *)
+let shift_rows state =
+  let out = Bytes.create 16 in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      Bytes.set out ((4 * c) + r) (Bytes.get state ((4 * ((c + r) mod 4)) + r))
+    done
+  done;
+  out
+
+let inv_shift_rows state =
+  let out = Bytes.create 16 in
+  for c = 0 to 3 do
+    for r = 0 to 3 do
+      Bytes.set out ((4 * ((c + r) mod 4)) + r) (Bytes.get state ((4 * c) + r))
+    done
+  done;
+  out
+
+let mix_column s0 s1 s2 s3 =
+  ( gmul s0 2 lxor gmul s1 3 lxor s2 lxor s3,
+    s0 lxor gmul s1 2 lxor gmul s2 3 lxor s3,
+    s0 lxor s1 lxor gmul s2 2 lxor gmul s3 3,
+    gmul s0 3 lxor s1 lxor s2 lxor gmul s3 2 )
+
+let inv_mix_column s0 s1 s2 s3 =
+  ( gmul s0 14 lxor gmul s1 11 lxor gmul s2 13 lxor gmul s3 9,
+    gmul s0 9 lxor gmul s1 14 lxor gmul s2 11 lxor gmul s3 13,
+    gmul s0 13 lxor gmul s1 9 lxor gmul s2 14 lxor gmul s3 11,
+    gmul s0 11 lxor gmul s1 13 lxor gmul s2 9 lxor gmul s3 14 )
+
+let map_columns f state =
+  let out = Bytes.create 16 in
+  for c = 0 to 3 do
+    let g i = Char.code (Bytes.get state ((4 * c) + i)) in
+    let t0, t1, t2, t3 = f (g 0) (g 1) (g 2) (g 3) in
+    Bytes.set out (4 * c) (Char.chr t0);
+    Bytes.set out ((4 * c) + 1) (Char.chr t1);
+    Bytes.set out ((4 * c) + 2) (Char.chr t2);
+    Bytes.set out ((4 * c) + 3) (Char.chr t3)
+  done;
+  out
+
+let mix_columns = map_columns mix_column
+let inv_mix_columns = map_columns inv_mix_column
+
+let aesenc ~state ~round_key =
+  if Bytes.length state <> 16 || Bytes.length round_key <> 16 then
+    invalid_arg "Aes128.aesenc: need 16-byte operands";
+  add_round_key (mix_columns (shift_rows (sub_bytes state))) round_key
+
+let aesenclast ~state ~round_key =
+  if Bytes.length state <> 16 || Bytes.length round_key <> 16 then
+    invalid_arg "Aes128.aesenclast: need 16-byte operands";
+  add_round_key (shift_rows (sub_bytes state)) round_key
+
+let encrypt_block key pt =
+  if Bytes.length pt <> 16 then invalid_arg "Aes128.encrypt_block: need 16 bytes";
+  let state = ref (add_round_key pt key.rk.(0)) in
+  for r = 1 to 9 do
+    state := aesenc ~state:!state ~round_key:key.rk.(r)
+  done;
+  aesenclast ~state:!state ~round_key:key.rk.(10)
+
+let decrypt_block key ct =
+  if Bytes.length ct <> 16 then invalid_arg "Aes128.decrypt_block: need 16 bytes";
+  let state = ref (add_round_key ct key.rk.(10)) in
+  for r = 9 downto 1 do
+    state := inv_sub_bytes (inv_shift_rows !state);
+    state := add_round_key !state key.rk.(r);
+    state := inv_mix_columns !state
+  done;
+  add_round_key (inv_sub_bytes (inv_shift_rows !state)) key.rk.(0)
+
+let encrypt_int64s key lo hi =
+  let pt = Bytes.create 16 in
+  Bytes.set_int64_le pt 0 lo;
+  Bytes.set_int64_le pt 8 hi;
+  let ct = encrypt_block key pt in
+  (Bytes.get_int64_le ct 0, Bytes.get_int64_le ct 8)

@@ -1,0 +1,42 @@
+(** Software AES-128 (FIPS-197).
+
+    This stands in for the Intel AES-NI instructions the paper uses for
+    P-SSP-OWF (§IV-C, §V-E3). Only what the scheme needs is provided:
+    ECB-mode single-block encryption/decryption plus the round
+    primitives ([aesenc]/[aesenclast]) that the simulated CPU exposes as
+    instructions. It is used as a pseudorandom permutation over canary
+    material, not to protect real secrets. *)
+
+type key
+(** An expanded 128-bit key schedule (11 round keys). *)
+
+val expand_key : bytes -> key
+(** [expand_key k] expands a 16-byte key.
+    Raises [Invalid_argument] on any other length. *)
+
+val key_of_int64s : int64 -> int64 -> key
+(** [key_of_int64s lo hi] expands the 128-bit key [hi || lo] — the form
+    used by P-SSP-OWF, which keeps the key in registers r12/r13. *)
+
+val encrypt_block : key -> bytes -> bytes
+(** [encrypt_block key pt] encrypts one 16-byte block.
+    Raises [Invalid_argument] if [pt] is not 16 bytes. *)
+
+val decrypt_block : key -> bytes -> bytes
+(** Inverse of {!encrypt_block}. *)
+
+val encrypt_int64s : key -> int64 -> int64 -> int64 * int64
+(** [encrypt_int64s key lo hi] encrypts the block [hi || lo] (little-endian
+    lane order, matching how the simulated XMM registers hold two qwords)
+    and returns the ciphertext as [(lo, hi)]. *)
+
+val round_keys : key -> bytes array
+(** The 11 round keys, 16 bytes each — consumed by the simulated
+    [aesenc]/[aesenclast] instructions. *)
+
+val aesenc : state:bytes -> round_key:bytes -> bytes
+(** One full AES round: SubBytes, ShiftRows, MixColumns, AddRoundKey —
+    the semantics of the x86 [aesenc] instruction. *)
+
+val aesenclast : state:bytes -> round_key:bytes -> bytes
+(** Final round (no MixColumns) — the x86 [aesenclast] instruction. *)

@@ -1,0 +1,7 @@
+type t = { key : Aes128.key }
+
+let create ~key_lo ~key_hi = { key = Aes128.key_of_int64s key_lo key_hi }
+
+let evaluate t ~ret ~nonce = Aes128.encrypt_int64s t.key nonce ret
+
+let evaluate_no_nonce t ~ret = evaluate t ~ret ~nonce:0L

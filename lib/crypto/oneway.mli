@@ -1,0 +1,23 @@
+(** The one-way function F used by P-SSP-OWF (Algorithm 3).
+
+    [F(ret || n, C)] is instantiated as AES-128 with the TLS canary pair
+    as the key, encrypting the 128-bit block [nonce || return-address] —
+    exactly the construction of Code 8: the resulting stack canary is a
+    randomized MAC of the return address keyed by the master canary. *)
+
+type t
+(** A keyed instance (the expanded AES key held "in r12/r13"). *)
+
+val create : key_lo:int64 -> key_hi:int64 -> t
+(** [create ~key_lo ~key_hi] keys F with the 128-bit master secret. *)
+
+val evaluate : t -> ret:int64 -> nonce:int64 -> int64 * int64
+(** [evaluate t ~ret ~nonce] returns the 128-bit canary (lo, hi) =
+    AES-128_key(nonce || ret). Deterministic in all inputs, so the
+    epilogue can recompute and compare. *)
+
+val evaluate_no_nonce : t -> ret:int64 -> int64 * int64
+(** The deliberately weakened variant (nonce pinned to 0) used by the
+    ablation experiment showing why §IV-C insists on a nonce: without
+    it the stack canary of a given call site is a fixed value across
+    executions and the byte-by-byte attack applies again. *)

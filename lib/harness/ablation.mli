@@ -1,0 +1,60 @@
+(** Ablations of the design choices DESIGN.md calls out.
+
+    1. {b Nonce in P-SSP-OWF} (§IV-C caveat): with the nonce pinned to
+       zero the canary of a call site is fixed across forks, and the
+       byte-by-byte attack works again — run it and watch it win.
+    2. {b Canary width} (§V-C caveat): re-randomization degrades the
+       attacker to exhaustive search of the full width; model-level
+       campaigns at small widths show the 2^(w-1) scaling that makes the
+       32-bit downgrade acceptable and byte-wise accumulation (w/8·128)
+       catastrophic.
+    3. {b Global-buffer alternative} (§VII-C): keeping C1 halves in a
+       cloned per-process buffer preserves full 64-bit entropy AND the
+       SSP stack layout; the model run checks correctness across fork
+       trees. *)
+
+type nonce_row = {
+  nonce_scheme : Pssp.Scheme.t;
+  broken : bool;
+  trials : int;
+}
+
+val run_nonce : ?budget:int -> unit -> nonce_row list
+(** Byte-by-byte against P-SSP-OWF and its no-nonce variant. *)
+
+val nonce_table : nonce_row list -> Util.Table.t
+
+type width_row = {
+  bits : int;
+  fixed_trials : int;  (** byte-by-byte vs a fork-constant canary *)
+  rerand_trials : int;  (** exhaustive vs a re-randomized canary *)
+  rerand_expected : float;  (** theory: 2^(bits-1) *)
+}
+
+val run_width : ?widths:int list -> ?seed:int64 -> unit -> width_row list
+(** Model-level (no VM) campaigns; widths default to [8; 12; 16]. *)
+
+val width_table : width_row list -> Util.Table.t
+
+type buffer_row = {
+  depth : int;
+  forks : int;
+  checks : int;
+  all_passed : bool;
+}
+
+val run_global_buffer : ?seed:int64 -> unit -> buffer_row list
+val buffer_table : buffer_row list -> Util.Table.t
+
+type gb_compiled = {
+  gb_broken : bool;  (** byte-by-byte outcome against the compiled variant *)
+  gb_trials : int;
+  gb_guard_words : int;  (** stack words — must equal SSP's 1 *)
+  gb_cycles_per_call : float;  (** prologue+epilogue cost (rdrand-bound) *)
+}
+
+val run_global_buffer_compiled : ?budget:int -> unit -> gb_compiled
+(** The SVII-C variant as real generated code: attack it, check the
+    layout claim, and measure its per-call cost. *)
+
+val gb_compiled_table : gb_compiled -> Util.Table.t

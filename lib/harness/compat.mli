@@ -1,0 +1,16 @@
+(** Compatibility experiments (§VI-C): P-SSP and SSP code must coexist
+    in one control flow with no false positives, and the instrumented
+    [__stack_chk_fail] must stay safe for plain SSP callers. *)
+
+type scenario = {
+  scenario_name : string;
+  expected : string;
+  passed : bool;
+  detail : string;
+}
+
+type result = { scenarios : scenario list }
+
+val run : unit -> result
+val to_table : result -> Util.Table.t
+val all_passed : result -> bool

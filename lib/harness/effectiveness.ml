@@ -1,0 +1,83 @@
+type target = Scheme of Pssp.Scheme.t | Instrumented
+
+let target_name = function
+  | Scheme s -> Pssp.Scheme.title s
+  | Instrumented -> "P-SSP (binary instrumentation)"
+
+type row = {
+  target : target;
+  service : string;
+  broken : bool;
+  trials : int;
+  restarts : int;
+}
+
+type result = { rows : row list }
+
+let build_target target ~buffer_size =
+  let program = Minic.Parser.parse (Workload.Vuln.fork_server ~buffer_size) in
+  match target with
+  | Scheme scheme ->
+    let image = Mcc.Driver.compile ~scheme program in
+    (image, Mcc.Driver.preload_for scheme, Layouts.compiler_layout scheme ~buffer_size)
+  | Instrumented ->
+    let ssp = Mcc.Driver.compile ~scheme:Pssp.Scheme.Ssp program in
+    let image, _ = Rewriter.Driver.instrument ssp in
+    ( image,
+      Rewriter.Driver.required_preload image,
+      Layouts.instrumented_layout ~buffer_size )
+
+let attack_server ?(budget = 20_000) target ~buffer_size =
+  let image, preload, layout = build_target target ~buffer_size in
+  let oracle = Attack.Oracle.create ~preload image in
+  match Attack.Byte_by_byte.run oracle ~layout ~max_trials:budget with
+  | Attack.Byte_by_byte.Broken { trials; _ } -> (true, trials, 0)
+  | Attack.Byte_by_byte.Exhausted { trials; restarts; _ } ->
+    (false, trials, restarts)
+  | Attack.Byte_by_byte.Oracle_lost { trials; _ } -> (false, trials, 0)
+
+let services = [ ("Nginx (seeded CVE)", 16); ("Ali (seeded CVE)", 32) ]
+
+let default_targets =
+  [
+    Scheme Pssp.Scheme.Ssp;
+    Scheme Pssp.Scheme.Pssp;
+    Scheme Pssp.Scheme.Pssp_nt;
+    Scheme Pssp.Scheme.Pssp_owf;
+    Instrumented;
+  ]
+
+let run ?(budget = 20_000) ?(targets = default_targets) () =
+  let rows =
+    List.concat_map
+      (fun target ->
+        List.map
+          (fun (service, buffer_size) ->
+            let broken, trials, restarts =
+              attack_server ~budget target ~buffer_size
+            in
+            { target; service; broken; trials; restarts })
+          services)
+      targets
+  in
+  { rows }
+
+let to_table result =
+  let t =
+    Util.Table.create
+      ~title:
+        "Effectiveness (SVI-C): byte-by-byte attack against forking servers"
+      [ "Protection"; "Service"; "Attack outcome"; "Trials"; "Restarts" ]
+  in
+  List.iter
+    (fun r ->
+      Util.Table.add_row t
+        [
+          target_name r.target;
+          r.service;
+          (if r.broken then "BROKEN (hijack verified)" else "resisted");
+          string_of_int r.trials;
+          string_of_int r.restarts;
+        ])
+    result.rows;
+  t

@@ -1,0 +1,32 @@
+(** The §VI-C effectiveness experiment: run the byte-by-byte attack
+    against forking servers compiled/instrumented with each scheme. The
+    paper attacked Nginx and Ali; we use two server profiles with a
+    seeded unbounded-read vulnerability (CVE stand-ins). Expected shape:
+    SSP falls in ~10³ trials; P-SSP and every extension hold to the
+    budget; the no-nonce OWF ablation falls again. *)
+
+type target =
+  | Scheme of Pssp.Scheme.t  (** compiler-based deployment *)
+  | Instrumented  (** SSP binary run through the rewriter *)
+
+val target_name : target -> string
+
+type row = {
+  target : target;
+  service : string;
+  broken : bool;
+  trials : int;
+  restarts : int;
+}
+
+type result = { rows : row list }
+
+val run : ?budget:int -> ?targets:target list -> unit -> result
+(** [budget] defaults to 20_000 trials per cell. Default targets:
+    SSP, P-SSP, P-SSP-NT, P-SSP-OWF, instrumented P-SSP. *)
+
+val to_table : result -> Util.Table.t
+
+val attack_server :
+  ?budget:int -> target -> buffer_size:int -> bool * int * int
+(** [(broken, trials, restarts)] for one campaign — exposed for tests. *)

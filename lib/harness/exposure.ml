@@ -1,0 +1,91 @@
+type row = { scheme : Pssp.Scheme.t; leak_bytes : string; hijacked : bool }
+
+type result = { rows : row list }
+
+let leak_distance = Workload.Vuln.leaky_overflow_distance
+
+let le_bytes v =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  b
+
+(* Forge the canary region for the victim frame from the leaked region of
+   the leaking frame, scheme by scheme. *)
+let forge scheme leaked =
+  match (scheme : Pssp.Scheme.t) with
+  | Pssp.Scheme.Pssp | Pssp.Scheme.Pssp_nt ->
+    (* ascending memory: C1 (at rbp-16) then C0 (at rbp-8) *)
+    let c1 = Bytes.get_int64_le leaked 0 in
+    let c0 = Bytes.get_int64_le leaked 8 in
+    let c = Int64.logxor c0 c1 in
+    (* any fresh pair XORing to C passes the victim's epilogue *)
+    let c0' = 0x1122334455667788L in
+    let c1' = Int64.logxor c0' c in
+    Bytes.cat (le_bytes c1') (le_bytes c0')
+  | Pssp.Scheme.Pssp_owf | Pssp.Scheme.Pssp_owf_weak ->
+    (* replay the leaked (ciphertext, nonce) verbatim; it is bound to the
+       leaking frame's return address, so it should NOT transfer *)
+    Bytes.copy leaked
+  | Pssp.Scheme.Ssp | Pssp.Scheme.Raf_ssp | Pssp.Scheme.Dynaguard
+  | Pssp.Scheme.Dcr | Pssp.Scheme.Pssp_lv _ | Pssp.Scheme.Pssp_gb ->
+    (* single word (or chain replay): the leak is the forgery *)
+    Bytes.copy leaked
+  | Pssp.Scheme.None_ -> Bytes.create 0
+
+let attack_with_leak scheme =
+  let program = Minic.Parser.parse Workload.Vuln.leaky_server in
+  let image = Mcc.Driver.compile ~scheme program in
+  let oracle =
+    Attack.Oracle.create ~preload:(Mcc.Driver.preload_for scheme) image
+  in
+  let canary_len = 8 * Pssp.Scheme.stack_words scheme in
+  (* step 1: trigger the disclosure *)
+  let leaked_region =
+    match Attack.Oracle.query oracle (Bytes.of_string "L") with
+    | Attack.Oracle.Survived out ->
+      if String.length out < leak_distance + canary_len then
+        failwith "Exposure: leak output too short";
+      Bytes.of_string (String.sub out leak_distance canary_len)
+    | _ -> failwith "Exposure: leak request crashed"
+  in
+  (* step 2: forge and fire at the other handler (first payload byte is
+     consumed as the command byte) *)
+  let layout =
+    { Attack.Payload.overflow_distance = leak_distance; canary_len }
+  in
+  let payload =
+    Bytes.cat (Bytes.of_string "X")
+      (Attack.Payload.hijack layout ~canary:(forge scheme leaked_region))
+  in
+  let hijacked = Attack.Payload.hijacked (Attack.Oracle.query oracle payload) in
+  (hijacked, Util.Hex.of_bytes leaked_region)
+
+let run ?(schemes = [ Pssp.Scheme.Pssp; Pssp.Scheme.Pssp_nt; Pssp.Scheme.Pssp_owf ])
+    () =
+  {
+    rows =
+      List.map
+        (fun scheme ->
+          let hijacked, leak_bytes = attack_with_leak scheme in
+          { scheme; leak_bytes; hijacked })
+        schemes;
+  }
+
+let to_table result =
+  let t =
+    Util.Table.create
+      ~title:
+        "Exposure resilience (SIV-C): leak one frame's canary, forge another \
+         frame's"
+      [ "Scheme"; "Leaked canary region"; "Cross-frame forgery" ]
+  in
+  List.iter
+    (fun r ->
+      Util.Table.add_row t
+        [
+          Pssp.Scheme.title r.scheme;
+          r.leak_bytes;
+          (if r.hijacked then "SUCCEEDS (hijack)" else "fails (detected)");
+        ])
+    result.rows;
+  t

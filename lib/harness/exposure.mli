@@ -1,0 +1,24 @@
+(** Stack-canary exposure resilience (§IV-C / §III drawback 3).
+
+    A memory-disclosure bug in one function ([leak_info]) hands the
+    attacker that frame's canary region; the attacker then forges a
+    canary for a {e different} function ([process_input]) and fires a
+    hijack. Under P-SSP/P-SSP-NT the leak reveals C = C0 xor C1, so the
+    forgery succeeds; under P-SSP-OWF the leaked value is a MAC bound to
+    the leaking frame's return address and transfers nowhere. *)
+
+type row = {
+  scheme : Pssp.Scheme.t;
+  leak_bytes : string;  (** hex of the leaked canary region *)
+  hijacked : bool;  (** forged canary worked in the other frame *)
+}
+
+type result = { rows : row list }
+
+val run : ?schemes:Pssp.Scheme.t list -> unit -> result
+(** Defaults to [Pssp; Pssp_nt; Pssp_owf]. *)
+
+val to_table : result -> Util.Table.t
+
+val attack_with_leak : Pssp.Scheme.t -> bool * string
+(** [(hijacked, leaked_hex)] — exposed for tests. *)

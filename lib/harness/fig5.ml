@@ -1,0 +1,93 @@
+type row = {
+  bench : string;
+  suite : [ `Int | `Fp ];
+  native_cycles : int64;
+  compiler_pct : float;
+  instr_pct : float;
+}
+
+type result = {
+  rows : row list;
+  compiler_avg : float;
+  instr_avg : float;
+}
+
+let measure bench =
+  let native = Runner.run_bench Runner.Native bench in
+  let compiler = Runner.run_bench (Runner.Compiler Pssp.Scheme.Pssp) bench in
+  let instr = Runner.run_bench Runner.Instr_dynamic bench in
+  {
+    bench = bench.Workload.Spec.bench_name;
+    suite = bench.Workload.Spec.suite;
+    native_cycles = native.Runner.cycles;
+    compiler_pct = Runner.overhead_pct ~native compiler;
+    instr_pct = Runner.overhead_pct ~native instr;
+  }
+
+let run ?(benches = Workload.Spec.all) () =
+  let rows = List.map measure benches in
+  let avg f = Util.Stats.mean (Array.of_list (List.map f rows)) in
+  {
+    rows;
+    compiler_avg = avg (fun r -> r.compiler_pct);
+    instr_avg = avg (fun r -> r.instr_pct);
+  }
+
+let to_table result =
+  let t =
+    Util.Table.create
+      ~title:
+        "Figure 5: Runtime overhead of P-SSP against native executions \
+         (SPEC CPU2006-like suite)"
+      [ "Benchmark"; "Suite"; "Native cycles"; "Compiler P-SSP"; "Instr. P-SSP" ]
+  in
+  List.iter
+    (fun r ->
+      Util.Table.add_row t
+        [
+          r.bench;
+          (match r.suite with `Int -> "int" | `Fp -> "fp");
+          Int64.to_string r.native_cycles;
+          Util.Table.cell_pct r.compiler_pct;
+          Util.Table.cell_pct r.instr_pct;
+        ])
+    result.rows;
+  Util.Table.add_separator t;
+  Util.Table.add_row t
+    [
+      "average";
+      "";
+      "";
+      Util.Table.cell_pct result.compiler_avg;
+      Util.Table.cell_pct result.instr_avg;
+    ];
+  t
+
+
+let to_chart ?(width = 44) result =
+  let max_pct =
+    List.fold_left
+      (fun acc r -> Stdlib.max acc (Stdlib.max r.compiler_pct r.instr_pct))
+      0.5 result.rows
+  in
+  let bar pct =
+    let n =
+      int_of_float (Float.round (Stdlib.max 0.0 pct /. max_pct *. float_of_int width))
+    in
+    String.make n '#'
+  in
+  let buf = Buffer.create 2048 in
+  Buffer.add_string buf
+    "Figure 5: runtime overhead vs native (C = compiler P-SSP, I = instrumented)\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-11s C %6.2f%% |%s\n" r.bench r.compiler_pct
+           (bar r.compiler_pct));
+      Buffer.add_string buf
+        (Printf.sprintf "%-11s I %6.2f%% |%s\n" "" r.instr_pct (bar r.instr_pct)))
+    result.rows;
+  Buffer.add_string buf
+    (Printf.sprintf "%-11s C %6.2f%%  I %6.2f%%  (paper: 0.24%% / 1.01%%)\n"
+       "average" result.compiler_avg result.instr_avg);
+  Buffer.contents buf

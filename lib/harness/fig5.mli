@@ -1,0 +1,27 @@
+(** Figure 5: runtime overhead of compiler-based and instrumentation-
+    based P-SSP over native execution, per SPEC benchmark, plus suite
+    averages (paper: 0.24% compiler, 1.01% instrumented). *)
+
+type row = {
+  bench : string;
+  suite : [ `Int | `Fp ];
+  native_cycles : int64;
+  compiler_pct : float;
+  instr_pct : float;
+}
+
+type result = {
+  rows : row list;
+  compiler_avg : float;
+  instr_avg : float;
+}
+
+val run : ?benches:Workload.Spec.bench list -> unit -> result
+(** Defaults to the full 28-program suite. *)
+
+val to_table : result -> Util.Table.t
+
+val to_chart : ?width:int -> result -> string
+(** Render the figure as horizontal bars (one row per benchmark, two
+    bars: compiler-based and instrumentation-based overhead), the way
+    the paper presents Figure 5. *)

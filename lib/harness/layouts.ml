@@ -1,0 +1,12 @@
+let guard_words scheme = Pssp.Scheme.stack_words scheme
+
+let attack_layout ~guard_words ~buffer_size =
+  {
+    Attack.Payload.overflow_distance = (buffer_size + 7) / 8 * 8;
+    canary_len = 8 * guard_words;
+  }
+
+let compiler_layout scheme ~buffer_size =
+  attack_layout ~guard_words:(guard_words scheme) ~buffer_size
+
+let instrumented_layout ~buffer_size = attack_layout ~guard_words:1 ~buffer_size

@@ -1,0 +1,17 @@
+(** Attack-layout knowledge: what the paper's adversary model grants the
+    attacker (binary + address layout, §III-A), derived from the actual
+    frame layout rules of the compiler. *)
+
+val guard_words : Pssp.Scheme.t -> int
+(** Canary words above the locals for a compiler-based deployment. *)
+
+val attack_layout :
+  guard_words:int -> buffer_size:int -> Attack.Payload.layout
+(** Layout for a victim whose vulnerable function owns a single
+    [char\[buffer_size\]] (8-aligned) as its only array local. *)
+
+val compiler_layout :
+  Pssp.Scheme.t -> buffer_size:int -> Attack.Payload.layout
+
+val instrumented_layout : buffer_size:int -> Attack.Payload.layout
+(** Instrumented binaries keep the single-word SSP slot (§V-C). *)

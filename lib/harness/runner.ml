@@ -1,0 +1,148 @@
+type deployment =
+  | Native
+  | Compiler of Pssp.Scheme.t
+  | Instr_dynamic
+  | Instr_static
+  | Dynaguard_pin
+  | Dcr_static
+
+let deployment_name = function
+  | Native -> "native"
+  | Compiler s -> "compiler/" ^ Pssp.Scheme.name s
+  | Instr_dynamic -> "instr/pssp-dynamic"
+  | Instr_static -> "instr/pssp-static"
+  | Dynaguard_pin -> "instr/dynaguard-pin"
+  | Dcr_static -> "instr/dcr-static"
+
+let pin_insn_tax = 2
+let dcr_call_tax = 24
+
+type built = {
+  image : Os.Image.t;
+  preload : Os.Preload.mode;
+  insn_tax : int;
+  call_tax : int;
+}
+
+let build deployment program =
+  match deployment with
+  | Native ->
+    let image = Mcc.Driver.compile ~scheme:Pssp.Scheme.None_ program in
+    { image; preload = Os.Preload.No_preload; insn_tax = 0; call_tax = 0 }
+  | Compiler scheme ->
+    let image = Mcc.Driver.compile ~scheme program in
+    { image; preload = Mcc.Driver.preload_for scheme; insn_tax = 0; call_tax = 0 }
+  | Instr_dynamic ->
+    let ssp = Mcc.Driver.compile ~scheme:Pssp.Scheme.Ssp program in
+    let image, _report = Rewriter.Driver.instrument ssp in
+    { image; preload = Rewriter.Driver.required_preload image; insn_tax = 0; call_tax = 0 }
+  | Instr_static ->
+    let ssp =
+      Mcc.Driver.compile ~scheme:Pssp.Scheme.Ssp ~linkage:Os.Image.Static program
+    in
+    let image, _report = Rewriter.Driver.instrument ssp in
+    { image; preload = Os.Preload.No_preload; insn_tax = 0; call_tax = 0 }
+  | Dynaguard_pin ->
+    let image = Mcc.Driver.compile ~scheme:Pssp.Scheme.Dynaguard program in
+    {
+      image;
+      preload = Os.Preload.Dynaguard_fix;
+      insn_tax = pin_insn_tax;
+      call_tax = 0;
+    }
+  | Dcr_static ->
+    let image = Mcc.Driver.compile ~scheme:Pssp.Scheme.Dcr program in
+    { image; preload = Os.Preload.Dcr_fix; insn_tax = 0; call_tax = dcr_call_tax }
+
+type run = {
+  stop : Os.Kernel.stop;
+  cycles : int64;
+  output : string;
+  mem_bytes : int;
+}
+
+let run_built ?(input = Bytes.create 0) ?fuel ?(seed = 0x5EED5L) built =
+  let kernel = Os.Kernel.create ~seed () in
+  let proc =
+    Os.Kernel.spawn kernel ~input ~preload:built.preload ~insn_tax:built.insn_tax
+      ~call_tax:built.call_tax built.image
+  in
+  let stop = Os.Kernel.run ?fuel kernel proc in
+  {
+    stop;
+    cycles = Os.Process.cycles proc;
+    output = Os.Process.stdout proc;
+    mem_bytes = Vm64.Memory.mapped_bytes proc.Os.Process.mem;
+  }
+
+let run_bench ?seed deployment bench =
+  let built = build deployment (Workload.Spec.parse bench) in
+  let run = run_built ?seed built in
+  (match run.stop with
+  | Os.Kernel.Stop_exit 0 -> ()
+  | other ->
+    failwith
+      (Printf.sprintf "Runner.run_bench: %s under %s: %s"
+         bench.Workload.Spec.bench_name (deployment_name deployment)
+         (Os.Kernel.stop_to_string other)));
+  run
+
+let overhead_pct ~native run =
+  Util.Stats.overhead_pct
+    ~baseline:(Int64.to_float native.cycles)
+    ~measured:(Int64.to_float run.cycles)
+
+type server_run = {
+  avg_request_cycles : float;
+  p50_request_cycles : float;
+  p99_request_cycles : float;
+  server_mem_bytes : int;
+  failed_requests : int;
+}
+
+let run_server ?(seed = 0x5E44EL) deployment (profile : Workload.Servers.profile)
+    ~requests =
+  let program = Minic.Parser.parse profile.Workload.Servers.source in
+  let built = build deployment program in
+  let kernel = Os.Kernel.create ~seed () in
+  let server =
+    Os.Kernel.spawn kernel ~preload:built.preload ~insn_tax:built.insn_tax
+      ~call_tax:built.call_tax built.image
+  in
+  (match Os.Kernel.run kernel server with
+  | Os.Kernel.Stop_accept -> ()
+  | other ->
+    failwith
+      (Printf.sprintf "Runner.run_server: %s never reached accept: %s"
+         profile.Workload.Servers.profile_name (Os.Kernel.stop_to_string other)));
+  let mix = Array.of_list profile.Workload.Servers.requests in
+  let samples = Array.make requests 0.0 in
+  let failed = ref 0 in
+  for i = 0 to requests - 1 do
+    let request = Bytes.of_string mix.(i mod Array.length mix) in
+    let before = Os.Process.cycles server in
+    (match Os.Kernel.resume_with_request kernel server request with
+    | Os.Kernel.Stop_accept -> ()
+    | other ->
+      failwith
+        (Printf.sprintf "Runner.run_server: server died: %s"
+           (Os.Kernel.stop_to_string other)));
+    let child_work =
+      match Os.Kernel.last_reaped kernel with
+      | Some child ->
+        (match child.Os.Process.status with
+        | Os.Process.Killed _ -> incr failed
+        | _ -> ());
+        Int64.to_float (Int64.sub (Os.Process.cycles child) before)
+      | None -> 0.0
+    in
+    let parent_work = Int64.to_float (Int64.sub (Os.Process.cycles server) before) in
+    samples.(i) <- child_work +. parent_work
+  done;
+  {
+    avg_request_cycles = Util.Stats.mean samples;
+    p50_request_cycles = Util.Stats.median samples;
+    p99_request_cycles = Util.Stats.percentile samples 99.0;
+    server_mem_bytes = Vm64.Memory.mapped_bytes server.Os.Process.mem;
+    failed_requests = !failed;
+  }

@@ -1,0 +1,62 @@
+(** Build-and-measure plumbing shared by every experiment.
+
+    A {!deployment} captures how a program is protected and deployed —
+    the axis the paper's evaluation varies: native, compiler-based
+    schemes, binary-instrumented P-SSP (dynamic or static), and the
+    instrumentation-based baselines with their documented deployment
+    taxes (PIN dynamic translation for DynaGuard, rewriting trampolines
+    for DCR — see DESIGN.md §4). *)
+
+type deployment =
+  | Native
+  | Compiler of Pssp.Scheme.t
+  | Instr_dynamic  (** SSP binary rewritten to P-SSP + packed preload *)
+  | Instr_static  (** statically linked SSP binary rewritten to P-SSP *)
+  | Dynaguard_pin  (** DynaGuard under PIN-style dynamic translation *)
+  | Dcr_static  (** DCR via static rewriting (trampoline call tax) *)
+
+val deployment_name : deployment -> string
+
+val pin_insn_tax : int
+(** Per-instruction dynamic-translation dispatch cost (cycles). *)
+
+val dcr_call_tax : int
+(** Per-call/ret trampoline cost of static rewriting (cycles). *)
+
+type built = {
+  image : Os.Image.t;
+  preload : Os.Preload.mode;
+  insn_tax : int;
+  call_tax : int;
+}
+
+val build : deployment -> Minic.Ast.program -> built
+(** Compile (and, for instrumented deployments, rewrite) a program. *)
+
+type run = {
+  stop : Os.Kernel.stop;
+  cycles : int64;
+  output : string;
+  mem_bytes : int;
+}
+
+val run_built : ?input:bytes -> ?fuel:int -> ?seed:int64 -> built -> run
+
+val run_bench : ?seed:int64 -> deployment -> Workload.Spec.bench -> run
+(** Runs a SPEC benchmark to completion; raises [Failure] if it does
+    not exit 0. *)
+
+val overhead_pct : native:run -> run -> float
+
+type server_run = {
+  avg_request_cycles : float;
+  p50_request_cycles : float;
+  p99_request_cycles : float;
+  server_mem_bytes : int;
+  failed_requests : int;
+}
+
+val run_server :
+  ?seed:int64 -> deployment -> Workload.Servers.profile -> requests:int -> server_run
+(** Drive a forking server through [requests] requests (cycled through
+    the profile's request mix) and average the per-request work. *)

@@ -1,0 +1,30 @@
+(** Table I: comparison of brute-force-attack defences.
+
+    Unlike the paper's Table I (which cites numbers from the respective
+    papers), every cell here is {e measured} in the simulator:
+    - "BROP prevented": a real byte-by-byte campaign against a forking
+      server protected by the scheme;
+    - "Correct": the fork-inside-guarded-frame probe (child must exit 7,
+      not die of a canary false positive);
+    - overheads: SPEC-subset means for the compiler-based deployment and
+      the corresponding instrumentation-based deployment (P-SSP: the
+      binary rewriter; DynaGuard: PIN-style translation tax; DCR:
+      static-rewriting trampoline tax — see DESIGN.md §4). *)
+
+type row = {
+  scheme : Pssp.Scheme.t;
+  brop_prevented : bool;
+  brop_trials : int;  (** trials the attack used (to success or budget) *)
+  correct : bool;
+  compiler_overhead_pct : float option;  (** None for plain SSP (baseline) *)
+  instr_overhead_pct : float option;
+}
+
+type result = { rows : row list }
+
+val run : ?brop_budget:int -> ?benches:Workload.Spec.bench list -> unit -> result
+(** [brop_budget] defaults to 6000 trials (SSP falls around ~1300).
+    [benches] defaults to a 8-program subset balancing hot and cold
+    canary paths. *)
+
+val to_table : result -> Util.Table.t

@@ -1,0 +1,81 @@
+type row = {
+  bench : string;
+  ssp_bytes : int;
+  compiler_pct : float;
+  instr_dynamic_pct : float;
+  instr_static_pct : float;
+}
+
+type result = {
+  rows : row list;
+  compiler_avg : float;
+  instr_dynamic_avg : float;
+  instr_static_avg : float;
+}
+
+let expansion ~baseline ~measured =
+  Util.Stats.overhead_pct ~baseline:(float_of_int baseline)
+    ~measured:(float_of_int measured)
+
+let measure bench =
+  let program = Workload.Spec.parse bench in
+  let ssp = Mcc.Driver.compile ~scheme:Pssp.Scheme.Ssp program in
+  let pssp = Mcc.Driver.compile ~scheme:Pssp.Scheme.Pssp program in
+  let instr_dyn, _ = Rewriter.Driver.instrument ssp in
+  let ssp_static =
+    Mcc.Driver.compile ~scheme:Pssp.Scheme.Ssp ~linkage:Os.Image.Static program
+  in
+  let instr_static, _ = Rewriter.Driver.instrument ssp_static in
+  let ssp_bytes = Os.Image.code_size ssp in
+  {
+    bench = bench.Workload.Spec.bench_name;
+    ssp_bytes;
+    compiler_pct = expansion ~baseline:ssp_bytes ~measured:(Os.Image.code_size pssp);
+    instr_dynamic_pct =
+      expansion ~baseline:ssp_bytes ~measured:(Os.Image.code_size instr_dyn);
+    instr_static_pct =
+      expansion
+        ~baseline:(Os.Image.code_size ssp_static)
+        ~measured:(Os.Image.code_size instr_static);
+  }
+
+let run ?(benches = Workload.Spec.all) () =
+  let rows = List.map measure benches in
+  let avg f = Util.Stats.mean (Array.of_list (List.map f rows)) in
+  {
+    rows;
+    compiler_avg = avg (fun r -> r.compiler_pct);
+    instr_dynamic_avg = avg (fun r -> r.instr_dynamic_pct);
+    instr_static_avg = avg (fun r -> r.instr_static_pct);
+  }
+
+let to_table result =
+  let t =
+    Util.Table.create
+      ~title:"Table II: Code expansion rate by P-SSP implementation"
+      [
+        "Benchmark"; "SSP bytes"; "Compilation";
+        "Instrumentation (dynamic link)"; "Instrumentation (static link)";
+      ]
+  in
+  List.iter
+    (fun r ->
+      Util.Table.add_row t
+        [
+          r.bench;
+          string_of_int r.ssp_bytes;
+          Util.Table.cell_pct r.compiler_pct;
+          Util.Table.cell_pct r.instr_dynamic_pct;
+          Util.Table.cell_pct r.instr_static_pct;
+        ])
+    result.rows;
+  Util.Table.add_separator t;
+  Util.Table.add_row t
+    [
+      "average";
+      "";
+      Util.Table.cell_pct result.compiler_avg;
+      Util.Table.cell_pct result.instr_dynamic_avg;
+      Util.Table.cell_pct result.instr_static_avg;
+    ];
+  t

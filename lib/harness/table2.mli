@@ -1,0 +1,25 @@
+(** Table II: code expansion by deployment (paper: 0.27% compiler, 0
+    dynamic instrumentation, 2.78% static instrumentation).
+
+    Expansion is measured against the default (SSP-compiled) binary of
+    each benchmark, which is what the paper's "native code size compiled
+    with the default options" means on a distribution with SSP on by
+    default. *)
+
+type row = {
+  bench : string;
+  ssp_bytes : int;
+  compiler_pct : float;  (** P-SSP-compiled vs SSP-compiled *)
+  instr_dynamic_pct : float;  (** rewritten dynamic binary (must be 0) *)
+  instr_static_pct : float;  (** rewritten static binary *)
+}
+
+type result = {
+  rows : row list;
+  compiler_avg : float;
+  instr_dynamic_avg : float;
+  instr_static_avg : float;
+}
+
+val run : ?benches:Workload.Spec.bench list -> unit -> result
+val to_table : result -> Util.Table.t

@@ -1,0 +1,71 @@
+open Format
+
+let pp_target fmt = function
+  | Insn.Sym s -> fprintf fmt "<%s>" s
+  | Insn.Abs a -> fprintf fmt "0x%Lx" a
+
+let pp_xmm fmt x = fprintf fmt "%%%s" (Reg.Xmm.name x)
+let pp_mem fmt m = Operand.pp fmt (Operand.Mem m)
+
+(* AT&T order: src, dst. *)
+let pp fmt insn =
+  match insn with
+  | Insn.Nop -> fprintf fmt "nop"
+  | Mov (dst, src) -> fprintf fmt "mov    %a,%a" Operand.pp src Operand.pp dst
+  | Movb (dst, src) -> fprintf fmt "movb   %a,%a" Operand.pp src Operand.pp dst
+  | Movl (dst, src) -> fprintf fmt "movl   %a,%a" Operand.pp src Operand.pp dst
+  | Lea (r, m) -> fprintf fmt "lea    %a,%a" pp_mem m Reg.pp r
+  | Push op -> fprintf fmt "push   %a" Operand.pp op
+  | Pop op -> fprintf fmt "pop    %a" Operand.pp op
+  | Bin (op, dst, src) ->
+    fprintf fmt "%-6s %a,%a" (Insn.binop_name op) Operand.pp src Operand.pp dst
+  | Shift (op, dst, k) ->
+    fprintf fmt "%-6s $%d,%a" (Insn.shiftop_name op) k Operand.pp dst
+  | Neg op -> fprintf fmt "neg    %a" Operand.pp op
+  | Not op -> fprintf fmt "not    %a" Operand.pp op
+  | Jmp t -> fprintf fmt "jmp    %a" pp_target t
+  | Jcc (c, t) -> fprintf fmt "j%-5s %a" (Insn.cond_name c) pp_target t
+  | Call t -> fprintf fmt "callq  %a" pp_target t
+  | Call_ind op -> fprintf fmt "callq  *%a" Operand.pp op
+  | Ret -> fprintf fmt "retq"
+  | Setcc (c, r) -> fprintf fmt "set%-4s %a" (Insn.cond_name c) Reg.pp r
+  | Leave -> fprintf fmt "leaveq"
+  | Rdrand r -> fprintf fmt "rdrand %a" Reg.pp r
+  | Rdtsc -> fprintf fmt "rdtsc"
+  | Syscall -> fprintf fmt "syscall"
+  | Hlt -> fprintf fmt "hlt"
+  | Movq_to_xmm (x, r) -> fprintf fmt "movq   %a,%a" Reg.pp r pp_xmm x
+  | Movq_from_xmm (r, x) -> fprintf fmt "movq   %a,%a" pp_xmm x Reg.pp r
+  | Pinsrq_high (x, r) -> fprintf fmt "pinsrq $1,%a,%a" Reg.pp r pp_xmm x
+  | Movhps_load (x, m) -> fprintf fmt "movhps %a,%a" pp_mem m pp_xmm x
+  | Movq_store (m, x) -> fprintf fmt "movq   %a,%a" pp_xmm x pp_mem m
+  | Movdqu_load (x, m) -> fprintf fmt "movdqu %a,%a" pp_mem m pp_xmm x
+  | Movdqu_store (m, x) -> fprintf fmt "movdqu %a,%a" pp_xmm x pp_mem m
+  | Aesenc (dst, src) -> fprintf fmt "aesenc %a,%a" pp_xmm src pp_xmm dst
+  | Aesenclast (dst, src) -> fprintf fmt "aesenclast %a,%a" pp_xmm src pp_xmm dst
+  | Pcmpeq128 (x, m) -> fprintf fmt "pcmpeq128 %a,%a" pp_mem m pp_xmm x
+
+let to_string insn = asprintf "%a" pp insn
+
+let pp_listing ?(symbol_name = fun _ -> None) fmt listing =
+  let annotate insn =
+    let target = function
+      | Insn.Abs a -> (
+        match symbol_name a with
+        | Some n -> Insn.Sym n
+        | None -> Insn.Abs a)
+      | Insn.Sym _ as t -> t
+    in
+    match insn with
+    | Insn.Jmp t -> Insn.Jmp (target t)
+    | Insn.Jcc (c, t) -> Insn.Jcc (c, target t)
+    | Insn.Call t -> Insn.Call (target t)
+    | other -> other
+  in
+  List.iter
+    (fun (addr, insn) ->
+      (match symbol_name addr with
+      | Some n -> fprintf fmt "%s:@." n
+      | None -> ());
+      fprintf fmt "  %8Lx:  %a@." addr pp (annotate insn))
+    listing

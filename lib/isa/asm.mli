@@ -1,0 +1,14 @@
+(** AT&T-flavoured pretty printer for instructions, so disassembly of
+    simulated binaries reads like the listings in the paper. *)
+
+val pp_target : Format.formatter -> Insn.target -> unit
+val pp : Format.formatter -> Insn.t -> unit
+val to_string : Insn.t -> string
+
+val pp_listing :
+  ?symbol_name:(int64 -> string option) ->
+  Format.formatter ->
+  (int64 * Insn.t) list ->
+  unit
+(** Print an address-annotated listing. [symbol_name] lets call targets
+    render as [<name>]. *)

@@ -1,0 +1,285 @@
+exception Error of int * string
+
+let fail line fmt = Printf.ksprintf (fun s -> raise (Error (line, s))) fmt
+
+(* ---- token-level helpers ------------------------------------------------- *)
+
+let strip s = String.trim s
+
+let split_mnemonic s =
+  match String.index_opt s ' ' with
+  | None -> (s, "")
+  | Some i ->
+    (String.sub s 0 i, strip (String.sub s i (String.length s - i)))
+
+(* Split the operand field at top-level commas (commas inside parens
+   belong to memory operands). *)
+let split_operands s =
+  if strip s = "" then []
+  else begin
+    let parts = ref [] in
+    let buf = Buffer.create 16 in
+    let depth = ref 0 in
+    String.iter
+      (fun c ->
+        match c with
+        | '(' ->
+          incr depth;
+          Buffer.add_char buf c
+        | ')' ->
+          decr depth;
+          Buffer.add_char buf c
+        | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+        | c -> Buffer.add_char buf c)
+      s;
+    parts := Buffer.contents buf :: !parts;
+    List.rev_map strip !parts
+  end
+
+let parse_int64 line s =
+  let s = strip s in
+  let negative = String.length s > 0 && s.[0] = '-' in
+  let body = if negative then String.sub s 1 (String.length s - 1) else s in
+  match Int64.of_string_opt body with
+  | Some v -> if negative then Int64.neg v else v
+  | None -> fail line "bad integer %S" s
+
+let parse_gpr line s =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> '%' then fail line "expected register, got %S" s;
+  let name = String.sub s 1 (String.length s - 1) in
+  match List.find_opt (fun r -> Reg.name r = name) Reg.all with
+  | Some r -> r
+  | None -> fail line "unknown register %%%s" name
+
+let is_xmm s =
+  String.length s > 4 && String.sub s 0 4 = "%xmm"
+
+let parse_xmm line s =
+  let s = strip s in
+  if not (is_xmm s) then fail line "expected xmm register, got %S" s;
+  match int_of_string_opt (String.sub s 4 (String.length s - 4)) with
+  | Some i when i >= 0 && i <= 15 -> Reg.Xmm.of_index_exn i
+  | _ -> fail line "bad xmm register %S" s
+
+(* memory operand: [%fs:]disp | [%fs:][disp](base[,index,scale]) *)
+let parse_mem line s =
+  let s = strip s in
+  let seg_fs, s =
+    if String.length s > 4 && String.sub s 0 4 = "%fs:" then
+      (true, String.sub s 4 (String.length s - 4))
+    else (false, s)
+  in
+  match String.index_opt s '(' with
+  | None -> { Operand.seg_fs; base = None; index = None; disp = parse_int64 line s }
+  | Some lp ->
+    let disp_str = String.sub s 0 lp in
+    let disp = if strip disp_str = "" then 0L else parse_int64 line disp_str in
+    let rp =
+      match String.index_opt s ')' with
+      | Some i -> i
+      | None -> fail line "unterminated memory operand %S" s
+    in
+    let inner = String.sub s (lp + 1) (rp - lp - 1) in
+    (match String.split_on_char ',' inner with
+    | [ base ] ->
+      { Operand.seg_fs; base = Some (parse_gpr line base); index = None; disp }
+    | [ base; index; scale ] ->
+      let scale =
+        match Operand.scale_of_factor (Int64.to_int (parse_int64 line scale)) with
+        | Some sc -> sc
+        | None -> fail line "bad scale in %S" s
+      in
+      let base = if strip base = "" then None else Some (parse_gpr line base) in
+      { Operand.seg_fs; base; index = Some (parse_gpr line index, scale); disp }
+    | _ -> fail line "bad memory operand %S" s)
+
+let is_fs_prefixed s = String.length s > 4 && String.sub s 0 4 = "%fs:"
+
+let parse_operand line s =
+  let s = strip s in
+  if s = "" then fail line "empty operand"
+  else if s.[0] = '$' then
+    Operand.Imm (parse_int64 line (String.sub s 1 (String.length s - 1)))
+  else if s.[0] = '%' && (not (is_xmm s)) && not (is_fs_prefixed s) then
+    Operand.Reg (parse_gpr line s)
+  else Operand.Mem (parse_mem line s)
+
+let parse_target line s =
+  let s = strip s in
+  if String.length s >= 2 && s.[0] = '<' && s.[String.length s - 1] = '>' then
+    Insn.Sym (String.sub s 1 (String.length s - 2))
+  else Insn.Abs (parse_int64 line s)
+
+let cond_of_suffix line suffix =
+  match
+    List.find_opt
+      (fun c -> Insn.cond_name c = suffix)
+      [ Insn.E; NE; L; LE; G; GE; B; BE; A; AE; S; NS ]
+  with
+  | Some c -> c
+  | None -> fail line "unknown condition %S" suffix
+
+(* ---- instruction dispatch ------------------------------------------------- *)
+
+let parse_insn_at line text =
+  let text = strip text in
+  let mnemonic, rest = split_mnemonic text in
+  let ops () = split_operands rest in
+  let binop op =
+    match ops () with
+    | [ src; dst ] -> Insn.Bin (op, parse_operand line dst, parse_operand line src)
+    | _ -> fail line "%s expects two operands" mnemonic
+  in
+  let shift op =
+    match ops () with
+    | [ amount; dst ] -> (
+      match parse_operand line amount with
+      | Operand.Imm k -> Insn.Shift (op, parse_operand line dst, Int64.to_int k)
+      | _ -> fail line "%s expects an immediate amount" mnemonic)
+    | _ -> fail line "%s expects two operands" mnemonic
+  in
+  match mnemonic with
+  | "nop" -> Insn.Nop
+  | "retq" | "ret" -> Insn.Ret
+  | "leaveq" | "leave" -> Insn.Leave
+  | "hlt" -> Insn.Hlt
+  | "rdtsc" -> Insn.Rdtsc
+  | "syscall" -> Insn.Syscall
+  | "rdrand" -> (
+    match ops () with
+    | [ r ] -> Insn.Rdrand (parse_gpr line r)
+    | _ -> fail line "rdrand expects one register")
+  | "mov" | "movq" -> (
+    (* AT&T order src,dst; movq additionally covers the GPR<->XMM and
+       XMM-store forms *)
+    match ops () with
+    | [ src; dst ] -> (
+      let xmm_src = is_xmm (strip src) and xmm_dst = is_xmm (strip dst) in
+      match (xmm_src, xmm_dst) with
+      | false, false -> Insn.Mov (parse_operand line dst, parse_operand line src)
+      | false, true -> (
+        match parse_operand line src with
+        | Operand.Reg r -> Insn.Movq_to_xmm (parse_xmm line dst, r)
+        | _ -> fail line "movq to xmm expects a register source")
+      | true, false -> (
+        match parse_operand line dst with
+        | Operand.Reg r -> Insn.Movq_from_xmm (r, parse_xmm line src)
+        | Operand.Mem m -> Insn.Movq_store (m, parse_xmm line src)
+        | Operand.Imm _ -> fail line "movq from xmm to immediate")
+      | true, true -> fail line "movq xmm,xmm unsupported")
+    | _ -> fail line "mov expects two operands")
+  | "movb" -> (
+    match ops () with
+    | [ src; dst ] -> Insn.Movb (parse_operand line dst, parse_operand line src)
+    | _ -> fail line "movb expects two operands")
+  | "movl" -> (
+    match ops () with
+    | [ src; dst ] -> Insn.Movl (parse_operand line dst, parse_operand line src)
+    | _ -> fail line "movl expects two operands")
+  | "lea" -> (
+    match ops () with
+    | [ src; dst ] -> Insn.Lea (parse_gpr line dst, parse_mem line src)
+    | _ -> fail line "lea expects two operands")
+  | "push" -> (
+    match ops () with
+    | [ op ] -> Insn.Push (parse_operand line op)
+    | _ -> fail line "push expects one operand")
+  | "pop" -> (
+    match ops () with
+    | [ op ] -> Insn.Pop (parse_operand line op)
+    | _ -> fail line "pop expects one operand")
+  | "add" -> binop Insn.Add
+  | "sub" -> binop Insn.Sub
+  | "xor" -> binop Insn.Xor
+  | "and" -> binop Insn.And
+  | "or" -> binop Insn.Or
+  | "cmp" -> binop Insn.Cmp
+  | "test" -> binop Insn.Test
+  | "imul" -> binop Insn.Imul
+  | "idiv" -> binop Insn.Idiv
+  | "irem" -> binop Insn.Irem
+  | "shl" -> shift Insn.Shl
+  | "shr" -> shift Insn.Shr
+  | "sar" -> shift Insn.Sar
+  | "neg" -> (
+    match ops () with
+    | [ op ] -> Insn.Neg (parse_operand line op)
+    | _ -> fail line "neg expects one operand")
+  | "not" -> (
+    match ops () with
+    | [ op ] -> Insn.Not (parse_operand line op)
+    | _ -> fail line "not expects one operand")
+  | "jmp" -> Insn.Jmp (parse_target line rest)
+  | "callq" | "call" ->
+    let rest = strip rest in
+    if String.length rest > 0 && rest.[0] = '*' then
+      Insn.Call_ind (parse_operand line (String.sub rest 1 (String.length rest - 1)))
+    else Insn.Call (parse_target line rest)
+  | "pinsrq" -> (
+    match ops () with
+    | [ _one; src; dst ] -> Insn.Pinsrq_high (parse_xmm line dst, parse_gpr line src)
+    | _ -> fail line "pinsrq expects three operands")
+  | "movhps" -> (
+    match ops () with
+    | [ src; dst ] -> Insn.Movhps_load (parse_xmm line dst, parse_mem line src)
+    | _ -> fail line "movhps expects two operands")
+  | "movdqu" -> (
+    match ops () with
+    | [ src; dst ] ->
+      if is_xmm (strip src) then
+        Insn.Movdqu_store (parse_mem line dst, parse_xmm line src)
+      else Insn.Movdqu_load (parse_xmm line dst, parse_mem line src)
+    | _ -> fail line "movdqu expects two operands")
+  | "aesenc" -> (
+    match ops () with
+    | [ src; dst ] -> Insn.Aesenc (parse_xmm line dst, parse_xmm line src)
+    | _ -> fail line "aesenc expects two operands")
+  | "aesenclast" -> (
+    match ops () with
+    | [ src; dst ] -> Insn.Aesenclast (parse_xmm line dst, parse_xmm line src)
+    | _ -> fail line "aesenclast expects two operands")
+  | "pcmpeq128" -> (
+    match ops () with
+    | [ src; dst ] -> Insn.Pcmpeq128 (parse_xmm line dst, parse_mem line src)
+    | _ -> fail line "pcmpeq128 expects two operands")
+  | m when String.length m > 3 && String.sub m 0 3 = "set" ->
+    let cond = cond_of_suffix line (String.sub m 3 (String.length m - 3)) in
+    (match ops () with
+    | [ r ] -> Insn.Setcc (cond, parse_gpr line r)
+    | _ -> fail line "%s expects one register" m)
+  | m when String.length m > 1 && m.[0] = 'j' ->
+    let cond = cond_of_suffix line (String.sub m 1 (String.length m - 1)) in
+    Insn.Jcc (cond, parse_target line rest)
+  | m -> fail line "unknown mnemonic %S" m
+
+let parse_insn text = parse_insn_at 1 text
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+let parse_listing text =
+  let lines = String.split_on_char '\n' text in
+  List.concat
+    (List.mapi
+       (fun idx raw ->
+         let lineno = idx + 1 in
+         let s = strip (strip_comment raw) in
+         if s = "" then []
+         else if s.[String.length s - 1] = ':' then
+           [ `Label (strip (String.sub s 0 (String.length s - 1))) ]
+         else [ `Insn (parse_insn_at lineno s) ])
+       lines)
+
+let to_builder text =
+  let b = Builder.create () in
+  List.iter
+    (function
+      | `Label name -> Builder.label b name
+      | `Insn insn -> Builder.emit b insn)
+    (parse_listing text);
+  b

@@ -1,0 +1,20 @@
+(** Parser for the AT&T-flavoured assembly syntax {!Asm} prints —
+    the inverse of the pretty-printer, so listings round-trip.
+
+    Supports full listings: one instruction per line, [name:] label
+    lines, [<sym>] symbolic targets, [#]-to-end-of-line comments and
+    blank lines. *)
+
+exception Error of int * string
+(** [(line, message)]. *)
+
+val parse_insn : string -> Insn.t
+(** Parse a single instruction (no label, no comment).
+    Raises {!Error} with line 1 on malformed input. *)
+
+val parse_listing : string -> [ `Label of string | `Insn of Insn.t ] list
+(** Parse a multi-line listing. *)
+
+val to_builder : string -> Builder.t
+(** Parse a listing straight into an assembler builder (labels become
+    builder labels). *)

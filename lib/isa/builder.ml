@@ -1,0 +1,104 @@
+type item = Label of string | Instruction of Insn.t | Sym_imm_mov of Reg.t * string
+
+type t = {
+  mutable items : item list; (* reversed *)
+  mutable counter : int;
+  placed : (string, unit) Hashtbl.t;
+}
+
+let create () = { items = []; counter = 0; placed = Hashtbl.create 16 }
+
+let items t = List.rev t.items
+
+let of_items items =
+  let t = create () in
+  List.iter
+    (fun item ->
+      (match item with
+      | Label name -> Hashtbl.add t.placed name ()
+      | Instruction _ | Sym_imm_mov _ -> ());
+      t.items <- item :: t.items)
+    items;
+  t
+
+let emit t insn = t.items <- Instruction insn :: t.items
+let emit_all t insns = List.iter (emit t) insns
+let emit_mov_sym t r sym = t.items <- Sym_imm_mov (r, sym) :: t.items
+
+(* layout width of a symbol-immediate mov: identical for any address *)
+let sym_imm_width r = Encode.length (Insn.Mov (Operand.Reg r, Operand.Imm 0L))
+
+let fresh_label t hint =
+  t.counter <- t.counter + 1;
+  Printf.sprintf ".L%s%d" hint t.counter
+
+let label t name =
+  if Hashtbl.mem t.placed name then
+    invalid_arg (Printf.sprintf "Builder.label: %s placed twice" name);
+  Hashtbl.add t.placed name ();
+  t.items <- Label name :: t.items
+
+type assembled = {
+  code : bytes;
+  insns : (int * Insn.t) list;
+  labels : (string * int) list;
+}
+
+let layout items =
+  (* First pass: compute each instruction's offset and label positions. *)
+  let offsets = Hashtbl.create 16 in
+  let off = ref 0 in
+  let positioned =
+    List.filter_map
+      (fun item ->
+        match item with
+        | Label name ->
+          Hashtbl.replace offsets name !off;
+          None
+        | Instruction insn ->
+          let at = !off in
+          off := !off + Encode.length insn;
+          Some (at, `Insn insn)
+        | Sym_imm_mov (r, sym) ->
+          let at = !off in
+          off := !off + sym_imm_width r;
+          Some (at, `Sym_imm (r, sym)))
+      items
+  in
+  (positioned, offsets)
+
+let assemble t ~base ~externs =
+  let items = List.rev t.items in
+  let positioned, offsets = layout items in
+  let resolve_symbol s =
+    match Hashtbl.find_opt offsets s with
+    | Some off -> Int64.add base (Int64.of_int off)
+    | None -> (
+      match externs s with
+      | Some addr -> addr
+      | None -> invalid_arg (Printf.sprintf "Builder.assemble: undefined symbol %s" s))
+  in
+  let insns =
+    List.map
+      (fun (off, item) ->
+        match item with
+        | `Insn insn -> (off, Insn.resolve resolve_symbol insn)
+        | `Sym_imm (r, sym) ->
+          (off, Insn.Mov (Operand.Reg r, Operand.Imm (resolve_symbol sym))))
+      positioned
+  in
+  let buf = Buffer.create 512 in
+  List.iter (fun (_, insn) -> Encode.encode buf insn) insns;
+  let labels = Hashtbl.fold (fun name off acc -> (name, off) :: acc) offsets [] in
+  let labels = List.sort (fun (_, a) (_, b) -> compare a b) labels in
+  { code = Buffer.to_bytes buf; insns; labels }
+
+let size t =
+  let items = List.rev t.items in
+  List.fold_left
+    (fun acc item ->
+      match item with
+      | Label _ -> acc
+      | Instruction insn -> acc + Encode.length insn
+      | Sym_imm_mov (r, _) -> acc + sym_imm_width r)
+    0 items

@@ -1,0 +1,53 @@
+(** Two-pass assembler: collect labelled instructions, then resolve
+    local labels to absolute addresses and emit bytes.
+
+    Local labels (created with {!fresh_label} / {!label}) are resolved at
+    {!assemble} time. Global symbols (other functions, glibc entry
+    points) are left to the linker: {!assemble} accepts an [externs]
+    resolver for them. *)
+
+type t
+
+type item =
+  | Label of string
+  | Instruction of Insn.t
+  | Sym_imm_mov of Reg.t * string
+
+val create : unit -> t
+
+val items : t -> item list
+(** The accumulated items in program order. *)
+
+val of_items : item list -> t
+(** Rebuild a builder from transformed items (peephole optimisation).
+    Label bookkeeping is recomputed; the fresh-label counter restarts,
+    so only use this after all labels have been created. *)
+
+val emit : t -> Insn.t -> unit
+val emit_all : t -> Insn.t list -> unit
+
+val emit_mov_sym : t -> Reg.t -> string -> unit
+(** [emit_mov_sym t r sym] emits [mov $<sym>,r] with the symbol's
+    absolute address filled in at assembly time — how code takes the
+    address of a function. *)
+
+val fresh_label : t -> string -> string
+(** [fresh_label t hint] returns a unique local label name. *)
+
+val label : t -> string -> unit
+(** Bind a label to the current position. Raises [Invalid_argument] if
+    the label was already placed. *)
+
+type assembled = {
+  code : bytes;
+  insns : (int * Insn.t) list;  (** offset-annotated resolved instructions *)
+  labels : (string * int) list;  (** label -> offset *)
+}
+
+val assemble : t -> base:int64 -> externs:(string -> int64 option) -> assembled
+(** Resolve all targets and encode. Local labels become [base + offset];
+    other symbols are resolved through [externs].
+    Raises [Invalid_argument] on an undefined symbol. *)
+
+val size : t -> int
+(** Encoded size in bytes without assembling. *)

@@ -1,0 +1,175 @@
+exception Bad_encoding of int * string
+
+let fail off msg = raise (Bad_encoding (off, msg))
+
+type cursor = { code : bytes; mutable pos : int }
+
+let u8 c =
+  if c.pos >= Bytes.length c.code then fail c.pos "truncated";
+  let v = Char.code (Bytes.get c.code c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let i32 c =
+  if c.pos + 4 > Bytes.length c.code then fail c.pos "truncated i32";
+  let v = Bytes.get_int32_le c.code c.pos in
+  c.pos <- c.pos + 4;
+  Int64.of_int32 v
+
+let i64 c =
+  if c.pos + 8 > Bytes.length c.code then fail c.pos "truncated i64";
+  let v = Bytes.get_int64_le c.code c.pos in
+  c.pos <- c.pos + 8;
+  v
+
+let reg c =
+  let i = u8 c in
+  match Reg.of_index i with
+  | Some r -> r
+  | None -> fail (c.pos - 1) (Printf.sprintf "bad register index %d" i)
+
+let xmm c =
+  let i = u8 c in
+  match Reg.Xmm.of_index i with
+  | Some x -> x
+  | None -> fail (c.pos - 1) (Printf.sprintf "bad xmm index %d" i)
+
+let scale_of_bits pos = function
+  | 0 -> Operand.S1
+  | 1 -> Operand.S2
+  | 2 -> Operand.S4
+  | 3 -> Operand.S8
+  | n -> fail pos (Printf.sprintf "bad scale bits %d" n)
+
+let mem c : Operand.mem =
+  let flags = u8 c in
+  let seg_fs = flags land 1 <> 0 in
+  let base = if flags land 2 <> 0 then Some (reg c) else None in
+  let index =
+    if flags land 4 <> 0 then begin
+      let r = reg c in
+      Some (r, scale_of_bits c.pos ((flags lsr 4) land 3))
+    end
+    else None
+  in
+  let disp = i32 c in
+  { seg_fs; base; index; disp }
+
+let operand c =
+  match u8 c with
+  | 0x00 -> Operand.Reg (reg c)
+  | 0x01 -> Operand.Imm (i64 c)
+  | 0x02 -> Operand.Mem (mem c)
+  | tag -> fail (c.pos - 1) (Printf.sprintf "bad operand tag 0x%02x" tag)
+
+let target c = Insn.Abs (i64 c)
+
+let cond c =
+  let i = u8 c in
+  match Insn.cond_of_index i with
+  | Some cd -> cd
+  | None -> fail (c.pos - 1) (Printf.sprintf "bad condition index %d" i)
+
+let decode code off =
+  let c = { code; pos = off } in
+  let op = u8 c in
+  let insn =
+    match op with
+    | 0x00 -> Insn.Nop
+    | 0x01 ->
+      let dst = operand c in
+      let src = operand c in
+      Insn.Mov (dst, src)
+    | 0x02 ->
+      let dst = operand c in
+      let src = operand c in
+      Insn.Movb (dst, src)
+    | 0x03 ->
+      let dst = operand c in
+      let src = operand c in
+      Insn.Movl (dst, src)
+    | 0x04 ->
+      let r = reg c in
+      let m = mem c in
+      Insn.Lea (r, m)
+    | 0x05 -> Insn.Push (operand c)
+    | 0x06 -> Insn.Pop (operand c)
+    | n when n >= 0x10 && n <= 0x19 ->
+      let bop =
+        match Insn.binop_of_index (n - 0x10) with
+        | Some b -> b
+        | None -> assert false
+      in
+      let dst = operand c in
+      let src = operand c in
+      Insn.Bin (bop, dst, src)
+    | n when n >= 0x20 && n <= 0x22 ->
+      let sop =
+        match Insn.shiftop_of_index (n - 0x20) with
+        | Some s -> s
+        | None -> assert false
+      in
+      let dst = operand c in
+      let k = u8 c in
+      Insn.Shift (sop, dst, k)
+    | 0x28 -> Insn.Neg (operand c)
+    | 0x29 -> Insn.Not (operand c)
+    | 0x30 -> Insn.Jmp (target c)
+    | 0x31 ->
+      let cd = cond c in
+      Insn.Jcc (cd, target c)
+    | 0x32 -> Insn.Call (target c)
+    | 0x33 -> Insn.Call_ind (operand c)
+    | 0x34 -> Insn.Ret
+    | 0x35 -> Insn.Leave
+    | 0x36 ->
+      let cd = cond c in
+      Insn.Setcc (cd, reg c)
+    | 0x40 -> Insn.Rdrand (reg c)
+    | 0x41 -> Insn.Rdtsc
+    | 0x42 -> Insn.Syscall
+    | 0x43 -> Insn.Hlt
+    | 0x50 ->
+      let x = xmm c in
+      Insn.Movq_to_xmm (x, reg c)
+    | 0x51 ->
+      let r = reg c in
+      Insn.Movq_from_xmm (r, xmm c)
+    | 0x52 ->
+      let x = xmm c in
+      Insn.Pinsrq_high (x, reg c)
+    | 0x53 ->
+      let x = xmm c in
+      Insn.Movhps_load (x, mem c)
+    | 0x54 ->
+      let x = xmm c in
+      Insn.Movq_store (mem c, x)
+    | 0x55 ->
+      let x = xmm c in
+      Insn.Movdqu_load (x, mem c)
+    | 0x56 ->
+      let x = xmm c in
+      Insn.Movdqu_store (mem c, x)
+    | 0x57 ->
+      let dst = xmm c in
+      Insn.Aesenc (dst, xmm c)
+    | 0x58 ->
+      let dst = xmm c in
+      Insn.Aesenclast (dst, xmm c)
+    | 0x59 ->
+      let x = xmm c in
+      Insn.Pcmpeq128 (x, mem c)
+    | n -> fail off (Printf.sprintf "bad opcode 0x%02x" n)
+  in
+  (insn, c.pos - off)
+
+let decode_all code =
+  let n = Bytes.length code in
+  let rec loop off acc =
+    if off >= n then List.rev acc
+    else begin
+      let insn, len = decode code off in
+      loop (off + len) ((off, insn) :: acc)
+    end
+  in
+  loop 0 []

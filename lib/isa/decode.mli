@@ -1,0 +1,14 @@
+(** Binary decoding — the disassembler used by the interpreter's fetch
+    stage and by the binary rewriter's scanner. *)
+
+exception Bad_encoding of int * string
+(** [(offset, message)]: the byte stream is not a valid instruction. *)
+
+val decode : bytes -> int -> Insn.t * int
+(** [decode code off] decodes one instruction at byte offset [off] and
+    returns it with its encoded length.
+    Raises {!Bad_encoding} on malformed input or truncation. *)
+
+val decode_all : bytes -> (int * Insn.t) list
+(** Decode an entire code blob into [(offset, insn)] pairs.
+    Raises {!Bad_encoding} on the first malformed instruction. *)

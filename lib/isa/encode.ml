@@ -1,0 +1,144 @@
+exception Unresolved_symbol of string
+
+let opcode = function
+  | Insn.Nop -> 0x00
+  | Mov _ -> 0x01
+  | Movb _ -> 0x02
+  | Movl _ -> 0x03
+  | Lea _ -> 0x04
+  | Push _ -> 0x05
+  | Pop _ -> 0x06
+  | Bin (op, _, _) -> 0x10 + Insn.binop_index op
+  | Shift (op, _, _) -> 0x20 + Insn.shiftop_index op
+  | Neg _ -> 0x28
+  | Not _ -> 0x29
+  | Jmp _ -> 0x30
+  | Jcc _ -> 0x31
+  | Call _ -> 0x32
+  | Call_ind _ -> 0x33
+  | Ret -> 0x34
+  | Leave -> 0x35
+  | Setcc _ -> 0x36
+  | Rdrand _ -> 0x40
+  | Rdtsc -> 0x41
+  | Syscall -> 0x42
+  | Hlt -> 0x43
+  | Movq_to_xmm _ -> 0x50
+  | Movq_from_xmm _ -> 0x51
+  | Pinsrq_high _ -> 0x52
+  | Movhps_load _ -> 0x53
+  | Movq_store _ -> 0x54
+  | Movdqu_load _ -> 0x55
+  | Movdqu_store _ -> 0x56
+  | Aesenc _ -> 0x57
+  | Aesenclast _ -> 0x58
+  | Pcmpeq128 _ -> 0x59
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_i32 buf (v : int64) =
+  let v32 = Int64.to_int32 v in
+  let b = Bytes.create 4 in
+  Bytes.set_int32_le b 0 v32;
+  Buffer.add_bytes buf b
+
+let add_i64 buf (v : int64) =
+  let b = Bytes.create 8 in
+  Bytes.set_int64_le b 0 v;
+  Buffer.add_bytes buf b
+
+let add_reg buf r = add_u8 buf (Reg.index r)
+let add_xmm buf x = add_u8 buf (Reg.Xmm.index x)
+
+let scale_index = function
+  | Operand.S1 -> 0
+  | Operand.S2 -> 1
+  | Operand.S4 -> 2
+  | Operand.S8 -> 3
+
+let add_mem buf (m : Operand.mem) =
+  let flags =
+    (if m.seg_fs then 1 else 0)
+    lor (if m.base <> None then 2 else 0)
+    lor (if m.index <> None then 4 else 0)
+    lor
+    match m.index with
+    | Some (_, s) -> scale_index s lsl 4
+    | None -> 0
+  in
+  add_u8 buf flags;
+  (match m.base with Some b -> add_reg buf b | None -> ());
+  (match m.index with Some (r, _) -> add_reg buf r | None -> ());
+  add_i32 buf m.disp
+
+let add_operand buf = function
+  | Operand.Reg r ->
+    add_u8 buf 0x00;
+    add_reg buf r
+  | Operand.Imm v ->
+    add_u8 buf 0x01;
+    add_i64 buf v
+  | Operand.Mem m ->
+    add_u8 buf 0x02;
+    add_mem buf m
+
+let add_target buf = function
+  | Insn.Abs a -> add_i64 buf a
+  | Insn.Sym s -> raise (Unresolved_symbol s)
+
+let encode buf insn =
+  add_u8 buf (opcode insn);
+  match insn with
+  | Insn.Nop | Ret | Leave | Rdtsc | Syscall | Hlt -> ()
+  | Mov (dst, src) | Movb (dst, src) | Movl (dst, src) ->
+    add_operand buf dst;
+    add_operand buf src
+  | Lea (r, m) ->
+    add_reg buf r;
+    add_mem buf m
+  | Push op | Pop op | Neg op | Not op | Call_ind op -> add_operand buf op
+  | Bin (_, dst, src) ->
+    add_operand buf dst;
+    add_operand buf src
+  | Shift (_, dst, k) ->
+    add_operand buf dst;
+    add_u8 buf k
+  | Jmp t | Call t -> add_target buf t
+  | Jcc (c, t) ->
+    add_u8 buf (Insn.cond_index c);
+    add_target buf t
+  | Setcc (c, r) ->
+    add_u8 buf (Insn.cond_index c);
+    add_reg buf r
+  | Rdrand r -> add_reg buf r
+  | Movq_to_xmm (x, r) | Pinsrq_high (x, r) ->
+    add_xmm buf x;
+    add_reg buf r
+  | Movq_from_xmm (r, x) ->
+    add_reg buf r;
+    add_xmm buf x
+  | Movhps_load (x, m) | Movdqu_load (x, m) | Pcmpeq128 (x, m) ->
+    add_xmm buf x;
+    add_mem buf m
+  | Movq_store (m, x) | Movdqu_store (m, x) ->
+    add_xmm buf x;
+    add_mem buf m
+  | Aesenc (dst, src) | Aesenclast (dst, src) ->
+    add_xmm buf dst;
+    add_xmm buf src
+
+let to_bytes insn =
+  let buf = Buffer.create 16 in
+  encode buf insn;
+  Buffer.to_bytes buf
+
+let length insn =
+  (* Symbols occupy the same width as resolved addresses, so measuring a
+     dummy-resolved copy gives the true length. *)
+  let resolved = Insn.resolve (fun _ -> 0L) insn in
+  Bytes.length (to_bytes resolved)
+
+let list_to_bytes insns =
+  let buf = Buffer.create 256 in
+  List.iter (encode buf) insns;
+  Buffer.to_bytes buf

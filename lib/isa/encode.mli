@@ -1,0 +1,28 @@
+(** Binary encoding of instructions.
+
+    The format is a compact, deterministic TLV-style encoding designed so
+    that the two properties the paper's binary rewriter (§V-C) depends on
+    hold by construction:
+
+    - memory operands always carry a fixed-width 4-byte displacement, so
+      changing a TLS offset (e.g. [%fs:0x28] → [%fs:0x2a8]) never changes
+      the instruction length;
+    - call/jump targets are fixed-width 8-byte absolute addresses, so
+      retargeting a call preserves layout.
+
+    Symbolic targets must be resolved before encoding. *)
+
+exception Unresolved_symbol of string
+
+val encode : Buffer.t -> Insn.t -> unit
+(** Append the encoding of one instruction.
+    Raises {!Unresolved_symbol} if the instruction still has a [Sym]
+    target. *)
+
+val to_bytes : Insn.t -> bytes
+
+val length : Insn.t -> int
+(** Encoded length in bytes. Defined for instructions with unresolved
+    [Sym] targets too (symbols encode at the same width as addresses). *)
+
+val list_to_bytes : Insn.t list -> bytes

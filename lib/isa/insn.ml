@@ -1,0 +1,114 @@
+type target = Sym of string | Abs of int64
+
+type cond = E | NE | L | LE | G | GE | B | BE | A | AE | S | NS
+
+let cond_name = function
+  | E -> "e" | NE -> "ne" | L -> "l" | LE -> "le" | G -> "g" | GE -> "ge"
+  | B -> "b" | BE -> "be" | A -> "a" | AE -> "ae" | S -> "s" | NS -> "ns"
+
+let cond_index = function
+  | E -> 0 | NE -> 1 | L -> 2 | LE -> 3 | G -> 4 | GE -> 5
+  | B -> 6 | BE -> 7 | A -> 8 | AE -> 9 | S -> 10 | NS -> 11
+
+let cond_of_index = function
+  | 0 -> Some E | 1 -> Some NE | 2 -> Some L | 3 -> Some LE
+  | 4 -> Some G | 5 -> Some GE | 6 -> Some B | 7 -> Some BE
+  | 8 -> Some A | 9 -> Some AE | 10 -> Some S | 11 -> Some NS
+  | _ -> None
+
+let negate_cond = function
+  | E -> NE | NE -> E | L -> GE | GE -> L | LE -> G | G -> LE
+  | B -> AE | AE -> B | BE -> A | A -> BE | S -> NS | NS -> S
+
+type binop = Add | Sub | Xor | And | Or | Cmp | Test | Imul | Idiv | Irem
+
+let binop_name = function
+  | Add -> "add" | Sub -> "sub" | Xor -> "xor" | And -> "and"
+  | Or -> "or" | Cmp -> "cmp" | Test -> "test" | Imul -> "imul"
+  | Idiv -> "idiv" | Irem -> "irem"
+
+let binop_index = function
+  | Add -> 0 | Sub -> 1 | Xor -> 2 | And -> 3
+  | Or -> 4 | Cmp -> 5 | Test -> 6 | Imul -> 7 | Idiv -> 8 | Irem -> 9
+
+let binop_of_index = function
+  | 0 -> Some Add | 1 -> Some Sub | 2 -> Some Xor | 3 -> Some And
+  | 4 -> Some Or | 5 -> Some Cmp | 6 -> Some Test | 7 -> Some Imul
+  | 8 -> Some Idiv | 9 -> Some Irem
+  | _ -> None
+
+type shiftop = Shl | Shr | Sar
+
+let shiftop_name = function Shl -> "shl" | Shr -> "shr" | Sar -> "sar"
+let shiftop_index = function Shl -> 0 | Shr -> 1 | Sar -> 2
+
+let shiftop_of_index = function
+  | 0 -> Some Shl | 1 -> Some Shr | 2 -> Some Sar | _ -> None
+
+type t =
+  | Nop
+  | Mov of Operand.t * Operand.t
+  | Movb of Operand.t * Operand.t
+  | Movl of Operand.t * Operand.t
+  | Lea of Reg.t * Operand.mem
+  | Push of Operand.t
+  | Pop of Operand.t
+  | Bin of binop * Operand.t * Operand.t
+  | Shift of shiftop * Operand.t * int
+  | Neg of Operand.t
+  | Not of Operand.t
+  | Jmp of target
+  | Jcc of cond * target
+  | Call of target
+  | Call_ind of Operand.t
+  | Ret
+  | Leave
+  | Setcc of cond * Reg.t
+  | Rdrand of Reg.t
+  | Rdtsc
+  | Syscall
+  | Hlt
+  | Movq_to_xmm of Reg.Xmm.t * Reg.t
+  | Movq_from_xmm of Reg.t * Reg.Xmm.t
+  | Pinsrq_high of Reg.Xmm.t * Reg.t
+  | Movhps_load of Reg.Xmm.t * Operand.mem
+  | Movq_store of Operand.mem * Reg.Xmm.t
+  | Movdqu_load of Reg.Xmm.t * Operand.mem
+  | Movdqu_store of Operand.mem * Reg.Xmm.t
+  | Aesenc of Reg.Xmm.t * Reg.Xmm.t
+  | Aesenclast of Reg.Xmm.t * Reg.Xmm.t
+  | Pcmpeq128 of Reg.Xmm.t * Operand.mem
+
+let equal (a : t) (b : t) = a = b
+
+let is_terminator = function
+  | Ret | Jmp _ | Hlt -> true
+  | Nop | Mov _ | Movb _ | Movl _ | Lea _ | Push _ | Pop _ | Bin _ | Shift _
+  | Neg _ | Not _ | Jcc _ | Call _ | Call_ind _ | Leave | Setcc _ | Rdrand _ | Rdtsc
+  | Syscall | Movq_to_xmm _ | Movq_from_xmm _ | Pinsrq_high _ | Movhps_load _
+  | Movq_store _ | Movdqu_load _ | Movdqu_store _ | Aesenc _ | Aesenclast _
+  | Pcmpeq128 _ -> false
+
+let target_symbols = function Sym s -> [ s ] | Abs _ -> []
+
+let mentioned_symbols = function
+  | Jmp t | Jcc (_, t) | Call t -> target_symbols t
+  | Nop | Mov _ | Movb _ | Movl _ | Lea _ | Push _ | Pop _ | Bin _ | Shift _
+  | Neg _ | Not _ | Call_ind _ | Ret | Leave | Setcc _ | Rdrand _ | Rdtsc
+  | Syscall | Hlt
+  | Movq_to_xmm _ | Movq_from_xmm _ | Pinsrq_high _ | Movhps_load _
+  | Movq_store _ | Movdqu_load _ | Movdqu_store _ | Aesenc _ | Aesenclast _
+  | Pcmpeq128 _ -> []
+
+let resolve lookup insn =
+  let target = function Sym s -> Abs (lookup s) | Abs _ as t -> t in
+  match insn with
+  | Jmp t -> Jmp (target t)
+  | Jcc (c, t) -> Jcc (c, target t)
+  | Call t -> Call (target t)
+  | Nop | Mov _ | Movb _ | Movl _ | Lea _ | Push _ | Pop _ | Bin _ | Shift _
+  | Neg _ | Not _ | Call_ind _ | Ret | Leave | Setcc _ | Rdrand _ | Rdtsc
+  | Syscall | Hlt
+  | Movq_to_xmm _ | Movq_from_xmm _ | Pinsrq_high _ | Movhps_load _
+  | Movq_store _ | Movdqu_load _ | Movdqu_store _ | Aesenc _ | Aesenclast _
+  | Pcmpeq128 _ -> insn

@@ -1,0 +1,79 @@
+(** The instruction set of the simulated machine.
+
+    A pragmatic x86-64 subset: everything the paper's Codes 1–9 emit
+    (mov/push/xor/cmp/je/call/ret/leave, [rdrand], [rdtsc], the XMM and
+    AES instructions of P-SSP-OWF) plus enough ALU/control flow for the
+    Mini-C compiler to target. All GPR operations are 64-bit unless the
+    mnemonic says otherwise ([Movb] = 8-bit, [Movl] = 32-bit
+    zero-extending). *)
+
+type target =
+  | Sym of string  (** unresolved symbol; assembler-level only *)
+  | Abs of int64  (** resolved absolute address *)
+
+type cond = E | NE | L | LE | G | GE | B | BE | A | AE | S | NS
+
+val cond_name : cond -> string
+val cond_index : cond -> int
+val cond_of_index : int -> cond option
+val negate_cond : cond -> cond
+
+type binop = Add | Sub | Xor | And | Or | Cmp | Test | Imul | Idiv | Irem
+
+val binop_name : binop -> string
+val binop_index : binop -> int
+val binop_of_index : int -> binop option
+
+type shiftop = Shl | Shr | Sar
+
+val shiftop_name : shiftop -> string
+val shiftop_index : shiftop -> int
+val shiftop_of_index : int -> shiftop option
+
+type t =
+  | Nop
+  | Mov of Operand.t * Operand.t  (** [Mov (dst, src)], 64-bit *)
+  | Movb of Operand.t * Operand.t  (** 8-bit; reg destinations merge low byte *)
+  | Movl of Operand.t * Operand.t  (** 32-bit; reg destinations zero-extend *)
+  | Lea of Reg.t * Operand.mem
+  | Push of Operand.t
+  | Pop of Operand.t
+  | Bin of binop * Operand.t * Operand.t  (** [dst op= src]; Cmp/Test only set flags *)
+  | Shift of shiftop * Operand.t * int
+  | Neg of Operand.t
+  | Not of Operand.t
+  | Jmp of target
+  | Jcc of cond * target
+  | Call of target
+  | Call_ind of Operand.t
+  | Ret
+  | Leave  (** mov %rbp,%rsp; pop %rbp *)
+  | Setcc of cond * Reg.t  (** reg := 1 if cond else 0 (whole register) *)
+  | Rdrand of Reg.t  (** hardware entropy; sets CF=1 on success (always, here) *)
+  | Rdtsc  (** cycle counter into rdx:rax *)
+  | Syscall  (** number in rax; handled by the OS layer *)
+  | Hlt
+  | Movq_to_xmm of Reg.Xmm.t * Reg.t  (** low qword := gpr, high qword := 0 *)
+  | Movq_from_xmm of Reg.t * Reg.Xmm.t  (** gpr := low qword *)
+  | Pinsrq_high of Reg.Xmm.t * Reg.t  (** high qword := gpr (models punpckhdq use) *)
+  | Movhps_load of Reg.Xmm.t * Operand.mem  (** high qword := mem64 *)
+  | Movq_store of Operand.mem * Reg.Xmm.t  (** mem64 := low qword *)
+  | Movdqu_load of Reg.Xmm.t * Operand.mem  (** 128-bit load *)
+  | Movdqu_store of Operand.mem * Reg.Xmm.t  (** 128-bit store *)
+  | Aesenc of Reg.Xmm.t * Reg.Xmm.t  (** one AES round: dst with round key src *)
+  | Aesenclast of Reg.Xmm.t * Reg.Xmm.t
+  | Pcmpeq128 of Reg.Xmm.t * Operand.mem
+      (** compare full 128 bits against memory; sets ZF (the paper's
+          [comiss]-based canary comparison, with exact semantics) *)
+
+val equal : t -> t -> bool
+
+val is_terminator : t -> bool
+(** Ret / Jmp / Hlt — ends a basic block unconditionally. *)
+
+val mentioned_symbols : t -> string list
+(** Unresolved [Sym] targets, for the linker. *)
+
+val resolve : (string -> int64) -> t -> t
+(** Replace every [Sym s] with [Abs (lookup s)].
+    Raises whatever [lookup] raises on unknown symbols. *)

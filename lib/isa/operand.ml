@@ -1,0 +1,77 @@
+type scale = S1 | S2 | S4 | S8
+
+let scale_factor = function S1 -> 1 | S2 -> 2 | S4 -> 4 | S8 -> 8
+
+let scale_of_factor = function
+  | 1 -> Some S1
+  | 2 -> Some S2
+  | 4 -> Some S4
+  | 8 -> Some S8
+  | _ -> None
+
+type mem = {
+  seg_fs : bool;
+  base : Reg.t option;
+  index : (Reg.t * scale) option;
+  disp : int64;
+}
+
+type t =
+  | Reg of Reg.t
+  | Imm of int64
+  | Mem of mem
+
+let reg r = Reg r
+let imm v = Imm v
+let imm_int v = Imm (Int64.of_int v)
+
+let disp_fits v = v >= Int64.of_int32 Int32.min_int && v <= Int64.of_int32 Int32.max_int
+
+let mem ?(seg_fs = false) ?base ?index disp =
+  if not (disp_fits disp) then
+    invalid_arg (Printf.sprintf "Operand.mem: displacement %Ld out of 32-bit range" disp);
+  Mem { seg_fs; base; index; disp }
+
+let mem_of ?(disp = 0L) r = mem ~base:r disp
+let fs disp = mem ~seg_fs:true disp
+let rbp_rel off = mem ~base:Reg.RBP (Int64.of_int off)
+let rsp_rel off = mem ~base:Reg.RSP (Int64.of_int off)
+
+let is_mem = function Mem _ -> true | Reg _ | Imm _ -> false
+
+let equal a b =
+  match (a, b) with
+  | Reg r1, Reg r2 -> Reg.equal r1 r2
+  | Imm v1, Imm v2 -> Int64.equal v1 v2
+  | Mem m1, Mem m2 ->
+    m1.seg_fs = m2.seg_fs
+    && Option.equal Reg.equal m1.base m2.base
+    && Option.equal
+         (fun (r1, s1) (r2, s2) -> Reg.equal r1 r2 && s1 = s2)
+         m1.index m2.index
+    && Int64.equal m1.disp m2.disp
+  | (Reg _ | Imm _ | Mem _), _ -> false
+
+let pp_mem fmt m =
+  if m.seg_fs then Format.fprintf fmt "%%fs:";
+  if m.disp <> 0L || (m.base = None && m.index = None) then begin
+    if Int64.compare m.disp 0L < 0 then
+      Format.fprintf fmt "-0x%Lx" (Int64.neg m.disp)
+    else Format.fprintf fmt "0x%Lx" m.disp
+  end;
+  match (m.base, m.index) with
+  | None, None -> ()
+  | base, index ->
+    Format.fprintf fmt "(";
+    (match base with Some b -> Reg.pp fmt b | None -> ());
+    (match index with
+    | Some (r, s) -> Format.fprintf fmt ",%a,%d" Reg.pp r (scale_factor s)
+    | None -> ());
+    Format.fprintf fmt ")"
+
+let pp fmt = function
+  | Reg r -> Reg.pp fmt r
+  | Imm v -> Format.fprintf fmt "$0x%Lx" v
+  | Mem m -> pp_mem fmt m
+
+let to_string op = Format.asprintf "%a" pp op

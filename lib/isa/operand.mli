@@ -1,0 +1,47 @@
+(** Instruction operands: registers, immediates and memory references.
+
+    Memory references follow x86 addressing: optional segment override
+    ([%fs] — the TLS segment, central to every canary scheme), optional
+    base register, optional scaled index, and a signed 32-bit
+    displacement. *)
+
+type scale = S1 | S2 | S4 | S8
+
+val scale_factor : scale -> int
+val scale_of_factor : int -> scale option
+
+type mem = {
+  seg_fs : bool;  (** address is relative to the FS (TLS) base *)
+  base : Reg.t option;
+  index : (Reg.t * scale) option;
+  disp : int64;  (** must fit in a signed 32-bit value *)
+}
+
+type t =
+  | Reg of Reg.t
+  | Imm of int64
+  | Mem of mem
+
+val reg : Reg.t -> t
+val imm : int64 -> t
+val imm_int : int -> t
+
+val mem : ?seg_fs:bool -> ?base:Reg.t -> ?index:Reg.t * scale -> int64 -> t
+(** [mem disp] builds a memory operand; raises [Invalid_argument] if the
+    displacement does not fit in 32 bits signed. *)
+
+val mem_of : ?disp:int64 -> Reg.t -> t
+(** [mem_of ~disp r] is [disp(r)] — base-plus-displacement. *)
+
+val fs : int64 -> t
+(** [fs disp] is the TLS access [%fs:disp]. *)
+
+val rbp_rel : int -> t
+(** [rbp_rel off] is [off(%rbp)] — the compiler's frame-slot access. *)
+
+val rsp_rel : int -> t
+
+val is_mem : t -> bool
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,54 @@
+type t =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+let all =
+  [ RAX; RBX; RCX; RDX; RSI; RDI; RBP; RSP; R8; R9; R10; R11; R12; R13; R14; R15 ]
+
+let index = function
+  | RAX -> 0 | RBX -> 1 | RCX -> 2 | RDX -> 3
+  | RSI -> 4 | RDI -> 5 | RBP -> 6 | RSP -> 7
+  | R8 -> 8 | R9 -> 9 | R10 -> 10 | R11 -> 11
+  | R12 -> 12 | R13 -> 13 | R14 -> 14 | R15 -> 15
+
+let of_index = function
+  | 0 -> Some RAX | 1 -> Some RBX | 2 -> Some RCX | 3 -> Some RDX
+  | 4 -> Some RSI | 5 -> Some RDI | 6 -> Some RBP | 7 -> Some RSP
+  | 8 -> Some R8 | 9 -> Some R9 | 10 -> Some R10 | 11 -> Some R11
+  | 12 -> Some R12 | 13 -> Some R13 | 14 -> Some R14 | 15 -> Some R15
+  | _ -> None
+
+let of_index_exn i =
+  match of_index i with
+  | Some r -> r
+  | None -> invalid_arg (Printf.sprintf "Reg.of_index_exn: %d" i)
+
+let name = function
+  | RAX -> "rax" | RBX -> "rbx" | RCX -> "rcx" | RDX -> "rdx"
+  | RSI -> "rsi" | RDI -> "rdi" | RBP -> "rbp" | RSP -> "rsp"
+  | R8 -> "r8" | R9 -> "r9" | R10 -> "r10" | R11 -> "r11"
+  | R12 -> "r12" | R13 -> "r13" | R14 -> "r14" | R15 -> "r15"
+
+let arg_registers = [ RDI; RSI; RDX; RCX; R8; R9 ]
+let callee_saved = [ RBX; RBP; R12; R13; R14; R15 ]
+
+let equal a b = index a = index b
+let pp fmt r = Format.fprintf fmt "%%%s" (name r)
+
+module Xmm = struct
+  type t = int
+
+  let of_index i = if i >= 0 && i <= 15 then Some i else None
+
+  let of_index_exn i =
+    match of_index i with
+    | Some x -> x
+    | None -> invalid_arg (Printf.sprintf "Reg.Xmm.of_index_exn: %d" i)
+
+  let index x = x
+  let name x = Printf.sprintf "xmm%d" x
+  let equal = Int.equal
+  let xmm0 = 0
+  let xmm1 = 1
+  let xmm15 = 15
+end

@@ -1,0 +1,41 @@
+(** General-purpose and XMM registers of the simulated x86-64-like CPU. *)
+
+type t =
+  | RAX | RBX | RCX | RDX | RSI | RDI | RBP | RSP
+  | R8 | R9 | R10 | R11 | R12 | R13 | R14 | R15
+
+val index : t -> int
+(** Stable 0..15 index, used by the binary encoding and the CPU file. *)
+
+val of_index : int -> t option
+val of_index_exn : int -> t
+
+val name : t -> string
+(** AT&T-style name without the [%], e.g. ["rax"]. *)
+
+val all : t list
+
+val arg_registers : t list
+(** SysV integer argument registers, in order: rdi rsi rdx rcx r8 r9. *)
+
+val callee_saved : t list
+(** rbx rbp r12 r13 r14 r15 — the set a callee must preserve.  P-SSP-OWF
+    relies on r12/r13 being here (§V-E3). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+
+(** 128-bit XMM registers (only a handful are used, by P-SSP-OWF). *)
+module Xmm : sig
+  type t
+
+  val of_index : int -> t option
+  val of_index_exn : int -> t
+  val index : t -> int
+  val name : t -> string
+  val equal : t -> t -> bool
+
+  val xmm0 : t
+  val xmm1 : t
+  val xmm15 : t
+end

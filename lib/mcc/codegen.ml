@@ -1,0 +1,426 @@
+open Isa
+open Isa.Insn
+open Minic
+
+let errorf fmt = Printf.ksprintf (fun s -> raise (Typecheck.Error s)) fmt
+
+let rax = Operand.reg Reg.RAX
+let rcx = Operand.reg Reg.RCX
+
+(* ---- data section ------------------------------------------------------ *)
+
+type data_section = {
+  buf : Buffer.t;
+  strings : (string, int64) Hashtbl.t;
+}
+
+let create_data () = { buf = Buffer.create 256; strings = Hashtbl.create 16 }
+
+let data_cursor d = Int64.add Vm64.Layout.data_base (Int64.of_int (Buffer.length d.buf))
+
+let pad_to_8 d =
+  while Buffer.length d.buf land 7 <> 0 do
+    Buffer.add_char d.buf '\000'
+  done
+
+let add_global d (decl : Ast.decl) =
+  pad_to_8 d;
+  let addr = data_cursor d in
+  let size = Ast.sizeof decl.Ast.d_ty in
+  let init =
+    match decl.Ast.d_init with
+    | Some (Ast.Eint v) -> v
+    | Some (Ast.Echar c) -> Int64.of_int (Char.code c)
+    | Some _ -> errorf "global %s: non-constant initialiser" decl.Ast.d_name
+    | None -> 0L
+  in
+  if size = 8 then begin
+    let b = Bytes.create 8 in
+    Bytes.set_int64_le b 0 init;
+    Buffer.add_bytes d.buf b
+  end
+  else if size = 1 then Buffer.add_char d.buf (Char.chr (Int64.to_int init land 0xFF))
+  else Buffer.add_bytes d.buf (Bytes.make size '\000');
+  addr
+
+let intern_string d s =
+  match Hashtbl.find_opt d.strings s with
+  | Some addr -> addr
+  | None ->
+    let addr = data_cursor d in
+    Buffer.add_string d.buf s;
+    Buffer.add_char d.buf '\000';
+    Hashtbl.add d.strings s addr;
+    addr
+
+let data_bytes d = Buffer.to_bytes d.buf
+
+(* ---- compilation context ------------------------------------------------ *)
+
+type unit_env = {
+  program : Ast.program;
+  scheme : Pssp.Scheme.t;
+  data : data_section;
+  global_addrs : (string * int64) list;
+}
+
+type ctx = {
+  env : unit_env;
+  b : Builder.t;
+  frame : Frame.t;
+  epilogue : string;
+  mutable loops : (string * string) list;  (* (break, continue) *)
+}
+
+type place =
+  | Local of Frame.slot
+  | Global of int64 * Ast.ty
+
+let place_of ctx name =
+  match Frame.find_slot ctx.frame name with
+  | Some s -> Local s
+  | None -> (
+    match List.assoc_opt name ctx.env.global_addrs with
+    | Some addr ->
+      let ty =
+        match
+          List.find_opt
+            (fun d -> String.equal d.Ast.d_name name)
+            ctx.env.program.Ast.globals
+        with
+        | Some d -> d.Ast.d_ty
+        | None -> assert false
+      in
+      Global (addr, ty)
+    | None -> errorf "%s: unknown variable %s" ctx.frame.Frame.func.Ast.f_name name)
+
+let place_ty = function
+  | Local s -> s.Frame.ty
+  | Global (_, ty) -> ty
+
+let emit ctx insn = Builder.emit ctx.b insn
+let emit_all ctx insns = Builder.emit_all ctx.b insns
+
+let cond_of_binop = function
+  | Ast.Eq -> E
+  | Ast.Ne -> NE
+  | Ast.Lt -> L
+  | Ast.Le -> LE
+  | Ast.Gt -> G
+  | Ast.Ge -> GE
+  | _ -> assert false
+
+(* ---- expressions -------------------------------------------------------- *)
+
+(* Every emit_expr leaves the value in rax. *)
+let rec emit_expr ctx e =
+  match e with
+  | Ast.Eint v -> emit ctx (Mov (rax, Operand.imm v))
+  | Ast.Echar c -> emit ctx (Mov (rax, Operand.imm_int (Char.code c)))
+  | Ast.Estr s ->
+    let addr = intern_string ctx.env.data s in
+    emit ctx (Mov (rax, Operand.imm addr))
+  | Ast.Evar name -> (
+    match place_of ctx name with
+    | Local s -> (
+      match s.Frame.ty with
+      | Ast.Tarray _ ->
+        emit ctx
+          (Lea (Reg.RAX, { seg_fs = false; base = Some Reg.RBP; index = None;
+                           disp = Int64.of_int s.Frame.offset }))
+      | Ast.Tchar ->
+        emit_all ctx
+          [ Bin (Xor, rax, rax); Movb (rax, Operand.rbp_rel s.Frame.offset) ]
+      | Ast.Tint | Ast.Tptr _ ->
+        emit ctx (Mov (rax, Operand.rbp_rel s.Frame.offset)))
+    | Global (addr, ty) -> (
+      match ty with
+      | Ast.Tarray _ -> emit ctx (Mov (rax, Operand.imm addr))
+      | Ast.Tchar ->
+        emit_all ctx [ Bin (Xor, rax, rax); Movb (rax, Operand.mem addr) ]
+      | Ast.Tint | Ast.Tptr _ -> emit ctx (Mov (rax, Operand.mem addr))))
+  | Ast.Eindex (base, idx) ->
+    let elem = index_elem_size ctx base in
+    emit_index_addr ctx base idx;
+    if elem = 1 then begin
+      emit_all ctx
+        [
+          Mov (rcx, rax);
+          Bin (Xor, rax, rax);
+          Movb (rax, Operand.mem_of Reg.RCX);
+        ]
+    end
+    else emit ctx (Mov (rax, Operand.mem_of Reg.RAX))
+  | Ast.Eaddr (Ast.Evar name)
+    when Ast.find_func ctx.env.program name <> None
+         || Typecheck.is_builtin name ->
+    Builder.emit_mov_sym ctx.b Reg.RAX name
+  | Ast.Eaddr lv -> emit_lvalue_addr ctx lv
+  | Ast.Eunop (op, e) -> (
+    emit_expr ctx e;
+    match op with
+    | Ast.Neg -> emit ctx (Neg rax)
+    | Ast.Bnot -> emit ctx (Not rax)
+    | Ast.Lnot ->
+      emit_all ctx [ Bin (Cmp, rax, Operand.imm 0L); Setcc (E, Reg.RAX) ])
+  | Ast.Ebinop (Ast.Land, a, b) ->
+    let l_false = Builder.fresh_label ctx.b "and_false" in
+    let l_end = Builder.fresh_label ctx.b "and_end" in
+    emit_expr ctx a;
+    emit_all ctx [ Bin (Cmp, rax, Operand.imm 0L); Jcc (E, Sym l_false) ];
+    emit_expr ctx b;
+    emit_all ctx [ Bin (Cmp, rax, Operand.imm 0L); Jcc (E, Sym l_false) ];
+    emit_all ctx [ Mov (rax, Operand.imm 1L); Jmp (Sym l_end) ];
+    Builder.label ctx.b l_false;
+    emit ctx (Mov (rax, Operand.imm 0L));
+    Builder.label ctx.b l_end
+  | Ast.Ebinop (Ast.Lor, a, b) ->
+    let l_true = Builder.fresh_label ctx.b "or_true" in
+    let l_end = Builder.fresh_label ctx.b "or_end" in
+    emit_expr ctx a;
+    emit_all ctx [ Bin (Cmp, rax, Operand.imm 0L); Jcc (NE, Sym l_true) ];
+    emit_expr ctx b;
+    emit_all ctx [ Bin (Cmp, rax, Operand.imm 0L); Jcc (NE, Sym l_true) ];
+    emit_all ctx [ Mov (rax, Operand.imm 0L); Jmp (Sym l_end) ];
+    Builder.label ctx.b l_true;
+    emit ctx (Mov (rax, Operand.imm 1L));
+    Builder.label ctx.b l_end
+  | Ast.Ebinop ((Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge) as op, a, b) ->
+    emit_binary_operands ctx a b;
+    emit_all ctx [ Bin (Cmp, rax, rcx); Setcc (cond_of_binop op, Reg.RAX) ]
+  | Ast.Ebinop ((Ast.Shl | Ast.Shr) as op, a, b) -> (
+    match b with
+    | Ast.Eint k when k >= 0L && k <= 63L ->
+      emit_expr ctx a;
+      let sop = if op = Ast.Shl then Shl else Shr in
+      emit ctx (Shift (sop, rax, Int64.to_int k))
+    | _ ->
+      errorf "%s: shift amounts must be integer literals in 0..63"
+        ctx.frame.Frame.func.Ast.f_name)
+  | Ast.Ebinop (op, a, b) ->
+    emit_binary_operands ctx a b;
+    let bop =
+      match op with
+      | Ast.Add -> Add
+      | Ast.Sub -> Sub
+      | Ast.Mul -> Imul
+      | Ast.Div -> Idiv
+      | Ast.Rem -> Irem
+      | Ast.Band -> And
+      | Ast.Bor -> Or
+      | Ast.Bxor -> Xor
+      | Ast.Eq | Ast.Ne | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Land
+      | Ast.Lor | Ast.Shl | Ast.Shr -> assert false
+    in
+    emit ctx (Bin (bop, rax, rcx))
+  | Ast.Ecall (name, args) ->
+    List.iter
+      (fun a ->
+        emit_expr ctx a;
+        emit ctx (Push rax))
+      args;
+    let nargs = List.length args in
+    if nargs > List.length Reg.arg_registers then
+      errorf "%s: more than 6 arguments in call to %s"
+        ctx.frame.Frame.func.Ast.f_name name;
+    let regs = List.filteri (fun i _ -> i < nargs) Reg.arg_registers in
+    List.iter (fun r -> emit ctx (Pop (Operand.reg r))) (List.rev regs);
+    emit ctx (Call (Sym name))
+
+(* lhs in rax, rhs in rcx *)
+and emit_binary_operands ctx a b =
+  emit_expr ctx a;
+  emit ctx (Push rax);
+  emit_expr ctx b;
+  emit_all ctx [ Mov (rcx, rax); Pop rax ]
+
+and index_elem_size ctx base =
+  match base with
+  | Ast.Evar name -> (
+    match place_ty (place_of ctx name) with
+    | (Ast.Tarray _ | Ast.Tptr _) as ty -> Ast.elem_size ty
+    | Ast.Tint | Ast.Tchar ->
+      errorf "%s: %s is not indexable" ctx.frame.Frame.func.Ast.f_name name)
+  | _ -> errorf "%s: only named arrays/pointers can be indexed"
+           ctx.frame.Frame.func.Ast.f_name
+
+(* Address of base[idx] into rax. *)
+and emit_index_addr ctx base idx =
+  let elem = index_elem_size ctx base in
+  emit_expr ctx idx;
+  emit ctx (Push rax);
+  emit_base_addr ctx base;
+  emit ctx (Pop rcx);
+  let scale = if elem = 1 then Operand.S1 else Operand.S8 in
+  emit ctx
+    (Lea (Reg.RAX, { seg_fs = false; base = Some Reg.RAX;
+                     index = Some (Reg.RCX, scale); disp = 0L }))
+
+(* Address of the start of an array, or value of a pointer. *)
+and emit_base_addr ctx base =
+  match base with
+  | Ast.Evar name -> (
+    match place_of ctx name with
+    | Local s -> (
+      match s.Frame.ty with
+      | Ast.Tarray _ ->
+        emit ctx
+          (Lea (Reg.RAX, { seg_fs = false; base = Some Reg.RBP; index = None;
+                           disp = Int64.of_int s.Frame.offset }))
+      | Ast.Tptr _ -> emit ctx (Mov (rax, Operand.rbp_rel s.Frame.offset))
+      | Ast.Tint | Ast.Tchar -> assert false)
+    | Global (addr, ty) -> (
+      match ty with
+      | Ast.Tarray _ -> emit ctx (Mov (rax, Operand.imm addr))
+      | Ast.Tptr _ -> emit ctx (Mov (rax, Operand.mem addr))
+      | Ast.Tint | Ast.Tchar -> assert false))
+  | _ -> assert false (* guarded by index_elem_size *)
+
+(* Address of an lvalue into rax. *)
+and emit_lvalue_addr ctx lv =
+  match lv with
+  | Ast.Evar name -> (
+    match place_of ctx name with
+    | Local s ->
+      emit ctx
+        (Lea (Reg.RAX, { seg_fs = false; base = Some Reg.RBP; index = None;
+                         disp = Int64.of_int s.Frame.offset }))
+    | Global (addr, _) -> emit ctx (Mov (rax, Operand.imm addr)))
+  | Ast.Eindex (base, idx) -> emit_index_addr ctx base idx
+  | _ -> errorf "%s: not an lvalue" ctx.frame.Frame.func.Ast.f_name
+
+(* ---- statements ---------------------------------------------------------- *)
+
+let store_scalar ctx place =
+  (* value in rax *)
+  match place with
+  | Local s -> (
+    match s.Frame.ty with
+    | Ast.Tchar -> emit ctx (Movb (Operand.rbp_rel s.Frame.offset, rax))
+    | Ast.Tint | Ast.Tptr _ -> emit ctx (Mov (Operand.rbp_rel s.Frame.offset, rax))
+    | Ast.Tarray _ -> assert false)
+  | Global (addr, ty) -> (
+    match ty with
+    | Ast.Tchar -> emit ctx (Movb (Operand.mem addr, rax))
+    | Ast.Tint | Ast.Tptr _ -> emit ctx (Mov (Operand.mem addr, rax))
+    | Ast.Tarray _ -> assert false)
+
+let rec emit_stmt ctx s =
+  match s with
+  | Ast.Sdecl d -> (
+    match d.Ast.d_init with
+    | None -> ()
+    | Some e ->
+      emit_expr ctx e;
+      store_scalar ctx (place_of ctx d.Ast.d_name))
+  | Ast.Sassign (Ast.Evar name, rhs) ->
+    emit_expr ctx rhs;
+    store_scalar ctx (place_of ctx name)
+  | Ast.Sassign ((Ast.Eindex (base, idx) as lhs), rhs) ->
+    ignore lhs;
+    let elem = index_elem_size ctx base in
+    emit_expr ctx rhs;
+    emit ctx (Push rax);
+    emit_index_addr ctx base idx;
+    emit_all ctx [ Mov (rcx, rax); Pop rax ];
+    if elem = 1 then emit ctx (Movb (Operand.mem_of Reg.RCX, rax))
+    else emit ctx (Mov (Operand.mem_of Reg.RCX, rax))
+  | Ast.Sassign (_, _) -> errorf "%s: bad assignment target" ctx.frame.Frame.func.Ast.f_name
+  | Ast.Sif (c, then_, else_) ->
+    let l_else = Builder.fresh_label ctx.b "else" in
+    let l_end = Builder.fresh_label ctx.b "endif" in
+    emit_expr ctx c;
+    emit_all ctx [ Bin (Cmp, rax, Operand.imm 0L); Jcc (E, Sym l_else) ];
+    emit_block ctx then_;
+    emit ctx (Jmp (Sym l_end));
+    Builder.label ctx.b l_else;
+    emit_block ctx else_;
+    Builder.label ctx.b l_end
+  | Ast.Swhile (c, body) ->
+    let l_start = Builder.fresh_label ctx.b "while" in
+    let l_end = Builder.fresh_label ctx.b "wend" in
+    Builder.label ctx.b l_start;
+    emit_expr ctx c;
+    emit_all ctx [ Bin (Cmp, rax, Operand.imm 0L); Jcc (E, Sym l_end) ];
+    ctx.loops <- (l_end, l_start) :: ctx.loops;
+    emit_block ctx body;
+    ctx.loops <- List.tl ctx.loops;
+    emit ctx (Jmp (Sym l_start));
+    Builder.label ctx.b l_end
+  | Ast.Sdo_while (body, c) ->
+    let l_body = Builder.fresh_label ctx.b "do" in
+    let l_cont = Builder.fresh_label ctx.b "docond" in
+    let l_end = Builder.fresh_label ctx.b "doend" in
+    Builder.label ctx.b l_body;
+    ctx.loops <- (l_end, l_cont) :: ctx.loops;
+    emit_block ctx body;
+    ctx.loops <- List.tl ctx.loops;
+    Builder.label ctx.b l_cont;
+    emit_expr ctx c;
+    emit_all ctx [ Bin (Cmp, rax, Operand.imm 0L); Jcc (NE, Sym l_body) ];
+    Builder.label ctx.b l_end
+  | Ast.Sfor (init, cond, step, body) ->
+    let l_cond = Builder.fresh_label ctx.b "for" in
+    let l_cont = Builder.fresh_label ctx.b "forstep" in
+    let l_end = Builder.fresh_label ctx.b "forend" in
+    Option.iter (emit_stmt ctx) init;
+    Builder.label ctx.b l_cond;
+    (match cond with
+    | Some c ->
+      emit_expr ctx c;
+      emit_all ctx [ Bin (Cmp, rax, Operand.imm 0L); Jcc (E, Sym l_end) ]
+    | None -> ());
+    ctx.loops <- (l_end, l_cont) :: ctx.loops;
+    emit_block ctx body;
+    ctx.loops <- List.tl ctx.loops;
+    Builder.label ctx.b l_cont;
+    Option.iter (emit_stmt ctx) step;
+    emit ctx (Jmp (Sym l_cond));
+    Builder.label ctx.b l_end
+  | Ast.Sreturn e ->
+    (match e with
+    | Some e -> emit_expr ctx e
+    | None -> emit ctx (Mov (rax, Operand.imm 0L)));
+    emit ctx (Jmp (Sym ctx.epilogue))
+  | Ast.Sexpr e -> emit_expr ctx e
+  | Ast.Sbreak -> (
+    match ctx.loops with
+    | (brk, _) :: _ -> emit ctx (Jmp (Sym brk))
+    | [] -> errorf "%s: break outside loop" ctx.frame.Frame.func.Ast.f_name)
+  | Ast.Scontinue -> (
+    match ctx.loops with
+    | (_, cont) :: _ -> emit ctx (Jmp (Sym cont))
+    | [] -> errorf "%s: continue outside loop" ctx.frame.Frame.func.Ast.f_name)
+  | Ast.Sblock b -> emit_block ctx b
+
+and emit_block ctx block = List.iter (emit_stmt ctx) block
+
+(* ---- whole function ------------------------------------------------------ *)
+
+let compile_function ?scheme env (func : Ast.func) =
+  let scheme = Option.value scheme ~default:env.scheme in
+  let b = Builder.create () in
+  let frame = Frame.layout ~scheme func in
+  let epilogue = Builder.fresh_label b "epilogue" in
+  let ctx = { env; b; frame; epilogue; loops = [] } in
+  Builder.emit_all b
+    [
+      Push (Operand.reg Reg.RBP);
+      Mov (Operand.reg Reg.RBP, Operand.reg Reg.RSP);
+      Bin (Sub, Operand.reg Reg.RSP, Operand.imm_int frame.Frame.frame_size);
+    ];
+  (* Spill parameters before the protection prologue so canary code may
+     clobber scratch/argument registers. *)
+  List.iteri
+    (fun i (name, _ty) ->
+      let s = Frame.slot frame name in
+      let r = List.nth Reg.arg_registers i in
+      Builder.emit b (Mov (Operand.rbp_rel s.Frame.offset, Operand.reg r)))
+    func.Ast.f_params;
+  Protect.prologue ~scheme b frame;
+  emit_block ctx func.Ast.f_body;
+  Builder.emit b (Mov (rax, Operand.imm 0L));
+  Builder.label b epilogue;
+  Protect.epilogue ~scheme b frame;
+  Builder.emit_all b [ Leave; Ret ];
+  b

@@ -1,0 +1,37 @@
+(** Mini-C to vm64 code generation for one function.
+
+    A simple accumulator model: every expression leaves its value in
+    rax; temporaries live on the stack, so no register allocation is
+    needed and nested calls are safe. Parameters are copied from the
+    SysV argument registers into frame slots before the protection
+    prologue runs (so canary code may clobber scratch registers
+    freely). *)
+
+type data_section
+(** Mutable rodata/data builder shared across a compilation unit. *)
+
+val create_data : unit -> data_section
+
+val add_global : data_section -> Minic.Ast.decl -> int64
+(** Reserve (and initialise) a global; returns its absolute address. *)
+
+val intern_string : data_section -> string -> int64
+(** Address of a NUL-terminated pooled string literal. *)
+
+val data_bytes : data_section -> bytes
+
+type unit_env = {
+  program : Minic.Ast.program;
+  scheme : Pssp.Scheme.t;
+  data : data_section;
+  global_addrs : (string * int64) list;
+}
+
+val compile_function :
+  ?scheme:Pssp.Scheme.t -> unit_env -> Minic.Ast.func -> Isa.Builder.t
+(** Emit a complete function (frame setup, protection prologue, body,
+    protection epilogue, return). Calls are left as symbolic targets for
+    the linker. [scheme] overrides the unit's scheme for this function —
+    how a binary mixes P-SSP and SSP code in one control flow (SVI-C).
+    Raises [Minic.Typecheck.Error] for constructs the backend cannot
+    compile (e.g. non-constant shift amounts). *)

@@ -1,0 +1,83 @@
+open Isa
+
+let static_stub_names = [ "fork"; "pthread_create"; "__stack_chk_fail" ]
+
+let stub_builder name =
+  let b = Builder.create () in
+  Builder.emit_all b [ Insn.Call (Insn.Abs (Os.Glibc.addr_of name)); Insn.Ret ];
+  b
+
+let preload_for (scheme : Pssp.Scheme.t) =
+  match scheme with
+  | Pssp.Scheme.Pssp -> Os.Preload.Pssp_wide
+  | Raf_ssp -> Os.Preload.Raf
+  | Dynaguard -> Os.Preload.Dynaguard_fix
+  | Dcr -> Os.Preload.Dcr_fix
+  | None_ | Ssp | Pssp_nt | Pssp_lv _ | Pssp_owf | Pssp_owf_weak | Pssp_gb ->
+    Os.Preload.No_preload
+
+let compile ?(name = "a.out") ?(scheme = Pssp.Scheme.Ssp)
+    ?(scheme_overrides = []) ?(linkage = Os.Image.Dynamic) ?(optimize = false)
+    (program : Minic.Ast.program) =
+  ignore (Minic.Typecheck.check program);
+  let program = if optimize then Minic.Fold.program program else program in
+  let data = Codegen.create_data () in
+  let global_addrs =
+    List.map
+      (fun d -> (d.Minic.Ast.d_name, Codegen.add_global data d))
+      program.Minic.Ast.globals
+  in
+  let env = { Codegen.program; scheme; data; global_addrs } in
+  let func_builders =
+    List.map
+      (fun f ->
+        let override = List.assoc_opt f.Minic.Ast.f_name scheme_overrides in
+        let b = Codegen.compile_function ?scheme:override env f in
+        (f.Minic.Ast.f_name, if optimize then Peephole.optimize b else b))
+      program.Minic.Ast.funcs
+  in
+  let stub_builders =
+    match linkage with
+    | Os.Image.Static -> List.map (fun n -> (n, stub_builder n)) static_stub_names
+    | Os.Image.Dynamic -> []
+  in
+  let builders = func_builders @ stub_builders in
+  (* First pass: assign addresses using encoded sizes (stable under
+     symbol resolution because targets are fixed-width). *)
+  let base = Vm64.Layout.text_base in
+  let addresses = Hashtbl.create 16 in
+  let cursor = ref base in
+  let sized =
+    List.map
+      (fun (fname, b) ->
+        let addr = !cursor in
+        let size = Builder.size b in
+        Hashtbl.add addresses fname addr;
+        cursor := Int64.add !cursor (Int64.of_int size);
+        (fname, b, addr, size))
+      builders
+  in
+  let externs sym =
+    match Hashtbl.find_opt addresses sym with
+    | Some addr -> Some addr
+    | None -> (
+      match Os.Glibc.addr_of sym with
+      | addr -> Some addr
+      | exception Invalid_argument _ -> None)
+  in
+  let text = Buffer.create 4096 in
+  let symbols =
+    List.map
+      (fun (fname, b, addr, size) ->
+        let assembled = Builder.assemble b ~base:addr ~externs in
+        assert (Bytes.length assembled.Builder.code = size);
+        Buffer.add_bytes text assembled.Builder.code;
+        { Os.Image.sym_name = fname; sym_addr = addr; sym_size = size })
+      sized
+  in
+  Os.Image.create ~name ~linkage ~data:(Codegen.data_bytes data)
+    ~scheme_tag:(Pssp.Scheme.name scheme) ~entry:"main"
+    ~text:(Buffer.to_bytes text) ~symbols ()
+
+let compile_source ?name ?scheme ?linkage ?optimize src =
+  compile ?name ?scheme ?linkage ?optimize (Minic.Parser.parse src)

@@ -1,0 +1,41 @@
+(** Whole-program compilation: Mini-C source → executable image.
+
+    The simulated equivalent of `clang -fstack-protector` /
+    `clang -fP-SSP …`: parse, typecheck, lay out data, codegen each
+    function with the selected protection pass, link against the
+    simulated glibc, and (for static linkage) embed local stubs for
+    [fork], [pthread_create] and [__stack_chk_fail] that the binary
+    rewriter can later hook (§V-D). *)
+
+val compile :
+  ?name:string ->
+  ?scheme:Pssp.Scheme.t ->
+  ?scheme_overrides:(string * Pssp.Scheme.t) list ->
+  ?linkage:Os.Image.linkage ->
+  ?optimize:bool ->
+  Minic.Ast.program ->
+  Os.Image.t
+(** Raises [Minic.Typecheck.Error] on invalid programs. [optimize]
+    (default false, mirroring the paper's default-options builds) runs
+    AST constant folding ({!Minic.Fold}) and the {!Peephole} pass over
+    every function. [scheme_overrides] selects a different protection
+    scheme for the named functions — the SVI-C mixed-deployment setting
+    (e.g. application code under P-SSP against library code under
+    SSP). *)
+
+val compile_source :
+  ?name:string ->
+  ?scheme:Pssp.Scheme.t ->
+  ?linkage:Os.Image.linkage ->
+  ?optimize:bool ->
+  string ->
+  Os.Image.t
+(** Parse then {!compile}. Raises parser/lexer errors as well. *)
+
+val preload_for : Pssp.Scheme.t -> Os.Preload.mode
+(** The runtime preload mode a compiler-based deployment of the scheme
+    needs ([Pssp] wants the wide shadow refresher, the baselines their
+    own fork fixups, everything else none). *)
+
+val static_stub_names : string list
+(** glibc functions embedded as local stubs under static linkage. *)

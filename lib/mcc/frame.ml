@@ -1,0 +1,93 @@
+open Minic
+
+type slot = { name : string; offset : int; ty : Ast.ty; critical : bool }
+
+type lv_canary = { canary_offset : int; guards : string }
+
+type t = {
+  func : Ast.func;
+  slots : slot list;
+  guarded : bool;
+  guard_words : int;
+  lv_canaries : lv_canary list;
+  frame_size : int;
+}
+
+let is_array = function Ast.Tarray _ -> true | _ -> false
+
+let align8 n = (n + 7) land lnot 7
+let align16 n = (n + 15) land lnot 15
+
+let scheme_guard_words (scheme : Pssp.Scheme.t) =
+  match scheme with
+  | Pssp.Scheme.None_ -> 0
+  | Ssp | Raf_ssp | Dynaguard | Dcr | Pssp_gb -> 1
+  | Pssp | Pssp_nt | Pssp_lv _ -> 2
+  | Pssp_owf | Pssp_owf_weak -> 3 (* nonce + 16-byte ciphertext *)
+
+let layout ~scheme (func : Ast.func) =
+  let locals = Typecheck.(block_decls func.Ast.f_body) in
+  let has_buffer =
+    List.exists (fun d -> is_array d.Ast.d_ty) locals
+  in
+  let guarded = has_buffer && not (Pssp.Scheme.equal scheme Pssp.Scheme.None_) in
+  let guard_words = if guarded then scheme_guard_words scheme else 0 in
+  let lv_mode =
+    guarded && (match scheme with Pssp.Scheme.Pssp_lv _ -> true | _ -> false)
+  in
+  (* Cursor walks down from rbp; [take n] reserves n bytes and returns the
+     offset of the *lowest* byte reserved. *)
+  let cursor = ref 0 in
+  let take bytes =
+    cursor := !cursor - align8 bytes;
+    !cursor
+  in
+  ignore (take (8 * guard_words));
+  let slots = ref [] in
+  let lv_canaries = ref [] in
+  let add_slot d =
+    let offset = take (Ast.sizeof d.Ast.d_ty) in
+    slots := { name = d.Ast.d_name; offset; ty = d.Ast.d_ty; critical = d.Ast.d_critical } :: !slots
+  in
+  let criticals, rest = List.partition (fun d -> lv_mode && d.Ast.d_critical) locals in
+  let arrays, scalars = List.partition (fun d -> is_array d.Ast.d_ty) rest in
+  (* P-SSP-LV: each critical variable's canary sits in the adjacent word
+     at a LOWER address (Algorithm 2), so an overflow ascending from a
+     buffer below kills the canary before reaching the variable. *)
+  List.iter
+    (fun d ->
+      add_slot d;
+      let canary_offset = take 8 in
+      lv_canaries := { canary_offset; guards = d.Ast.d_name } :: !lv_canaries)
+    criticals;
+  List.iter add_slot arrays;
+  List.iter add_slot scalars;
+  (* Parameters are copied out of registers into frame slots. *)
+  List.iter
+    (fun (name, ty) ->
+      let offset = take (Ast.sizeof ty) in
+      slots := { name; offset; ty; critical = false } :: !slots)
+    func.Ast.f_params;
+  {
+    func;
+    slots = List.rev !slots;
+    guarded;
+    guard_words;
+    lv_canaries = List.rev !lv_canaries;
+    frame_size = align16 (- !cursor);
+  }
+
+let find_slot t name = List.find_opt (fun s -> String.equal s.name name) t.slots
+
+let slot t name =
+  match find_slot t name with
+  | Some s -> s
+  | None ->
+    invalid_arg
+      (Printf.sprintf "Frame.slot: %s not in frame of %s" name t.func.Ast.f_name)
+
+let guard_offset t =
+  if not t.guarded then
+    invalid_arg
+      (Printf.sprintf "Frame.guard_offset: %s is unguarded" t.func.Ast.f_name);
+  -8

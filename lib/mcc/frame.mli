@@ -1,0 +1,51 @@
+(** Stack-frame layout.
+
+    Frames are rbp-based. From high to low addresses:
+
+    {v
+    [rbp+8]   return address
+    [rbp+0]   saved rbp
+    [rbp-8 ..]       guard region (scheme-dependent: 0/1/2/3 words)
+    (P-SSP-LV only)  per-critical-variable canaries interleaved
+    arrays           (buffers sit just below the guard, SSP-strong style,
+                      so an overflowing buffer hits a canary before any
+                      scalar)
+    scalars
+    v}
+
+    A function receives canary code only if it owns a local array — the
+    same policy as [-fstack-protector] and the paper's
+    [runOnFunction]. *)
+
+type slot = {
+  name : string;
+  offset : int;  (** rbp-relative, negative *)
+  ty : Minic.Ast.ty;
+  critical : bool;
+}
+
+type lv_canary = {
+  canary_offset : int;  (** rbp-relative slot of this canary *)
+  guards : string;  (** critical variable in the adjacent word above it *)
+}
+
+type t = {
+  func : Minic.Ast.func;
+  slots : slot list;  (** params (copied in) first, then locals *)
+  guarded : bool;  (** scheme canary code applies to this function *)
+  guard_words : int;  (** words reserved at rbp-8 downward for the guard *)
+  lv_canaries : lv_canary list;  (** ordered top (highest address) first *)
+  frame_size : int;  (** [sub rsp, frame_size]; 16-byte aligned *)
+}
+
+val layout : scheme:Pssp.Scheme.t -> Minic.Ast.func -> t
+(** Compute the layout of one function under the given scheme. *)
+
+val slot : t -> string -> slot
+(** Raises [Not_found] via [Invalid_argument] if the name is not local. *)
+
+val find_slot : t -> string -> slot option
+
+val guard_offset : t -> int
+(** rbp-relative offset of the first (highest) guard word, i.e. [-8].
+    Raises [Invalid_argument] if the frame is unguarded. *)

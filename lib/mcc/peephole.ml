@@ -1,0 +1,76 @@
+open Isa
+open Isa.Insn
+
+let touches_tls = function
+  | Mov (Operand.Mem m, _) | Mov (_, Operand.Mem m) -> m.Operand.seg_fs
+  | _ -> false
+
+(* One rewriting pass over the item list; returns the new list and the
+   number of rewrites performed. *)
+let pass items =
+  let count = ref 0 in
+  let rec go = function
+    (* push r ; pop r'  ->  mov r', r *)
+    | Builder.Instruction (Push (Operand.Reg src))
+      :: Builder.Instruction (Pop (Operand.Reg dst))
+      :: rest ->
+      incr count;
+      if Reg.equal src dst then go rest (* push r; pop r is a no-op *)
+      else
+        Builder.Instruction (Mov (Operand.Reg dst, Operand.Reg src)) :: go rest
+    (* mov r, r  ->  (nothing) *)
+    | Builder.Instruction (Mov (Operand.Reg a, Operand.Reg b)) :: rest
+      when Reg.equal a b ->
+      incr count;
+      go rest
+    (* mov $0, r  ->  xor r, r  (flag clobber is safe: codegen never
+       consumes flags across a mov) *)
+    | Builder.Instruction (Mov (Operand.Reg r, Operand.Imm 0L)) :: rest ->
+      incr count;
+      Builder.Instruction (Bin (Xor, Operand.Reg r, Operand.Reg r)) :: go rest
+    (* jmp L ; (labels...) containing L  ->  drop the jmp *)
+    | Builder.Instruction (Jmp (Sym target)) :: rest
+      when (let rec next_labels = function
+              | Builder.Label l :: tl ->
+                String.equal l target || next_labels tl
+              | _ -> false
+            in
+            next_labels rest) ->
+      incr count;
+      go rest
+    (* unreachable code after an unconditional terminator *)
+    | (Builder.Instruction term as t) :: rest when Insn.is_terminator term ->
+      let rec drop = function
+        | (Builder.Instruction insn as hd) :: tl ->
+          if touches_tls insn then hd :: drop tl (* conservative: keep *)
+          else begin
+            incr count;
+            drop tl
+          end
+        | (Builder.Sym_imm_mov _) :: tl ->
+          incr count;
+          drop tl
+        | other -> other
+      in
+      t :: go (drop rest)
+    | item :: rest -> item :: go rest
+    | [] -> []
+  in
+  let items = go items in
+  (items, !count)
+
+let optimize_items items =
+  let rec fixpoint items n =
+    if n > 8 then items
+    else begin
+      let items', count = pass items in
+      if count = 0 then items' else fixpoint items' (n + 1)
+    end
+  in
+  fixpoint items 0
+
+let optimize b = Builder.of_items (optimize_items (Builder.items b))
+
+let rewrites_applied b =
+  let _, count = pass (Builder.items b) in
+  count

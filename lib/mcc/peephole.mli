@@ -1,0 +1,20 @@
+(** Peephole optimisation over assembled-but-unlinked function bodies.
+
+    Local, semantics-preserving rewrites applied to fixpoint:
+    - [push r; pop r'] → [mov r',r] (the accumulator codegen's
+      argument-passing pattern);
+    - [mov r,r] → (deleted);
+    - [mov $0,r] → [xor r,r] (shorter encoding);
+    - a jump to the immediately following label → (deleted);
+    - unreachable instructions between an unconditional terminator
+      (jmp/ret/hlt) and the next label → (deleted).
+
+    None of the rewrites touches a TLS-accessing instruction, so the SSP
+    patterns the binary rewriter scans for survive optimisation
+    unchanged. *)
+
+val optimize : Isa.Builder.t -> Isa.Builder.t
+(** Returns a new builder; the input is not modified. *)
+
+val rewrites_applied : Isa.Builder.t -> int
+(** How many rewrites {!optimize} would perform (diagnostics/tests). *)

@@ -1,0 +1,316 @@
+open Isa
+open Isa.Insn
+
+let rax = Operand.reg Reg.RAX
+let rcx = Operand.reg Reg.RCX
+let rdx = Operand.reg Reg.RDX
+let rdi = Operand.reg Reg.RDI
+let r10 = Operand.reg Reg.R10
+let r11 = Operand.reg Reg.R11
+
+let fs_canary = Operand.fs Vm64.Layout.tls_canary_offset
+let fs_shadow0 = Operand.fs Vm64.Layout.tls_shadow_offset
+let fs_shadow1 = Operand.fs Vm64.Layout.tls_shadow_offset_hi
+let fs_dcr_head = Operand.fs Vm64.Layout.tls_dcr_head_offset
+
+let slot off = Operand.rbp_rel off
+
+let dg_count =
+  Operand.mem Vm64.Layout.dynaguard_buffer_base
+
+let gb_count = Operand.mem Vm64.Layout.global_canary_buffer_base
+
+let gb_entry reg =
+  (* buffer[1 + count] with the count in [reg] *)
+  Operand.mem
+    ~index:(reg, Operand.S8)
+    (Int64.add Vm64.Layout.global_canary_buffer_base 8L)
+
+let dg_entry =
+  (* buffer[1 + count]: base + 8 + count*8 with count in rax *)
+  Operand.mem
+    ~index:(Reg.RAX, Operand.S8)
+    (Int64.add Vm64.Layout.dynaguard_buffer_base 8L)
+
+let fail_check b cond_ok =
+  (* jcc ok; call __stack_chk_fail; ok: *)
+  let ok = Builder.fresh_label b "chk_ok" in
+  Builder.emit b (Jcc (cond_ok, Sym ok));
+  Builder.emit b (Call (Sym "__stack_chk_fail"));
+  Builder.label b ok
+
+(* ---- prologues --------------------------------------------------------- *)
+
+(* Code 1: classic SSP. *)
+let prologue_ssp b =
+  Builder.emit_all b [ Mov (rax, fs_canary); Mov (slot (-8), rax) ]
+
+(* Code 3: P-SSP — copy the two shadow halves. *)
+let prologue_pssp b =
+  Builder.emit_all b
+    [
+      Mov (rax, fs_shadow0);
+      Mov (slot (-8), rax);
+      Mov (rax, fs_shadow1);
+      Mov (slot (-16), rax);
+    ]
+
+(* Code 7: P-SSP-NT — split C afresh with rdrand at every call. *)
+let prologue_pssp_nt b =
+  Builder.emit_all b
+    [
+      Rdrand Reg.RAX;
+      Mov (slot (-8), rax);
+      Mov (rcx, fs_canary);
+      Bin (Xor, rcx, rax);
+      Mov (slot (-16), rcx);
+    ]
+
+(* Algorithm 2: P-SSP-LV — one canary per critical variable; all canaries
+   XOR to C. rcx accumulates the running XOR. *)
+let prologue_pssp_lv b (frame : Frame.t) =
+  Builder.emit_all b [ Rdrand Reg.RAX; Mov (slot (-8), rax); Mov (rcx, rax) ];
+  let n = List.length frame.Frame.lv_canaries in
+  List.iteri
+    (fun i (c : Frame.lv_canary) ->
+      if i < n - 1 then
+        Builder.emit_all b
+          [
+            Rdrand Reg.RAX;
+            Mov (slot c.Frame.canary_offset, rax);
+            Bin (Xor, rcx, rax);
+          ]
+      else
+        (* last canary = C xor (xor of all previous) *)
+        Builder.emit_all b
+          [
+            Mov (rax, fs_canary);
+            Bin (Xor, rax, rcx);
+            Mov (slot c.Frame.canary_offset, rax);
+          ])
+    frame.Frame.lv_canaries;
+  (* With no critical variables in this frame the single random C0 could
+     never be validated, so pair it NT-style at -16. *)
+  if n = 0 then begin
+    Builder.emit_all b
+      [ Mov (rax, fs_canary); Bin (Xor, rax, rcx); Mov (slot (-16), rax) ]
+  end
+  else
+    (* keep the -16 slot deterministic: C1 completing the ret-guard pair
+       is folded into the chain; mirror C0 there for layout uniformity *)
+    Builder.emit_all b [ Mov (rax, slot (-8)); Mov (slot (-16), rax) ]
+
+(* Code 8: P-SSP-OWF — canary = AES_{r12:r13}(nonce || retaddr).
+   [weak] drops the rdtsc nonce (the §IV-C ablation). *)
+let prologue_pssp_owf ?(weak = false) b =
+  Builder.emit_all b
+    (if weak then [ Mov (rax, Operand.imm 0L) ]
+     else [ Rdtsc; Shift (Shl, rdx, 0x20); Bin (Or, rax, rdx) ]);
+  Builder.emit_all b
+    [
+      Mov (slot (-8), rax) (* nonce *);
+      Movq_to_xmm (Reg.Xmm.xmm15, Reg.RAX);
+      Movhps_load (Reg.Xmm.xmm15, { seg_fs = false; base = Some Reg.RBP; index = None; disp = 8L });
+      Movq_to_xmm (Reg.Xmm.xmm1, Reg.R13);
+      Pinsrq_high (Reg.Xmm.xmm1, Reg.R12);
+      Call (Sym "AES_ENCRYPT_128");
+      Movdqu_store ({ seg_fs = false; base = Some Reg.RBP; index = None; disp = -24L }, Reg.Xmm.xmm15);
+    ]
+
+(* SVII-C: the global-buffer variant. The stack keeps only C0 (one word,
+   the SSP layout); C1 = C0 xor C is pushed into the per-process global
+   buffer, which fork clones along with the address space — so inherited
+   frames still verify in children, with the full 64-bit entropy. *)
+let prologue_pssp_gb b =
+  Builder.emit_all b
+    [
+      Rdrand Reg.RAX;
+      Mov (slot (-8), rax) (* C0 on the stack *);
+      Mov (rcx, fs_canary);
+      Bin (Xor, rcx, rax) (* C1 *);
+      Mov (rdx, gb_count);
+      Mov (gb_entry Reg.RDX, rcx);
+      Bin (Add, rdx, Operand.imm 1L);
+      Mov (gb_count, rdx);
+    ]
+
+let epilogue_pssp_gb b =
+  Builder.emit_all b
+    [
+      Mov (r10, gb_count);
+      Bin (Sub, r10, Operand.imm 1L);
+      Mov (gb_count, r10);
+      Mov (r11, gb_entry Reg.R10) (* C1 back from the buffer *);
+      Mov (rdx, slot (-8)) (* C0 from the stack *);
+      Bin (Xor, rdx, r11);
+      Bin (Xor, rdx, fs_canary);
+    ];
+  fail_check b E
+
+(* DynaGuard: SSP plus recording the canary's address in the canary
+   address buffer so the fork handler can rewrite it. *)
+let prologue_dynaguard b =
+  prologue_ssp b;
+  Builder.emit_all b
+    [
+      Mov (rax, dg_count);
+      Lea (Reg.RCX, { seg_fs = false; base = Some Reg.RBP; index = None; disp = -8L });
+      Mov (dg_entry, rcx);
+      Bin (Add, rax, Operand.imm 1L);
+      Mov (dg_count, rax);
+    ]
+
+(* DCR: the stack canary embeds the word-distance to the previous canary
+   (16 high bits); the TLS head pointer tracks the newest one. *)
+let prologue_dcr b =
+  let have = Builder.fresh_label b "dcr_have" in
+  let pack = Builder.fresh_label b "dcr_pack" in
+  Builder.emit_all b
+    [
+      Mov (rax, fs_canary);
+      Shift (Shl, rax, 16);
+      Shift (Shr, rax, 16) (* low48(C) *);
+      Mov (rcx, fs_dcr_head);
+      Bin (Test, rcx, rcx);
+      Jcc (NE, Sym have);
+      Mov (rdx, Operand.imm 0xFFFFL);
+      Jmp (Sym pack);
+    ];
+  Builder.label b have;
+  Builder.emit_all b
+    [
+      Mov (rdx, rcx);
+      Lea (Reg.R11, { seg_fs = false; base = Some Reg.RBP; index = None; disp = -8L });
+      Bin (Sub, rdx, r11);
+      Shift (Sar, rdx, 3);
+    ];
+  Builder.label b pack;
+  Builder.emit_all b
+    [
+      Shift (Shl, rdx, 48);
+      Bin (Or, rax, rdx);
+      Mov (slot (-8), rax);
+      Lea (Reg.R11, { seg_fs = false; base = Some Reg.RBP; index = None; disp = -8L });
+      Mov (fs_dcr_head, r11);
+    ]
+
+(* ---- epilogues ---------------------------------------------------------- *)
+
+(* Code 2: SSP check. *)
+let epilogue_ssp b =
+  Builder.emit_all b [ Mov (rdx, slot (-8)); Bin (Xor, rdx, fs_canary) ];
+  fail_check b E
+
+(* Code 4: P-SSP check — C0 xor C1 must equal C. *)
+let epilogue_pssp b =
+  Builder.emit_all b
+    [
+      Mov (rdx, slot (-8));
+      Mov (rdi, slot (-16));
+      Bin (Xor, rdx, rdi);
+      Bin (Xor, rdx, fs_canary);
+    ];
+  fail_check b E
+
+(* P-SSP-LV: XOR of every canary in the frame must equal C. *)
+let epilogue_pssp_lv b (frame : Frame.t) =
+  match frame.Frame.lv_canaries with
+  | [] -> epilogue_pssp b
+  | canaries ->
+    Builder.emit b (Mov (rdx, slot (-8)));
+    List.iter
+      (fun (c : Frame.lv_canary) ->
+        Builder.emit b (Bin (Xor, rdx, slot c.Frame.canary_offset)))
+      canaries;
+    Builder.emit b (Bin (Xor, rdx, fs_canary));
+    fail_check b E
+
+(* Code 9: P-SSP-OWF — recompute AES(nonce || retaddr) and compare the
+   full 128 bits. rcx is used to keep rax (return value) intact. *)
+let epilogue_pssp_owf b =
+  Builder.emit_all b
+    [
+      Mov (rcx, slot (-8));
+      Movq_to_xmm (Reg.Xmm.xmm15, Reg.RCX);
+      Movhps_load (Reg.Xmm.xmm15, { seg_fs = false; base = Some Reg.RBP; index = None; disp = 8L });
+      Movq_to_xmm (Reg.Xmm.xmm1, Reg.R13);
+      Pinsrq_high (Reg.Xmm.xmm1, Reg.R12);
+      Push rax;
+      Call (Sym "AES_ENCRYPT_128");
+      Pop rax;
+      Pcmpeq128 (Reg.Xmm.xmm15, { seg_fs = false; base = Some Reg.RBP; index = None; disp = -24L });
+    ];
+  fail_check b E
+
+let epilogue_dynaguard b =
+  epilogue_ssp b;
+  Builder.emit_all b
+    [
+      Mov (rdx, dg_count);
+      Bin (Sub, rdx, Operand.imm 1L);
+      Mov (dg_count, rdx);
+    ]
+
+let epilogue_dcr b =
+  let restore = Builder.fresh_label b "dcr_restore" in
+  let unlink = Builder.fresh_label b "dcr_unlink" in
+  let done_ = Builder.fresh_label b "dcr_done" in
+  Builder.emit_all b
+    [
+      Mov (rdx, slot (-8));
+      Mov (r10, rdx);
+      Shift (Shl, r10, 16);
+      Shift (Shr, r10, 16);
+      Mov (r11, fs_canary);
+      Shift (Shl, r11, 16);
+      Shift (Shr, r11, 16);
+      Bin (Xor, r10, r11);
+    ];
+  fail_check b E;
+  (* unlink: head := previous canary (or 0 at list end) *)
+  Builder.emit_all b
+    [
+      Mov (rcx, rdx);
+      Shift (Shr, rcx, 48);
+      Bin (Cmp, rcx, Operand.imm 0xFFFFL);
+      Jcc (NE, Sym restore);
+    ];
+  Builder.label b unlink;
+  Builder.emit_all b [ Mov (fs_dcr_head, Operand.imm 0L); Jmp (Sym done_) ];
+  Builder.label b restore;
+  Builder.emit_all b
+    [
+      Lea (Reg.R11, { seg_fs = false; base = Some Reg.RBP; index = None; disp = -8L });
+      Shift (Shl, rcx, 3);
+      Bin (Add, rcx, r11);
+      Mov (fs_dcr_head, rcx);
+    ];
+  Builder.label b done_
+
+(* ---- dispatch ----------------------------------------------------------- *)
+
+let prologue ~scheme b (frame : Frame.t) =
+  if frame.Frame.guarded then
+    match (scheme : Pssp.Scheme.t) with
+    | Pssp.Scheme.None_ -> ()
+    | Ssp | Raf_ssp -> prologue_ssp b
+    | Dynaguard -> prologue_dynaguard b
+    | Dcr -> prologue_dcr b
+    | Pssp -> prologue_pssp b
+    | Pssp_nt -> prologue_pssp_nt b
+    | Pssp_lv _ -> prologue_pssp_lv b frame
+    | Pssp_owf -> prologue_pssp_owf b
+    | Pssp_owf_weak -> prologue_pssp_owf ~weak:true b
+    | Pssp_gb -> prologue_pssp_gb b
+
+let epilogue ~scheme b (frame : Frame.t) =
+  if frame.Frame.guarded then
+    match (scheme : Pssp.Scheme.t) with
+    | Pssp.Scheme.None_ -> ()
+    | Ssp | Raf_ssp -> epilogue_ssp b
+    | Dynaguard -> epilogue_dynaguard b
+    | Dcr -> epilogue_dcr b
+    | Pssp | Pssp_nt -> epilogue_pssp b
+    | Pssp_lv _ -> epilogue_pssp_lv b frame
+    | Pssp_owf | Pssp_owf_weak -> epilogue_pssp_owf b
+    | Pssp_gb -> epilogue_pssp_gb b

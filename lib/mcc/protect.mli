@@ -1,0 +1,15 @@
+(** Scheme-specific prologue/epilogue emission — the compiler-plugin
+    half of the paper (its Codes 1, 2, 3, 4, 7, 8, 9, plus the
+    DynaGuard / DCR / RAF-SSP baselines of Table I).
+
+    [prologue] emits the canary setup code that belongs right after the
+    frame is established ([push %rbp; mov %rsp,%rbp; sub $N,%rsp]);
+    [epilogue] emits the check that belongs right before
+    [leaveq; retq]. Both are no-ops for unguarded frames. The failure
+    path calls the symbol ["__stack_chk_fail"], resolved at link time to
+    the glibc entry (dynamic) or a local stub (static). *)
+
+val prologue : scheme:Pssp.Scheme.t -> Isa.Builder.t -> Frame.t -> unit
+
+val epilogue : scheme:Pssp.Scheme.t -> Isa.Builder.t -> Frame.t -> unit
+(** Preserves rax (the return value). *)

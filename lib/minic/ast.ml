@@ -1,0 +1,84 @@
+type ty = Tint | Tchar | Tptr of ty | Tarray of ty * int
+
+let rec sizeof = function
+  | Tint -> 8
+  | Tchar -> 1
+  | Tptr _ -> 8
+  | Tarray (t, n) -> sizeof t * n
+
+let elem_size = function
+  | Tptr t -> sizeof t
+  | Tarray (t, _) -> sizeof t
+  | (Tint | Tchar) as t ->
+    invalid_arg ("Ast.elem_size: not indexable: " ^
+      (match t with Tint -> "int" | _ -> "char"))
+
+let rec ty_to_string = function
+  | Tint -> "int"
+  | Tchar -> "char"
+  | Tptr t -> ty_to_string t ^ "*"
+  | Tarray (t, n) -> Printf.sprintf "%s[%d]" (ty_to_string t) n
+
+type unop = Neg | Lnot | Bnot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor
+  | Band | Bor | Bxor | Shl | Shr
+
+let binop_to_string = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Rem -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Le -> "<=" | Gt -> ">" | Ge -> ">="
+  | Land -> "&&" | Lor -> "||"
+  | Band -> "&" | Bor -> "|" | Bxor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let unop_to_string = function Neg -> "-" | Lnot -> "!" | Bnot -> "~"
+
+type expr =
+  | Eint of int64
+  | Echar of char
+  | Estr of string
+  | Evar of string
+  | Eindex of expr * expr
+  | Eaddr of expr
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list
+
+type decl = {
+  d_name : string;
+  d_ty : ty;
+  d_critical : bool;
+  d_init : expr option;
+}
+
+type stmt =
+  | Sdecl of decl
+  | Sassign of expr * expr
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sdo_while of block * expr
+  | Sfor of stmt option * expr option * stmt option * block
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sbreak
+  | Scontinue
+  | Sblock of block
+
+and block = stmt list
+
+type func = {
+  f_name : string;
+  f_params : (string * ty) list;
+  f_ret : ty;
+  f_body : block;
+}
+
+type program = { globals : decl list; funcs : func list }
+
+let find_func p name = List.find_opt (fun f -> String.equal f.f_name name) p.funcs
+
+let is_lvalue = function
+  | Evar _ | Eindex _ -> true
+  | Eint _ | Echar _ | Estr _ | Eaddr _ | Eunop _ | Ebinop _ | Ecall _ -> false

@@ -1,0 +1,81 @@
+(** Abstract syntax of Mini-C — the C subset the evaluation programs are
+    written in.
+
+    Notable deviation from C: a declaration may carry the [critical]
+    qualifier, marking a local variable for P-SSP-LV protection
+    (§IV-B suggests letting the programmer specify sensitive
+    variables). *)
+
+type ty =
+  | Tint  (** 64-bit signed *)
+  | Tchar  (** byte *)
+  | Tptr of ty
+  | Tarray of ty * int
+
+val sizeof : ty -> int
+(** Storage size in bytes ([Tint]/[Tptr] = 8, [Tchar] = 1, arrays are
+    element size times length). *)
+
+val elem_size : ty -> int
+(** Size of the element an index expression steps by.
+    Raises [Invalid_argument] for non-indexable types. *)
+
+val ty_to_string : ty -> string
+
+type unop = Neg | Lnot | Bnot
+
+type binop =
+  | Add | Sub | Mul | Div | Rem
+  | Eq | Ne | Lt | Le | Gt | Ge
+  | Land | Lor  (** short-circuiting *)
+  | Band | Bor | Bxor | Shl | Shr
+
+val binop_to_string : binop -> string
+val unop_to_string : unop -> string
+
+type expr =
+  | Eint of int64
+  | Echar of char
+  | Estr of string  (** string literal: a pointer into rodata *)
+  | Evar of string
+  | Eindex of expr * expr  (** [a\[i\]] *)
+  | Eaddr of expr  (** [&lvalue] *)
+  | Eunop of unop * expr
+  | Ebinop of binop * expr * expr
+  | Ecall of string * expr list
+
+type decl = {
+  d_name : string;
+  d_ty : ty;
+  d_critical : bool;  (** P-SSP-LV protection requested *)
+  d_init : expr option;
+}
+
+type stmt =
+  | Sdecl of decl
+  | Sassign of expr * expr  (** lvalue, rvalue *)
+  | Sif of expr * block * block
+  | Swhile of expr * block
+  | Sdo_while of block * expr
+  | Sfor of stmt option * expr option * stmt option * block
+  | Sreturn of expr option
+  | Sexpr of expr
+  | Sbreak
+  | Scontinue
+  | Sblock of block
+
+and block = stmt list
+
+type func = {
+  f_name : string;
+  f_params : (string * ty) list;
+  f_ret : ty;
+  f_body : block;
+}
+
+type program = { globals : decl list; funcs : func list }
+
+val find_func : program -> string -> func option
+
+val is_lvalue : expr -> bool
+(** Variables and index expressions — things that denote storage. *)

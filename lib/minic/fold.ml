@@ -1,0 +1,99 @@
+open Ast
+
+let bool_to_int b = if b then 1L else 0L
+
+let eval_binop op a b =
+  match op with
+  | Add -> Some (Int64.add a b)
+  | Sub -> Some (Int64.sub a b)
+  | Mul -> Some (Int64.mul a b)
+  | Div -> if Int64.equal b 0L then None else Some (Int64.div a b)
+  | Rem -> if Int64.equal b 0L then None else Some (Int64.rem a b)
+  | Eq -> Some (bool_to_int (Int64.equal a b))
+  | Ne -> Some (bool_to_int (not (Int64.equal a b)))
+  | Lt -> Some (bool_to_int (Int64.compare a b < 0))
+  | Le -> Some (bool_to_int (Int64.compare a b <= 0))
+  | Gt -> Some (bool_to_int (Int64.compare a b > 0))
+  | Ge -> Some (bool_to_int (Int64.compare a b >= 0))
+  | Land -> Some (bool_to_int ((not (Int64.equal a 0L)) && not (Int64.equal b 0L)))
+  | Lor -> Some (bool_to_int ((not (Int64.equal a 0L)) || not (Int64.equal b 0L)))
+  | Band -> Some (Int64.logand a b)
+  | Bor -> Some (Int64.logor a b)
+  | Bxor -> Some (Int64.logxor a b)
+  | Shl -> Some (Int64.shift_left a (Int64.to_int b land 63))
+  | Shr -> Some (Int64.shift_right_logical a (Int64.to_int b land 63))
+
+let eval_unop op a =
+  match op with
+  | Neg -> Int64.neg a
+  | Lnot -> bool_to_int (Int64.equal a 0L)
+  | Bnot -> Int64.lognot a
+
+let lit_of = function
+  | Eint v -> Some v
+  | Echar c -> Some (Int64.of_int (Char.code c))
+  | _ -> None
+
+let rec expr e =
+  match e with
+  | Eint _ | Echar _ | Estr _ | Evar _ -> e
+  | Eindex (b, i) -> Eindex (expr b, expr i)
+  | Eaddr inner -> Eaddr (expr inner)
+  | Eunop (op, inner) -> (
+    let inner = expr inner in
+    match lit_of inner with
+    | Some v -> Eint (eval_unop op v)
+    | None -> Eunop (op, inner))
+  | Ebinop (op, a, b) -> (
+    let a = expr a and b = expr b in
+    match (lit_of a, lit_of b) with
+    | Some va, Some vb -> (
+      match eval_binop op va vb with
+      | Some v -> Eint v
+      | None -> Ebinop (op, a, b) (* division by literal zero: keep the fault *))
+    | _ -> Ebinop (op, a, b))
+  | Ecall (f, args) -> Ecall (f, List.map expr args)
+
+(* Dead branches lose their code but keep their declarations: Mini-C
+   scope is function-flat, so later statements may name them. *)
+let decls_only block =
+  List.map
+    (fun d -> Sdecl { d with d_init = None })
+    (Typecheck.block_decls block)
+
+let truthy e =
+  match lit_of e with
+  | Some v -> Some (not (Int64.equal v 0L))
+  | None -> None
+
+let rec stmt s =
+  match s with
+  | Sdecl d -> Sdecl { d with d_init = Option.map expr d.d_init }
+  | Sassign (l, r) -> Sassign (expr l, expr r)
+  | Sif (c, a, b) -> (
+    let c = expr c in
+    let a = block a and b = block b in
+    match truthy c with
+    | Some true -> Sblock (a @ decls_only b)
+    | Some false -> Sblock (decls_only a @ b)
+    | None -> Sif (c, a, b))
+  | Swhile (c, body) -> (
+    let c = expr c in
+    match truthy c with
+    | Some false -> Sblock (decls_only body)
+    | Some true | None -> Swhile (c, block body))
+  | Sdo_while (body, c) -> Sdo_while (block body, expr c)
+  | Sfor (init, cond, step, body) ->
+    Sfor (Option.map stmt init, Option.map expr cond, Option.map stmt step, block body)
+  | Sreturn e -> Sreturn (Option.map expr e)
+  | Sexpr e -> Sexpr (expr e)
+  | Sbreak | Scontinue -> s
+  | Sblock b -> Sblock (block b)
+
+and block b = List.map stmt b
+
+let program p =
+  {
+    p with
+    funcs = List.map (fun f -> { f with f_body = block f.f_body }) p.funcs;
+  }

@@ -1,0 +1,13 @@
+(** AST-level constant folding.
+
+    Semantics-preserving by construction:
+    - division/modulo by a literal zero is NOT folded (the runtime
+      fault must survive);
+    - shift folding uses the machine's amount masking (k land 63);
+    - a statically dead [if]/[while] branch is removed but its
+      declarations are kept (Mini-C scoping is function-flat, so later
+      code may legally reference them). *)
+
+val expr : Ast.expr -> Ast.expr
+
+val program : Ast.program -> Ast.program

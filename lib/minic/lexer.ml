@@ -1,0 +1,276 @@
+type token =
+  | INT of int64
+  | CHARLIT of char
+  | STRING of string
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_CRITICAL
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | EQEQ | NE | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | PLUSEQ | MINUSEQ
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let token_to_string = function
+  | INT v -> Int64.to_string v
+  | CHARLIT c -> Printf.sprintf "'%c'" c
+  | STRING s -> Printf.sprintf "%S" s
+  | IDENT s -> s
+  | KW_INT -> "int" | KW_CHAR -> "char" | KW_VOID -> "void"
+  | KW_IF -> "if" | KW_ELSE -> "else" | KW_WHILE -> "while"
+  | KW_DO -> "do" | KW_FOR -> "for"
+  | KW_RETURN -> "return" | KW_BREAK -> "break" | KW_CONTINUE -> "continue"
+  | KW_CRITICAL -> "critical"
+  | LPAREN -> "(" | RPAREN -> ")" | LBRACE -> "{" | RBRACE -> "}"
+  | LBRACKET -> "[" | RBRACKET -> "]"
+  | SEMI -> ";" | COMMA -> ","
+  | PLUS -> "+" | MINUS -> "-" | STAR -> "*" | SLASH -> "/" | PERCENT -> "%"
+  | EQ -> "=" | EQEQ -> "==" | NE -> "!=" | LT -> "<" | LE -> "<="
+  | GT -> ">" | GE -> ">="
+  | AMPAMP -> "&&" | PIPEPIPE -> "||" | BANG -> "!"
+  | AMP -> "&" | PIPE -> "|" | CARET -> "^" | TILDE -> "~"
+  | SHL -> "<<" | SHR -> ">>"
+  | PLUSEQ -> "+=" | MINUSEQ -> "-="
+  | PLUSPLUS -> "++" | MINUSMINUS -> "--"
+  | EOF -> "<eof>"
+
+exception Error of int * string
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "char" -> Some KW_CHAR
+  | "void" -> Some KW_VOID
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "critical" -> Some KW_CRITICAL
+  | _ -> None
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type state = { src : string; mutable pos : int; mutable line : int }
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with Some '\n' -> st.line <- st.line + 1 | _ -> ());
+  st.pos <- st.pos + 1
+
+let error st msg = raise (Error (st.line, msg))
+
+let escape st = function
+  | 'n' -> '\n'
+  | 't' -> '\t'
+  | 'r' -> '\r'
+  | '0' -> '\000'
+  | '\\' -> '\\'
+  | '\'' -> '\''
+  | '"' -> '"'
+  | c -> error st (Printf.sprintf "bad escape \\%c" c)
+
+let rec skip_trivia st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+    advance st;
+    skip_trivia st
+  | Some '/' when peek2 st = Some '/' ->
+    let rec to_eol () =
+      match peek st with
+      | Some '\n' | None -> ()
+      | Some _ ->
+        advance st;
+        to_eol ()
+    in
+    to_eol ();
+    skip_trivia st
+  | Some '/' when peek2 st = Some '*' ->
+    advance st;
+    advance st;
+    let rec to_close () =
+      match (peek st, peek2 st) with
+      | Some '*', Some '/' ->
+        advance st;
+        advance st
+      | None, _ -> error st "unterminated comment"
+      | Some _, _ ->
+        advance st;
+        to_close ()
+    in
+    to_close ();
+    skip_trivia st
+  | Some _ | None -> ()
+
+let lex_number st =
+  let start = st.pos in
+  let hex =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st;
+    let rec go () =
+      match peek st with
+      | Some c
+        when is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F') ->
+        advance st;
+        go ()
+      | Some _ | None -> ()
+    in
+    go ()
+  end
+  else begin
+    let rec go () =
+      match peek st with
+      | Some c when is_digit c ->
+        advance st;
+        go ()
+      | Some _ | None -> ()
+    in
+    go ()
+  end;
+  let text = String.sub st.src start (st.pos - start) in
+  match Int64.of_string_opt text with
+  | Some v -> INT v
+  | None -> error st (Printf.sprintf "bad integer literal %s" text)
+
+let lex_ident st =
+  let start = st.pos in
+  let rec go () =
+    match peek st with
+    | Some c when is_ident_char c ->
+      advance st;
+      go ()
+    | Some _ | None -> ()
+  in
+  go ();
+  let text = String.sub st.src start (st.pos - start) in
+  match keyword text with Some kw -> kw | None -> IDENT text
+
+let lex_string st =
+  advance st;
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string literal"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | None -> error st "unterminated escape"
+      | Some c ->
+        advance st;
+        Buffer.add_char buf (escape st c);
+        go ())
+    | Some c ->
+      advance st;
+      Buffer.add_char buf c;
+      go ()
+  in
+  go ();
+  STRING (Buffer.contents buf)
+
+let lex_charlit st =
+  advance st;
+  let c =
+    match peek st with
+    | None -> error st "unterminated char literal"
+    | Some '\\' -> (
+      advance st;
+      match peek st with
+      | None -> error st "unterminated escape"
+      | Some e ->
+        advance st;
+        escape st e)
+    | Some c ->
+      advance st;
+      c
+  in
+  match peek st with
+  | Some '\'' ->
+    advance st;
+    CHARLIT c
+  | _ -> error st "unterminated char literal"
+
+let two st tok =
+  advance st;
+  advance st;
+  tok
+
+let one st tok =
+  advance st;
+  tok
+
+let next_token st =
+  skip_trivia st;
+  match peek st with
+  | None -> EOF
+  | Some c -> (
+    match c with
+    | c when is_digit c -> lex_number st
+    | c when is_ident_start c -> lex_ident st
+    | '"' -> lex_string st
+    | '\'' -> lex_charlit st
+    | '(' -> one st LPAREN
+    | ')' -> one st RPAREN
+    | '{' -> one st LBRACE
+    | '}' -> one st RBRACE
+    | '[' -> one st LBRACKET
+    | ']' -> one st RBRACKET
+    | ';' -> one st SEMI
+    | ',' -> one st COMMA
+    | '+' -> (
+      match peek2 st with
+      | Some '=' -> two st PLUSEQ
+      | Some '+' -> two st PLUSPLUS
+      | _ -> one st PLUS)
+    | '-' -> (
+      match peek2 st with
+      | Some '=' -> two st MINUSEQ
+      | Some '-' -> two st MINUSMINUS
+      | _ -> one st MINUS)
+    | '*' -> one st STAR
+    | '/' -> one st SLASH
+    | '%' -> one st PERCENT
+    | '=' -> if peek2 st = Some '=' then two st EQEQ else one st EQ
+    | '!' -> if peek2 st = Some '=' then two st NE else one st BANG
+    | '<' -> (
+      match peek2 st with
+      | Some '=' -> two st LE
+      | Some '<' -> two st SHL
+      | _ -> one st LT)
+    | '>' -> (
+      match peek2 st with
+      | Some '=' -> two st GE
+      | Some '>' -> two st SHR
+      | _ -> one st GT)
+    | '&' -> if peek2 st = Some '&' then two st AMPAMP else one st AMP
+    | '|' -> if peek2 st = Some '|' then two st PIPEPIPE else one st PIPE
+    | '^' -> one st CARET
+    | '~' -> one st TILDE
+    | c -> error st (Printf.sprintf "unexpected character %C" c))
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1 } in
+  let rec loop acc =
+    let line = st.line in
+    match next_token st with
+    | EOF -> List.rev ((EOF, line) :: acc)
+    | tok -> loop ((tok, line) :: acc)
+  in
+  loop []

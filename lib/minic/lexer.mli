@@ -1,0 +1,29 @@
+(** Hand-written lexer for Mini-C. *)
+
+type token =
+  | INT of int64
+  | CHARLIT of char
+  | STRING of string
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_VOID
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR
+  | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_CRITICAL
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | EQ | EQEQ | NE | LT | LE | GT | GE
+  | AMPAMP | PIPEPIPE | BANG
+  | AMP | PIPE | CARET | TILDE | SHL | SHR
+  | PLUSEQ | MINUSEQ  (** sugar: [x += e] *)
+  | PLUSPLUS | MINUSMINUS  (** sugar: [x++], [x--] (statement position) *)
+  | EOF
+
+val token_to_string : token -> string
+
+exception Error of int * string
+(** [(line, message)]. *)
+
+val tokenize : string -> (token * int) list
+(** Token stream with line numbers; comments ([//] and [/* */]) and
+    whitespace are skipped. Raises {!Error} on bad input. *)

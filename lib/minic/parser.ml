@@ -1,0 +1,380 @@
+open Lexer
+
+exception Error of int * string
+
+type state = { toks : (token * int) array; mutable pos : int }
+
+let peek st = fst st.toks.(st.pos)
+let line st = snd st.toks.(st.pos)
+let advance st = if st.pos < Array.length st.toks - 1 then st.pos <- st.pos + 1
+
+let error st msg = raise (Error (line st, msg))
+
+let expect st tok =
+  if peek st = tok then advance st
+  else
+    error st
+      (Printf.sprintf "expected %s but found %s" (token_to_string tok)
+         (token_to_string (peek st)))
+
+let accept st tok =
+  if peek st = tok then begin
+    advance st;
+    true
+  end
+  else false
+
+let expect_ident st =
+  match peek st with
+  | IDENT name ->
+    advance st;
+    name
+  | other -> error st ("expected identifier, found " ^ token_to_string other)
+
+(* ---- types ------------------------------------------------------------- *)
+
+let base_type st =
+  match peek st with
+  | KW_INT ->
+    advance st;
+    Some Ast.Tint
+  | KW_CHAR ->
+    advance st;
+    Some Ast.Tchar
+  | KW_VOID ->
+    advance st;
+    Some Ast.Tint (* void functions return 0 implicitly *)
+  | _ -> None
+
+let wrap_pointers st ty =
+  let rec go ty = if accept st STAR then go (Ast.Tptr ty) else ty in
+  go ty
+
+(* ---- expressions ------------------------------------------------------- *)
+
+let rec primary st =
+  match peek st with
+  | INT v ->
+    advance st;
+    Ast.Eint v
+  | CHARLIT c ->
+    advance st;
+    Ast.Echar c
+  | STRING s ->
+    advance st;
+    Ast.Estr s
+  | IDENT name ->
+    advance st;
+    if accept st LPAREN then begin
+      let args = call_args st in
+      Ast.Ecall (name, args)
+    end
+    else Ast.Evar name
+  | LPAREN ->
+    advance st;
+    let e = expr st in
+    expect st RPAREN;
+    e
+  | other -> error st ("expected expression, found " ^ token_to_string other)
+
+and call_args st =
+  if accept st RPAREN then []
+  else begin
+    let rec go acc =
+      let e = expr st in
+      if accept st COMMA then go (e :: acc)
+      else begin
+        expect st RPAREN;
+        List.rev (e :: acc)
+      end
+    in
+    go []
+  end
+
+and postfix st =
+  let rec go e =
+    if accept st LBRACKET then begin
+      let idx = expr st in
+      expect st RBRACKET;
+      go (Ast.Eindex (e, idx))
+    end
+    else e
+  in
+  go (primary st)
+
+and unary st =
+  match peek st with
+  | MINUS ->
+    advance st;
+    Ast.Eunop (Ast.Neg, unary st)
+  | BANG ->
+    advance st;
+    Ast.Eunop (Ast.Lnot, unary st)
+  | TILDE ->
+    advance st;
+    Ast.Eunop (Ast.Bnot, unary st)
+  | AMP ->
+    advance st;
+    let e = unary st in
+    if not (Ast.is_lvalue e) then error st "& requires an lvalue";
+    Ast.Eaddr e
+  | _ -> postfix st
+
+(* Precedence climbing over binary operators. *)
+and binop_of_token = function
+  | STAR -> Some (Ast.Mul, 10)
+  | SLASH -> Some (Ast.Div, 10)
+  | PERCENT -> Some (Ast.Rem, 10)
+  | PLUS -> Some (Ast.Add, 9)
+  | MINUS -> Some (Ast.Sub, 9)
+  | SHL -> Some (Ast.Shl, 8)
+  | SHR -> Some (Ast.Shr, 8)
+  | LT -> Some (Ast.Lt, 7)
+  | LE -> Some (Ast.Le, 7)
+  | GT -> Some (Ast.Gt, 7)
+  | GE -> Some (Ast.Ge, 7)
+  | EQEQ -> Some (Ast.Eq, 6)
+  | NE -> Some (Ast.Ne, 6)
+  | AMP -> Some (Ast.Band, 5)
+  | CARET -> Some (Ast.Bxor, 4)
+  | PIPE -> Some (Ast.Bor, 3)
+  | AMPAMP -> Some (Ast.Land, 2)
+  | PIPEPIPE -> Some (Ast.Lor, 1)
+  | _ -> None
+
+and binary st min_prec =
+  let lhs = unary st in
+  let rec go lhs =
+    match binop_of_token (peek st) with
+    | Some (op, prec) when prec >= min_prec ->
+      advance st;
+      let rhs = binary st (prec + 1) in
+      go (Ast.Ebinop (op, lhs, rhs))
+    | Some _ | None -> lhs
+  in
+  go lhs
+
+and expr st = binary st 1
+
+(* ---- declarations ------------------------------------------------------ *)
+
+let declarator st base =
+  let ty = wrap_pointers st base in
+  let name = expect_ident st in
+  let ty =
+    if accept st LBRACKET then begin
+      match peek st with
+      | INT n ->
+        advance st;
+        expect st RBRACKET;
+        Ast.Tarray (ty, Int64.to_int n)
+      | _ -> error st "expected array length"
+    end
+    else ty
+  in
+  (name, ty)
+
+let local_decl st ~critical base =
+  let name, ty = declarator st base in
+  let init = if accept st EQ then Some (expr st) else None in
+  expect st SEMI;
+  { Ast.d_name = name; d_ty = ty; d_critical = critical; d_init = init }
+
+(* ---- statements -------------------------------------------------------- *)
+
+(* An assignment or expression statement (no trailing ';'). *)
+let simple_stmt st =
+  let e = expr st in
+  match peek st with
+  | EQ ->
+    advance st;
+    if not (Ast.is_lvalue e) then error st "assignment to non-lvalue";
+    let rhs = expr st in
+    Ast.Sassign (e, rhs)
+  | PLUSEQ ->
+    advance st;
+    if not (Ast.is_lvalue e) then error st "+= on non-lvalue";
+    let rhs = expr st in
+    Ast.Sassign (e, Ast.Ebinop (Ast.Add, e, rhs))
+  | MINUSEQ ->
+    advance st;
+    if not (Ast.is_lvalue e) then error st "-= on non-lvalue";
+    let rhs = expr st in
+    Ast.Sassign (e, Ast.Ebinop (Ast.Sub, e, rhs))
+  | PLUSPLUS ->
+    advance st;
+    if not (Ast.is_lvalue e) then error st "++ on non-lvalue";
+    Ast.Sassign (e, Ast.Ebinop (Ast.Add, e, Ast.Eint 1L))
+  | MINUSMINUS ->
+    advance st;
+    if not (Ast.is_lvalue e) then error st "-- on non-lvalue";
+    Ast.Sassign (e, Ast.Ebinop (Ast.Sub, e, Ast.Eint 1L))
+  | _ -> Ast.Sexpr e
+
+let rec stmt st =
+  match peek st with
+  | KW_CRITICAL -> (
+    advance st;
+    match base_type st with
+    | Some base -> Ast.Sdecl (local_decl st ~critical:true base)
+    | None -> error st "expected type after 'critical'")
+  | KW_INT | KW_CHAR -> (
+    match base_type st with
+    | Some base -> Ast.Sdecl (local_decl st ~critical:false base)
+    | None -> assert false)
+  | KW_IF ->
+    advance st;
+    expect st LPAREN;
+    let c = expr st in
+    expect st RPAREN;
+    let then_ = block_or_stmt st in
+    let else_ = if accept st KW_ELSE then block_or_stmt st else [] in
+    Ast.Sif (c, then_, else_)
+  | KW_WHILE ->
+    advance st;
+    expect st LPAREN;
+    let c = expr st in
+    expect st RPAREN;
+    Ast.Swhile (c, block_or_stmt st)
+  | KW_DO ->
+    advance st;
+    let body = block_or_stmt st in
+    expect st KW_WHILE;
+    expect st LPAREN;
+    let c = expr st in
+    expect st RPAREN;
+    expect st SEMI;
+    Ast.Sdo_while (body, c)
+  | KW_FOR ->
+    advance st;
+    expect st LPAREN;
+    (* the init clause may be a declaration: for (int i = 0; ...) *)
+    let init, init_consumed_semi =
+      match peek st with
+      | SEMI -> (None, false)
+      | KW_INT | KW_CHAR -> (
+        match base_type st with
+        | Some base -> (Some (Ast.Sdecl (local_decl st ~critical:false base)), true)
+        | None -> assert false)
+      | _ -> (Some (simple_stmt st), false)
+    in
+    if not init_consumed_semi then expect st SEMI;
+    let cond = if peek st = SEMI then None else Some (expr st) in
+    expect st SEMI;
+    let step = if peek st = RPAREN then None else Some (simple_stmt st) in
+    expect st RPAREN;
+    Ast.Sfor (init, cond, step, block_or_stmt st)
+  | KW_RETURN ->
+    advance st;
+    let e = if peek st = SEMI then None else Some (expr st) in
+    expect st SEMI;
+    Ast.Sreturn e
+  | KW_BREAK ->
+    advance st;
+    expect st SEMI;
+    Ast.Sbreak
+  | KW_CONTINUE ->
+    advance st;
+    expect st SEMI;
+    Ast.Scontinue
+  | LBRACE -> Ast.Sblock (block st)
+  | _ ->
+    let s = simple_stmt st in
+    expect st SEMI;
+    s
+
+and block st =
+  expect st LBRACE;
+  let rec go acc = if accept st RBRACE then List.rev acc else go (stmt st :: acc) in
+  go []
+
+and block_or_stmt st = if peek st = LBRACE then block st else [ stmt st ]
+
+(* ---- top level --------------------------------------------------------- *)
+
+let params st =
+  expect st LPAREN;
+  if accept st RPAREN then []
+  else if peek st = KW_VOID && fst st.toks.(st.pos + 1) = RPAREN then begin
+    advance st;
+    advance st;
+    []
+  end
+  else begin
+    let one () =
+      match base_type st with
+      | None -> error st "expected parameter type"
+      | Some base ->
+        let ty = wrap_pointers st base in
+        let name = expect_ident st in
+        let ty =
+          if accept st LBRACKET then begin
+            expect st RBRACKET;
+            Ast.Tptr ty (* array parameters decay to pointers *)
+          end
+          else ty
+        in
+        (name, ty)
+    in
+    let rec go acc =
+      let p = one () in
+      if accept st COMMA then go (p :: acc)
+      else begin
+        expect st RPAREN;
+        List.rev (p :: acc)
+      end
+    in
+    go []
+  end
+
+let top_level st =
+  let critical = accept st KW_CRITICAL in
+  match base_type st with
+  | None -> error st ("expected declaration, found " ^ token_to_string (peek st))
+  | Some base ->
+    let ty = wrap_pointers st base in
+    let name = expect_ident st in
+    if peek st = LPAREN then begin
+      if critical then error st "'critical' cannot qualify a function";
+      let ps = params st in
+      if accept st SEMI then `Proto
+      else begin
+        let body = block st in
+        `Func { Ast.f_name = name; f_params = ps; f_ret = ty; f_body = body }
+      end
+    end
+    else begin
+      let ty =
+        if accept st LBRACKET then begin
+          match peek st with
+          | INT n ->
+            advance st;
+            expect st RBRACKET;
+            Ast.Tarray (ty, Int64.to_int n)
+          | _ -> error st "expected array length"
+        end
+        else ty
+      in
+      let init = if accept st EQ then Some (expr st) else None in
+      expect st SEMI;
+      `Global { Ast.d_name = name; d_ty = ty; d_critical = critical; d_init = init }
+    end
+
+let parse src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let rec go globals funcs =
+    if peek st = EOF then
+      { Ast.globals = List.rev globals; funcs = List.rev funcs }
+    else
+      match top_level st with
+      | `Func f -> go globals (f :: funcs)
+      | `Proto -> go globals funcs
+      | `Global g -> go (g :: globals) funcs
+  in
+  go [] []
+
+let parse_expr src =
+  let st = { toks = Array.of_list (Lexer.tokenize src); pos = 0 } in
+  let e = expr st in
+  if peek st <> EOF then error st "trailing tokens after expression";
+  e

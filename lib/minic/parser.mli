@@ -1,0 +1,11 @@
+(** Recursive-descent parser for Mini-C. *)
+
+exception Error of int * string
+(** [(line, message)]. *)
+
+val parse : string -> Ast.program
+(** Parse a complete translation unit.
+    Raises {!Error} or {!Lexer.Error} on malformed input. *)
+
+val parse_expr : string -> Ast.expr
+(** Parse a single expression (testing convenience). *)

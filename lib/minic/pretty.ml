@@ -1,0 +1,133 @@
+open Ast
+
+let escape_char c =
+  match c with
+  | '\n' -> "\\n"
+  | '\t' -> "\\t"
+  | '\r' -> "\\r"
+  | '\000' -> "\\0"
+  | '\\' -> "\\\\"
+  | '\'' -> "\\'"
+  | '"' -> "\\\""
+  | c -> String.make 1 c
+
+let escape_string s = String.concat "" (List.map escape_char (List.init (String.length s) (String.get s)))
+
+let prec_of = function
+  | Mul | Div | Rem -> 10
+  | Add | Sub -> 9
+  | Shl | Shr -> 8
+  | Lt | Le | Gt | Ge -> 7
+  | Eq | Ne -> 6
+  | Band -> 5
+  | Bxor -> 4
+  | Bor -> 3
+  | Land -> 2
+  | Lor -> 1
+
+let rec expr_prec = function
+  | Eint _ | Echar _ | Estr _ | Evar _ | Ecall _ | Eindex _ -> 12
+  | Eunop _ | Eaddr _ -> 11
+  | Ebinop (op, _, _) -> prec_of op
+
+and render ctx e =
+  let s =
+    match e with
+    | Eint v -> Int64.to_string v
+    | Echar c -> Printf.sprintf "'%s'" (escape_char c)
+    | Estr s -> Printf.sprintf "\"%s\"" (escape_string s)
+    | Evar name -> name
+    | Eindex (b, i) -> Printf.sprintf "%s[%s]" (render 12 b) (render 0 i)
+    | Eaddr e -> "&" ^ render 11 e
+    | Eunop (op, e) ->
+      let inner = render 11 e in
+      (* "-(-5)" must not print as "--5": the lexer would see a decrement *)
+      if op = Neg && String.length inner > 0 && inner.[0] = '-' then
+        unop_to_string op ^ "(" ^ inner ^ ")"
+      else unop_to_string op ^ inner
+    | Ebinop (op, a, b) ->
+      let p = prec_of op in
+      Printf.sprintf "%s %s %s" (render p a) (binop_to_string op) (render (p + 1) b)
+    | Ecall (f, args) ->
+      Printf.sprintf "%s(%s)" f (String.concat ", " (List.map (render 0) args))
+  in
+  if expr_prec e < ctx then "(" ^ s ^ ")" else s
+
+let expr_to_string e = render 0 e
+
+let decl_to_string d =
+  let base, suffix =
+    match d.d_ty with
+    | Tarray (t, n) -> (ty_to_string t, Printf.sprintf "[%d]" n)
+    | t -> (ty_to_string t, "")
+  in
+  Printf.sprintf "%s%s %s%s%s"
+    (if d.d_critical then "critical " else "")
+    base d.d_name suffix
+    (match d.d_init with
+    | Some e -> " = " ^ expr_to_string e
+    | None -> "")
+
+let rec stmt_lines indent s =
+  let pad = String.make indent ' ' in
+  match s with
+  | Sdecl d -> [ pad ^ decl_to_string d ^ ";" ]
+  | Sassign (l, r) ->
+    [ Printf.sprintf "%s%s = %s;" pad (expr_to_string l) (expr_to_string r) ]
+  | Sif (c, a, []) ->
+    (pad ^ Printf.sprintf "if (%s) {" (expr_to_string c))
+    :: block_lines (indent + 2) a
+    @ [ pad ^ "}" ]
+  | Sif (c, a, b) ->
+    (pad ^ Printf.sprintf "if (%s) {" (expr_to_string c))
+    :: block_lines (indent + 2) a
+    @ [ pad ^ "} else {" ]
+    @ block_lines (indent + 2) b
+    @ [ pad ^ "}" ]
+  | Swhile (c, b) ->
+    (pad ^ Printf.sprintf "while (%s) {" (expr_to_string c))
+    :: block_lines (indent + 2) b
+    @ [ pad ^ "}" ]
+  | Sdo_while (b, c) ->
+    (pad ^ "do {")
+    :: block_lines (indent + 2) b
+    @ [ pad ^ Printf.sprintf "} while (%s);" (expr_to_string c) ]
+  | Sfor (init, cond, step, b) ->
+    let part f = function Some x -> f x | None -> "" in
+    let strip_semi s =
+      if String.length s > 0 && s.[String.length s - 1] = ';' then
+        String.sub s 0 (String.length s - 1)
+      else s
+    in
+    let simple s = strip_semi (String.trim (String.concat "" (stmt_lines 0 s))) in
+    (pad
+    ^ Printf.sprintf "for (%s; %s; %s) {" (part simple init)
+        (part expr_to_string cond) (part simple step))
+    :: block_lines (indent + 2) b
+    @ [ pad ^ "}" ]
+  | Sreturn None -> [ pad ^ "return;" ]
+  | Sreturn (Some e) -> [ pad ^ Printf.sprintf "return %s;" (expr_to_string e) ]
+  | Sexpr e -> [ pad ^ expr_to_string e ^ ";" ]
+  | Sbreak -> [ pad ^ "break;" ]
+  | Scontinue -> [ pad ^ "continue;" ]
+  | Sblock b -> (pad ^ "{") :: block_lines (indent + 2) b @ [ pad ^ "}" ]
+
+and block_lines indent b = List.concat_map (stmt_lines indent) b
+
+let stmt_to_string ?(indent = 0) s = String.concat "\n" (stmt_lines indent s)
+
+let param_to_string (name, ty) =
+  Printf.sprintf "%s %s" (ty_to_string ty) name
+
+let func_to_string f =
+  let header =
+    Printf.sprintf "%s %s(%s) {" (ty_to_string f.f_ret) f.f_name
+      (String.concat ", " (List.map param_to_string f.f_params))
+  in
+  String.concat "\n" ((header :: block_lines 2 f.f_body) @ [ "}" ])
+
+let program_to_string p =
+  let globals = List.map (fun d -> decl_to_string d ^ ";") p.globals in
+  let funcs = List.map func_to_string p.funcs in
+  String.concat "\n\n" (List.filter (fun s -> s <> "") [ String.concat "\n" globals ] @ funcs)
+  ^ "\n"

@@ -1,0 +1,8 @@
+(** Render Mini-C ASTs back to source. Parsing the output yields the
+    same AST (round-trip tested), which makes generated workloads easy
+    to inspect. *)
+
+val expr_to_string : Ast.expr -> string
+val stmt_to_string : ?indent:int -> Ast.stmt -> string
+val func_to_string : Ast.func -> string
+val program_to_string : Ast.program -> string

@@ -1,0 +1,230 @@
+exception Error of string
+
+let errorf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
+
+let builtins =
+  [
+    ("exit", 1); ("abort", 0); ("fork", 0); ("pthread_create", 2);
+    ("waitpid", 0); ("getpid", 0); ("accept", 0);
+    ("memcpy", 3); ("memmove", 3); ("memset", 3); ("memcmp", 3);
+    ("strcpy", 2); ("strncpy", 3); ("strcat", 2); ("strlen", 1); ("strcmp", 2);
+    ("read_input", 1); ("read_n", 2);
+    ("print_str", 1); ("print_int", 1); ("putchar", 1); ("puts", 1);
+    ("write_out", 2);
+    ("rand", 0); ("srand", 1); ("malloc", 1); ("free", 1);
+  ]
+
+let is_builtin name = List.mem_assoc name builtins
+
+type info = {
+  global_types : (string * Ast.ty) list;
+  func_returns : (string * Ast.ty) list;
+}
+
+(* Collect every local declaration in a block, recursively. *)
+let rec block_decls block = List.concat_map stmt_decls block
+
+and stmt_decls = function
+  | Ast.Sdecl d -> [ d ]
+  | Ast.Sif (_, a, b) -> block_decls a @ block_decls b
+  | Ast.Swhile (_, b) -> block_decls b
+  | Ast.Sdo_while (b, _) -> block_decls b
+  | Ast.Sfor (init, _, step, b) ->
+    (match init with Some s -> stmt_decls s | None -> [])
+    @ (match step with Some s -> stmt_decls s | None -> [])
+    @ block_decls b
+  | Ast.Sblock b -> block_decls b
+  | Ast.Sassign _ | Ast.Sreturn _ | Ast.Sexpr _ | Ast.Sbreak | Ast.Scontinue ->
+    []
+
+let type_of_var program (func : Ast.func) name =
+  match List.assoc_opt name func.Ast.f_params with
+  | Some ty -> Some ty
+  | None -> (
+    let locals = block_decls func.Ast.f_body in
+    match List.find_opt (fun d -> String.equal d.Ast.d_name name) locals with
+    | Some d -> Some d.Ast.d_ty
+    | None -> (
+      match
+        List.find_opt
+          (fun d -> String.equal d.Ast.d_name name)
+          program.Ast.globals
+      with
+      | Some d -> Some d.Ast.d_ty
+      | None -> None))
+
+type scope = {
+  program : Ast.program;
+  func : Ast.func;
+  mutable loop_depth : int;
+}
+
+let rec check_expr sc expr =
+  match expr with
+  | Ast.Eint _ | Ast.Echar _ | Ast.Estr _ -> ()
+  | Ast.Evar name -> (
+    match type_of_var sc.program sc.func name with
+    | Some _ -> ()
+    | None ->
+      errorf "%s: unknown variable %s" sc.func.Ast.f_name name)
+  | Ast.Eindex (base, idx) -> (
+    check_expr sc base;
+    check_expr sc idx;
+    match base with
+    | Ast.Evar name -> (
+      match type_of_var sc.program sc.func name with
+      | Some (Ast.Tarray _ | Ast.Tptr _) -> ()
+      | Some ty ->
+        errorf "%s: %s has type %s and cannot be indexed" sc.func.Ast.f_name
+          name (Ast.ty_to_string ty)
+      | None -> assert false (* caught above *))
+    | _ ->
+      errorf "%s: only named arrays/pointers can be indexed" sc.func.Ast.f_name)
+  | Ast.Eaddr e -> (
+    match e with
+    | Ast.Evar name
+      when Ast.find_func sc.program name <> None || is_builtin name ->
+      (* taking a function's address (e.g. for pthread_create) *)
+      ()
+    | _ ->
+      if not (Ast.is_lvalue e) then
+        errorf "%s: & of a non-lvalue" sc.func.Ast.f_name;
+      check_expr sc e)
+  | Ast.Eunop (_, e) -> check_expr sc e
+  | Ast.Ebinop (_, a, b) ->
+    check_expr sc a;
+    check_expr sc b
+  | Ast.Ecall (name, args) ->
+    List.iter (check_expr sc) args;
+    let arity =
+      match Ast.find_func sc.program name with
+      | Some f -> List.length f.Ast.f_params
+      | None -> (
+        match List.assoc_opt name builtins with
+        | Some n -> n
+        | None -> errorf "%s: call to unknown function %s" sc.func.Ast.f_name name)
+    in
+    if List.length args <> arity then
+      errorf "%s: %s expects %d argument(s), got %d" sc.func.Ast.f_name name
+        arity (List.length args)
+
+let rec check_stmt sc = function
+  | Ast.Sdecl d -> (
+    match d.Ast.d_init with
+    | Some e ->
+      (match d.Ast.d_ty with
+      | Ast.Tarray _ ->
+        errorf "%s: array %s cannot have a scalar initialiser"
+          sc.func.Ast.f_name d.Ast.d_name
+      | Ast.Tint | Ast.Tchar | Ast.Tptr _ -> ());
+      check_expr sc e
+    | None -> ())
+  | Ast.Sassign (lhs, rhs) ->
+    if not (Ast.is_lvalue lhs) then
+      errorf "%s: assignment to non-lvalue" sc.func.Ast.f_name;
+    (match lhs with
+    | Ast.Evar name -> (
+      match type_of_var sc.program sc.func name with
+      | Some (Ast.Tarray _) ->
+        errorf "%s: cannot assign to array %s" sc.func.Ast.f_name name
+      | Some _ | None -> ())
+    | _ -> ());
+    check_expr sc lhs;
+    check_expr sc rhs
+  | Ast.Sif (c, a, b) ->
+    check_expr sc c;
+    check_block sc a;
+    check_block sc b
+  | Ast.Swhile (c, b) ->
+    check_expr sc c;
+    sc.loop_depth <- sc.loop_depth + 1;
+    check_block sc b;
+    sc.loop_depth <- sc.loop_depth - 1
+  | Ast.Sdo_while (b, c) ->
+    sc.loop_depth <- sc.loop_depth + 1;
+    check_block sc b;
+    sc.loop_depth <- sc.loop_depth - 1;
+    check_expr sc c
+  | Ast.Sfor (init, cond, step, b) ->
+    Option.iter (check_stmt sc) init;
+    Option.iter (check_expr sc) cond;
+    sc.loop_depth <- sc.loop_depth + 1;
+    Option.iter (check_stmt sc) step;
+    check_block sc b;
+    sc.loop_depth <- sc.loop_depth - 1
+  | Ast.Sreturn e -> Option.iter (check_expr sc) e
+  | Ast.Sexpr e -> check_expr sc e
+  | Ast.Sbreak ->
+    if sc.loop_depth = 0 then
+      errorf "%s: break outside of a loop" sc.func.Ast.f_name
+  | Ast.Scontinue ->
+    if sc.loop_depth = 0 then
+      errorf "%s: continue outside of a loop" sc.func.Ast.f_name
+  | Ast.Sblock b -> check_block sc b
+
+and check_block sc block = List.iter (check_stmt sc) block
+
+let check_param_count func =
+  if List.length func.Ast.f_params > 6 then
+    errorf "%s: more than 6 parameters (register passing only)" func.Ast.f_name
+
+let check_no_duplicates func =
+  let names = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _) ->
+      if Hashtbl.mem names name then
+        errorf "%s: duplicate parameter %s" func.Ast.f_name name;
+      Hashtbl.add names name ())
+    func.Ast.f_params;
+  List.iter
+    (fun d ->
+      if Hashtbl.mem names d.Ast.d_name then
+        errorf "%s: duplicate declaration of %s (Mini-C forbids shadowing)"
+          func.Ast.f_name d.Ast.d_name;
+      Hashtbl.add names d.Ast.d_name ())
+    (block_decls func.Ast.f_body)
+
+let check program =
+  (* Global sanity. *)
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      if Hashtbl.mem seen d.Ast.d_name then
+        errorf "duplicate global %s" d.Ast.d_name;
+      Hashtbl.add seen d.Ast.d_name ();
+      match d.Ast.d_init with
+      | Some (Ast.Eint _) | Some (Ast.Echar _) | None -> ()
+      | Some _ -> errorf "global %s: only constant initialisers" d.Ast.d_name)
+    program.Ast.globals;
+  List.iter
+    (fun f ->
+      if Hashtbl.mem seen f.Ast.f_name then
+        errorf "duplicate definition of %s" f.Ast.f_name;
+      Hashtbl.add seen f.Ast.f_name ();
+      if is_builtin f.Ast.f_name then
+        errorf "%s: redefines a runtime builtin" f.Ast.f_name)
+    program.Ast.funcs;
+  (match Ast.find_func program "main" with
+  | Some _ -> ()
+  | None -> errorf "missing main function");
+  List.iter
+    (fun f ->
+      check_param_count f;
+      check_no_duplicates f;
+      List.iter
+        (fun d ->
+          ignore d)
+        (block_decls f.Ast.f_body);
+      let sc = { program; func = f; loop_depth = 0 } in
+      check_block sc f.Ast.f_body)
+    program.Ast.funcs;
+  (* critical only makes sense on locals (frame canaries). *)
+  List.iter
+    (fun d ->
+      if d.Ast.d_critical then
+        errorf "global %s: 'critical' applies to locals only" d.Ast.d_name)
+    program.Ast.globals;
+  {
+    global_types = List.map (fun d -> (d.Ast.d_name, d.Ast.d_ty)) program.Ast.globals;
+    func_returns = List.map (fun f -> (f.Ast.f_name, f.Ast.f_ret)) program.Ast.funcs;
+  }

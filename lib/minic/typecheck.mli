@@ -1,0 +1,30 @@
+(** Semantic checks for Mini-C programs, run before code generation.
+
+    Checked: name resolution, call arities (user functions and the
+    runtime builtins), indexability, lvalue-ness of assignments and
+    [&], [break]/[continue] placement, duplicate declarations (Mini-C
+    forbids shadowing, which keeps frame layout one-pass), and that
+    [critical] only qualifies locals. *)
+
+exception Error of string
+
+val builtins : (string * int) list
+(** Runtime (glibc) functions callable from Mini-C, with their arities. *)
+
+val is_builtin : string -> bool
+
+type info = {
+  global_types : (string * Ast.ty) list;
+  func_returns : (string * Ast.ty) list;
+}
+
+val check : Ast.program -> info
+(** Raises {!Error} on the first violation. *)
+
+val block_decls : Ast.block -> Ast.decl list
+(** Every local declaration in a block, recursively, in source order —
+    the set the compiler allocates frame slots for. *)
+
+val type_of_var : Ast.program -> Ast.func -> string -> Ast.ty option
+(** Look a name up in the scope of [func]: params, then every local
+    declared anywhere in its body, then globals. *)

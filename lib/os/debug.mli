@@ -1,0 +1,32 @@
+(** Post-mortem debugging aids: an execution ring tracer and an
+    rbp-chain stack unwinder — what you reach for when a canary scheme
+    misbehaves in the simulator. *)
+
+type tracer
+
+val ring_tracer : capacity:int -> tracer
+(** Keep the last [capacity] retired instructions. *)
+
+val on_retire : tracer -> Vm64.Cpu.t -> Isa.Insn.t -> unit
+(** Plug into {!Kernel.create}'s [on_retire]. *)
+
+val recent : tracer -> ?image:Image.t -> unit -> string list
+(** The retained tail, oldest first, formatted as
+    ["<rip>: <instruction>"] with call targets symbolised when an image
+    is supplied. *)
+
+val retired : tracer -> int
+(** Total instructions seen (not just the retained window). *)
+
+type frame = {
+  frame_rbp : int64;
+  return_address : int64;
+  in_function : string option;  (** symbol covering the return address *)
+}
+
+val backtrace : ?limit:int -> Process.t -> frame list
+(** Walk the saved-rbp chain from the process's current rbp. Robust to
+    corruption: stops at unmapped or non-monotonic frame pointers
+    (a smashed chain simply yields a short trace). *)
+
+val pp_backtrace : Format.formatter -> frame list -> unit

@@ -1,0 +1,314 @@
+open Vm64
+
+type control =
+  | Exit of int
+  | Abort of string
+  | Fork
+  | Spawn_thread of { start : int64; arg : int64 }
+  | Wait_child
+  | Accept
+
+type outcome = Ret of int64 | Control of control
+
+type io = {
+  mutable input : bytes;
+  mutable input_pos : int;
+  output : Buffer.t;
+  errout : Buffer.t;
+  mutable brk : int64;
+}
+
+let make_io () =
+  {
+    input = Bytes.create 0;
+    input_pos = 0;
+    output = Buffer.create 64;
+    errout = Buffer.create 64;
+    brk = Layout.heap_base;
+  }
+
+let clone_io io =
+  {
+    input = Bytes.copy io.input;
+    input_pos = io.input_pos;
+    output = Buffer.create 64;
+    errout = Buffer.create 64;
+    brk = io.brk;
+  }
+
+let set_input io data =
+  io.input <- Bytes.copy data;
+  io.input_pos <- 0
+
+let names =
+  [
+    "exit";
+    "abort";
+    "fork";
+    "pthread_create";
+    "waitpid";
+    "getpid";
+    "accept";
+    "__stack_chk_fail";
+    "__stack_chk_fail_pssp";
+    "__GI__fortify_fail";
+    "memcpy";
+    "memmove";
+    "memset";
+    "memcmp";
+    "strcpy";
+    "strncpy";
+    "strcat";
+    "strlen";
+    "strcmp";
+    "read_input";
+    "read_n";
+    "print_str";
+    "print_int";
+    "putchar";
+    "puts";
+    "write_out";
+    "rand";
+    "srand";
+    "malloc";
+    "free";
+    "AES_ENCRYPT_128";
+  ]
+
+let slot_table = Hashtbl.create 64
+
+let () =
+  List.iteri
+    (fun i name ->
+      let addr =
+        Int64.add Layout.glibc_base (Int64.of_int (i * Layout.glibc_slot_size))
+      in
+      Hashtbl.add slot_table name addr)
+    names
+
+let addr_of name =
+  match Hashtbl.find_opt slot_table name with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Glibc.addr_of: unknown builtin %s" name)
+
+let addr_table =
+  let t = Hashtbl.create 64 in
+  List.iter (fun name -> Hashtbl.add t (addr_of name) name) names;
+  t
+
+let name_of_addr addr = Hashtbl.find_opt addr_table addr
+
+(* ---- helpers ---------------------------------------------------------- *)
+
+let arg cpu i =
+  match i with
+  | 0 -> Cpu.get cpu Isa.Reg.RDI
+  | 1 -> Cpu.get cpu Isa.Reg.RSI
+  | 2 -> Cpu.get cpu Isa.Reg.RDX
+  | _ -> invalid_arg "Glibc.arg"
+
+let charge cpu n = Cpu.add_cycles cpu n
+let charge_bytes cpu n = charge cpu (Cost.builtin_base_cycles + (n * Cost.builtin_byte_cycles))
+
+let read_cstring mem addr =
+  let buf = Buffer.create 32 in
+  let rec loop a =
+    let b = Memory.read_u8 mem a in
+    if b <> 0 then begin
+      Buffer.add_char buf (Char.chr b);
+      loop (Int64.add a 1L)
+    end
+  in
+  loop addr;
+  Buffer.contents buf
+
+let write_string_raw mem addr s =
+  String.iteri (fun i c -> Memory.write_u8 mem (Int64.add addr (Int64.of_int i)) (Char.code c)) s
+
+(* ---- the canary-check routine patched into __stack_chk_fail (Fig. 4) -- *)
+
+let stack_chk_fail_pssp cpu mem =
+  (* rdi carries the candidate canary word: C1 (high 32) || C0 (low 32).
+     If C0 xor C1 equals the low half of the TLS canary, set ZF and
+     return; otherwise fall through to __GI__fortify_fail. This keeps
+     compatibility with plain SSP epilogues, whose (already mismatching)
+     rdi fails the test with overwhelming probability. *)
+  let candidate = Cpu.get cpu Isa.Reg.RDI in
+  let tls_canary = Pssp.Tls.canary mem ~fs_base:cpu.Cpu.fs_base in
+  (* cost of the real check-and-fail routine: the ~12 ALU/mov
+     instructions of Fig. 4 plus PLT indirection and the call/ret pair
+     the epilogue pays to reach it *)
+  charge cpu 28;
+  if Pssp.Canary.packed32_checks_out ~tls_canary candidate then begin
+    cpu.Cpu.flags.Cpu.zf <- true;
+    (* runs inside the epilogue: rax holds the function's return value
+       and must survive the check *)
+    Ret (Cpu.get cpu Isa.Reg.RAX)
+  end
+  else Control (Abort "*** buffer overflow detected ***: terminated")
+
+(* ---- dispatch --------------------------------------------------------- *)
+
+let dispatch ~name cpu mem ~pid io =
+  match name with
+  | "exit" ->
+    charge cpu Cost.builtin_base_cycles;
+    Control (Exit (Int64.to_int (arg cpu 0)))
+  | "abort" ->
+    charge cpu Cost.builtin_base_cycles;
+    Control (Abort "Aborted")
+  | "fork" ->
+    charge cpu Cost.fork_cycles;
+    Control Fork
+  | "pthread_create" ->
+    charge cpu Cost.fork_cycles;
+    Control (Spawn_thread { start = arg cpu 0; arg = arg cpu 1 })
+  | "waitpid" ->
+    charge cpu Cost.syscall_cycles;
+    Control Wait_child
+  | "getpid" ->
+    charge cpu Cost.builtin_base_cycles;
+    Ret (Int64.of_int pid)
+  | "accept" ->
+    charge cpu Cost.syscall_cycles;
+    Control Accept
+  | "__stack_chk_fail" ->
+    Buffer.add_string io.errout "*** stack smashing detected ***: terminated\n";
+    Control (Abort "*** stack smashing detected ***: terminated")
+  | "__stack_chk_fail_pssp" -> (
+    match stack_chk_fail_pssp cpu mem with
+    | Control (Abort msg) as c ->
+      Buffer.add_string io.errout (msg ^ "\n");
+      c
+    | other -> other)
+  | "__GI__fortify_fail" ->
+    Buffer.add_string io.errout "*** buffer overflow detected ***: terminated\n";
+    Control (Abort "*** buffer overflow detected ***: terminated")
+  | "memcpy" | "memmove" ->
+    let dst = arg cpu 0 and src = arg cpu 1 and n = Int64.to_int (arg cpu 2) in
+    charge_bytes cpu n;
+    if n > 0 then Memory.write_bytes mem dst (Memory.read_bytes mem src n);
+    Ret dst
+  | "memset" ->
+    let dst = arg cpu 0 and c = Int64.to_int (arg cpu 1) and n = Int64.to_int (arg cpu 2) in
+    charge_bytes cpu n;
+    if n > 0 then Memory.write_bytes mem dst (Bytes.make n (Char.chr (c land 0xFF)));
+    Ret dst
+  | "memcmp" ->
+    let a = arg cpu 0 and b = arg cpu 1 and n = Int64.to_int (arg cpu 2) in
+    charge_bytes cpu n;
+    let r =
+      if n <= 0 then 0
+      else compare (Memory.read_bytes mem a n) (Memory.read_bytes mem b n)
+    in
+    Ret (Int64.of_int r)
+  | "strcpy" ->
+    let dst = arg cpu 0 and src = arg cpu 1 in
+    let s = read_cstring mem src in
+    charge_bytes cpu (String.length s + 1);
+    write_string_raw mem dst s;
+    Memory.write_u8 mem (Int64.add dst (Int64.of_int (String.length s))) 0;
+    Ret dst
+  | "strncpy" ->
+    let dst = arg cpu 0 and src = arg cpu 1 and n = Int64.to_int (arg cpu 2) in
+    let s = read_cstring mem src in
+    let len = Stdlib.min (String.length s) n in
+    charge_bytes cpu n;
+    write_string_raw mem dst (String.sub s 0 len);
+    for i = len to n - 1 do
+      Memory.write_u8 mem (Int64.add dst (Int64.of_int i)) 0
+    done;
+    Ret dst
+  | "strcat" ->
+    let dst = arg cpu 0 and src = arg cpu 1 in
+    let existing = read_cstring mem dst in
+    let s = read_cstring mem src in
+    charge_bytes cpu (String.length existing + String.length s + 1);
+    let at = Int64.add dst (Int64.of_int (String.length existing)) in
+    write_string_raw mem at s;
+    Memory.write_u8 mem (Int64.add at (Int64.of_int (String.length s))) 0;
+    Ret dst
+  | "strlen" ->
+    let s = read_cstring mem (arg cpu 0) in
+    charge_bytes cpu (String.length s);
+    Ret (Int64.of_int (String.length s))
+  | "strcmp" ->
+    let a = read_cstring mem (arg cpu 0) in
+    let b = read_cstring mem (arg cpu 1) in
+    charge_bytes cpu (String.length a + String.length b);
+    Ret (Int64.of_int (compare a b))
+  | "read_input" ->
+    (* recv(2)-like: copies ALL pending input into the buffer with no
+       bounds check and no terminator — the paper's overflow vector,
+       writing exactly the attacker's bytes. *)
+    let dst = arg cpu 0 in
+    let n = Bytes.length io.input - io.input_pos in
+    charge_bytes cpu n;
+    if n > 0 then
+      Memory.write_bytes mem dst (Bytes.sub io.input io.input_pos n);
+    io.input_pos <- Bytes.length io.input;
+    Ret (Int64.of_int n)
+  | "read_n" ->
+    let dst = arg cpu 0 and cap = Int64.to_int (arg cpu 1) in
+    let avail = Bytes.length io.input - io.input_pos in
+    let n = Stdlib.max 0 (Stdlib.min cap avail) in
+    charge_bytes cpu n;
+    if n > 0 then Memory.write_bytes mem dst (Bytes.sub io.input io.input_pos n);
+    io.input_pos <- io.input_pos + n;
+    Ret (Int64.of_int n)
+  | "print_str" ->
+    let s = read_cstring mem (arg cpu 0) in
+    charge_bytes cpu (String.length s);
+    Buffer.add_string io.output s;
+    Ret (Int64.of_int (String.length s))
+  | "print_int" ->
+    let v = arg cpu 0 in
+    charge cpu (Cost.builtin_base_cycles + 16);
+    Buffer.add_string io.output (Int64.to_string v);
+    Ret 0L
+  | "putchar" ->
+    charge cpu Cost.builtin_base_cycles;
+    Buffer.add_char io.output (Char.chr (Int64.to_int (arg cpu 0) land 0xFF));
+    Ret (arg cpu 0)
+  | "puts" ->
+    let s = read_cstring mem (arg cpu 0) in
+    charge_bytes cpu (String.length s + 1);
+    Buffer.add_string io.output s;
+    Buffer.add_char io.output '\n';
+    Ret (Int64.of_int (String.length s + 1))
+  | "write_out" ->
+    let src = arg cpu 0 and n = Int64.to_int (arg cpu 1) in
+    charge_bytes cpu n;
+    if n > 0 then Buffer.add_bytes io.output (Memory.read_bytes mem src n);
+    Ret (Int64.of_int n)
+  | "rand" ->
+    charge cpu (Cost.builtin_base_cycles + 8);
+    Ret (Int64.logand (Util.Prng.next64 cpu.Cpu.rng) 0x7FFFFFFFL)
+  | "srand" ->
+    charge cpu Cost.builtin_base_cycles;
+    Ret 0L
+  | "malloc" ->
+    let n = Int64.to_int (arg cpu 0) in
+    charge cpu (Cost.builtin_base_cycles + 20);
+    let aligned = (n + 15) land lnot 15 in
+    let ptr = io.brk in
+    let limit = Int64.add Layout.heap_base (Int64.of_int Layout.heap_size) in
+    if Int64.compare (Int64.add ptr (Int64.of_int aligned)) limit > 0 then Ret 0L
+    else begin
+      io.brk <- Int64.add ptr (Int64.of_int aligned);
+      Ret ptr
+    end
+  | "free" ->
+    charge cpu Cost.builtin_base_cycles;
+    Ret 0L
+  | "AES_ENCRYPT_128" ->
+    (* Key in xmm1, plaintext in xmm15, ciphertext back to xmm15 — the
+       helper Code 8 calls. Cost matches AES-NI latency. *)
+    charge cpu Cost.aes_encrypt_call_cycles;
+    let key_lo, key_hi = Cpu.get_xmm cpu Isa.Reg.Xmm.xmm1 in
+    let pt_lo, pt_hi = Cpu.get_xmm cpu Isa.Reg.Xmm.xmm15 in
+    let key = Crypto.Aes128.key_of_int64s key_lo key_hi in
+    let ct_lo, ct_hi = Crypto.Aes128.encrypt_int64s key pt_lo pt_hi in
+    Cpu.set_xmm cpu Isa.Reg.Xmm.xmm15 (ct_lo, ct_hi);
+    Ret 0L
+  | other -> invalid_arg (Printf.sprintf "Glibc.dispatch: unknown builtin %s" other)

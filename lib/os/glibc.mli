@@ -1,0 +1,55 @@
+(** The simulated C library.
+
+    Each glibc entry point occupies a fixed pseudo-address slot; a
+    [call] that lands on a slot traps out of the interpreter and is
+    served here, in OCaml, against the process's simulated memory.
+    Memory-writing builtins ([memcpy], [strcpy], [read_input], …)
+    perform {e raw, unchecked} byte writes — they are the overflow
+    vector the paper defends against.
+
+    Builtins that need kernel services (fork, exit, waitpid, accept)
+    return a [Control] value that {!Kernel} interprets. *)
+
+type control =
+  | Exit of int
+  | Abort of string  (** SIGABRT with diagnostic (stack smashing etc.) *)
+  | Fork
+  | Spawn_thread of { start : int64; arg : int64 }
+  | Wait_child
+  | Accept  (** server blocks for the next request; driver resumes it *)
+
+type outcome =
+  | Ret of int64  (** completed; value for rax *)
+  | Control of control
+
+(** Per-process standard I/O plus the heap break. *)
+type io = {
+  mutable input : bytes;
+  mutable input_pos : int;
+  output : Buffer.t;
+  errout : Buffer.t;
+  mutable brk : int64;
+}
+
+val make_io : unit -> io
+val clone_io : io -> io
+
+val set_input : io -> bytes -> unit
+(** Replace the pending input (rewinds the read cursor). *)
+
+val names : string list
+(** Every entry point, in slot order. *)
+
+val addr_of : string -> int64
+(** Raises [Invalid_argument] on an unknown name. *)
+
+val name_of_addr : int64 -> string option
+(** [Some name] iff the address is exactly a known slot. *)
+
+val dispatch :
+  name:string -> Vm64.Cpu.t -> Vm64.Memory.t -> pid:int -> io -> outcome
+(** Execute one builtin. Arguments are taken from the SysV registers
+    (rdi, rsi, rdx). Cycle costs are charged to the CPU. May raise
+    [Vm64.Fault.Trap] if a memory-touching builtin walks off mapped
+    memory — the kernel converts that into a crash, exactly like a
+    hardware fault. Raises [Invalid_argument] on an unknown name. *)

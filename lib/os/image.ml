@@ -1,0 +1,125 @@
+type linkage = Dynamic | Static
+
+type symbol = { sym_name : string; sym_addr : int64; sym_size : int }
+
+type t = {
+  name : string;
+  linkage : linkage;
+  entry : int64;
+  text_base : int64;
+  mutable text : bytes;
+  data_base : int64;
+  data : bytes;
+  mutable symbols : symbol list;
+  mutable extra_base : int64;
+  mutable extra : bytes;
+  scheme_tag : string;
+}
+
+let find_symbol t name =
+  List.find_opt (fun s -> String.equal s.sym_name name) t.symbols
+
+let find_symbol_exn t name =
+  match find_symbol t name with
+  | Some s -> s
+  | None -> invalid_arg (Printf.sprintf "Image.find_symbol_exn: %s has no %s" t.name name)
+
+let create ~name ?(linkage = Dynamic) ?(data = Bytes.create 0)
+    ?(scheme_tag = "none") ~entry ~text ~symbols () =
+  let t =
+    {
+      name;
+      linkage;
+      entry = 0L;
+      text_base = Vm64.Layout.text_base;
+      text;
+      data_base = Vm64.Layout.data_base;
+      data;
+      symbols;
+      extra_base = 0L;
+      extra = Bytes.create 0;
+      scheme_tag;
+    }
+  in
+  let entry_sym = find_symbol_exn t entry in
+  { t with entry = entry_sym.sym_addr }
+
+let symbol_covering t addr =
+  List.find_opt
+    (fun s ->
+      s.sym_size > 0
+      && Int64.compare addr s.sym_addr >= 0
+      && Int64.compare addr (Int64.add s.sym_addr (Int64.of_int s.sym_size)) < 0)
+    t.symbols
+
+let code_size t = Bytes.length t.text + Bytes.length t.extra
+
+let clone t =
+  {
+    t with
+    text = Bytes.copy t.text;
+    extra = Bytes.copy t.extra;
+    symbols = t.symbols;
+  }
+
+let section_bytes t addr =
+  (* Locate which section an address belongs to: (bytes, offset). *)
+  let within base data =
+    let off = Int64.sub addr base in
+    if Int64.compare off 0L >= 0 && Int64.compare off (Int64.of_int (Bytes.length data)) < 0
+    then Some (data, Int64.to_int off)
+    else None
+  in
+  match within t.text_base t.text with
+  | Some r -> Some r
+  | None ->
+    if Bytes.length t.extra > 0 then within t.extra_base t.extra else None
+
+let disassemble_symbol t name =
+  let s = find_symbol_exn t name in
+  match section_bytes t s.sym_addr with
+  | None -> invalid_arg (Printf.sprintf "Image.disassemble_symbol: %s out of sections" name)
+  | Some (data, off) ->
+    let code = Bytes.sub data off s.sym_size in
+    List.map
+      (fun (o, insn) -> (Int64.add s.sym_addr (Int64.of_int o), insn))
+      (Isa.Decode.decode_all code)
+
+let annotate_targets t insn =
+  let symbol_name addr =
+    match
+      List.find_map
+        (fun sy -> if Int64.equal sy.sym_addr addr then Some sy.sym_name else None)
+        t.symbols
+    with
+    | Some n -> Some n
+    | None -> Glibc.name_of_addr addr
+  in
+  let target = function
+    | Isa.Insn.Abs a -> (
+      match symbol_name a with
+      | Some n -> Isa.Insn.Sym n
+      | None -> Isa.Insn.Abs a)
+    | other -> other
+  in
+  match insn with
+  | Isa.Insn.Call tg -> Isa.Insn.Call (target tg)
+  | Isa.Insn.Jmp tg -> Isa.Insn.Jmp (target tg)
+  | Isa.Insn.Jcc (c, tg) -> Isa.Insn.Jcc (c, target tg)
+  | other -> other
+
+let pp_disassembly fmt t =
+  let by_addr =
+    List.sort (fun a b -> Int64.compare a.sym_addr b.sym_addr) t.symbols
+  in
+  List.iter
+    (fun s ->
+      if s.sym_size > 0 then begin
+        Format.fprintf fmt "%s:@." s.sym_name;
+        List.iter
+          (fun (addr, insn) ->
+            Format.fprintf fmt "  %8Lx:  %s@." addr
+              (Isa.Asm.to_string (annotate_targets t insn)))
+          (disassemble_symbol t s.sym_name)
+      end)
+    by_addr

@@ -1,0 +1,66 @@
+(** Executable images — the simulated equivalent of an ELF binary.
+
+    An image owns its text bytes, so the binary rewriter can patch them
+    before the image is loaded into a process. Static-link images embed
+    stub code for the glibc functions they would otherwise import, and
+    the rewriter may append extra sections (Dyninst-style, §V-D). *)
+
+type linkage = Dynamic | Static
+
+type symbol = {
+  sym_name : string;
+  sym_addr : int64;
+  sym_size : int;  (** code bytes the symbol spans (0 if unknown) *)
+}
+
+type t = {
+  name : string;
+  linkage : linkage;
+  entry : int64;  (** address of [main] *)
+  text_base : int64;
+  mutable text : bytes;
+  data_base : int64;
+  data : bytes;
+  mutable symbols : symbol list;
+  mutable extra_base : int64;  (** base of rewriter-added section, or 0 *)
+  mutable extra : bytes;  (** rewriter-added code section (may be empty) *)
+  scheme_tag : string;  (** protection scheme metadata for reporting *)
+}
+
+val create :
+  name:string ->
+  ?linkage:linkage ->
+  ?data:bytes ->
+  ?scheme_tag:string ->
+  entry:string ->
+  text:bytes ->
+  symbols:symbol list ->
+  unit ->
+  t
+(** [entry] names the symbol execution starts at (normally ["main"]).
+    Raises [Invalid_argument] if that symbol is missing. *)
+
+val find_symbol : t -> string -> symbol option
+val find_symbol_exn : t -> string -> symbol
+
+val symbol_covering : t -> int64 -> symbol option
+(** The function symbol whose [addr, addr+size) range contains the given
+    address. *)
+
+val code_size : t -> int
+(** Total code bytes including any rewriter-added section — the metric
+    behind Table II. *)
+
+val clone : t -> t
+(** Deep copy, so a rewriter run never mutates the original. *)
+
+val disassemble_symbol : t -> string -> (int64 * Isa.Insn.t) list
+(** Decode the instructions of one function.
+    Raises [Invalid_argument] on an unknown symbol, [Isa.Decode.Bad_encoding]
+    on corrupt text. *)
+
+val annotate_targets : t -> Isa.Insn.t -> Isa.Insn.t
+(** Replace absolute call/jump targets with symbolic names (image
+    symbols or glibc entries) where known — for readable listings. *)
+
+val pp_disassembly : Format.formatter -> t -> unit

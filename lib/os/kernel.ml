@@ -1,0 +1,279 @@
+open Vm64
+
+type t = {
+  procs : (int, Process.t) Hashtbl.t;
+  env : Exec.env;
+  master_rng : Util.Prng.t;
+  mutable next_pid : int;
+  mutable last_reaped : Process.t option;
+}
+
+let exit_stub_addr = Int64.add Layout.glibc_base 0x800L
+
+let create ?(seed = 0xC0FFEEL) ?on_retire () =
+  let is_builtin addr = Glibc.name_of_addr addr in
+  {
+    procs = Hashtbl.create 16;
+    env = Exec.create_env ?on_retire ~is_builtin ();
+    master_rng = Util.Prng.create seed;
+    next_pid = 1;
+    last_reaped = None;
+  }
+
+let find t pid = Hashtbl.find_opt t.procs pid
+
+let fresh_pid t =
+  let pid = t.next_pid in
+  t.next_pid <- pid + 1;
+  pid
+
+(* The trampoline main returns to: pass its return value to exit(). *)
+let exit_stub_code =
+  Isa.Encode.list_to_bytes
+    [
+      Isa.Insn.Mov (Isa.Operand.reg Isa.Reg.RDI, Isa.Operand.reg Isa.Reg.RAX);
+      Isa.Insn.Call (Isa.Insn.Abs (Glibc.addr_of "exit"));
+      Isa.Insn.Hlt;
+    ]
+
+let spawn t ?(input = Bytes.create 0) ?(preload = Preload.No_preload)
+    ?(insn_tax = 0) ?(call_tax = 0) (image : Image.t) =
+  let mem = Memory.create () in
+  (* glibc region: slots are never fetched, but the exit stub is real code. *)
+  Memory.map mem ~addr:Layout.glibc_base ~len:8192;
+  Memory.write_bytes mem exit_stub_addr exit_stub_code;
+  (* text / extra / data *)
+  Memory.map mem ~addr:image.Image.text_base ~len:(max 1 (Bytes.length image.Image.text));
+  Memory.write_bytes mem image.Image.text_base image.Image.text;
+  if Bytes.length image.Image.extra > 0 then begin
+    Memory.map mem ~addr:image.Image.extra_base ~len:(Bytes.length image.Image.extra);
+    Memory.write_bytes mem image.Image.extra_base image.Image.extra
+  end;
+  Memory.map mem ~addr:image.Image.data_base ~len:(max 4096 (Bytes.length image.Image.data));
+  if Bytes.length image.Image.data > 0 then
+    Memory.write_bytes mem image.Image.data_base image.Image.data;
+  Memory.map mem ~addr:Layout.dynaguard_buffer_base ~len:Layout.dynaguard_buffer_size;
+  Memory.map mem ~addr:Layout.global_canary_buffer_base
+    ~len:Layout.global_canary_buffer_size;
+  Memory.map mem ~addr:Layout.heap_base ~len:Layout.heap_size;
+  (* stack (the guard below it stays unmapped) *)
+  Memory.map mem
+    ~addr:(Int64.sub Layout.stack_top (Int64.of_int Layout.stack_size))
+    ~len:Layout.stack_size;
+  (* TLS *)
+  Memory.map mem ~addr:Layout.tls_base ~len:Layout.tls_size;
+  let cpu = Cpu.create ~seed:(Util.Prng.next64 t.master_rng) () in
+  cpu.Cpu.fs_base <- Layout.tls_base;
+  cpu.Cpu.insn_tax <- insn_tax;
+  cpu.Cpu.call_tax <- call_tax;
+  ignore (Pssp.Tls.install_fresh_canary t.master_rng mem ~fs_base:Layout.tls_base);
+  Preload.on_start preload cpu.Cpu.rng mem ~fs_base:Layout.tls_base;
+  (* P-SSP-OWF keeps its AES key in the callee-saved r12/r13 pair, set up
+     once at program start (§V-E3). *)
+  if
+    String.equal image.Image.scheme_tag "pssp-owf"
+    || String.equal image.Image.scheme_tag "pssp-owf-weak"
+  then begin
+    Cpu.set cpu Isa.Reg.R12 (Util.Prng.next64 t.master_rng);
+    Cpu.set cpu Isa.Reg.R13 (Util.Prng.next64 t.master_rng)
+  end;
+  (* initial stack: rsp -> return address = exit trampoline *)
+  let rsp = Int64.sub Layout.stack_top 64L in
+  Cpu.set cpu Isa.Reg.RSP (Int64.sub rsp 8L);
+  Memory.write_u64 mem (Int64.sub rsp 8L) exit_stub_addr;
+  (* Rewriter-added constructors (setup_p-ssp, §V-A) run before main via
+     a small trampoline. *)
+  (match Image.find_symbol image "__pssp_ctor" with
+  | Some ctor ->
+    let trampoline = Int64.add Layout.glibc_base 0x900L in
+    Memory.write_bytes mem trampoline
+      (Isa.Encode.list_to_bytes
+         [
+           Isa.Insn.Call (Isa.Insn.Abs ctor.Image.sym_addr);
+           Isa.Insn.Jmp (Isa.Insn.Abs image.Image.entry);
+         ]);
+    cpu.Cpu.rip <- trampoline
+  | None -> cpu.Cpu.rip <- image.Image.entry);
+  let io = Glibc.make_io () in
+  Glibc.set_input io input;
+  let proc =
+    {
+      Process.pid = fresh_pid t;
+      parent = None;
+      image;
+      mem;
+      cpu;
+      io;
+      preload;
+      status = Process.Runnable;
+      pending_children = [];
+    }
+  in
+  Hashtbl.add t.procs proc.Process.pid proc;
+  proc
+
+type stop =
+  | Stop_exit of int
+  | Stop_kill of Process.signal * string
+  | Stop_accept
+  | Stop_fuel
+
+let stop_to_string = function
+  | Stop_exit n -> Printf.sprintf "exited %d" n
+  | Stop_kill (s, msg) -> Printf.sprintf "killed %s: %s" (Process.signal_name s) msg
+  | Stop_accept -> "blocked on accept"
+  | Stop_fuel -> "out of fuel"
+
+let fork_child t (parent : Process.t) =
+  let child_cpu = Cpu.clone parent.Process.cpu in
+  let child_mem = Memory.clone parent.Process.mem in
+  (* fork() return values *)
+  let child_pid = fresh_pid t in
+  Cpu.set child_cpu Isa.Reg.RAX 0L;
+  Preload.on_fork_child parent.Process.preload child_cpu.Cpu.rng child_mem
+    ~fs_base:child_cpu.Cpu.fs_base;
+  let child =
+    {
+      Process.pid = child_pid;
+      parent = Some parent.Process.pid;
+      image = parent.Process.image;
+      mem = child_mem;
+      cpu = child_cpu;
+      io = Glibc.clone_io parent.Process.io;
+      preload = parent.Process.preload;
+      status = Process.Runnable;
+      pending_children = [];
+    }
+  in
+  Hashtbl.add t.procs child_pid child;
+  Cpu.set parent.Process.cpu Isa.Reg.RAX (Int64.of_int child_pid);
+  parent.Process.pending_children <-
+    parent.Process.pending_children @ [ child_pid ];
+  child
+
+let spawn_thread t (parent : Process.t) ~start ~arg =
+  (* Modelled as a cloned address space with its own stack pointer and a
+     fresh TLS-shadow refresh — see DESIGN.md for why this preserves the
+     behaviour the evaluation depends on. *)
+  let child = fork_child t parent in
+  let cpu = child.Process.cpu in
+  let rsp = Int64.sub Layout.stack_top 64L in
+  Cpu.set cpu Isa.Reg.RSP (Int64.sub rsp 8L);
+  Memory.write_u64 child.Process.mem (Int64.sub rsp 8L) exit_stub_addr;
+  Cpu.set cpu Isa.Reg.RDI arg;
+  cpu.Cpu.rip <- start;
+  Preload.on_thread_start parent.Process.preload cpu.Cpu.rng child.Process.mem
+    ~fs_base:cpu.Cpu.fs_base;
+  (* Statically instrumented binaries have no preload; the rewritten
+     pthread_create's new-thread TLS refresh is applied here (the stub's
+     own refresh covers the creating thread). *)
+  if String.equal parent.Process.image.Image.scheme_tag "pssp-instr-static" then
+    Preload.on_thread_start Preload.Pssp_packed cpu.Cpu.rng child.Process.mem
+      ~fs_base:cpu.Cpu.fs_base;
+  child
+
+let encode_wait_status (p : Process.t) =
+  match p.Process.status with
+  | Process.Exited n -> Int64.of_int (n land 0xFF)
+  | Process.Killed _ -> 256L
+  | Process.Runnable | Process.Blocked_accept -> 512L
+
+let rec run_loop t (p : Process.t) fuel =
+  if !fuel <= 0 then Stop_fuel
+  else begin
+    decr fuel;
+    match Exec.step t.env p.Process.cpu p.Process.mem with
+    | Exec.Running -> run_loop t p fuel
+    | Exec.Halted ->
+      p.Process.status <- Process.Exited 0;
+      Stop_exit 0
+    | Exec.Faulted fault ->
+      let signal = Process.signal_of_fault fault in
+      let msg = Fault.to_string fault in
+      p.Process.status <- Process.Killed (signal, msg);
+      Stop_kill (signal, msg)
+    | Exec.Syscall_trap ->
+      let msg = "raw syscall not supported" in
+      p.Process.status <- Process.Killed (Process.Sigill, msg);
+      Stop_kill (Process.Sigill, msg)
+    | Exec.Builtin name -> handle_builtin t p fuel name
+  end
+
+and handle_builtin t (p : Process.t) fuel name =
+  (* LD_PRELOAD semantics: the P-SSP shared library for instrumented
+     binaries exports its own __stack_chk_fail (the combined
+     check-and-fail routine of Figs. 3/4). *)
+  let name =
+    match (name, p.Process.preload) with
+    | "__stack_chk_fail", Preload.Pssp_packed -> "__stack_chk_fail_pssp"
+    | _ -> name
+  in
+  match
+    Glibc.dispatch ~name p.Process.cpu p.Process.mem ~pid:p.Process.pid
+      p.Process.io
+  with
+  | exception Fault.Trap fault ->
+    let signal = Process.signal_of_fault fault in
+    let msg = Fault.to_string fault in
+    p.Process.status <- Process.Killed (signal, msg);
+    Stop_kill (signal, msg)
+  | Glibc.Ret v ->
+    Cpu.set p.Process.cpu Isa.Reg.RAX v;
+    run_loop t p fuel
+  | Glibc.Control control -> (
+    match control with
+    | Glibc.Exit code ->
+      p.Process.status <- Process.Exited code;
+      Stop_exit code
+    | Glibc.Abort msg ->
+      p.Process.status <- Process.Killed (Process.Sigabrt, msg);
+      Stop_kill (Process.Sigabrt, msg)
+    | Glibc.Fork ->
+      ignore (fork_child t p);
+      run_loop t p fuel
+    | Glibc.Spawn_thread { start; arg } ->
+      ignore (spawn_thread t p ~start ~arg);
+      run_loop t p fuel
+    | Glibc.Wait_child -> (
+      match p.Process.pending_children with
+      | [] ->
+        Cpu.set p.Process.cpu Isa.Reg.RAX (-1L);
+        run_loop t p fuel
+      | child_pid :: rest -> (
+        p.Process.pending_children <- rest;
+        match find t child_pid with
+        | None ->
+          Cpu.set p.Process.cpu Isa.Reg.RAX (-1L);
+          run_loop t p fuel
+        | Some child ->
+          (if not (Process.status_is_dead child.Process.status) then
+             ignore (run_loop t child fuel));
+          t.last_reaped <- Some child;
+          Hashtbl.remove t.procs child_pid;
+          Cpu.set p.Process.cpu Isa.Reg.RAX (encode_wait_status child);
+          run_loop t p fuel))
+    | Glibc.Accept ->
+      p.Process.status <- Process.Blocked_accept;
+      Stop_accept)
+
+let run ?(fuel = 50_000_000) t p =
+  match p.Process.status with
+  | Process.Exited _ | Process.Killed _ ->
+    invalid_arg "Kernel.run: process already dead"
+  | Process.Runnable | Process.Blocked_accept -> run_loop t p (ref fuel)
+
+let resume_with_request ?(fuel = 50_000_000) t p request =
+  match p.Process.status with
+  | Process.Blocked_accept ->
+    Glibc.set_input p.Process.io request;
+    Cpu.set p.Process.cpu Isa.Reg.RAX 0L;
+    p.Process.status <- Process.Runnable;
+    run_loop t p (ref fuel)
+  | _ -> invalid_arg "Kernel.resume_with_request: process not blocked in accept"
+
+let last_reaped t = t.last_reaped
+
+let run_to_exit ?fuel t p =
+  match run ?fuel t p with
+  | Stop_exit code -> code
+  | other -> failwith ("Kernel.run_to_exit: " ^ stop_to_string other)

@@ -1,0 +1,62 @@
+(** The kernel: process creation, fork/thread semantics, the run loop
+    dispatching builtins, and the request-driving interface the attack
+    harness and server benchmarks use.
+
+    Scheduling is cooperative and depth-first: [waitpid] runs the
+    waited-for child to completion inline. This is all the concurrency
+    the paper's experiments need — the byte-by-byte attack depends on
+    fork {e semantics} (TLS cloning, parent respawning children), not on
+    preemption. *)
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?on_retire:(Vm64.Cpu.t -> Isa.Insn.t -> unit) ->
+  unit ->
+  t
+(** [on_retire] traces every retired instruction across all processes
+    of this kernel (see {!Debug.ring_tracer}). *)
+
+val spawn :
+  t ->
+  ?input:bytes ->
+  ?preload:Preload.mode ->
+  ?insn_tax:int ->
+  ?call_tax:int ->
+  Image.t ->
+  Process.t
+(** Load an image into a fresh process: map text/data/stack/TLS, install
+    a fresh TLS canary, run the preload constructor, point rip at the
+    entry symbol. [insn_tax] models dynamic-binary-translation overhead
+    (cycles added to every instruction). *)
+
+val find : t -> int -> Process.t option
+
+type stop =
+  | Stop_exit of int
+  | Stop_kill of Process.signal * string
+  | Stop_accept  (** the process blocked in [accept] *)
+  | Stop_fuel
+
+val stop_to_string : stop -> string
+
+val run : ?fuel:int -> t -> Process.t -> stop
+(** Run until the process dies, blocks on [accept], or exhausts [fuel]
+    (instructions, shared with any children it waits on; default 50M). *)
+
+val resume_with_request : ?fuel:int -> t -> Process.t -> bytes -> stop
+(** Deliver a request to a process blocked in [accept] and keep running.
+    Raises [Invalid_argument] if it is not blocked there. *)
+
+val last_reaped : t -> Process.t option
+(** The most recent child reaped by a [waitpid] — the attack oracle
+    reads the child's fate here. *)
+
+val exit_stub_addr : int64
+(** Where the loader's process-exit trampoline lives ([main] returns to
+    it). *)
+
+val run_to_exit : ?fuel:int -> t -> Process.t -> int
+(** Like {!run} but expects a plain exit; raises [Failure] with the stop
+    description otherwise. Returns the exit code. *)

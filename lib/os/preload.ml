@@ -1,0 +1,96 @@
+open Vm64
+
+type mode =
+  | No_preload
+  | Pssp_wide
+  | Pssp_packed
+  | Raf
+  | Dynaguard_fix
+  | Dcr_fix
+
+let mode_name = function
+  | No_preload -> "none"
+  | Pssp_wide -> "pssp-wide"
+  | Pssp_packed -> "pssp-packed"
+  | Raf -> "raf"
+  | Dynaguard_fix -> "dynaguard"
+  | Dcr_fix -> "dcr"
+
+(* ---- DCR canary word format ------------------------------------------- *)
+
+let dcr_end_marker = 0xFFFF
+let low48_mask = 0x0000FFFFFFFFFFFFL
+
+let dcr_low48 v = Int64.logand v low48_mask
+
+let dcr_pack ~delta ~canary =
+  if delta < 0 || delta > 0xFFFF then invalid_arg "Preload.dcr_pack: delta out of range";
+  Int64.logor (Int64.shift_left (Int64.of_int delta) 48) (dcr_low48 canary)
+
+let dcr_delta v = Int64.to_int (Int64.shift_right_logical v 48)
+
+let dcr_matches ~tls_canary v = Int64.equal (dcr_low48 v) (dcr_low48 tls_canary)
+
+(* ---- fixup walkers ----------------------------------------------------- *)
+
+let refresh_tls_canary rng mem ~fs_base =
+  let c = Util.Prng.next64 rng in
+  Pssp.Tls.set_canary mem ~fs_base c;
+  c
+
+let dynaguard_rewrite_all rng mem ~fs_base =
+  (* New C everywhere: TLS plus every live stack canary recorded in the
+     canary address buffer. This is what makes DynaGuard correct where
+     RAF-SSP is not. *)
+  let c = refresh_tls_canary rng mem ~fs_base in
+  let buf = Layout.dynaguard_buffer_base in
+  let count = Int64.to_int (Memory.read_u64 mem buf) in
+  for i = 1 to count do
+    let slot = Int64.add buf (Int64.of_int (8 * i)) in
+    let addr = Memory.read_u64 mem slot in
+    Memory.write_u64 mem addr c
+  done
+
+let dcr_rewrite_all rng mem ~fs_base =
+  let c = refresh_tls_canary rng mem ~fs_base in
+  let rec walk addr =
+    if not (Int64.equal addr 0L) then begin
+      let word = Memory.read_u64 mem addr in
+      let delta = dcr_delta word in
+      Memory.write_u64 mem addr (dcr_pack ~delta ~canary:c);
+      if delta <> dcr_end_marker then
+        walk (Int64.add addr (Int64.of_int (8 * delta)))
+    end
+  in
+  walk (Memory.read_u64 mem (Int64.add fs_base Layout.tls_dcr_head_offset))
+
+let refresh_shadow_wide rng mem ~fs_base =
+  let c = Pssp.Tls.canary mem ~fs_base in
+  Pssp.Tls.set_shadow_pair mem ~fs_base (Pssp.Canary.re_randomize rng c)
+
+let refresh_shadow_packed rng mem ~fs_base =
+  let c = Pssp.Tls.canary mem ~fs_base in
+  Pssp.Tls.set_shadow_packed mem ~fs_base (Pssp.Canary.re_randomize_packed32 rng c)
+
+(* ---- hooks -------------------------------------------------------------- *)
+
+let on_start mode rng mem ~fs_base =
+  match mode with
+  | No_preload | Raf | Dynaguard_fix | Dcr_fix -> ()
+  | Pssp_wide -> refresh_shadow_wide rng mem ~fs_base
+  | Pssp_packed -> refresh_shadow_packed rng mem ~fs_base
+
+let on_fork_child mode rng mem ~fs_base =
+  match mode with
+  | No_preload -> ()
+  | Pssp_wide -> refresh_shadow_wide rng mem ~fs_base
+  | Pssp_packed -> refresh_shadow_packed rng mem ~fs_base
+  | Raf -> ignore (refresh_tls_canary rng mem ~fs_base)
+  | Dynaguard_fix -> dynaguard_rewrite_all rng mem ~fs_base
+  | Dcr_fix -> dcr_rewrite_all rng mem ~fs_base
+
+let on_thread_start mode rng mem ~fs_base =
+  match mode with
+  | No_preload | Raf | Dynaguard_fix | Dcr_fix -> ()
+  | Pssp_wide -> refresh_shadow_wide rng mem ~fs_base
+  | Pssp_packed -> refresh_shadow_packed rng mem ~fs_base

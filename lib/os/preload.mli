@@ -1,0 +1,46 @@
+(** Runtime canary maintenance — the simulated counterpart of the
+    paper's LD_PRELOAD shared library (§V-A) and, for the baseline
+    schemes, of their own fork-time fixup machinery.
+
+    The shim has two hooks: one run at program startup (the
+    [setup_p-ssp] constructor) and one run in the child right after
+    [fork]/[pthread_create] clones the TLS. *)
+
+type mode =
+  | No_preload  (** plain glibc: child inherits the TLS untouched (SSP) *)
+  | Pssp_wide
+      (** basic P-SSP: refresh the 64-bit shadow pair (C0, C1); the TLS
+          canary C itself is never changed *)
+  | Pssp_packed
+      (** binary-instrumentation P-SSP (§V-C): refresh the packed
+          2×32-bit shadow word *)
+  | Raf
+      (** RAF-SSP: replace the TLS canary itself — deliberately NOT
+          fixing inherited stack frames (the paper's correctness flaw) *)
+  | Dynaguard_fix
+      (** DynaGuard: replace the TLS canary and rewrite every address
+          recorded in the canary-address buffer *)
+  | Dcr_fix
+      (** DCR: replace the TLS canary and walk the in-stack linked list
+          of offset-embedding canaries *)
+
+val mode_name : mode -> string
+
+val on_start : mode -> Util.Prng.t -> Vm64.Memory.t -> fs_base:int64 -> unit
+(** Constructor-time TLS initialisation (after the loader installed C). *)
+
+val on_fork_child : mode -> Util.Prng.t -> Vm64.Memory.t -> fs_base:int64 -> unit
+(** Run in the child, after the address-space clone. *)
+
+val on_thread_start : mode -> Util.Prng.t -> Vm64.Memory.t -> fs_base:int64 -> unit
+(** Run in a freshly spawned thread. *)
+
+(** DCR's canary word format: [delta (16 bits) || low48 of C].
+    [delta] is the distance to the previous canary in 8-byte words;
+    {!dcr_end_marker} terminates the list. *)
+
+val dcr_end_marker : int
+val dcr_pack : delta:int -> canary:int64 -> int64
+val dcr_delta : int64 -> int
+val dcr_low48 : int64 -> int64
+val dcr_matches : tls_canary:int64 -> int64 -> bool

@@ -1,0 +1,44 @@
+type signal = Sigsegv | Sigabrt | Sigill
+
+let signal_name = function
+  | Sigsegv -> "SIGSEGV"
+  | Sigabrt -> "SIGABRT"
+  | Sigill -> "SIGILL"
+
+let signal_of_fault = function
+  | Vm64.Fault.Segfault _ -> Sigsegv
+  | Vm64.Fault.Bad_instruction _ -> Sigill
+  | Vm64.Fault.Stack_overflow_fault _ -> Sigsegv
+
+type status =
+  | Runnable
+  | Blocked_accept
+  | Exited of int
+  | Killed of signal * string
+
+let status_is_dead = function
+  | Exited _ | Killed _ -> true
+  | Runnable | Blocked_accept -> false
+
+let status_to_string = function
+  | Runnable -> "runnable"
+  | Blocked_accept -> "blocked (accept)"
+  | Exited n -> Printf.sprintf "exited %d" n
+  | Killed (s, msg) -> Printf.sprintf "killed %s (%s)" (signal_name s) msg
+
+type t = {
+  pid : int;
+  parent : int option;
+  image : Image.t;
+  mem : Vm64.Memory.t;
+  cpu : Vm64.Cpu.t;
+  io : Glibc.io;
+  preload : Preload.mode;
+  mutable status : status;
+  mutable pending_children : int list;
+}
+
+let crashed t = match t.status with Killed _ -> true | _ -> false
+let stdout t = Buffer.contents t.io.Glibc.output
+let stderr t = Buffer.contents t.io.Glibc.errout
+let cycles t = t.cpu.Vm64.Cpu.cycles

@@ -1,0 +1,35 @@
+(** A simulated process: one address space, one CPU context, stdio. *)
+
+type signal = Sigsegv | Sigabrt | Sigill
+
+val signal_name : signal -> string
+val signal_of_fault : Vm64.Fault.t -> signal
+
+type status =
+  | Runnable
+  | Blocked_accept  (** server waiting for the driver to deliver a request *)
+  | Exited of int
+  | Killed of signal * string
+
+val status_is_dead : status -> bool
+val status_to_string : status -> string
+
+type t = {
+  pid : int;
+  parent : int option;
+  image : Image.t;
+  mem : Vm64.Memory.t;
+  cpu : Vm64.Cpu.t;
+  io : Glibc.io;
+  preload : Preload.mode;
+  mutable status : status;
+  mutable pending_children : int list;  (** oldest first, not yet waited *)
+}
+
+val crashed : t -> bool
+(** Died from a signal (segfault or canary abort) — the event the
+    byte-by-byte attacker's oracle distinguishes. *)
+
+val stdout : t -> string
+val stderr : t -> string
+val cycles : t -> int64

@@ -1,0 +1,38 @@
+type pair = { c0 : int64; c1 : int64 }
+
+let re_randomize rng c =
+  let c0 = Util.Prng.next64 rng in
+  { c0; c1 = Int64.logxor c0 c }
+
+let combine p = Int64.logxor p.c0 p.c1
+
+let checks_out ~tls_canary p = Int64.equal (combine p) tls_canary
+
+let low32 v = Int64.logand v 0xFFFFFFFFL
+
+let pack32 ~c0 ~c1 = Int64.logor (low32 c0) (Int64.shift_left (low32 c1) 32)
+
+let packed32_parts w = (low32 w, Int64.shift_right_logical w 32)
+
+let re_randomize_packed32 rng c =
+  let c0 = low32 (Util.Prng.next64 rng) in
+  let c1 = Int64.logxor c0 (low32 c) in
+  pack32 ~c0 ~c1
+
+let packed32_checks_out ~tls_canary w =
+  let c0, c1 = packed32_parts w in
+  Int64.equal (Int64.logxor c0 c1) (low32 tls_canary)
+
+let split_chain rng c ~n =
+  if n < 1 then invalid_arg "Canary.split_chain: n must be >= 1";
+  let rec build i acc_xor acc =
+    if i = n - 1 then List.rev (Int64.logxor c acc_xor :: acc)
+    else begin
+      let v = Util.Prng.next64 rng in
+      build (i + 1) (Int64.logxor acc_xor v) (v :: acc)
+    end
+  in
+  build 0 0L []
+
+let chain_checks_out ~tls_canary canaries =
+  Int64.equal (List.fold_left Int64.logxor 0L canaries) tls_canary

@@ -1,0 +1,44 @@
+(** Canary material and the paper's Algorithm 1 (Re-Randomize).
+
+    The TLS canary [C] is a 64-bit secret fixed for the life of a
+    process tree. P-SSP never changes [C]; instead it derives fresh
+    {e shadow pairs} [(C0, C1)] with [C0 xor C1 = C]. Exposing either
+    half alone leaks nothing about [C] (Theorem 1), which is the whole
+    defence against byte-by-byte accumulation. *)
+
+type pair = { c0 : int64; c1 : int64 }
+
+val re_randomize : Util.Prng.t -> int64 -> pair
+(** Algorithm 1: [re_randomize rng c] draws a fresh random [c0] and
+    returns [{c0; c1 = c0 xor c}], so [c0 xor c1 = c]. *)
+
+val combine : pair -> int64
+(** [combine p] is [p.c0 xor p.c1] — what a correct epilogue recomputes. *)
+
+val checks_out : tls_canary:int64 -> pair -> bool
+(** The epilogue predicate: does the stack pair still XOR to [C]? *)
+
+val re_randomize_packed32 : Util.Prng.t -> int64 -> int64
+(** The §V-C binary-instrumentation variant: canaries are downgraded to
+    32 bits so the SSP stack layout is preserved. Returns a single
+    64-bit word holding [C1 (high 32) || C0 (low 32)] with
+    [C0 xor C1 = low32 C]. *)
+
+val packed32_checks_out : tls_canary:int64 -> int64 -> bool
+(** Check a packed 32-bit pair word against the low half of [C] —
+    the logic inserted into [__stack_chk_fail] (Fig. 4). *)
+
+val packed32_parts : int64 -> int64 * int64
+(** [(c0, c1)] halves of a packed word, zero-extended. *)
+
+val pack32 : c0:int64 -> c1:int64 -> int64
+(** Inverse of {!packed32_parts} (low 32 bits of each half are used). *)
+
+val split_chain : Util.Prng.t -> int64 -> n:int -> int64 list
+(** P-SSP-LV (Algorithm 2) canary generation: [n] canaries whose XOR is
+    exactly the TLS canary [c]. The first [n-1] are independently
+    random; the last is computed. [n >= 1].
+    Raises [Invalid_argument] if [n < 1]. *)
+
+val chain_checks_out : tls_canary:int64 -> int64 list -> bool
+(** Collective consistency check of a P-SSP-LV frame. *)

@@ -1,0 +1,19 @@
+type t = { mutable halves : int64 list }
+
+let create () = { halves = [] }
+
+let depth t = List.length t.halves
+
+let push_frame t rng ~tls_canary =
+  let p = Canary.re_randomize rng tls_canary in
+  t.halves <- p.Canary.c1 :: t.halves;
+  p.Canary.c0
+
+let check_and_pop t ~tls_canary ~stack_c0 =
+  match t.halves with
+  | [] -> invalid_arg "Global_buffer.check_and_pop: empty buffer"
+  | c1 :: rest ->
+    t.halves <- rest;
+    Canary.checks_out ~tls_canary { Canary.c0 = stack_c0; c1 }
+
+let clone t = { halves = t.halves }

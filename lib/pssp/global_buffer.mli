@@ -1,0 +1,28 @@
+(** The §VII-C alternative that preserves 64-bit canary entropy without
+    widening the stack slot: only [C0] goes on the stack; the matching
+    [C1] is pushed into a per-thread global buffer that [fork] clones
+    along with the rest of the address space.
+
+    This module models the buffer discipline (push on prologue, pop on
+    epilogue, clone on fork) and is exercised by the ablation bench
+    comparing it against the 32-bit-downgrade approach of §V-C. *)
+
+type t
+
+val create : unit -> t
+
+val depth : t -> int
+
+val push_frame : t -> Util.Prng.t -> tls_canary:int64 -> int64
+(** Generate a fresh pair for a new frame: stores [C1] in the buffer and
+    returns the [C0] that goes on the stack. *)
+
+val check_and_pop : t -> tls_canary:int64 -> stack_c0:int64 -> bool
+(** Epilogue: pop the buffered [C1] and verify [C0 xor C1 = C]. Returns
+    [false] (after popping) on mismatch — i.e. smashing detected.
+    Raises [Invalid_argument] on an empty buffer (frame imbalance is a
+    program bug, not an attack signal). *)
+
+val clone : t -> t
+(** Fork semantics: the child inherits its parent's buffered halves, so
+    returns into inherited frames still verify. *)

@@ -1,0 +1,84 @@
+type t =
+  | None_
+  | Ssp
+  | Raf_ssp
+  | Dynaguard
+  | Dcr
+  | Pssp
+  | Pssp_nt
+  | Pssp_lv of int
+  | Pssp_owf
+  | Pssp_owf_weak
+  | Pssp_gb
+
+let name = function
+  | None_ -> "none"
+  | Ssp -> "ssp"
+  | Raf_ssp -> "raf-ssp"
+  | Dynaguard -> "dynaguard"
+  | Dcr -> "dcr"
+  | Pssp -> "pssp"
+  | Pssp_nt -> "pssp-nt"
+  | Pssp_lv n -> Printf.sprintf "pssp-lv%d" n
+  | Pssp_owf -> "pssp-owf"
+  | Pssp_owf_weak -> "pssp-owf-weak"
+  | Pssp_gb -> "pssp-gb"
+
+let title = function
+  | None_ -> "Native"
+  | Ssp -> "SSP"
+  | Raf_ssp -> "RAF SSP"
+  | Dynaguard -> "DynaGuard"
+  | Dcr -> "DCR"
+  | Pssp -> "P-SSP"
+  | Pssp_nt -> "P-SSP-NT"
+  | Pssp_lv n -> Printf.sprintf "P-SSP-LV (%d variables)" n
+  | Pssp_owf -> "P-SSP-OWF"
+  | Pssp_owf_weak -> "P-SSP-OWF (no nonce, ablation)"
+  | Pssp_gb -> "P-SSP-GB (global buffer, SVII-C)"
+
+let of_name s =
+  match s with
+  | "none" -> Some None_
+  | "ssp" -> Some Ssp
+  | "raf-ssp" -> Some Raf_ssp
+  | "dynaguard" -> Some Dynaguard
+  | "dcr" -> Some Dcr
+  | "pssp" -> Some Pssp
+  | "pssp-nt" -> Some Pssp_nt
+  | "pssp-owf" -> Some Pssp_owf
+  | "pssp-owf-weak" -> Some Pssp_owf_weak
+  | "pssp-gb" -> Some Pssp_gb
+  | _ ->
+    if String.length s > 7 && String.sub s 0 7 = "pssp-lv" then
+      match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
+      | Some n when n >= 1 -> Some (Pssp_lv n)
+      | Some _ | None -> None
+    else None
+
+let all_basic = [ None_; Ssp; Raf_ssp; Dynaguard; Dcr; Pssp ]
+let all_extensions = [ Pssp_nt; Pssp_lv 2; Pssp_lv 4; Pssp_owf ]
+
+let prevents_brop = function
+  | None_ | Ssp | Pssp_owf_weak -> false
+  | Raf_ssp | Dynaguard | Dcr | Pssp | Pssp_nt | Pssp_lv _ | Pssp_owf | Pssp_gb
+    -> true
+
+let preserves_correctness = function
+  | Raf_ssp -> false
+  | None_ | Ssp | Dynaguard | Dcr | Pssp | Pssp_nt | Pssp_lv _ | Pssp_owf
+  | Pssp_owf_weak | Pssp_gb -> true
+
+let stack_words = function
+  | None_ -> 0
+  | Ssp | Raf_ssp | Dynaguard | Dcr | Pssp_gb -> 1
+  | Pssp | Pssp_nt -> 2
+  | Pssp_lv _ -> 2 (* return-address guard; per-variable canaries are extra *)
+  | Pssp_owf | Pssp_owf_weak -> 3 (* nonce + 128-bit ciphertext *)
+
+let equal a b =
+  match (a, b) with
+  | Pssp_lv n, Pssp_lv m -> n = m
+  | _ -> a = b
+
+let pp fmt t = Format.pp_print_string fmt (title t)

@@ -1,0 +1,62 @@
+(** The protection schemes this repository implements and compares.
+
+    The paper's contribution (P-SSP and its three extensions) plus every
+    baseline it evaluates against (Table I). *)
+
+type t =
+  | None_  (** no stack protection *)
+  | Ssp  (** classic Stack Smashing Protection (Code 1/2) *)
+  | Raf_ssp
+      (** renew-after-fork (Marco-Gisbert & Ripoll): TLS canary itself is
+          refreshed on fork — prevents BROP but breaks correctness *)
+  | Dynaguard
+      (** Petsios et al.: TLS canary refreshed on fork, plus a canary
+          address buffer so all live stack canaries are rewritten *)
+  | Dcr
+      (** Hawkins et al.: like DynaGuard, but the linked list lives in
+          the canaries themselves via embedded offsets *)
+  | Pssp  (** the basic scheme (§III): per-fork shadow pair (C0, C1) *)
+  | Pssp_nt  (** §IV-A: per-call rdrand split, no TLS update *)
+  | Pssp_lv of int
+      (** §IV-B: local-variable protection with the given number of
+          protected critical variables (>= 1) *)
+  | Pssp_owf  (** §IV-C: AES-based one-way-function canaries *)
+  | Pssp_owf_weak
+      (** ablation only: P-SSP-OWF with the nonce pinned to zero —
+          reproduces the §IV-C warning that without a nonce the canary
+          of a call site is fixed across executions and the byte-by-byte
+          attack applies again *)
+  | Pssp_gb
+      (** §VII-C: the global-buffer alternative — only C0 goes on the
+          stack (preserving the SSP layout and the full 64-bit entropy);
+          the matching C1 lives in a per-process buffer that fork clones
+          with the address space *)
+
+val name : t -> string
+(** Short machine-friendly name, e.g. ["pssp-nt"], ["pssp-lv2"]. *)
+
+val title : t -> string
+(** Human-readable name as used in the paper's tables. *)
+
+val of_name : string -> t option
+
+val all_basic : t list
+(** The schemes of Table I plus P-SSP: [None_; Ssp; Raf_ssp; Dynaguard;
+    Dcr; Pssp]. *)
+
+val all_extensions : t list
+(** [Pssp_nt; Pssp_lv 2; Pssp_lv 4; Pssp_owf] — the Table V set. *)
+
+val prevents_brop : t -> bool
+(** The "BROP Prevention" column of Table I (expected values; the
+    benchmark harness verifies them experimentally). *)
+
+val preserves_correctness : t -> bool
+(** The "Correctness" column of Table I (expected values). *)
+
+val stack_words : t -> int
+(** Canary words each protected frame carries above the locals (the
+    return-address guard only; P-SSP-LV adds more per variable). *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

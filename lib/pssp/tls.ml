@@ -1,0 +1,28 @@
+open Vm64
+
+let canary_addr fs_base = Int64.add fs_base Layout.tls_canary_offset
+let shadow_addr fs_base = Int64.add fs_base Layout.tls_shadow_offset
+let shadow_addr_hi fs_base = Int64.add fs_base Layout.tls_shadow_offset_hi
+
+let canary mem ~fs_base = Memory.read_u64 mem (canary_addr fs_base)
+let set_canary mem ~fs_base v = Memory.write_u64 mem (canary_addr fs_base) v
+
+let shadow_pair mem ~fs_base =
+  {
+    Canary.c0 = Memory.read_u64 mem (shadow_addr fs_base);
+    c1 = Memory.read_u64 mem (shadow_addr_hi fs_base);
+  }
+
+let set_shadow_pair mem ~fs_base (p : Canary.pair) =
+  Memory.write_u64 mem (shadow_addr fs_base) p.c0;
+  Memory.write_u64 mem (shadow_addr_hi fs_base) p.c1
+
+let shadow_packed mem ~fs_base = Memory.read_u64 mem (shadow_addr fs_base)
+
+let set_shadow_packed mem ~fs_base w =
+  Memory.write_u64 mem (shadow_addr fs_base) w
+
+let install_fresh_canary rng mem ~fs_base =
+  let c = Util.Prng.next64 rng in
+  set_canary mem ~fs_base c;
+  c

@@ -1,0 +1,19 @@
+(** Typed access to the canary slots of a simulated thread's TLS block.
+
+    Offsets follow the paper (§V-A): [%fs:0x28] holds the classic canary
+    [C]; [%fs:0x2a8]–[%fs:0x2b7] hold the P-SSP shadow pair [(C0, C1)].
+    The packed 32-bit form used by binary instrumentation lives in the
+    single word at [%fs:0x2a8]. *)
+
+val canary : Vm64.Memory.t -> fs_base:int64 -> int64
+val set_canary : Vm64.Memory.t -> fs_base:int64 -> int64 -> unit
+
+val shadow_pair : Vm64.Memory.t -> fs_base:int64 -> Canary.pair
+val set_shadow_pair : Vm64.Memory.t -> fs_base:int64 -> Canary.pair -> unit
+
+val shadow_packed : Vm64.Memory.t -> fs_base:int64 -> int64
+val set_shadow_packed : Vm64.Memory.t -> fs_base:int64 -> int64 -> unit
+
+val install_fresh_canary : Util.Prng.t -> Vm64.Memory.t -> fs_base:int64 -> int64
+(** Draw a fresh [C], store it at [%fs:0x28], and return it — program
+    startup behaviour of the dynamic loader. *)

@@ -1,0 +1,63 @@
+type report = {
+  prologues_patched : int;
+  epilogues_patched : int;
+  stubs_hooked : int;
+  bytes_added : int;
+  original_size : int;
+}
+
+let pp_report fmt r =
+  Format.fprintf fmt
+    "patched %d prologue(s), %d epilogue(s); hooked %d stub(s); +%d bytes (%.2f%%)"
+    r.prologues_patched r.epilogues_patched r.stubs_hooked r.bytes_added
+    (100.0 *. float_of_int r.bytes_added /. float_of_int r.original_size)
+
+let retag (image : Os.Image.t) tag = { image with Os.Image.scheme_tag = tag }
+
+let instrument (original : Os.Image.t) =
+  let image = Os.Image.clone original in
+  let original_size = Os.Image.code_size image in
+  let sites = Scan.scan image in
+  List.iter (Patch.patch_prologue image) sites.Scan.prologues;
+  let stubs_hooked = ref 0 in
+  let image, tag =
+    match image.Os.Image.linkage with
+    | Os.Image.Dynamic ->
+      (* The check routine is the (preload-overridden) __stack_chk_fail
+         the epilogue already targets. *)
+      List.iter (Patch.patch_epilogue image) sites.Scan.epilogues;
+      (image, "pssp-instr")
+    | Os.Image.Static ->
+      let added = Static_link.append_section image in
+      List.iter
+        (Patch.patch_epilogue ~check_target:added.Static_link.check_addr image)
+        sites.Scan.epilogues;
+      List.iter
+        (fun (stub, target) ->
+          if Static_link.hook_stub image ~stub ~target then incr stubs_hooked)
+        [
+          ("__stack_chk_fail", added.Static_link.check_addr);
+          ("fork", added.Static_link.fork_addr);
+          ("pthread_create", added.Static_link.pthread_addr);
+        ];
+      (image, "pssp-instr-static")
+  in
+  let image = retag image tag in
+  ( image,
+    {
+      prologues_patched = List.length sites.Scan.prologues;
+      epilogues_patched = List.length sites.Scan.epilogues;
+      stubs_hooked = !stubs_hooked;
+      bytes_added = Os.Image.code_size image - original_size;
+      original_size;
+    } )
+
+let required_preload (image : Os.Image.t) =
+  match image.Os.Image.scheme_tag with
+  | "pssp-instr" -> Os.Preload.Pssp_packed
+  | "pssp-instr-static" -> Os.Preload.No_preload
+  | "pssp" -> Os.Preload.Pssp_wide
+  | "raf-ssp" -> Os.Preload.Raf
+  | "dynaguard" -> Os.Preload.Dynaguard_fix
+  | "dcr" -> Os.Preload.Dcr_fix
+  | _ -> Os.Preload.No_preload

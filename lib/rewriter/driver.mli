@@ -1,0 +1,29 @@
+(** Top-level binary instrumentation: upgrade an SSP-compiled image to
+    P-SSP (the paper's ~1100-LoC binary rewriter).
+
+    For dynamically linked binaries only the function prologues and
+    epilogues change (zero code expansion, Table II); the modified
+    [__stack_chk_fail] arrives at runtime via the preload library. For
+    statically linked binaries a new section with P-SSP-aware glibc
+    replacements is appended and the embedded stubs are hooked. *)
+
+type report = {
+  prologues_patched : int;
+  epilogues_patched : int;
+  stubs_hooked : int;
+  bytes_added : int;
+  original_size : int;
+}
+
+val pp_report : Format.formatter -> report -> unit
+
+val instrument : Os.Image.t -> Os.Image.t * report
+(** Returns a patched deep copy tagged ["pssp-instr"] (dynamic) or
+    ["pssp-instr-static"]; the input image is untouched.
+    Raises [Patch.Patch_error] on layout violations (none occur for
+    mcc-produced SSP binaries — asserted by tests). *)
+
+val required_preload : Os.Image.t -> Os.Preload.mode
+(** What to run an image under: instrumented dynamic binaries need the
+    packed-shadow preload; instrumented static binaries are
+    self-contained; everything else keeps its compiler-chosen mode. *)

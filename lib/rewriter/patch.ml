@@ -1,0 +1,43 @@
+open Isa
+
+exception Patch_error of string
+
+let fail fmt = Printf.ksprintf (fun s -> raise (Patch_error s)) fmt
+
+let text_offset (image : Os.Image.t) addr =
+  let off = Int64.sub addr image.Os.Image.text_base in
+  if
+    Int64.compare off 0L < 0
+    || Int64.compare off (Int64.of_int (Bytes.length image.Os.Image.text)) >= 0
+  then fail "address 0x%Lx outside text section" addr;
+  Int64.to_int off
+
+let write_code_at image addr insns =
+  let off = text_offset image addr in
+  let code = Encode.list_to_bytes insns in
+  Bytes.blit code 0 image.Os.Image.text off (Bytes.length code)
+
+let replace_same_length image addr ~old_len insns =
+  let code = Encode.list_to_bytes insns in
+  if Bytes.length code <> old_len then
+    fail "replacement at 0x%Lx is %d bytes, original %d — layout would shift"
+      addr (Bytes.length code) old_len;
+  let off = text_offset image addr in
+  Bytes.blit code 0 image.Os.Image.text off old_len
+
+let fs_shadow = Operand.fs Vm64.Layout.tls_shadow_offset
+
+let patch_prologue image (site : Scan.prologue_site) =
+  replace_same_length image site.Scan.p_addr ~old_len:site.Scan.p_len
+    [ Insn.Mov (Operand.reg Reg.RAX, fs_shadow) ]
+
+let patch_epilogue ?check_target image (site : Scan.epilogue_site) =
+  let target =
+    match check_target with Some t -> t | None -> site.Scan.e_fail_target
+  in
+  (* mov -8(%rbp),%rdx  ->  mov -8(%rbp),%rdi   (same length: reg swap) *)
+  replace_same_length image site.Scan.e_load_addr ~old_len:site.Scan.e_load_len
+    [ Insn.Mov (Operand.reg Reg.RDI, Operand.rbp_rel (-8)) ];
+  (* xor %fs:0x28,%rdx  ->  call <check>        (both 9 bytes) *)
+  replace_same_length image site.Scan.e_xor_addr ~old_len:site.Scan.e_xor_len
+    [ Insn.Call (Insn.Abs target) ]

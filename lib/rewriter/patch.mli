@@ -1,0 +1,29 @@
+(** In-place patching of SSP sites to P-SSP (§V-C).
+
+    Both challenges of §V-C are enforced mechanically:
+    - stack layout preservation: the canary slot stays one word, holding
+      the packed 2×32-bit pair (entropy downgrade acknowledged in the
+      paper's caveat);
+    - address layout preservation: every replacement instruction is
+      asserted byte-length-equal to the instruction it overwrites, so no
+      offset in the binary moves. *)
+
+exception Patch_error of string
+
+val patch_prologue : Os.Image.t -> Scan.prologue_site -> unit
+(** [mov %fs:0x28,%rax] → [mov %fs:0x2a8,%rax] — only the TLS offset
+    changes (Code 5). *)
+
+val patch_epilogue : ?check_target:int64 -> Os.Image.t -> Scan.epilogue_site -> unit
+(** Rewrite the Code 2 check into the instrumented form: the canary word
+    is loaded into rdi and the XOR is replaced by a call into the
+    combined check-and-fail routine (which sets ZF on success), keeping
+    the original [je]/[call] — byte-for-byte the same length as the SSP
+    epilogue. [check_target] defaults to the epilogue's original fail
+    target (whose implementation is replaced by preload override or
+    static hook). *)
+
+val write_code_at : Os.Image.t -> int64 -> Isa.Insn.t list -> unit
+(** Overwrite instructions at an absolute text address; asserts the
+    encoding fits exactly the span of what it replaces is the caller's
+    responsibility. Raises {!Patch_error} if outside the text section. *)

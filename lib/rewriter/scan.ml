@@ -1,0 +1,86 @@
+open Isa
+
+type prologue_site = { p_func : string; p_addr : int64; p_len : int }
+
+type epilogue_site = {
+  e_func : string;
+  e_load_addr : int64;
+  e_load_len : int;
+  e_xor_addr : int64;
+  e_xor_len : int;
+  e_je_addr : int64;
+  e_call_addr : int64;
+  e_fail_target : int64;
+}
+
+type sites = {
+  prologues : prologue_site list;
+  epilogues : epilogue_site list;
+}
+
+let is_fs_canary_mem (m : Operand.mem) =
+  m.seg_fs && m.base = None && m.index = None
+  && Int64.equal m.disp Vm64.Layout.tls_canary_offset
+
+let is_rbp_guard_mem (m : Operand.mem) =
+  (not m.seg_fs)
+  && (match m.base with Some r -> Reg.equal r Reg.RBP | None -> false)
+  && m.index = None
+  && Int64.equal m.disp (-8L)
+
+let insn_len insn = Encode.length insn
+
+let scan_function image (sym : Os.Image.symbol) =
+  let listing = Os.Image.disassemble_symbol image sym.Os.Image.sym_name in
+  let arr = Array.of_list listing in
+  let prologues = ref [] in
+  let epilogues = ref [] in
+  Array.iteri
+    (fun i (addr, insn) ->
+      (match insn with
+      (* prologue: mov %fs:0x28,%rax *)
+      | Insn.Mov (Operand.Reg Reg.RAX, Operand.Mem m) when is_fs_canary_mem m ->
+        prologues :=
+          { p_func = sym.Os.Image.sym_name; p_addr = addr; p_len = insn_len insn }
+          :: !prologues
+      (* epilogue: mov -8(%rbp),%rdx; xor %fs:0x28,%rdx; je _; call _ *)
+      | Insn.Mov (Operand.Reg Reg.RDX, Operand.Mem m)
+        when is_rbp_guard_mem m && i + 3 < Array.length arr -> (
+        let _, insn2 = arr.(i + 1) in
+        let _, insn3 = arr.(i + 2) in
+        let _, insn4 = arr.(i + 3) in
+        match (insn2, insn3, insn4) with
+        | ( Insn.Bin (Insn.Xor, Operand.Reg Reg.RDX, Operand.Mem mx),
+            Insn.Jcc (Insn.E, _),
+            Insn.Call (Insn.Abs fail_target) )
+          when is_fs_canary_mem mx ->
+          let xor_addr = fst arr.(i + 1) in
+          epilogues :=
+            {
+              e_func = sym.Os.Image.sym_name;
+              e_load_addr = addr;
+              e_load_len = insn_len insn;
+              e_xor_addr = xor_addr;
+              e_xor_len = insn_len insn2;
+              e_je_addr = fst arr.(i + 2);
+              e_call_addr = fst arr.(i + 3);
+              e_fail_target = fail_target;
+            }
+            :: !epilogues
+        | _ -> ())
+      | _ -> ()))
+    arr;
+  (List.rev !prologues, List.rev !epilogues)
+
+let scan image =
+  let prologues = ref [] in
+  let epilogues = ref [] in
+  List.iter
+    (fun (sym : Os.Image.symbol) ->
+      if sym.Os.Image.sym_size > 0 then begin
+        let p, e = scan_function image sym in
+        prologues := !prologues @ p;
+        epilogues := !epilogues @ e
+      end)
+    image.Os.Image.symbols;
+  { prologues = !prologues; epilogues = !epilogues }

@@ -1,0 +1,33 @@
+(** Pattern scanner: locate SSP prologue/epilogue instruction sequences
+    inside a binary's functions, by disassembly.
+
+    The prologue signature is the TLS canary load
+    [mov %fs:0x28,%rax]; the epilogue signature is the four-instruction
+    check of Code 2: load the stack canary into rdx, XOR against
+    [%fs:0x28], [je], [call __stack_chk_fail]. *)
+
+type prologue_site = {
+  p_func : string;
+  p_addr : int64;  (** address of the [mov %fs:0x28,%rax] *)
+  p_len : int;
+}
+
+type epilogue_site = {
+  e_func : string;
+  e_load_addr : int64;  (** [mov -8(%rbp),%rdx] *)
+  e_load_len : int;
+  e_xor_addr : int64;  (** [xor %fs:0x28,%rdx] *)
+  e_xor_len : int;
+  e_je_addr : int64;
+  e_call_addr : int64;
+  e_fail_target : int64;  (** resolved target of the failing call *)
+}
+
+type sites = {
+  prologues : prologue_site list;
+  epilogues : epilogue_site list;
+}
+
+val scan : Os.Image.t -> sites
+(** Scan every function symbol. Functions without SSP code contribute
+    nothing. Raises [Isa.Decode.Bad_encoding] on corrupt text. *)

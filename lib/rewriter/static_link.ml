@@ -1,0 +1,145 @@
+open Isa
+open Isa.Insn
+
+type added = {
+  extra_base : int64;
+  check_addr : int64;
+  fork_addr : int64;
+  pthread_addr : int64;
+  ctor_addr : int64;
+}
+
+let rcx = Operand.reg Reg.RCX
+let rdx = Operand.reg Reg.RDX
+let rdi = Operand.reg Reg.RDI
+let r10 = Operand.reg Reg.R10
+let r11 = Operand.reg Reg.R11
+let rax = Operand.reg Reg.RAX
+
+let fs_canary = Operand.fs Vm64.Layout.tls_canary_offset
+let fs_shadow = Operand.fs Vm64.Layout.tls_shadow_offset
+
+(* Refresh the packed 2x32-bit shadow word: c0 random, c1 = c0 ^ low32(C),
+   stored as c1||c0 at %fs:0x2a8. Clobbers rcx/rdx/r10/r11 only. *)
+let emit_packed_refresh b =
+  Builder.emit_all b
+    [
+      Rdrand Reg.RCX;
+      Mov (rdx, fs_canary);
+      Mov (r10, rcx);
+      Shift (Shl, r10, 32);
+      Shift (Shr, r10, 32) (* c0 *);
+      Mov (r11, rdx);
+      Shift (Shl, r11, 32);
+      Shift (Shr, r11, 32) (* low32(C) *);
+      Bin (Xor, r11, r10) (* c1 *);
+      Shift (Shl, r11, 32);
+      Bin (Or, r11, r10);
+      Mov (fs_shadow, r11);
+    ]
+
+(* The combined check-and-fail of Figs. 3/4: rdi = c1||c0; verify
+   c0 ^ c1 = low32(C). Returns with ZF set on success; aborts otherwise. *)
+let emit_check b =
+  let ok = Builder.fresh_label b "pssp_ok" in
+  Builder.emit_all b
+    [
+      Mov (r10, rdi);
+      Shift (Shl, r10, 32);
+      Shift (Shr, r10, 32) (* c0 *);
+      Mov (r11, rdi);
+      Shift (Shr, r11, 32) (* c1 *);
+      Bin (Xor, r10, r11);
+      Mov (rdx, fs_canary);
+      Shift (Shl, rdx, 32);
+      Shift (Shr, rdx, 32);
+      Bin (Cmp, r10, rdx);
+      Jcc (E, Sym ok);
+      Call (Abs (Os.Glibc.addr_of "__GI__fortify_fail"));
+    ];
+  Builder.label b ok;
+  (* ZF = 1 here courtesy of the equality compare; ret preserves flags. *)
+  Builder.emit b Ret
+
+let emit_fork_wrapper b ~underlying =
+  let done_ = Builder.fresh_label b "fork_done" in
+  Builder.emit_all b [ Call (Abs underlying); Bin (Test, rax, rax); Jcc (NE, Sym done_) ];
+  emit_packed_refresh b;
+  Builder.label b done_;
+  Builder.emit b Ret
+
+let emit_ctor b =
+  emit_packed_refresh b;
+  Builder.emit b Ret
+
+let align16 (n : int64) = Int64.logand (Int64.add n 15L) (Int64.lognot 15L)
+
+let append_section (image : Os.Image.t) =
+  let extra_base =
+    align16
+      (Int64.add image.Os.Image.text_base
+         (Int64.of_int (Bytes.length image.Os.Image.text)))
+  in
+  let b = Builder.create () in
+  Builder.label b "__pssp_stack_chk_fail";
+  emit_check b;
+  Builder.label b "__pssp_fork";
+  emit_fork_wrapper b ~underlying:(Os.Glibc.addr_of "fork");
+  Builder.label b "__pssp_pthread_create";
+  (* the thread wrapper refreshes the caller's shadow after creation;
+     the new thread's own TLS refresh is applied at spawn (see
+     Kernel.spawn_thread and DESIGN.md) *)
+  Builder.emit b (Call (Abs (Os.Glibc.addr_of "pthread_create")));
+  emit_packed_refresh b;
+  Builder.emit b Ret;
+  Builder.label b "__pssp_ctor";
+  emit_ctor b;
+  let assembled = Builder.assemble b ~base:extra_base ~externs:(fun _ -> None) in
+  image.Os.Image.extra_base <- extra_base;
+  image.Os.Image.extra <- assembled.Builder.code;
+  let label_addr name =
+    match List.assoc_opt name assembled.Builder.labels with
+    | Some off -> Int64.add extra_base (Int64.of_int off)
+    | None -> assert false
+  in
+  let sym name next =
+    let addr = label_addr name in
+    let size =
+      Int64.to_int
+        (Int64.sub
+           (match next with
+           | Some n -> label_addr n
+           | None ->
+             Int64.add extra_base (Int64.of_int (Bytes.length assembled.Builder.code)))
+           addr)
+    in
+    { Os.Image.sym_name = name; sym_addr = addr; sym_size = size }
+  in
+  image.Os.Image.symbols <-
+    image.Os.Image.symbols
+    @ [
+        sym "__pssp_stack_chk_fail" (Some "__pssp_fork");
+        sym "__pssp_fork" (Some "__pssp_pthread_create");
+        sym "__pssp_pthread_create" (Some "__pssp_ctor");
+        sym "__pssp_ctor" None;
+      ];
+  {
+    extra_base;
+    check_addr = label_addr "__pssp_stack_chk_fail";
+    fork_addr = label_addr "__pssp_fork";
+    pthread_addr = label_addr "__pssp_pthread_create";
+    ctor_addr = label_addr "__pssp_ctor";
+  }
+
+let hook_stub (image : Os.Image.t) ~stub ~target =
+  match Os.Image.find_symbol image stub with
+  | None -> false
+  | Some sym ->
+    let jmp = Encode.list_to_bytes [ Jmp (Abs target) ] in
+    let pad = sym.Os.Image.sym_size - Bytes.length jmp in
+    if pad < 0 then
+      raise (Patch.Patch_error (Printf.sprintf "stub %s too small to hook" stub));
+    let code = Bytes.cat jmp (Encode.list_to_bytes (List.init pad (fun _ -> Nop))) in
+    let off = Int64.to_int (Int64.sub sym.Os.Image.sym_addr image.Os.Image.text_base) in
+    Bytes.blit code 0 image.Os.Image.text off (Bytes.length code);
+    true

@@ -1,0 +1,24 @@
+(** Dyninst-style treatment of statically linked binaries (§V-D).
+
+    A new code section is appended holding P-SSP-aware replacements for
+    the embedded glibc functions, plus a constructor; the original
+    [fork] / [pthread_create] / [__stack_chk_fail] stubs are hooked with
+    a [jmp] at their entry. This is the source of the 2.78% code
+    expansion Table II reports for static binaries. *)
+
+type added = {
+  extra_base : int64;
+  check_addr : int64;  (** combined check-and-fail (Figs. 3/4) *)
+  fork_addr : int64;  (** fork wrapper refreshing the child's shadow *)
+  pthread_addr : int64;
+  ctor_addr : int64;  (** [setup_p-ssp]: initial shadow before main *)
+}
+
+val append_section : Os.Image.t -> added
+(** Build and attach the extra section (mutates the image's [extra]
+    fields) and register its symbols, including ["__pssp_ctor"] which
+    the loader runs before [main]. *)
+
+val hook_stub : Os.Image.t -> stub:string -> target:int64 -> bool
+(** Overwrite the named stub's entry with [jmp target] (padded with
+    [nop]). Returns [false] if the stub symbol is absent. *)

@@ -1,0 +1,60 @@
+let hex_digit n = "0123456789abcdef".[n]
+
+let of_bytes b =
+  let n = Bytes.length b in
+  let out = Bytes.create (2 * n) in
+  for i = 0 to n - 1 do
+    let c = Char.code (Bytes.get b i) in
+    Bytes.set out (2 * i) (hex_digit (c lsr 4));
+    Bytes.set out ((2 * i) + 1) (hex_digit (c land 0xF))
+  done;
+  Bytes.unsafe_to_string out
+
+let of_string s = of_bytes (Bytes.of_string s)
+
+let digit_value c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> invalid_arg "Hex.to_bytes: bad digit"
+
+let to_bytes s =
+  let n = String.length s in
+  if n mod 2 <> 0 then invalid_arg "Hex.to_bytes: odd length";
+  let out = Bytes.create (n / 2) in
+  for i = 0 to (n / 2) - 1 do
+    let hi = digit_value s.[2 * i] in
+    let lo = digit_value s.[(2 * i) + 1] in
+    Bytes.set out i (Char.chr ((hi lsl 4) lor lo))
+  done;
+  out
+
+let int64 v = Printf.sprintf "%016Lx" v
+let int64_pretty v = Printf.sprintf "0x%Lx" v
+
+let printable c = if Char.code c >= 0x20 && Char.code c < 0x7F then c else '.'
+
+let dump ?(base = 0L) b =
+  let buf = Buffer.create 256 in
+  let n = Bytes.length b in
+  let line_start = ref 0 in
+  while !line_start < n do
+    let len = Stdlib.min 16 (n - !line_start) in
+    Buffer.add_string buf
+      (Printf.sprintf "%08Lx  " (Int64.add base (Int64.of_int !line_start)));
+    for i = 0 to 15 do
+      if i < len then
+        Buffer.add_string buf
+          (Printf.sprintf "%02x " (Char.code (Bytes.get b (!line_start + i))))
+      else Buffer.add_string buf "   ";
+      if i = 7 then Buffer.add_char buf ' '
+    done;
+    Buffer.add_string buf " |";
+    for i = 0 to len - 1 do
+      Buffer.add_char buf (printable (Bytes.get b (!line_start + i)))
+    done;
+    Buffer.add_string buf "|\n";
+    line_start := !line_start + 16
+  done;
+  Buffer.contents buf

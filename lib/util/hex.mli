@@ -1,0 +1,20 @@
+(** Hexadecimal rendering helpers for debugging simulated memory and
+    binary images. *)
+
+val of_bytes : bytes -> string
+(** Lowercase hex string, no separators. *)
+
+val of_string : string -> string
+
+val to_bytes : string -> bytes
+(** Inverse of {!of_bytes}. Raises [Invalid_argument] on malformed input. *)
+
+val int64 : int64 -> string
+(** 16-digit zero-padded hex of a 64-bit value, e.g. ["00000000deadbeef"]. *)
+
+val int64_pretty : int64 -> string
+(** ["0x"]-prefixed unpadded hex. *)
+
+val dump : ?base:int64 -> bytes -> string
+(** Classic 16-bytes-per-line hexdump with ASCII gutter; [base] sets the
+    address of the first byte. *)

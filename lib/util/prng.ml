@@ -1,0 +1,93 @@
+module Splitmix = struct
+  type t = { mutable state : int64 }
+
+  let create seed = { state = seed }
+
+  (* SplitMix64, Steele et al. — the standard seeding PRNG. *)
+  let next t =
+    t.state <- Int64.add t.state 0x9E3779B97F4A7C15L;
+    let z = t.state in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+end
+
+type t = {
+  mutable s0 : int64;
+  mutable s1 : int64;
+  mutable s2 : int64;
+  mutable s3 : int64;
+}
+
+let rotl x k = Int64.logor (Int64.shift_left x k) (Int64.shift_right_logical x (64 - k))
+
+let of_state (s0, s1, s2, s3) =
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then
+    invalid_arg "Prng.of_state: all-zero state";
+  { s0; s1; s2; s3 }
+
+let create seed =
+  let sm = Splitmix.create seed in
+  let s0 = Splitmix.next sm in
+  let s1 = Splitmix.next sm in
+  let s2 = Splitmix.next sm in
+  let s3 = Splitmix.next sm in
+  (* SplitMix64 cannot produce four consecutive zeroes, but be safe. *)
+  if s0 = 0L && s1 = 0L && s2 = 0L && s3 = 0L then of_state (1L, 2L, 3L, 4L)
+  else { s0; s1; s2; s3 }
+
+let copy t = { s0 = t.s0; s1 = t.s1; s2 = t.s2; s3 = t.s3 }
+
+(* xoshiro256** by Blackman & Vigna. *)
+let next64 t =
+  let result = Int64.mul (rotl (Int64.mul t.s1 5L) 7) 9L in
+  let tmp = Int64.shift_left t.s1 17 in
+  t.s2 <- Int64.logxor t.s2 t.s0;
+  t.s3 <- Int64.logxor t.s3 t.s1;
+  t.s1 <- Int64.logxor t.s1 t.s2;
+  t.s0 <- Int64.logxor t.s0 t.s3;
+  t.s2 <- Int64.logxor t.s2 tmp;
+  t.s3 <- rotl t.s3 45;
+  result
+
+let next32 t = Int64.to_int32 (Int64.shift_right_logical (next64 t) 32)
+
+let bits t n =
+  if n < 1 || n > 64 then invalid_arg "Prng.bits";
+  if n = 64 then next64 t
+  else Int64.shift_right_logical (next64 t) (64 - n)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling over the low 62 bits to avoid modulo bias. *)
+  let mask = 0x3FFFFFFFFFFFFFFFL in
+  let rec loop () =
+    let v = Int64.to_int (Int64.logand (next64 t) mask) in
+    let r = v mod bound in
+    if v - r + (bound - 1) >= 0 then r else loop ()
+  in
+  loop ()
+
+let byte t = Int64.to_int (Int64.logand (next64 t) 0xFFL)
+let bool t = Int64.logand (next64 t) 1L = 1L
+
+let float t =
+  let v = Int64.to_float (Int64.shift_right_logical (next64 t) 11) in
+  v *. (1.0 /. 9007199254740992.0)
+
+let bytes t n =
+  let b = Bytes.create n in
+  for i = 0 to n - 1 do
+    Bytes.unsafe_set b i (Char.unsafe_chr (byte t))
+  done;
+  b
+
+let shuffle t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let split t = create (next64 t)

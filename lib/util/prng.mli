@@ -1,0 +1,64 @@
+(** Deterministic pseudo-random number generation.
+
+    Two generators are provided:
+    - {!Splitmix}: SplitMix64, used for seeding and cheap streams;
+    - {!t}: xoshiro256** — the main generator backing the simulated
+      [rdrand] instruction and all randomized canary material.
+
+    Both are fully deterministic given a seed, which keeps every
+    experiment in the repository reproducible. *)
+
+module Splitmix : sig
+  type t
+
+  val create : int64 -> t
+  (** [create seed] makes a SplitMix64 stream from [seed]. *)
+
+  val next : t -> int64
+  (** [next t] advances the stream and returns the next 64-bit value. *)
+end
+
+type t
+(** A xoshiro256** generator. *)
+
+val create : int64 -> t
+(** [create seed] seeds a generator via SplitMix64 expansion of [seed]. *)
+
+val of_state : int64 * int64 * int64 * int64 -> t
+(** [of_state s] builds a generator from an explicit 256-bit state.
+    Raises [Invalid_argument] if the state is all zeroes. *)
+
+val copy : t -> t
+(** [copy t] is an independent generator with the same current state. *)
+
+val next64 : t -> int64
+(** [next64 t] returns the next 64-bit output. *)
+
+val next32 : t -> int32
+(** [next32 t] returns the next 32-bit output. *)
+
+val bits : t -> int -> int64
+(** [bits t n] returns an [n]-bit value ([1 <= n <= 64]) in the low bits. *)
+
+val int : t -> int -> int
+(** [int t bound] is a uniform integer in [\[0, bound)].
+    Raises [Invalid_argument] if [bound <= 0]. *)
+
+val byte : t -> int
+(** [byte t] is a uniform value in [\[0, 255\]]. *)
+
+val bool : t -> bool
+
+val float : t -> float
+(** [float t] is uniform in [\[0, 1)]. *)
+
+val bytes : t -> int -> bytes
+(** [bytes t n] is a fresh buffer of [n] uniform bytes. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)
+
+val split : t -> t
+(** [split t] derives a statistically independent child generator and
+    advances [t]. Used to give each simulated process its own entropy
+    stream. *)

@@ -1,0 +1,96 @@
+let check_nonempty name xs =
+  if Array.length xs = 0 then invalid_arg (name ^ ": empty array")
+
+let mean xs =
+  check_nonempty "Stats.mean" xs;
+  Array.fold_left ( +. ) 0.0 xs /. float_of_int (Array.length xs)
+
+let stddev xs =
+  check_nonempty "Stats.stddev" xs;
+  let n = Array.length xs in
+  if n = 1 then 0.0
+  else begin
+    let m = mean xs in
+    let acc = Array.fold_left (fun a x -> a +. ((x -. m) ** 2.0)) 0.0 xs in
+    sqrt (acc /. float_of_int (n - 1))
+  end
+
+let sorted xs =
+  let ys = Array.copy xs in
+  Array.sort compare ys;
+  ys
+
+let percentile xs p =
+  check_nonempty "Stats.percentile" xs;
+  if p < 0.0 || p > 100.0 then invalid_arg "Stats.percentile: p out of range";
+  let ys = sorted xs in
+  let n = Array.length ys in
+  if n = 1 then ys.(0)
+  else begin
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (floor rank) in
+    let hi = Stdlib.min (lo + 1) (n - 1) in
+    let frac = rank -. float_of_int lo in
+    ys.(lo) +. (frac *. (ys.(hi) -. ys.(lo)))
+  end
+
+let median xs = percentile xs 50.0
+
+let min xs =
+  check_nonempty "Stats.min" xs;
+  Array.fold_left Stdlib.min xs.(0) xs
+
+let max xs =
+  check_nonempty "Stats.max" xs;
+  Array.fold_left Stdlib.max xs.(0) xs
+
+let geomean xs =
+  check_nonempty "Stats.geomean" xs;
+  let acc =
+    Array.fold_left
+      (fun a x ->
+        if x <= 0.0 then invalid_arg "Stats.geomean: nonpositive input";
+        a +. log x)
+      0.0 xs
+  in
+  exp (acc /. float_of_int (Array.length xs))
+
+let overhead_pct ~baseline ~measured =
+  if baseline = 0.0 then invalid_arg "Stats.overhead_pct: zero baseline";
+  (measured -. baseline) /. baseline *. 100.0
+
+let chi_square ~expected ~observed =
+  if Array.length expected <> Array.length observed then
+    invalid_arg "Stats.chi_square: length mismatch";
+  let acc = ref 0.0 in
+  Array.iteri
+    (fun i e ->
+      if e <= 0.0 then invalid_arg "Stats.chi_square: nonpositive expected";
+      let d = observed.(i) -. e in
+      acc := !acc +. (d *. d /. e))
+    expected;
+  !acc
+
+let chi_square_uniform ~observed =
+  check_nonempty "Stats.chi_square_uniform" (Array.map float_of_int observed);
+  let k = Array.length observed in
+  let total = Array.fold_left ( + ) 0 observed in
+  let e = float_of_int total /. float_of_int k in
+  let expected = Array.make k e in
+  chi_square ~expected ~observed:(Array.map float_of_int observed)
+
+(* chi^2 inverse CDF at p=0.999, df=255 (from standard tables). *)
+let chi_square_critical_256_p001 = 330.5197
+
+let histogram ~buckets ~lo ~hi xs =
+  if buckets <= 0 then invalid_arg "Stats.histogram: buckets";
+  if hi <= lo then invalid_arg "Stats.histogram: bad range";
+  let counts = Array.make buckets 0 in
+  let width = (hi -. lo) /. float_of_int buckets in
+  Array.iter
+    (fun x ->
+      let i = int_of_float ((x -. lo) /. width) in
+      let i = Stdlib.max 0 (Stdlib.min (buckets - 1) i) in
+      counts.(i) <- counts.(i) + 1)
+    xs;
+  counts

@@ -1,0 +1,37 @@
+(** Small statistics toolkit used by the benchmark harness and the
+    security experiments (chi-square independence tests for Theorem 1). *)
+
+val mean : float array -> float
+(** Arithmetic mean. Raises [Invalid_argument] on an empty array. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for singletons. *)
+
+val median : float array -> float
+(** Median (does not mutate the input). *)
+
+val percentile : float array -> float -> float
+(** [percentile xs p] for [p] in [\[0,100\]], linear interpolation. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val geomean : float array -> float
+(** Geometric mean; inputs must be positive. *)
+
+val overhead_pct : baseline:float -> measured:float -> float
+(** [(measured - baseline) / baseline * 100]. *)
+
+val chi_square : expected:float array -> observed:float array -> float
+(** Pearson chi-square statistic; arrays must have equal length. *)
+
+val chi_square_uniform : observed:int array -> float
+(** Chi-square statistic against the uniform distribution over the
+    observed categories. *)
+
+val chi_square_critical_256_p001 : float
+(** Critical value for 255 degrees of freedom at significance 0.001.
+    Used to test uniformity of canary byte distributions. *)
+
+val histogram : buckets:int -> lo:float -> hi:float -> float array -> int array
+(** Fixed-width histogram; out-of-range samples clamp to edge buckets. *)

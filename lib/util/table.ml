@@ -1,0 +1,88 @@
+type align = Left | Right | Center
+
+type row = Cells of string list | Separator
+
+type t = {
+  title : string option;
+  headers : string list;
+  arity : int;
+  mutable aligns : align list;
+  mutable rows : row list; (* reversed *)
+}
+
+let default_aligns arity =
+  List.init arity (fun i -> if i = 0 then Left else Right)
+
+let create ?title headers =
+  let arity = List.length headers in
+  if arity = 0 then invalid_arg "Table.create: no headers";
+  { title; headers; arity; aligns = default_aligns arity; rows = [] }
+
+let set_align t aligns =
+  if List.length aligns <> t.arity then invalid_arg "Table.set_align: arity";
+  t.aligns <- aligns
+
+let add_row t cells =
+  if List.length cells <> t.arity then invalid_arg "Table.add_row: arity";
+  t.rows <- Cells cells :: t.rows
+
+let add_separator t = t.rows <- Separator :: t.rows
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else
+    let fill = width - n in
+    match align with
+    | Left -> s ^ String.make fill ' '
+    | Right -> String.make fill ' ' ^ s
+    | Center ->
+      let left = fill / 2 in
+      String.make left ' ' ^ s ^ String.make (fill - left) ' '
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let update cells =
+    List.iteri
+      (fun i c -> widths.(i) <- Stdlib.max widths.(i) (String.length c))
+      cells
+  in
+  List.iter (function Cells c -> update c | Separator -> ()) rows;
+  let buf = Buffer.create 512 in
+  let rule () =
+    Array.iteri
+      (fun i w ->
+        Buffer.add_string buf (if i = 0 then "+" else "+");
+        Buffer.add_string buf (String.make (w + 2) '-'))
+      widths;
+    Buffer.add_string buf "+\n"
+  in
+  let emit_row aligns cells =
+    List.iteri
+      (fun i c ->
+        let a = List.nth aligns i in
+        Buffer.add_string buf "| ";
+        Buffer.add_string buf (pad a widths.(i) c);
+        Buffer.add_char buf ' ')
+      cells;
+    Buffer.add_string buf "|\n"
+  in
+  (match t.title with
+  | Some title -> Buffer.add_string buf (title ^ "\n")
+  | None -> ());
+  rule ();
+  emit_row (List.init t.arity (fun _ -> Center)) t.headers;
+  rule ();
+  List.iter
+    (function
+      | Cells c -> emit_row t.aligns c
+      | Separator -> rule ())
+    rows;
+  rule ();
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let cell_float ?(digits = 2) v = Printf.sprintf "%.*f" digits v
+let cell_pct ?(digits = 2) v = Printf.sprintf "%.*f%%" digits v

@@ -1,0 +1,30 @@
+(** ASCII table rendering for the benchmark harness, so each experiment
+    prints rows in the same visual form as the paper's tables. *)
+
+type align = Left | Right | Center
+
+type t
+
+val create : ?title:string -> string list -> t
+(** [create ~title headers] starts a table with the given column headers. *)
+
+val set_align : t -> align list -> unit
+(** Per-column alignment; defaults to [Left] for the first column and
+    [Right] for the rest. *)
+
+val add_row : t -> string list -> unit
+(** Raises [Invalid_argument] if the arity differs from the header. *)
+
+val add_separator : t -> unit
+(** Inserts a horizontal rule between row groups. *)
+
+val render : t -> string
+
+val print : t -> unit
+(** [render] followed by [print_string]. *)
+
+val cell_float : ?digits:int -> float -> string
+(** Format a float with [digits] decimals (default 2). *)
+
+val cell_pct : ?digits:int -> float -> string
+(** Like {!cell_float} with a ["%"] suffix. *)

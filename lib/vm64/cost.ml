@@ -1,0 +1,32 @@
+let rdrand_cycles = 334
+let aes_encrypt_call_cycles = 110
+let syscall_cycles = 150
+let fork_cycles = 2500
+let builtin_byte_cycles = 1
+let builtin_base_cycles = 4
+
+let cycles = function
+  | Isa.Insn.Nop -> 1
+  | Mov _ | Movb _ | Movl _ -> 1
+  | Lea _ -> 1
+  | Push _ | Pop _ -> 1
+  | Bin (Imul, _, _) -> 3
+  | Bin ((Idiv | Irem), _, _) -> 22
+  | Bin _ -> 1
+  | Shift _ -> 1
+  | Neg _ | Not _ -> 1
+  | Jmp _ -> 1
+  | Jcc _ -> 1
+  | Setcc _ -> 1
+  | Call _ | Call_ind _ -> 2
+  | Ret -> 2
+  | Leave -> 2
+  | Rdrand _ -> rdrand_cycles
+  | Rdtsc -> 24
+  | Syscall -> 2 (* trap itself; kernel work charged separately *)
+  | Hlt -> 1
+  | Movq_to_xmm _ | Movq_from_xmm _ | Pinsrq_high _ -> 1
+  | Movhps_load _ | Movq_store _ -> 1
+  | Movdqu_load _ | Movdqu_store _ -> 2
+  | Aesenc _ | Aesenclast _ -> 7
+  | Pcmpeq128 _ -> 2

@@ -1,0 +1,30 @@
+(** Per-instruction cycle model.
+
+    Calibrated against the deltas the paper reports on an i7-4770K
+    (Table V and §VI-B): [rdrand] "costs about 340 more CPU cycles";
+    the AES path "about 272 more"; plain moves and XORs are
+    single-cycle. Absolute magnitudes are a model, but the *ratios*
+    between schemes — which is what Table V and Figure 5 compare — are
+    preserved. *)
+
+val cycles : Isa.Insn.t -> int
+
+val rdrand_cycles : int
+(** Exposed for the Table V calibration note. *)
+
+val aes_encrypt_call_cycles : int
+(** Cost charged by the glibc [AES_ENCRYPT_128] helper (10 rounds plus
+    key schedule, amortised), matching AES-NI latency on Haswell. *)
+
+val syscall_cycles : int
+(** Kernel entry/exit cost, charged by the OS layer per syscall. *)
+
+val fork_cycles : int
+(** Address-space clone cost model for [fork]. *)
+
+val builtin_byte_cycles : int
+(** Marginal cost per byte for memory-touching glibc builtins
+    (memcpy & co): modelled at one byte/cycle. *)
+
+val builtin_base_cycles : int
+(** Fixed call overhead of any glibc builtin. *)

@@ -1,0 +1,57 @@
+type flags = {
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable of_ : bool;
+}
+
+type t = {
+  gprs : int64 array;
+  xmms : (int64 * int64) array;
+  mutable rip : int64;
+  flags : flags;
+  mutable fs_base : int64;
+  mutable cycles : int64;
+  mutable insn_tax : int;
+  mutable call_tax : int;
+  rng : Util.Prng.t;
+  decode_cache : (int64, Isa.Insn.t * int) Hashtbl.t;
+}
+
+let create ?(seed = 0x5EEDL) () =
+  {
+    gprs = Array.make 16 0L;
+    xmms = Array.make 16 (0L, 0L);
+    rip = 0L;
+    flags = { zf = false; sf = false; cf = false; of_ = false };
+    fs_base = 0L;
+    cycles = 0L;
+    insn_tax = 0;
+    call_tax = 0;
+    rng = Util.Prng.create seed;
+    decode_cache = Hashtbl.create 1024;
+  }
+
+let get t r = t.gprs.(Isa.Reg.index r)
+let set t r v = t.gprs.(Isa.Reg.index r) <- v
+
+let get_xmm t x = t.xmms.(Isa.Reg.Xmm.index x)
+let set_xmm t x v = t.xmms.(Isa.Reg.Xmm.index x) <- v
+
+let clone t =
+  {
+    gprs = Array.copy t.gprs;
+    xmms = Array.copy t.xmms;
+    rip = t.rip;
+    flags =
+      { zf = t.flags.zf; sf = t.flags.sf; cf = t.flags.cf; of_ = t.flags.of_ };
+    fs_base = t.fs_base;
+    cycles = t.cycles;
+    insn_tax = t.insn_tax;
+    call_tax = t.call_tax;
+    rng = Util.Prng.split t.rng;
+    (* fork children share the cache: their text is byte-identical *)
+    decode_cache = t.decode_cache;
+  }
+
+let add_cycles t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)

@@ -1,0 +1,42 @@
+(** Architectural state of one simulated hardware thread. *)
+
+type flags = {
+  mutable zf : bool;
+  mutable sf : bool;
+  mutable cf : bool;
+  mutable of_ : bool;
+}
+
+type t = {
+  gprs : int64 array;  (** 16 general-purpose registers, by {!Isa.Reg.index} *)
+  xmms : (int64 * int64) array;  (** 16 XMM registers as (lo, hi) qwords *)
+  mutable rip : int64;
+  flags : flags;
+  mutable fs_base : int64;  (** TLS segment base *)
+  mutable cycles : int64;  (** retired cycle count; also feeds [rdtsc] *)
+  mutable insn_tax : int;
+      (** extra cycles charged per instruction — models dynamic binary
+          translation (PIN) overhead for the DynaGuard baseline *)
+  mutable call_tax : int;
+      (** extra cycles charged per call/ret — models the trampoline cost
+          of static binary rewriting (the DCR deployment) *)
+  rng : Util.Prng.t;  (** entropy source behind [rdrand] *)
+  decode_cache : (int64, Isa.Insn.t * int) Hashtbl.t;
+      (** per-address-space fetch cache; shared with fork children (their
+          text is identical) but never across unrelated processes *)
+}
+
+val create : ?seed:int64 -> unit -> t
+
+val get : t -> Isa.Reg.t -> int64
+val set : t -> Isa.Reg.t -> int64 -> unit
+
+val get_xmm : t -> Isa.Reg.Xmm.t -> int64 * int64
+val set_xmm : t -> Isa.Reg.Xmm.t -> int64 * int64 -> unit
+
+val clone : t -> t
+(** Deep copy with an independently split RNG — used by [fork] so parent
+    and child draw different entropy afterwards (as real [rdrand]
+    would). *)
+
+val add_cycles : t -> int -> unit

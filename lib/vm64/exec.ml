@@ -1,0 +1,377 @@
+type outcome =
+  | Running
+  | Builtin of string
+  | Syscall_trap
+  | Halted
+  | Faulted of Fault.t
+
+type env = {
+  is_builtin : int64 -> string option;
+  on_retire : (Cpu.t -> Isa.Insn.t -> unit) option;
+}
+
+let create_env ?on_retire ~is_builtin () = { is_builtin; on_retire }
+
+let max_insn_len = 32
+
+(* Fetch up to [max_insn_len] bytes at rip, stopping at the first
+   unmapped byte so a valid instruction at the end of a mapped region
+   still decodes. *)
+let fetch_bytes mem rip =
+  let buf = Bytes.create max_insn_len in
+  let rec collect i =
+    if i >= max_insn_len then i
+    else begin
+      let addr = Int64.add rip (Int64.of_int i) in
+      if Memory.is_mapped mem addr then begin
+        Bytes.set buf i (Char.chr (Memory.read_u8 mem addr));
+        collect (i + 1)
+      end
+      else i
+    end
+  in
+  let n = collect 0 in
+  if n = 0 then None else Some (Bytes.sub buf 0 n)
+
+let fetch _env cpu mem =
+  match Hashtbl.find_opt cpu.Cpu.decode_cache cpu.Cpu.rip with
+  | Some pair -> Ok pair
+  | None -> (
+    match fetch_bytes mem cpu.Cpu.rip with
+    | None -> Error (Fault.Segfault cpu.Cpu.rip)
+    | Some bytes -> (
+      match Isa.Decode.decode bytes 0 with
+      | insn, len ->
+        Hashtbl.add cpu.Cpu.decode_cache cpu.Cpu.rip (insn, len);
+        Ok (insn, len)
+      | exception Isa.Decode.Bad_encoding (_, msg) ->
+        Error (Fault.Bad_instruction (cpu.Cpu.rip, msg))))
+
+let effective_address cpu (m : Isa.Operand.mem) =
+  let base = match m.base with Some r -> Cpu.get cpu r | None -> 0L in
+  let index =
+    match m.index with
+    | Some (r, s) ->
+      Int64.mul (Cpu.get cpu r) (Int64.of_int (Isa.Operand.scale_factor s))
+    | None -> 0L
+  in
+  let seg = if m.seg_fs then cpu.Cpu.fs_base else 0L in
+  Int64.add (Int64.add seg base) (Int64.add index m.disp)
+
+let read64 cpu mem = function
+  | Isa.Operand.Reg r -> Cpu.get cpu r
+  | Isa.Operand.Imm v -> v
+  | Isa.Operand.Mem m -> Memory.read_u64 mem (effective_address cpu m)
+
+let write64 cpu mem op v =
+  match op with
+  | Isa.Operand.Reg r -> Cpu.set cpu r v
+  | Isa.Operand.Mem m -> Memory.write_u64 mem (effective_address cpu m) v
+  | Isa.Operand.Imm _ ->
+    raise (Fault.Trap (Fault.Bad_instruction (cpu.Cpu.rip, "store to immediate")))
+
+let read8 cpu mem = function
+  | Isa.Operand.Reg r -> Int64.to_int (Int64.logand (Cpu.get cpu r) 0xFFL)
+  | Isa.Operand.Imm v -> Int64.to_int (Int64.logand v 0xFFL)
+  | Isa.Operand.Mem m -> Memory.read_u8 mem (effective_address cpu m)
+
+let write8 cpu mem op v =
+  match op with
+  | Isa.Operand.Reg r ->
+    (* Low-byte merge, like real mov to an 8-bit subregister. *)
+    let old = Cpu.get cpu r in
+    Cpu.set cpu r (Int64.logor (Int64.logand old (-256L)) (Int64.of_int (v land 0xFF)))
+  | Isa.Operand.Mem m -> Memory.write_u8 mem (effective_address cpu m) v
+  | Isa.Operand.Imm _ ->
+    raise (Fault.Trap (Fault.Bad_instruction (cpu.Cpu.rip, "store to immediate")))
+
+let read32 cpu mem = function
+  | Isa.Operand.Reg r -> Int64.logand (Cpu.get cpu r) 0xFFFFFFFFL
+  | Isa.Operand.Imm v -> Int64.logand v 0xFFFFFFFFL
+  | Isa.Operand.Mem m -> Memory.read_u32 mem (effective_address cpu m)
+
+let write32 cpu mem op v =
+  match op with
+  | Isa.Operand.Reg r -> Cpu.set cpu r (Int64.logand v 0xFFFFFFFFL)
+  | Isa.Operand.Mem m -> Memory.write_u32 mem (effective_address cpu m) v
+  | Isa.Operand.Imm _ ->
+    raise (Fault.Trap (Fault.Bad_instruction (cpu.Cpu.rip, "store to immediate")))
+
+let set_logic_flags (f : Cpu.flags) r =
+  f.zf <- Int64.equal r 0L;
+  f.sf <- Int64.compare r 0L < 0;
+  f.cf <- false;
+  f.of_ <- false
+
+let set_add_flags (f : Cpu.flags) a b r =
+  f.zf <- Int64.equal r 0L;
+  f.sf <- Int64.compare r 0L < 0;
+  f.cf <- Int64.unsigned_compare r a < 0;
+  f.of_ <- Int64.compare a 0L < 0 = (Int64.compare b 0L < 0)
+           && Int64.compare r 0L < 0 <> (Int64.compare a 0L < 0)
+
+let set_sub_flags (f : Cpu.flags) a b r =
+  f.zf <- Int64.equal r 0L;
+  f.sf <- Int64.compare r 0L < 0;
+  f.cf <- Int64.unsigned_compare a b < 0;
+  f.of_ <- Int64.compare a 0L < 0 <> (Int64.compare b 0L < 0)
+           && Int64.compare r 0L < 0 <> (Int64.compare a 0L < 0)
+
+let cond_holds (f : Cpu.flags) = function
+  | Isa.Insn.E -> f.zf
+  | NE -> not f.zf
+  | L -> f.sf <> f.of_
+  | LE -> f.zf || f.sf <> f.of_
+  | G -> (not f.zf) && f.sf = f.of_
+  | GE -> f.sf = f.of_
+  | B -> f.cf
+  | BE -> f.cf || f.zf
+  | A -> (not f.cf) && not f.zf
+  | AE -> not f.cf
+  | S -> f.sf
+  | NS -> not f.sf
+
+let push cpu mem v =
+  let rsp = Int64.sub (Cpu.get cpu Isa.Reg.RSP) 8L in
+  Cpu.set cpu Isa.Reg.RSP rsp;
+  Memory.write_u64 mem rsp v
+
+let pop cpu mem =
+  let rsp = Cpu.get cpu Isa.Reg.RSP in
+  let v = Memory.read_u64 mem rsp in
+  Cpu.set cpu Isa.Reg.RSP (Int64.add rsp 8L);
+  v
+
+let xmm_to_bytes (lo, hi) =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 lo;
+  Bytes.set_int64_le b 8 hi;
+  b
+
+let xmm_of_bytes b = (Bytes.get_int64_le b 0, Bytes.get_int64_le b 8)
+
+let target_addr = function
+  | Isa.Insn.Abs a -> a
+  | Isa.Insn.Sym s -> raise (Isa.Encode.Unresolved_symbol s)
+
+let execute env cpu mem insn next_rip =
+  let flags = cpu.Cpu.flags in
+  let continue_at addr =
+    cpu.Cpu.rip <- addr;
+    Running
+  in
+  let fallthrough () = continue_at next_rip in
+  match insn with
+  | Isa.Insn.Nop -> fallthrough ()
+  | Mov (dst, src) ->
+    write64 cpu mem dst (read64 cpu mem src);
+    fallthrough ()
+  | Movb (dst, src) ->
+    write8 cpu mem dst (read8 cpu mem src);
+    fallthrough ()
+  | Movl (dst, src) ->
+    write32 cpu mem dst (read32 cpu mem src);
+    fallthrough ()
+  | Lea (r, m) ->
+    Cpu.set cpu r (effective_address cpu m);
+    fallthrough ()
+  | Push op ->
+    push cpu mem (read64 cpu mem op);
+    fallthrough ()
+  | Pop op ->
+    let v = pop cpu mem in
+    write64 cpu mem op v;
+    fallthrough ()
+  | Bin (bop, dst, src) ->
+    let a = read64 cpu mem dst in
+    let b = read64 cpu mem src in
+    (match bop with
+    | Add ->
+      let r = Int64.add a b in
+      set_add_flags flags a b r;
+      write64 cpu mem dst r
+    | Sub ->
+      let r = Int64.sub a b in
+      set_sub_flags flags a b r;
+      write64 cpu mem dst r
+    | Xor ->
+      let r = Int64.logxor a b in
+      set_logic_flags flags r;
+      write64 cpu mem dst r
+    | And ->
+      let r = Int64.logand a b in
+      set_logic_flags flags r;
+      write64 cpu mem dst r
+    | Or ->
+      let r = Int64.logor a b in
+      set_logic_flags flags r;
+      write64 cpu mem dst r
+    | Cmp ->
+      let r = Int64.sub a b in
+      set_sub_flags flags a b r
+    | Test ->
+      let r = Int64.logand a b in
+      set_logic_flags flags r
+    | Imul ->
+      let r = Int64.mul a b in
+      set_logic_flags flags r;
+      write64 cpu mem dst r
+    | Idiv ->
+      if Int64.equal b 0L then
+        raise (Fault.Trap (Fault.Bad_instruction (cpu.Cpu.rip, "division by zero")));
+      let r = Int64.div a b in
+      set_logic_flags flags r;
+      write64 cpu mem dst r
+    | Irem ->
+      if Int64.equal b 0L then
+        raise (Fault.Trap (Fault.Bad_instruction (cpu.Cpu.rip, "division by zero")));
+      let r = Int64.rem a b in
+      set_logic_flags flags r;
+      write64 cpu mem dst r);
+    fallthrough ()
+  | Shift (sop, dst, k) ->
+    let a = read64 cpu mem dst in
+    let k = k land 63 in
+    let r =
+      match sop with
+      | Shl -> Int64.shift_left a k
+      | Shr -> Int64.shift_right_logical a k
+      | Sar -> Int64.shift_right a k
+    in
+    set_logic_flags flags r;
+    write64 cpu mem dst r;
+    fallthrough ()
+  | Neg op ->
+    let r = Int64.neg (read64 cpu mem op) in
+    set_logic_flags flags r;
+    flags.cf <- not (Int64.equal r 0L);
+    write64 cpu mem op r;
+    fallthrough ()
+  | Not op ->
+    write64 cpu mem op (Int64.lognot (read64 cpu mem op));
+    fallthrough ()
+  | Setcc (c, r) ->
+    Cpu.set cpu r (if cond_holds flags c then 1L else 0L);
+    fallthrough ()
+  | Jmp t -> continue_at (target_addr t)
+  | Jcc (c, t) ->
+    if cond_holds flags c then continue_at (target_addr t) else fallthrough ()
+  | Call t -> (
+    let addr = target_addr t in
+    match env.is_builtin addr with
+    | Some name ->
+      cpu.Cpu.rip <- next_rip;
+      Builtin name
+    | None ->
+      push cpu mem next_rip;
+      continue_at addr)
+  | Call_ind op -> (
+    let addr = read64 cpu mem op in
+    match env.is_builtin addr with
+    | Some name ->
+      cpu.Cpu.rip <- next_rip;
+      Builtin name
+    | None ->
+      push cpu mem next_rip;
+      continue_at addr)
+  | Ret ->
+    let addr = pop cpu mem in
+    continue_at addr
+  | Leave ->
+    Cpu.set cpu Isa.Reg.RSP (Cpu.get cpu Isa.Reg.RBP);
+    let rbp = pop cpu mem in
+    Cpu.set cpu Isa.Reg.RBP rbp;
+    fallthrough ()
+  | Rdrand r ->
+    Cpu.set cpu r (Util.Prng.next64 cpu.Cpu.rng);
+    flags.cf <- true;
+    flags.zf <- false;
+    fallthrough ()
+  | Rdtsc ->
+    let tsc = cpu.Cpu.cycles in
+    Cpu.set cpu Isa.Reg.RAX (Int64.logand tsc 0xFFFFFFFFL);
+    Cpu.set cpu Isa.Reg.RDX (Int64.shift_right_logical tsc 32);
+    fallthrough ()
+  | Syscall ->
+    cpu.Cpu.rip <- next_rip;
+    Syscall_trap
+  | Hlt -> Halted
+  | Movq_to_xmm (x, r) ->
+    Cpu.set_xmm cpu x (Cpu.get cpu r, 0L);
+    fallthrough ()
+  | Movq_from_xmm (r, x) ->
+    let lo, _ = Cpu.get_xmm cpu x in
+    Cpu.set cpu r lo;
+    fallthrough ()
+  | Pinsrq_high (x, r) ->
+    let lo, _ = Cpu.get_xmm cpu x in
+    Cpu.set_xmm cpu x (lo, Cpu.get cpu r);
+    fallthrough ()
+  | Movhps_load (x, m) ->
+    let lo, _ = Cpu.get_xmm cpu x in
+    Cpu.set_xmm cpu x (lo, Memory.read_u64 mem (effective_address cpu m));
+    fallthrough ()
+  | Movq_store (m, x) ->
+    let lo, _ = Cpu.get_xmm cpu x in
+    Memory.write_u64 mem (effective_address cpu m) lo;
+    fallthrough ()
+  | Movdqu_load (x, m) ->
+    let ea = effective_address cpu m in
+    Cpu.set_xmm cpu x (Memory.read_u64 mem ea, Memory.read_u64 mem (Int64.add ea 8L));
+    fallthrough ()
+  | Movdqu_store (m, x) ->
+    let ea = effective_address cpu m in
+    let lo, hi = Cpu.get_xmm cpu x in
+    Memory.write_u64 mem ea lo;
+    Memory.write_u64 mem (Int64.add ea 8L) hi;
+    fallthrough ()
+  | Aesenc (dst, src) ->
+    let state = xmm_to_bytes (Cpu.get_xmm cpu dst) in
+    let round_key = xmm_to_bytes (Cpu.get_xmm cpu src) in
+    Cpu.set_xmm cpu dst (xmm_of_bytes (Crypto.Aes128.aesenc ~state ~round_key));
+    fallthrough ()
+  | Aesenclast (dst, src) ->
+    let state = xmm_to_bytes (Cpu.get_xmm cpu dst) in
+    let round_key = xmm_to_bytes (Cpu.get_xmm cpu src) in
+    Cpu.set_xmm cpu dst (xmm_of_bytes (Crypto.Aes128.aesenclast ~state ~round_key));
+    fallthrough ()
+  | Pcmpeq128 (x, m) ->
+    let lo, hi = Cpu.get_xmm cpu x in
+    let ea = effective_address cpu m in
+    let mlo = Memory.read_u64 mem ea in
+    let mhi = Memory.read_u64 mem (Int64.add ea 8L) in
+    flags.zf <- Int64.equal lo mlo && Int64.equal hi mhi;
+    flags.sf <- false;
+    flags.cf <- false;
+    flags.of_ <- false;
+    fallthrough ()
+
+let step env cpu mem =
+  match fetch env cpu mem with
+  | Error fault -> Faulted fault
+  | Ok (insn, len) -> (
+    (match env.on_retire with Some f -> f cpu insn | None -> ());
+    let call_extra =
+      match insn with
+      | Isa.Insn.Call _ | Isa.Insn.Call_ind _ | Isa.Insn.Ret -> cpu.Cpu.call_tax
+      | _ -> 0
+    in
+    Cpu.add_cycles cpu (Cost.cycles insn + cpu.Cpu.insn_tax + call_extra);
+    let next_rip = Int64.add cpu.Cpu.rip (Int64.of_int len) in
+    match execute env cpu mem insn next_rip with
+    | outcome -> outcome
+    | exception Fault.Trap fault -> Faulted fault
+    | exception Isa.Encode.Unresolved_symbol s ->
+      Faulted (Fault.Bad_instruction (cpu.Cpu.rip, "unresolved symbol " ^ s)))
+
+type run_result = Stopped of outcome | Out_of_fuel
+
+let run ?(max_insns = 100_000_000) env cpu mem =
+  let rec loop remaining =
+    if remaining <= 0 then Out_of_fuel
+    else
+      match step env cpu mem with
+      | Running -> loop (remaining - 1)
+      | other -> Stopped other
+  in
+  loop max_insns

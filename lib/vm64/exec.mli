@@ -1,0 +1,39 @@
+(** The instruction interpreter.
+
+    [step] retires exactly one instruction. Control leaves the
+    interpreter in four ways, which the OS layer dispatches on:
+    glibc-builtin calls, syscall traps, [hlt], and hardware faults. *)
+
+type outcome =
+  | Running  (** instruction retired; rip advanced *)
+  | Builtin of string
+      (** [call] targeted a glibc slot; rip already points past the call
+          and NO return address was pushed — the OS runs the builtin and
+          resumes *)
+  | Syscall_trap  (** [syscall] retired; number in rax; rip advanced *)
+  | Halted  (** [hlt] *)
+  | Faulted of Fault.t
+
+type env
+(** Immutable execution environment: builtin address resolution. The
+    fetch/decode cache lives in {!Cpu.t} (per address space; shared with
+    fork children) and assumes text is not modified after loading —
+    binary rewriting happens on images, before load. *)
+
+val create_env :
+  ?on_retire:(Cpu.t -> Isa.Insn.t -> unit) ->
+  is_builtin:(int64 -> string option) ->
+  unit ->
+  env
+(** [on_retire] is invoked after each instruction's cost is charged and
+    before it executes — the hook behind execution tracing. *)
+
+val step : env -> Cpu.t -> Memory.t -> outcome
+
+type run_result =
+  | Stopped of outcome  (** a non-[Running] outcome occurred *)
+  | Out_of_fuel
+
+val run : ?max_insns:int -> env -> Cpu.t -> Memory.t -> run_result
+(** Step until something interesting happens. [max_insns] defaults to
+    100 million — a runaway-loop backstop, not a tuning knob. *)

@@ -1,0 +1,105 @@
+let page_size = 4096
+let page_bits = 12
+
+type t = { pages : (int, bytes) Hashtbl.t }
+
+let create () = { pages = Hashtbl.create 64 }
+
+let page_of addr = Int64.to_int (Int64.shift_right_logical addr page_bits)
+let offset_of addr = Int64.to_int (Int64.logand addr 0xFFFL)
+
+let map t ~addr ~len =
+  if len <= 0 then invalid_arg "Memory.map: nonpositive length";
+  let first = page_of addr in
+  let last = page_of (Int64.add addr (Int64.of_int (len - 1))) in
+  for p = first to last do
+    if not (Hashtbl.mem t.pages p) then
+      Hashtbl.add t.pages p (Bytes.make page_size '\000')
+  done
+
+let is_mapped t addr = Hashtbl.mem t.pages (page_of addr)
+
+let page_exn t addr =
+  match Hashtbl.find_opt t.pages (page_of addr) with
+  | Some p -> p
+  | None -> raise (Fault.Trap (Fault.Segfault addr))
+
+let read_u8 t addr = Char.code (Bytes.get (page_exn t addr) (offset_of addr))
+
+let write_u8 t addr v =
+  Bytes.set (page_exn t addr) (offset_of addr) (Char.chr (v land 0xFF))
+
+(* Multi-byte accesses take the fast path when they fit in one page. *)
+let read_u64 t addr =
+  let off = offset_of addr in
+  if off + 8 <= page_size then Bytes.get_int64_le (page_exn t addr) off
+  else begin
+    let v = ref 0L in
+    for i = 7 downto 0 do
+      let b = read_u8 t (Int64.add addr (Int64.of_int i)) in
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int b)
+    done;
+    !v
+  end
+
+let write_u64 t addr v =
+  let off = offset_of addr in
+  if off + 8 <= page_size then Bytes.set_int64_le (page_exn t addr) off v
+  else
+    for i = 0 to 7 do
+      let b = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL) in
+      write_u8 t (Int64.add addr (Int64.of_int i)) b
+    done
+
+let read_u32 t addr =
+  let off = offset_of addr in
+  if off + 4 <= page_size then
+    Int64.logand (Int64.of_int32 (Bytes.get_int32_le (page_exn t addr) off)) 0xFFFFFFFFL
+  else begin
+    let v = ref 0L in
+    for i = 3 downto 0 do
+      let b = read_u8 t (Int64.add addr (Int64.of_int i)) in
+      v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int b)
+    done;
+    !v
+  end
+
+let write_u32 t addr v =
+  let off = offset_of addr in
+  if off + 4 <= page_size then
+    Bytes.set_int32_le (page_exn t addr) off (Int64.to_int32 v)
+  else
+    for i = 0 to 3 do
+      let b = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL) in
+      write_u8 t (Int64.add addr (Int64.of_int i)) b
+    done
+
+let read_bytes t addr len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = Int64.add addr (Int64.of_int !pos) in
+    let off = offset_of a in
+    let chunk = Stdlib.min (len - !pos) (page_size - off) in
+    Bytes.blit (page_exn t a) off out !pos chunk;
+    pos := !pos + chunk
+  done;
+  out
+
+let write_bytes t addr src =
+  let len = Bytes.length src in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = Int64.add addr (Int64.of_int !pos) in
+    let off = offset_of a in
+    let chunk = Stdlib.min (len - !pos) (page_size - off) in
+    Bytes.blit src !pos (page_exn t a) off chunk;
+    pos := !pos + chunk
+  done
+
+let clone t =
+  let pages = Hashtbl.create (Hashtbl.length t.pages) in
+  Hashtbl.iter (fun k v -> Hashtbl.add pages k (Bytes.copy v)) t.pages;
+  { pages }
+
+let mapped_bytes t = Hashtbl.length t.pages * page_size

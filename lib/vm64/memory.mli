@@ -1,0 +1,41 @@
+(** Byte-addressable paged memory for one simulated address space.
+
+    Pages must be explicitly mapped (the OS layer maps text, data, stack
+    and TLS regions); any access to an unmapped address raises
+    [Fault.Trap (Segfault _)] — which is precisely the signal the
+    byte-by-byte attacker observes as a child crash. *)
+
+type t
+
+val create : unit -> t
+
+val page_size : int
+
+val map : t -> addr:int64 -> len:int -> unit
+(** Map (zero-filled) all pages covering [addr, addr+len). Already
+    mapped pages are left untouched. *)
+
+val is_mapped : t -> int64 -> bool
+
+val read_u8 : t -> int64 -> int
+val write_u8 : t -> int64 -> int -> unit
+
+val read_u64 : t -> int64 -> int64
+(** Little-endian, no alignment requirement. *)
+
+val write_u64 : t -> int64 -> int64 -> unit
+
+val read_u32 : t -> int64 -> int64
+(** Zero-extended 32-bit load. *)
+
+val write_u32 : t -> int64 -> int64 -> unit
+
+val read_bytes : t -> int64 -> int -> bytes
+val write_bytes : t -> int64 -> bytes -> unit
+
+val clone : t -> t
+(** Deep copy — the [fork] primitive's address-space clone. *)
+
+val mapped_bytes : t -> int
+(** Total bytes currently mapped, for the memory-usage columns of
+    Table IV. *)

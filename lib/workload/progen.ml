@@ -1,0 +1,184 @@
+open Minic.Ast
+
+type st = {
+  rng : Util.Prng.t;
+  mutable fresh : int;
+  mutable scalars : string list;  (** int locals in scope *)
+  buffer : string;  (** the function's char buffer *)
+  buffer_len : int;
+  callees : (string * int) list;  (** previously generated (name, arity) *)
+}
+
+let fresh st prefix =
+  st.fresh <- st.fresh + 1;
+  Printf.sprintf "%s%d" prefix st.fresh
+
+let pick st xs = List.nth xs (Util.Prng.int st.rng (List.length xs))
+
+let small_int st = Eint (Int64.of_int (Util.Prng.int st.rng 200 - 100))
+
+(* ---- expressions ----------------------------------------------------------- *)
+
+let rec gen_expr st depth =
+  if depth = 0 then gen_leaf st
+  else
+    match Util.Prng.int st.rng 10 with
+    | 0 | 1 | 2 ->
+      let op = pick st [ Add; Sub; Mul; Band; Bor; Bxor ] in
+      Ebinop (op, gen_expr st (depth - 1), gen_expr st (depth - 1))
+    | 3 ->
+      (* division guarded by a non-zero literal divisor *)
+      let d = 1 + Util.Prng.int st.rng 30 in
+      Ebinop
+        ( pick st [ Div; Rem ],
+          gen_expr st (depth - 1),
+          Eint (Int64.of_int d) )
+    | 4 ->
+      Ebinop
+        ( pick st [ Eq; Ne; Lt; Le; Gt; Ge ],
+          gen_expr st (depth - 1),
+          gen_expr st (depth - 1) )
+    | 5 -> Ebinop (pick st [ Land; Lor ], gen_expr st (depth - 1), gen_expr st (depth - 1))
+    | 6 -> Ebinop (pick st [ Shl; Shr ], gen_expr st (depth - 1), Eint (Int64.of_int (Util.Prng.int st.rng 8)))
+    | 7 -> Eunop (pick st [ Neg; Lnot; Bnot ], gen_expr st (depth - 1))
+    | 8 when st.callees <> [] ->
+      let name, arity = pick st st.callees in
+      Ecall (name, List.init arity (fun _ -> gen_expr st (depth - 1)))
+    | _ ->
+      (* an in-bounds buffer read: index masked by a literal *)
+      let idx = Util.Prng.int st.rng st.buffer_len in
+      Eindex (Evar st.buffer, Eint (Int64.of_int idx))
+
+and gen_leaf st =
+  if st.scalars <> [] && Util.Prng.bool st.rng then Evar (pick st st.scalars)
+  else small_int st
+
+(* ---- statements ------------------------------------------------------------- *)
+
+let rec gen_stmt st depth =
+  match Util.Prng.int st.rng 8 with
+  | 0 | 1 when st.scalars <> [] ->
+    Sassign (Evar (pick st st.scalars), gen_expr st 2)
+  | 2 ->
+    (* in-bounds buffer write *)
+    let idx = Util.Prng.int st.rng st.buffer_len in
+    Sassign
+      ( Eindex (Evar st.buffer, Eint (Int64.of_int idx)),
+        Ebinop (Band, gen_expr st 1, Eint 127L) )
+  | 3 when depth > 0 ->
+    (* variables introduced inside a branch may never be initialised at
+       runtime (the branch may not run), so they must not leak into the
+       enclosing scope *)
+    let saved = st.scalars in
+    let then_ = gen_block st (depth - 1) in
+    st.scalars <- saved;
+    let else_ = gen_block st (depth - 1) in
+    st.scalars <- saved;
+    Sif (gen_expr st 2, then_, else_)
+  | 4 when depth > 0 ->
+    (* a bounded counting loop over a fresh variable *)
+    let v = fresh st "i" in
+    let bound = 1 + Util.Prng.int st.rng 8 in
+    let body = gen_block st (depth - 1) in
+    st.scalars <- v :: st.scalars;
+    Sblock
+      [
+        Sdecl { d_name = v; d_ty = Tint; d_critical = false; d_init = Some (Eint 0L) };
+        Swhile
+          ( Ebinop (Lt, Evar v, Eint (Int64.of_int bound)),
+            body @ [ Sassign (Evar v, Ebinop (Add, Evar v, Eint 1L)) ] );
+      ]
+  | 5 -> Sexpr (Ecall ("print_int", [ gen_expr st 2 ]))
+  | _ when st.scalars <> [] ->
+    Sassign
+      ( Evar (pick st st.scalars),
+        Ebinop (Add, Evar (pick st st.scalars), gen_expr st 1) )
+  | _ -> Sexpr (gen_expr st 1)
+
+and gen_block st depth =
+  List.init (1 + Util.Prng.int st.rng 3) (fun _ -> gen_stmt st depth)
+
+(* ---- functions ------------------------------------------------------------- *)
+
+let gen_function rng ~name ~callees ~fresh_base =
+  let arity = 1 + Util.Prng.int rng 3 in
+  let params = List.init arity (fun i -> (Printf.sprintf "%s_p%d" name i, Tint)) in
+  let buffer = name ^ "_buf" in
+  let buffer_len = 8 * (1 + Util.Prng.int rng 3) in
+  let st =
+    {
+      rng;
+      fresh = fresh_base;
+      scalars = List.map fst params;
+      buffer;
+      buffer_len;
+      callees;
+    }
+  in
+  let acc = name ^ "_acc" in
+  st.scalars <- acc :: st.scalars;
+  let init_var = name ^ "_k" in
+  let body =
+    [
+      Sdecl { d_name = buffer; d_ty = Tarray (Tchar, buffer_len); d_critical = false; d_init = None };
+      Sdecl { d_name = acc; d_ty = Tint; d_critical = false; d_init = Some (Eint 0L) };
+      (* initialise the whole buffer: uninitialised stack reads would
+         differ between frame layouts (i.e. between schemes) *)
+      Sdecl { d_name = init_var; d_ty = Tint; d_critical = false; d_init = Some (Eint 0L) };
+      Swhile
+        ( Ebinop (Lt, Evar init_var, Eint (Int64.of_int buffer_len)),
+          [
+            Sassign
+              ( Eindex (Evar buffer, Evar init_var),
+                Ebinop (Band, Ebinop (Mul, Evar init_var, Eint 13L), Eint 127L) );
+            Sassign (Evar init_var, Ebinop (Add, Evar init_var, Eint 1L));
+          ] );
+    ]
+    @ List.concat (List.init 3 (fun _ -> [ gen_stmt st 2 ]))
+    @ [
+        Sreturn
+          (Some
+             (Ebinop
+                ( Band,
+                  Ebinop (Add, Evar acc, Eindex (Evar buffer, Eint 0L)),
+                  Eint 0xFFFFFL )));
+      ]
+  in
+  ({ f_name = name; f_params = params; f_ret = Tint; f_body = body }, st.fresh)
+
+let generate ~seed =
+  let rng = Util.Prng.create seed in
+  let nfuncs = 2 + Util.Prng.int rng 3 in
+  let rec build i callees fresh_base funcs =
+    if i = nfuncs then List.rev funcs
+    else begin
+      let name = Printf.sprintf "fn%d" i in
+      let f, fresh_base =
+        gen_function rng ~name ~callees ~fresh_base
+      in
+      build (i + 1) ((name, List.length f.f_params) :: callees) fresh_base (f :: funcs)
+    end
+  in
+  let funcs = build 0 [] 0 [] in
+  let main_body =
+    List.concat_map
+      (fun f ->
+        let args =
+          List.map (fun _ -> Eint (Int64.of_int (Util.Prng.int rng 50))) f.f_params
+        in
+        [
+          Sexpr (Ecall ("print_int", [ Ecall (f.f_name, args) ]));
+          Sexpr (Ecall ("putchar", [ Echar ' ' ]));
+        ])
+      funcs
+    @ [ Sreturn (Some (Eint 0L)) ]
+  in
+  {
+    globals =
+      [ { d_name = "gseed"; d_ty = Tint; d_critical = false; d_init = Some (Eint 3L) } ];
+    funcs =
+      funcs
+      @ [ { f_name = "main"; f_params = []; f_ret = Tint; f_body = main_body } ];
+  }
+
+let generate_source ~seed = Minic.Pretty.program_to_string (generate ~seed)

@@ -1,0 +1,16 @@
+(** Random well-typed Mini-C program generation, for differential
+    testing: every generated program terminates, exits 0, and prints a
+    data-dependent transcript — so any divergence between two builds
+    (schemes, optimisation levels) is a compiler or scheme bug.
+
+    Generation is deterministic in the seed. Programs deliberately
+    include at least one stack buffer per function (so every protection
+    scheme emits canary code on every frame) and avoid the documented
+    Mini-C limits (no shadowing, constant shifts, ≤6 parameters,
+    non-zero divisors, bounded loops, no recursion). *)
+
+val generate : seed:int64 -> Minic.Ast.program
+(** Build a random program as an AST. *)
+
+val generate_source : seed:int64 -> string
+(** The same program as source text (via the pretty-printer). *)

@@ -1,0 +1,362 @@
+type profile = {
+  profile_name : string;
+  source : string;
+  requests : string list;
+  cycles_per_ms : float;
+}
+
+(* Shared fork-per-request skeleton (the worker-pool pattern of §II-B). *)
+let serve_skeleton =
+  {|
+int serve() {
+  int pid;
+  while (1) {
+    if (accept() < 0) {
+      break;
+    }
+    pid = fork();
+    if (pid == 0) {
+      handle();
+      exit(0);
+    }
+    waitpid();
+  }
+  return 0;
+}
+
+int main() {
+  setup();
+  serve();
+  return 0;
+}
+|}
+
+(* Apache2-like: verbose header parsing, content generation, checksums. *)
+let apache2 =
+  {
+    profile_name = "Apache2";
+    cycles_per_ms = 25270.0;
+    requests =
+      [
+        "GET /index.html HTTP/1.1\nHost: a\nUser-Agent: ab\nAccept: */*\n\n";
+        "GET /big/page HTTP/1.1\nHost: a\nCookie: s=12345678\nAccept: */*\n\n";
+      ];
+    source =
+      {|
+int body[2048];
+
+int setup() {
+  int i;
+  for (i = 0; i < 2048; i++) {
+    body[i] = (i * 31 + 7) % 256;
+  }
+  return 0;
+}
+
+int parse_headers(char req[], int len) {
+  char name[32];
+  int count = 0;
+  int i = 0;
+  int nlen = 0;
+  int in_name = 1;
+  for (i = 0; i < len; i++) {
+    if (req[i] == '\n') {
+      count++;
+      in_name = 1;
+      nlen = 0;
+    } else {
+      if (req[i] == ':') {
+        in_name = 0;
+      } else {
+        if (in_name == 1 && nlen < 31) {
+          name[nlen] = req[i];
+          nlen++;
+        }
+      }
+    }
+  }
+  return count + name[0];
+}
+
+int render(int pages) {
+  int acc = 0;
+  int p;
+  for (p = 0; p < pages; p++) {
+    int i;
+    for (i = 0; i < 2048; i++) {
+      acc = (acc + body[i] * (p + 1)) % 16777213;
+    }
+  }
+  return acc;
+}
+
+int handle() {
+  char req[256];
+  int n = read_n(req, 255);
+  int headers = parse_headers(req, n);
+  int etag = render(6);
+  print_str("HTTP/1.1 200 OK etag=");
+  print_int((etag + headers) % 1000000);
+  print_str("\n");
+  return 0;
+}
+|}
+      ^ serve_skeleton;
+  }
+
+(* Nginx-like: minimal parsing, tiny static response. *)
+let nginx =
+  {
+    profile_name = "Nginx";
+    cycles_per_ms = 18940.0;
+    requests =
+      [ "GET / HTTP/1.1\nHost: n\n\n"; "GET /static.css HTTP/1.1\nHost: n\n\n" ];
+    source =
+      {|
+int mime[64];
+
+int setup() {
+  int i;
+  for (i = 0; i < 64; i++) {
+    mime[i] = i * 7 % 19;
+  }
+  return 0;
+}
+
+int route(char req[], int len) {
+  int h = 0;
+  int i;
+  for (i = 0; i < len && req[i] != '\n'; i++) {
+    h = (h * 33 + req[i]) % 8191;
+  }
+  return mime[h % 64];
+}
+
+int render(int kind) {
+  int acc = kind;
+  int i;
+  for (i = 0; i < 900; i++) {
+    acc = (acc * 17 + i) % 16777213;
+  }
+  return acc;
+}
+
+int handle() {
+  char req[128];
+  int n = read_n(req, 127);
+  int kind = route(req, n);
+  print_str("HTTP/1.1 200 OK v=");
+  print_int(render(kind));
+  print_str("\n");
+  return 0;
+}
+|}
+      ^ serve_skeleton;
+  }
+
+(* MySQL-like: point queries via binary search plus a small aggregate. *)
+let mysql =
+  {
+    profile_name = "MySQL";
+    cycles_per_ms = 2430.0;
+    requests = [ "SELECT 481"; "SELECT 77"; "SELECT 1019" ];
+    source =
+      {|
+int keys[1024];
+int vals[1024];
+
+int setup() {
+  int i;
+  for (i = 0; i < 1024; i++) {
+    keys[i] = i * 3 + 1;
+    vals[i] = (i * 2654435761) % 100000;
+  }
+  return 0;
+}
+
+int parse_key(char q[], int len) {
+  int k = 0;
+  int i;
+  for (i = 0; i < len; i++) {
+    if (q[i] >= '0' && q[i] <= '9') {
+      k = k * 10 + (q[i] - '0');
+    }
+  }
+  return k;
+}
+
+int lookup(int key) {
+  int lo = 0;
+  int hi = 1023;
+  while (lo <= hi) {
+    int mid = (lo + hi) / 2;
+    if (keys[mid] == key) {
+      return vals[mid];
+    }
+    if (keys[mid] < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid - 1;
+    }
+  }
+  return -1;
+}
+
+int aggregate(int around) {
+  int acc = 0;
+  int i;
+  int start = around % 992;
+  if (start < 0) { start = 0; }
+  for (i = start; i < start + 32; i++) {
+    acc += vals[i];
+  }
+  return acc;
+}
+
+int handle() {
+  char q[64];
+  int n = read_n(q, 63);
+  int key = parse_key(q, n);
+  int hit = lookup(key);
+  print_str("row=");
+  print_int(hit);
+  print_str(" agg=");
+  print_int(aggregate(key));
+  print_str("\n");
+  return 0;
+}
+|}
+      ^ serve_skeleton;
+  }
+
+(* SQLite-like: full-table scan with predicate plus an insertion sort of
+   the matching rows (scan-dominated, hence the paper's much larger
+   per-query time). *)
+let sqlite =
+  {
+    profile_name = "SQLite";
+    cycles_per_ms = 1910.0;
+    requests = [ "SCAN 7"; "SCAN 3" ];
+    source =
+      {|
+int rows[4096];
+int result[64];
+
+int setup() {
+  int i;
+  for (i = 0; i < 4096; i++) {
+    rows[i] = (i * 48271) % 65537;
+  }
+  return 0;
+}
+
+int parse_pred(char q[], int len) {
+  int k = 0;
+  int i;
+  for (i = 0; i < len; i++) {
+    if (q[i] >= '0' && q[i] <= '9') {
+      k = k * 10 + (q[i] - '0');
+    }
+  }
+  if (k < 2) { k = 2; }
+  return k;
+}
+
+int scan(int modulus) {
+  int found = 0;
+  int i;
+  for (i = 0; i < 4096; i++) {
+    if (rows[i] % modulus == 0) {
+      if (found < 64) {
+        result[found] = rows[i];
+      }
+      found++;
+    }
+  }
+  return found;
+}
+
+int sort_results(int n) {
+  int i;
+  if (n > 64) { n = 64; }
+  for (i = 1; i < n; i++) {
+    int v = result[i];
+    int j = i - 1;
+    while (j >= 0 && result[j] > v) {
+      result[j + 1] = result[j];
+      j--;
+    }
+    result[j + 1] = v;
+  }
+  if (n > 0) { return result[0]; }
+  return 0;
+}
+
+int handle() {
+  char q[64];
+  int n = read_n(q, 63);
+  int pred = parse_pred(q, n);
+  int found = scan(pred);
+  int smallest = sort_results(found);
+  print_str("rows=");
+  print_int(found);
+  print_str(" min=");
+  print_int(smallest);
+  print_str("\n");
+  return 0;
+}
+|}
+      ^ serve_skeleton;
+  }
+
+(* Thread-per-request variant of the serve loop. The handler runs in a
+   thread created with pthread_create; the main loop joins it before
+   accepting again (matching the drive-one-request-at-a-time harness). *)
+let serve_skeleton_threaded =
+  {|
+int conn_worker(int arg) {
+  handle();
+  return 0;
+}
+
+int serve() {
+  while (1) {
+    if (accept() < 0) {
+      break;
+    }
+    pthread_create(&conn_worker, 0);
+    waitpid();
+  }
+  return 0;
+}
+
+int main() {
+  setup();
+  serve();
+  return 0;
+}
+|}
+
+let threaded profile =
+  let prefix =
+    match String.index_opt profile.source 'i' with
+    | _ ->
+      (* everything before the fork skeleton is the service logic *)
+      let marker = "
+int serve()" in
+      let rec find i =
+        if i + String.length marker > String.length profile.source then
+          String.length profile.source
+        else if String.sub profile.source i (String.length marker) = marker then i
+        else find (i + 1)
+      in
+      String.sub profile.source 0 (find 0)
+  in
+  {
+    profile with
+    profile_name = profile.profile_name ^ " (threads)";
+    source = prefix ^ serve_skeleton_threaded;
+  }
+
+let web = [ apache2; nginx ]
+let db = [ mysql; sqlite ]

@@ -1,0 +1,31 @@
+(** Network-service workload models for Tables III and IV.
+
+    Each is a forking request server in Mini-C: the parent accepts, a
+    child parses and answers the request, the parent reaps and loops.
+    Per-request work is calibrated so the four services' relative
+    response times match the paper's measurements (Apache2 heavy, Nginx
+    light, MySQL point queries, SQLite scan-dominated). *)
+
+type profile = {
+  profile_name : string;
+  source : string;
+  requests : string list;  (** representative request mix *)
+  cycles_per_ms : float;
+      (** calibration constant mapping simulated cycles to the paper's
+          wall-clock scale for this service *)
+}
+
+val apache2 : profile
+val nginx : profile
+val mysql : profile
+val sqlite : profile
+
+val web : profile list
+val db : profile list
+
+val threaded : profile -> profile
+(** The paper runs its services "in the multithread mode": this variant
+    handles each request in a thread spawned with [pthread_create]
+    instead of a forked child. Canary-wise the interesting difference is
+    that the P-SSP preload refreshes the shadow pair per thread
+    (SV-A wraps [pthread_create] like [fork]). *)

@@ -1,0 +1,27 @@
+type bench = {
+  bench_name : string;
+  suite : [ `Int | `Fp ];
+  source : string;
+}
+
+let all =
+  List.map
+    (fun (bench_name, source) -> { bench_name; suite = `Int; source })
+    Spec_int.all
+  @ List.map
+      (fun (bench_name, source) -> { bench_name; suite = `Fp; source })
+      Spec_fp.all
+
+let find name = List.find_opt (fun b -> String.equal b.bench_name name) all
+
+let names = List.map (fun b -> b.bench_name) all
+
+let cache : (string, Minic.Ast.program) Hashtbl.t = Hashtbl.create 32
+
+let parse bench =
+  match Hashtbl.find_opt cache bench.bench_name with
+  | Some p -> p
+  | None ->
+    let p = Minic.Parser.parse bench.source in
+    Hashtbl.add cache bench.bench_name p;
+    p

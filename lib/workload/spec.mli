@@ -1,0 +1,22 @@
+(** The SPEC CPU2006-like benchmark suite: 28 Mini-C programs (12
+    integer, 16 fixed-point "floating point") used by Figure 5 and
+    Tables I/II. Each source is self-contained, deterministic, prints a
+    final checksum, and owns at least one stack buffer so canary code is
+    emitted. *)
+
+type bench = {
+  bench_name : string;
+  suite : [ `Int | `Fp ];
+  source : string;
+}
+
+val all : bench list
+(** All 28, integer suite first. *)
+
+val find : string -> bench option
+
+val names : string list
+
+val parse : bench -> Minic.Ast.program
+(** Parse (and cache) a benchmark's source.
+    Raises on parse errors — exercised by the test suite. *)

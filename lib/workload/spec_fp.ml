@@ -1,0 +1,801 @@
+(* The SPECfp-like half of the suite: 16 Mini-C programs. Mini-C has no
+   floating point, so each kernel runs in 16.16 fixed-point (the [fx_]
+   helpers), preserving the numeric-kernel instruction mix: multiply-add
+   chains, stencils, reductions, table lookups. *)
+
+(* Shared fixed-point preamble spliced into every program. *)
+let fx_prelude =
+  {|
+int fx_mul(int a, int b) {
+  return (a * b) >> 16;
+}
+
+int fx_div(int a, int b) {
+  if (b == 0) { return 0; }
+  return (a << 16) / b;
+}
+|}
+
+(* bwaves: 3-point wave equation stencil over a 1-D line. *)
+let bwaves =
+  fx_prelude
+  ^ {|
+int cur[256];
+int prev[256];
+int nxt[256];
+
+int step_wave(int c2) {
+  int i;
+  int acc = 0;
+  for (i = 1; i < 255; i++) {
+    int lap = cur[i - 1] - 2 * cur[i] + cur[i + 1];
+    nxt[i] = 2 * cur[i] - prev[i] + fx_mul(c2, lap);
+    acc = (acc + nxt[i]) % 1000000007;
+  }
+  for (i = 0; i < 256; i++) {
+    prev[i] = cur[i];
+    cur[i] = nxt[i];
+  }
+  return acc;
+}
+
+int main() {
+  char tag[8];
+  int t;
+  int total = 0;
+  strcpy(tag, "bw");
+  for (t = 0; t < 256; t++) {
+    cur[t] = (t % 32) << 16;
+    prev[t] = cur[t];
+  }
+  for (t = 0; t < 220; t++) {
+    total = (total + step_wave(6553)) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* gamess: small dense matrix-matrix multiply chains. *)
+let gamess =
+  fx_prelude
+  ^ {|
+int ma[144];
+int mb[144];
+int mc[144];
+
+int matmul12() {
+  int i;
+  for (i = 0; i < 12; i++) {
+    int j;
+    for (j = 0; j < 12; j++) {
+      int acc = 0;
+      int k;
+      for (k = 0; k < 12; k++) {
+        acc += fx_mul(ma[i * 12 + k], mb[k * 12 + j]);
+      }
+      mc[i * 12 + j] = acc % 1048576;
+    }
+  }
+  return mc[0];
+}
+
+int main() {
+  char tag[8];
+  int round;
+  int total = 0;
+  int x = 31;
+  strcpy(tag, "gms");
+  for (round = 0; round < 60; round++) {
+    int i;
+    for (i = 0; i < 144; i++) {
+      x = (x * 48271) % 2147483647;
+      ma[i] = x % 131072;
+      mb[i] = (x >> 5) % 131072;
+    }
+    total = (total + matmul12()) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* milc: lattice link "multiplication" sweep (complex-ish pairs). *)
+let milc =
+  fx_prelude
+  ^ {|
+int re[512];
+int im[512];
+
+int link_sweep(int phase_re, int phase_im) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 512; i++) {
+    int nr = fx_mul(re[i], phase_re) - fx_mul(im[i], phase_im);
+    int ni = fx_mul(re[i], phase_im) + fx_mul(im[i], phase_re);
+    re[i] = nr % 1048576;
+    im[i] = ni % 1048576;
+    acc = (acc + nr + ni) % 1000000007;
+  }
+  return acc;
+}
+
+int main() {
+  char site[16];
+  int i;
+  int total = 0;
+  strcpy(site, "milc");
+  for (i = 0; i < 512; i++) {
+    re[i] = (i % 64) << 10;
+    im[i] = ((i * 3) % 64) << 10;
+  }
+  for (i = 0; i < 120; i++) {
+    total = (total + link_sweep(64000, 12000)) % 1000000007;
+  }
+  print_int(total + site[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* zeusmp: 2-D 5-point diffusion stencil on a 24x24 grid. *)
+let zeusmp =
+  fx_prelude
+  ^ {|
+int field[576];
+int buf2[576];
+
+int diffuse(int kappa) {
+  int y;
+  int acc = 0;
+  for (y = 1; y < 23; y++) {
+    int x;
+    for (x = 1; x < 23; x++) {
+      int c = field[y * 24 + x];
+      int lap = field[y * 24 + x - 1] + field[y * 24 + x + 1]
+              + field[(y - 1) * 24 + x] + field[(y + 1) * 24 + x] - 4 * c;
+      buf2[y * 24 + x] = c + fx_mul(kappa, lap);
+      acc = (acc + buf2[y * 24 + x]) % 1000000007;
+    }
+  }
+  for (y = 0; y < 576; y++) {
+    field[y] = buf2[y];
+  }
+  return acc;
+}
+
+int main() {
+  char tag[8];
+  int t;
+  int total = 0;
+  strcpy(tag, "zmp");
+  for (t = 0; t < 576; t++) {
+    field[t] = ((t % 48) << 14) % 1048576;
+  }
+  for (t = 0; t < 70; t++) {
+    total = (total + diffuse(9830)) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* gromacs: pairwise force accumulation with a cutoff test. *)
+let gromacs =
+  fx_prelude
+  ^ {|
+int px[96];
+int py[96];
+int fx_[96];
+int fy[96];
+
+int forces(int cutoff2) {
+  int i;
+  int interactions = 0;
+  for (i = 0; i < 96; i++) {
+    fx_[i] = 0;
+    fy[i] = 0;
+  }
+  for (i = 0; i < 96; i++) {
+    int j;
+    for (j = i + 1; j < 96; j++) {
+      int dx = px[i] - px[j];
+      int dy = py[i] - py[j];
+      int d2 = fx_mul(dx, dx) + fx_mul(dy, dy);
+      if (d2 < cutoff2 && d2 > 0) {
+        int f = fx_div(65536, d2);
+        fx_[i] += fx_mul(f, dx);
+        fy[i] += fx_mul(f, dy);
+        fx_[j] -= fx_mul(f, dx);
+        fy[j] -= fx_mul(f, dy);
+        interactions++;
+      }
+    }
+  }
+  return interactions;
+}
+
+int main() {
+  char tag[8];
+  int i;
+  int total = 0;
+  int x = 9;
+  strcpy(tag, "gro");
+  for (i = 0; i < 96; i++) {
+    x = (x * 75 + 74) % 65537;
+    px[i] = (x % 640) << 10;
+    x = (x * 75 + 74) % 65537;
+    py[i] = (x % 640) << 10;
+  }
+  for (i = 0; i < 25; i++) {
+    total += forces(40 << 16);
+    px[i % 96] += 1 << 12;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* cactusADM: 3-D-flavoured stencil with mixed coefficients. *)
+let cactusadm =
+  fx_prelude
+  ^ {|
+int u[512];
+int v[512];
+
+int evolve(int dt) {
+  int k;
+  int acc = 0;
+  for (k = 8; k < 504; k++) {
+    int rhs = u[k - 8] + u[k + 8] + u[k - 1] + u[k + 1] - 4 * u[k];
+    v[k] = u[k] + fx_mul(dt, rhs);
+    acc = (acc + v[k]) % 1000000007;
+  }
+  for (k = 0; k < 512; k++) {
+    u[k] = v[k];
+  }
+  return acc;
+}
+
+int main() {
+  char tag[8];
+  int t;
+  int total = 0;
+  strcpy(tag, "adm");
+  for (t = 0; t < 512; t++) {
+    u[t] = ((t * 5) % 97) << 12;
+  }
+  for (t = 0; t < 90; t++) {
+    total = (total + evolve(3276)) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* leslie3d: upwind advection sweep. *)
+let leslie3d =
+  fx_prelude
+  ^ {|
+int q[400];
+int qn[400];
+
+int advect(int vel) {
+  int i;
+  int acc = 0;
+  for (i = 1; i < 400; i++) {
+    int grad = q[i] - q[i - 1];
+    qn[i] = q[i] - fx_mul(vel, grad);
+    acc = (acc + qn[i]) % 1000000007;
+  }
+  qn[0] = qn[399];
+  for (i = 0; i < 400; i++) {
+    q[i] = qn[i];
+  }
+  return acc;
+}
+
+int main() {
+  char tag[8];
+  int t;
+  int total = 0;
+  strcpy(tag, "les");
+  for (t = 0; t < 400; t++) {
+    q[t] = ((t % 40) << 14) % 1048576;
+  }
+  for (t = 0; t < 130; t++) {
+    total = (total + advect(19660)) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* namd: velocity-Verlet n-body integration on a small cluster. *)
+let namd =
+  fx_prelude
+  ^ {|
+int posx[48];
+int posy[48];
+int velx[48];
+int vely[48];
+
+int integrate(int dt) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 48; i++) {
+    int ax = 0;
+    int ay = 0;
+    int j;
+    for (j = 0; j < 48; j++) {
+      if (j != i) {
+        int dx = posx[j] - posx[i];
+        int dy = posy[j] - posy[i];
+        int d2 = fx_mul(dx, dx) + fx_mul(dy, dy) + 65536;
+        ax += fx_div(dx, d2);
+        ay += fx_div(dy, d2);
+      }
+    }
+    velx[i] += fx_mul(dt, ax);
+    vely[i] += fx_mul(dt, ay);
+    posx[i] += fx_mul(dt, velx[i]);
+    posy[i] += fx_mul(dt, vely[i]);
+    acc = (acc + posx[i] + posy[i]) % 1000000007;
+  }
+  return acc;
+}
+
+int main() {
+  char tag[8];
+  int i;
+  int total = 0;
+  strcpy(tag, "nmd");
+  for (i = 0; i < 48; i++) {
+    posx[i] = (i % 7) << 16;
+    posy[i] = (i % 11) << 16;
+    velx[i] = 0;
+    vely[i] = 0;
+  }
+  for (i = 0; i < 30; i++) {
+    total = (total + integrate(655)) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* dealII: conjugate-gradient-flavoured sparse mat-vec iterations. *)
+let dealii =
+  fx_prelude
+  ^ {|
+int xvec[200];
+int rvec[200];
+int diag[200];
+
+int matvec_residual() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 200; i++) {
+    int left = 0;
+    int right = 0;
+    if (i > 0) { left = xvec[i - 1]; }
+    if (i < 199) { right = xvec[i + 1]; }
+    rvec[i] = fx_mul(diag[i], xvec[i]) - ((left + right) >> 1);
+    acc = (acc + rvec[i]) % 1000000007;
+  }
+  return acc;
+}
+
+int update_x(int alpha) {
+  int i;
+  for (i = 0; i < 200; i++) {
+    xvec[i] += fx_mul(alpha, rvec[i]);
+  }
+  return xvec[100];
+}
+
+int main() {
+  char tag[8];
+  int it;
+  int total = 0;
+  strcpy(tag, "dII");
+  for (it = 0; it < 200; it++) {
+    xvec[it] = (it % 13) << 14;
+    diag[it] = (2 << 16) + ((it % 5) << 12);
+  }
+  for (it = 0; it < 110; it++) {
+    total = (total + matvec_residual()) % 1000000007;
+    total = (total + update_x(-1310)) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* soplex: simplex-style pivoting over a small dense tableau. *)
+let soplex =
+  fx_prelude
+  ^ {|
+int tab[300];
+
+int pick_pivot_col() {
+  int best = -1;
+  int best_v = 0;
+  int j;
+  for (j = 0; j < 19; j++) {
+    int v = tab[14 * 20 + j];
+    if (v < best_v) {
+      best_v = v;
+      best = j;
+    }
+  }
+  return best;
+}
+
+int pivot(int prow, int pcol) {
+  int pval = tab[prow * 20 + pcol];
+  int i;
+  if (pval == 0) { return 0; }
+  for (i = 0; i < 15; i++) {
+    if (i != prow) {
+      int factor = fx_div(tab[i * 20 + pcol], pval);
+      int j;
+      for (j = 0; j < 20; j++) {
+        tab[i * 20 + j] -= fx_mul(factor, tab[prow * 20 + j]);
+        tab[i * 20 + j] = tab[i * 20 + j] % 1073741824;
+      }
+    }
+  }
+  return 1;
+}
+
+int main() {
+  char tag[8];
+  int round;
+  int total = 0;
+  int x = 13;
+  strcpy(tag, "spx");
+  for (round = 0; round < 40; round++) {
+    int i;
+    for (i = 0; i < 300; i++) {
+      x = (x * 48271) % 2147483647;
+      tab[i] = (x % 131072) - 65536;
+    }
+    int steps = 0;
+    while (steps < 10) {
+      int col = pick_pivot_col();
+      if (col < 0) { break; }
+      pivot((steps * 7 + 3) % 14, col);
+      steps++;
+    }
+    total = (total + tab[0] + steps) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* povray: ray-sphere intersection casting over a pixel grid. *)
+let povray =
+  fx_prelude
+  ^ {|
+int sph_x[8];
+int sph_y[8];
+int sph_r2[8];
+
+int cast(int rx, int ry) {
+  char hit_order[8];
+  int nearest = -1;
+  int nearest_d = 1000000000;
+  int hits = 0;
+  int s;
+  for (s = 0; s < 8; s++) {
+    hit_order[s] = 0;
+    int dx = rx - sph_x[s];
+    int dy = ry - sph_y[s];
+    int d2 = fx_mul(dx, dx) + fx_mul(dy, dy);
+    if (d2 < sph_r2[s] && d2 < nearest_d) {
+      nearest_d = d2;
+      nearest = s;
+      hit_order[hits % 8] = s + 1;
+      hits++;
+    }
+  }
+  if (nearest == -1) { return 0; }
+  return nearest * 31 + (nearest_d >> 12) + hit_order[0];
+}
+
+int main() {
+  char tag[8];
+  int s;
+  int total = 0;
+  strcpy(tag, "pov");
+  for (s = 0; s < 8; s++) {
+    sph_x[s] = (s * 17 % 64) << 16;
+    sph_y[s] = (s * 29 % 64) << 16;
+    sph_r2[s] = (9 + s) << 16;
+  }
+  int py;
+  for (py = 0; py < 64; py++) {
+    int px;
+    for (px = 0; px < 64; px++) {
+      total = (total + cast(px << 16, py << 16)) % 1000000007;
+    }
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* calculix: beam deflection relaxation (tridiagonal smoothing). *)
+let calculix =
+  fx_prelude
+  ^ {|
+int defl[300];
+int load[300];
+
+int relax_beam() {
+  int i;
+  int change = 0;
+  for (i = 1; i < 299; i++) {
+    int target = ((defl[i - 1] + defl[i + 1]) >> 1) + fx_mul(load[i], 163);
+    int d = target - defl[i];
+    if (d < 0) { d = -d; }
+    change = (change + d) % 1000000007;
+    defl[i] = target;
+  }
+  return change;
+}
+
+int main() {
+  char tag[8];
+  int i;
+  int total = 0;
+  strcpy(tag, "ccx");
+  for (i = 0; i < 300; i++) {
+    defl[i] = 0;
+    load[i] = ((i % 30) - 15) << 10;
+  }
+  for (i = 0; i < 160; i++) {
+    total = (total + relax_beam()) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* GemsFDTD: staggered-grid E/H field updates. *)
+let gemsfdtd =
+  fx_prelude
+  ^ {|
+int ez[440];
+int hy[440];
+
+int update_h(int coef) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 439; i++) {
+    hy[i] += fx_mul(coef, ez[i + 1] - ez[i]);
+    acc = (acc + hy[i]) % 1000000007;
+  }
+  return acc;
+}
+
+int update_e(int coef) {
+  int i;
+  int acc = 0;
+  for (i = 1; i < 440; i++) {
+    ez[i] += fx_mul(coef, hy[i] - hy[i - 1]);
+    acc = (acc + ez[i]) % 1000000007;
+  }
+  return acc;
+}
+
+int main() {
+  char tag[8];
+  int t;
+  int total = 0;
+  strcpy(tag, "fdt");
+  for (t = 0; t < 440; t++) {
+    ez[t] = 0;
+    hy[t] = 0;
+  }
+  for (t = 0; t < 110; t++) {
+    ez[220] = (t % 64) << 14;
+    total = (total + update_h(32768)) % 1000000007;
+    total = (total + update_e(32768)) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* tonto: symmetric rank-1 updates on a triangular matrix. *)
+let tonto =
+  fx_prelude
+  ^ {|
+int sym[231];
+int vecv[21];
+
+int rank1_update(int scale) {
+  int i;
+  int acc = 0;
+  int idx = 0;
+  for (i = 0; i < 21; i++) {
+    int j;
+    for (j = 0; j <= i; j++) {
+      sym[idx] += fx_mul(scale, fx_mul(vecv[i], vecv[j]));
+      sym[idx] = sym[idx] % 1073741824;
+      acc = (acc + sym[idx]) % 1000000007;
+      idx++;
+    }
+  }
+  return acc;
+}
+
+int main() {
+  char tag[8];
+  int r;
+  int total = 0;
+  int x = 37;
+  strcpy(tag, "tnt");
+  for (r = 0; r < 231; r++) {
+    sym[r] = 0;
+  }
+  for (r = 0; r < 150; r++) {
+    int i;
+    for (i = 0; i < 21; i++) {
+      x = (x * 75 + 74) % 65537;
+      vecv[i] = (x % 512) << 7;
+    }
+    total = (total + rank1_update(655)) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* lbm: lattice-Boltzmann streaming + collision over a 1-D lattice. *)
+let lbm =
+  fx_prelude
+  ^ {|
+int f0[200];
+int f1[200];
+int f2[200];
+
+int collide_stream(int omega) {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 200; i++) {
+    int rho = f0[i] + f1[i] + f2[i];
+    int ueq = f1[i] - f2[i];
+    int eq0 = fx_mul(rho, 43690);
+    int eq1 = fx_mul(rho, 10922) + (ueq >> 1);
+    int eq2 = fx_mul(rho, 10922) - (ueq >> 1);
+    f0[i] += fx_mul(omega, eq0 - f0[i]);
+    f1[i] += fx_mul(omega, eq1 - f1[i]);
+    f2[i] += fx_mul(omega, eq2 - f2[i]);
+    acc = (acc + rho) % 1000000007;
+  }
+  /* stream f1 right, f2 left */
+  for (i = 199; i > 0; i--) {
+    f1[i] = f1[i - 1];
+  }
+  for (i = 0; i < 199; i++) {
+    f2[i] = f2[i + 1];
+  }
+  return acc;
+}
+
+int main() {
+  char tag[8];
+  int t;
+  int total = 0;
+  strcpy(tag, "lbm");
+  for (t = 0; t < 200; t++) {
+    f0[t] = 43690;
+    f1[t] = 10922 + ((t % 9) << 8);
+    f2[t] = 10922;
+  }
+  for (t = 0; t < 140; t++) {
+    total = (total + collide_stream(45875)) % 1000000007;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* sphinx3: DTW-style acoustic alignment over feature frames. *)
+let sphinx3 =
+  fx_prelude
+  ^ {|
+int feat[320];
+int model[320];
+int dp[41];
+
+int frame_cost(int f, int m) {
+  int k;
+  int acc = 0;
+  for (k = 0; k < 8; k++) {
+    int d = feat[f * 8 + k] - model[m * 8 + k];
+    acc += fx_mul(d, d) >> 8;
+  }
+  return acc;
+}
+
+int align() {
+  int m;
+  int f;
+  for (m = 0; m <= 40; m++) {
+    dp[m] = 1000000000;
+  }
+  dp[0] = 0;
+  for (f = 0; f < 40; f++) {
+    for (m = 40; m > 0; m--) {
+      int stay = dp[m];
+      int move = dp[m - 1];
+      int best = stay;
+      if (move < stay) { best = move; }
+      if (best < 1000000000) {
+        dp[m] = best + frame_cost(f, m - 1);
+      }
+    }
+    dp[0] = dp[0] + frame_cost(f, 0);
+  }
+  return dp[40];
+}
+
+int main() {
+  char tag[8];
+  int i;
+  int total = 0;
+  int x = 53;
+  strcpy(tag, "sph");
+  for (i = 0; i < 320; i++) {
+    x = (x * 75 + 74) % 65537;
+    feat[i] = (x % 256) << 8;
+    model[i] = ((x >> 3) % 256) << 8;
+  }
+  for (i = 0; i < 12; i++) {
+    total = (total + align()) % 1000000007;
+    feat[i * 8] += 256;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+let all =
+  [
+    ("bwaves", bwaves);
+    ("gamess", gamess);
+    ("milc", milc);
+    ("zeusmp", zeusmp);
+    ("gromacs", gromacs);
+    ("cactusADM", cactusadm);
+    ("leslie3d", leslie3d);
+    ("namd", namd);
+    ("dealII", dealii);
+    ("soplex", soplex);
+    ("povray", povray);
+    ("calculix", calculix);
+    ("GemsFDTD", gemsfdtd);
+    ("tonto", tonto);
+    ("lbm", lbm);
+    ("sphinx3", sphinx3);
+  ]

@@ -1,0 +1,884 @@
+(* The SPECint-like half of the benchmark suite: 12 Mini-C programs, each
+   modelled on the computational profile of its namesake (call-heavy,
+   recursion-heavy, buffer-heavy, ...) so that per-scheme prologue overhead
+   spreads across programs the way Figure 5 of the paper shows. *)
+
+(* perlbench: string scanning, tokenising and hashing. *)
+let perlbench =
+  {|
+int hash_str(char s[], int len) {
+  char norm[32];
+  int h = 5381;
+  int i;
+  for (i = 0; i < len; i++) {
+    char c = s[i];
+    if (c >= 'A' && c <= 'Z') {
+      c = c + 32;
+    }
+    norm[i] = c;
+  }
+  for (i = 0; i < len; i++) {
+    h = (h << 5) + h + norm[i];
+    h = h & 16777215;
+  }
+  return h;
+}
+
+int tokenize(char line[], int len) {
+  char word[32];
+  int count = 0;
+  int wlen = 0;
+  int i;
+  int h = 0;
+  for (i = 0; i < len; i++) {
+    if (line[i] == ' ') {
+      if (wlen > 0) {
+        h = h ^ hash_str(word, wlen);
+        count++;
+        wlen = 0;
+      }
+    } else {
+      if (wlen < 31) {
+        word[wlen] = line[i];
+        wlen++;
+      }
+    }
+  }
+  if (wlen > 0) {
+    h = h ^ hash_str(word, wlen);
+    count++;
+  }
+  return count + h;
+}
+
+int fill_line(char line[], int seed, int len) {
+  int i;
+  int x = seed;
+  for (i = 0; i < len; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    if (x % 5 == 0) {
+      line[i] = ' ';
+    } else {
+      line[i] = 'a' + (x % 26);
+    }
+  }
+  return x;
+}
+
+int main() {
+  char line[128];
+  int total = 0;
+  int seed = 42;
+  int round;
+  for (round = 0; round < 120; round++) {
+    seed = fill_line(line, seed, 128);
+    total = total + tokenize(line, 128);
+  }
+  print_int(total);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* bzip2: run-length encoding / decoding round trips over a buffer. *)
+let bzip2 =
+  {|
+int rle_encode(char src[], int n, char dst[]) {
+  int i = 0;
+  int o = 0;
+  while (i < n) {
+    char c = src[i];
+    int run = 1;
+    while (i + run < n && src[i + run] == c && run < 200) {
+      run++;
+    }
+    dst[o] = c;
+    dst[o + 1] = run;
+    o += 2;
+    i += run;
+  }
+  return o;
+}
+
+int rle_decode(char src[], int n, char dst[]) {
+  int i = 0;
+  int o = 0;
+  while (i < n) {
+    char c = src[i];
+    int run = src[i + 1];
+    int j;
+    for (j = 0; j < run; j++) {
+      dst[o] = c;
+      o++;
+    }
+    i += 2;
+  }
+  return o;
+}
+
+int checksum(char buf[], int n) {
+  int acc = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    acc = (acc + buf[i]) & 65535;
+  }
+  return acc;
+}
+
+int main() {
+  char raw[256];
+  char packed[256];
+  char unpacked[256];
+  int round;
+  int total = 0;
+  int x = 7;
+  for (round = 0; round < 150; round++) {
+    int i;
+    for (i = 0; i < 256; i++) {
+      x = (x * 75 + 74) % 65537;
+      raw[i] = 'a' + ((x >> 4) % 4);
+    }
+    total += rle_decode(packed, rle_encode(raw, 256, packed), unpacked);
+    total = (total + checksum(unpacked, 256)) & 1048575;
+  }
+  print_int(total);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* gcc: a recursive-descent arithmetic expression evaluator over a
+   synthesised token stream (compiler front-end profile). *)
+let gcc =
+  {|
+int toks[256];
+int pos = 0;
+int ntoks = 0;
+
+int gen_tokens(int seed) {
+  /* alternate number / op tokens: ops coded 1000+ */
+  int i;
+  int x = seed;
+  ntoks = 255;
+  for (i = 0; i < 255; i++) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    if (i % 2 == 0) {
+      toks[i] = x % 97 + 1;
+    } else {
+      toks[i] = 1000 + (x % 3);
+    }
+  }
+  return x;
+}
+
+int parse_factor() {
+  int v = toks[pos];
+  pos++;
+  return v;
+}
+
+int parse_term() {
+  int v = parse_factor();
+  while (pos < ntoks && toks[pos] == 1002) {
+    pos++;
+    v = v * parse_factor();
+    v = v % 1000003;
+  }
+  return v;
+}
+
+int parse_expr() {
+  int v = parse_term();
+  while (pos < ntoks && (toks[pos] == 1000 || toks[pos] == 1001)) {
+    int op = toks[pos];
+    pos++;
+    if (op == 1000) {
+      v = v + parse_term();
+    } else {
+      v = v - parse_term();
+    }
+    v = v % 1000003;
+  }
+  return v;
+}
+
+int main() {
+  char scratch[64];
+  int total = 0;
+  int seed = 99;
+  int round;
+  for (round = 0; round < 160; round++) {
+    seed = gen_tokens(seed);
+    pos = 0;
+    total = (total + parse_expr()) % 1000003;
+    scratch[round % 64] = total;
+  }
+  print_int(total + scratch[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* mcf: Bellman-Ford-style relaxation over a small arc array. *)
+let mcf =
+  {|
+int dist[64];
+int arc_from[160];
+int arc_to[160];
+int arc_cost[160];
+
+int build(int seed) {
+  int i;
+  int x = seed;
+  for (i = 0; i < 160; i++) {
+    x = (x * 48271) % 2147483647;
+    arc_from[i] = x % 64;
+    x = (x * 48271) % 2147483647;
+    arc_to[i] = x % 64;
+    x = (x * 48271) % 2147483647;
+    arc_cost[i] = x % 100 + 1;
+  }
+  return x;
+}
+
+int relax_all() {
+  int changed = 0;
+  int i;
+  for (i = 0; i < 160; i++) {
+    int u = arc_from[i];
+    int v = arc_to[i];
+    int nd = dist[u] + arc_cost[i];
+    if (nd < dist[v]) {
+      dist[v] = nd;
+      changed++;
+    }
+  }
+  return changed;
+}
+
+int main() {
+  char tag[16];
+  int rounds = 0;
+  int seed = 3;
+  int trial;
+  int total = 0;
+  strcpy(tag, "mcf");
+  for (trial = 0; trial < 40; trial++) {
+    int i;
+    seed = build(seed);
+    for (i = 1; i < 64; i++) {
+      dist[i] = 1000000;
+    }
+    dist[0] = 0;
+    rounds = 0;
+    while (relax_all() > 0 && rounds < 64) {
+      rounds++;
+    }
+    total += dist[63] + rounds;
+  }
+  print_int(total + tag[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* gobmk: negamax over a tiny capture game — deep recursion profile. *)
+let gobmk =
+  {|
+int board[16];
+
+int evaluate() {
+  int score = 0;
+  int i;
+  for (i = 0; i < 16; i++) {
+    score += board[i] * (i + 1);
+  }
+  return score;
+}
+
+int negamax(int depth, int who) {
+  char moves[16];
+  int best = -100000;
+  int i;
+  if (depth == 0) {
+    return who * evaluate();
+  }
+  for (i = 0; i < 16; i++) {
+    if (board[i] == 0) {
+      moves[i] = 1;
+    } else {
+      moves[i] = 0;
+    }
+  }
+  for (i = 0; i < 16; i++) {
+    if (moves[i] == 1) {
+      int v;
+      board[i] = who;
+      v = -negamax(depth - 1, -who);
+      board[i] = 0;
+      if (v > best) {
+        best = v;
+      }
+    }
+  }
+  if (best == -100000) {
+    return who * evaluate();
+  }
+  return best;
+}
+
+int main() {
+  int total = 0;
+  int game;
+  for (game = 0; game < 6; game++) {
+    int i;
+    for (i = 0; i < 16; i++) {
+      if ((i + game) % 3 == 0) {
+        board[i] = 1;
+      } else {
+        if ((i + game) % 3 == 1) {
+          board[i] = -1;
+        } else {
+          board[i] = 0;
+        }
+      }
+    }
+    total += negamax(3, 1);
+  }
+  print_int(total);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* hmmer: Viterbi dynamic programming over a profile table. *)
+let hmmer =
+  {|
+int vit[80];
+int nxt[80];
+int emit_cost[320];
+int trans_cost[80];
+
+int viterbi_step(int obs) {
+  int s;
+  for (s = 0; s < 80; s++) {
+    int stay = vit[s] + trans_cost[s];
+    int move = 1000000;
+    if (s > 0) {
+      move = vit[s - 1] + 3;
+    }
+    int best = stay;
+    if (move < stay) {
+      best = move;
+    }
+    nxt[s] = best + emit_cost[(s % 4) * 80 + obs % 80];
+  }
+  for (s = 0; s < 80; s++) {
+    vit[s] = nxt[s];
+  }
+  return vit[79];
+}
+
+int main() {
+  char seq[200];
+  int i;
+  int x = 17;
+  int total = 0;
+  for (i = 0; i < 320; i++) {
+    emit_cost[i] = (i * 7) % 23;
+  }
+  for (i = 0; i < 80; i++) {
+    trans_cost[i] = (i * 3) % 11;
+    vit[i] = 0;
+  }
+  for (i = 0; i < 200; i++) {
+    x = (x * 75 + 74) % 65537;
+    seq[i] = x % 80;
+  }
+  for (i = 0; i < 200; i++) {
+    total = (total + viterbi_step(seq[i])) % 1000000007;
+  }
+  print_int(total);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* sjeng: alpha-beta with a transposition-table flavoured hash probe. *)
+let sjeng =
+  {|
+int tt_key[128];
+int tt_val[128];
+
+int probe(int key) {
+  int idx = key % 128;
+  if (idx < 0) { idx = -idx; }
+  if (tt_key[idx] == key) {
+    return tt_val[idx];
+  }
+  return -1;
+}
+
+int store(int key, int val) {
+  int idx = key % 128;
+  if (idx < 0) { idx = -idx; }
+  tt_key[idx] = key;
+  tt_val[idx] = val;
+  return idx;
+}
+
+int search(int pos, int depth, int alpha, int beta) {
+  char line[24];
+  int cached;
+  int m;
+  if (depth == 0) {
+    return (pos * 2654435761) % 199 - 99;
+  }
+  cached = probe(pos * 31 + depth);
+  if (cached != -1) {
+    return cached - 100;
+  }
+  line[depth % 24] = depth;
+  for (m = 0; m < 4; m++) {
+    int child = pos * 5 + m * 3 + 1;
+    int v = -search(child % 100000, depth - 1, -beta, -alpha);
+    if (v > alpha) {
+      alpha = v;
+    }
+    if (alpha >= beta) {
+      break;
+    }
+  }
+  for (m = 0; m < 24; m++) {
+    line[m] = (line[m] + depth) & 127;
+  }
+  store(pos * 31 + depth, alpha + 100 + line[depth % 24] - depth);
+  return alpha;
+}
+
+int main() {
+  int total = 0;
+  int root;
+  for (root = 0; root < 24; root++) {
+    total += search(root * 977, 5, -10000, 10000);
+  }
+  print_int(total);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* libquantum: gate simulation by bit-twiddling a register vector. *)
+let libquantum =
+  {|
+int amp[256];
+
+int hadamard_like(int target) {
+  int i;
+  int mask = 1 << 0;
+  int touched = 0;
+  mask = 1;
+  if (target == 1) { mask = 2; }
+  if (target == 2) { mask = 4; }
+  if (target == 3) { mask = 8; }
+  if (target == 4) { mask = 16; }
+  if (target == 5) { mask = 32; }
+  if (target == 6) { mask = 64; }
+  if (target == 7) { mask = 128; }
+  for (i = 0; i < 256; i++) {
+    if ((i & mask) == 0) {
+      int a = amp[i];
+      int b = amp[i | mask];
+      amp[i] = (a + b) % 65521;
+      amp[i | mask] = (a - b) % 65521;
+      touched++;
+    }
+  }
+  return touched;
+}
+
+int cnot_like(int ctrl_mask, int tgt_mask) {
+  int i;
+  int swaps = 0;
+  for (i = 0; i < 256; i++) {
+    if ((i & ctrl_mask) != 0 && (i & tgt_mask) == 0) {
+      int tmp = amp[i];
+      amp[i] = amp[i | tgt_mask];
+      amp[i | tgt_mask] = tmp;
+      swaps++;
+    }
+  }
+  return swaps;
+}
+
+int main() {
+  char circuit[64];
+  int i;
+  int total = 0;
+  for (i = 0; i < 256; i++) {
+    amp[i] = i;
+  }
+  for (i = 0; i < 64; i++) {
+    circuit[i] = i % 8;
+  }
+  for (i = 0; i < 64; i++) {
+    total += hadamard_like(circuit[i]);
+    total += cnot_like(1 << 2, 1 << 5);
+    total = total % 1000003;
+  }
+  print_int(total + amp[17]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* h264ref: sum-of-absolute-differences block matching (motion search). *)
+let h264ref =
+  {|
+int frame_a[1024];
+int frame_b[1024];
+
+int sad_block(int ax, int ay, int bx, int by) {
+  int acc = 0;
+  int dy;
+  for (dy = 0; dy < 8; dy++) {
+    int dx;
+    for (dx = 0; dx < 8; dx++) {
+      int d = frame_a[(ay + dy) * 32 + ax + dx] - frame_b[(by + dy) * 32 + bx + dx];
+      if (d < 0) { d = -d; }
+      acc += d;
+    }
+  }
+  return acc;
+}
+
+int best_match(int ax, int ay) {
+  char visited[25];
+  int best = 1000000000;
+  int oy;
+  for (oy = 0; oy < 5; oy++) {
+    int ox;
+    for (ox = 0; ox < 5; ox++) {
+      int s;
+      visited[oy * 5 + ox] = 1;
+      s = sad_block(ax, ay, ox * 4, oy * 4);
+      if (s < best) {
+        best = s;
+      }
+    }
+  }
+  return best + visited[12] - 1;
+}
+
+int main() {
+  int i;
+  int total = 0;
+  int x = 5;
+  for (i = 0; i < 1024; i++) {
+    x = (x * 75 + 74) % 65537;
+    frame_a[i] = x % 256;
+    frame_b[i] = (x >> 3) % 256;
+  }
+  for (i = 0; i < 9; i++) {
+    total += best_match((i % 3) * 8, (i / 3) * 8);
+  }
+  print_int(total);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* omnetpp: discrete event simulation with a binary-heap event queue. *)
+let omnetpp =
+  {|
+int heap_t[128];
+int heap_id[128];
+int heap_n = 0;
+
+int heap_push(int time, int id) {
+  int i = heap_n;
+  heap_n++;
+  heap_t[i] = time;
+  heap_id[i] = id;
+  while (i > 0) {
+    int parent = (i - 1) / 2;
+    if (heap_t[parent] <= heap_t[i]) {
+      break;
+    }
+    int tt = heap_t[parent]; heap_t[parent] = heap_t[i]; heap_t[i] = tt;
+    int ti = heap_id[parent]; heap_id[parent] = heap_id[i]; heap_id[i] = ti;
+    i = parent;
+  }
+  return heap_n;
+}
+
+int heap_pop() {
+  int top = heap_id[0];
+  int i = 0;
+  heap_n--;
+  heap_t[0] = heap_t[heap_n];
+  heap_id[0] = heap_id[heap_n];
+  while (1) {
+    int l = 2 * i + 1;
+    int r = 2 * i + 2;
+    int m = i;
+    if (l < heap_n && heap_t[l] < heap_t[m]) { m = l; }
+    if (r < heap_n && heap_t[r] < heap_t[m]) { m = r; }
+    if (m == i) { break; }
+    int tt = heap_t[m]; heap_t[m] = heap_t[i]; heap_t[i] = tt;
+    int ti = heap_id[m]; heap_id[m] = heap_id[i]; heap_id[i] = ti;
+    i = m;
+  }
+  return top;
+}
+
+int dispatch_event(int id, int now) {
+  char name[16];
+  name[0] = 'e';
+  name[1] = 'v';
+  name[2] = '0' + (id % 10);
+  name[3] = 0;
+  return strlen(name) + id * now;
+}
+
+int main() {
+  char kind[8];
+  int clock = 0;
+  int processed = 0;
+  int x = 11;
+  int total = 0;
+  strcpy(kind, "evt");
+  heap_push(5, 1);
+  heap_push(3, 2);
+  heap_push(9, 3);
+  while (processed < 4000) {
+    int id = heap_pop();
+    processed++;
+    x = (x * 48271) % 2147483647;
+    clock += x % 7;
+    total = (total + dispatch_event(id, clock)) % 1000000007;
+    if (heap_n < 100) {
+      heap_push(clock + (x % 13), (id * 3 + 1) % 97);
+      if (x % 2 == 0) {
+        heap_push(clock + (x % 29), (id * 5 + 2) % 97);
+      }
+    }
+  }
+  print_int(total + kind[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* astar: grid pathfinding with open-list scans and heuristics. *)
+let astar =
+  {|
+int grid[400];
+int gscore[400];
+int open_set[400];
+
+int heuristic(int a, int b) {
+  int ax = a % 20;
+  int ay = a / 20;
+  int bx = b % 20;
+  int by = b / 20;
+  int dx = ax - bx;
+  int dy = ay - by;
+  if (dx < 0) { dx = -dx; }
+  if (dy < 0) { dy = -dy; }
+  return dx + dy;
+}
+
+int pick_best(int goal) {
+  int best = -1;
+  int best_f = 1000000000;
+  int i;
+  for (i = 0; i < 400; i++) {
+    if (open_set[i] == 1) {
+      int f = gscore[i] + heuristic(i, goal);
+      if (f < best_f) {
+        best_f = f;
+        best = i;
+      }
+    }
+  }
+  return best;
+}
+
+int try_step(int cur, int nb, int goal) {
+  if (nb < 0 || nb >= 400) { return 0; }
+  if (grid[nb] == 1) { return 0; }
+  int cand = gscore[cur] + 1;
+  if (cand < gscore[nb]) {
+    gscore[nb] = cand;
+    open_set[nb] = 1;
+  }
+  return goal == nb;
+}
+
+int expand(int cur, int goal) {
+  int nbrs[4];
+  int k;
+  int reached = 0;
+  nbrs[0] = cur - 1;
+  nbrs[1] = cur + 1;
+  nbrs[2] = cur - 20;
+  nbrs[3] = cur + 20;
+  for (k = 0; k < 4; k++) {
+    reached = reached + try_step(cur, nbrs[k], goal);
+  }
+  return reached;
+}
+
+int solve(int start, int goal) {
+  int i;
+  for (i = 0; i < 400; i++) {
+    gscore[i] = 1000000;
+    open_set[i] = 0;
+  }
+  gscore[start] = 0;
+  open_set[start] = 1;
+  int iter = 0;
+  while (iter < 1200) {
+    int cur = pick_best(goal);
+    if (cur == -1) { return -1; }
+    if (cur == goal) { return gscore[goal]; }
+    open_set[cur] = 0;
+    expand(cur, goal);
+    iter++;
+  }
+  return -2;
+}
+
+int main() {
+  char name[8];
+  int i;
+  int x = 23;
+  int total = 0;
+  strcpy(name, "map");
+  for (i = 0; i < 400; i++) {
+    x = (x * 75 + 74) % 65537;
+    if (x % 6 == 0 && i != 0 && i != 399) {
+      grid[i] = 1;
+    } else {
+      grid[i] = 0;
+    }
+  }
+  total += solve(0, 399);
+  total += solve(19, 380);
+  print_int(total + name[0]);
+  print_str("\n");
+  return 0;
+}
+|}
+
+(* xalancbmk: XML-flavoured tag parsing with an explicit element stack. *)
+let xalancbmk =
+  {|
+int gen_doc(char doc[], int cap, int seed) {
+  int i = 0;
+  int x = seed;
+  int depth = 0;
+  while (i < cap - 8) {
+    x = (x * 1103515245 + 12345) & 2147483647;
+    if ((x % 3 != 0 || depth == 0) && depth < 12) {
+      doc[i] = '<';
+      doc[i + 1] = 'a' + (depth % 26);
+      doc[i + 2] = '>';
+      i += 3;
+      depth++;
+    } else {
+      doc[i] = '<';
+      doc[i + 1] = '/';
+      depth--;
+      doc[i + 2] = 'a' + (depth % 26);
+      doc[i + 3] = '>';
+      i += 4;
+    }
+  }
+  while (depth > 0) {
+    depth--;
+    if (i + 4 <= cap) {
+      doc[i] = '<';
+      doc[i + 1] = '/';
+      doc[i + 2] = 'a' + (depth % 26);
+      doc[i + 3] = '>';
+      i += 4;
+    }
+  }
+  return i;
+}
+
+int match_tag(char stack[], int sp, char c) {
+  char expected[4];
+  if (sp == 0) {
+    return 0;
+  }
+  expected[0] = stack[sp - 1];
+  expected[1] = 0;
+  if (expected[0] != c) {
+    return 0;
+  }
+  return 1;
+}
+
+int parse_doc(char doc[], int len) {
+  char stack[32];
+  int sp = 0;
+  int i = 0;
+  int wellformed = 1;
+  int elements = 0;
+  while (i + 2 < len) {
+    if (doc[i] == '<' && doc[i + 1] == '/') {
+      if (match_tag(stack, sp, doc[i + 2]) == 0) {
+        wellformed = 0;
+      } else {
+        sp--;
+      }
+      i += 4;
+    } else {
+      if (doc[i] == '<') {
+        if (sp < 32) {
+          stack[sp] = doc[i + 1];
+          sp++;
+          elements++;
+        }
+        i += 3;
+      } else {
+        i++;
+      }
+    }
+  }
+  return elements * 2 + wellformed * 100000 + sp;
+}
+
+int main() {
+  char doc[512];
+  int total = 0;
+  int seed = 77;
+  int round;
+  for (round = 0; round < 60; round++) {
+    int len = gen_doc(doc, 512, seed + round);
+    total = (total + parse_doc(doc, len)) % 1000000007;
+  }
+  print_int(total);
+  print_str("\n");
+  return 0;
+}
+|}
+
+let all =
+  [
+    ("perlbench", perlbench);
+    ("bzip2", bzip2);
+    ("gcc", gcc);
+    ("mcf", mcf);
+    ("gobmk", gobmk);
+    ("hmmer", hmmer);
+    ("sjeng", sjeng);
+    ("libquantum", libquantum);
+    ("h264ref", h264ref);
+    ("omnetpp", omnetpp);
+    ("astar", astar);
+    ("xalancbmk", xalancbmk);
+  ]

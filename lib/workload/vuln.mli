@@ -1,0 +1,43 @@
+(** Deliberately vulnerable victim programs for the security
+    experiments. *)
+
+val fork_server : buffer_size:int -> string
+(** The §II-B victim: a forking server whose child handler reads the
+    whole request into a fixed stack buffer with no bounds check.
+    [buffer_size] should be a multiple of 8 so the overflow distance to
+    the canary is exactly [buffer_size]. *)
+
+val echo_once : buffer_size:int -> string
+(** Single-shot vulnerable program (spawn, feed input, observe). *)
+
+val raf_correctness_probe : string
+(** The Table I "Correctness" experiment: [fork] happens inside a
+    canary-guarded function and the child then returns from it. Schemes
+    that refresh the TLS canary without fixing live stack frames
+    (RAF-SSP) falsely abort the child; correct schemes let it exit with
+    code 7. *)
+
+val leaky_server : string
+(** Exposure-resilience victim (§IV-C). Two distinct handlers: a first
+    byte of ['L'] routes to [leak_info], which discloses 64 bytes
+    starting at its own 16-byte buffer via an out-of-bounds read
+    (covering its canary region); any other first byte is consumed and
+    the remaining input goes down [process_input]'s unbounded-overflow
+    path. Leak and overflow live in different functions, so a forged
+    canary must transfer across frames to win. *)
+
+val leaky_overflow_distance : int
+(** Bytes from the vulnerable buffer's start to the canary region in
+    both handler frames (the buffer is the only local array). *)
+
+val lv_stealth_victim : string
+(** P-SSP-LV demonstration: a [critical] buffer sits above a plain
+    buffer; a measured overflow from the plain buffer corrupts the
+    critical one without ever reaching the return-address guard.
+    Undetected by SSP/P-SSP-NT; caught by P-SSP-LV's per-variable
+    canary. Prints the critical buffer's first byte so corruption is
+    observable. *)
+
+val lv_stealth_payload : bytes
+(** A 24-byte payload that corrupts the critical buffer (or its LV
+    canary) but stops short of the return-address guard. *)

@@ -1,0 +1,170 @@
+(* AES-128 against FIPS-197 vectors, plus the one-way function used by
+   P-SSP-OWF. *)
+
+let bytes_of_hex = Util.Hex.to_bytes
+let hex = Util.Hex.of_bytes
+
+(* ---- FIPS-197 / NIST reference vectors ---------------------------------- *)
+
+let test_fips197_appendix_b () =
+  let key = bytes_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let pt = bytes_of_hex "3243f6a8885a308d313198a2e0370734" in
+  let k = Crypto.Aes128.expand_key key in
+  Alcotest.(check string) "ciphertext" "3925841d02dc09fbdc118597196a0b32"
+    (hex (Crypto.Aes128.encrypt_block k pt))
+
+let test_fips197_appendix_c () =
+  let key = bytes_of_hex "000102030405060708090a0b0c0d0e0f" in
+  let pt = bytes_of_hex "00112233445566778899aabbccddeeff" in
+  let k = Crypto.Aes128.expand_key key in
+  Alcotest.(check string) "ciphertext" "69c4e0d86a7b0430d8cdb78070b4c55a"
+    (hex (Crypto.Aes128.encrypt_block k pt))
+
+let test_nist_ecb_kat () =
+  (* NIST SP 800-38A F.1.1, first block *)
+  let key = bytes_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let pt = bytes_of_hex "6bc1bee22e409f96e93d7e117393172a" in
+  let k = Crypto.Aes128.expand_key key in
+  Alcotest.(check string) "ciphertext" "3ad77bb40d7a3660a89ecaf32466ef97"
+    (hex (Crypto.Aes128.encrypt_block k pt))
+
+let test_key_schedule_first_round () =
+  (* FIPS-197 A.1: first expanded word of round 1 is w4 = a0fafe17... *)
+  let key = bytes_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let k = Crypto.Aes128.expand_key key in
+  let rks = Crypto.Aes128.round_keys k in
+  Alcotest.(check int) "11 round keys" 11 (Array.length rks);
+  Alcotest.(check string) "round key 0 is the key"
+    "2b7e151628aed2a6abf7158809cf4f3c" (hex rks.(0));
+  Alcotest.(check string) "round key 1" "a0fafe1788542cb123a339392a6c7605"
+    (hex rks.(1))
+
+let test_decrypt_inverts () =
+  let key = bytes_of_hex "000102030405060708090a0b0c0d0e0f" in
+  let k = Crypto.Aes128.expand_key key in
+  let pt = bytes_of_hex "00112233445566778899aabbccddeeff" in
+  Alcotest.(check string) "decrypt(encrypt(x)) = x" (hex pt)
+    (hex (Crypto.Aes128.decrypt_block k (Crypto.Aes128.encrypt_block k pt)))
+
+let test_rounds_compose_to_encrypt () =
+  (* aesenc^9 . aesenclast with the round keys must equal encrypt_block
+     (this is how the simulated CPU instructions are defined). *)
+  let key = bytes_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let k = Crypto.Aes128.expand_key key in
+  let rks = Crypto.Aes128.round_keys k in
+  let pt = bytes_of_hex "3243f6a8885a308d313198a2e0370734" in
+  let xor16 a b =
+    Bytes.init 16 (fun i ->
+        Char.chr (Char.code (Bytes.get a i) lxor Char.code (Bytes.get b i)))
+  in
+  let state = ref (xor16 pt rks.(0)) in
+  for r = 1 to 9 do
+    state := Crypto.Aes128.aesenc ~state:!state ~round_key:rks.(r)
+  done;
+  let out = Crypto.Aes128.aesenclast ~state:!state ~round_key:rks.(10) in
+  Alcotest.(check string) "matches encrypt_block"
+    (hex (Crypto.Aes128.encrypt_block k pt))
+    (hex out)
+
+let test_bad_lengths () =
+  Alcotest.check_raises "short key"
+    (Invalid_argument "Aes128.expand_key: need 16 bytes") (fun () ->
+      ignore (Crypto.Aes128.expand_key (Bytes.create 8)));
+  let k = Crypto.Aes128.key_of_int64s 1L 2L in
+  Alcotest.check_raises "short block"
+    (Invalid_argument "Aes128.encrypt_block: need 16 bytes") (fun () ->
+      ignore (Crypto.Aes128.encrypt_block k (Bytes.create 15)))
+
+let test_int64_interface_consistent () =
+  let k = Crypto.Aes128.key_of_int64s 0x0706050403020100L 0x0F0E0D0C0B0A0908L in
+  let k' = Crypto.Aes128.expand_key (bytes_of_hex "000102030405060708090a0b0c0d0e0f") in
+  let lo, hi = Crypto.Aes128.encrypt_int64s k 0x7766554433221100L 0xFFEEDDCCBBAA9988L in
+  let ct = Crypto.Aes128.encrypt_block k' (bytes_of_hex "00112233445566778899aabbccddeeff") in
+  Alcotest.(check string) "lanes agree with byte interface"
+    (hex ct)
+    (hex
+       (let b = Bytes.create 16 in
+        Bytes.set_int64_le b 0 lo;
+        Bytes.set_int64_le b 8 hi;
+        b))
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"decrypt . encrypt = id" ~count:200
+    QCheck.(quad int64 int64 int64 int64)
+    (fun (k0, k1, p0, p1) ->
+      let k = Crypto.Aes128.key_of_int64s k0 k1 in
+      let c0, c1 = Crypto.Aes128.encrypt_int64s k p0 p1 in
+      let ct = Bytes.create 16 in
+      Bytes.set_int64_le ct 0 c0;
+      Bytes.set_int64_le ct 8 c1;
+      let pt = Crypto.Aes128.decrypt_block k ct in
+      Bytes.get_int64_le pt 0 = p0 && Bytes.get_int64_le pt 8 = p1)
+
+let prop_permutation =
+  QCheck.Test.make ~name:"distinct plaintexts -> distinct ciphertexts" ~count:200
+    QCheck.(triple int64 int64 int64)
+    (fun (k0, p, q) ->
+      QCheck.assume (p <> q);
+      let k = Crypto.Aes128.key_of_int64s k0 0L in
+      Crypto.Aes128.encrypt_int64s k p 0L <> Crypto.Aes128.encrypt_int64s k q 0L)
+
+(* ---- Oneway -------------------------------------------------------------- *)
+
+let test_oneway_deterministic () =
+  let f = Crypto.Oneway.create ~key_lo:11L ~key_hi:22L in
+  let a = Crypto.Oneway.evaluate f ~ret:0x400123L ~nonce:99L in
+  let b = Crypto.Oneway.evaluate f ~ret:0x400123L ~nonce:99L in
+  Alcotest.(check bool) "same inputs, same canary" true (a = b)
+
+let test_oneway_sensitive_to_ret () =
+  let f = Crypto.Oneway.create ~key_lo:11L ~key_hi:22L in
+  let a = Crypto.Oneway.evaluate f ~ret:0x400123L ~nonce:99L in
+  let b = Crypto.Oneway.evaluate f ~ret:0x400124L ~nonce:99L in
+  Alcotest.(check bool) "ret change changes canary" false (a = b)
+
+let test_oneway_sensitive_to_nonce () =
+  let f = Crypto.Oneway.create ~key_lo:11L ~key_hi:22L in
+  let a = Crypto.Oneway.evaluate f ~ret:0x400123L ~nonce:1L in
+  let b = Crypto.Oneway.evaluate f ~ret:0x400123L ~nonce:2L in
+  Alcotest.(check bool) "nonce change changes canary" false (a = b)
+
+let test_oneway_sensitive_to_key () =
+  let f = Crypto.Oneway.create ~key_lo:11L ~key_hi:22L in
+  let g = Crypto.Oneway.create ~key_lo:11L ~key_hi:23L in
+  Alcotest.(check bool) "key change changes canary" false
+    (Crypto.Oneway.evaluate f ~ret:5L ~nonce:5L
+    = Crypto.Oneway.evaluate g ~ret:5L ~nonce:5L)
+
+let test_oneway_no_nonce_is_nonce_zero () =
+  let f = Crypto.Oneway.create ~key_lo:3L ~key_hi:4L in
+  Alcotest.(check bool) "weak variant pins nonce to 0" true
+    (Crypto.Oneway.evaluate_no_nonce f ~ret:77L
+    = Crypto.Oneway.evaluate f ~ret:77L ~nonce:0L)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "aes128",
+        [
+          Alcotest.test_case "FIPS-197 appendix B" `Quick test_fips197_appendix_b;
+          Alcotest.test_case "FIPS-197 appendix C" `Quick test_fips197_appendix_c;
+          Alcotest.test_case "NIST ECB KAT" `Quick test_nist_ecb_kat;
+          Alcotest.test_case "key schedule" `Quick test_key_schedule_first_round;
+          Alcotest.test_case "decrypt inverts" `Quick test_decrypt_inverts;
+          Alcotest.test_case "aesenc rounds compose" `Quick test_rounds_compose_to_encrypt;
+          Alcotest.test_case "bad lengths rejected" `Quick test_bad_lengths;
+          Alcotest.test_case "int64 lanes" `Quick test_int64_interface_consistent;
+          qc prop_roundtrip;
+          qc prop_permutation;
+        ] );
+      ( "oneway",
+        [
+          Alcotest.test_case "deterministic" `Quick test_oneway_deterministic;
+          Alcotest.test_case "sensitive to ret" `Quick test_oneway_sensitive_to_ret;
+          Alcotest.test_case "sensitive to nonce" `Quick test_oneway_sensitive_to_nonce;
+          Alcotest.test_case "sensitive to key" `Quick test_oneway_sensitive_to_key;
+          Alcotest.test_case "no-nonce = nonce 0" `Quick test_oneway_no_nonce_is_nonce_zero;
+        ] );
+    ]

@@ -1,0 +1,331 @@
+(* Encoder/decoder roundtrips, assembler behaviour, and the fixed-width
+   properties the binary rewriter relies on. *)
+
+open Isa
+
+let insn_testable = Alcotest.testable (fun fmt i -> Fmt.string fmt (Asm.to_string i)) Insn.equal
+
+(* ---- generators ---------------------------------------------------------- *)
+
+let gen_reg = QCheck.Gen.(map Reg.of_index_exn (int_range 0 15))
+let gen_xmm = QCheck.Gen.(map Reg.Xmm.of_index_exn (int_range 0 15))
+
+let gen_disp = QCheck.Gen.(map Int64.of_int (int_range (-100000) 100000))
+
+let gen_mem =
+  QCheck.Gen.(
+    let* seg_fs = bool in
+    let* base = opt gen_reg in
+    let* index =
+      opt (pair gen_reg (oneofl [ Operand.S1; Operand.S2; Operand.S4; Operand.S8 ]))
+    in
+    let* disp = gen_disp in
+    return { Operand.seg_fs; base; index; disp })
+
+let gen_operand =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun r -> Operand.Reg r) gen_reg;
+        map (fun v -> Operand.Imm v) int64;
+        map (fun m -> Operand.Mem m) gen_mem;
+      ])
+
+let gen_target = QCheck.Gen.(map (fun a -> Insn.Abs (Int64.logand a 0x7FFFFFFFL)) int64)
+
+let gen_cond =
+  QCheck.Gen.oneofl
+    [ Insn.E; NE; L; LE; G; GE; B; BE; A; AE; S; NS ]
+
+let gen_binop =
+  QCheck.Gen.oneofl
+    [ Insn.Add; Sub; Xor; And; Or; Cmp; Test; Imul; Idiv; Irem ]
+
+let gen_shiftop = QCheck.Gen.oneofl [ Insn.Shl; Shr; Sar ]
+
+let gen_insn =
+  QCheck.Gen.(
+    oneof
+      [
+        return Insn.Nop;
+        map2 (fun a b -> Insn.Mov (a, b)) gen_operand gen_operand;
+        map2 (fun a b -> Insn.Movb (a, b)) gen_operand gen_operand;
+        map2 (fun a b -> Insn.Movl (a, b)) gen_operand gen_operand;
+        map2 (fun r m -> Insn.Lea (r, m)) gen_reg gen_mem;
+        map (fun o -> Insn.Push o) gen_operand;
+        map (fun o -> Insn.Pop o) gen_operand;
+        map3 (fun op a b -> Insn.Bin (op, a, b)) gen_binop gen_operand gen_operand;
+        map3 (fun op a k -> Insn.Shift (op, a, k)) gen_shiftop gen_operand (int_range 0 63);
+        map (fun o -> Insn.Neg o) gen_operand;
+        map (fun o -> Insn.Not o) gen_operand;
+        map (fun t -> Insn.Jmp t) gen_target;
+        map2 (fun c t -> Insn.Jcc (c, t)) gen_cond gen_target;
+        map (fun t -> Insn.Call t) gen_target;
+        map (fun o -> Insn.Call_ind o) gen_operand;
+        return Insn.Ret;
+        return Insn.Leave;
+        map2 (fun c r -> Insn.Setcc (c, r)) gen_cond gen_reg;
+        map (fun r -> Insn.Rdrand r) gen_reg;
+        return Insn.Rdtsc;
+        return Insn.Syscall;
+        return Insn.Hlt;
+        map2 (fun x r -> Insn.Movq_to_xmm (x, r)) gen_xmm gen_reg;
+        map2 (fun r x -> Insn.Movq_from_xmm (r, x)) gen_reg gen_xmm;
+        map2 (fun x r -> Insn.Pinsrq_high (x, r)) gen_xmm gen_reg;
+        map2 (fun x m -> Insn.Movhps_load (x, m)) gen_xmm gen_mem;
+        map2 (fun m x -> Insn.Movq_store (m, x)) gen_mem gen_xmm;
+        map2 (fun x m -> Insn.Movdqu_load (x, m)) gen_xmm gen_mem;
+        map2 (fun m x -> Insn.Movdqu_store (m, x)) gen_mem gen_xmm;
+        map2 (fun a b -> Insn.Aesenc (a, b)) gen_xmm gen_xmm;
+        map2 (fun a b -> Insn.Aesenclast (a, b)) gen_xmm gen_xmm;
+        map2 (fun x m -> Insn.Pcmpeq128 (x, m)) gen_xmm gen_mem;
+      ])
+
+let arb_insn = QCheck.make ~print:Asm.to_string gen_insn
+
+(* ---- roundtrip ----------------------------------------------------------- *)
+
+let prop_encode_decode_roundtrip =
+  QCheck.Test.make ~name:"decode . encode = id" ~count:2000 arb_insn (fun insn ->
+      let code = Encode.to_bytes insn in
+      let decoded, len = Decode.decode code 0 in
+      Insn.equal decoded insn && len = Bytes.length code)
+
+let prop_length_agrees =
+  QCheck.Test.make ~name:"Encode.length = encoded size" ~count:1000 arb_insn
+    (fun insn -> Encode.length insn = Bytes.length (Encode.to_bytes insn))
+
+let prop_stream_roundtrip =
+  QCheck.Test.make ~name:"decode_all of a stream" ~count:200
+    QCheck.(list_of_size Gen.(int_range 1 20) arb_insn)
+    (fun insns ->
+      let code = Encode.list_to_bytes insns in
+      let decoded = List.map snd (Decode.decode_all code) in
+      List.length decoded = List.length insns
+      && List.for_all2 Insn.equal decoded insns)
+
+(* The property §V-C's rewriter depends on: changing a displacement or a
+   call target never changes the instruction length. *)
+let prop_fixed_width_disp =
+  QCheck.Test.make ~name:"length independent of displacement" ~count:500
+    (QCheck.make QCheck.Gen.(pair gen_disp gen_disp))
+    (fun (d1, d2) ->
+      let mk d = Insn.Mov (Operand.reg Reg.RAX, Operand.fs d) in
+      Encode.length (mk (Int64.logand d1 0xFFFFL))
+      = Encode.length (mk (Int64.logand d2 0xFFFFL)))
+
+let test_fixed_width_call () =
+  let l1 = Encode.length (Insn.Call (Insn.Abs 0x1L)) in
+  let l2 = Encode.length (Insn.Call (Insn.Abs 0x7FFFFFFFL)) in
+  Alcotest.(check int) "call width constant" l1 l2
+
+let test_sym_length_equals_abs () =
+  Alcotest.(check int) "sym = abs width"
+    (Encode.length (Insn.Jmp (Insn.Abs 0L)))
+    (Encode.length (Insn.Jmp (Insn.Sym "somewhere")))
+
+let test_encode_sym_rejected () =
+  let buf = Buffer.create 8 in
+  Alcotest.check_raises "unresolved" (Encode.Unresolved_symbol "f") (fun () ->
+      Encode.encode buf (Insn.Call (Insn.Sym "f")))
+
+let test_decode_bad_opcode () =
+  (match Decode.decode (Bytes.of_string "\xee") 0 with
+  | exception Decode.Bad_encoding (0, _) -> ()
+  | _ -> Alcotest.fail "expected Bad_encoding");
+  match Decode.decode (Bytes.of_string "\x01\x00") 0 with
+  | exception Decode.Bad_encoding (_, _) -> ()
+  | _ -> Alcotest.fail "expected truncation error"
+
+(* ---- the paper's exact instruction forms --------------------------------- *)
+
+let test_ssp_prologue_form () =
+  (* mov %fs:0x28,%rax and mov %fs:0x2a8,%rax differ ONLY in the
+     displacement bytes and have identical length (Code 5's patch). *)
+  let a = Encode.to_bytes (Insn.Mov (Operand.reg Reg.RAX, Operand.fs 0x28L)) in
+  let b = Encode.to_bytes (Insn.Mov (Operand.reg Reg.RAX, Operand.fs 0x2a8L)) in
+  Alcotest.(check int) "same length" (Bytes.length a) (Bytes.length b);
+  let diffs = ref 0 in
+  Bytes.iteri
+    (fun i c -> if c <> Bytes.get b i then incr diffs)
+    a;
+  Alcotest.(check bool) "only displacement differs" true (!diffs <= 2)
+
+let test_xor_call_same_length () =
+  (* the epilogue patch: xor %fs:0x28,%rdx (9B) -> call abs (9B) *)
+  Alcotest.(check int) "equal lengths"
+    (Encode.length (Insn.Bin (Insn.Xor, Operand.reg Reg.RDX, Operand.fs 0x28L)))
+    (Encode.length (Insn.Call (Insn.Abs 0x10000L)))
+
+(* ---- conditions ----------------------------------------------------------- *)
+
+let test_negate_cond_involution () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "involution" true
+        (Insn.negate_cond (Insn.negate_cond c) = c))
+    [ Insn.E; NE; L; LE; G; GE; B; BE; A; AE; S; NS ]
+
+let test_cond_index_roundtrip () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "index roundtrip" true
+        (Insn.cond_of_index (Insn.cond_index c) = Some c))
+    [ Insn.E; NE; L; LE; G; GE; B; BE; A; AE; S; NS ]
+
+let test_binop_index_roundtrip () =
+  List.iter
+    (fun op ->
+      Alcotest.(check bool) "binop roundtrip" true
+        (Insn.binop_of_index (Insn.binop_index op) = Some op))
+    [ Insn.Add; Sub; Xor; And; Or; Cmp; Test; Imul; Idiv; Irem ]
+
+(* ---- builder -------------------------------------------------------------- *)
+
+let test_builder_local_labels () =
+  let b = Builder.create () in
+  let l = Builder.fresh_label b "loop" in
+  Builder.label b l;
+  Builder.emit b (Insn.Bin (Insn.Add, Operand.reg Reg.RAX, Operand.imm 1L));
+  Builder.emit b (Insn.Jmp (Insn.Sym l));
+  let a = Builder.assemble b ~base:0x4000L ~externs:(fun _ -> None) in
+  match List.rev a.Builder.insns with
+  | (_, Insn.Jmp (Insn.Abs target)) :: _ ->
+    Alcotest.check (Alcotest.testable (Fmt.fmt "%Ld") Int64.equal) "jmp to label"
+      0x4000L target
+  | _ -> Alcotest.fail "expected resolved jmp"
+
+let test_builder_externs () =
+  let b = Builder.create () in
+  Builder.emit b (Insn.Call (Insn.Sym "helper"));
+  let a =
+    Builder.assemble b ~base:0L ~externs:(fun s ->
+        if s = "helper" then Some 0xBEEFL else None)
+  in
+  match a.Builder.insns with
+  | [ (0, Insn.Call (Insn.Abs 0xBEEFL)) ] -> ()
+  | _ -> Alcotest.fail "extern not resolved"
+
+let test_builder_undefined_symbol () =
+  let b = Builder.create () in
+  Builder.emit b (Insn.Call (Insn.Sym "nope"));
+  Alcotest.check_raises "undefined"
+    (Invalid_argument "Builder.assemble: undefined symbol nope") (fun () ->
+      ignore (Builder.assemble b ~base:0L ~externs:(fun _ -> None)))
+
+let test_builder_duplicate_label () =
+  let b = Builder.create () in
+  Builder.label b "x";
+  Alcotest.check_raises "duplicate" (Invalid_argument "Builder.label: x placed twice")
+    (fun () -> Builder.label b "x")
+
+let test_builder_size_matches () =
+  let b = Builder.create () in
+  Builder.emit_all b
+    [ Insn.Push (Operand.reg Reg.RBP); Insn.Call (Insn.Sym "f"); Insn.Ret ];
+  let size = Builder.size b in
+  let a = Builder.assemble b ~base:0L ~externs:(fun _ -> Some 0L) in
+  Alcotest.(check int) "size = assembled bytes" size (Bytes.length a.Builder.code)
+
+(* ---- printer --------------------------------------------------------------- *)
+
+let test_asm_forms () =
+  Alcotest.check insn_testable "equality sanity" Insn.Ret Insn.Ret;
+  let s = Asm.to_string (Insn.Mov (Operand.reg Reg.RAX, Operand.fs 0x28L)) in
+  Alcotest.(check string) "att order" "mov    %fs:0x28,%rax" s;
+  let s2 = Asm.to_string (Insn.Jcc (Insn.E, Insn.Sym "ok")) in
+  Alcotest.(check string) "jcc" "je     <ok>" s2
+
+(* ---- asm text parser --------------------------------------------------------- *)
+
+let prop_asm_roundtrip =
+  QCheck.Test.make ~name:"parse . print = id" ~count:2000 arb_insn (fun insn ->
+      (* printed immediates lose nothing; Sym targets print as <name> *)
+      Insn.equal (Asm_parser.parse_insn (Asm.to_string insn)) insn)
+
+let test_asm_parse_listing () =
+  let listing = {|
+fork_wrapper:            # comment
+  callq  <fork>
+  test   %rax,%rax
+  jne    <done>
+  rdrand %rcx
+  mov    %rcx,%fs:0x2a8
+done:
+  retq
+|} in
+  let items = Asm_parser.parse_listing listing in
+  Alcotest.(check int) "items" 8 (List.length items);
+  (match List.nth items 0 with
+  | `Label "fork_wrapper" -> ()
+  | _ -> Alcotest.fail "label");
+  match List.nth items 1 with
+  | `Insn (Insn.Call (Insn.Sym "fork")) -> ()
+  | _ -> Alcotest.fail "sym call"
+
+let test_asm_to_builder_assembles () =
+  let b = Asm_parser.to_builder {|
+entry:
+  mov    $0x2a,%rax
+  jmp    <skip>
+  mov    $0x0,%rax
+skip:
+  retq
+|} in
+  let a = Builder.assemble b ~base:0x1000L ~externs:(fun _ -> None) in
+  Alcotest.(check bool) "labels placed" true
+    (List.mem_assoc "entry" a.Builder.labels && List.mem_assoc "skip" a.Builder.labels)
+
+let test_asm_parse_errors () =
+  (match Asm_parser.parse_insn "frobnicate %rax" with
+  | exception Asm_parser.Error (1, _) -> ()
+  | _ -> Alcotest.fail "unknown mnemonic accepted");
+  match Asm_parser.parse_insn "mov %rax" with
+  | exception Asm_parser.Error (1, _) -> ()
+  | _ -> Alcotest.fail "arity not checked"
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "isa"
+    [
+      ( "roundtrip",
+        [
+          qc prop_encode_decode_roundtrip;
+          qc prop_length_agrees;
+          qc prop_stream_roundtrip;
+          qc prop_fixed_width_disp;
+          Alcotest.test_case "call width constant" `Quick test_fixed_width_call;
+          Alcotest.test_case "sym length = abs length" `Quick test_sym_length_equals_abs;
+          Alcotest.test_case "encoding sym rejected" `Quick test_encode_sym_rejected;
+          Alcotest.test_case "bad opcodes rejected" `Quick test_decode_bad_opcode;
+        ] );
+      ( "rewriter-critical forms",
+        [
+          Alcotest.test_case "prologue patch same length" `Quick test_ssp_prologue_form;
+          Alcotest.test_case "xor->call same length" `Quick test_xor_call_same_length;
+        ] );
+      ( "conditions",
+        [
+          Alcotest.test_case "negate involution" `Quick test_negate_cond_involution;
+          Alcotest.test_case "cond index roundtrip" `Quick test_cond_index_roundtrip;
+          Alcotest.test_case "binop index roundtrip" `Quick test_binop_index_roundtrip;
+        ] );
+      ( "builder",
+        [
+          Alcotest.test_case "local labels" `Quick test_builder_local_labels;
+          Alcotest.test_case "externs" `Quick test_builder_externs;
+          Alcotest.test_case "undefined symbol" `Quick test_builder_undefined_symbol;
+          Alcotest.test_case "duplicate label" `Quick test_builder_duplicate_label;
+          Alcotest.test_case "size matches" `Quick test_builder_size_matches;
+        ] );
+      ( "printer",
+        [ Alcotest.test_case "AT&T forms" `Quick test_asm_forms ] );
+      ( "asm-parser",
+        [
+          qc prop_asm_roundtrip;
+          Alcotest.test_case "listing with labels/comments" `Quick test_asm_parse_listing;
+          Alcotest.test_case "to_builder assembles" `Quick test_asm_to_builder_assembles;
+          Alcotest.test_case "errors" `Quick test_asm_parse_errors;
+        ] );
+    ]

@@ -1,0 +1,714 @@
+(* Compiler tests: frame layout, code generation correctness (against
+   expected program outputs), and the protection passes' emitted code. *)
+
+open Minic
+
+let compile ?(scheme = Pssp.Scheme.None_) ?linkage src =
+  Mcc.Driver.compile ~scheme ?linkage (Parser.parse src)
+
+(* Run a program and return (exit_code, stdout). *)
+let run ?(scheme = Pssp.Scheme.None_) ?input src =
+  let k = Os.Kernel.create () in
+  let p = Os.Kernel.spawn k ?input ~preload:(Mcc.Driver.preload_for scheme) (compile ~scheme src) in
+  match Os.Kernel.run k p with
+  | Os.Kernel.Stop_exit code -> (code, Os.Process.stdout p)
+  | other -> Alcotest.failf "program died: %s" (Os.Kernel.stop_to_string other)
+
+let expect_output ?scheme src expected =
+  let _, out = run ?scheme src in
+  Alcotest.(check string) "stdout" expected out
+
+let expect_exit ?scheme src expected =
+  let code, _ = run ?scheme src in
+  Alcotest.(check int) "exit code" expected code
+
+(* ---- frame layout ------------------------------------------------------------ *)
+
+let func_of src name =
+  let p = Parser.parse src in
+  Option.get (Ast.find_func p name)
+
+let test_frame_guard_policy () =
+  let with_buffer = func_of "int f() { char b[8]; return b[0]; } int main() { return 0; }" "f" in
+  let without = func_of "int f() { int x; return x; } int main() { return 0; }" "f" in
+  let fr1 = Mcc.Frame.layout ~scheme:Pssp.Scheme.Ssp with_buffer in
+  let fr2 = Mcc.Frame.layout ~scheme:Pssp.Scheme.Ssp without in
+  Alcotest.(check bool) "buffer => guarded" true fr1.Mcc.Frame.guarded;
+  Alcotest.(check bool) "no buffer => unguarded" false fr2.Mcc.Frame.guarded;
+  let fr3 = Mcc.Frame.layout ~scheme:Pssp.Scheme.None_ with_buffer in
+  Alcotest.(check bool) "native never guarded" false fr3.Mcc.Frame.guarded
+
+let test_frame_guard_words () =
+  let f = func_of "int f() { char b[8]; return 0; } int main() { return 0; }" "f" in
+  let words scheme = (Mcc.Frame.layout ~scheme f).Mcc.Frame.guard_words in
+  Alcotest.(check int) "ssp 1 word" 1 (words Pssp.Scheme.Ssp);
+  Alcotest.(check int) "pssp 2 words" 2 (words Pssp.Scheme.Pssp);
+  Alcotest.(check int) "owf 3 words" 3 (words Pssp.Scheme.Pssp_owf);
+  (* the SVII-C point: the global-buffer variant keeps the SSP layout *)
+  Alcotest.(check int) "gb 1 word (SSP layout)" 1 (words Pssp.Scheme.Pssp_gb)
+
+let test_frame_arrays_above_scalars () =
+  (* SSP-strong ordering: buffers adjacent to the guard, scalars below *)
+  let f =
+    func_of "int f() { int x; char b[16]; int y; return 0; } int main() { return 0; }" "f"
+  in
+  let fr = Mcc.Frame.layout ~scheme:Pssp.Scheme.Ssp f in
+  let slot n = (Mcc.Frame.slot fr n).Mcc.Frame.offset in
+  Alcotest.(check bool) "buffer above x" true (slot "b" > slot "x");
+  Alcotest.(check bool) "buffer above y" true (slot "b" > slot "y");
+  Alcotest.(check int) "buffer right below guard" (-8 - 16) (slot "b")
+
+let test_frame_lv_canary_below_critical () =
+  let f =
+    func_of
+      "int f() { critical char log[16]; char buf[16]; return 0; } int main() { return 0; }"
+      "f"
+  in
+  let fr = Mcc.Frame.layout ~scheme:(Pssp.Scheme.Pssp_lv 1) f in
+  (match fr.Mcc.Frame.lv_canaries with
+  | [ c ] ->
+    let log_off = (Mcc.Frame.slot fr "log").Mcc.Frame.offset in
+    Alcotest.(check int) "canary in adjacent word below the variable"
+      (log_off - 8) c.Mcc.Frame.canary_offset;
+    (* the plain buffer sits below the canary: ascending overflow meets
+       the canary before the critical variable *)
+    Alcotest.(check bool) "buf below canary" true
+      ((Mcc.Frame.slot fr "buf").Mcc.Frame.offset < c.Mcc.Frame.canary_offset)
+  | _ -> Alcotest.fail "expected exactly one LV canary");
+  (* under non-LV schemes no per-variable canaries exist *)
+  let fr2 = Mcc.Frame.layout ~scheme:Pssp.Scheme.Pssp_nt f in
+  Alcotest.(check int) "no LV canaries" 0 (List.length fr2.Mcc.Frame.lv_canaries)
+
+let test_frame_16_alignment () =
+  List.iter
+    (fun scheme ->
+      let f =
+        func_of "int f(int a) { char b[13]; int z; return a; } int main() { return 0; }" "f"
+      in
+      let fr = Mcc.Frame.layout ~scheme f in
+      Alcotest.(check int) "16-aligned" 0 (fr.Mcc.Frame.frame_size mod 16))
+    [ Pssp.Scheme.None_; Pssp.Scheme.Ssp; Pssp.Scheme.Pssp; Pssp.Scheme.Pssp_owf ]
+
+(* ---- codegen correctness -------------------------------------------------------- *)
+
+let test_arith_precedence () =
+  expect_output "int main() { print_int(2 + 3 * 4 - 10 / 2); return 0; }" "9"
+
+let test_division_negative () =
+  expect_output "int main() { print_int(-7 / 2); putchar(' '); print_int(-7 % 2); return 0; }"
+    "-3 -1"
+
+let test_bitwise () =
+  expect_output
+    "int main() { print_int((12 & 10) | (1 << 4) ^ 3); putchar(' '); print_int(~0); putchar(' '); print_int(255 >> 4); return 0; }"
+    "27 -1 15"
+
+let test_comparisons () =
+  expect_output
+    {|int main() {
+  print_int(1 < 2); print_int(2 <= 2); print_int(3 > 4); print_int(4 >= 5);
+  print_int(5 == 5); print_int(6 != 6);
+  return 0;
+}|}
+    "110010"
+
+let test_short_circuit_side_effects () =
+  expect_output
+    {|
+int g = 0;
+
+int bump() {
+  g++;
+  return 1;
+}
+
+int main() {
+  int r = 0 && bump();
+  r = r + (1 || bump());
+  print_int(g);
+  return 0;
+}
+|}
+    "0"
+
+let test_logical_values () =
+  expect_output "int main() { print_int(3 && 2); print_int(0 || 7); print_int(!5); print_int(!0); return 0; }"
+    "1101"
+
+let test_while_break_continue () =
+  expect_output
+    {|
+int main() {
+  int i = 0;
+  int sum = 0;
+  while (1) {
+    i++;
+    if (i > 10) { break; }
+    if (i % 2 == 0) { continue; }
+    sum += i;
+  }
+  print_int(sum);
+  return 0;
+}
+|}
+    "25"
+
+let test_for_loop_nested () =
+  expect_output
+    {|
+int main() {
+  int total = 0;
+  int i;
+  int j;
+  for (i = 0; i < 5; i++) {
+    for (j = 0; j <= i; j++) {
+      total += j;
+    }
+  }
+  print_int(total);
+  return 0;
+}
+|}
+    "20"
+
+let test_for_decl_runs () =
+  expect_output
+    {|
+int main() {
+  int s = 0;
+  for (int i = 1; i <= 5; i++) {
+    s += i;
+  }
+  print_int(s);
+  return 0;
+}
+|}
+    "15"
+
+let test_do_while () =
+  expect_output
+    {|
+int main() {
+  int n = 0;
+  do {
+    n++;
+  } while (n < 3);
+  print_int(n);
+  return 0;
+}
+|}
+    "3"
+
+let test_recursion () =
+  expect_exit
+    {|
+int ack(int m, int n) {
+  if (m == 0) { return n + 1; }
+  if (n == 0) { return ack(m - 1, 1); }
+  return ack(m - 1, ack(m, n - 1));
+}
+
+int main() {
+  return ack(2, 3);
+}
+|}
+    9
+
+let test_mutual_recursion () =
+  expect_output
+    {|
+int is_odd(int n);
+
+int is_even(int n) {
+  if (n == 0) { return 1; }
+  return is_odd(n - 1);
+}
+
+int is_odd(int n) {
+  if (n == 0) { return 0; }
+  return is_even(n - 1);
+}
+
+int main() {
+  print_int(is_even(10));
+  print_int(is_odd(7));
+  return 0;
+}
+|}
+    "11"
+
+let test_six_args () =
+  expect_exit
+    {|
+int sum6(int a, int b, int c, int d, int e, int f) {
+  return a + 2 * b + 3 * c + 4 * d + 5 * e + 6 * f;
+}
+
+int main() {
+  return sum6(1, 1, 1, 1, 1, 1);
+}
+|}
+    21
+
+let test_too_many_args_rejected () =
+  match
+    compile
+      "int f(int a, int b, int c, int d, int e, int g, int h) { return 0; } int main() { return 0; }"
+  with
+  | exception Typecheck.Error _ -> ()
+  | _ -> Alcotest.fail "7-arg function should be rejected"
+
+let test_char_arrays () =
+  expect_output
+    {|
+int main() {
+  char b[8];
+  int i;
+  for (i = 0; i < 5; i++) {
+    b[i] = 'a' + i;
+  }
+  b[5] = 0;
+  print_str(b);
+  print_int(b[1] == 'b');
+  return 0;
+}
+|}
+    "abcde1"
+
+let test_int_arrays_and_pointers () =
+  expect_output
+    {|
+int fill(int a[], int n) {
+  int i;
+  for (i = 0; i < n; i++) {
+    a[i] = i * i;
+  }
+  return 0;
+}
+
+int main() {
+  int squares[6];
+  fill(squares, 6);
+  print_int(squares[5]);
+  return 0;
+}
+|}
+    "25"
+
+let test_address_of_scalar () =
+  expect_output
+    {|
+int set_to(int *p, int v) {
+  p[0] = v;
+  return 0;
+}
+
+int main() {
+  int x = 1;
+  set_to(&x, 41);
+  print_int(x + 1);
+  return 0;
+}
+|}
+    "42"
+
+let test_globals () =
+  expect_output
+    {|
+int counter = 10;
+char tag = 'x';
+int table[4];
+
+int main() {
+  counter += 5;
+  table[2] = counter;
+  print_int(table[2]);
+  putchar(tag);
+  return 0;
+}
+|}
+    "15x"
+
+let test_string_literals_pooled () =
+  let image =
+    compile {|int main() { print_str("dup"); print_str("dup"); return 0; }|}
+  in
+  (* one copy of "dup" in rodata: data is small *)
+  Alcotest.(check bool) "string pooled" true
+    (Bytes.length image.Os.Image.data < 16)
+
+let test_char_sign_behaviour () =
+  (* chars load zero-extended *)
+  expect_output
+    {|
+int main() {
+  char c = 200;
+  print_int(c);
+  return 0;
+}
+|}
+    "200"
+
+let test_shift_amount_must_be_literal () =
+  match run "int main() { int n = 3; return 1 << n; }" with
+  | exception Typecheck.Error _ -> ()
+  | _ -> Alcotest.fail "variable shift should be rejected by the backend"
+
+let test_fall_off_end_returns_zero () =
+  expect_exit "int main() { print_int(1); }" 0
+
+(* all schemes produce the same observable behaviour on the same program *)
+let test_schemes_agree () =
+  let src =
+    {|
+int work(int n) {
+  char scratch[16];
+  int acc = 0;
+  int i;
+  for (i = 0; i < n; i++) {
+    scratch[i % 16] = i;
+    acc += scratch[i % 16];
+  }
+  return acc;
+}
+
+int main() {
+  print_int(work(50));
+  return 0;
+}
+|}
+  in
+  let reference = run src in
+  List.iter
+    (fun scheme ->
+      let got = run ~scheme src in
+      Alcotest.(check bool)
+        ("scheme " ^ Pssp.Scheme.name scheme ^ " agrees")
+        true (got = reference))
+    [
+      Pssp.Scheme.Ssp; Pssp.Scheme.Raf_ssp; Pssp.Scheme.Dynaguard;
+      Pssp.Scheme.Dcr; Pssp.Scheme.Pssp; Pssp.Scheme.Pssp_nt;
+      Pssp.Scheme.Pssp_lv 1; Pssp.Scheme.Pssp_owf; Pssp.Scheme.Pssp_owf_weak;
+      Pssp.Scheme.Pssp_gb;
+    ]
+
+(* ---- protection pass shapes ----------------------------------------------------- *)
+
+let disasm_of scheme =
+  let image =
+    compile ~scheme "int f() { char b[16]; read_input(b); return 0; } int main() { return f(); }"
+  in
+  Os.Image.disassemble_symbol image "f"
+
+let has_insn pred listing = List.exists (fun (_, i) -> pred i) listing
+
+let test_ssp_prologue_shape () =
+  let listing = disasm_of Pssp.Scheme.Ssp in
+  Alcotest.(check bool) "loads %fs:0x28" true
+    (has_insn
+       (function
+         | Isa.Insn.Mov (Isa.Operand.Reg Isa.Reg.RAX, Isa.Operand.Mem m) ->
+           m.Isa.Operand.seg_fs && m.Isa.Operand.disp = 0x28L
+         | _ -> false)
+       listing);
+  Alcotest.(check bool) "calls __stack_chk_fail" true
+    (has_insn
+       (function
+         | Isa.Insn.Call (Isa.Insn.Abs a) ->
+           Os.Glibc.name_of_addr a = Some "__stack_chk_fail"
+         | _ -> false)
+       listing)
+
+let test_pssp_prologue_shape () =
+  let listing = disasm_of Pssp.Scheme.Pssp in
+  let loads_fs disp =
+    has_insn
+      (function
+        | Isa.Insn.Mov (Isa.Operand.Reg Isa.Reg.RAX, Isa.Operand.Mem m) ->
+          m.Isa.Operand.seg_fs && m.Isa.Operand.disp = disp
+        | _ -> false)
+      listing
+  in
+  Alcotest.(check bool) "loads shadow C0 (%fs:0x2a8)" true (loads_fs 0x2a8L);
+  Alcotest.(check bool) "loads shadow C1 (%fs:0x2b0)" true (loads_fs 0x2b0L);
+  Alcotest.(check bool) "never rdrand (Code 3 uses plain movs)" false
+    (has_insn (function Isa.Insn.Rdrand _ -> true | _ -> false) listing)
+
+let test_pssp_nt_uses_rdrand () =
+  let listing = disasm_of Pssp.Scheme.Pssp_nt in
+  Alcotest.(check bool) "rdrand present" true
+    (has_insn (function Isa.Insn.Rdrand _ -> true | _ -> false) listing)
+
+let test_owf_uses_aes_path () =
+  let listing = disasm_of Pssp.Scheme.Pssp_owf in
+  Alcotest.(check bool) "rdtsc nonce" true
+    (has_insn (function Isa.Insn.Rdtsc -> true | _ -> false) listing);
+  Alcotest.(check bool) "calls AES helper" true
+    (has_insn
+       (function
+         | Isa.Insn.Call (Isa.Insn.Abs a) ->
+           Os.Glibc.name_of_addr a = Some "AES_ENCRYPT_128"
+         | _ -> false)
+       listing);
+  Alcotest.(check bool) "128-bit compare" true
+    (has_insn (function Isa.Insn.Pcmpeq128 _ -> true | _ -> false) listing)
+
+let test_unguarded_function_has_no_canary_code () =
+  let image =
+    compile ~scheme:Pssp.Scheme.Pssp
+      "int leaf(int x) { return x + 1; } int main() { char b[8]; b[0] = leaf(1); return b[0]; }"
+  in
+  let listing = Os.Image.disassemble_symbol image "leaf" in
+  Alcotest.(check bool) "no TLS access in bufferless function" false
+    (has_insn
+       (function
+         | Isa.Insn.Mov (_, Isa.Operand.Mem m) -> m.Isa.Operand.seg_fs
+         | _ -> false)
+       listing)
+
+let test_static_linkage_stubs () =
+  let image =
+    compile ~linkage:Os.Image.Static ~scheme:Pssp.Scheme.Ssp
+      "int main() { char b[8]; read_input(b); return 0; }"
+  in
+  List.iter
+    (fun stub ->
+      Alcotest.(check bool) (stub ^ " embedded") true
+        (Os.Image.find_symbol image stub <> None))
+    Mcc.Driver.static_stub_names;
+  (* dynamic images must not embed them *)
+  let dyn = compile ~scheme:Pssp.Scheme.Ssp "int main() { return 0; }" in
+  Alcotest.(check bool) "dynamic has no stubs" true
+    (Os.Image.find_symbol dyn "__stack_chk_fail" = None)
+
+(* canary detection wiring per scheme *)
+let test_overflow_detected_each_scheme () =
+  let src = Workload.Vuln.echo_once ~buffer_size:16 in
+  List.iter
+    (fun scheme ->
+      let k = Os.Kernel.create () in
+      let p =
+        Os.Kernel.spawn k ~input:(Bytes.make 64 'A')
+          ~preload:(Mcc.Driver.preload_for scheme)
+          (compile ~scheme src)
+      in
+      match Os.Kernel.run k p with
+      | Os.Kernel.Stop_kill (Os.Process.Sigabrt, _) -> ()
+      | other ->
+        Alcotest.failf "%s missed the smash: %s" (Pssp.Scheme.name scheme)
+          (Os.Kernel.stop_to_string other))
+    [
+      Pssp.Scheme.Ssp; Pssp.Scheme.Raf_ssp; Pssp.Scheme.Dynaguard;
+      Pssp.Scheme.Dcr; Pssp.Scheme.Pssp; Pssp.Scheme.Pssp_nt;
+      Pssp.Scheme.Pssp_lv 1; Pssp.Scheme.Pssp_owf; Pssp.Scheme.Pssp_gb;
+    ]
+
+let test_lv_detects_intra_frame_overflow () =
+  let src = Workload.Vuln.lv_stealth_victim in
+  let payload = Workload.Vuln.lv_stealth_payload in
+  (* NT misses it (stealthy corruption of the critical buffer) *)
+  let k = Os.Kernel.create () in
+  let p = Os.Kernel.spawn k ~input:payload (compile ~scheme:Pssp.Scheme.Pssp_nt src) in
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_exit 0 ->
+    let out = Os.Process.stdout p in
+    Alcotest.(check bool) "critical buffer corrupted silently" true
+      (out = "audit=X\n")
+  | other -> Alcotest.failf "NT run: %s" (Os.Kernel.stop_to_string other));
+  (* LV catches it at epilogue *)
+  let k2 = Os.Kernel.create () in
+  let p2 =
+    Os.Kernel.spawn k2 ~input:payload (compile ~scheme:(Pssp.Scheme.Pssp_lv 1) src)
+  in
+  match Os.Kernel.run k2 p2 with
+  | Os.Kernel.Stop_kill (Os.Process.Sigabrt, _) -> ()
+  | other -> Alcotest.failf "LV missed it: %s" (Os.Kernel.stop_to_string other)
+
+(* ---- peephole ------------------------------------------------------------------- *)
+
+let test_peephole_preserves_behaviour () =
+  let src =
+    {|
+int helper(int a, int b) {
+  char pad[8];
+  pad[0] = a;
+  return a * b + pad[0];
+}
+
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 20; i++) {
+    acc += helper(i, i + 1);
+  }
+  print_int(acc);
+  return acc % 97;
+}
+|}
+  in
+  let run_opt optimize =
+    let image = Mcc.Driver.compile ~scheme:Pssp.Scheme.Pssp ~optimize (Minic.Parser.parse src) in
+    let k = Os.Kernel.create () in
+    let p = Os.Kernel.spawn k ~preload:Os.Preload.Pssp_wide image in
+    let stop = Os.Kernel.run k p in
+    (stop, Os.Process.stdout p, Os.Image.code_size image, Os.Process.cycles p)
+  in
+  let stop0, out0, size0, cyc0 = run_opt false in
+  let stop1, out1, size1, cyc1 = run_opt true in
+  Alcotest.(check bool) "same stop" true (stop0 = stop1);
+  Alcotest.(check string) "same output" out0 out1;
+  Alcotest.(check bool) "smaller binary" true (size1 < size0);
+  Alcotest.(check bool) "no slower" true (Int64.compare cyc1 cyc0 <= 0)
+
+let test_peephole_suite_differential () =
+  (* every SPEC benchmark must behave identically optimized *)
+  List.iter
+    (fun bench ->
+      let run optimize =
+        let image =
+          Mcc.Driver.compile ~scheme:Pssp.Scheme.None_ ~optimize (Workload.Spec.parse bench)
+        in
+        let k = Os.Kernel.create () in
+        let p = Os.Kernel.spawn k image in
+        match Os.Kernel.run ~fuel:80_000_000 k p with
+        | Os.Kernel.Stop_exit 0 -> Os.Process.stdout p
+        | other -> Alcotest.failf "%s: %s" bench.Workload.Spec.bench_name (Os.Kernel.stop_to_string other)
+      in
+      Alcotest.(check string) (bench.Workload.Spec.bench_name ^ " agrees") (run false) (run true))
+    (List.filteri (fun i _ -> i mod 5 = 0) Workload.Spec.all)
+
+let test_peephole_keeps_ssp_patterns () =
+  (* the rewriter must still find the SSP sites in optimized binaries *)
+  let image =
+    Mcc.Driver.compile ~scheme:Pssp.Scheme.Ssp ~optimize:true
+      (Minic.Parser.parse (Workload.Vuln.echo_once ~buffer_size:16))
+  in
+  let sites = Rewriter.Scan.scan image in
+  Alcotest.(check int) "prologue survives" 1 (List.length sites.Rewriter.Scan.prologues);
+  Alcotest.(check int) "epilogue survives" 1 (List.length sites.Rewriter.Scan.epilogues);
+  (* ... and instrumented optimized binaries still work *)
+  let patched, _ = Rewriter.Driver.instrument image in
+  let k = Os.Kernel.create () in
+  let p =
+    Os.Kernel.spawn k ~input:(Bytes.make 48 'A')
+      ~preload:(Rewriter.Driver.required_preload patched) patched
+  in
+  match Os.Kernel.run k p with
+  | Os.Kernel.Stop_kill (Os.Process.Sigabrt, _) -> ()
+  | other -> Alcotest.failf "smash missed: %s" (Os.Kernel.stop_to_string other)
+
+let test_optimized_div_by_zero_still_faults () =
+  let src = "int main() { return 1 / (1 - 1); }" in
+  let image = Mcc.Driver.compile ~scheme:Pssp.Scheme.None_ ~optimize:true (Minic.Parser.parse src) in
+  let k = Os.Kernel.create () in
+  let p = Os.Kernel.spawn k image in
+  match Os.Kernel.run k p with
+  | Os.Kernel.Stop_kill (Os.Process.Sigill, _) -> ()
+  | other -> Alcotest.failf "optimizer ate the fault: %s" (Os.Kernel.stop_to_string other)
+
+let test_folding_shrinks_code () =
+  let src = "int main() { return (2 + 3) * (4 + 5) - 40; }" in
+  let size opt =
+    Os.Image.code_size
+      (Mcc.Driver.compile ~scheme:Pssp.Scheme.None_ ~optimize:opt (Minic.Parser.parse src))
+  in
+  Alcotest.(check bool) "smaller" true (size true < size false);
+  (* and still correct *)
+  let image = Mcc.Driver.compile ~scheme:Pssp.Scheme.None_ ~optimize:true (Minic.Parser.parse src) in
+  let k = Os.Kernel.create () in
+  let p = Os.Kernel.spawn k image in
+  Alcotest.(check bool) "value" true (Os.Kernel.run k p = Os.Kernel.Stop_exit 5)
+
+let test_peephole_rewrite_patterns () =
+  (* unit-level: push/pop fusion and jump threading *)
+  let b = Isa.Builder.create () in
+  Isa.Builder.emit_all b
+    [
+      Isa.Insn.Push (Isa.Operand.reg Isa.Reg.RAX);
+      Isa.Insn.Pop (Isa.Operand.reg Isa.Reg.RDI);
+      Isa.Insn.Mov (Isa.Operand.reg Isa.Reg.RBX, Isa.Operand.reg Isa.Reg.RBX);
+      Isa.Insn.Mov (Isa.Operand.reg Isa.Reg.RCX, Isa.Operand.imm 0L);
+      Isa.Insn.Jmp (Isa.Insn.Sym "next");
+    ];
+  Isa.Builder.label b "next";
+  Isa.Builder.emit b Isa.Insn.Ret;
+  let optimized = Mcc.Peephole.optimize b in
+  let insns =
+    List.filter_map
+      (function Isa.Builder.Instruction i -> Some i | _ -> None)
+      (Isa.Builder.items optimized)
+  in
+  (match insns with
+  | [ Isa.Insn.Mov (Isa.Operand.Reg Isa.Reg.RDI, Isa.Operand.Reg Isa.Reg.RAX);
+      Isa.Insn.Bin (Isa.Insn.Xor, Isa.Operand.Reg Isa.Reg.RCX, Isa.Operand.Reg Isa.Reg.RCX);
+      Isa.Insn.Ret ] -> ()
+  | _ ->
+    Alcotest.failf "unexpected result: %s"
+      (String.concat "; " (List.map Isa.Asm.to_string insns)));
+  Alcotest.(check bool) "rewrites counted" true (Mcc.Peephole.rewrites_applied b > 0)
+
+let () =
+  Alcotest.run "mcc"
+    [
+      ( "frame",
+        [
+          Alcotest.test_case "guard policy" `Quick test_frame_guard_policy;
+          Alcotest.test_case "guard words per scheme" `Quick test_frame_guard_words;
+          Alcotest.test_case "arrays above scalars" `Quick test_frame_arrays_above_scalars;
+          Alcotest.test_case "LV canary below critical" `Quick
+            test_frame_lv_canary_below_critical;
+          Alcotest.test_case "16-byte alignment" `Quick test_frame_16_alignment;
+        ] );
+      ( "codegen",
+        [
+          Alcotest.test_case "precedence" `Quick test_arith_precedence;
+          Alcotest.test_case "division/modulo" `Quick test_division_negative;
+          Alcotest.test_case "bitwise" `Quick test_bitwise;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "short circuit" `Quick test_short_circuit_side_effects;
+          Alcotest.test_case "logical values" `Quick test_logical_values;
+          Alcotest.test_case "while/break/continue" `Quick test_while_break_continue;
+          Alcotest.test_case "nested for" `Quick test_for_loop_nested;
+          Alcotest.test_case "for-decl loops" `Quick test_for_decl_runs;
+          Alcotest.test_case "do-while" `Quick test_do_while;
+          Alcotest.test_case "recursion (ackermann)" `Quick test_recursion;
+          Alcotest.test_case "mutual recursion" `Quick test_mutual_recursion;
+          Alcotest.test_case "six arguments" `Quick test_six_args;
+          Alcotest.test_case "seven arguments rejected" `Quick test_too_many_args_rejected;
+          Alcotest.test_case "char arrays" `Quick test_char_arrays;
+          Alcotest.test_case "int arrays via pointer params" `Quick
+            test_int_arrays_and_pointers;
+          Alcotest.test_case "address-of scalar" `Quick test_address_of_scalar;
+          Alcotest.test_case "globals" `Quick test_globals;
+          Alcotest.test_case "string pooling" `Quick test_string_literals_pooled;
+          Alcotest.test_case "char zero-extension" `Quick test_char_sign_behaviour;
+          Alcotest.test_case "variable shifts rejected" `Quick
+            test_shift_amount_must_be_literal;
+          Alcotest.test_case "fall off end" `Quick test_fall_off_end_returns_zero;
+          Alcotest.test_case "all schemes agree" `Quick test_schemes_agree;
+        ] );
+      ( "protect",
+        [
+          Alcotest.test_case "SSP shape (Codes 1/2)" `Quick test_ssp_prologue_shape;
+          Alcotest.test_case "P-SSP shape (Codes 3/4)" `Quick test_pssp_prologue_shape;
+          Alcotest.test_case "NT uses rdrand (Code 7)" `Quick test_pssp_nt_uses_rdrand;
+          Alcotest.test_case "OWF uses AES (Codes 8/9)" `Quick test_owf_uses_aes_path;
+          Alcotest.test_case "no canary without buffers" `Quick
+            test_unguarded_function_has_no_canary_code;
+          Alcotest.test_case "static stubs" `Quick test_static_linkage_stubs;
+          Alcotest.test_case "every scheme detects a smash" `Quick
+            test_overflow_detected_each_scheme;
+          Alcotest.test_case "LV catches intra-frame overflow" `Quick
+            test_lv_detects_intra_frame_overflow;
+        ] );
+      ( "peephole",
+        [
+          Alcotest.test_case "behaviour preserved" `Quick test_peephole_preserves_behaviour;
+          Alcotest.test_case "suite differential" `Slow test_peephole_suite_differential;
+          Alcotest.test_case "SSP patterns survive" `Quick test_peephole_keeps_ssp_patterns;
+          Alcotest.test_case "rewrite patterns" `Quick test_peephole_rewrite_patterns;
+          Alcotest.test_case "optimized div-by-zero faults" `Quick
+            test_optimized_div_by_zero_still_faults;
+          Alcotest.test_case "folding shrinks code" `Quick test_folding_shrinks_code;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+(* The core canary algebra: Algorithm 1, the packed 32-bit variant, the
+   P-SSP-LV chain, and the SVII-C global buffer. *)
+
+let i64 = Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal
+
+let rng () = Util.Prng.create 0x7357L
+
+(* ---- Algorithm 1 ------------------------------------------------------------- *)
+
+let test_re_randomize_xor () =
+  let r = rng () in
+  let c = 0xFEEDFACE12345678L in
+  for _ = 1 to 100 do
+    let p = Pssp.Canary.re_randomize r c in
+    Alcotest.check i64 "C0 xor C1 = C" c (Pssp.Canary.combine p)
+  done
+
+let test_re_randomize_fresh () =
+  let r = rng () in
+  let c = 1L in
+  let a = Pssp.Canary.re_randomize r c in
+  let b = Pssp.Canary.re_randomize r c in
+  Alcotest.(check bool) "pairs differ between invocations" false
+    (a.Pssp.Canary.c0 = b.Pssp.Canary.c0)
+
+let test_checks_out () =
+  let r = rng () in
+  let c = 0xABCDEFL in
+  let p = Pssp.Canary.re_randomize r c in
+  Alcotest.(check bool) "valid pair" true (Pssp.Canary.checks_out ~tls_canary:c p);
+  let tampered = { p with Pssp.Canary.c0 = Int64.add p.Pssp.Canary.c0 1L } in
+  Alcotest.(check bool) "tampered pair" false
+    (Pssp.Canary.checks_out ~tls_canary:c tampered)
+
+let prop_re_randomize =
+  QCheck.Test.make ~name:"re_randomize always XORs to C" ~count:500
+    QCheck.(pair int64 int64)
+    (fun (seed, c) ->
+      let r = Util.Prng.create seed in
+      Pssp.Canary.combine (Pssp.Canary.re_randomize r c) = c)
+
+(* ---- packed 32-bit ------------------------------------------------------------- *)
+
+let test_pack_parts_roundtrip () =
+  let w = Pssp.Canary.pack32 ~c0:0x11223344L ~c1:0xAABBCCDDL in
+  let c0, c1 = Pssp.Canary.packed32_parts w in
+  Alcotest.check i64 "c0" 0x11223344L c0;
+  Alcotest.check i64 "c1" 0xAABBCCDDL c1
+
+let test_packed32_check () =
+  let r = rng () in
+  let c = 0x1234567890ABCDEFL in
+  for _ = 1 to 50 do
+    let w = Pssp.Canary.re_randomize_packed32 r c in
+    Alcotest.(check bool) "valid packed" true
+      (Pssp.Canary.packed32_checks_out ~tls_canary:c w);
+    Alcotest.(check bool) "tampered packed" false
+      (Pssp.Canary.packed32_checks_out ~tls_canary:c (Int64.logxor w 0x10000L))
+  done
+
+let test_packed32_only_low_half_matters () =
+  (* the check binds to low32(C) only — the SV-C entropy downgrade *)
+  let r = rng () in
+  let c = 0x00000000DEADBEEFL in
+  let w = Pssp.Canary.re_randomize_packed32 r c in
+  Alcotest.(check bool) "high half of C ignored" true
+    (Pssp.Canary.packed32_checks_out ~tls_canary:(Int64.logor c 0xFF00000000000000L) w)
+
+let prop_packed32 =
+  QCheck.Test.make ~name:"packed32 always verifies" ~count:500
+    QCheck.(pair int64 int64)
+    (fun (seed, c) ->
+      let r = Util.Prng.create seed in
+      Pssp.Canary.packed32_checks_out ~tls_canary:c
+        (Pssp.Canary.re_randomize_packed32 r c))
+
+(* ---- P-SSP-LV chains ------------------------------------------------------------ *)
+
+let test_split_chain_xors_to_c () =
+  let r = rng () in
+  let c = 0xC0FFEEL in
+  List.iter
+    (fun n ->
+      let chain = Pssp.Canary.split_chain r c ~n in
+      Alcotest.(check int) "length" n (List.length chain);
+      Alcotest.(check bool) "chain checks" true
+        (Pssp.Canary.chain_checks_out ~tls_canary:c chain))
+    [ 1; 2; 3; 7; 20 ]
+
+let test_split_chain_n1_is_c () =
+  let r = rng () in
+  (* a single-canary chain degenerates to C itself (why P-SSP-LV always
+     pairs the ret guard) *)
+  match Pssp.Canary.split_chain r 0x42L ~n:1 with
+  | [ only ] -> Alcotest.check i64 "degenerate chain" 0x42L only
+  | _ -> Alcotest.fail "expected singleton"
+
+let test_split_chain_rejects_zero () =
+  let r = rng () in
+  Alcotest.check_raises "n=0" (Invalid_argument "Canary.split_chain: n must be >= 1")
+    (fun () -> ignore (Pssp.Canary.split_chain r 1L ~n:0))
+
+let test_chain_detects_single_kill () =
+  let r = rng () in
+  let c = 0x777L in
+  let chain = Pssp.Canary.split_chain r c ~n:4 in
+  List.iteri
+    (fun i _ ->
+      let tampered = List.mapi (fun j v -> if i = j then Int64.lognot v else v) chain in
+      Alcotest.(check bool) "killed canary detected" false
+        (Pssp.Canary.chain_checks_out ~tls_canary:c tampered))
+    chain
+
+let prop_chain =
+  QCheck.Test.make ~name:"chains always XOR to C" ~count:300
+    QCheck.(triple int64 int64 (int_range 1 16))
+    (fun (seed, c, n) ->
+      let r = Util.Prng.create seed in
+      Pssp.Canary.chain_checks_out ~tls_canary:c (Pssp.Canary.split_chain r c ~n))
+
+(* ---- TLS accessors ---------------------------------------------------------------- *)
+
+let test_tls_slots () =
+  let mem = Vm64.Memory.create () in
+  Vm64.Memory.map mem ~addr:Vm64.Layout.tls_base ~len:Vm64.Layout.tls_size;
+  let fs_base = Vm64.Layout.tls_base in
+  Pssp.Tls.set_canary mem ~fs_base 0xAAAAL;
+  Alcotest.check i64 "canary slot" 0xAAAAL (Pssp.Tls.canary mem ~fs_base);
+  Pssp.Tls.set_shadow_pair mem ~fs_base { Pssp.Canary.c0 = 1L; c1 = 2L };
+  let p = Pssp.Tls.shadow_pair mem ~fs_base in
+  Alcotest.check i64 "c0 slot" 1L p.Pssp.Canary.c0;
+  Alcotest.check i64 "c1 slot" 2L p.Pssp.Canary.c1;
+  (* the packed word shares the first shadow slot *)
+  Alcotest.check i64 "packed aliases c0" 1L (Pssp.Tls.shadow_packed mem ~fs_base);
+  (* raw offsets match the paper *)
+  Alcotest.check i64 "0x28" 0xAAAAL
+    (Vm64.Memory.read_u64 mem (Int64.add fs_base 0x28L));
+  Alcotest.check i64 "0x2a8" 1L (Vm64.Memory.read_u64 mem (Int64.add fs_base 0x2a8L));
+  Alcotest.check i64 "0x2b0" 2L (Vm64.Memory.read_u64 mem (Int64.add fs_base 0x2b0L))
+
+let test_install_fresh () =
+  let mem = Vm64.Memory.create () in
+  Vm64.Memory.map mem ~addr:Vm64.Layout.tls_base ~len:Vm64.Layout.tls_size;
+  let r = rng () in
+  let c = Pssp.Tls.install_fresh_canary r mem ~fs_base:Vm64.Layout.tls_base in
+  Alcotest.check i64 "returned = stored" c
+    (Pssp.Tls.canary mem ~fs_base:Vm64.Layout.tls_base)
+
+(* ---- global buffer ------------------------------------------------------------------ *)
+
+let test_global_buffer_basic () =
+  let r = rng () in
+  let c = 0xFACEL in
+  let buf = Pssp.Global_buffer.create () in
+  let c0a = Pssp.Global_buffer.push_frame buf r ~tls_canary:c in
+  let c0b = Pssp.Global_buffer.push_frame buf r ~tls_canary:c in
+  Alcotest.(check int) "depth" 2 (Pssp.Global_buffer.depth buf);
+  Alcotest.(check bool) "LIFO check b" true
+    (Pssp.Global_buffer.check_and_pop buf ~tls_canary:c ~stack_c0:c0b);
+  Alcotest.(check bool) "LIFO check a" true
+    (Pssp.Global_buffer.check_and_pop buf ~tls_canary:c ~stack_c0:c0a);
+  Alcotest.(check int) "drained" 0 (Pssp.Global_buffer.depth buf)
+
+let test_global_buffer_detects_smash () =
+  let r = rng () in
+  let c = 0xFACEL in
+  let buf = Pssp.Global_buffer.create () in
+  let c0 = Pssp.Global_buffer.push_frame buf r ~tls_canary:c in
+  Alcotest.(check bool) "smashed C0 detected" false
+    (Pssp.Global_buffer.check_and_pop buf ~tls_canary:c
+       ~stack_c0:(Int64.lognot c0))
+
+let test_global_buffer_underflow () =
+  let buf = Pssp.Global_buffer.create () in
+  Alcotest.check_raises "empty pop"
+    (Invalid_argument "Global_buffer.check_and_pop: empty buffer") (fun () ->
+      ignore (Pssp.Global_buffer.check_and_pop buf ~tls_canary:0L ~stack_c0:0L))
+
+let test_global_buffer_fork_clone () =
+  let r = rng () in
+  let c = 0x1234L in
+  let parent = Pssp.Global_buffer.create () in
+  let c0 = Pssp.Global_buffer.push_frame parent r ~tls_canary:c in
+  let child = Pssp.Global_buffer.clone parent in
+  ignore (Pssp.Global_buffer.push_frame child r ~tls_canary:c);
+  (* child's extra frame must not disturb the parent *)
+  Alcotest.(check int) "parent depth" 1 (Pssp.Global_buffer.depth parent);
+  Alcotest.(check bool) "parent still verifies" true
+    (Pssp.Global_buffer.check_and_pop parent ~tls_canary:c ~stack_c0:c0)
+
+(* ---- scheme metadata ------------------------------------------------------------------ *)
+
+let test_scheme_names_roundtrip () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Pssp.Scheme.name s ^ " roundtrips")
+        true
+        (Pssp.Scheme.of_name (Pssp.Scheme.name s) = Some s))
+    (Pssp.Scheme.all_basic @ Pssp.Scheme.all_extensions
+    @ [ Pssp.Scheme.Pssp_lv 7; Pssp.Scheme.Pssp_owf_weak ])
+
+let test_scheme_expectations () =
+  Alcotest.(check bool) "SSP does not prevent BROP" false
+    (Pssp.Scheme.prevents_brop Pssp.Scheme.Ssp);
+  Alcotest.(check bool) "P-SSP prevents BROP" true
+    (Pssp.Scheme.prevents_brop Pssp.Scheme.Pssp);
+  Alcotest.(check bool) "RAF breaks correctness" false
+    (Pssp.Scheme.preserves_correctness Pssp.Scheme.Raf_ssp);
+  Alcotest.(check bool) "weak OWF does not prevent BROP" false
+    (Pssp.Scheme.prevents_brop Pssp.Scheme.Pssp_owf_weak)
+
+let test_scheme_stack_words () =
+  Alcotest.(check int) "ssp" 1 (Pssp.Scheme.stack_words Pssp.Scheme.Ssp);
+  Alcotest.(check int) "pssp" 2 (Pssp.Scheme.stack_words Pssp.Scheme.Pssp);
+  Alcotest.(check int) "owf" 3 (Pssp.Scheme.stack_words Pssp.Scheme.Pssp_owf);
+  Alcotest.(check int) "none" 0 (Pssp.Scheme.stack_words Pssp.Scheme.None_)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "pssp"
+    [
+      ( "algorithm1",
+        [
+          Alcotest.test_case "XOR invariant" `Quick test_re_randomize_xor;
+          Alcotest.test_case "freshness" `Quick test_re_randomize_fresh;
+          Alcotest.test_case "checks_out" `Quick test_checks_out;
+          qc prop_re_randomize;
+        ] );
+      ( "packed32",
+        [
+          Alcotest.test_case "pack/parts roundtrip" `Quick test_pack_parts_roundtrip;
+          Alcotest.test_case "check" `Quick test_packed32_check;
+          Alcotest.test_case "low-half binding" `Quick test_packed32_only_low_half_matters;
+          qc prop_packed32;
+        ] );
+      ( "lv-chain",
+        [
+          Alcotest.test_case "XORs to C" `Quick test_split_chain_xors_to_c;
+          Alcotest.test_case "n=1 degenerates" `Quick test_split_chain_n1_is_c;
+          Alcotest.test_case "n=0 rejected" `Quick test_split_chain_rejects_zero;
+          Alcotest.test_case "single kill detected" `Quick test_chain_detects_single_kill;
+          qc prop_chain;
+        ] );
+      ( "tls",
+        [
+          Alcotest.test_case "slot layout" `Quick test_tls_slots;
+          Alcotest.test_case "install fresh" `Quick test_install_fresh;
+        ] );
+      ( "global-buffer",
+        [
+          Alcotest.test_case "push/pop" `Quick test_global_buffer_basic;
+          Alcotest.test_case "detects smash" `Quick test_global_buffer_detects_smash;
+          Alcotest.test_case "underflow" `Quick test_global_buffer_underflow;
+          Alcotest.test_case "fork clone" `Quick test_global_buffer_fork_clone;
+        ] );
+      ( "scheme",
+        [
+          Alcotest.test_case "names roundtrip" `Quick test_scheme_names_roundtrip;
+          Alcotest.test_case "Table I expectations" `Quick test_scheme_expectations;
+          Alcotest.test_case "stack words" `Quick test_scheme_stack_words;
+        ] );
+    ]

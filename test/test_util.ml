@@ -1,0 +1,249 @@
+(* Unit and property tests for the util library. *)
+
+let check_i64 = Alcotest.testable (Fmt.fmt "%Ld") Int64.equal
+
+let contains_substring ~affix s =
+  let n = String.length affix in
+  let rec go i =
+    if i + n > String.length s then false
+    else if String.sub s i n = affix then true
+    else go (i + 1)
+  in
+  go 0
+
+(* ---- Prng --------------------------------------------------------------- *)
+
+let test_splitmix_reference () =
+  (* Reference values for SplitMix64 with seed 0 (widely published). *)
+  let sm = Util.Prng.Splitmix.create 0L in
+  Alcotest.check check_i64 "first" 0xE220A8397B1DCDAFL (Util.Prng.Splitmix.next sm);
+  Alcotest.check check_i64 "second" 0x6E789E6AA1B965F4L (Util.Prng.Splitmix.next sm);
+  Alcotest.check check_i64 "third" 0x06C45D188009454FL (Util.Prng.Splitmix.next sm)
+
+let test_prng_deterministic () =
+  let a = Util.Prng.create 42L in
+  let b = Util.Prng.create 42L in
+  for _ = 1 to 100 do
+    Alcotest.check check_i64 "same stream" (Util.Prng.next64 a) (Util.Prng.next64 b)
+  done
+
+let test_prng_copy_independent () =
+  let a = Util.Prng.create 7L in
+  let b = Util.Prng.copy a in
+  let va = Util.Prng.next64 a in
+  let vb = Util.Prng.next64 b in
+  Alcotest.check check_i64 "copy continues identically" va vb;
+  ignore (Util.Prng.next64 a);
+  let va2 = Util.Prng.next64 a in
+  let vb2 = Util.Prng.next64 b in
+  Alcotest.(check bool) "diverged" false (Int64.equal va2 vb2)
+
+let test_prng_split_differs () =
+  let a = Util.Prng.create 7L in
+  let child = Util.Prng.split a in
+  let xs = List.init 10 (fun _ -> Util.Prng.next64 a) in
+  let ys = List.init 10 (fun _ -> Util.Prng.next64 child) in
+  Alcotest.(check bool) "independent streams" false (xs = ys)
+
+let test_prng_zero_state_rejected () =
+  Alcotest.check_raises "all-zero state"
+    (Invalid_argument "Prng.of_state: all-zero state") (fun () ->
+      ignore (Util.Prng.of_state (0L, 0L, 0L, 0L)))
+
+let test_prng_int_bounds () =
+  let rng = Util.Prng.create 1L in
+  for _ = 1 to 1000 do
+    let v = Util.Prng.int rng 17 in
+    Alcotest.(check bool) "in range" true (v >= 0 && v < 17)
+  done;
+  Alcotest.check_raises "bad bound"
+    (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Util.Prng.int rng 0))
+
+let test_prng_float_range () =
+  let rng = Util.Prng.create 2L in
+  for _ = 1 to 1000 do
+    let v = Util.Prng.float rng in
+    Alcotest.(check bool) "in [0,1)" true (v >= 0.0 && v < 1.0)
+  done
+
+let test_prng_bytes_len () =
+  let rng = Util.Prng.create 3L in
+  Alcotest.(check int) "length" 13 (Bytes.length (Util.Prng.bytes rng 13))
+
+let test_shuffle_permutation () =
+  let rng = Util.Prng.create 4L in
+  let a = Array.init 50 (fun i -> i) in
+  Util.Prng.shuffle rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation"
+    (Array.init 50 (fun i -> i))
+    sorted
+
+let prop_bits_range =
+  QCheck.Test.make ~name:"Prng.bits fits width" ~count:500
+    QCheck.(pair (int_range 1 63) int64)
+    (fun (n, seed) ->
+      let rng = Util.Prng.create seed in
+      let v = Util.Prng.bits rng n in
+      Int64.unsigned_compare v (Int64.shift_left 1L n) < 0)
+
+(* ---- Stats -------------------------------------------------------------- *)
+
+let feq ?(eps = 1e-9) a b = abs_float (a -. b) < eps
+
+let test_mean_stddev () =
+  Alcotest.(check bool) "mean" true (feq (Util.Stats.mean [| 1.0; 2.0; 3.0 |]) 2.0);
+  Alcotest.(check bool) "stddev" true
+    (feq
+       (Util.Stats.stddev [| 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 |])
+       2.138089935299395);
+  Alcotest.(check bool) "singleton stddev" true (feq (Util.Stats.stddev [| 5.0 |]) 0.0)
+
+let test_median_percentile () =
+  Alcotest.(check bool) "odd median" true (feq (Util.Stats.median [| 3.0; 1.0; 2.0 |]) 2.0);
+  Alcotest.(check bool) "even median" true
+    (feq (Util.Stats.median [| 4.0; 1.0; 2.0; 3.0 |]) 2.5);
+  Alcotest.(check bool) "p0 is min" true
+    (feq (Util.Stats.percentile [| 9.0; 1.0; 5.0 |] 0.0) 1.0);
+  Alcotest.(check bool) "p100 is max" true
+    (feq (Util.Stats.percentile [| 9.0; 1.0; 5.0 |] 100.0) 9.0)
+
+let test_geomean () =
+  Alcotest.(check bool) "geomean" true (feq (Util.Stats.geomean [| 1.0; 4.0 |]) 2.0);
+  Alcotest.check_raises "nonpositive"
+    (Invalid_argument "Stats.geomean: nonpositive input") (fun () ->
+      ignore (Util.Stats.geomean [| 1.0; 0.0 |]))
+
+let test_overhead () =
+  Alcotest.(check bool) "10% overhead" true
+    (feq (Util.Stats.overhead_pct ~baseline:100.0 ~measured:110.0) 10.0);
+  Alcotest.(check bool) "negative" true
+    (feq (Util.Stats.overhead_pct ~baseline:100.0 ~measured:90.0) (-10.0))
+
+let test_chi_square () =
+  let v =
+    Util.Stats.chi_square ~expected:[| 10.0; 10.0 |] ~observed:[| 8.0; 12.0 |]
+  in
+  Alcotest.(check bool) "chi2" true (feq v 0.8);
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Stats.chi_square: length mismatch") (fun () ->
+      ignore (Util.Stats.chi_square ~expected:[| 1.0 |] ~observed:[| 1.0; 2.0 |]))
+
+let test_chi_square_uniform_detects_bias () =
+  let biased = Array.make 256 10 in
+  biased.(0) <- 4000;
+  Alcotest.(check bool) "bias detected" true
+    (Util.Stats.chi_square_uniform ~observed:biased
+    > Util.Stats.chi_square_critical_256_p001)
+
+let test_histogram () =
+  let h =
+    Util.Stats.histogram ~buckets:4 ~lo:0.0 ~hi:4.0
+      [| 0.5; 1.5; 1.7; 3.9; -1.0; 99.0 |]
+  in
+  Alcotest.(check (array int)) "counts" [| 2; 2; 0; 2 |] h
+
+let prop_mean_bounded =
+  QCheck.Test.make ~name:"mean between min and max" ~count:300
+    QCheck.(list_of_size Gen.(int_range 1 40) (float_bound_inclusive 1000.0))
+    (fun xs ->
+      let a = Array.of_list xs in
+      let m = Util.Stats.mean a in
+      m >= Util.Stats.min a -. 1e-9 && m <= Util.Stats.max a +. 1e-9)
+
+(* ---- Hex ---------------------------------------------------------------- *)
+
+let test_hex_roundtrip () =
+  let b = Bytes.of_string "\x00\x01\xfe\xff canary" in
+  Alcotest.(check string) "roundtrip" (Bytes.to_string b)
+    (Bytes.to_string (Util.Hex.to_bytes (Util.Hex.of_bytes b)))
+
+let test_hex_int64 () =
+  Alcotest.(check string) "padded" "00000000deadbeef" (Util.Hex.int64 0xDEADBEEFL);
+  Alcotest.(check string) "pretty" "0xdeadbeef" (Util.Hex.int64_pretty 0xDEADBEEFL)
+
+let test_hex_bad_input () =
+  Alcotest.check_raises "odd length" (Invalid_argument "Hex.to_bytes: odd length")
+    (fun () -> ignore (Util.Hex.to_bytes "abc"));
+  Alcotest.check_raises "bad digit" (Invalid_argument "Hex.to_bytes: bad digit")
+    (fun () -> ignore (Util.Hex.to_bytes "zz"))
+
+let test_hex_dump_shape () =
+  let d = Util.Hex.dump ~base:0x1000L (Bytes.make 20 'A') in
+  Alcotest.(check bool) "has base address" true
+    (String.length d > 8 && String.sub d 0 8 = "00001000");
+  Alcotest.(check int) "two lines" 2
+    (List.length (String.split_on_char '\n' (String.trim d)))
+
+let prop_hex_roundtrip =
+  QCheck.Test.make ~name:"hex roundtrip" ~count:300 QCheck.string (fun s ->
+      Bytes.to_string (Util.Hex.to_bytes (Util.Hex.of_string s)) = s)
+
+(* ---- Table -------------------------------------------------------------- *)
+
+let test_table_renders () =
+  let t = Util.Table.create ~title:"T" [ "a"; "bb" ] in
+  Util.Table.add_row t [ "x"; "1" ];
+  Util.Table.add_separator t;
+  Util.Table.add_row t [ "longer"; "2" ];
+  let s = Util.Table.render t in
+  Alcotest.(check bool) "has title" true (String.length s > 0 && s.[0] = 'T');
+  Alcotest.(check bool) "contains row" true (contains_substring ~affix:"longer" s)
+
+let test_table_arity_checked () =
+  let t = Util.Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "arity" (Invalid_argument "Table.add_row: arity") (fun () ->
+      Util.Table.add_row t [ "only one" ])
+
+let test_table_cells () =
+  Alcotest.(check string) "float" "3.14" (Util.Table.cell_float 3.14159);
+  Alcotest.(check string) "pct" "2.50%" (Util.Table.cell_pct 2.5);
+  Alcotest.(check string) "digits" "1.2346" (Util.Table.cell_float ~digits:4 1.23456)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "util"
+    [
+      ( "prng",
+        [
+          Alcotest.test_case "splitmix reference vectors" `Quick test_splitmix_reference;
+          Alcotest.test_case "deterministic" `Quick test_prng_deterministic;
+          Alcotest.test_case "copy independent" `Quick test_prng_copy_independent;
+          Alcotest.test_case "split differs" `Quick test_prng_split_differs;
+          Alcotest.test_case "zero state rejected" `Quick test_prng_zero_state_rejected;
+          Alcotest.test_case "int bounds" `Quick test_prng_int_bounds;
+          Alcotest.test_case "float range" `Quick test_prng_float_range;
+          Alcotest.test_case "bytes length" `Quick test_prng_bytes_len;
+          Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+          qc prop_bits_range;
+        ] );
+      ( "stats",
+        [
+          Alcotest.test_case "mean/stddev" `Quick test_mean_stddev;
+          Alcotest.test_case "median/percentile" `Quick test_median_percentile;
+          Alcotest.test_case "geomean" `Quick test_geomean;
+          Alcotest.test_case "overhead" `Quick test_overhead;
+          Alcotest.test_case "chi-square" `Quick test_chi_square;
+          Alcotest.test_case "chi-square detects bias" `Quick
+            test_chi_square_uniform_detects_bias;
+          Alcotest.test_case "histogram" `Quick test_histogram;
+          qc prop_mean_bounded;
+        ] );
+      ( "hex",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_hex_roundtrip;
+          Alcotest.test_case "int64 forms" `Quick test_hex_int64;
+          Alcotest.test_case "bad input" `Quick test_hex_bad_input;
+          Alcotest.test_case "dump shape" `Quick test_hex_dump_shape;
+          qc prop_hex_roundtrip;
+        ] );
+      ( "table",
+        [
+          Alcotest.test_case "renders" `Quick test_table_renders;
+          Alcotest.test_case "arity checked" `Quick test_table_arity_checked;
+          Alcotest.test_case "cell formatting" `Quick test_table_cells;
+        ] );
+    ]

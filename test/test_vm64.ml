@@ -1,0 +1,480 @@
+(* Machine-level tests: memory, faults, and instruction semantics
+   executed through the real fetch/decode/execute path. *)
+
+open Isa
+open Vm64
+
+let i64 = Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal
+
+(* ---- memory --------------------------------------------------------------- *)
+
+let test_mem_rw () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000L ~len:4096;
+  Memory.write_u64 m 0x1000L 0x1122334455667788L;
+  Alcotest.check i64 "u64" 0x1122334455667788L (Memory.read_u64 m 0x1000L);
+  Alcotest.(check int) "low byte (little endian)" 0x88 (Memory.read_u8 m 0x1000L);
+  Memory.write_u8 m 0x1007L 0xFF;
+  Alcotest.check i64 "byte patch visible" 0xFF22334455667788L (Memory.read_u64 m 0x1000L)
+
+let test_mem_u32 () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~len:4096;
+  Memory.write_u32 m 8L 0xDEADBEEFL;
+  Alcotest.check i64 "zero extended" 0xDEADBEEFL (Memory.read_u32 m 8L);
+  Alcotest.check i64 "upper half untouched" 0xDEADBEEFL (Memory.read_u64 m 8L)
+
+let test_mem_cross_page () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~len:8192;
+  Memory.write_u64 m 4092L 0x0102030405060708L;
+  Alcotest.check i64 "cross-page u64" 0x0102030405060708L (Memory.read_u64 m 4092L);
+  Memory.write_bytes m 4090L (Bytes.of_string "ABCDEFGHIJ");
+  Alcotest.(check string) "cross-page bytes" "ABCDEFGHIJ"
+    (Bytes.to_string (Memory.read_bytes m 4090L 10))
+
+let test_mem_unmapped_faults () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0x1000L ~len:4096;
+  (match Memory.read_u8 m 0x9999999L with
+  | exception Fault.Trap (Fault.Segfault 0x9999999L) -> ()
+  | _ -> Alcotest.fail "expected segfault");
+  match Memory.write_u64 m 0xFF0L 1L with
+  | exception Fault.Trap (Fault.Segfault _) -> ()
+  | _ -> Alcotest.fail "expected segfault below mapping"
+
+let test_mem_clone_isolated () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~len:4096;
+  Memory.write_u64 m 0L 42L;
+  let c = Memory.clone m in
+  Memory.write_u64 c 0L 99L;
+  Alcotest.check i64 "parent unchanged" 42L (Memory.read_u64 m 0L);
+  Alcotest.check i64 "child sees write" 99L (Memory.read_u64 c 0L)
+
+let test_mapped_bytes () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~len:1;
+  Alcotest.(check int) "one page" 4096 (Memory.mapped_bytes m);
+  Memory.map m ~addr:0L ~len:4096;
+  Alcotest.(check int) "idempotent" 4096 (Memory.mapped_bytes m)
+
+let prop_mem_roundtrip =
+  QCheck.Test.make ~name:"u64 write/read roundtrip at any offset" ~count:300
+    QCheck.(pair (int_range 0 8184) int64)
+    (fun (off, v) ->
+      let m = Memory.create () in
+      Memory.map m ~addr:0L ~len:8192;
+      Memory.write_u64 m (Int64.of_int off) v;
+      Memory.read_u64 m (Int64.of_int off) = v)
+
+(* ---- execution harness ----------------------------------------------------- *)
+
+let env = Exec.create_env ~is_builtin:(fun a -> if a = 0x100L then Some "fake" else None) ()
+
+let run_insns ?(setup = fun _ _ -> ()) insns =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  Memory.map mem ~addr:0x20000L ~len:8192;
+  Memory.map mem ~addr:0x70000L ~len:8192;
+  Cpu.set cpu Reg.RSP 0x71000L;
+  Memory.write_bytes mem 0x1000L (Encode.list_to_bytes (insns @ [ Insn.Hlt ]));
+  cpu.Cpu.rip <- 0x1000L;
+  setup cpu mem;
+  let rec loop n =
+    if n > 10000 then Alcotest.fail "runaway program";
+    match Exec.step env cpu mem with
+    | Exec.Running -> loop (n + 1)
+    | Exec.Halted -> ()
+    | Exec.Builtin name -> Alcotest.fail ("unexpected builtin " ^ name)
+    | Exec.Syscall_trap -> Alcotest.fail "unexpected syscall"
+    | Exec.Faulted f -> Alcotest.fail ("unexpected fault: " ^ Fault.to_string f)
+  in
+  loop 0;
+  (cpu, mem)
+
+let rax = Operand.reg Reg.RAX
+let rbx = Operand.reg Reg.RBX
+let rcx = Operand.reg Reg.RCX
+
+let test_mov_imm () =
+  let cpu, _ = run_insns [ Insn.Mov (rax, Operand.imm 7L) ] in
+  Alcotest.check i64 "rax" 7L (Cpu.get cpu Reg.RAX)
+
+let test_arith () =
+  let cpu, _ =
+    run_insns
+      [
+        Insn.Mov (rax, Operand.imm 10L);
+        Insn.Mov (rbx, Operand.imm 3L);
+        Insn.Bin (Insn.Sub, rax, rbx);
+        Insn.Bin (Insn.Imul, rax, Operand.imm 6L);
+        Insn.Bin (Insn.Idiv, rax, Operand.imm 5L);
+        Insn.Bin (Insn.Irem, rax, Operand.imm 3L);
+      ]
+  in
+  Alcotest.check i64 "arith chain" 2L (Cpu.get cpu Reg.RAX)
+
+let test_div_by_zero_faults () =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  Memory.write_bytes mem 0x1000L
+    (Encode.list_to_bytes
+       [ Insn.Mov (rax, Operand.imm 1L); Insn.Bin (Insn.Idiv, rax, Operand.imm 0L) ]);
+  cpu.Cpu.rip <- 0x1000L;
+  let rec loop () =
+    match Exec.step env cpu mem with
+    | Exec.Running -> loop ()
+    | Exec.Faulted (Fault.Bad_instruction (_, msg)) ->
+      Alcotest.(check string) "reason" "division by zero" msg
+    | _ -> Alcotest.fail "expected fault"
+  in
+  loop ()
+
+let test_flags_and_setcc () =
+  let cpu, _ =
+    run_insns
+      [
+        Insn.Mov (rax, Operand.imm 3L);
+        Insn.Mov (rbx, Operand.imm 9L);
+        Insn.Bin (Insn.Cmp, rax, rbx);
+        Insn.Setcc (Insn.L, Reg.RCX);
+        Insn.Bin (Insn.Cmp, rbx, rax);
+        Insn.Setcc (Insn.G, Reg.RDX);
+      ]
+  in
+  Alcotest.check i64 "setl" 1L (Cpu.get cpu Reg.RCX);
+  Alcotest.check i64 "setg" 1L (Cpu.get cpu Reg.RDX)
+
+let test_unsigned_conditions () =
+  let cpu, _ =
+    run_insns
+      [
+        Insn.Mov (rax, Operand.imm (-1L));
+        Insn.Mov (rbx, Operand.imm 1L);
+        Insn.Bin (Insn.Cmp, rax, rbx);
+        Insn.Setcc (Insn.A, Reg.RCX);
+        Insn.Bin (Insn.Cmp, rax, rbx);
+        Insn.Setcc (Insn.L, Reg.RDX);
+      ]
+  in
+  Alcotest.check i64 "above (unsigned)" 1L (Cpu.get cpu Reg.RCX);
+  Alcotest.check i64 "less (signed)" 1L (Cpu.get cpu Reg.RDX)
+
+let test_push_pop_stack () =
+  let cpu, _ =
+    run_insns
+      [
+        Insn.Mov (rax, Operand.imm 0xABCL);
+        Insn.Push rax;
+        Insn.Mov (rax, Operand.imm 0L);
+        Insn.Pop rbx;
+      ]
+  in
+  Alcotest.check i64 "popped" 0xABCL (Cpu.get cpu Reg.RBX);
+  Alcotest.check i64 "rsp restored" 0x71000L (Cpu.get cpu Reg.RSP)
+
+let test_call_ret () =
+  let fn = [ Insn.Mov (rbx, Operand.imm 55L); Insn.Ret ] in
+  let fn_addr = 0x1800L in
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:8192;
+  Memory.map mem ~addr:0x70000L ~len:8192;
+  Cpu.set cpu Reg.RSP 0x71000L;
+  Memory.write_bytes mem 0x1000L
+    (Encode.list_to_bytes [ Insn.Call (Insn.Abs fn_addr); Insn.Hlt ]);
+  Memory.write_bytes mem fn_addr (Encode.list_to_bytes fn);
+  cpu.Cpu.rip <- 0x1000L;
+  let rec loop () =
+    match Exec.step env cpu mem with
+    | Exec.Running -> loop ()
+    | Exec.Halted -> ()
+    | _ -> Alcotest.fail "unexpected stop"
+  in
+  loop ();
+  Alcotest.check i64 "callee ran" 55L (Cpu.get cpu Reg.RBX);
+  Alcotest.check i64 "stack balanced" 0x71000L (Cpu.get cpu Reg.RSP)
+
+let test_builtin_call_traps () =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  Memory.map mem ~addr:0x70000L ~len:8192;
+  Cpu.set cpu Reg.RSP 0x71000L;
+  Memory.write_bytes mem 0x1000L
+    (Encode.list_to_bytes [ Insn.Call (Insn.Abs 0x100L); Insn.Hlt ]);
+  cpu.Cpu.rip <- 0x1000L;
+  (match Exec.step env cpu mem with
+  | Exec.Builtin "fake" -> ()
+  | _ -> Alcotest.fail "expected builtin trap");
+  Alcotest.check i64 "rsp untouched (no ret pushed)" 0x71000L (Cpu.get cpu Reg.RSP);
+  match Exec.step env cpu mem with
+  | Exec.Halted -> ()
+  | _ -> Alcotest.fail "expected hlt after builtin"
+
+let test_leave () =
+  let cpu, _ =
+    run_insns
+      [
+        Insn.Mov (Operand.reg Reg.RBP, Operand.imm 0x9999L);
+        Insn.Push (Operand.reg Reg.RBP);
+        Insn.Mov (Operand.reg Reg.RBP, Operand.reg Reg.RSP);
+        Insn.Bin (Insn.Sub, Operand.reg Reg.RSP, Operand.imm 64L);
+        Insn.Leave;
+      ]
+  in
+  Alcotest.check i64 "rbp restored" 0x9999L (Cpu.get cpu Reg.RBP);
+  Alcotest.check i64 "rsp popped" 0x71000L (Cpu.get cpu Reg.RSP)
+
+let test_movb_merges () =
+  let cpu, _ =
+    run_insns
+      [
+        Insn.Mov (rax, Operand.imm 0x1111111111111111L);
+        Insn.Movb (rax, Operand.imm 0xFFL);
+      ]
+  in
+  Alcotest.check i64 "low byte merged" 0x11111111111111FFL (Cpu.get cpu Reg.RAX)
+
+let test_movl_zero_extends () =
+  let cpu, _ =
+    run_insns
+      [ Insn.Mov (rax, Operand.imm (-1L)); Insn.Movl (rax, Operand.imm 0x1234L) ]
+  in
+  Alcotest.check i64 "zero extended" 0x1234L (Cpu.get cpu Reg.RAX)
+
+let test_lea_addressing () =
+  let cpu, _ =
+    run_insns
+      [
+        Insn.Mov (rbx, Operand.imm 0x1000L);
+        Insn.Mov (rcx, Operand.imm 4L);
+        Insn.Lea
+          ( Reg.RAX,
+            { Operand.seg_fs = false; base = Some Reg.RBX;
+              index = Some (Reg.RCX, Operand.S8); disp = 16L } );
+      ]
+  in
+  Alcotest.check i64 "base+index*8+disp" 0x1030L (Cpu.get cpu Reg.RAX)
+
+let test_fs_segment () =
+  let setup cpu mem =
+    cpu.Cpu.fs_base <- 0x20000L;
+    Memory.write_u64 mem 0x20028L 0xCAFEL
+  in
+  let cpu, _ = run_insns ~setup [ Insn.Mov (rax, Operand.fs 0x28L) ] in
+  Alcotest.check i64 "TLS load" 0xCAFEL (Cpu.get cpu Reg.RAX)
+
+let test_rdrand_sets_cf () =
+  let cpu, _ = run_insns [ Insn.Rdrand Reg.RAX ] in
+  Alcotest.(check bool) "CF set" true cpu.Cpu.flags.Cpu.cf
+
+let test_rdrand_deterministic_per_seed () =
+  let run () =
+    let cpu, _ = run_insns [ Insn.Rdrand Reg.RAX ] in
+    Cpu.get cpu Reg.RAX
+  in
+  Alcotest.check i64 "same seed, same entropy" (run ()) (run ())
+
+let test_rdtsc_composition () =
+  let cpu, _ =
+    run_insns
+      [
+        Insn.Nop; Insn.Nop;
+        Insn.Rdtsc;
+        Insn.Shift (Insn.Shl, Operand.reg Reg.RDX, 32);
+        Insn.Bin (Insn.Or, rax, Operand.reg Reg.RDX);
+      ]
+  in
+  let v = Cpu.get cpu Reg.RAX in
+  Alcotest.(check bool) "plausible tsc" true
+    (Int64.compare v 0L > 0 && Int64.compare v 1000L < 0)
+
+let test_aesenc_matches_crypto () =
+  let setup cpu _ =
+    Cpu.set_xmm cpu Reg.Xmm.xmm0 (0x1111L, 0x2222L);
+    Cpu.set_xmm cpu Reg.Xmm.xmm1 (0x3333L, 0x4444L)
+  in
+  let cpu, _ = run_insns ~setup [ Insn.Aesenc (Reg.Xmm.xmm0, Reg.Xmm.xmm1) ] in
+  let state = Bytes.create 16 in
+  Bytes.set_int64_le state 0 0x1111L;
+  Bytes.set_int64_le state 8 0x2222L;
+  let rk = Bytes.create 16 in
+  Bytes.set_int64_le rk 0 0x3333L;
+  Bytes.set_int64_le rk 8 0x4444L;
+  let expect = Crypto.Aes128.aesenc ~state ~round_key:rk in
+  let lo, hi = Cpu.get_xmm cpu Reg.Xmm.xmm0 in
+  Alcotest.check i64 "lo" (Bytes.get_int64_le expect 0) lo;
+  Alcotest.check i64 "hi" (Bytes.get_int64_le expect 8) hi
+
+let test_pcmpeq128 () =
+  let setup cpu mem =
+    Cpu.set_xmm cpu Reg.Xmm.xmm15 (0xAAL, 0xBBL);
+    Memory.write_u64 mem 0x20000L 0xAAL;
+    Memory.write_u64 mem 0x20008L 0xBBL
+  in
+  let mem_op =
+    { Operand.seg_fs = false; base = None; index = None; disp = 0x20000L }
+  in
+  let cpu, _ = run_insns ~setup [ Insn.Pcmpeq128 (Reg.Xmm.xmm15, mem_op) ] in
+  Alcotest.(check bool) "equal -> ZF" true cpu.Cpu.flags.Cpu.zf;
+  let setup2 cpu mem =
+    setup cpu mem;
+    Memory.write_u64 mem 0x20008L 0xBCL
+  in
+  let cpu2, _ = run_insns ~setup:setup2 [ Insn.Pcmpeq128 (Reg.Xmm.xmm15, mem_op) ] in
+  Alcotest.(check bool) "mismatch -> not ZF" false cpu2.Cpu.flags.Cpu.zf
+
+let test_xmm_moves () =
+  let setup cpu mem =
+    Cpu.set cpu Reg.R12 0x12L;
+    Cpu.set cpu Reg.R13 0x13L;
+    Memory.write_u64 mem 0x20010L 0x99L
+  in
+  let _, mem =
+    run_insns ~setup
+      [
+        Insn.Movq_to_xmm (Reg.Xmm.xmm1, Reg.R13);
+        Insn.Pinsrq_high (Reg.Xmm.xmm1, Reg.R12);
+        Insn.Movhps_load
+          (Reg.Xmm.xmm1, { Operand.seg_fs = false; base = None; index = None; disp = 0x20010L });
+        Insn.Movdqu_store
+          ({ Operand.seg_fs = false; base = None; index = None; disp = 0x20020L }, Reg.Xmm.xmm1);
+      ]
+  in
+  Alcotest.check i64 "low lane" 0x13L (Memory.read_u64 mem 0x20020L);
+  Alcotest.check i64 "high lane (movhps overwrote pinsrq)" 0x99L
+    (Memory.read_u64 mem 0x20028L)
+
+let test_exec_faults_reported () =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  Memory.write_bytes mem 0x1000L
+    (Encode.list_to_bytes [ Insn.Mov (rax, Operand.mem 0x9000000L) ]);
+  cpu.Cpu.rip <- 0x1000L;
+  match Exec.step env cpu mem with
+  | Exec.Faulted (Fault.Segfault 0x9000000L) -> ()
+  | _ -> Alcotest.fail "expected segfault"
+
+let test_fetch_unmapped () =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  cpu.Cpu.rip <- 0x41414141L;
+  match Exec.step env cpu mem with
+  | Exec.Faulted (Fault.Segfault _) -> ()
+  | _ -> Alcotest.fail "expected fetch fault"
+
+let test_insn_tax_charged () =
+  let measure tax =
+    let cpu = Cpu.create () in
+    cpu.Cpu.insn_tax <- tax;
+    let mem = Memory.create () in
+    Memory.map mem ~addr:0x1000L ~len:4096;
+    Memory.write_bytes mem 0x1000L
+      (Encode.list_to_bytes [ Insn.Nop; Insn.Nop; Insn.Hlt ]);
+    cpu.Cpu.rip <- 0x1000L;
+    let rec loop () =
+      match Exec.step env cpu mem with Exec.Running -> loop () | _ -> ()
+    in
+    loop ();
+    cpu.Cpu.cycles
+  in
+  Alcotest.check i64 "tax adds per insn" (Int64.add (measure 0) 15L) (measure 5)
+
+let test_call_tax_charged () =
+  let measure tax =
+    let cpu = Cpu.create () in
+    cpu.Cpu.call_tax <- tax;
+    let mem = Memory.create () in
+    Memory.map mem ~addr:0x1000L ~len:4096;
+    Memory.map mem ~addr:0x70000L ~len:8192;
+    Cpu.set cpu Reg.RSP 0x71000L;
+    Memory.write_bytes mem 0x1000L
+      (Encode.list_to_bytes [ Insn.Call (Insn.Abs 0x1100L); Insn.Hlt ]);
+    Memory.write_bytes mem 0x1100L (Encode.list_to_bytes [ Insn.Ret ]);
+    cpu.Cpu.rip <- 0x1000L;
+    let rec loop () =
+      match Exec.step env cpu mem with Exec.Running -> loop () | _ -> ()
+    in
+    loop ();
+    cpu.Cpu.cycles
+  in
+  (* one call + one ret = 2 taxed instructions *)
+  Alcotest.check i64 "call tax" (Int64.add (measure 0) 20L) (measure 10)
+
+let test_run_fuel () =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  Memory.write_bytes mem 0x1000L (Encode.list_to_bytes [ Insn.Jmp (Insn.Abs 0x1000L) ]);
+  cpu.Cpu.rip <- 0x1000L;
+  match Exec.run ~max_insns:100 env cpu mem with
+  | Exec.Out_of_fuel -> ()
+  | _ -> Alcotest.fail "expected fuel exhaustion"
+
+let test_cost_model_anchors () =
+  Alcotest.(check bool) "rdrand is expensive" true
+    (Cost.cycles (Insn.Rdrand Reg.RAX) > 300);
+  Alcotest.(check int) "mov is cheap" 1 (Cost.cycles (Insn.Mov (rax, rbx)));
+  Alcotest.(check bool) "aes helper cost near AES-NI"
+    true
+    (Cost.aes_encrypt_call_cycles > 50 && Cost.aes_encrypt_call_cycles < 200)
+
+let qc = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "vm64"
+    [
+      ( "memory",
+        [
+          Alcotest.test_case "read/write" `Quick test_mem_rw;
+          Alcotest.test_case "u32" `Quick test_mem_u32;
+          Alcotest.test_case "cross-page access" `Quick test_mem_cross_page;
+          Alcotest.test_case "unmapped faults" `Quick test_mem_unmapped_faults;
+          Alcotest.test_case "clone isolation" `Quick test_mem_clone_isolated;
+          Alcotest.test_case "mapped bytes" `Quick test_mapped_bytes;
+          qc prop_mem_roundtrip;
+        ] );
+      ( "alu",
+        [
+          Alcotest.test_case "mov imm" `Quick test_mov_imm;
+          Alcotest.test_case "arith chain" `Quick test_arith;
+          Alcotest.test_case "div by zero" `Quick test_div_by_zero_faults;
+          Alcotest.test_case "signed conditions" `Quick test_flags_and_setcc;
+          Alcotest.test_case "unsigned conditions" `Quick test_unsigned_conditions;
+          Alcotest.test_case "movb merges" `Quick test_movb_merges;
+          Alcotest.test_case "movl zero-extends" `Quick test_movl_zero_extends;
+          Alcotest.test_case "lea addressing" `Quick test_lea_addressing;
+        ] );
+      ( "control",
+        [
+          Alcotest.test_case "push/pop" `Quick test_push_pop_stack;
+          Alcotest.test_case "call/ret" `Quick test_call_ret;
+          Alcotest.test_case "builtin trap" `Quick test_builtin_call_traps;
+          Alcotest.test_case "leave" `Quick test_leave;
+          Alcotest.test_case "fuel" `Quick test_run_fuel;
+        ] );
+      ( "special",
+        [
+          Alcotest.test_case "fs segment" `Quick test_fs_segment;
+          Alcotest.test_case "rdrand sets CF" `Quick test_rdrand_sets_cf;
+          Alcotest.test_case "rdrand deterministic per seed" `Quick
+            test_rdrand_deterministic_per_seed;
+          Alcotest.test_case "rdtsc composition" `Quick test_rdtsc_composition;
+          Alcotest.test_case "aesenc = crypto" `Quick test_aesenc_matches_crypto;
+          Alcotest.test_case "pcmpeq128" `Quick test_pcmpeq128;
+          Alcotest.test_case "xmm moves" `Quick test_xmm_moves;
+        ] );
+      ( "faults+cost",
+        [
+          Alcotest.test_case "data segfault" `Quick test_exec_faults_reported;
+          Alcotest.test_case "fetch segfault" `Quick test_fetch_unmapped;
+          Alcotest.test_case "insn tax" `Quick test_insn_tax_charged;
+          Alcotest.test_case "call tax" `Quick test_call_tax_charged;
+          Alcotest.test_case "cost anchors" `Quick test_cost_model_anchors;
+        ] );
+    ]
