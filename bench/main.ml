@@ -3,18 +3,20 @@
    measuring the host-side cost of each experiment's unit of work.
 
    Usage:
-     bench/main.exe                 run every experiment, print all tables
-     bench/main.exe <exp> [...]     run selected experiments
-     bench/main.exe micro           run the Bechamel micro-benchmarks
+     bench/main.exe [--jobs N]             run every experiment
+     bench/main.exe [--jobs N] <exp> [...] run selected experiments
+     bench/main.exe micro                  run the Bechamel micro-benchmarks
    Experiments: table1 table2 table3 table4 table5 fig5 effectiveness
-                compat theorem1 exposure ablation *)
+                compat theorem1 exposure ablation
+   --jobs N fans the campaign workloads across N domains (default 1;
+   0 = recommended domain count). Output is byte-identical for any N. *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
-let run_fig5 () =
+let run_fig5 ~jobs () =
   section "Figure 5 - runtime overhead vs native (28-program SPEC-like suite)";
-  let r = Harness.Fig5.run () in
+  let r = Harness.Fig5.run ~jobs () in
   Util.Table.print (Harness.Fig5.to_table r);
   print_newline ();
   print_string (Harness.Fig5.to_chart r);
@@ -23,16 +25,16 @@ let run_fig5 () =
      Measured: compiler %.2f%%, instrumentation %.2f%%.\n"
     r.Harness.Fig5.compiler_avg r.Harness.Fig5.instr_avg
 
-let run_table1 () =
+let run_table1 ~jobs () =
   section "Table I - brute-force defence comparison (all cells measured)";
-  Util.Table.print (Harness.Table1.to_table (Harness.Table1.run ()));
+  Util.Table.print (Harness.Table1.to_table (Harness.Table1.run ~jobs ()));
   print_string
     "Paper: SSP no-BROP-prevention; RAF incorrect; DynaGuard 1.5%/156%;\n\
      DCR NA/>24%; P-SSP prevents BROP, correct, lightest overheads.\n"
 
-let run_table2 () =
+let run_table2 ~jobs () =
   section "Table II - code expansion";
-  let r = Harness.Table2.run () in
+  let r = Harness.Table2.run ~jobs () in
   Util.Table.print (Harness.Table2.to_table r);
   print_string
     "Paper: 0.27% compiler / 0 dynamic / 2.78% static (on multi-MB glibc\n\
@@ -52,14 +54,15 @@ let run_table4 () =
      167.27/167.27/167 ms. The invariance across columns is the result.\n";
   Util.Table.print (Harness.Table34.latency_table (Harness.Table34.run_latency ()))
 
-let run_table5 () =
+let run_table5 ~jobs () =
   section "Table V - prologue+epilogue canary cycles";
-  Util.Table.print (Harness.Table5.to_table (Harness.Table5.run ()));
+  Util.Table.print (Harness.Table5.to_table (Harness.Table5.run ~jobs ()));
   print_string "Paper: P-SSP 6; P-SSP-NT 343; P-SSP-LV 343 / 986; P-SSP-OWF 278.\n"
 
-let run_effectiveness () =
+let run_effectiveness ~jobs () =
   section "Effectiveness (SVI-C) - byte-by-byte attacks on forking servers";
-  Util.Table.print (Harness.Effectiveness.to_table (Harness.Effectiveness.run ()));
+  Util.Table.print
+    (Harness.Effectiveness.to_table (Harness.Effectiveness.run ~jobs ()));
   print_string
     "Paper: the attack succeeds on SSP-compiled Nginx/Ali and fails on the\n\
      P-SSP-compiled versions.\n"
@@ -91,14 +94,14 @@ let experiments =
     ("fig5", run_fig5);
     ("table1", run_table1);
     ("table2", run_table2);
-    ("table3", run_table3);
-    ("table4", run_table4);
+    ("table3", fun ~jobs:_ () -> run_table3 ());
+    ("table4", fun ~jobs:_ () -> run_table4 ());
     ("table5", run_table5);
     ("effectiveness", run_effectiveness);
-    ("compat", run_compat);
-    ("theorem1", run_theorem1);
-    ("exposure", run_exposure);
-    ("ablation", run_ablation);
+    ("compat", fun ~jobs:_ () -> run_compat ());
+    ("theorem1", fun ~jobs:_ () -> run_theorem1 ());
+    ("exposure", fun ~jobs:_ () -> run_exposure ());
+    ("ablation", fun ~jobs:_ () -> run_ablation ());
   ]
 
 (* ---- Bechamel micro-suite: one Test.make per table ----------------------- *)
@@ -191,17 +194,32 @@ let run_micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let rec parse_jobs jobs acc = function
+    | [] -> (jobs, List.rev acc)
+    | "--jobs" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some j when j >= 0 -> parse_jobs j acc rest
+      | _ ->
+        Printf.eprintf "--jobs expects a non-negative integer, got %s\n" n;
+        exit 1)
+    | [ "--jobs" ] ->
+      Printf.eprintf "--jobs expects an argument\n";
+      exit 1
+    | a :: rest -> parse_jobs jobs (a :: acc) rest
+  in
+  let jobs, args = parse_jobs 1 [] args in
+  let jobs = if jobs = 0 then Harness.Pool.default_jobs () else jobs in
   match args with
   | [ "micro" ] -> run_micro ()
   | [] ->
     print_string
       "P-SSP reproduction: regenerating every table and figure of the paper\n";
-    List.iter (fun (_, f) -> f ()) experiments
+    List.iter (fun (_, f) -> f ~jobs ()) experiments
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
-        | Some f -> f ()
+        | Some f -> f ~jobs ()
         | None ->
           Printf.eprintf "unknown experiment %s (have: %s, micro)\n" name
             (String.concat " " (List.map fst experiments));

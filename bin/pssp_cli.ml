@@ -240,9 +240,9 @@ let attack_cmd =
 (* ---- fuzz ------------------------------------------------------------------- *)
 
 let fuzz_cmd =
-  let action count seed_base verbose =
-    let failures = ref 0 in
-    for i = 0 to count - 1 do
+  let action count seed_base jobs verbose =
+    let jobs = if jobs = 0 then Harness.Pool.default_jobs () else jobs in
+    let check i =
       let seed = Int64.add seed_base (Int64.of_int (i * 7919)) in
       let program = Workload.Progen.generate ~seed in
       let run scheme =
@@ -261,13 +261,22 @@ let fuzz_cmd =
             if run scheme <> reference then Some (Pssp.Scheme.name scheme) else None)
           [ Pssp.Scheme.Ssp; Pssp.Scheme.Pssp; Pssp.Scheme.Pssp_nt; Pssp.Scheme.Pssp_owf ]
       in
-      if diverged <> [] then begin
-        incr failures;
-        Printf.printf "seed %Ld DIVERGED under: %s\n" seed (String.concat ", " diverged);
-        if verbose then print_endline (Workload.Progen.generate_source ~seed)
-      end
-      else if verbose then Printf.printf "seed %Ld ok\n" seed
-    done;
+      (seed, diverged)
+    in
+    (* Run the campaigns in parallel, report in seed order so the output
+       is identical for every jobs count. *)
+    let results = Harness.Pool.map ~jobs check (List.init count Fun.id) in
+    let failures = ref 0 in
+    List.iter
+      (fun (seed, diverged) ->
+        if diverged <> [] then begin
+          incr failures;
+          Printf.printf "seed %Ld DIVERGED under: %s\n" seed
+            (String.concat ", " diverged);
+          if verbose then print_endline (Workload.Progen.generate_source ~seed)
+        end
+        else if verbose then Printf.printf "seed %Ld ok\n" seed)
+      results;
     Printf.printf "fuzz: %d program(s), %d divergence(s)\n" count !failures;
     if !failures > 0 then exit 1
   in
@@ -277,12 +286,18 @@ let fuzz_cmd =
   let seed_arg =
     Arg.(value & opt int64 1L & info [ "seed" ] ~doc:"Base seed.")
   in
+  let jobs_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "j"; "jobs" ]
+          ~doc:"Fuzz in N parallel domains (0 = recommended count).")
+  in
   let verbose_arg = Arg.(value & flag & info [ "v" ] ~doc:"Print every seed.") in
   let doc =
     "Differential fuzzing: random Mini-C programs must behave identically      under every protection scheme."
   in
   Cmd.v (Cmd.info "fuzz" ~doc)
-    Term.(const action $ count_arg $ seed_arg $ verbose_arg)
+    Term.(const action $ count_arg $ seed_arg $ jobs_arg $ verbose_arg)
 
 (* ---- bench ------------------------------------------------------------------ *)
 

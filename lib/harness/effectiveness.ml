@@ -47,18 +47,18 @@ let default_targets =
     Instrumented;
   ]
 
-let run ?(budget = 20_000) ?(targets = default_targets) () =
-  let rows =
+let run ?(jobs = 1) ?(budget = 20_000) ?(targets = default_targets) () =
+  let cells =
     List.concat_map
-      (fun target ->
-        List.map
-          (fun (service, buffer_size) ->
-            let broken, trials, restarts =
-              attack_server ~budget target ~buffer_size
-            in
-            { target; service; broken; trials; restarts })
-          services)
+      (fun target -> List.map (fun service -> (target, service)) services)
       targets
+  in
+  let rows =
+    Pool.map ~jobs
+      (fun (target, (service, buffer_size)) ->
+        let broken, trials, restarts = attack_server ~budget target ~buffer_size in
+        { target; service; broken; trials; restarts })
+      cells
   in
   { rows }
 

@@ -21,9 +21,11 @@ type row = {
 
 type result = { rows : row list }
 
-val run : ?budget:int -> ?targets:target list -> unit -> result
+val run : ?jobs:int -> ?budget:int -> ?targets:target list -> unit -> result
 (** [budget] defaults to 20_000 trials per cell. Default targets:
-    SSP, P-SSP, P-SSP-NT, P-SSP-OWF, instrumented P-SSP. *)
+    SSP, P-SSP, P-SSP-NT, P-SSP-OWF, instrumented P-SSP. [jobs] fans
+    the target x service cells out over a {!Pool} of domains; results
+    are identical for every [jobs]. *)
 
 val to_table : result -> Util.Table.t
 

@@ -24,8 +24,8 @@ let measure bench =
     instr_pct = Runner.overhead_pct ~native instr;
   }
 
-let run ?(benches = Workload.Spec.all) () =
-  let rows = List.map measure benches in
+let run ?(jobs = 1) ?(benches = Workload.Spec.all) () =
+  let rows = Pool.map ~jobs measure benches in
   let avg f = Util.Stats.mean (Array.of_list (List.map f rows)) in
   {
     rows;

@@ -16,8 +16,10 @@ type result = {
   instr_avg : float;
 }
 
-val run : ?benches:Workload.Spec.bench list -> unit -> result
-(** Defaults to the full 28-program suite. *)
+val run : ?jobs:int -> ?benches:Workload.Spec.bench list -> unit -> result
+(** Defaults to the full 28-program suite, measured serially. [jobs]
+    fans the per-benchmark measurements out over a {!Pool} of domains;
+    results (and the rendered table) are identical for every [jobs]. *)
 
 val to_table : result -> Util.Table.t
 

@@ -1,0 +1,30 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ?(jobs = 1) f xs =
+  let items = Array.of_list xs in
+  let n = Array.length items in
+  let jobs = Stdlib.min jobs n in
+  if jobs <= 1 || n <= 1 then List.map f xs
+  else begin
+    let results = Array.make n None in
+    let errors = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          (match f items.(i) with
+          | v -> results.(i) <- Some v
+          | exception e -> errors.(i) <- Some e);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.iter (function Some e -> raise e | None -> ()) errors;
+    Array.to_list
+      (Array.map (function Some v -> v | None -> assert false) results)
+  end

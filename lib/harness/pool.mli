@@ -1,0 +1,21 @@
+(** A small [Domain] pool for fanning measurement campaigns out across
+    cores.
+
+    Every task must be self-contained — each harness task builds its own
+    [Os.Kernel] (and therefore its own CPU, memory, and PRNG state) from
+    a fixed seed, so a task's result does not depend on which domain ran
+    it or in what order. [map] then stores results by input index, which
+    makes the output deterministic: [map ~jobs:n f xs] returns exactly
+    [List.map f xs] for every [n], and the rendered tables are
+    byte-identical between serial and parallel runs. *)
+
+val map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** [map ~jobs f xs] applies [f] to every element of [xs] using [jobs]
+    domains (the calling domain counts as one). [jobs <= 1], an empty
+    list, or a singleton falls back to plain [List.map]. If any
+    application raises, the exception from the lowest-index element is
+    re-raised in the caller after all domains join. *)
+
+val default_jobs : unit -> int
+(** Number of cores visible to the runtime
+    ([Domain.recommended_domain_count]), the natural [--jobs] value. *)

@@ -61,7 +61,7 @@ let instr_deployment_for (scheme : Pssp.Scheme.t) =
   | Pssp_gb ->
     None
 
-let run ?(brop_budget = 6000) ?(benches = default_benches) () =
+let run ?(jobs = 1) ?(brop_budget = 6000) ?(benches = default_benches) () =
   let schemes =
     [
       Pssp.Scheme.Ssp;
@@ -72,7 +72,7 @@ let run ?(brop_budget = 6000) ?(benches = default_benches) () =
     ]
   in
   let rows =
-    List.map
+    Pool.map ~jobs
       (fun scheme ->
         let brop_prevented, brop_trials = brop_campaign scheme ~budget:brop_budget in
         let correct = correctness_probe scheme in

@@ -22,9 +22,11 @@ type row = {
 
 type result = { rows : row list }
 
-val run : ?brop_budget:int -> ?benches:Workload.Spec.bench list -> unit -> result
+val run :
+  ?jobs:int -> ?brop_budget:int -> ?benches:Workload.Spec.bench list -> unit -> result
 (** [brop_budget] defaults to 6000 trials (SSP falls around ~1300).
     [benches] defaults to a 8-program subset balancing hot and cold
-    canary paths. *)
+    canary paths. [jobs] fans the per-scheme campaigns out over a
+    {!Pool} of domains; results are identical for every [jobs]. *)
 
 val to_table : result -> Util.Table.t

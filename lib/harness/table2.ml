@@ -39,8 +39,8 @@ let measure bench =
         ~measured:(Os.Image.code_size instr_static);
   }
 
-let run ?(benches = Workload.Spec.all) () =
-  let rows = List.map measure benches in
+let run ?(jobs = 1) ?(benches = Workload.Spec.all) () =
+  let rows = Pool.map ~jobs measure benches in
   let avg f = Util.Stats.mean (Array.of_list (List.map f rows)) in
   {
     rows;

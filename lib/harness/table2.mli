@@ -21,5 +21,8 @@ type result = {
   instr_static_avg : float;
 }
 
-val run : ?benches:Workload.Spec.bench list -> unit -> result
+val run : ?jobs:int -> ?benches:Workload.Spec.bench list -> unit -> result
+(** [jobs] fans the per-benchmark builds out over a {!Pool} of domains;
+    results are identical for every [jobs]. *)
+
 val to_table : result -> Util.Table.t

@@ -57,7 +57,7 @@ let measure_scheme ?(calls = 20_000) scheme ~criticals =
   let baseline = run_cycles Pssp.Scheme.None_ ~criticals ~calls in
   Int64.to_float (Int64.sub protected_ baseline) /. float_of_int calls
 
-let run ?(calls = 20_000) () =
+let run ?(jobs = 1) ?(calls = 20_000) () =
   let rows =
     [
       ("P-SSP", Pssp.Scheme.Pssp, 0);
@@ -70,7 +70,7 @@ let run ?(calls = 20_000) () =
   in
   {
     rows =
-      List.map
+      Pool.map ~jobs
         (fun (label, scheme, criticals) ->
           { label; scheme; cycles = measure_scheme ~calls scheme ~criticals })
         rows;

@@ -15,8 +15,10 @@ type row = {
 
 type result = { rows : row list }
 
-val run : ?calls:int -> unit -> result
-(** [calls] defaults to 20_000. *)
+val run : ?jobs:int -> ?calls:int -> unit -> result
+(** [calls] defaults to 20_000. [jobs] fans the per-scheme measurements
+    out over a {!Pool} of domains; results are identical for every
+    [jobs]. *)
 
 val to_table : result -> Util.Table.t
 

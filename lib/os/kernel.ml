@@ -181,8 +181,11 @@ let encode_wait_status (p : Process.t) =
 let rec run_loop t (p : Process.t) fuel =
   if !fuel <= 0 then Stop_fuel
   else begin
-    decr fuel;
-    match Exec.step t.env p.Process.cpu p.Process.mem with
+    let outcome, retired =
+      Exec.step_block t.env p.Process.cpu p.Process.mem ~max_insns:!fuel
+    in
+    fuel := !fuel - retired;
+    match outcome with
     | Exec.Running -> run_loop t p fuel
     | Exec.Halted ->
       p.Process.status <- Process.Exited 0;

@@ -30,6 +30,12 @@ val crashed : t -> bool
 (** Died from a signal (segfault or canary abort) — the event the
     byte-by-byte attacker's oracle distinguishes. *)
 
+val patch_text : t -> addr:int64 -> bytes -> unit
+(** Write [code] into the process's loaded text and invalidate the
+    overlapping basic-block decodes, so the next fetch re-decodes the
+    patched bytes. The safe way to modify code after load — a plain
+    [Memory.write_bytes] would leave the translation cache stale. *)
+
 val stdout : t -> string
 val stderr : t -> string
 val cycles : t -> int64

@@ -72,9 +72,12 @@ let chi_square ~expected ~observed =
   !acc
 
 let chi_square_uniform ~observed =
-  check_nonempty "Stats.chi_square_uniform" (Array.map float_of_int observed);
+  if Array.length observed = 0 then
+    invalid_arg "Stats.chi_square_uniform: empty array";
   let k = Array.length observed in
   let total = Array.fold_left ( + ) 0 observed in
+  if total <= 0 then
+    invalid_arg "Stats.chi_square_uniform: no observations (all counts zero)";
   let e = float_of_int total /. float_of_int k in
   let expected = Array.make k e in
   chi_square ~expected ~observed:(Array.map float_of_int observed)
@@ -89,6 +92,7 @@ let histogram ~buckets ~lo ~hi xs =
   let width = (hi -. lo) /. float_of_int buckets in
   Array.iter
     (fun x ->
+      if Float.is_nan x then invalid_arg "Stats.histogram: NaN sample";
       let i = int_of_float ((x -. lo) /. width) in
       let i = Stdlib.max 0 (Stdlib.min (buckets - 1) i) in
       counts.(i) <- counts.(i) + 1)

@@ -27,11 +27,13 @@ val chi_square : expected:float array -> observed:float array -> float
 
 val chi_square_uniform : observed:int array -> float
 (** Chi-square statistic against the uniform distribution over the
-    observed categories. *)
+    observed categories. Raises [Invalid_argument] if the array is empty
+    or every count is zero (no observations to test). *)
 
 val chi_square_critical_256_p001 : float
 (** Critical value for 255 degrees of freedom at significance 0.001.
     Used to test uniformity of canary byte distributions. *)
 
 val histogram : buckets:int -> lo:float -> hi:float -> float array -> int array
-(** Fixed-width histogram; out-of-range samples clamp to edge buckets. *)
+(** Fixed-width histogram; out-of-range samples clamp to edge buckets.
+    Raises [Invalid_argument] on a NaN sample (which has no bucket). *)

@@ -15,7 +15,7 @@ type t = {
   mutable insn_tax : int;
   mutable call_tax : int;
   rng : Util.Prng.t;
-  decode_cache : (int64, Isa.Insn.t * int) Hashtbl.t;
+  tcache : Tcache.t;
 }
 
 let create ?(seed = 0x5EEDL) () =
@@ -29,7 +29,7 @@ let create ?(seed = 0x5EEDL) () =
     insn_tax = 0;
     call_tax = 0;
     rng = Util.Prng.create seed;
-    decode_cache = Hashtbl.create 1024;
+    tcache = Tcache.create ();
   }
 
 let get t r = t.gprs.(Isa.Reg.index r)
@@ -50,8 +50,14 @@ let clone t =
     insn_tax = t.insn_tax;
     call_tax = t.call_tax;
     rng = Util.Prng.split t.rng;
-    (* fork children share the cache: their text is byte-identical *)
-    decode_cache = t.decode_cache;
+    (* the child starts from the parent's decoded blocks (its text is
+       byte-identical at fork time) but owns its table, so a later patch
+       + invalidation in either address space cannot leak stale decodes
+       into the other *)
+    tcache = Tcache.clone t.tcache;
   }
 
 let add_cycles t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
+
+let invalidate_decode t ~addr ~len = Tcache.invalidate_range t.tcache ~addr ~len
+let invalidate_decode_all t = Tcache.invalidate_all t.tcache

@@ -21,9 +21,11 @@ type t = {
       (** extra cycles charged per call/ret — models the trampoline cost
           of static binary rewriting (the DCR deployment) *)
   rng : Util.Prng.t;  (** entropy source behind [rdrand] *)
-  decode_cache : (int64, Isa.Insn.t * int) Hashtbl.t;
-      (** per-address-space fetch cache; shared with fork children (their
-          text is identical) but never across unrelated processes *)
+  tcache : Tcache.t;
+      (** per-address-space basic-block translation cache; fork children
+          start from a copy of the parent's decoded blocks but own their
+          table (see {!Tcache.clone}), never shared across unrelated
+          processes *)
 }
 
 val create : ?seed:int64 -> unit -> t
@@ -40,3 +42,10 @@ val clone : t -> t
     would). *)
 
 val add_cycles : t -> int -> unit
+
+val invalidate_decode : t -> addr:int64 -> len:int -> unit
+(** Drop cached decodes overlapping [addr, addr+len). Must be called
+    after patching loaded text and before re-executing it; plain memory
+    writes do not invalidate the translation cache. *)
+
+val invalidate_decode_all : t -> unit

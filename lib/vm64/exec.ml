@@ -33,19 +33,51 @@ let fetch_bytes mem rip =
   let n = collect 0 in
   if n = 0 then None else Some (Bytes.sub buf 0 n)
 
-let fetch _env cpu mem =
-  match Hashtbl.find_opt cpu.Cpu.decode_cache cpu.Cpu.rip with
-  | Some pair -> Ok pair
+let fetch_one mem rip =
+  match fetch_bytes mem rip with
+  | None -> Error (Fault.Segfault rip)
+  | Some bytes -> (
+    match Isa.Decode.decode bytes 0 with
+    | insn, len -> Ok (insn, len)
+    | exception Isa.Decode.Bad_encoding (_, msg) ->
+      Error (Fault.Bad_instruction (rip, msg)))
+
+(* Control leaves the straight-line run after any of these. *)
+let block_terminator = function
+  | Isa.Insn.Jmp _ | Jcc _ | Call _ | Call_ind _ | Ret | Syscall | Hlt -> true
+  | _ -> false
+
+(* Decode a straight-line run starting at [rip]. Only a failure on the
+   FIRST instruction is an error; a later bad byte just ends the block
+   (the fault is re-discovered when execution reaches that address). *)
+let decode_block mem rip =
+  match fetch_one mem rip with
+  | Error f -> Error f
+  | Ok ((insn0, len0) as first) ->
+    let rev = ref [ first ] in
+    let count = ref 1 in
+    let addr = ref (Int64.add rip (Int64.of_int len0)) in
+    let stop = ref (block_terminator insn0) in
+    while (not !stop) && !count < Tcache.max_block_insns do
+      match fetch_one mem !addr with
+      | Error _ -> stop := true
+      | Ok ((insn, len) as pair) ->
+        rev := pair :: !rev;
+        addr := Int64.add !addr (Int64.of_int len);
+        incr count;
+        if block_terminator insn then stop := true
+    done;
+    Ok (Tcache.make_block ~start:rip (Array.of_list (List.rev !rev)))
+
+let fetch_block cpu mem =
+  match Tcache.find cpu.Cpu.tcache cpu.Cpu.rip with
+  | Some b -> Ok b
   | None -> (
-    match fetch_bytes mem cpu.Cpu.rip with
-    | None -> Error (Fault.Segfault cpu.Cpu.rip)
-    | Some bytes -> (
-      match Isa.Decode.decode bytes 0 with
-      | insn, len ->
-        Hashtbl.add cpu.Cpu.decode_cache cpu.Cpu.rip (insn, len);
-        Ok (insn, len)
-      | exception Isa.Decode.Bad_encoding (_, msg) ->
-        Error (Fault.Bad_instruction (cpu.Cpu.rip, msg))))
+    match decode_block mem cpu.Cpu.rip with
+    | Error f -> Error f
+    | Ok b ->
+      Tcache.add cpu.Cpu.tcache b;
+      Ok b)
 
 let effective_address cpu (m : Isa.Operand.mem) =
   let base = match m.base with Some r -> Cpu.get cpu r | None -> 0L in
@@ -154,34 +186,35 @@ let target_addr = function
   | Isa.Insn.Abs a -> a
   | Isa.Insn.Sym s -> raise (Isa.Encode.Unresolved_symbol s)
 
+(* Top-level (not closed over per-call state) so executing an
+   instruction allocates nothing on the fall-through path. *)
+let continue_at cpu addr =
+  cpu.Cpu.rip <- addr;
+  Running
+
 let execute env cpu mem insn next_rip =
   let flags = cpu.Cpu.flags in
-  let continue_at addr =
-    cpu.Cpu.rip <- addr;
-    Running
-  in
-  let fallthrough () = continue_at next_rip in
   match insn with
-  | Isa.Insn.Nop -> fallthrough ()
+  | Isa.Insn.Nop -> continue_at cpu next_rip
   | Mov (dst, src) ->
     write64 cpu mem dst (read64 cpu mem src);
-    fallthrough ()
+    continue_at cpu next_rip
   | Movb (dst, src) ->
     write8 cpu mem dst (read8 cpu mem src);
-    fallthrough ()
+    continue_at cpu next_rip
   | Movl (dst, src) ->
     write32 cpu mem dst (read32 cpu mem src);
-    fallthrough ()
+    continue_at cpu next_rip
   | Lea (r, m) ->
     Cpu.set cpu r (effective_address cpu m);
-    fallthrough ()
+    continue_at cpu next_rip
   | Push op ->
     push cpu mem (read64 cpu mem op);
-    fallthrough ()
+    continue_at cpu next_rip
   | Pop op ->
     let v = pop cpu mem in
     write64 cpu mem op v;
-    fallthrough ()
+    continue_at cpu next_rip
   | Bin (bop, dst, src) ->
     let a = read64 cpu mem dst in
     let b = read64 cpu mem src in
@@ -219,43 +252,60 @@ let execute env cpu mem insn next_rip =
     | Idiv ->
       if Int64.equal b 0L then
         raise (Fault.Trap (Fault.Bad_instruction (cpu.Cpu.rip, "division by zero")));
+      (* x86 #DE also covers INT64_MIN / -1, whose quotient is
+         unrepresentable; OCaml's Int64.div would silently wrap. *)
+      if Int64.equal a Int64.min_int && Int64.equal b (-1L) then
+        raise
+          (Fault.Trap (Fault.Bad_instruction (cpu.Cpu.rip, "division overflow")));
       let r = Int64.div a b in
       set_logic_flags flags r;
       write64 cpu mem dst r
     | Irem ->
       if Int64.equal b 0L then
         raise (Fault.Trap (Fault.Bad_instruction (cpu.Cpu.rip, "division by zero")));
+      if Int64.equal a Int64.min_int && Int64.equal b (-1L) then
+        raise
+          (Fault.Trap (Fault.Bad_instruction (cpu.Cpu.rip, "division overflow")));
       let r = Int64.rem a b in
       set_logic_flags flags r;
       write64 cpu mem dst r);
-    fallthrough ()
-  | Shift (sop, dst, k) ->
-    let a = read64 cpu mem dst in
+    continue_at cpu next_rip
+  | Shift (sop, dst, k) -> (
     let k = k land 63 in
-    let r =
-      match sop with
-      | Shl -> Int64.shift_left a k
-      | Shr -> Int64.shift_right_logical a k
-      | Sar -> Int64.shift_right a k
-    in
-    set_logic_flags flags r;
-    write64 cpu mem dst r;
-    fallthrough ()
+    (* x86: a masked shift count of 0 leaves both the destination and
+       every flag untouched. *)
+    match k with
+    | 0 -> continue_at cpu next_rip
+    | k ->
+      let a = read64 cpu mem dst in
+      let r =
+        match sop with
+        | Shl -> Int64.shift_left a k
+        | Shr -> Int64.shift_right_logical a k
+        | Sar -> Int64.shift_right a k
+      in
+      set_logic_flags flags r;
+      write64 cpu mem dst r;
+      continue_at cpu next_rip)
   | Neg op ->
-    let r = Int64.neg (read64 cpu mem op) in
+    let a = read64 cpu mem op in
+    let r = Int64.neg a in
     set_logic_flags flags r;
-    flags.cf <- not (Int64.equal r 0L);
+    (* x86: CF = (source <> 0); OF = (source = INT64_MIN, the one value
+       whose negation overflows back to itself). *)
+    flags.cf <- not (Int64.equal a 0L);
+    flags.of_ <- Int64.equal a Int64.min_int;
     write64 cpu mem op r;
-    fallthrough ()
+    continue_at cpu next_rip
   | Not op ->
     write64 cpu mem op (Int64.lognot (read64 cpu mem op));
-    fallthrough ()
+    continue_at cpu next_rip
   | Setcc (c, r) ->
     Cpu.set cpu r (if cond_holds flags c then 1L else 0L);
-    fallthrough ()
-  | Jmp t -> continue_at (target_addr t)
+    continue_at cpu next_rip
+  | Jmp t -> continue_at cpu (target_addr t)
   | Jcc (c, t) ->
-    if cond_holds flags c then continue_at (target_addr t) else fallthrough ()
+    if cond_holds flags c then continue_at cpu (target_addr t) else continue_at cpu next_rip
   | Call t -> (
     let addr = target_addr t in
     match env.is_builtin addr with
@@ -264,7 +314,7 @@ let execute env cpu mem insn next_rip =
       Builtin name
     | None ->
       push cpu mem next_rip;
-      continue_at addr)
+      continue_at cpu addr)
   | Call_ind op -> (
     let addr = read64 cpu mem op in
     match env.is_builtin addr with
@@ -273,68 +323,68 @@ let execute env cpu mem insn next_rip =
       Builtin name
     | None ->
       push cpu mem next_rip;
-      continue_at addr)
+      continue_at cpu addr)
   | Ret ->
     let addr = pop cpu mem in
-    continue_at addr
+    continue_at cpu addr
   | Leave ->
     Cpu.set cpu Isa.Reg.RSP (Cpu.get cpu Isa.Reg.RBP);
     let rbp = pop cpu mem in
     Cpu.set cpu Isa.Reg.RBP rbp;
-    fallthrough ()
+    continue_at cpu next_rip
   | Rdrand r ->
     Cpu.set cpu r (Util.Prng.next64 cpu.Cpu.rng);
     flags.cf <- true;
     flags.zf <- false;
-    fallthrough ()
+    continue_at cpu next_rip
   | Rdtsc ->
     let tsc = cpu.Cpu.cycles in
     Cpu.set cpu Isa.Reg.RAX (Int64.logand tsc 0xFFFFFFFFL);
     Cpu.set cpu Isa.Reg.RDX (Int64.shift_right_logical tsc 32);
-    fallthrough ()
+    continue_at cpu next_rip
   | Syscall ->
     cpu.Cpu.rip <- next_rip;
     Syscall_trap
   | Hlt -> Halted
   | Movq_to_xmm (x, r) ->
     Cpu.set_xmm cpu x (Cpu.get cpu r, 0L);
-    fallthrough ()
+    continue_at cpu next_rip
   | Movq_from_xmm (r, x) ->
     let lo, _ = Cpu.get_xmm cpu x in
     Cpu.set cpu r lo;
-    fallthrough ()
+    continue_at cpu next_rip
   | Pinsrq_high (x, r) ->
     let lo, _ = Cpu.get_xmm cpu x in
     Cpu.set_xmm cpu x (lo, Cpu.get cpu r);
-    fallthrough ()
+    continue_at cpu next_rip
   | Movhps_load (x, m) ->
     let lo, _ = Cpu.get_xmm cpu x in
     Cpu.set_xmm cpu x (lo, Memory.read_u64 mem (effective_address cpu m));
-    fallthrough ()
+    continue_at cpu next_rip
   | Movq_store (m, x) ->
     let lo, _ = Cpu.get_xmm cpu x in
     Memory.write_u64 mem (effective_address cpu m) lo;
-    fallthrough ()
+    continue_at cpu next_rip
   | Movdqu_load (x, m) ->
     let ea = effective_address cpu m in
     Cpu.set_xmm cpu x (Memory.read_u64 mem ea, Memory.read_u64 mem (Int64.add ea 8L));
-    fallthrough ()
+    continue_at cpu next_rip
   | Movdqu_store (m, x) ->
     let ea = effective_address cpu m in
     let lo, hi = Cpu.get_xmm cpu x in
     Memory.write_u64 mem ea lo;
     Memory.write_u64 mem (Int64.add ea 8L) hi;
-    fallthrough ()
+    continue_at cpu next_rip
   | Aesenc (dst, src) ->
     let state = xmm_to_bytes (Cpu.get_xmm cpu dst) in
     let round_key = xmm_to_bytes (Cpu.get_xmm cpu src) in
     Cpu.set_xmm cpu dst (xmm_of_bytes (Crypto.Aes128.aesenc ~state ~round_key));
-    fallthrough ()
+    continue_at cpu next_rip
   | Aesenclast (dst, src) ->
     let state = xmm_to_bytes (Cpu.get_xmm cpu dst) in
     let round_key = xmm_to_bytes (Cpu.get_xmm cpu src) in
     Cpu.set_xmm cpu dst (xmm_of_bytes (Crypto.Aes128.aesenclast ~state ~round_key));
-    fallthrough ()
+    continue_at cpu next_rip
   | Pcmpeq128 (x, m) ->
     let lo, hi = Cpu.get_xmm cpu x in
     let ea = effective_address cpu m in
@@ -344,34 +394,44 @@ let execute env cpu mem insn next_rip =
     flags.sf <- false;
     flags.cf <- false;
     flags.of_ <- false;
-    fallthrough ()
+    continue_at cpu next_rip
 
-let step env cpu mem =
-  match fetch env cpu mem with
-  | Error fault -> Faulted fault
-  | Ok (insn, len) -> (
-    (match env.on_retire with Some f -> f cpu insn | None -> ());
-    let call_extra =
-      match insn with
-      | Isa.Insn.Call _ | Isa.Insn.Call_ind _ | Isa.Insn.Ret -> cpu.Cpu.call_tax
-      | _ -> 0
+(* Retire up to [max_insns] instructions from the block at rip,
+   returning the last outcome and the number retired. Instructions
+   before the block's terminator are straight-line by construction, so
+   as long as [execute] returns [Running] the next array slot is the
+   instruction at the new rip — no per-instruction cache lookup. *)
+let step_block env cpu mem ~max_insns =
+  match fetch_block cpu mem with
+  | Error fault -> (Faulted fault, 1)
+  | Ok b ->
+    let limit = Stdlib.min (Array.length b.Tcache.insns) max_insns in
+    let rec go i =
+      let insn = b.Tcache.insns.(i) in
+      (match env.on_retire with Some f -> f cpu insn | None -> ());
+      let call_extra = if b.Tcache.callret.(i) then cpu.Cpu.call_tax else 0 in
+      Cpu.add_cycles cpu (b.Tcache.costs.(i) + cpu.Cpu.insn_tax + call_extra);
+      match execute env cpu mem insn b.Tcache.nexts.(i) with
+      | Running when i + 1 < limit -> go (i + 1)
+      | outcome -> (outcome, i + 1)
+      | exception Fault.Trap fault -> (Faulted fault, i + 1)
+      | exception Isa.Encode.Unresolved_symbol s ->
+        (Faulted (Fault.Bad_instruction (cpu.Cpu.rip, "unresolved symbol " ^ s)), i + 1)
     in
-    Cpu.add_cycles cpu (Cost.cycles insn + cpu.Cpu.insn_tax + call_extra);
-    let next_rip = Int64.add cpu.Cpu.rip (Int64.of_int len) in
-    match execute env cpu mem insn next_rip with
-    | outcome -> outcome
-    | exception Fault.Trap fault -> Faulted fault
-    | exception Isa.Encode.Unresolved_symbol s ->
-      Faulted (Fault.Bad_instruction (cpu.Cpu.rip, "unresolved symbol " ^ s)))
+    go 0
+
+let step env cpu mem = fst (step_block env cpu mem ~max_insns:1)
 
 type run_result = Stopped of outcome | Out_of_fuel
 
 let run ?(max_insns = 100_000_000) env cpu mem =
   let rec loop remaining =
     if remaining <= 0 then Out_of_fuel
-    else
-      match step env cpu mem with
-      | Running -> loop (remaining - 1)
+    else begin
+      let outcome, retired = step_block env cpu mem ~max_insns:remaining in
+      match outcome with
+      | Running -> loop (remaining - retired)
       | other -> Stopped other
+    end
   in
   loop max_insns

@@ -16,9 +16,11 @@ type outcome =
 
 type env
 (** Immutable execution environment: builtin address resolution. The
-    fetch/decode cache lives in {!Cpu.t} (per address space; shared with
-    fork children) and assumes text is not modified after loading —
-    binary rewriting happens on images, before load. *)
+    basic-block translation cache lives in {!Cpu.t} (per address space;
+    fork children start from a copy) and assumes text is not modified
+    after loading — binary rewriting happens on images, before load.
+    Patching loaded text requires {!Cpu.invalidate_decode} (or
+    [Os.Process.patch_text], which does both) before re-execution. *)
 
 val create_env :
   ?on_retire:(Cpu.t -> Isa.Insn.t -> unit) ->
@@ -29,6 +31,15 @@ val create_env :
     before it executes — the hook behind execution tracing. *)
 
 val step : env -> Cpu.t -> Memory.t -> outcome
+
+val step_block : env -> Cpu.t -> Memory.t -> max_insns:int -> outcome * int
+(** Retire up to [max_insns] instructions from the pre-decoded basic
+    block at rip (decoding and caching it on a miss), returning the last
+    outcome and the number of instructions retired (>= 1). Cycle
+    charging, taxes, and the [on_retire] hook are applied per
+    instruction exactly as by [step] — a run dispatched block-at-a-time
+    retires the same instruction stream with the same cycle counts as
+    one dispatched with [step]. [max_insns] must be positive. *)
 
 type run_result =
   | Stopped of outcome  (** a non-[Running] outcome occurred *)

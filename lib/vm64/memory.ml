@@ -1,9 +1,19 @@
 let page_size = 4096
 let page_bits = 12
 
-type t = { pages : (int, bytes) Hashtbl.t }
+(* [last_idx]/[last_page] memoize the most recently touched page: most
+   accesses are stack- or text-local, so this skips the Hashtbl lookup
+   on the hot path. Pages are never unmapped or replaced (map only adds
+   missing pages), so a memoized page can never go stale. *)
+type t = {
+  pages : (int, bytes) Hashtbl.t;
+  mutable last_idx : int;
+  mutable last_page : bytes;
+}
 
-let create () = { pages = Hashtbl.create 64 }
+let no_page = Bytes.create 0
+
+let create () = { pages = Hashtbl.create 64; last_idx = min_int; last_page = no_page }
 
 let page_of addr = Int64.to_int (Int64.shift_right_logical addr page_bits)
 let offset_of addr = Int64.to_int (Int64.logand addr 0xFFFL)
@@ -17,12 +27,20 @@ let map t ~addr ~len =
       Hashtbl.add t.pages p (Bytes.make page_size '\000')
   done
 
-let is_mapped t addr = Hashtbl.mem t.pages (page_of addr)
+let is_mapped t addr =
+  let idx = page_of addr in
+  idx = t.last_idx || Hashtbl.mem t.pages idx
 
 let page_exn t addr =
-  match Hashtbl.find_opt t.pages (page_of addr) with
-  | Some p -> p
-  | None -> raise (Fault.Trap (Fault.Segfault addr))
+  let idx = page_of addr in
+  if idx = t.last_idx then t.last_page
+  else
+    match Hashtbl.find_opt t.pages idx with
+    | Some p ->
+      t.last_idx <- idx;
+      t.last_page <- p;
+      p
+    | None -> raise (Fault.Trap (Fault.Segfault addr))
 
 let read_u8 t addr = Char.code (Bytes.get (page_exn t addr) (offset_of addr))
 
@@ -100,6 +118,6 @@ let write_bytes t addr src =
 let clone t =
   let pages = Hashtbl.create (Hashtbl.length t.pages) in
   Hashtbl.iter (fun k v -> Hashtbl.add pages k (Bytes.copy v)) t.pages;
-  { pages }
+  { pages; last_idx = min_int; last_page = no_page }
 
 let mapped_bytes t = Hashtbl.length t.pages * page_size

@@ -1,0 +1,72 @@
+type block = {
+  bb_start : int64;
+  insns : Isa.Insn.t array;
+  lens : int array;
+  costs : int array;
+  callret : bool array;
+  nexts : int64 array;
+  bb_bytes : int;
+}
+
+let max_block_insns = 64
+
+let is_callret = function
+  | Isa.Insn.Call _ | Isa.Insn.Call_ind _ | Isa.Insn.Ret -> true
+  | _ -> false
+
+let make_block ~start pairs =
+  let n = Array.length pairs in
+  if n = 0 then invalid_arg "Tcache.make_block: empty block";
+  let insns = Array.map fst pairs in
+  let lens = Array.map snd pairs in
+  let costs = Array.map Cost.cycles insns in
+  let callret = Array.map is_callret insns in
+  let nexts = Array.make n 0L in
+  let addr = ref start in
+  for i = 0 to n - 1 do
+    addr := Int64.add !addr (Int64.of_int lens.(i));
+    nexts.(i) <- !addr
+  done;
+  {
+    bb_start = start;
+    insns;
+    lens;
+    costs;
+    callret;
+    nexts;
+    bb_bytes = Int64.to_int (Int64.sub !addr start);
+  }
+
+type t = { blocks : (int64, block) Hashtbl.t }
+
+let create () = { blocks = Hashtbl.create 256 }
+
+(* Block records are immutable, so a shallow copy of the table is a full
+   logical copy: the clone can invalidate freely without affecting the
+   parent (and vice versa). *)
+let clone t = { blocks = Hashtbl.copy t.blocks }
+
+let find t rip = Hashtbl.find_opt t.blocks rip
+
+let add t block = Hashtbl.replace t.blocks block.bb_start block
+
+let invalidate_range t ~addr ~len =
+  if len > 0 then begin
+    let lo = addr and hi = Int64.add addr (Int64.of_int len) in
+    let stale =
+      Hashtbl.fold
+        (fun start b acc ->
+          let b_end = Int64.add b.bb_start (Int64.of_int b.bb_bytes) in
+          (* overlap: [bb_start, b_end) ∩ [lo, hi) ≠ ∅ *)
+          if Int64.compare b.bb_start hi < 0 && Int64.compare lo b_end < 0 then
+            start :: acc
+          else acc)
+        t.blocks []
+    in
+    List.iter (Hashtbl.remove t.blocks) stale
+  end
+
+let invalidate_all t = Hashtbl.reset t.blocks
+
+let stats t =
+  Hashtbl.fold (fun _ b (nb, ni) -> (nb + 1, ni + Array.length b.insns)) t.blocks (0, 0)

@@ -1,0 +1,57 @@
+(** Basic-block translation cache.
+
+    The interpreter decodes straight-line instruction runs once and
+    stores them as flat arrays with precomputed byte lengths and cycle
+    costs; {!Exec} then dispatches through the arrays instead of
+    re-hashing the rip on every instruction.
+
+    A block starts at the address execution first entered it (jump
+    target, call target, or fall-through from a fuel boundary) and ends
+    at the first control-transfer instruction, at a decode failure (the
+    fault is re-discovered on the next fetch), or at {!max_block_insns}.
+    Overlapping blocks are allowed: jumping into the middle of an
+    already-cached run simply decodes a second block starting there.
+
+    Each address space owns one cache. [clone] (the fork primitive)
+    gives the child its own table sharing the parent's immutable block
+    records, so invalidation in one address space can never expose a
+    sibling to stale decodes. Cached blocks assume the underlying text
+    does not change; any patch to loaded code must go through
+    {!invalidate_range} (see [Cpu.invalidate_decode] /
+    [Os.Process.patch_text]). *)
+
+type block = {
+  bb_start : int64;  (** address of the first instruction *)
+  insns : Isa.Insn.t array;
+  lens : int array;  (** encoded byte length per instruction *)
+  costs : int array;  (** {!Cost.cycles} per instruction *)
+  callret : bool array;  (** instruction is charged the per-call tax *)
+  nexts : int64 array;  (** fall-through rip per instruction *)
+  bb_bytes : int;  (** total bytes of text the block covers *)
+}
+
+val max_block_insns : int
+
+val make_block : start:int64 -> (Isa.Insn.t * int) array -> block
+(** [make_block ~start pairs] precomputes the dispatch arrays from
+    decoded [(insn, byte_length)] pairs. [pairs] must be non-empty. *)
+
+type t
+
+val create : unit -> t
+
+val clone : t -> t
+(** Independent table over the same (immutable) block records. *)
+
+val find : t -> int64 -> block option
+
+val add : t -> block -> unit
+
+val invalidate_range : t -> addr:int64 -> len:int -> unit
+(** Drop every block overlapping [addr, addr+len). Call after patching
+    loaded text, before executing it. *)
+
+val invalidate_all : t -> unit
+
+val stats : t -> int * int
+(** [(blocks, instructions)] currently cached — for tests and debug. *)

@@ -16,12 +16,25 @@ let find name = List.find_opt (fun b -> String.equal b.bench_name name) all
 
 let names = List.map (fun b -> b.bench_name) all
 
+(* The parse cache is the one piece of mutable state shared across the
+   harness's worker domains, so it takes a lock; parsing outside it is
+   redundant at worst (two domains racing on the same bench both parse,
+   last write wins on an immutable AST). *)
 let cache : (string, Minic.Ast.program) Hashtbl.t = Hashtbl.create 32
+let cache_lock = Mutex.create ()
 
 let parse bench =
-  match Hashtbl.find_opt cache bench.bench_name with
+  let cached =
+    Mutex.lock cache_lock;
+    let p = Hashtbl.find_opt cache bench.bench_name in
+    Mutex.unlock cache_lock;
+    p
+  in
+  match cached with
   | Some p -> p
   | None ->
     let p = Minic.Parser.parse bench.source in
-    Hashtbl.add cache bench.bench_name p;
+    Mutex.lock cache_lock;
+    Hashtbl.replace cache bench.bench_name p;
+    Mutex.unlock cache_lock;
     p

@@ -27,6 +27,18 @@ let test_fig5_subset () =
         (row.Harness.Fig5.compiler_pct >= -0.5 && row.Harness.Fig5.compiler_pct < 10.0))
     r.Harness.Fig5.rows
 
+let test_parallel_runs_deterministic () =
+  (* serial and parallel campaigns must emit byte-identical tables *)
+  let benches = List.filteri (fun i _ -> i < 3) Workload.Spec.all in
+  let render_fig5 jobs =
+    Util.Table.render (Harness.Fig5.to_table (Harness.Fig5.run ~jobs ~benches ()))
+  in
+  Alcotest.(check string) "Fig 5: jobs=2 = jobs=1" (render_fig5 1) (render_fig5 2);
+  let render_t5 jobs =
+    Util.Table.render (Harness.Table5.to_table (Harness.Table5.run ~jobs ~calls:2000 ()))
+  in
+  Alcotest.(check string) "Table V: jobs=3 = jobs=1" (render_t5 1) (render_t5 3)
+
 let test_table2_invariants () =
   let benches = List.filteri (fun i _ -> i < 4) Workload.Spec.all in
   let r = Harness.Table2.run ~benches () in
@@ -195,6 +207,8 @@ let () =
         [
           Alcotest.test_case "Table V shape" `Slow test_table5_shape;
           Alcotest.test_case "Fig 5 subset" `Slow test_fig5_subset;
+          Alcotest.test_case "parallel runs deterministic" `Slow
+            test_parallel_runs_deterministic;
           Alcotest.test_case "Table II invariants" `Slow test_table2_invariants;
           Alcotest.test_case "compatibility" `Slow test_compat_all_pass;
           Alcotest.test_case "Theorem 1" `Slow test_theorem1;

@@ -313,6 +313,44 @@ let test_image_disassemble () =
   | (_, Isa.Insn.Push _) :: _ -> ()
   | _ -> Alcotest.fail "main should start with push %rbp"
 
+let test_patch_text_invalidates () =
+  (* A server whose handler's decode is hot after the first request; a
+     text patch between requests must be picked up on the next one. *)
+  let src =
+    {|
+int helper() { return 1; }
+int main() {
+  while (1) {
+    if (accept() < 0) { break; }
+    print_int(helper());
+  }
+  return 0;
+}
+|}
+  in
+  let k = Os.Kernel.create () in
+  let p = Os.Kernel.spawn k (compile src) in
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_accept -> ()
+  | other -> Alcotest.fail (Os.Kernel.stop_to_string other));
+  ignore (Os.Kernel.resume_with_request k p (Bytes.of_string "x"));
+  Alcotest.(check string) "original helper" "1" (Os.Process.stdout p);
+  let helper = (Os.Image.find_symbol_exn p.Os.Process.image "helper").Os.Image.sym_addr in
+  let patch =
+    Isa.Encode.list_to_bytes
+      [ Isa.Insn.Mov (Isa.Operand.reg Isa.Reg.RAX, Isa.Operand.imm 2L); Isa.Insn.Ret ]
+  in
+  (* a raw memory write leaves the cached decode of helper stale... *)
+  Vm64.Memory.write_bytes p.Os.Process.mem helper patch;
+  ignore (Os.Kernel.resume_with_request k p (Bytes.of_string "x"));
+  Alcotest.(check string) "stale decode after raw write" "11"
+    (Os.Process.stdout p);
+  (* ...patch_text writes and invalidates, so the new code executes *)
+  Os.Process.patch_text p ~addr:helper patch;
+  ignore (Os.Kernel.resume_with_request k p (Bytes.of_string "x"));
+  Alcotest.(check string) "patched helper after invalidation" "112"
+    (Os.Process.stdout p)
+
 let test_glibc_addr_roundtrip () =
   List.iter
     (fun name ->
@@ -538,6 +576,8 @@ let () =
           Alcotest.test_case "symbols" `Quick test_image_symbols;
           Alcotest.test_case "clone isolation" `Quick test_image_clone_isolated;
           Alcotest.test_case "disassemble" `Quick test_image_disassemble;
+          Alcotest.test_case "patch_text invalidates decodes" `Quick
+            test_patch_text_invalidates;
         ] );
       ( "debug",
         [

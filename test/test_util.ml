@@ -138,12 +138,27 @@ let test_chi_square_uniform_detects_bias () =
     (Util.Stats.chi_square_uniform ~observed:biased
     > Util.Stats.chi_square_critical_256_p001)
 
+let test_chi_square_uniform_rejects_empty () =
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Stats.chi_square_uniform: empty array") (fun () ->
+      ignore (Util.Stats.chi_square_uniform ~observed:[||]));
+  Alcotest.check_raises "all-zero counts"
+    (Invalid_argument
+       "Stats.chi_square_uniform: no observations (all counts zero)")
+    (fun () -> ignore (Util.Stats.chi_square_uniform ~observed:(Array.make 256 0)))
+
 let test_histogram () =
   let h =
     Util.Stats.histogram ~buckets:4 ~lo:0.0 ~hi:4.0
       [| 0.5; 1.5; 1.7; 3.9; -1.0; 99.0 |]
   in
   Alcotest.(check (array int)) "counts" [| 2; 2; 0; 2 |] h
+
+let test_histogram_rejects_nan () =
+  Alcotest.check_raises "NaN sample"
+    (Invalid_argument "Stats.histogram: NaN sample") (fun () ->
+      ignore
+        (Util.Stats.histogram ~buckets:4 ~lo:0.0 ~hi:4.0 [| 1.0; Float.nan |]))
 
 let prop_mean_bounded =
   QCheck.Test.make ~name:"mean between min and max" ~count:300
@@ -229,7 +244,11 @@ let () =
           Alcotest.test_case "chi-square" `Quick test_chi_square;
           Alcotest.test_case "chi-square detects bias" `Quick
             test_chi_square_uniform_detects_bias;
+          Alcotest.test_case "chi-square uniform rejects empty" `Quick
+            test_chi_square_uniform_rejects_empty;
           Alcotest.test_case "histogram" `Quick test_histogram;
+          Alcotest.test_case "histogram rejects NaN" `Quick
+            test_histogram_rejects_nan;
           qc prop_mean_bounded;
         ] );
       ( "hex",

@@ -416,6 +416,114 @@ let test_run_fuel () =
   | Exec.Out_of_fuel -> ()
   | _ -> Alcotest.fail "expected fuel exhaustion"
 
+let expect_bad_instruction insns reason =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  Memory.write_bytes mem 0x1000L (Encode.list_to_bytes (insns @ [ Insn.Hlt ]));
+  cpu.Cpu.rip <- 0x1000L;
+  let rec loop () =
+    match Exec.step env cpu mem with
+    | Exec.Running -> loop ()
+    | Exec.Faulted (Fault.Bad_instruction (_, msg)) ->
+      Alcotest.(check string) "reason" reason msg
+    | _ -> Alcotest.fail "expected fault"
+  in
+  loop ()
+
+let test_div_overflow_faults () =
+  (* INT64_MIN / -1 overflows the quotient: x86 raises #DE, same as /0. *)
+  expect_bad_instruction
+    [
+      Insn.Mov (rax, Operand.imm Int64.min_int);
+      Insn.Bin (Insn.Idiv, rax, Operand.imm (-1L));
+    ]
+    "division overflow";
+  expect_bad_instruction
+    [
+      Insn.Mov (rax, Operand.imm Int64.min_int);
+      Insn.Bin (Insn.Irem, rax, Operand.imm (-1L));
+    ]
+    "division overflow"
+
+let test_shift_count_zero_preserves_flags () =
+  let cpu, _ =
+    run_insns
+      [
+        Insn.Mov (rax, Operand.imm (-1L));
+        Insn.Bin (Insn.Cmp, rax, rax);
+        (* both shifts mask to count 0: flags and destination untouched *)
+        Insn.Shift (Insn.Shl, rax, 0);
+        Insn.Shift (Insn.Shr, rax, 64);
+      ]
+  in
+  Alcotest.(check bool) "ZF preserved across count-0 shifts" true
+    cpu.Cpu.flags.Cpu.zf;
+  Alcotest.check i64 "destination untouched" (-1L) (Cpu.get cpu Reg.RAX)
+
+let test_neg_min_int_flags () =
+  let cpu, _ =
+    run_insns [ Insn.Mov (rax, Operand.imm Int64.min_int); Insn.Neg rax ]
+  in
+  Alcotest.(check bool) "CF set (nonzero source)" true cpu.Cpu.flags.Cpu.cf;
+  Alcotest.(check bool) "OF set (INT64_MIN)" true cpu.Cpu.flags.Cpu.of_;
+  Alcotest.check i64 "INT64_MIN negates to itself" Int64.min_int
+    (Cpu.get cpu Reg.RAX);
+  let cpu0, _ = run_insns [ Insn.Mov (rax, Operand.imm 0L); Insn.Neg rax ] in
+  Alcotest.(check bool) "CF clear for zero" false cpu0.Cpu.flags.Cpu.cf;
+  Alcotest.(check bool) "OF clear for zero" false cpu0.Cpu.flags.Cpu.of_
+
+(* ---- translation cache ------------------------------------------------------ *)
+
+let run_to_halt cpu mem =
+  let rec loop n =
+    if n > 10000 then Alcotest.fail "runaway program";
+    match Exec.step env cpu mem with
+    | Exec.Running -> loop (n + 1)
+    | Exec.Halted -> ()
+    | other -> ignore other; Alcotest.fail "unexpected stop"
+  in
+  loop 0
+
+let test_decode_cache_invalidation () =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  let code v = Encode.list_to_bytes [ Insn.Mov (rax, Operand.imm v); Insn.Hlt ] in
+  Memory.write_bytes mem 0x1000L (code 1L);
+  cpu.Cpu.rip <- 0x1000L;
+  run_to_halt cpu mem;
+  Alcotest.check i64 "first run" 1L (Cpu.get cpu Reg.RAX);
+  (* patch the text without invalidating: the stale decode still executes *)
+  Memory.write_bytes mem 0x1000L (code 2L);
+  cpu.Cpu.rip <- 0x1000L;
+  run_to_halt cpu mem;
+  Alcotest.check i64 "stale until invalidated" 1L (Cpu.get cpu Reg.RAX);
+  Cpu.invalidate_decode cpu ~addr:0x1000L ~len:(Bytes.length (code 2L));
+  cpu.Cpu.rip <- 0x1000L;
+  run_to_halt cpu mem;
+  Alcotest.check i64 "patched insn after invalidation" 2L (Cpu.get cpu Reg.RAX)
+
+let test_decode_cache_clone_isolated () =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  let code v = Encode.list_to_bytes [ Insn.Mov (rax, Operand.imm v); Insn.Hlt ] in
+  Memory.write_bytes mem 0x1000L (code 1L);
+  cpu.Cpu.rip <- 0x1000L;
+  run_to_halt cpu mem;
+  let child = Cpu.clone cpu in
+  (* flushing the child's cache must not flush the parent's *)
+  Cpu.invalidate_decode_all child;
+  Memory.write_bytes mem 0x1000L (code 9L);
+  cpu.Cpu.rip <- 0x1000L;
+  run_to_halt cpu mem;
+  Alcotest.check i64 "parent keeps its cached decode" 1L (Cpu.get cpu Reg.RAX);
+  child.Cpu.rip <- 0x1000L;
+  run_to_halt child mem;
+  Alcotest.check i64 "child re-decodes the patched text" 9L
+    (Cpu.get child Reg.RAX)
+
 let test_cost_model_anchors () =
   Alcotest.(check bool) "rdrand is expensive" true
     (Cost.cycles (Insn.Rdrand Reg.RAX) > 300);
@@ -444,6 +552,10 @@ let () =
           Alcotest.test_case "mov imm" `Quick test_mov_imm;
           Alcotest.test_case "arith chain" `Quick test_arith;
           Alcotest.test_case "div by zero" `Quick test_div_by_zero_faults;
+          Alcotest.test_case "div overflow" `Quick test_div_overflow_faults;
+          Alcotest.test_case "shift count 0 keeps flags" `Quick
+            test_shift_count_zero_preserves_flags;
+          Alcotest.test_case "neg min_int flags" `Quick test_neg_min_int_flags;
           Alcotest.test_case "signed conditions" `Quick test_flags_and_setcc;
           Alcotest.test_case "unsigned conditions" `Quick test_unsigned_conditions;
           Alcotest.test_case "movb merges" `Quick test_movb_merges;
@@ -476,5 +588,12 @@ let () =
           Alcotest.test_case "insn tax" `Quick test_insn_tax_charged;
           Alcotest.test_case "call tax" `Quick test_call_tax_charged;
           Alcotest.test_case "cost anchors" `Quick test_cost_model_anchors;
+        ] );
+      ( "tcache",
+        [
+          Alcotest.test_case "invalidation picks up patches" `Quick
+            test_decode_cache_invalidation;
+          Alcotest.test_case "clone cache isolated" `Quick
+            test_decode_cache_clone_isolated;
         ] );
     ]
