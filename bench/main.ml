@@ -3,16 +3,98 @@
    measuring the host-side cost of each experiment's unit of work.
 
    Usage:
-     bench/main.exe [--jobs N]             run every experiment
-     bench/main.exe [--jobs N] <exp> [...] run selected experiments
-     bench/main.exe micro                  run the Bechamel micro-benchmarks
+     bench/main.exe [OPTIONS]             run every experiment
+     bench/main.exe [OPTIONS] <exp> [...] run selected experiments
+     bench/main.exe micro                 run the Bechamel micro-benchmarks
    Experiments: table1 table2 table3 table4 table5 fig5 effectiveness
                 compat theorem1 exposure ablation
-   --jobs N fans the campaign workloads across N domains (default 1;
-   0 = recommended domain count). Output is byte-identical for any N. *)
+   Options:
+     --jobs N      fan the campaign workloads across N domains (default
+                   1; 0 = recommended domain count). Output is
+                   byte-identical for any N.
+     --budget N    trial budget per effectiveness cell (default 20000)
+     --mem-stats   print a deterministic fork-path telemetry line after
+                   each campaign (forks, pages shared vs copied-on-write,
+                   translation-cache blocks shared)
+   Every experiment run also appends wall-clock + fork-path counters to
+   BENCH_pr2.json in the working directory (perf trajectory record;
+   stdout is unaffected). *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* ---- fork-path telemetry + perf trajectory ------------------------------- *)
+
+let mem_stats_enabled = ref false
+let effectiveness_budget = ref None
+
+type campaign_record = {
+  c_name : string;
+  c_wall_s : float;
+  c_forks : int;
+  c_pages_aliased : int;
+  c_cow_page_copies : int;
+  c_tcache_clones : int;
+  c_blocks_shared : int;
+  c_tables_materialised : int;
+}
+
+let campaign_records : campaign_record list ref = ref []
+
+let reset_fork_counters () =
+  Vm64.Memory.reset_counters ();
+  Vm64.Tcache.reset_counters ();
+  Os.Kernel.reset_forks_served ()
+
+(* Wraps one campaign: resets the process-wide fork-path counters, times
+   the run, records the deltas for BENCH_pr2.json, and (with --mem-stats)
+   prints them. The counters are sums over per-kernel work, so the line
+   is byte-identical for every --jobs value. *)
+let with_telemetry name f =
+  reset_fork_counters ();
+  let t0 = Unix.gettimeofday () in
+  f ();
+  let wall = Unix.gettimeofday () -. t0 in
+  let m = Vm64.Memory.counters () in
+  let tc_clones, tc_shared, tc_mat = Vm64.Tcache.counters () in
+  let r =
+    {
+      c_name = name;
+      c_wall_s = wall;
+      c_forks = Os.Kernel.forks_served ();
+      c_pages_aliased = m.Vm64.Memory.pages_aliased;
+      c_cow_page_copies = m.Vm64.Memory.cow_breaks;
+      c_tcache_clones = tc_clones;
+      c_blocks_shared = tc_shared;
+      c_tables_materialised = tc_mat;
+    }
+  in
+  campaign_records := r :: !campaign_records;
+  if !mem_stats_enabled then
+    Printf.printf
+      "MEM_STATS %s: forks=%d pages_shared=%d pages_cow_copied=%d \
+       tcache_blocks_shared=%d tcache_tables_copied=%d\n"
+      r.c_name r.c_forks r.c_pages_aliased r.c_cow_page_copies r.c_blocks_shared
+      r.c_tables_materialised
+
+let write_bench_json ~jobs =
+  match List.rev !campaign_records with
+  | [] -> ()
+  | records ->
+    let oc = open_out "BENCH_pr2.json" in
+    let field r =
+      Printf.sprintf
+        "    {\"name\": %S, \"wall_s\": %.3f, \"forks\": %d, \
+         \"pages_shared\": %d, \"pages_cow_copied\": %d, \
+         \"tcache_clones\": %d, \"tcache_blocks_shared\": %d, \
+         \"tcache_tables_copied\": %d}"
+        r.c_name r.c_wall_s r.c_forks r.c_pages_aliased r.c_cow_page_copies
+        r.c_tcache_clones r.c_blocks_shared r.c_tables_materialised
+    in
+    Printf.fprintf oc "{\n  \"pr\": 2,\n  \"jobs\": %d,\n  \"campaigns\": [\n%s\n  ]\n}\n"
+      jobs
+      (String.concat ",\n" (List.map field records));
+    close_out oc
 
 let run_fig5 ~jobs () =
   section "Figure 5 - runtime overhead vs native (28-program SPEC-like suite)";
@@ -62,7 +144,8 @@ let run_table5 ~jobs () =
 let run_effectiveness ~jobs () =
   section "Effectiveness (SVI-C) - byte-by-byte attacks on forking servers";
   Util.Table.print
-    (Harness.Effectiveness.to_table (Harness.Effectiveness.run ~jobs ()));
+    (Harness.Effectiveness.to_table
+       (Harness.Effectiveness.run ~jobs ?budget:!effectiveness_budget ()));
   print_string
     "Paper: the attack succeeds on SSP-compiled Nginx/Ali and fails on the\n\
      P-SSP-compiled versions.\n"
@@ -194,34 +277,50 @@ let run_micro () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse_jobs jobs acc = function
+  let rec parse_opts jobs acc = function
     | [] -> (jobs, List.rev acc)
     | "--jobs" :: n :: rest -> (
       match int_of_string_opt n with
-      | Some j when j >= 0 -> parse_jobs j acc rest
+      | Some j when j >= 0 -> parse_opts j acc rest
       | _ ->
         Printf.eprintf "--jobs expects a non-negative integer, got %s\n" n;
         exit 1)
     | [ "--jobs" ] ->
       Printf.eprintf "--jobs expects an argument\n";
       exit 1
-    | a :: rest -> parse_jobs jobs (a :: acc) rest
+    | "--budget" :: n :: rest -> (
+      match int_of_string_opt n with
+      | Some b when b > 0 ->
+        effectiveness_budget := Some b;
+        parse_opts jobs acc rest
+      | _ ->
+        Printf.eprintf "--budget expects a positive integer, got %s\n" n;
+        exit 1)
+    | [ "--budget" ] ->
+      Printf.eprintf "--budget expects an argument\n";
+      exit 1
+    | "--mem-stats" :: rest ->
+      mem_stats_enabled := true;
+      parse_opts jobs acc rest
+    | a :: rest -> parse_opts jobs (a :: acc) rest
   in
-  let jobs, args = parse_jobs 1 [] args in
+  let jobs, args = parse_opts 1 [] args in
   let jobs = if jobs = 0 then Harness.Pool.default_jobs () else jobs in
-  match args with
+  let run_named name f = with_telemetry name (fun () -> f ~jobs ()) in
+  (match args with
   | [ "micro" ] -> run_micro ()
   | [] ->
     print_string
       "P-SSP reproduction: regenerating every table and figure of the paper\n";
-    List.iter (fun (_, f) -> f ~jobs ()) experiments
+    List.iter (fun (name, f) -> run_named name f) experiments
   | names ->
     List.iter
       (fun name ->
         match List.assoc_opt name experiments with
-        | Some f -> f ~jobs ()
+        | Some f -> run_named name f
         | None ->
           Printf.eprintf "unknown experiment %s (have: %s, micro)\n" name
             (String.concat " " (List.map fst experiments));
           exit 1)
-      names
+      names);
+  write_bench_json ~jobs

@@ -97,6 +97,9 @@ type server_run = {
   p50_request_cycles : float;
   p99_request_cycles : float;
   server_mem_bytes : int;
+  server_resident_bytes : int;
+  server_shared_bytes : int;
+  forks : int;
   failed_requests : int;
 }
 
@@ -144,5 +147,8 @@ let run_server ?(seed = 0x5E44EL) deployment (profile : Workload.Servers.profile
     p50_request_cycles = Util.Stats.median samples;
     p99_request_cycles = Util.Stats.percentile samples 99.0;
     server_mem_bytes = Vm64.Memory.mapped_bytes server.Os.Process.mem;
+    server_resident_bytes = Vm64.Memory.resident_bytes server.Os.Process.mem;
+    server_shared_bytes = Vm64.Memory.shared_bytes server.Os.Process.mem;
+    forks = Os.Kernel.fork_count kernel;
     failed_requests = !failed;
   }

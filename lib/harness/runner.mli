@@ -52,7 +52,13 @@ type server_run = {
   avg_request_cycles : float;
   p50_request_cycles : float;
   p99_request_cycles : float;
-  server_mem_bytes : int;
+  server_mem_bytes : int;  (** mapped address space (resident + shared) *)
+  server_resident_bytes : int;
+      (** pages the server privately owns — summing this over children
+          plus the parent's mapped bytes never double-counts pages
+          aliased across forks (Table IV honesty) *)
+  server_shared_bytes : int;  (** pages aliased with fork children *)
+  forks : int;  (** forks the kernel served during the run *)
   failed_requests : int;
 }
 

@@ -110,20 +110,10 @@ let arg cpu i =
 let charge cpu n = Cpu.add_cycles cpu n
 let charge_bytes cpu n = charge cpu (Cost.builtin_base_cycles + (n * Cost.builtin_byte_cycles))
 
+(* Page-aware: one blit per page instead of one Hashtbl probe per byte.
+   [cstr_len] faults at the same address a byte-at-a-time scan would. *)
 let read_cstring mem addr =
-  let buf = Buffer.create 32 in
-  let rec loop a =
-    let b = Memory.read_u8 mem a in
-    if b <> 0 then begin
-      Buffer.add_char buf (Char.chr b);
-      loop (Int64.add a 1L)
-    end
-  in
-  loop addr;
-  Buffer.contents buf
-
-let write_string_raw mem addr s =
-  String.iteri (fun i c -> Memory.write_u8 mem (Int64.add addr (Int64.of_int i)) (Char.code c)) s
+  Bytes.to_string (Memory.read_bytes mem addr (Memory.cstr_len mem addr))
 
 (* ---- the canary-check routine patched into __stack_chk_fail (Fig. 4) -- *)
 
@@ -203,35 +193,35 @@ let dispatch ~name cpu mem ~pid io =
     in
     Ret (Int64.of_int r)
   | "strcpy" ->
+    (* copies the terminating NUL in the same bulk write *)
     let dst = arg cpu 0 and src = arg cpu 1 in
-    let s = read_cstring mem src in
-    charge_bytes cpu (String.length s + 1);
-    write_string_raw mem dst s;
-    Memory.write_u8 mem (Int64.add dst (Int64.of_int (String.length s))) 0;
+    let n = Memory.cstr_len mem src in
+    charge_bytes cpu (n + 1);
+    Memory.write_bytes mem dst (Memory.read_bytes mem src (n + 1));
     Ret dst
   | "strncpy" ->
     let dst = arg cpu 0 and src = arg cpu 1 and n = Int64.to_int (arg cpu 2) in
-    let s = read_cstring mem src in
-    let len = Stdlib.min (String.length s) n in
+    let len = Stdlib.min (Memory.cstr_len mem src) n in
     charge_bytes cpu n;
-    write_string_raw mem dst (String.sub s 0 len);
-    for i = len to n - 1 do
-      Memory.write_u8 mem (Int64.add dst (Int64.of_int i)) 0
-    done;
+    if len > 0 then Memory.write_bytes mem dst (Memory.read_bytes mem src len);
+    if n > len then
+      Memory.write_bytes mem
+        (Int64.add dst (Int64.of_int len))
+        (Bytes.make (n - len) '\000');
     Ret dst
   | "strcat" ->
     let dst = arg cpu 0 and src = arg cpu 1 in
-    let existing = read_cstring mem dst in
-    let s = read_cstring mem src in
-    charge_bytes cpu (String.length existing + String.length s + 1);
-    let at = Int64.add dst (Int64.of_int (String.length existing)) in
-    write_string_raw mem at s;
-    Memory.write_u8 mem (Int64.add at (Int64.of_int (String.length s))) 0;
+    let dlen = Memory.cstr_len mem dst in
+    let slen = Memory.cstr_len mem src in
+    charge_bytes cpu (dlen + slen + 1);
+    Memory.write_bytes mem
+      (Int64.add dst (Int64.of_int dlen))
+      (Memory.read_bytes mem src (slen + 1));
     Ret dst
   | "strlen" ->
-    let s = read_cstring mem (arg cpu 0) in
-    charge_bytes cpu (String.length s);
-    Ret (Int64.of_int (String.length s))
+    let n = Memory.cstr_len mem (arg cpu 0) in
+    charge_bytes cpu n;
+    Ret (Int64.of_int n)
   | "strcmp" ->
     let a = read_cstring mem (arg cpu 0) in
     let b = read_cstring mem (arg cpu 1) in

@@ -6,7 +6,15 @@ type t = {
   master_rng : Util.Prng.t;
   mutable next_pid : int;
   mutable last_reaped : Process.t option;
+  mutable forks : int;  (* fork_child calls served by this kernel *)
 }
+
+(* Process-wide fork count across all kernels (domain-safe), feeding the
+   bench driver's --mem-stats line alongside Memory/Tcache counters. *)
+let g_forks = Atomic.make 0
+
+let forks_served () = Atomic.get g_forks
+let reset_forks_served () = Atomic.set g_forks 0
 
 let exit_stub_addr = Int64.add Layout.glibc_base 0x800L
 
@@ -18,6 +26,7 @@ let create ?(seed = 0xC0FFEEL) ?on_retire () =
     master_rng = Util.Prng.create seed;
     next_pid = 1;
     last_reaped = None;
+    forks = 0;
   }
 
 let find t pid = Hashtbl.find_opt t.procs pid
@@ -125,6 +134,8 @@ let stop_to_string = function
   | Stop_fuel -> "out of fuel"
 
 let fork_child t (parent : Process.t) =
+  t.forks <- t.forks + 1;
+  Atomic.incr g_forks;
   let child_cpu = Cpu.clone parent.Process.cpu in
   let child_mem = Memory.clone parent.Process.mem in
   (* fork() return values *)
@@ -275,6 +286,7 @@ let resume_with_request ?(fuel = 50_000_000) t p request =
   | _ -> invalid_arg "Kernel.resume_with_request: process not blocked in accept"
 
 let last_reaped t = t.last_reaped
+let fork_count t = t.forks
 
 let run_to_exit ?fuel t p =
   match run ?fuel t p with

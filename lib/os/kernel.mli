@@ -53,6 +53,17 @@ val last_reaped : t -> Process.t option
 (** The most recent child reaped by a [waitpid] — the attack oracle
     reads the child's fate here. *)
 
+val fork_count : t -> int
+(** Forks (and thread spawns, which clone an address space) this kernel
+    has served. *)
+
+val forks_served : unit -> int
+(** Process-wide fork count across all kernels since
+    {!reset_forks_served} — for the bench driver's [--mem-stats]
+    telemetry (domain-safe). *)
+
+val reset_forks_served : unit -> unit
+
 val exit_stub_addr : int64
 (** Where the loader's process-exit trampoline lives ([main] returns to
     it). *)

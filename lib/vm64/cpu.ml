@@ -51,9 +51,10 @@ let clone t =
     call_tax = t.call_tax;
     rng = Util.Prng.split t.rng;
     (* the child starts from the parent's decoded blocks (its text is
-       byte-identical at fork time) but owns its table, so a later patch
-       + invalidation in either address space cannot leak stale decodes
-       into the other *)
+       byte-identical at fork time); the table stays physically shared
+       until either side first mutates it, so a later patch +
+       invalidation in either address space still cannot leak stale
+       decodes into the other *)
     tcache = Tcache.clone t.tcache;
   }
 

@@ -23,9 +23,9 @@ type t = {
   rng : Util.Prng.t;  (** entropy source behind [rdrand] *)
   tcache : Tcache.t;
       (** per-address-space basic-block translation cache; fork children
-          start from a copy of the parent's decoded blocks but own their
-          table (see {!Tcache.clone}), never shared across unrelated
-          processes *)
+          start from the parent's decoded blocks, lazily copied on the
+          first mutation in either space (see {!Tcache.clone}), never
+          shared across unrelated processes *)
 }
 
 val create : ?seed:int64 -> unit -> t

@@ -1,19 +1,64 @@
 let page_size = 4096
 let page_bits = 12
 
-(* [last_idx]/[last_page] memoize the most recently touched page: most
-   accesses are stack- or text-local, so this skips the Hashtbl lookup
-   on the hot path. Pages are never unmapped or replaced (map only adds
-   missing pages), so a memoized page can never go stale. *)
-type t = {
-  pages : (int, bytes) Hashtbl.t;
-  mutable last_idx : int;
-  mutable last_page : bytes;
+(* Copy-on-write page store. Each address space owns its page *records*;
+   only the [data] payloads are aliased across a fork family. A record
+   whose [private_] flag is clear may be sharing its payload with some
+   relative, so every write path must go through [rw_page], which
+   replaces the payload with a private copy on first dirty. Records are
+   never removed or replaced in the table (map only adds missing pages),
+   which is what keeps the one-page memo sound: the memo caches the
+   record, not the payload, so a CoW break — an in-place [data] swap —
+   is visible through it. *)
+type page = {
+  mutable data : bytes;
+  mutable private_ : bool;  (* sole owner of [data]; safe to write in place *)
 }
 
-let no_page = Bytes.create 0
+(* Fork-path telemetry, shared by every space in one clone family so the
+   numbers survive children being reaped. *)
+type family_stats = {
+  mutable clones : int;  (* Memory.clone calls in this family *)
+  mutable pages_aliased : int;  (* pages shared (not copied) at clone time *)
+  mutable cow_breaks : int;  (* shared pages privatised by a write *)
+}
 
-let create () = { pages = Hashtbl.create 64; last_idx = min_int; last_page = no_page }
+(* Process-wide totals (Atomic: campaigns fan kernels across domains). *)
+let g_clones = Atomic.make 0
+let g_pages_aliased = Atomic.make 0
+let g_cow_breaks = Atomic.make 0
+
+let counters () =
+  {
+    clones = Atomic.get g_clones;
+    pages_aliased = Atomic.get g_pages_aliased;
+    cow_breaks = Atomic.get g_cow_breaks;
+  }
+
+let reset_counters () =
+  Atomic.set g_clones 0;
+  Atomic.set g_pages_aliased 0;
+  Atomic.set g_cow_breaks 0
+
+(* [last_idx]/[last_page] memoize the most recently touched page record:
+   most accesses are stack- or text-local, so this skips the Hashtbl
+   lookup on the hot path. *)
+type t = {
+  pages : (int, page) Hashtbl.t;
+  mutable last_idx : int;
+  mutable last_page : page;
+  family : family_stats;
+}
+
+let no_page = { data = Bytes.create 0; private_ = true }
+
+let create () =
+  {
+    pages = Hashtbl.create 64;
+    last_idx = min_int;
+    last_page = no_page;
+    family = { clones = 0; pages_aliased = 0; cow_breaks = 0 };
+  }
 
 let page_of addr = Int64.to_int (Int64.shift_right_logical addr page_bits)
 let offset_of addr = Int64.to_int (Int64.logand addr 0xFFFL)
@@ -24,7 +69,7 @@ let map t ~addr ~len =
   let last = page_of (Int64.add addr (Int64.of_int (len - 1))) in
   for p = first to last do
     if not (Hashtbl.mem t.pages p) then
-      Hashtbl.add t.pages p (Bytes.make page_size '\000')
+      Hashtbl.add t.pages p { data = Bytes.make page_size '\000'; private_ = true }
   done
 
 let is_mapped t addr =
@@ -42,15 +87,31 @@ let page_exn t addr =
       p
     | None -> raise (Fault.Trap (Fault.Segfault addr))
 
-let read_u8 t addr = Char.code (Bytes.get (page_exn t addr) (offset_of addr))
+(* Read path: the payload as-is, shared or not. *)
+let ro_page t addr = (page_exn t addr).data
+
+(* Write path: break sharing with a private copy on first dirty. *)
+let rw_page t addr =
+  let p = page_exn t addr in
+  if p.private_ then p.data
+  else begin
+    let d = Bytes.copy p.data in
+    p.data <- d;
+    p.private_ <- true;
+    t.family.cow_breaks <- t.family.cow_breaks + 1;
+    Atomic.incr g_cow_breaks;
+    d
+  end
+
+let read_u8 t addr = Char.code (Bytes.get (ro_page t addr) (offset_of addr))
 
 let write_u8 t addr v =
-  Bytes.set (page_exn t addr) (offset_of addr) (Char.chr (v land 0xFF))
+  Bytes.set (rw_page t addr) (offset_of addr) (Char.chr (v land 0xFF))
 
 (* Multi-byte accesses take the fast path when they fit in one page. *)
 let read_u64 t addr =
   let off = offset_of addr in
-  if off + 8 <= page_size then Bytes.get_int64_le (page_exn t addr) off
+  if off + 8 <= page_size then Bytes.get_int64_le (ro_page t addr) off
   else begin
     let v = ref 0L in
     for i = 7 downto 0 do
@@ -62,7 +123,7 @@ let read_u64 t addr =
 
 let write_u64 t addr v =
   let off = offset_of addr in
-  if off + 8 <= page_size then Bytes.set_int64_le (page_exn t addr) off v
+  if off + 8 <= page_size then Bytes.set_int64_le (rw_page t addr) off v
   else
     for i = 0 to 7 do
       let b = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL) in
@@ -72,7 +133,7 @@ let write_u64 t addr v =
 let read_u32 t addr =
   let off = offset_of addr in
   if off + 4 <= page_size then
-    Int64.logand (Int64.of_int32 (Bytes.get_int32_le (page_exn t addr) off)) 0xFFFFFFFFL
+    Int64.logand (Int64.of_int32 (Bytes.get_int32_le (ro_page t addr) off)) 0xFFFFFFFFL
   else begin
     let v = ref 0L in
     for i = 3 downto 0 do
@@ -85,7 +146,7 @@ let read_u32 t addr =
 let write_u32 t addr v =
   let off = offset_of addr in
   if off + 4 <= page_size then
-    Bytes.set_int32_le (page_exn t addr) off (Int64.to_int32 v)
+    Bytes.set_int32_le (rw_page t addr) off (Int64.to_int32 v)
   else
     for i = 0 to 3 do
       let b = Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL) in
@@ -99,11 +160,15 @@ let read_bytes t addr len =
     let a = Int64.add addr (Int64.of_int !pos) in
     let off = offset_of a in
     let chunk = Stdlib.min (len - !pos) (page_size - off) in
-    Bytes.blit (page_exn t a) off out !pos chunk;
+    Bytes.blit (ro_page t a) off out !pos chunk;
     pos := !pos + chunk
   done;
   out
 
+(* Pages are processed in address order and [rw_page] faults on an
+   unmapped page before breaking any sharing on it, so a spanning write
+   that hits an unmapped page leaves exactly the prefix a per-byte loop
+   would have written (and has CoW-broken only those prefix pages). *)
 let write_bytes t addr src =
   let len = Bytes.length src in
   let pos = ref 0 in
@@ -111,13 +176,47 @@ let write_bytes t addr src =
     let a = Int64.add addr (Int64.of_int !pos) in
     let off = offset_of a in
     let chunk = Stdlib.min (len - !pos) (page_size - off) in
-    Bytes.blit src !pos (page_exn t a) off chunk;
+    Bytes.blit src !pos (rw_page t a) off chunk;
     pos := !pos + chunk
   done
 
+(* Bytes until the first NUL at [addr] (page-aware strlen); faults at
+   the first unmapped byte reached before a NUL, like a byte loop. *)
+let cstr_len t addr =
+  let rec scan a acc =
+    let off = offset_of a in
+    let d = ro_page t a in
+    match Bytes.index_from_opt d off '\000' with
+    | Some i -> acc + (i - off)
+    | None -> scan (Int64.add a (Int64.of_int (page_size - off))) (acc + (page_size - off))
+  in
+  scan addr 0
+
 let clone t =
-  let pages = Hashtbl.create (Hashtbl.length t.pages) in
-  Hashtbl.iter (fun k v -> Hashtbl.add pages k (Bytes.copy v)) t.pages;
-  { pages; last_idx = min_int; last_page = no_page }
+  let n = Hashtbl.length t.pages in
+  let pages = Hashtbl.create n in
+  Hashtbl.iter
+    (fun k p ->
+      p.private_ <- false;
+      Hashtbl.add pages k { data = p.data; private_ = false })
+    t.pages;
+  t.family.clones <- t.family.clones + 1;
+  t.family.pages_aliased <- t.family.pages_aliased + n;
+  Atomic.incr g_clones;
+  ignore (Atomic.fetch_and_add g_pages_aliased n);
+  { pages; last_idx = min_int; last_page = no_page; family = t.family }
 
 let mapped_bytes t = Hashtbl.length t.pages * page_size
+
+let resident_bytes t =
+  Hashtbl.fold (fun _ p acc -> if p.private_ then acc + page_size else acc) t.pages 0
+
+let shared_bytes t =
+  Hashtbl.fold (fun _ p acc -> if p.private_ then acc else acc + page_size) t.pages 0
+
+let family_stats t =
+  {
+    clones = t.family.clones;
+    pages_aliased = t.family.pages_aliased;
+    cow_breaks = t.family.cow_breaks;
+  }

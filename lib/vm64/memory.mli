@@ -1,9 +1,16 @@
-(** Byte-addressable paged memory for one simulated address space.
+(** Byte-addressable paged memory for one simulated address space, with
+    copy-on-write fork.
 
     Pages must be explicitly mapped (the OS layer maps text, data, stack
     and TLS regions); any access to an unmapped address raises
     [Fault.Trap (Segfault _)] — which is precisely the signal the
-    byte-by-byte attacker observes as a child crash. *)
+    byte-by-byte attacker observes as a child crash.
+
+    {!clone} (the [fork] primitive) is O(page table), not O(bytes): the
+    child aliases the parent's page payloads and both sides are marked
+    shared; the first write to a shared page in either space breaks the
+    sharing with a private copy (see DESIGN.md §5 for the invariants).
+    Reads never copy. *)
 
 type t
 
@@ -33,9 +40,45 @@ val write_u32 : t -> int64 -> int64 -> unit
 val read_bytes : t -> int64 -> int -> bytes
 val write_bytes : t -> int64 -> bytes -> unit
 
+val cstr_len : t -> int64 -> int
+(** Bytes before the first NUL at the address (page-aware strlen).
+    Faults at the first unmapped byte reached before a NUL, exactly
+    where a byte-at-a-time scan would. *)
+
 val clone : t -> t
-(** Deep copy — the [fork] primitive's address-space clone. *)
+(** The [fork] primitive's address-space clone. Copy-on-write: aliases
+    every page payload and tags both sides shared, so the cost is one
+    table entry per page rather than one page copy. Observable
+    behaviour is identical to a deep copy — writes in either space
+    never become visible in the other. *)
 
 val mapped_bytes : t -> int
-(** Total bytes currently mapped, for the memory-usage columns of
-    Table IV. *)
+(** Total bytes of mapped address space (resident + shared), for the
+    memory-usage columns of Table IV. *)
+
+val resident_bytes : t -> int
+(** Bytes whose page payload this space privately owns. Summing
+    [mapped_bytes] over a fork family double-counts aliased pages;
+    parent [mapped_bytes] + children [resident_bytes] does not. *)
+
+val shared_bytes : t -> int
+(** Bytes whose page payload may be aliased by a relative
+    ([mapped_bytes t = resident_bytes t + shared_bytes t]). *)
+
+(** Fork-path telemetry. *)
+type family_stats = {
+  mutable clones : int;  (** {!clone} calls *)
+  mutable pages_aliased : int;  (** pages shared instead of copied at clone *)
+  mutable cow_breaks : int;  (** shared pages privatised by a first write *)
+}
+
+val family_stats : t -> family_stats
+(** Counters for this space's clone family (shared by parent and all
+    descendants, so they survive children being reaped). Returns a
+    snapshot. *)
+
+val counters : unit -> family_stats
+(** Process-wide totals across all families since {!reset_counters} —
+    domain-safe, for the bench driver's [--mem-stats] aggregation. *)
+
+val reset_counters : unit -> unit

@@ -37,18 +37,56 @@ let make_block ~start pairs =
     bb_bytes = Int64.to_int (Int64.sub !addr start);
   }
 
-type t = { blocks : (int64, block) Hashtbl.t }
+(* Lazy copy-on-write clone: fork children alias the parent's block
+   table until either side first mutates it (new decode or
+   invalidation), at which point the mutating side materialises a
+   private copy. Block records themselves are immutable, so the copy is
+   shallow. For the fork-server attack pattern — children execute the
+   parent's already-warm text and never patch it — no copy is ever
+   paid. *)
+type t = {
+  mutable blocks : (int64, block) Hashtbl.t;
+  mutable private_table : bool;  (* sole owner of [blocks]; safe to mutate *)
+}
 
-let create () = { blocks = Hashtbl.create 256 }
+(* Fork-path telemetry (process-wide; campaigns fan across domains). *)
+let g_clones = Atomic.make 0
+let g_blocks_shared = Atomic.make 0
+let g_materialised = Atomic.make 0
 
-(* Block records are immutable, so a shallow copy of the table is a full
-   logical copy: the clone can invalidate freely without affecting the
-   parent (and vice versa). *)
-let clone t = { blocks = Hashtbl.copy t.blocks }
+let counters () =
+  (Atomic.get g_clones, Atomic.get g_blocks_shared, Atomic.get g_materialised)
+
+let reset_counters () =
+  Atomic.set g_clones 0;
+  Atomic.set g_blocks_shared 0;
+  Atomic.set g_materialised 0
+
+let create () = { blocks = Hashtbl.create 256; private_table = true }
+
+let clone t =
+  t.private_table <- false;
+  Atomic.incr g_clones;
+  ignore (Atomic.fetch_and_add g_blocks_shared (Hashtbl.length t.blocks));
+  { blocks = t.blocks; private_table = false }
+
+let is_shared t = not t.private_table
+
+(* Break table sharing before the first mutation, preserving the
+   per-clone isolation guarantee: a patch + invalidation (or a fresh
+   decode) in one address space can never leak into a relative. *)
+let own t =
+  if not t.private_table then begin
+    t.blocks <- Hashtbl.copy t.blocks;
+    t.private_table <- true;
+    Atomic.incr g_materialised
+  end
 
 let find t rip = Hashtbl.find_opt t.blocks rip
 
-let add t block = Hashtbl.replace t.blocks block.bb_start block
+let add t block =
+  own t;
+  Hashtbl.replace t.blocks block.bb_start block
 
 let invalidate_range t ~addr ~len =
   if len > 0 then begin
@@ -63,10 +101,19 @@ let invalidate_range t ~addr ~len =
           else acc)
         t.blocks []
     in
-    List.iter (Hashtbl.remove t.blocks) stale
+    if stale <> [] then begin
+      own t;
+      List.iter (Hashtbl.remove t.blocks) stale
+    end
   end
 
-let invalidate_all t = Hashtbl.reset t.blocks
+let invalidate_all t =
+  if t.private_table then Hashtbl.reset t.blocks
+  else begin
+    (* dropping everything: a fresh empty table is the copy *)
+    t.blocks <- Hashtbl.create 16;
+    t.private_table <- true
+  end
 
 let stats t =
   Hashtbl.fold (fun _ b (nb, ni) -> (nb + 1, ni + Array.length b.insns)) t.blocks (0, 0)

@@ -12,11 +12,14 @@
     Overlapping blocks are allowed: jumping into the middle of an
     already-cached run simply decodes a second block starting there.
 
-    Each address space owns one cache. [clone] (the fork primitive)
-    gives the child its own table sharing the parent's immutable block
-    records, so invalidation in one address space can never expose a
-    sibling to stale decodes. Cached blocks assume the underlying text
-    does not change; any patch to loaded code must go through
+    Each address space owns one cache. [clone] (the fork primitive) is
+    lazy copy-on-write: parent and child alias one block table until
+    either side first mutates it (new decode or invalidation), which
+    materialises a private shallow copy first — so invalidation in one
+    address space can never expose a relative to stale decodes, and a
+    fork child that only re-executes the parent's warm text never pays
+    a table copy. Cached blocks assume the underlying text does not
+    change; any patch to loaded code must go through
     {!invalidate_range} (see [Cpu.invalidate_decode] /
     [Os.Process.patch_text]). *)
 
@@ -41,7 +44,12 @@ type t
 val create : unit -> t
 
 val clone : t -> t
-(** Independent table over the same (immutable) block records. *)
+(** Logically independent table over the same (immutable) block
+    records. Physically shared until first mutation on either side. *)
+
+val is_shared : t -> bool
+(** The table is currently aliased with a fork relative — for tests
+    and the fork-path telemetry. *)
 
 val find : t -> int64 -> block option
 
@@ -55,3 +63,9 @@ val invalidate_all : t -> unit
 
 val stats : t -> int * int
 (** [(blocks, instructions)] currently cached — for tests and debug. *)
+
+val counters : unit -> int * int * int
+(** Process-wide fork-path telemetry since {!reset_counters}:
+    [(clones, blocks_shared_at_clone, tables_materialised)]. *)
+
+val reset_counters : unit -> unit

@@ -206,6 +206,22 @@ int main() {
      only its own waitpid result *)
   Alcotest.(check string) "parent sees child status" "4" (Os.Process.stdout p)
 
+let test_fork_cow_telemetry () =
+  let k, p, stop = run fork_src in
+  Alcotest.(check string) "exit" "exited 0" (Os.Kernel.stop_to_string stop);
+  Alcotest.(check int) "kernel served one fork" 1 (Os.Kernel.fork_count k);
+  let mem = p.Os.Process.mem in
+  let st = Vm64.Memory.family_stats mem in
+  Alcotest.(check int) "one address-space clone" 1 st.Vm64.Memory.clones;
+  Alcotest.(check bool) "fork aliased pages instead of copying" true
+    (st.Vm64.Memory.pages_aliased > 0);
+  Alcotest.(check bool) "only dirtied pages were copied" true
+    (st.Vm64.Memory.cow_breaks > 0
+    && st.Vm64.Memory.cow_breaks < st.Vm64.Memory.pages_aliased);
+  Alcotest.(check int) "resident + shared = mapped"
+    (Vm64.Memory.mapped_bytes mem)
+    (Vm64.Memory.resident_bytes mem + Vm64.Memory.shared_bytes mem)
+
 let test_fork_tls_cloned () =
   (* the vulnerability byte-by-byte exploits: child inherits the parent's
      TLS canary under plain glibc *)
@@ -561,6 +577,7 @@ let () =
           Alcotest.test_case "crash encoding" `Quick test_waitpid_encodes_crash;
           Alcotest.test_case "wait without children" `Quick test_waitpid_without_children;
           Alcotest.test_case "nested fork" `Quick test_nested_fork;
+          Alcotest.test_case "cow telemetry" `Quick test_fork_cow_telemetry;
           Alcotest.test_case "TLS cloned (SII-B)" `Quick test_fork_tls_cloned;
         ] );
       ( "preload",

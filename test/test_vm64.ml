@@ -52,6 +52,124 @@ let test_mem_clone_isolated () =
   Alcotest.check i64 "parent unchanged" 42L (Memory.read_u64 m 0L);
   Alcotest.check i64 "child sees write" 99L (Memory.read_u64 c 0L)
 
+let test_mem_cross_page_u32_u64 () =
+  (* the straddling slow paths of the 4- and 8-byte accessors *)
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~len:8192;
+  List.iter
+    (fun off ->
+      let a = Int64.of_int off in
+      Memory.write_u64 m a 0x1122334455667788L;
+      Alcotest.check i64
+        (Printf.sprintf "u64 roundtrip @%d" off)
+        0x1122334455667788L (Memory.read_u64 m a))
+    [ 4089; 4090; 4091; 4092; 4093; 4094; 4095 ];
+  List.iter
+    (fun off ->
+      let a = Int64.of_int off in
+      Memory.write_u32 m a 0xDEADBEEFL;
+      Alcotest.check i64
+        (Printf.sprintf "u32 roundtrip @%d" off)
+        0xDEADBEEFL (Memory.read_u32 m a))
+    [ 4093; 4094; 4095 ];
+  (* little-endian byte layout across the boundary *)
+  Memory.write_u64 m 4092L 0x0807060504030201L;
+  Alcotest.(check int) "low byte on first page" 0x01 (Memory.read_u8 m 4092L);
+  Alcotest.(check int) "fifth byte on second page" 0x05 (Memory.read_u8 m 4096L)
+
+let test_mem_cross_page_fault_partial () =
+  (* a spanning write that hits an unmapped page faults at the page
+     boundary, leaving exactly the prefix a per-byte loop would write *)
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~len:4096;
+  (match Memory.write_u64 m 4092L 0x0102030405060708L with
+  | exception Fault.Trap (Fault.Segfault a) ->
+    Alcotest.check i64 "fault at page boundary" 4096L a
+  | () -> Alcotest.fail "expected segfault");
+  Alcotest.check i64 "prefix written before the fault" 0x05060708L
+    (Memory.read_u32 m 4092L)
+
+(* ---- copy-on-write fork ---------------------------------------------------- *)
+
+let test_cow_isolation_both_directions () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~len:4096;
+  Memory.write_u64 m 0L 42L;
+  let c = Memory.clone m in
+  Memory.write_u64 m 8L 7L;
+  Memory.write_u64 c 0L 99L;
+  Alcotest.check i64 "child write invisible to parent" 42L (Memory.read_u64 m 0L);
+  Alcotest.check i64 "parent write invisible to child" 0L (Memory.read_u64 c 8L);
+  Alcotest.check i64 "parent sees own write" 7L (Memory.read_u64 m 8L);
+  Alcotest.check i64 "child sees own write" 99L (Memory.read_u64 c 0L)
+
+let test_cow_fork_chain () =
+  let g = Memory.create () in
+  Memory.map g ~addr:0L ~len:4096;
+  Memory.write_u64 g 0L 1L;
+  let p = Memory.clone g in
+  let c = Memory.clone p in
+  Memory.write_u64 g 0L 10L;
+  Memory.write_u64 p 0L 20L;
+  Alcotest.check i64 "grandparent" 10L (Memory.read_u64 g 0L);
+  Alcotest.check i64 "parent" 20L (Memory.read_u64 p 0L);
+  Alcotest.check i64 "child keeps fork-time value" 1L (Memory.read_u64 c 0L);
+  let gc = Memory.clone c in
+  Memory.write_u64 c 0L 30L;
+  Alcotest.check i64 "grandchild keeps its fork-time value" 1L
+    (Memory.read_u64 gc 0L);
+  Alcotest.check i64 "child" 30L (Memory.read_u64 c 0L)
+
+let test_cow_memoized_page_write_through () =
+  (* writing through the one-page memo must still break sharing *)
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~len:8192;
+  Memory.write_u64 m 0L 5L;
+  ignore (Memory.read_u8 m 0L) (* memoize page 0 in the parent *);
+  let c = Memory.clone m in
+  Memory.write_u64 m 0L 6L (* write via the memoized (now shared) record *);
+  Alcotest.check i64 "child unaffected by memoized write" 5L (Memory.read_u64 c 0L);
+  Alcotest.check i64 "parent sees it" 6L (Memory.read_u64 m 0L);
+  ignore (Memory.read_u8 c 4096L) (* memoize page 1 in the child *);
+  Memory.write_u8 c 4097L 0xAB;
+  Alcotest.(check int) "parent unaffected by child's memoized write" 0
+    (Memory.read_u8 m 4097L)
+
+let test_cow_accounting () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~len:(3 * 4096);
+  Alcotest.(check int) "resident pre-fork" (3 * 4096) (Memory.resident_bytes m);
+  Alcotest.(check int) "shared pre-fork" 0 (Memory.shared_bytes m);
+  let c = Memory.clone m in
+  Alcotest.(check int) "mapped unchanged by fork" (3 * 4096) (Memory.mapped_bytes m);
+  Alcotest.(check int) "parent fully shared after fork" 0 (Memory.resident_bytes m);
+  Alcotest.(check int) "child fully shared after fork" 0 (Memory.resident_bytes c);
+  Memory.write_u8 m 0L 1;
+  Alcotest.(check int) "one page privatised by the write" 4096
+    (Memory.resident_bytes m);
+  Alcotest.(check int) "rest still shared" (2 * 4096) (Memory.shared_bytes m);
+  Alcotest.(check int) "resident + shared = mapped" (Memory.mapped_bytes m)
+    (Memory.resident_bytes m + Memory.shared_bytes m);
+  let st = Memory.family_stats m in
+  Alcotest.(check int) "clones" 1 st.Memory.clones;
+  Alcotest.(check int) "pages aliased at clone" 3 st.Memory.pages_aliased;
+  Alcotest.(check int) "cow breaks" 1 st.Memory.cow_breaks;
+  Alcotest.(check int) "telemetry shared with the child" 1
+    (Memory.family_stats c).Memory.clones
+
+let test_cstr_len () =
+  let m = Memory.create () in
+  Memory.map m ~addr:0L ~len:8192;
+  Memory.write_bytes m 4090L (Bytes.of_string "ABCDEFGHIJ");
+  Alcotest.(check int) "crosses the page boundary" 10 (Memory.cstr_len m 4090L);
+  Alcotest.(check int) "empty string" 0 (Memory.cstr_len m 0L);
+  let m2 = Memory.create () in
+  Memory.map m2 ~addr:0L ~len:4096;
+  Memory.write_bytes m2 0L (Bytes.make 4096 'A');
+  match Memory.cstr_len m2 0L with
+  | exception Fault.Trap (Fault.Segfault 4096L) -> ()
+  | _ -> Alcotest.fail "expected segfault at the first unmapped byte"
+
 let test_mapped_bytes () =
   let m = Memory.create () in
   Memory.map m ~addr:0L ~len:1;
@@ -524,6 +642,69 @@ let test_decode_cache_clone_isolated () =
   Alcotest.check i64 "child re-decodes the patched text" 9L
     (Cpu.get child Reg.RAX)
 
+let test_decode_cache_lazy_clone () =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  let code v = Encode.list_to_bytes [ Insn.Mov (rax, Operand.imm v); Insn.Hlt ] in
+  Memory.write_bytes mem 0x1000L (code 1L);
+  cpu.Cpu.rip <- 0x1000L;
+  run_to_halt cpu mem;
+  let warm_blocks, _ = Tcache.stats cpu.Cpu.tcache in
+  let child = Cpu.clone cpu in
+  Alcotest.(check bool) "tables aliased after clone" true
+    (Tcache.is_shared cpu.Cpu.tcache && Tcache.is_shared child.Cpu.tcache);
+  (* re-executing the parent's warm text must not materialise a copy *)
+  child.Cpu.rip <- 0x1000L;
+  run_to_halt child mem;
+  Alcotest.check i64 "child ran the shared decode" 1L (Cpu.get child Reg.RAX);
+  Alcotest.(check bool) "still shared after warm re-execution" true
+    (Tcache.is_shared child.Cpu.tcache);
+  (* a fresh decode in the parent privatises the parent's table only *)
+  Memory.write_bytes mem 0x1800L (code 7L);
+  cpu.Cpu.rip <- 0x1800L;
+  run_to_halt cpu mem;
+  Alcotest.(check bool) "parent owns a private table" false
+    (Tcache.is_shared cpu.Cpu.tcache);
+  Alcotest.(check bool) "child still on the shared table" true
+    (Tcache.is_shared child.Cpu.tcache);
+  let parent_blocks, _ = Tcache.stats cpu.Cpu.tcache in
+  let child_blocks, _ = Tcache.stats child.Cpu.tcache in
+  Alcotest.(check bool) "parent gained blocks" true (parent_blocks > warm_blocks);
+  Alcotest.(check int) "child did not" warm_blocks child_blocks
+
+let test_cow_patch_text_isolation () =
+  (* forked address spaces share text pages CoW; a patch (write +
+     decode invalidation) on either side must leave the other running
+     its original code *)
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  let code v = Encode.list_to_bytes [ Insn.Mov (rax, Operand.imm v); Insn.Hlt ] in
+  let len = Bytes.length (code 1L) in
+  Memory.write_bytes mem 0x1000L (code 1L);
+  cpu.Cpu.rip <- 0x1000L;
+  run_to_halt cpu mem;
+  (* fork: clone the address space and the cpu, as Kernel.fork_child does *)
+  let cmem = Memory.clone mem in
+  let ccpu = Cpu.clone cpu in
+  Memory.write_bytes mem 0x1000L (code 2L);
+  Cpu.invalidate_decode cpu ~addr:0x1000L ~len;
+  cpu.Cpu.rip <- 0x1000L;
+  run_to_halt cpu mem;
+  Alcotest.check i64 "parent executes its patch" 2L (Cpu.get cpu Reg.RAX);
+  ccpu.Cpu.rip <- 0x1000L;
+  run_to_halt ccpu cmem;
+  Alcotest.check i64 "child still runs pre-fork code" 1L (Cpu.get ccpu Reg.RAX);
+  Memory.write_bytes cmem 0x1000L (code 3L);
+  Cpu.invalidate_decode ccpu ~addr:0x1000L ~len;
+  ccpu.Cpu.rip <- 0x1000L;
+  run_to_halt ccpu cmem;
+  Alcotest.check i64 "child executes its patch" 3L (Cpu.get ccpu Reg.RAX);
+  cpu.Cpu.rip <- 0x1000L;
+  run_to_halt cpu mem;
+  Alcotest.check i64 "parent keeps its own patch" 2L (Cpu.get cpu Reg.RAX)
+
 let test_cost_model_anchors () =
   Alcotest.(check bool) "rdrand is expensive" true
     (Cost.cycles (Insn.Rdrand Reg.RAX) > 300);
@@ -544,8 +725,23 @@ let () =
           Alcotest.test_case "cross-page access" `Quick test_mem_cross_page;
           Alcotest.test_case "unmapped faults" `Quick test_mem_unmapped_faults;
           Alcotest.test_case "clone isolation" `Quick test_mem_clone_isolated;
+          Alcotest.test_case "cross-page u32/u64 slow paths" `Quick
+            test_mem_cross_page_u32_u64;
+          Alcotest.test_case "cross-page partial-write fault" `Quick
+            test_mem_cross_page_fault_partial;
           Alcotest.test_case "mapped bytes" `Quick test_mapped_bytes;
+          Alcotest.test_case "cstr_len" `Quick test_cstr_len;
           qc prop_mem_roundtrip;
+        ] );
+      ( "cow",
+        [
+          Alcotest.test_case "isolation both directions" `Quick
+            test_cow_isolation_both_directions;
+          Alcotest.test_case "fork-of-fork chain" `Quick test_cow_fork_chain;
+          Alcotest.test_case "memoized-page write-through" `Quick
+            test_cow_memoized_page_write_through;
+          Alcotest.test_case "resident/shared accounting" `Quick
+            test_cow_accounting;
         ] );
       ( "alu",
         [
@@ -595,5 +791,9 @@ let () =
             test_decode_cache_invalidation;
           Alcotest.test_case "clone cache isolated" `Quick
             test_decode_cache_clone_isolated;
+          Alcotest.test_case "clone is lazy until first mutation" `Quick
+            test_decode_cache_lazy_clone;
+          Alcotest.test_case "patch_text under CoW fork" `Quick
+            test_cow_patch_text_isolation;
         ] );
     ]
