@@ -6,6 +6,7 @@
      bench/main.exe [OPTIONS]             run every experiment
      bench/main.exe [OPTIONS] <exp> [...] run selected experiments
      bench/main.exe micro                 run the Bechamel micro-benchmarks
+     bench/main.exe tierbench             compiled tier vs interpreter A/B
    Experiments: table1 table2 table3 table4 table5 fig5 effectiveness
                 compat theorem1 exposure ablation
    Options:
@@ -13,12 +14,22 @@
                    1; 0 = recommended domain count). Output is
                    byte-identical for any N.
      --budget N    trial budget per effectiveness cell (default 20000)
-     --mem-stats   print a deterministic fork-path telemetry line after
-                   each campaign (forks, pages shared vs copied-on-write,
-                   translation-cache blocks shared)
+     --mem-stats   print a deterministic fork-path + translation-cache
+                   telemetry line after each campaign (forks, pages
+                   shared vs copied-on-write, tcache hits/misses/
+                   compiles/invalidations). NOTE: tcache_compiles is 0
+                   with --compile-tier off, so tier A/B output diffs
+                   must not enable --mem-stats.
+     --compile-tier on|off
+                   enable/disable the closure-compiled execution tier
+                   (default on). Campaign output is byte-identical
+                   either way; only speed and compile counters change.
+     --bench-out FILE
+                   where to write the perf trajectory record (default
+                   BENCH_pr3.json)
    Every experiment run also appends wall-clock + fork-path counters to
-   BENCH_pr2.json in the working directory (perf trajectory record;
-   stdout is unaffected). *)
+   the --bench-out file in the working directory (perf trajectory
+   record; stdout is unaffected). *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -27,6 +38,7 @@ let section title =
 
 let mem_stats_enabled = ref false
 let effectiveness_budget = ref None
+let bench_out = ref "BENCH_pr3.json"
 
 type campaign_record = {
   c_name : string;
@@ -37,6 +49,10 @@ type campaign_record = {
   c_tcache_clones : int;
   c_blocks_shared : int;
   c_tables_materialised : int;
+  c_tc_hits : int;
+  c_tc_misses : int;
+  c_tc_compiles : int;
+  c_tc_invalidated : int;
 }
 
 let campaign_records : campaign_record list ref = ref []
@@ -44,12 +60,13 @@ let campaign_records : campaign_record list ref = ref []
 let reset_fork_counters () =
   Vm64.Memory.reset_counters ();
   Vm64.Tcache.reset_counters ();
+  Vm64.Tcache.reset_exec_counters ();
   Os.Kernel.reset_forks_served ()
 
 (* Wraps one campaign: resets the process-wide fork-path counters, times
-   the run, records the deltas for BENCH_pr2.json, and (with --mem-stats)
-   prints them. The counters are sums over per-kernel work, so the line
-   is byte-identical for every --jobs value. *)
+   the run, records the deltas for the --bench-out file, and (with
+   --mem-stats) prints them. The counters are sums over per-kernel work,
+   so the line is byte-identical for every --jobs value. *)
 let with_telemetry name f =
   reset_fork_counters ();
   let t0 = Unix.gettimeofday () in
@@ -57,6 +74,7 @@ let with_telemetry name f =
   let wall = Unix.gettimeofday () -. t0 in
   let m = Vm64.Memory.counters () in
   let tc_clones, tc_shared, tc_mat = Vm64.Tcache.counters () in
+  let xs = Vm64.Tcache.exec_counters () in
   let r =
     {
       c_name = name;
@@ -67,32 +85,44 @@ let with_telemetry name f =
       c_tcache_clones = tc_clones;
       c_blocks_shared = tc_shared;
       c_tables_materialised = tc_mat;
+      c_tc_hits = xs.Vm64.Tcache.hits;
+      c_tc_misses = xs.Vm64.Tcache.misses;
+      c_tc_compiles = xs.Vm64.Tcache.compiles;
+      c_tc_invalidated = xs.Vm64.Tcache.invalidated;
     }
   in
   campaign_records := r :: !campaign_records;
   if !mem_stats_enabled then
     Printf.printf
       "MEM_STATS %s: forks=%d pages_shared=%d pages_cow_copied=%d \
-       tcache_blocks_shared=%d tcache_tables_copied=%d\n"
+       tcache_blocks_shared=%d tcache_tables_copied=%d tcache_hits=%d \
+       tcache_misses=%d tcache_compiles=%d tcache_invalidated=%d\n"
       r.c_name r.c_forks r.c_pages_aliased r.c_cow_page_copies r.c_blocks_shared
-      r.c_tables_materialised
+      r.c_tables_materialised r.c_tc_hits r.c_tc_misses r.c_tc_compiles
+      r.c_tc_invalidated
 
 let write_bench_json ~jobs =
   match List.rev !campaign_records with
   | [] -> ()
   | records ->
-    let oc = open_out "BENCH_pr2.json" in
+    let oc = open_out !bench_out in
     let field r =
       Printf.sprintf
         "    {\"name\": %S, \"wall_s\": %.3f, \"forks\": %d, \
          \"pages_shared\": %d, \"pages_cow_copied\": %d, \
          \"tcache_clones\": %d, \"tcache_blocks_shared\": %d, \
-         \"tcache_tables_copied\": %d}"
+         \"tcache_tables_copied\": %d, \"tcache_hits\": %d, \
+         \"tcache_misses\": %d, \"tcache_compiles\": %d, \
+         \"tcache_invalidated\": %d}"
         r.c_name r.c_wall_s r.c_forks r.c_pages_aliased r.c_cow_page_copies
-        r.c_tcache_clones r.c_blocks_shared r.c_tables_materialised
+        r.c_tcache_clones r.c_blocks_shared r.c_tables_materialised r.c_tc_hits
+        r.c_tc_misses r.c_tc_compiles r.c_tc_invalidated
     in
-    Printf.fprintf oc "{\n  \"pr\": 2,\n  \"jobs\": %d,\n  \"campaigns\": [\n%s\n  ]\n}\n"
+    Printf.fprintf oc
+      "{\n  \"pr\": 3,\n  \"jobs\": %d,\n  \"compile_tier\": %b,\n  \
+       \"campaigns\": [\n%s\n  ]\n}\n"
       jobs
+      (Vm64.Compile.enabled ())
       (String.concat ",\n" (List.map field records));
     close_out oc
 
@@ -275,6 +305,42 @@ let run_micro () =
         stats)
     (micro_tests ())
 
+(* ---- tier A/B: same workload, compiled tier forced off then on ----------- *)
+
+let run_tierbench () =
+  section "Tier A/B - closure-compiled blocks vs interpreter (same workload)";
+  let profile = Workload.Servers.nginx in
+  let requests = 2000 in
+  let time_tier enabled =
+    Vm64.Compile.set_enabled enabled;
+    (* best-of-3 to shrug off GC and scheduler noise; the first run
+       doubles as warm-up for the host *)
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Harness.Runner.run_server (Harness.Runner.Compiler Pssp.Scheme.Pssp)
+           profile ~requests);
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let interp_s = time_tier false in
+  let compiled_s = time_tier true in
+  Vm64.Compile.set_enabled true;
+  Printf.printf
+    "TIERBENCH profile=%s requests=%d interp_s=%.3f compiled_s=%.3f speedup=%.2fx\n"
+    profile.Workload.Servers.profile_name requests interp_s compiled_s
+    (interp_s /. compiled_s);
+  if compiled_s >= interp_s then begin
+    Printf.eprintf
+      "tierbench: compiled tier (%.3fs) is not faster than the interpreter \
+       (%.3fs)\n"
+      compiled_s interp_s;
+    exit 1
+  end
+
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
   let rec parse_opts jobs acc = function
@@ -302,6 +368,26 @@ let () =
     | "--mem-stats" :: rest ->
       mem_stats_enabled := true;
       parse_opts jobs acc rest
+    | "--compile-tier" :: v :: rest -> (
+      match v with
+      | "on" ->
+        Vm64.Compile.set_enabled true;
+        parse_opts jobs acc rest
+      | "off" ->
+        Vm64.Compile.set_enabled false;
+        parse_opts jobs acc rest
+      | _ ->
+        Printf.eprintf "--compile-tier expects on or off, got %s\n" v;
+        exit 1)
+    | [ "--compile-tier" ] ->
+      Printf.eprintf "--compile-tier expects an argument\n";
+      exit 1
+    | "--bench-out" :: file :: rest ->
+      bench_out := file;
+      parse_opts jobs acc rest
+    | [ "--bench-out" ] ->
+      Printf.eprintf "--bench-out expects an argument\n";
+      exit 1
     | a :: rest -> parse_opts jobs (a :: acc) rest
   in
   let jobs, args = parse_opts 1 [] args in
@@ -309,6 +395,7 @@ let () =
   let run_named name f = with_telemetry name (fun () -> f ~jobs ()) in
   (match args with
   | [ "micro" ] -> run_micro ()
+  | [ "tierbench" ] -> run_tierbench ()
   | [] ->
     print_string
       "P-SSP reproduction: regenerating every table and figure of the paper\n";
@@ -319,7 +406,8 @@ let () =
         match List.assoc_opt name experiments with
         | Some f -> run_named name f
         | None ->
-          Printf.eprintf "unknown experiment %s (have: %s, micro)\n" name
+          Printf.eprintf "unknown experiment %s (have: %s, micro, tierbench)\n"
+            name
             (String.concat " " (List.map fst experiments));
           exit 1)
       names);

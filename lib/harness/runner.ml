@@ -101,6 +101,9 @@ type server_run = {
   server_shared_bytes : int;
   forks : int;
   failed_requests : int;
+  tcache_hits : int;
+  tcache_misses : int;
+  tcache_compiles : int;
 }
 
 let run_server ?(seed = 0x5E44EL) deployment (profile : Workload.Servers.profile)
@@ -142,6 +145,7 @@ let run_server ?(seed = 0x5E44EL) deployment (profile : Workload.Servers.profile
     let parent_work = Int64.to_float (Int64.sub (Os.Process.cycles server) before) in
     samples.(i) <- child_work +. parent_work
   done;
+  let xs = Vm64.Tcache.exec_stats server.Os.Process.cpu.Vm64.Cpu.tcache in
   {
     avg_request_cycles = Util.Stats.mean samples;
     p50_request_cycles = Util.Stats.median samples;
@@ -151,4 +155,7 @@ let run_server ?(seed = 0x5E44EL) deployment (profile : Workload.Servers.profile
     server_shared_bytes = Vm64.Memory.shared_bytes server.Os.Process.mem;
     forks = Os.Kernel.fork_count kernel;
     failed_requests = !failed;
+    tcache_hits = xs.Vm64.Tcache.hits;
+    tcache_misses = xs.Vm64.Tcache.misses;
+    tcache_compiles = xs.Vm64.Tcache.compiles;
   }

@@ -60,6 +60,12 @@ type server_run = {
   server_shared_bytes : int;  (** pages aliased with fork children *)
   forks : int;  (** forks the kernel served during the run *)
   failed_requests : int;
+  tcache_hits : int;
+      (** block lookups served from the server family's translation
+          cache over the whole run (children included — the stats record
+          is shared across the fork family) *)
+  tcache_misses : int;  (** lookups that forced a decode *)
+  tcache_compiles : int;  (** closure-tier translations built *)
 }
 
 val run_server :

@@ -1,0 +1,711 @@
+(* Closure compilation of Tcache blocks: every decision that depends
+   only on the instruction encoding — operand shape, immediate values,
+   addressing mode, builtin resolution for direct calls — is taken once
+   here, so the retire loop left in [run_code] is an array walk over
+   pre-specialized closures. Cycle charging and rip updates are deferred
+   to block exit (see the protocol notes on [run_code]); both were
+   per-instruction allocations in the interpreter (boxed Int64 for
+   [Cpu.add_cycles], caml_modify for rip). *)
+
+module I = Isa.Insn
+module O = Isa.Operand
+
+type outcome = Compiled.outcome =
+  | Running
+  | Builtin of string
+  | Syscall_trap
+  | Halted
+  | Faulted of Fault.t
+
+type op = Cpu.t -> Memory.t -> outcome
+
+type code = {
+  ops : op array;
+  addrs : int64 array;  (* address of each instruction *)
+  nexts : int64 array;  (* fall-through rip of each instruction *)
+  csum : int array;  (* csum.(k) = static cycles of the first k insns *)
+  crsum : int array;  (* crsum.(k) = call/ret insns among the first k *)
+  last_sets_rip : bool;  (* last closure writes rip when it returns Running *)
+  key : int64 -> string option;
+      (* the [is_builtin] the code was specialized against; compare with
+         (==) — code compiled for another environment must be rebuilt *)
+}
+
+type Compiled.slot += Code of code | Uncompilable
+
+(* Tier switch, read once per block dispatch. Atomic so bench/tests can
+   force the interpreter path while campaign domains are quiescent. *)
+let enabled_flag = Atomic.make true
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+(* ---- Semantics helpers shared with the interpreter tier ------------ *)
+(* [Exec] aliases these; keeping one definition means the two tiers
+   cannot drift on flag arithmetic or stack discipline. *)
+
+let set_logic_flags (f : Cpu.flags) r =
+  f.zf <- Int64.equal r 0L;
+  f.sf <- Int64.compare r 0L < 0;
+  f.cf <- false;
+  f.of_ <- false
+
+let set_add_flags (f : Cpu.flags) a b r =
+  f.zf <- Int64.equal r 0L;
+  f.sf <- Int64.compare r 0L < 0;
+  f.cf <- Int64.unsigned_compare r a < 0;
+  f.of_ <- Int64.compare a 0L < 0 = (Int64.compare b 0L < 0)
+           && Int64.compare r 0L < 0 <> (Int64.compare a 0L < 0)
+
+let set_sub_flags (f : Cpu.flags) a b r =
+  f.zf <- Int64.equal r 0L;
+  f.sf <- Int64.compare r 0L < 0;
+  f.cf <- Int64.unsigned_compare a b < 0;
+  f.of_ <- Int64.compare a 0L < 0 <> (Int64.compare b 0L < 0)
+           && Int64.compare r 0L < 0 <> (Int64.compare a 0L < 0)
+
+let cond_holds (f : Cpu.flags) = function
+  | I.E -> f.zf
+  | NE -> not f.zf
+  | L -> f.sf <> f.of_
+  | LE -> f.zf || f.sf <> f.of_
+  | G -> (not f.zf) && f.sf = f.of_
+  | GE -> f.sf = f.of_
+  | B -> f.cf
+  | BE -> f.cf || f.zf
+  | A -> (not f.cf) && not f.zf
+  | AE -> not f.cf
+  | S -> f.sf
+  | NS -> not f.sf
+
+let push cpu mem v =
+  let rsp = Int64.sub (Cpu.get cpu Isa.Reg.RSP) 8L in
+  Cpu.set cpu Isa.Reg.RSP rsp;
+  Memory.write_u64 mem rsp v
+
+let pop cpu mem =
+  let rsp = Cpu.get cpu Isa.Reg.RSP in
+  let v = Memory.read_u64 mem rsp in
+  Cpu.set cpu Isa.Reg.RSP (Int64.add rsp 8L);
+  v
+
+let xmm_to_bytes (lo, hi) =
+  let b = Bytes.create 16 in
+  Bytes.set_int64_le b 0 lo;
+  Bytes.set_int64_le b 8 hi;
+  b
+
+let xmm_of_bytes b = (Bytes.get_int64_le b 0, Bytes.get_int64_le b 8)
+
+(* ---- Operand specialization ---------------------------------------- *)
+
+let rsp_i = Isa.Reg.index Isa.Reg.RSP
+let rbp_i = Isa.Reg.index Isa.Reg.RBP
+
+(* Effective address, one closure per addressing mode. Int64 addition is
+   associative modulo 2^64, so the specialized sums equal the
+   interpreter's seg + base + (index*scale + disp). *)
+let rec ea_of (m : O.mem) : Cpu.t -> int64 =
+  match (m.O.seg_fs, m.O.base, m.O.index) with
+  | true, None, None ->
+    let d = m.O.disp in
+    fun cpu -> Int64.add cpu.Cpu.fs_base d
+  | true, _, _ ->
+    let inner = ea_of { m with O.seg_fs = false } in
+    fun cpu -> Int64.add cpu.Cpu.fs_base (inner cpu)
+  | false, None, None ->
+    let d = m.O.disp in
+    fun _ -> d
+  | false, Some b, None ->
+    let b = Isa.Reg.index b and d = m.O.disp in
+    fun cpu -> Int64.add (Array.unsafe_get cpu.Cpu.gprs b) d
+  | false, None, Some (x, s) ->
+    let x = Isa.Reg.index x in
+    let s = Int64.of_int (O.scale_factor s) and d = m.O.disp in
+    fun cpu -> Int64.add (Int64.mul (Array.unsafe_get cpu.Cpu.gprs x) s) d
+  | false, Some b, Some (x, s) ->
+    let b = Isa.Reg.index b and x = Isa.Reg.index x in
+    let s = Int64.of_int (O.scale_factor s) and d = m.O.disp in
+    fun cpu ->
+      Int64.add
+        (Array.unsafe_get cpu.Cpu.gprs b)
+        (Int64.add (Int64.mul (Array.unsafe_get cpu.Cpu.gprs x) s) d)
+
+let store_to_imm addr = Fault.Trap (Fault.Bad_instruction (addr, "store to immediate"))
+
+let read64_of : O.t -> Cpu.t -> Memory.t -> int64 = function
+  | O.Reg r ->
+    let i = Isa.Reg.index r in
+    fun cpu _ -> Array.unsafe_get cpu.Cpu.gprs i
+  | O.Imm v -> fun _ _ -> v
+  | O.Mem m ->
+    let ea = ea_of m in
+    fun cpu mem -> Memory.read_u64 mem (ea cpu)
+
+let write64_of addr : O.t -> Cpu.t -> Memory.t -> int64 -> unit = function
+  | O.Reg r ->
+    let i = Isa.Reg.index r in
+    fun cpu _ v -> Array.unsafe_set cpu.Cpu.gprs i v
+  | O.Mem m ->
+    let ea = ea_of m in
+    fun cpu mem v -> Memory.write_u64 mem (ea cpu) v
+  | O.Imm _ -> fun _ _ _ -> raise (store_to_imm addr)
+
+let read8_of : O.t -> Cpu.t -> Memory.t -> int = function
+  | O.Reg r ->
+    let i = Isa.Reg.index r in
+    fun cpu _ -> Int64.to_int (Int64.logand (Array.unsafe_get cpu.Cpu.gprs i) 0xFFL)
+  | O.Imm v ->
+    let v = Int64.to_int (Int64.logand v 0xFFL) in
+    fun _ _ -> v
+  | O.Mem m ->
+    let ea = ea_of m in
+    fun cpu mem -> Memory.read_u8 mem (ea cpu)
+
+let write8_of addr : O.t -> Cpu.t -> Memory.t -> int -> unit = function
+  | O.Reg r ->
+    let i = Isa.Reg.index r in
+    fun cpu _ v ->
+      (* Low-byte merge, like real mov to an 8-bit subregister. *)
+      let old = Array.unsafe_get cpu.Cpu.gprs i in
+      Array.unsafe_set cpu.Cpu.gprs i
+        (Int64.logor (Int64.logand old (-256L)) (Int64.of_int (v land 0xFF)))
+  | O.Mem m ->
+    let ea = ea_of m in
+    fun cpu mem v -> Memory.write_u8 mem (ea cpu) v
+  | O.Imm _ -> fun _ _ _ -> raise (store_to_imm addr)
+
+let read32_of : O.t -> Cpu.t -> Memory.t -> int64 = function
+  | O.Reg r ->
+    let i = Isa.Reg.index r in
+    fun cpu _ -> Int64.logand (Array.unsafe_get cpu.Cpu.gprs i) 0xFFFFFFFFL
+  | O.Imm v ->
+    let v = Int64.logand v 0xFFFFFFFFL in
+    fun _ _ -> v
+  | O.Mem m ->
+    let ea = ea_of m in
+    fun cpu mem -> Memory.read_u32 mem (ea cpu)
+
+let write32_of addr : O.t -> Cpu.t -> Memory.t -> int64 -> unit = function
+  | O.Reg r ->
+    let i = Isa.Reg.index r in
+    fun cpu _ v -> Array.unsafe_set cpu.Cpu.gprs i (Int64.logand v 0xFFFFFFFFL)
+  | O.Mem m ->
+    let ea = ea_of m in
+    fun cpu mem v -> Memory.write_u32 mem (ea cpu) v
+  | O.Imm _ -> fun _ _ _ -> raise (store_to_imm addr)
+
+let cond_test : I.cond -> Cpu.flags -> bool = function
+  | I.E -> fun f -> f.Cpu.zf
+  | I.NE -> fun f -> not f.Cpu.zf
+  | I.L -> fun f -> f.Cpu.sf <> f.Cpu.of_
+  | I.LE -> fun f -> f.Cpu.zf || f.Cpu.sf <> f.Cpu.of_
+  | I.G -> fun f -> (not f.Cpu.zf) && f.Cpu.sf = f.Cpu.of_
+  | I.GE -> fun f -> f.Cpu.sf = f.Cpu.of_
+  | I.B -> fun f -> f.Cpu.cf
+  | I.BE -> fun f -> f.Cpu.cf || f.Cpu.zf
+  | I.A -> fun f -> (not f.Cpu.cf) && not f.Cpu.zf
+  | I.AE -> fun f -> not f.Cpu.cf
+  | I.S -> fun f -> f.Cpu.sf
+  | I.NS -> fun f -> not f.Cpu.sf
+
+(* ---- Per-instruction translation ----------------------------------- *)
+
+(* [addr] is the instruction's own address (what cpu.rip reads during
+   its interpretation — rip itself is stale while compiled code runs),
+   [next] its fall-through rip. Each closure must mutate state in the
+   interpreter's order so a fault mid-instruction leaves identical
+   partial state; comments call out the spots where that order is
+   load-bearing. *)
+let insn_op ~is_builtin ~addr ~next (insn : I.t) : op =
+  match insn with
+  | I.Nop -> fun _ _ -> Running
+  (* mov, fused operand shapes first *)
+  | I.Mov (O.Reg d, O.Imm v) ->
+    let d = Isa.Reg.index d in
+    fun cpu _ ->
+      Array.unsafe_set cpu.Cpu.gprs d v;
+      Running
+  | I.Mov (O.Reg d, O.Reg s) ->
+    let d = Isa.Reg.index d and s = Isa.Reg.index s in
+    fun cpu _ ->
+      Array.unsafe_set cpu.Cpu.gprs d (Array.unsafe_get cpu.Cpu.gprs s);
+      Running
+  | I.Mov (O.Reg d, O.Mem m) ->
+    let d = Isa.Reg.index d and ea = ea_of m in
+    fun cpu mem ->
+      Array.unsafe_set cpu.Cpu.gprs d (Memory.read_u64 mem (ea cpu));
+      Running
+  | I.Mov (O.Mem m, O.Reg s) ->
+    let ea = ea_of m and s = Isa.Reg.index s in
+    fun cpu mem ->
+      Memory.write_u64 mem (ea cpu) (Array.unsafe_get cpu.Cpu.gprs s);
+      Running
+  | I.Mov (O.Mem m, O.Imm v) ->
+    let ea = ea_of m in
+    fun cpu mem ->
+      Memory.write_u64 mem (ea cpu) v;
+      Running
+  | I.Mov (dst, src) ->
+    let rd = read64_of src and wr = write64_of addr dst in
+    fun cpu mem ->
+      (* source read faults before a store-to-immediate traps *)
+      let v = rd cpu mem in
+      wr cpu mem v;
+      Running
+  | I.Movb (dst, src) ->
+    let rd = read8_of src and wr = write8_of addr dst in
+    fun cpu mem ->
+      let v = rd cpu mem in
+      wr cpu mem v;
+      Running
+  | I.Movl (dst, src) ->
+    let rd = read32_of src and wr = write32_of addr dst in
+    fun cpu mem ->
+      let v = rd cpu mem in
+      wr cpu mem v;
+      Running
+  | I.Lea (r, m) ->
+    let r = Isa.Reg.index r and ea = ea_of m in
+    fun cpu _ ->
+      Array.unsafe_set cpu.Cpu.gprs r (ea cpu);
+      Running
+  | I.Push (O.Reg s) ->
+    let s = Isa.Reg.index s in
+    fun cpu mem ->
+      (* value read before rsp moves: push rsp stores the old rsp *)
+      let v = Array.unsafe_get cpu.Cpu.gprs s in
+      let rsp = Int64.sub (Array.unsafe_get cpu.Cpu.gprs rsp_i) 8L in
+      Array.unsafe_set cpu.Cpu.gprs rsp_i rsp;
+      Memory.write_u64 mem rsp v;
+      Running
+  | I.Push (O.Imm v) ->
+    fun cpu mem ->
+      let rsp = Int64.sub (Array.unsafe_get cpu.Cpu.gprs rsp_i) 8L in
+      Array.unsafe_set cpu.Cpu.gprs rsp_i rsp;
+      Memory.write_u64 mem rsp v;
+      Running
+  | I.Push op ->
+    let rd = read64_of op in
+    fun cpu mem ->
+      let v = rd cpu mem in
+      push cpu mem v;
+      Running
+  | I.Pop (O.Reg d) ->
+    let d = Isa.Reg.index d in
+    fun cpu mem ->
+      let rsp = Array.unsafe_get cpu.Cpu.gprs rsp_i in
+      let v = Memory.read_u64 mem rsp in
+      (* rsp bump before the destination write: pop rsp ends at v *)
+      Array.unsafe_set cpu.Cpu.gprs rsp_i (Int64.add rsp 8L);
+      Array.unsafe_set cpu.Cpu.gprs d v;
+      Running
+  | I.Pop op ->
+    let wr = write64_of addr op in
+    fun cpu mem ->
+      let v = pop cpu mem in
+      wr cpu mem v;
+      Running
+  (* binops, fused shapes for the compiler's stack/compare idioms *)
+  | I.Bin (I.Add, O.Reg d, O.Imm v) ->
+    let d = Isa.Reg.index d in
+    fun cpu _ ->
+      let a = Array.unsafe_get cpu.Cpu.gprs d in
+      let r = Int64.add a v in
+      set_add_flags cpu.Cpu.flags a v r;
+      Array.unsafe_set cpu.Cpu.gprs d r;
+      Running
+  | I.Bin (I.Sub, O.Reg d, O.Imm v) ->
+    let d = Isa.Reg.index d in
+    fun cpu _ ->
+      let a = Array.unsafe_get cpu.Cpu.gprs d in
+      let r = Int64.sub a v in
+      set_sub_flags cpu.Cpu.flags a v r;
+      Array.unsafe_set cpu.Cpu.gprs d r;
+      Running
+  | I.Bin (I.Cmp, O.Reg d, O.Imm v) ->
+    let d = Isa.Reg.index d in
+    fun cpu _ ->
+      let a = Array.unsafe_get cpu.Cpu.gprs d in
+      set_sub_flags cpu.Cpu.flags a v (Int64.sub a v);
+      Running
+  | I.Bin (I.Cmp, O.Reg d, O.Reg s) ->
+    let d = Isa.Reg.index d and s = Isa.Reg.index s in
+    fun cpu _ ->
+      let a = Array.unsafe_get cpu.Cpu.gprs d in
+      let b = Array.unsafe_get cpu.Cpu.gprs s in
+      set_sub_flags cpu.Cpu.flags a b (Int64.sub a b);
+      Running
+  | I.Bin (bop, dst, src) -> (
+    let rd_d = read64_of dst and rd_s = read64_of src in
+    match bop with
+    | I.Add ->
+      let wr = write64_of addr dst in
+      fun cpu mem ->
+        let a = rd_d cpu mem in
+        let b = rd_s cpu mem in
+        let r = Int64.add a b in
+        (* flags settle before the destination write, so a faulting
+           mem-dst store still leaves them updated (as interpreted) *)
+        set_add_flags cpu.Cpu.flags a b r;
+        wr cpu mem r;
+        Running
+    | I.Sub ->
+      let wr = write64_of addr dst in
+      fun cpu mem ->
+        let a = rd_d cpu mem in
+        let b = rd_s cpu mem in
+        let r = Int64.sub a b in
+        set_sub_flags cpu.Cpu.flags a b r;
+        wr cpu mem r;
+        Running
+    | I.Xor ->
+      let wr = write64_of addr dst in
+      fun cpu mem ->
+        let a = rd_d cpu mem in
+        let b = rd_s cpu mem in
+        let r = Int64.logxor a b in
+        set_logic_flags cpu.Cpu.flags r;
+        wr cpu mem r;
+        Running
+    | I.And ->
+      let wr = write64_of addr dst in
+      fun cpu mem ->
+        let a = rd_d cpu mem in
+        let b = rd_s cpu mem in
+        let r = Int64.logand a b in
+        set_logic_flags cpu.Cpu.flags r;
+        wr cpu mem r;
+        Running
+    | I.Or ->
+      let wr = write64_of addr dst in
+      fun cpu mem ->
+        let a = rd_d cpu mem in
+        let b = rd_s cpu mem in
+        let r = Int64.logor a b in
+        set_logic_flags cpu.Cpu.flags r;
+        wr cpu mem r;
+        Running
+    | I.Cmp ->
+      fun cpu mem ->
+        let a = rd_d cpu mem in
+        let b = rd_s cpu mem in
+        set_sub_flags cpu.Cpu.flags a b (Int64.sub a b);
+        Running
+    | I.Test ->
+      fun cpu mem ->
+        let a = rd_d cpu mem in
+        let b = rd_s cpu mem in
+        set_logic_flags cpu.Cpu.flags (Int64.logand a b);
+        Running
+    | I.Imul ->
+      let wr = write64_of addr dst in
+      fun cpu mem ->
+        let a = rd_d cpu mem in
+        let b = rd_s cpu mem in
+        let r = Int64.mul a b in
+        set_logic_flags cpu.Cpu.flags r;
+        wr cpu mem r;
+        Running
+    | I.Idiv ->
+      let wr = write64_of addr dst in
+      fun cpu mem ->
+        let a = rd_d cpu mem in
+        let b = rd_s cpu mem in
+        if Int64.equal b 0L then
+          raise (Fault.Trap (Fault.Bad_instruction (addr, "division by zero")));
+        if Int64.equal a Int64.min_int && Int64.equal b (-1L) then
+          raise (Fault.Trap (Fault.Bad_instruction (addr, "division overflow")));
+        let r = Int64.div a b in
+        set_logic_flags cpu.Cpu.flags r;
+        wr cpu mem r;
+        Running
+    | I.Irem ->
+      let wr = write64_of addr dst in
+      fun cpu mem ->
+        let a = rd_d cpu mem in
+        let b = rd_s cpu mem in
+        if Int64.equal b 0L then
+          raise (Fault.Trap (Fault.Bad_instruction (addr, "division by zero")));
+        if Int64.equal a Int64.min_int && Int64.equal b (-1L) then
+          raise (Fault.Trap (Fault.Bad_instruction (addr, "division overflow")));
+        let r = Int64.rem a b in
+        set_logic_flags cpu.Cpu.flags r;
+        wr cpu mem r;
+        Running)
+  | I.Shift (sop, dst, k) -> (
+    match k land 63 with
+    (* masked count 0: no read, no flag or destination change *)
+    | 0 -> fun _ _ -> Running
+    | k ->
+      let rd = read64_of dst and wr = write64_of addr dst in
+      let shift =
+        match sop with
+        | I.Shl -> fun a -> Int64.shift_left a k
+        | I.Shr -> fun a -> Int64.shift_right_logical a k
+        | I.Sar -> fun a -> Int64.shift_right a k
+      in
+      fun cpu mem ->
+        let r = shift (rd cpu mem) in
+        set_logic_flags cpu.Cpu.flags r;
+        wr cpu mem r;
+        Running)
+  | I.Neg op ->
+    let rd = read64_of op and wr = write64_of addr op in
+    fun cpu mem ->
+      let a = rd cpu mem in
+      let r = Int64.neg a in
+      let flags = cpu.Cpu.flags in
+      set_logic_flags flags r;
+      flags.Cpu.cf <- not (Int64.equal a 0L);
+      flags.Cpu.of_ <- Int64.equal a Int64.min_int;
+      wr cpu mem r;
+      Running
+  | I.Not op ->
+    let rd = read64_of op and wr = write64_of addr op in
+    fun cpu mem ->
+      let v = Int64.lognot (rd cpu mem) in
+      wr cpu mem v;
+      Running
+  | I.Setcc (c, r) ->
+    let test = cond_test c and r = Isa.Reg.index r in
+    fun cpu _ ->
+      Array.unsafe_set cpu.Cpu.gprs r (if test cpu.Cpu.flags then 1L else 0L);
+      Running
+  (* control transfers: the only closures that write rip *)
+  | I.Jmp (I.Abs a) ->
+    fun cpu _ ->
+      cpu.Cpu.rip <- a;
+      Running
+  | I.Jmp (I.Sym s) -> fun _ _ -> raise (Isa.Encode.Unresolved_symbol s)
+  | I.Jcc (c, I.Abs a) ->
+    let test = cond_test c in
+    fun cpu _ ->
+      cpu.Cpu.rip <- (if test cpu.Cpu.flags then a else next);
+      Running
+  | I.Jcc (c, I.Sym s) ->
+    let test = cond_test c in
+    fun cpu _ ->
+      (* symbolic target only resolves (and faults) when taken *)
+      if test cpu.Cpu.flags then raise (Isa.Encode.Unresolved_symbol s)
+      else begin
+        cpu.Cpu.rip <- next;
+        Running
+      end
+  | I.Call (I.Sym s) -> fun _ _ -> raise (Isa.Encode.Unresolved_symbol s)
+  | I.Call (I.Abs a) -> (
+    (* direct calls resolve the builtin table once, here; [code.key]
+       guards against running under a different environment *)
+    match is_builtin a with
+    | Some name ->
+      fun cpu _ ->
+        cpu.Cpu.rip <- next;
+        Builtin name
+    | None ->
+      fun cpu mem ->
+        push cpu mem next;
+        cpu.Cpu.rip <- a;
+        Running)
+  | I.Call_ind op ->
+    let rd = read64_of op in
+    fun cpu mem ->
+      let a = rd cpu mem in
+      (match is_builtin a with
+      | Some name ->
+        cpu.Cpu.rip <- next;
+        Builtin name
+      | None ->
+        push cpu mem next;
+        cpu.Cpu.rip <- a;
+        Running)
+  | I.Ret ->
+    fun cpu mem ->
+      let a = pop cpu mem in
+      cpu.Cpu.rip <- a;
+      Running
+  | I.Leave ->
+    fun cpu mem ->
+      Array.unsafe_set cpu.Cpu.gprs rsp_i (Array.unsafe_get cpu.Cpu.gprs rbp_i);
+      let rbp = pop cpu mem in
+      Array.unsafe_set cpu.Cpu.gprs rbp_i rbp;
+      Running
+  | I.Rdrand r ->
+    let r = Isa.Reg.index r in
+    fun cpu _ ->
+      Array.unsafe_set cpu.Cpu.gprs r (Util.Prng.next64 cpu.Cpu.rng);
+      let flags = cpu.Cpu.flags in
+      flags.Cpu.cf <- true;
+      flags.Cpu.zf <- false;
+      Running
+  | I.Rdtsc ->
+    (* reads cpu.cycles mid-block, which deferred charging makes stale;
+       [compile] rejects any block containing it *)
+    assert false
+  | I.Syscall ->
+    fun cpu _ ->
+      cpu.Cpu.rip <- next;
+      Syscall_trap
+  | I.Hlt ->
+    fun cpu _ ->
+      (* the interpreter leaves rip at the hlt itself *)
+      cpu.Cpu.rip <- addr;
+      Halted
+  | I.Movq_to_xmm (x, r) ->
+    let x = Isa.Reg.Xmm.index x and r = Isa.Reg.index r in
+    fun cpu _ ->
+      Array.unsafe_set cpu.Cpu.xmms x (Array.unsafe_get cpu.Cpu.gprs r, 0L);
+      Running
+  | I.Movq_from_xmm (r, x) ->
+    let r = Isa.Reg.index r and x = Isa.Reg.Xmm.index x in
+    fun cpu _ ->
+      let lo, _ = Array.unsafe_get cpu.Cpu.xmms x in
+      Array.unsafe_set cpu.Cpu.gprs r lo;
+      Running
+  | I.Pinsrq_high (x, r) ->
+    let x = Isa.Reg.Xmm.index x and r = Isa.Reg.index r in
+    fun cpu _ ->
+      let lo, _ = Array.unsafe_get cpu.Cpu.xmms x in
+      Array.unsafe_set cpu.Cpu.xmms x (lo, Array.unsafe_get cpu.Cpu.gprs r);
+      Running
+  | I.Movhps_load (x, m) ->
+    let x = Isa.Reg.Xmm.index x and ea = ea_of m in
+    fun cpu mem ->
+      let lo, _ = Array.unsafe_get cpu.Cpu.xmms x in
+      let hi = Memory.read_u64 mem (ea cpu) in
+      Array.unsafe_set cpu.Cpu.xmms x (lo, hi);
+      Running
+  | I.Movq_store (m, x) ->
+    let ea = ea_of m and x = Isa.Reg.Xmm.index x in
+    fun cpu mem ->
+      let lo, _ = Array.unsafe_get cpu.Cpu.xmms x in
+      Memory.write_u64 mem (ea cpu) lo;
+      Running
+  | I.Movdqu_load (x, m) ->
+    let x = Isa.Reg.Xmm.index x and ea = ea_of m in
+    fun cpu mem ->
+      let a = ea cpu in
+      (* high qword first, matching the interpreter's read order, so a
+         half-unmapped access faults at the same address *)
+      let hi = Memory.read_u64 mem (Int64.add a 8L) in
+      let lo = Memory.read_u64 mem a in
+      Array.unsafe_set cpu.Cpu.xmms x (lo, hi);
+      Running
+  | I.Movdqu_store (m, x) ->
+    let ea = ea_of m and x = Isa.Reg.Xmm.index x in
+    fun cpu mem ->
+      let a = ea cpu in
+      let lo, hi = Array.unsafe_get cpu.Cpu.xmms x in
+      Memory.write_u64 mem a lo;
+      Memory.write_u64 mem (Int64.add a 8L) hi;
+      Running
+  | I.Aesenc (dst, src) ->
+    let d = Isa.Reg.Xmm.index dst and s = Isa.Reg.Xmm.index src in
+    fun cpu _ ->
+      let state = xmm_to_bytes (Array.unsafe_get cpu.Cpu.xmms d) in
+      let round_key = xmm_to_bytes (Array.unsafe_get cpu.Cpu.xmms s) in
+      Array.unsafe_set cpu.Cpu.xmms d
+        (xmm_of_bytes (Crypto.Aes128.aesenc ~state ~round_key));
+      Running
+  | I.Aesenclast (dst, src) ->
+    let d = Isa.Reg.Xmm.index dst and s = Isa.Reg.Xmm.index src in
+    fun cpu _ ->
+      let state = xmm_to_bytes (Array.unsafe_get cpu.Cpu.xmms d) in
+      let round_key = xmm_to_bytes (Array.unsafe_get cpu.Cpu.xmms s) in
+      Array.unsafe_set cpu.Cpu.xmms d
+        (xmm_of_bytes (Crypto.Aes128.aesenclast ~state ~round_key));
+      Running
+  | I.Pcmpeq128 (x, m) ->
+    let x = Isa.Reg.Xmm.index x and ea = ea_of m in
+    fun cpu mem ->
+      let lo, hi = Array.unsafe_get cpu.Cpu.xmms x in
+      let a = ea cpu in
+      let mlo = Memory.read_u64 mem a in
+      let mhi = Memory.read_u64 mem (Int64.add a 8L) in
+      let flags = cpu.Cpu.flags in
+      flags.Cpu.zf <- Int64.equal lo mlo && Int64.equal hi mhi;
+      flags.Cpu.sf <- false;
+      flags.Cpu.cf <- false;
+      flags.Cpu.of_ <- false;
+      Running
+
+(* ---- Block translation --------------------------------------------- *)
+
+(* Closures that write rip when returning [Running] — only legal in the
+   terminator slot, which is where decode puts them. *)
+let sets_rip_on_running = function
+  | I.Jmp _ | I.Jcc _ | I.Call _ | I.Call_ind _ | I.Ret -> true
+  | _ -> false
+
+let compile ~is_builtin (b : Tcache.block) : Compiled.slot =
+  if Array.exists (function I.Rdtsc -> true | _ -> false) b.Tcache.insns then
+    Uncompilable
+  else begin
+    let insns = b.Tcache.insns in
+    let n = Array.length insns in
+    let addrs = Array.make n b.Tcache.bb_start in
+    for i = 1 to n - 1 do
+      addrs.(i) <- b.Tcache.nexts.(i - 1)
+    done;
+    let csum = Array.make (n + 1) 0 in
+    let crsum = Array.make (n + 1) 0 in
+    for i = 0 to n - 1 do
+      csum.(i + 1) <- csum.(i) + b.Tcache.costs.(i);
+      crsum.(i + 1) <- crsum.(i) + Bool.to_int b.Tcache.callret.(i)
+    done;
+    let ops =
+      Array.init n (fun i ->
+          insn_op ~is_builtin ~addr:addrs.(i) ~next:b.Tcache.nexts.(i) insns.(i))
+    in
+    Code
+      {
+        ops;
+        addrs;
+        nexts = b.Tcache.nexts;
+        csum;
+        crsum;
+        last_sets_rip = sets_rip_on_running insns.(n - 1);
+        key = is_builtin;
+      }
+  end
+
+let key (c : code) = c.key
+
+(* ---- Execution ------------------------------------------------------ *)
+
+(* Protocol: while compiled code runs, cpu.rip is stale (still the block
+   entry). Straight-line closures never touch it; control closures set
+   it before returning; every exit path below settles it to exactly what
+   the interpreter would have left. Cycles (static cost + insn tax +
+   call tax) are settled once per exit from the prefix sums — the
+   interpreter charges instruction [i] before executing it, so a block
+   that retires k instructions has charged the first k either way. *)
+let run_code (code : code) cpu mem ~limit =
+  let ops = code.ops in
+  let n = Array.length ops in
+  let limit = if limit < n then limit else n in
+  let finish outcome k =
+    let cycles =
+      Array.unsafe_get code.csum k
+      + (k * cpu.Cpu.insn_tax)
+      + (Array.unsafe_get code.crsum k * cpu.Cpu.call_tax)
+    in
+    Cpu.add_cycles cpu cycles;
+    (outcome, k)
+  in
+  let rec go i =
+    match (Array.unsafe_get ops i) cpu mem with
+    | Running when i + 1 < limit -> go (i + 1)
+    | Running ->
+      let k = i + 1 in
+      if not (k = n && code.last_sets_rip) then
+        cpu.Cpu.rip <- Array.unsafe_get code.nexts i;
+      finish Running k
+    | outcome -> finish outcome (i + 1)
+    | exception Fault.Trap fault ->
+      cpu.Cpu.rip <- Array.unsafe_get code.addrs i;
+      finish (Faulted fault) (i + 1)
+    | exception Isa.Encode.Unresolved_symbol s ->
+      let a = Array.unsafe_get code.addrs i in
+      cpu.Cpu.rip <- a;
+      finish (Faulted (Fault.Bad_instruction (a, "unresolved symbol " ^ s))) (i + 1)
+  in
+  go 0

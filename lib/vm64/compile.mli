@@ -1,0 +1,67 @@
+(** Closure compilation of {!Tcache} blocks — the second execution tier.
+
+    [compile] translates a decoded block once into an array of closures
+    with everything resolvable at translation time already resolved:
+    operand shapes specialized (no [read64]/[write64]/effective-address
+    matching at retire time), immediates captured, FS-segment and
+    missing-index addressing split into dedicated closures, direct-call
+    builtin targets resolved against the environment's table, and
+    straight-line cycle costs pre-summed so {!Cpu.add_cycles} runs once
+    per block exit.
+
+    The tier is semantically invisible: faults (identity and partial
+    state), fuel accounting, builtin trapping, rdrand draws and the
+    cycle counter after every exit are byte-for-byte those of the
+    interpreter. Blocks containing [rdtsc] are {!Uncompilable} (it reads
+    the cycle counter mid-block, which deferred charging would skew) and
+    run interpreted, as do traced runs ([on_retire] observes every
+    retire, which the compiled loop deliberately does not).
+
+    Compiled code is immutable and keyed ([(==)]) to the [is_builtin]
+    closure it was specialized against, so fork clones sharing Tcache
+    block records reuse it for free, and a block reached from a
+    different environment is transparently recompiled. Invalidation
+    needs no extra work: dropping the {!Tcache.block} drops its slot. *)
+
+type outcome = Compiled.outcome =
+  | Running
+  | Builtin of string
+  | Syscall_trap
+  | Halted
+  | Faulted of Fault.t
+
+type code
+
+type Compiled.slot += Code of code | Uncompilable
+
+val compile : is_builtin:(int64 -> string option) -> Tcache.block -> Compiled.slot
+(** Always returns [Code _] or [Uncompilable]. *)
+
+val key : code -> int64 -> string option
+(** The [is_builtin] the code was specialized against. Stale if not
+    physically equal to the current environment's resolver. *)
+
+val run_code : code -> Cpu.t -> Memory.t -> limit:int -> outcome * int
+(** Retire up to [limit] instructions from the block's start, returning
+    the last outcome and the retire count, with the interpreter's exact
+    cycle charging and rip/fault semantics. *)
+
+val set_enabled : bool -> unit
+(** Process-wide tier switch (default on). Flip only while no simulated
+    cpu is mid-run — the bench driver's [--compile-tier] and tests. *)
+
+val enabled : unit -> bool
+
+(** {2 Shared semantics helpers}
+
+    Single definitions used by both tiers (and by targeted tests), so
+    flag arithmetic and stack discipline cannot drift between them. *)
+
+val set_logic_flags : Cpu.flags -> int64 -> unit
+val set_add_flags : Cpu.flags -> int64 -> int64 -> int64 -> unit
+val set_sub_flags : Cpu.flags -> int64 -> int64 -> int64 -> unit
+val cond_holds : Cpu.flags -> Isa.Insn.cond -> bool
+val push : Cpu.t -> Memory.t -> int64 -> unit
+val pop : Cpu.t -> Memory.t -> int64
+val xmm_to_bytes : int64 * int64 -> bytes
+val xmm_of_bytes : bytes -> int64 * int64

@@ -1,0 +1,9 @@
+type outcome =
+  | Running
+  | Builtin of string
+  | Syscall_trap
+  | Halted
+  | Faulted of Fault.t
+
+type slot = ..
+type slot += Not_compiled

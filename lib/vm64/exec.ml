@@ -1,4 +1,4 @@
-type outcome =
+type outcome = Compiled.outcome =
   | Running
   | Builtin of string
   | Syscall_trap
@@ -16,7 +16,9 @@ let max_insn_len = 32
 
 (* Fetch up to [max_insn_len] bytes at rip, stopping at the first
    unmapped byte so a valid instruction at the end of a mapped region
-   still decodes. *)
+   still decodes. Slow path: only taken when rip sits in the last
+   [max_insn_len] bytes of a page (the next page may be unmapped, so
+   the bytes must be collected one by one). *)
 let fetch_bytes mem rip =
   let buf = Bytes.create max_insn_len in
   let rec collect i =
@@ -33,7 +35,7 @@ let fetch_bytes mem rip =
   let n = collect 0 in
   if n = 0 then None else Some (Bytes.sub buf 0 n)
 
-let fetch_one mem rip =
+let fetch_slow mem rip =
   match fetch_bytes mem rip with
   | None -> Error (Fault.Segfault rip)
   | Some bytes -> (
@@ -41,6 +43,20 @@ let fetch_one mem rip =
     | insn, len -> Ok (insn, len)
     | exception Isa.Decode.Bad_encoding (_, msg) ->
       Error (Fault.Bad_instruction (rip, msg)))
+
+(* Common path: decode in place against the mapped page. No instruction
+   encodes to more than 19 bytes, so [max_insn_len] bytes of lookahead
+   decide exactly the same way a page-sized window does — the slow path
+   exists only for rip near a page boundary (next page possibly
+   unmapped) and for unmapped rip. *)
+let fetch_one mem rip =
+  match Memory.code_window mem rip with
+  | Some (page, off) when off + max_insn_len <= Memory.page_size -> (
+    match Isa.Decode.decode page off with
+    | insn, len -> Ok (insn, len)
+    | exception Isa.Decode.Bad_encoding (_, msg) ->
+      Error (Fault.Bad_instruction (rip, msg)))
+  | _ -> fetch_slow mem rip
 
 (* Control leaves the straight-line run after any of these. *)
 let block_terminator = function
@@ -67,16 +83,68 @@ let decode_block mem rip =
         incr count;
         if block_terminator insn then stop := true
     done;
-    Ok (Tcache.make_block ~start:rip (Array.of_list (List.rev !rev)))
+    (* Anchor the block to the payload objects its bytes came from (all
+       mapped: we just decoded out of them). [!addr] is the block end. *)
+    let last = Int64.sub !addr 1L in
+    let npages =
+      1 + Int64.to_int (Int64.sub (Int64.shift_right_logical last 12)
+                          (Int64.shift_right_logical rip 12))
+    in
+    let anchor =
+      Array.init npages (fun i ->
+          let a = Int64.add rip (Int64.of_int (i * Memory.page_size)) in
+          match Memory.code_window mem a with
+          | Some (payload, _) -> payload
+          | None -> assert false)
+    in
+    Ok (Tcache.make_block ~anchor ~start:rip (Array.of_list (List.rev !rev)))
+
+(* The cached block is only valid for THIS address space while every
+   page it was decoded from still holds the same payload object; CoW
+   never mutates an aliased payload in place, so physical identity
+   implies byte identity. This is what makes fork relatives able to
+   share one table even as each publishes new decodes into it. *)
+let anchor_valid mem (b : Tcache.block) =
+  let a = b.Tcache.anchor in
+  let n = Array.length a in
+  n = 0
+  ||
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let addr = Int64.add b.Tcache.bb_start (Int64.of_int (i * Memory.page_size)) in
+    (match Memory.code_window mem addr with
+    | Some (payload, _) -> if payload != Array.unsafe_get a i then ok := false
+    | None -> ok := false)
+  done;
+  !ok
+
+(* A freshly decoded block may be published into the fork-shared table
+   (no private materialisation) when every anchored payload is still
+   CoW-aliased — relatives currently read the very bytes it encodes,
+   and the anchor check protects them once pages diverge. Blocks read
+   from privately-written pages stay private. *)
+let publishable mem (b : Tcache.block) =
+  let a = b.Tcache.anchor in
+  let n = Array.length a in
+  let ok = ref (n > 0) in
+  for i = 0 to n - 1 do
+    let addr = Int64.add b.Tcache.bb_start (Int64.of_int (i * Memory.page_size)) in
+    if not (Memory.payload_shared mem addr) then ok := false
+  done;
+  !ok
 
 let fetch_block cpu mem =
-  match Tcache.find cpu.Cpu.tcache cpu.Cpu.rip with
-  | Some b -> Ok b
-  | None -> (
+  let tc = cpu.Cpu.tcache in
+  match Tcache.find tc cpu.Cpu.rip with
+  | Some b when anchor_valid mem b ->
+    Tcache.note_hit tc;
+    Ok b
+  | _ -> (
+    Tcache.note_miss tc;
     match decode_block mem cpu.Cpu.rip with
     | Error f -> Error f
     | Ok b ->
-      Tcache.add cpu.Cpu.tcache b;
+      Tcache.add tc b ~publish:(publishable mem b);
       Ok b)
 
 let effective_address cpu (m : Isa.Operand.mem) =
@@ -129,58 +197,16 @@ let write32 cpu mem op v =
   | Isa.Operand.Imm _ ->
     raise (Fault.Trap (Fault.Bad_instruction (cpu.Cpu.rip, "store to immediate")))
 
-let set_logic_flags (f : Cpu.flags) r =
-  f.zf <- Int64.equal r 0L;
-  f.sf <- Int64.compare r 0L < 0;
-  f.cf <- false;
-  f.of_ <- false
-
-let set_add_flags (f : Cpu.flags) a b r =
-  f.zf <- Int64.equal r 0L;
-  f.sf <- Int64.compare r 0L < 0;
-  f.cf <- Int64.unsigned_compare r a < 0;
-  f.of_ <- Int64.compare a 0L < 0 = (Int64.compare b 0L < 0)
-           && Int64.compare r 0L < 0 <> (Int64.compare a 0L < 0)
-
-let set_sub_flags (f : Cpu.flags) a b r =
-  f.zf <- Int64.equal r 0L;
-  f.sf <- Int64.compare r 0L < 0;
-  f.cf <- Int64.unsigned_compare a b < 0;
-  f.of_ <- Int64.compare a 0L < 0 <> (Int64.compare b 0L < 0)
-           && Int64.compare r 0L < 0 <> (Int64.compare a 0L < 0)
-
-let cond_holds (f : Cpu.flags) = function
-  | Isa.Insn.E -> f.zf
-  | NE -> not f.zf
-  | L -> f.sf <> f.of_
-  | LE -> f.zf || f.sf <> f.of_
-  | G -> (not f.zf) && f.sf = f.of_
-  | GE -> f.sf = f.of_
-  | B -> f.cf
-  | BE -> f.cf || f.zf
-  | A -> (not f.cf) && not f.zf
-  | AE -> not f.cf
-  | S -> f.sf
-  | NS -> not f.sf
-
-let push cpu mem v =
-  let rsp = Int64.sub (Cpu.get cpu Isa.Reg.RSP) 8L in
-  Cpu.set cpu Isa.Reg.RSP rsp;
-  Memory.write_u64 mem rsp v
-
-let pop cpu mem =
-  let rsp = Cpu.get cpu Isa.Reg.RSP in
-  let v = Memory.read_u64 mem rsp in
-  Cpu.set cpu Isa.Reg.RSP (Int64.add rsp 8L);
-  v
-
-let xmm_to_bytes (lo, hi) =
-  let b = Bytes.create 16 in
-  Bytes.set_int64_le b 0 lo;
-  Bytes.set_int64_le b 8 hi;
-  b
-
-let xmm_of_bytes b = (Bytes.get_int64_le b 0, Bytes.get_int64_le b 8)
+(* Flag arithmetic, stack discipline and condition tests are shared with
+   the closure tier — one definition, no drift. *)
+let set_logic_flags = Compile.set_logic_flags
+let set_add_flags = Compile.set_add_flags
+let set_sub_flags = Compile.set_sub_flags
+let cond_holds = Compile.cond_holds
+let push = Compile.push
+let pop = Compile.pop
+let xmm_to_bytes = Compile.xmm_to_bytes
+let xmm_of_bytes = Compile.xmm_of_bytes
 
 let target_addr = function
   | Isa.Insn.Abs a -> a
@@ -367,7 +393,12 @@ let execute env cpu mem insn next_rip =
     continue_at cpu next_rip
   | Movdqu_load (x, m) ->
     let ea = effective_address cpu m in
-    Cpu.set_xmm cpu x (Memory.read_u64 mem ea, Memory.read_u64 mem (Int64.add ea 8L));
+    (* explicit high-then-low read order (what the right-to-left tuple
+       evaluation always compiled to), pinned so the closure tier can
+       mirror the fault address of a half-unmapped access *)
+    let hi = Memory.read_u64 mem (Int64.add ea 8L) in
+    let lo = Memory.read_u64 mem ea in
+    Cpu.set_xmm cpu x (lo, hi);
     continue_at cpu next_rip
   | Movdqu_store (m, x) ->
     let ea = effective_address cpu m in
@@ -396,29 +427,56 @@ let execute env cpu mem insn next_rip =
     flags.of_ <- false;
     continue_at cpu next_rip
 
-(* Retire up to [max_insns] instructions from the block at rip,
-   returning the last outcome and the number retired. Instructions
-   before the block's terminator are straight-line by construction, so
-   as long as [execute] returns [Running] the next array slot is the
-   instruction at the new rip — no per-instruction cache lookup. *)
+(* The interpreter tier: retire up to [max_insns] instructions from
+   block [b], charging cycles and running the [on_retire] probe per
+   instruction. Instructions before the block's terminator are
+   straight-line by construction, so as long as [execute] returns
+   [Running] the next array slot is the instruction at the new rip. *)
+let interp_block env cpu mem b ~max_insns =
+  let limit = Stdlib.min (Array.length b.Tcache.insns) max_insns in
+  let rec go i =
+    let insn = b.Tcache.insns.(i) in
+    (match env.on_retire with Some f -> f cpu insn | None -> ());
+    let call_extra = if b.Tcache.callret.(i) then cpu.Cpu.call_tax else 0 in
+    Cpu.add_cycles cpu (b.Tcache.costs.(i) + cpu.Cpu.insn_tax + call_extra);
+    match execute env cpu mem insn b.Tcache.nexts.(i) with
+    | Running when i + 1 < limit -> go (i + 1)
+    | outcome -> (outcome, i + 1)
+    | exception Fault.Trap fault -> (Faulted fault, i + 1)
+    | exception Isa.Encode.Unresolved_symbol s ->
+      (Faulted (Fault.Bad_instruction (cpu.Cpu.rip, "unresolved symbol " ^ s)), i + 1)
+  in
+  go 0
+
+(* Tier dispatch. Traced runs always interpret (the probe observes
+   every retire); otherwise a block is translated once per environment
+   and the closure array is reused — including by fork relatives
+   sharing the block record, since compilation is deterministic and the
+   result immutable. A fetch fault retires nothing. *)
 let step_block env cpu mem ~max_insns =
   match fetch_block cpu mem with
-  | Error fault -> (Faulted fault, 1)
-  | Ok b ->
-    let limit = Stdlib.min (Array.length b.Tcache.insns) max_insns in
-    let rec go i =
-      let insn = b.Tcache.insns.(i) in
-      (match env.on_retire with Some f -> f cpu insn | None -> ());
-      let call_extra = if b.Tcache.callret.(i) then cpu.Cpu.call_tax else 0 in
-      Cpu.add_cycles cpu (b.Tcache.costs.(i) + cpu.Cpu.insn_tax + call_extra);
-      match execute env cpu mem insn b.Tcache.nexts.(i) with
-      | Running when i + 1 < limit -> go (i + 1)
-      | outcome -> (outcome, i + 1)
-      | exception Fault.Trap fault -> (Faulted fault, i + 1)
-      | exception Isa.Encode.Unresolved_symbol s ->
-        (Faulted (Fault.Bad_instruction (cpu.Cpu.rip, "unresolved symbol " ^ s)), i + 1)
-    in
-    go 0
+  | Error fault -> (Faulted fault, 0)
+  | Ok b -> (
+    match env.on_retire with
+    | Some _ -> interp_block env cpu mem b ~max_insns
+    | None ->
+      if not (Compile.enabled ()) then interp_block env cpu mem b ~max_insns
+      else begin
+        match b.Tcache.compiled with
+        | Compile.Code c when Compile.key c == env.is_builtin ->
+          Compile.run_code c cpu mem ~limit:max_insns
+        | Compile.Uncompilable -> interp_block env cpu mem b ~max_insns
+        | _ -> (
+          (* not yet compiled, or compiled against another environment *)
+          match Compile.compile ~is_builtin:env.is_builtin b with
+          | Compile.Code c as slot ->
+            b.Tcache.compiled <- slot;
+            Tcache.note_compile cpu.Cpu.tcache;
+            Compile.run_code c cpu mem ~limit:max_insns
+          | slot ->
+            b.Tcache.compiled <- slot;
+            interp_block env cpu mem b ~max_insns)
+      end)
 
 let step env cpu mem = fst (step_block env cpu mem ~max_insns:1)
 

@@ -1,10 +1,18 @@
-(** The instruction interpreter.
+(** The instruction interpreter and tier dispatcher.
 
     [step] retires exactly one instruction. Control leaves the
     interpreter in four ways, which the OS layer dispatches on:
-    glibc-builtin calls, syscall traps, [hlt], and hardware faults. *)
+    glibc-builtin calls, syscall traps, [hlt], and hardware faults.
 
-type outcome =
+    Untraced runs execute through the {!Compile} closure tier whenever
+    the current block has a translation (building one on first
+    execution); traced runs ([on_retire]) and blocks the tier rejects
+    fall back to per-instruction interpretation. The two tiers are
+    observationally identical — registers, flags, memory, cycle counts,
+    RNG draws, fault identity and fuel accounting — so which one ran is
+    invisible to everything above {!Exec}. *)
+
+type outcome = Compiled.outcome =
   | Running  (** instruction retired; rip advanced *)
   | Builtin of string
       (** [call] targeted a glibc slot; rip already points past the call
@@ -20,7 +28,8 @@ type env
     fork children start from a copy) and assumes text is not modified
     after loading — binary rewriting happens on images, before load.
     Patching loaded text requires {!Cpu.invalidate_decode} (or
-    [Os.Process.patch_text], which does both) before re-execution. *)
+    [Os.Process.patch_text], which does both) before re-execution;
+    invalidation also drops the affected blocks' closure translations. *)
 
 val create_env :
   ?on_retire:(Cpu.t -> Isa.Insn.t -> unit) ->
@@ -28,18 +37,21 @@ val create_env :
   unit ->
   env
 (** [on_retire] is invoked after each instruction's cost is charged and
-    before it executes — the hook behind execution tracing. *)
+    before it executes — the hook behind execution tracing. Supplying it
+    pins execution to the interpreter tier. *)
 
 val step : env -> Cpu.t -> Memory.t -> outcome
 
 val step_block : env -> Cpu.t -> Memory.t -> max_insns:int -> outcome * int
 (** Retire up to [max_insns] instructions from the pre-decoded basic
     block at rip (decoding and caching it on a miss), returning the last
-    outcome and the number of instructions retired (>= 1). Cycle
-    charging, taxes, and the [on_retire] hook are applied per
-    instruction exactly as by [step] — a run dispatched block-at-a-time
-    retires the same instruction stream with the same cycle counts as
-    one dispatched with [step]. [max_insns] must be positive. *)
+    outcome and the number of instructions retired. The count is 0
+    exactly when the initial fetch faulted (unmapped or undecodable
+    rip) — nothing retired, nothing charged; otherwise it is >= 1.
+    Cycle charging, taxes, and the [on_retire] hook are applied exactly
+    as by [step] — a run dispatched block-at-a-time retires the same
+    instruction stream with the same cycle counts as one dispatched with
+    [step]. [max_insns] must be positive. *)
 
 type run_result =
   | Stopped of outcome  (** a non-[Running] outcome occurred *)

@@ -1,15 +1,27 @@
 let page_size = 4096
 let page_bits = 12
 
-(* Copy-on-write page store. Each address space owns its page *records*;
-   only the [data] payloads are aliased across a fork family. A record
-   whose [private_] flag is clear may be sharing its payload with some
-   relative, so every write path must go through [rw_page], which
-   replaces the payload with a private copy on first dirty. Records are
-   never removed or replaced in the table (map only adds missing pages),
-   which is what keeps the one-page memo sound: the memo caches the
-   record, not the payload, so a CoW break — an in-place [data] swap —
-   is visible through it. *)
+(* Copy-on-write page store over a chunked flat table.
+
+   Pages live in fixed 64-page chunks; a space holds an array of chunk
+   records, so address translation is two array loads (no hashing) and
+   [clone] — the fork primitive — is O(chunks): copy the top-level
+   array and clear both sides' chunk-ownership bytes. Page *records*
+   (per-space payload + privacy flag) are then materialised per chunk,
+   lazily, on the first mutating access after a clone; until a space
+   owns a chunk it only reads through the records, which relatives may
+   share. Payloads themselves stay copy-on-write exactly as before: a
+   write to a page whose payload may be aliased first replaces it with
+   a private copy.
+
+   Invariants:
+   - A record reachable through an unowned chunk is never mutated (not
+     its payload bytes, not its fields) — every write path calls
+     [own_chunk] first, which gives this space fresh records whose
+     [private_] flags are cleared (a clone happened since the chunk was
+     last owned, so every payload in it is aliased by construction).
+   - [no_page] and [empty_chunk] are immutable sentinels, shared by all
+     spaces and domains. *)
 type page = {
   mutable data : bytes;
   mutable private_ : bool;  (* sole owner of [data]; safe to write in place *)
@@ -23,84 +35,172 @@ type family_stats = {
   mutable cow_breaks : int;  (* shared pages privatised by a write *)
 }
 
-(* Process-wide totals (Atomic: campaigns fan kernels across domains). *)
-let g_clones = Atomic.make 0
-let g_pages_aliased = Atomic.make 0
-let g_cow_breaks = Atomic.make 0
+(* Process-wide totals fold over a registry of family records instead
+   of hammering shared atomics from the clone/CoW hot paths (a shared
+   atomic bounced between domains measurably slows [--jobs N]
+   campaigns). Per-family counts are independent of scheduling, so the
+   sums are too; the bench driver reads them only after worker domains
+   join, which gives the happens-before edge for the plain mutable
+   fields. *)
+let registry : family_stats list ref = ref []
+let registry_mu = Mutex.create ()
 
 let counters () =
-  {
-    clones = Atomic.get g_clones;
-    pages_aliased = Atomic.get g_pages_aliased;
-    cow_breaks = Atomic.get g_cow_breaks;
-  }
+  Mutex.lock registry_mu;
+  let fams = !registry in
+  Mutex.unlock registry_mu;
+  List.fold_left
+    (fun acc (f : family_stats) ->
+      {
+        clones = acc.clones + f.clones;
+        pages_aliased = acc.pages_aliased + f.pages_aliased;
+        cow_breaks = acc.cow_breaks + f.cow_breaks;
+      })
+    { clones = 0; pages_aliased = 0; cow_breaks = 0 }
+    fams
 
 let reset_counters () =
-  Atomic.set g_clones 0;
-  Atomic.set g_pages_aliased 0;
-  Atomic.set g_cow_breaks 0
+  Mutex.lock registry_mu;
+  registry := [];
+  Mutex.unlock registry_mu
 
-(* [last_idx]/[last_page] memoize the most recently touched page record:
-   most accesses are stack- or text-local, so this skips the Hashtbl
-   lookup on the hot path. *)
+let chunk_bits = 6
+let chunk_pages = 1 lsl chunk_bits (* pages per chunk *)
+
+(* 512 chunks cover the whole fixed guest layout (stack_top is page
+   0x7FF0); [map] grows the table if something ever sits higher. *)
+let initial_chunks = 512
+
+let no_page = { data = Bytes.create 0; private_ = true }
+let empty_chunk : page array = Array.make chunk_pages no_page
+
 type t = {
-  pages : (int, page) Hashtbl.t;
-  mutable last_idx : int;
-  mutable last_page : page;
+  mutable top : page array array;  (* chunk index -> page records *)
+  mutable owned : Bytes.t;  (* '\001' per chunk: records are private to us *)
+  mutable mapped_pages : int;
   family : family_stats;
 }
 
-let no_page = { data = Bytes.create 0; private_ = true }
-
 let create () =
+  let family = { clones = 0; pages_aliased = 0; cow_breaks = 0 } in
+  Mutex.lock registry_mu;
+  registry := family :: !registry;
+  Mutex.unlock registry_mu;
   {
-    pages = Hashtbl.create 64;
-    last_idx = min_int;
-    last_page = no_page;
-    family = { clones = 0; pages_aliased = 0; cow_breaks = 0 };
+    top = Array.make initial_chunks empty_chunk;
+    owned = Bytes.make initial_chunks '\001';
+    mapped_pages = 0;
+    family;
   }
 
 let page_of addr = Int64.to_int (Int64.shift_right_logical addr page_bits)
 let offset_of addr = Int64.to_int (Int64.logand addr 0xFFFL)
 
+(* Give this space its own records for chunk [c]. The fresh records
+   alias the payloads with [private_] cleared: this only runs when the
+   chunk is unowned, i.e. after a clone, when every payload in it is
+   shared by construction. The old records are left untouched for
+   whatever relatives still read through them. *)
+let own_chunk t c =
+  let ch = Array.unsafe_get t.top c in
+  if ch == empty_chunk then t.top.(c) <- Array.make chunk_pages no_page
+  else begin
+    let fresh = Array.make chunk_pages no_page in
+    for i = 0 to chunk_pages - 1 do
+      let p = Array.unsafe_get ch i in
+      if p != no_page then
+        Array.unsafe_set fresh i { data = p.data; private_ = false }
+    done;
+    t.top.(c) <- fresh
+  end;
+  Bytes.unsafe_set t.owned c '\001'
+
+let grow t chunks_needed =
+  let old = Array.length t.top in
+  let n = max chunks_needed (2 * old) in
+  let top = Array.make n empty_chunk in
+  Array.blit t.top 0 top 0 old;
+  let owned = Bytes.make n '\001' in
+  Bytes.blit t.owned 0 owned 0 old;
+  t.top <- top;
+  t.owned <- owned
+
 let map t ~addr ~len =
   if len <= 0 then invalid_arg "Memory.map: nonpositive length";
   let first = page_of addr in
   let last = page_of (Int64.add addr (Int64.of_int (len - 1))) in
-  for p = first to last do
-    if not (Hashtbl.mem t.pages p) then
-      Hashtbl.add t.pages p { data = Bytes.make page_size '\000'; private_ = true }
+  for idx = first to last do
+    let c = idx lsr chunk_bits in
+    if c >= Array.length t.top then grow t (c + 1);
+    if Bytes.unsafe_get t.owned c <> '\001' then own_chunk t c
+    else if Array.unsafe_get t.top c == empty_chunk then
+      t.top.(c) <- Array.make chunk_pages no_page;
+    let ch = Array.unsafe_get t.top c in
+    let s = idx land (chunk_pages - 1) in
+    if Array.unsafe_get ch s == no_page then begin
+      Array.unsafe_set ch s { data = Bytes.make page_size '\000'; private_ = true };
+      t.mapped_pages <- t.mapped_pages + 1
+    end
   done
 
-let is_mapped t addr =
+(* Record under [addr], or [no_page] if unmapped — never raises. *)
+let page_at t addr =
   let idx = page_of addr in
-  idx = t.last_idx || Hashtbl.mem t.pages idx
+  let c = idx lsr chunk_bits in
+  if c >= Array.length t.top || c < 0 then no_page
+  else
+    Array.unsafe_get (Array.unsafe_get t.top c) (idx land (chunk_pages - 1))
+
+let is_mapped t addr = page_at t addr != no_page
 
 let page_exn t addr =
-  let idx = page_of addr in
-  if idx = t.last_idx then t.last_page
-  else
-    match Hashtbl.find_opt t.pages idx with
-    | Some p ->
-      t.last_idx <- idx;
-      t.last_page <- p;
-      p
-    | None -> raise (Fault.Trap (Fault.Segfault addr))
+  let p = page_at t addr in
+  if p == no_page then raise (Fault.Trap (Fault.Segfault addr));
+  p
 
 (* Read path: the payload as-is, shared or not. *)
 let ro_page t addr = (page_exn t addr).data
 
-(* Write path: break sharing with a private copy on first dirty. *)
+(* Write path: own the chunk's records, then break payload sharing with
+   a private copy on first dirty. An unmapped address faults before any
+   sharing is broken (chunk materialisation is invisible: no payload is
+   copied and no counter moves). *)
 let rw_page t addr =
-  let p = page_exn t addr in
+  let idx = page_of addr in
+  let c = idx lsr chunk_bits in
+  if c >= Array.length t.top || c < 0 then
+    raise (Fault.Trap (Fault.Segfault addr));
+  if Bytes.unsafe_get t.owned c <> '\001' then own_chunk t c;
+  let p = Array.unsafe_get (Array.unsafe_get t.top c) (idx land (chunk_pages - 1)) in
+  if p == no_page then raise (Fault.Trap (Fault.Segfault addr));
   if p.private_ then p.data
   else begin
     let d = Bytes.copy p.data in
     p.data <- d;
     p.private_ <- true;
     t.family.cow_breaks <- t.family.cow_breaks + 1;
-    Atomic.incr g_cow_breaks;
     d
+  end
+
+(* Decode-path window: the page payload under [addr] plus the offset
+   into it, without raising. The caller must treat the payload as
+   read-only — handing out the live bytes (shared or not) is exactly
+   what makes zero-copy instruction fetch possible; any write through
+   it would bypass CoW. *)
+let code_window t addr =
+  let p = page_at t addr in
+  if p == no_page then None else Some (p.data, offset_of addr)
+
+(* The page's payload may be aliased by a fork relative: either the
+   whole chunk is still unowned (shared records, shared payloads), or
+   our own record has not privatised its payload. *)
+let payload_shared t addr =
+  let idx = page_of addr in
+  let c = idx lsr chunk_bits in
+  if c >= Array.length t.top || c < 0 then false
+  else begin
+    let p = Array.unsafe_get (Array.unsafe_get t.top c) (idx land (chunk_pages - 1)) in
+    p != no_page && (Bytes.unsafe_get t.owned c <> '\001' || not p.private_)
   end
 
 let read_u8 t addr = Char.code (Bytes.get (ro_page t addr) (offset_of addr))
@@ -192,27 +292,33 @@ let cstr_len t addr =
   in
   scan addr 0
 
+(* O(chunks), not O(pages): the child aliases our chunk records and
+   both sides drop ownership, so record (and payload) copies happen
+   lazily, per chunk, on first write in either space. *)
 let clone t =
-  let n = Hashtbl.length t.pages in
-  let pages = Hashtbl.create n in
-  Hashtbl.iter
-    (fun k p ->
-      p.private_ <- false;
-      Hashtbl.add pages k { data = p.data; private_ = false })
-    t.pages;
+  let n = t.mapped_pages in
+  Bytes.fill t.owned 0 (Bytes.length t.owned) '\000';
   t.family.clones <- t.family.clones + 1;
   t.family.pages_aliased <- t.family.pages_aliased + n;
-  Atomic.incr g_clones;
-  ignore (Atomic.fetch_and_add g_pages_aliased n);
-  { pages; last_idx = min_int; last_page = no_page; family = t.family }
+  {
+    top = Array.copy t.top;
+    owned = Bytes.make (Array.length t.top) '\000';
+    mapped_pages = n;
+    family = t.family;
+  }
 
-let mapped_bytes t = Hashtbl.length t.pages * page_size
+let mapped_bytes t = t.mapped_pages * page_size
 
 let resident_bytes t =
-  Hashtbl.fold (fun _ p acc -> if p.private_ then acc + page_size else acc) t.pages 0
+  let acc = ref 0 in
+  Array.iteri
+    (fun c ch ->
+      if Bytes.get t.owned c = '\001' && ch != empty_chunk then
+        Array.iter (fun p -> if p != no_page && p.private_ then acc := !acc + page_size) ch)
+    t.top;
+  !acc
 
-let shared_bytes t =
-  Hashtbl.fold (fun _ p acc -> if p.private_ then acc else acc + page_size) t.pages 0
+let shared_bytes t = mapped_bytes t - resident_bytes t
 
 let family_stats t =
   {

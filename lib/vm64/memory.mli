@@ -6,11 +6,13 @@
     [Fault.Trap (Segfault _)] — which is precisely the signal the
     byte-by-byte attacker observes as a child crash.
 
-    {!clone} (the [fork] primitive) is O(page table), not O(bytes): the
-    child aliases the parent's page payloads and both sides are marked
-    shared; the first write to a shared page in either space breaks the
-    sharing with a private copy (see DESIGN.md §5 for the invariants).
-    Reads never copy. *)
+    {!clone} (the [fork] primitive) is O(chunk table), not O(pages or
+    bytes): pages live in fixed 64-page chunks of a flat array, the
+    child aliases the parent's chunk records wholesale, and per-page
+    records are re-materialised lazily, chunk at a time, on the first
+    write in either space. The first write to a page whose payload may
+    be aliased then breaks the sharing with a private copy (see
+    DESIGN.md §5 for the invariants). Reads never copy. *)
 
 type t
 
@@ -40,17 +42,31 @@ val write_u32 : t -> int64 -> int64 -> unit
 val read_bytes : t -> int64 -> int -> bytes
 val write_bytes : t -> int64 -> bytes -> unit
 
+val code_window : t -> int64 -> (bytes * int) option
+(** [(payload, offset)] of the page under the address, or [None] when
+    unmapped — the zero-copy instruction-fetch window. The payload is
+    the live (possibly CoW-shared) page: callers MUST NOT write through
+    it, and must not hold it across a [write_*] to the same page (a CoW
+    break swaps the payload). Valid from [offset] to the page end. *)
+
 val cstr_len : t -> int64 -> int
 (** Bytes before the first NUL at the address (page-aware strlen).
     Faults at the first unmapped byte reached before a NUL, exactly
     where a byte-at-a-time scan would. *)
 
+val payload_shared : t -> int64 -> bool
+(** The page under the address is mapped and its payload may be aliased
+    by a fork relative (i.e. the bytes this space reads there are the
+    bytes relatives read, until someone writes). This is the publish
+    guard for {!Tcache.add}: a block decoded entirely from shared
+    payloads describes bytes every current relative agrees on. *)
+
 val clone : t -> t
-(** The [fork] primitive's address-space clone. Copy-on-write: aliases
-    every page payload and tags both sides shared, so the cost is one
-    table entry per page rather than one page copy. Observable
-    behaviour is identical to a deep copy — writes in either space
-    never become visible in the other. *)
+(** The [fork] primitive's address-space clone. Copy-on-write at two
+    levels: the child aliases the parent's chunk records (O(chunks)
+    work), and page payloads stay shared until first write in either
+    space. Observable behaviour is identical to a deep copy — writes in
+    either space never become visible in the other. *)
 
 val mapped_bytes : t -> int
 (** Total bytes of mapped address space (resident + shared), for the

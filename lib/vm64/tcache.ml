@@ -6,6 +6,14 @@ type block = {
   callret : bool array;
   nexts : int64 array;
   bb_bytes : int;
+  anchor : bytes array;
+      (* page payload objects the block was decoded from, one per page
+         of [bb_start, bb_start + bb_bytes). A hit is only valid while
+         each page still holds the same payload *object* (physical
+         equality): CoW never mutates an aliased payload in place, so
+         identity implies the decoded bytes are unchanged. An empty
+         anchor (test-built blocks) is always valid. *)
+  mutable compiled : Compiled.slot;
 }
 
 let max_block_insns = 64
@@ -14,7 +22,7 @@ let is_callret = function
   | Isa.Insn.Call _ | Isa.Insn.Call_ind _ | Isa.Insn.Ret -> true
   | _ -> false
 
-let make_block ~start pairs =
+let make_block ?(anchor = [||]) ~start pairs =
   let n = Array.length pairs in
   if n = 0 then invalid_arg "Tcache.make_block: empty block";
   let insns = Array.map fst pairs in
@@ -35,6 +43,8 @@ let make_block ~start pairs =
     callret;
     nexts;
     bb_bytes = Int64.to_int (Int64.sub !addr start);
+    anchor;
+    compiled = Compiled.Not_compiled;
   }
 
 (* Lazy copy-on-write clone: fork children alias the parent's block
@@ -44,15 +54,37 @@ let make_block ~start pairs =
    shallow. For the fork-server attack pattern — children execute the
    parent's already-warm text and never patch it — no copy is ever
    paid. *)
+(* Execution-path telemetry: one record per clone family (children
+   share the parent's, so the numbers survive reaping), mirroring
+   [Memory.family_stats]. *)
+type exec_stats = {
+  mutable hits : int;  (* block lookups served from the cache *)
+  mutable misses : int;  (* lookups that forced a decode *)
+  mutable compiles : int;  (* blocks translated by the closure tier *)
+  mutable invalidated : int;  (* cached blocks dropped by invalidation *)
+}
+
 type t = {
   mutable blocks : (int64, block) Hashtbl.t;
   mutable private_table : bool;  (* sole owner of [blocks]; safe to mutate *)
+  xstats : exec_stats;
 }
 
-(* Fork-path telemetry (process-wide; campaigns fan across domains). *)
+(* Fork-path telemetry (process-wide; campaigns fan across domains).
+   These fire once per clone/materialise, so atomics are cheap here. *)
 let g_clones = Atomic.make 0
 let g_blocks_shared = Atomic.make 0
 let g_materialised = Atomic.make 0
+
+(* Execution-path totals fire on EVERY block dispatch, where a shared
+   atomic would bounce cache lines between domains (measured: ~3x
+   wall-clock on a 4-domain campaign). Instead each family registers
+   its stats record once at [create] and the process totals are folded
+   over the registry on demand. Per-family counts are independent of
+   [--jobs] scheduling, so the sums are too; they are only read after
+   worker domains join (Domain.join gives the happens-before edge). *)
+let registry : exec_stats list ref = ref []
+let registry_mu = Mutex.create ()
 
 let counters () =
   (Atomic.get g_clones, Atomic.get g_blocks_shared, Atomic.get g_materialised)
@@ -62,13 +94,38 @@ let reset_counters () =
   Atomic.set g_blocks_shared 0;
   Atomic.set g_materialised 0
 
-let create () = { blocks = Hashtbl.create 256; private_table = true }
+let exec_counters () =
+  Mutex.lock registry_mu;
+  let fams = !registry in
+  Mutex.unlock registry_mu;
+  List.fold_left
+    (fun acc (x : exec_stats) ->
+      {
+        hits = acc.hits + x.hits;
+        misses = acc.misses + x.misses;
+        compiles = acc.compiles + x.compiles;
+        invalidated = acc.invalidated + x.invalidated;
+      })
+    { hits = 0; misses = 0; compiles = 0; invalidated = 0 }
+    fams
+
+let reset_exec_counters () =
+  Mutex.lock registry_mu;
+  registry := [];
+  Mutex.unlock registry_mu
+
+let create () =
+  let xstats = { hits = 0; misses = 0; compiles = 0; invalidated = 0 } in
+  Mutex.lock registry_mu;
+  registry := xstats :: !registry;
+  Mutex.unlock registry_mu;
+  { blocks = Hashtbl.create 256; private_table = true; xstats }
 
 let clone t =
   t.private_table <- false;
   Atomic.incr g_clones;
   ignore (Atomic.fetch_and_add g_blocks_shared (Hashtbl.length t.blocks));
-  { blocks = t.blocks; private_table = false }
+  { blocks = t.blocks; private_table = false; xstats = t.xstats }
 
 let is_shared t = not t.private_table
 
@@ -84,8 +141,25 @@ let own t =
 
 let find t rip = Hashtbl.find_opt t.blocks rip
 
-let add t block =
-  own t;
+(* Hit/miss accounting is driven by {!Exec.fetch_block}, which decides
+   hit-ness only after validating the block's anchor — a cached entry
+   whose pages have moved on counts as a miss. *)
+let note_hit t = t.xstats.hits <- t.xstats.hits + 1
+let note_miss t = t.xstats.misses <- t.xstats.misses + 1
+let note_compile t = t.xstats.compiles <- t.xstats.compiles + 1
+
+(* [publish]: insert into the table *without* breaking fork sharing.
+   Sound only because hits re-validate the block's anchor: a relative
+   whose page payloads differ from the publisher's treats the entry as
+   a miss and decodes its own. The caller asserts publishability (every
+   anchored payload is CoW-aliased, so the bytes the block was decoded
+   from are the ones relatives currently see); publishing is what lets
+   one fork child's decode+translation of the hot service path be
+   reused by every later child in the family instead of being torn
+   down with the child. Without [publish], the table is privatised
+   first, exactly as before. *)
+let add ?(publish = false) t block =
+  if not publish then own t;
   Hashtbl.replace t.blocks block.bb_start block
 
 let invalidate_range t ~addr ~len =
@@ -103,17 +177,33 @@ let invalidate_range t ~addr ~len =
     in
     if stale <> [] then begin
       own t;
-      List.iter (Hashtbl.remove t.blocks) stale
+      List.iter (Hashtbl.remove t.blocks) stale;
+      let n = List.length stale in
+      t.xstats.invalidated <- t.xstats.invalidated + n
+
     end
   end
 
 let invalidate_all t =
+  let n = Hashtbl.length t.blocks in
   if t.private_table then Hashtbl.reset t.blocks
   else begin
     (* dropping everything: a fresh empty table is the copy *)
     t.blocks <- Hashtbl.create 16;
     t.private_table <- true
+  end;
+  if n > 0 then begin
+    t.xstats.invalidated <- t.xstats.invalidated + n
+
   end
 
 let stats t =
   Hashtbl.fold (fun _ b (nb, ni) -> (nb + 1, ni + Array.length b.insns)) t.blocks (0, 0)
+
+let exec_stats t =
+  {
+    hits = t.xstats.hits;
+    misses = t.xstats.misses;
+    compiles = t.xstats.compiles;
+    invalidated = t.xstats.invalidated;
+  }

@@ -31,13 +31,28 @@ type block = {
   callret : bool array;  (** instruction is charged the per-call tax *)
   nexts : int64 array;  (** fall-through rip per instruction *)
   bb_bytes : int;  (** total bytes of text the block covers *)
+  anchor : bytes array;
+      (** the page payload objects the block was decoded from, one per
+          covered page. {!Exec} re-validates them (physical equality
+          against the space's current payloads) on every hit: CoW never
+          mutates an aliased payload in place, so identity implies the
+          decoded bytes are unchanged — which is what makes publishing
+          blocks into a fork-shared table sound. Empty = always valid
+          (test-built blocks). *)
+  mutable compiled : Compiled.slot;
+      (** closure-tier translation, written at most once per
+          environment by {!Exec}; monotone and deterministic, so clones
+          aliasing this record share compiled code for free. Starts
+          [Not_compiled]; dropping the block drops the translation,
+          which is how invalidation reaches the compile tier. *)
 }
 
 val max_block_insns : int
 
-val make_block : start:int64 -> (Isa.Insn.t * int) array -> block
+val make_block : ?anchor:bytes array -> start:int64 -> (Isa.Insn.t * int) array -> block
 (** [make_block ~start pairs] precomputes the dispatch arrays from
-    decoded [(insn, byte_length)] pairs. [pairs] must be non-empty. *)
+    decoded [(insn, byte_length)] pairs. [pairs] must be non-empty.
+    [anchor] defaults to empty (always valid). *)
 
 type t
 
@@ -52,8 +67,26 @@ val is_shared : t -> bool
     and the fork-path telemetry. *)
 
 val find : t -> int64 -> block option
+(** Uncounted lookup. {!Exec.fetch_block} validates the block's anchor
+    before treating the result as a hit. *)
 
-val add : t -> block -> unit
+val note_hit : t -> unit
+(** Record one anchor-valid cache hit. *)
+
+val note_miss : t -> unit
+(** Record one lookup that forced a decode (absent or stale entry). *)
+
+val note_compile : t -> unit
+(** Record one closure-tier block translation. *)
+
+val add : ?publish:bool -> t -> block -> unit
+(** Insert a block. With [~publish:true] the insert goes into the
+    (possibly fork-shared) table without materialising a private copy —
+    only sound when every page in the block's anchor is CoW-aliased
+    (see {!Memory.payload_shared}), so relatives see exactly the bytes
+    the block was decoded from; anchor re-validation on hit protects
+    them once the pages diverge. Default is the private-table insert
+    (materialise, then add). *)
 
 val invalidate_range : t -> addr:int64 -> len:int -> unit
 (** Drop every block overlapping [addr, addr+len). Call after patching
@@ -69,3 +102,22 @@ val counters : unit -> int * int * int
     [(clones, blocks_shared_at_clone, tables_materialised)]. *)
 
 val reset_counters : unit -> unit
+
+(** Execution-path telemetry (lookups, decodes, closure-tier activity),
+    [Memory.family_stats]-style. *)
+type exec_stats = {
+  mutable hits : int;  (** block lookups served from the cache *)
+  mutable misses : int;  (** lookups that forced a decode *)
+  mutable compiles : int;  (** blocks translated by the closure tier *)
+  mutable invalidated : int;  (** cached blocks dropped by invalidation *)
+}
+
+val exec_stats : t -> exec_stats
+(** Snapshot for this cache's clone family (shared with fork relatives,
+    surviving their reaping). *)
+
+val exec_counters : unit -> exec_stats
+(** Process-wide totals since {!reset_exec_counters} — domain-safe sums,
+    independent of [--jobs] scheduling. *)
+
+val reset_exec_counters : unit -> unit

@@ -1,0 +1,421 @@
+(* Differential oracle for the closure-compiled execution tier.
+
+   The compiled tier must be observationally identical to the
+   interpreter: same registers, flags, xmm state, memory, cycle counter,
+   RNG draws and fault identity after every run. Rather than trusting
+   each specialized closure individually, we fuzz: generate random
+   encodable instruction sequences, run each twice from identical
+   initial state — once with the tier disabled, once enabled — and
+   compare the complete machine state. *)
+
+open Isa
+open Vm64
+
+let builtin_addr = 0xB00L
+
+let env =
+  Exec.create_env
+    ~is_builtin:(fun a -> if a = builtin_addr then Some "blt" else None)
+    ()
+
+let text_base = 0x1000L
+let data_base = 0x20000L
+let data_len = 8192
+let stack_base = 0x70000L
+let stack_len = 8192
+
+(* ---- random program generation ------------------------------------------- *)
+
+let rand_reg p = Reg.of_index_exn (Util.Prng.int p 16)
+let rand_xmm p = Reg.Xmm.of_index_exn (Util.Prng.int p 16)
+
+let rand_cond p =
+  match Insn.cond_of_index (Util.Prng.int p 12) with
+  | Some c -> c
+  | None -> assert false
+
+(* Memory operands concentrate on the data region (so loads see real
+   bytes and stores land on mapped pages) but also probe the mapping
+   edge and plainly unmapped space, so both tiers' fault paths and
+   partial cross-page writes get compared. *)
+let rand_mem_record p =
+  let mk ?seg_fs ?base ?index disp =
+    match Operand.mem ?seg_fs ?base ?index disp with
+    | Operand.Mem m -> m
+    | _ -> assert false
+  in
+  match Util.Prng.int p 10 with
+  | 0 | 1 | 2 ->
+    (* absolute, interior of the data region *)
+    mk (Int64.add data_base (Int64.of_int (Util.Prng.int p (data_len - 16))))
+  | 3 | 4 ->
+    (* base-relative: R15 is pinned to the data base *)
+    mk ~base:Reg.R15 (Int64.of_int (Util.Prng.int p 4096))
+  | 5 | 6 ->
+    (* base + scaled index: R14 is pinned to a small value *)
+    let scale =
+      match Util.Prng.int p 4 with
+      | 0 -> Operand.S1
+      | 1 -> Operand.S2
+      | 2 -> Operand.S4
+      | _ -> Operand.S8
+    in
+    mk ~base:Reg.R15 ~index:(Reg.R14, scale) (Int64.of_int (Util.Prng.int p 2048))
+  | 7 ->
+    (* FS-segment form; fs_base is pinned inside the data region *)
+    mk ~seg_fs:true (Int64.of_int (Util.Prng.int p 1024))
+  | 8 ->
+    (* straddling / just past the end of the data mapping *)
+    mk (Int64.add data_base (Int64.of_int (data_len - 8 + Util.Prng.int p 24)))
+  | _ ->
+    (* unmapped *)
+    mk 0x9000000L
+
+let rand_operand p =
+  match Util.Prng.int p 8 with
+  | 0 | 1 | 2 -> Operand.reg (rand_reg p)
+  | 3 | 4 ->
+    Operand.imm
+      (if Util.Prng.bool p then Int64.of_int (Util.Prng.int p 4096 - 2048)
+       else Util.Prng.next64 p)
+  | _ -> Operand.Mem (rand_mem_record p)
+
+let rand_dst p =
+  if Util.Prng.int p 4 = 0 then Operand.Mem (rand_mem_record p)
+  else Operand.reg (rand_reg p)
+
+(* Control transfers target the first bytes of the text page: backward
+   targets create loops (cut by [max_insns], comparing fuel accounting),
+   and targets landing mid-instruction exercise garbage decode in both
+   tiers identically. *)
+let rand_target p = Insn.Abs (Int64.add text_base (Int64.of_int (Util.Prng.int p 96)))
+
+let rand_insn p =
+  match Util.Prng.int p 100 with
+  | 0 | 1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 | 9 -> Insn.Mov (rand_dst p, rand_operand p)
+  | 10 | 11 | 12 -> Insn.Movb (rand_dst p, rand_operand p)
+  | 13 | 14 | 15 -> Insn.Movl (rand_dst p, rand_operand p)
+  | 16 | 17 | 18 -> Insn.Lea (rand_reg p, rand_mem_record p)
+  | 19 | 20 | 21 | 22 -> Insn.Push (rand_operand p)
+  | 23 | 24 | 25 -> Insn.Pop (rand_dst p)
+  | 26 | 27 | 28 | 29 | 30 | 31 | 32 | 33 | 34 | 35 | 36 | 37 ->
+    let op =
+      match Insn.binop_of_index (Util.Prng.int p 10) with
+      | Some b -> b
+      | None -> assert false
+    in
+    Insn.Bin (op, rand_dst p, rand_operand p)
+  | 38 | 39 | 40 ->
+    (* explicit idiv/irem with occasional zero divisor: the #DE path *)
+    let op = if Util.Prng.bool p then Insn.Idiv else Insn.Irem in
+    let src =
+      if Util.Prng.int p 3 = 0 then Operand.imm 0L else rand_operand p
+    in
+    Insn.Bin (op, Operand.reg (rand_reg p), src)
+  | 41 | 42 | 43 ->
+    let op =
+      match Insn.shiftop_of_index (Util.Prng.int p 3) with
+      | Some s -> s
+      | None -> assert false
+    in
+    Insn.Shift (op, rand_dst p, Util.Prng.int p 66)
+  | 44 | 45 -> Insn.Neg (rand_dst p)
+  | 46 | 47 -> Insn.Not (rand_dst p)
+  | 48 | 49 | 50 | 51 -> Insn.Setcc (rand_cond p, rand_reg p)
+  | 52 | 53 | 54 | 55 | 56 | 57 -> Insn.Jcc (rand_cond p, rand_target p)
+  | 58 -> Insn.Jmp (rand_target p)
+  | 59 ->
+    Insn.Call
+      (if Util.Prng.bool p then Insn.Abs builtin_addr else rand_target p)
+  | 60 -> Insn.Call_ind (Operand.reg (rand_reg p))
+  | 61 -> Insn.Ret
+  | 62 -> Insn.Leave
+  | 63 | 64 -> Insn.Rdrand (rand_reg p)
+  | 65 -> Insn.Rdtsc (* whole block falls back to the interpreter *)
+  | 66 -> Insn.Syscall
+  | 67 | 68 | 69 -> Insn.Movq_to_xmm (rand_xmm p, rand_reg p)
+  | 70 | 71 -> Insn.Movq_from_xmm (rand_reg p, rand_xmm p)
+  | 72 | 73 -> Insn.Pinsrq_high (rand_xmm p, rand_reg p)
+  | 74 | 75 | 76 -> Insn.Movhps_load (rand_xmm p, rand_mem_record p)
+  | 77 | 78 | 79 -> Insn.Movq_store (rand_mem_record p, rand_xmm p)
+  | 80 | 81 | 82 | 83 -> Insn.Movdqu_load (rand_xmm p, rand_mem_record p)
+  | 84 | 85 | 86 | 87 -> Insn.Movdqu_store (rand_mem_record p, rand_xmm p)
+  | 88 | 89 -> Insn.Aesenc (rand_xmm p, rand_xmm p)
+  | 90 | 91 -> Insn.Aesenclast (rand_xmm p, rand_xmm p)
+  | 92 | 93 | 94 -> Insn.Pcmpeq128 (rand_xmm p, rand_mem_record p)
+  | _ -> Insn.Nop
+
+(* Not every generated shape is encodable (e.g. mem-to-mem moves);
+   resample deterministically until the whole sequence encodes. *)
+let rand_program p =
+  let rec gen attempts =
+    if attempts > 200 then [ Insn.Hlt ]
+    else
+      let n = 1 + Util.Prng.int p 24 in
+      let insns = List.init n (fun _ -> rand_insn p) @ [ Insn.Hlt ] in
+      match Encode.list_to_bytes insns with
+      | _ -> insns
+      | exception _ -> gen (attempts + 1)
+  in
+  gen 0
+
+(* ---- machine-state capture ------------------------------------------------ *)
+
+type snapshot = {
+  s_result : Exec.run_result;
+  s_gprs : int64 array;
+  s_xmms : (int64 * int64) array;
+  s_rip : int64;
+  s_flags : bool * bool * bool * bool;
+  s_cycles : int64;
+  s_text : bytes;
+  s_data : bytes;
+  s_stack : bytes;
+}
+
+let run_one ~tier ~trial_seed ~taxes:(insn_tax, call_tax) ~init_gprs ~init_xmms
+    ~data ~code =
+  Compile.set_enabled tier;
+  let cpu = Cpu.create ~seed:trial_seed () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:text_base ~len:4096;
+  Memory.map mem ~addr:data_base ~len:data_len;
+  Memory.map mem ~addr:stack_base ~len:stack_len;
+  Memory.write_bytes mem data_base data;
+  Memory.write_bytes mem text_base code;
+  Array.blit init_gprs 0 cpu.Cpu.gprs 0 16;
+  Array.iteri (fun i v -> cpu.Cpu.xmms.(i) <- v) init_xmms;
+  Cpu.set cpu Reg.RSP 0x71800L;
+  Cpu.set cpu Reg.R15 data_base;
+  Cpu.set cpu Reg.R14 (Int64.of_int (Int64.to_int init_gprs.(14) land 15));
+  cpu.Cpu.fs_base <- 0x20400L;
+  cpu.Cpu.insn_tax <- insn_tax;
+  cpu.Cpu.call_tax <- call_tax;
+  cpu.Cpu.rip <- text_base;
+  let result = Exec.run ~max_insns:200 env cpu mem in
+  Compile.set_enabled true;
+  {
+    s_result = result;
+    s_gprs = Array.copy cpu.Cpu.gprs;
+    s_xmms = Array.copy cpu.Cpu.xmms;
+    s_rip = cpu.Cpu.rip;
+    s_flags =
+      ( cpu.Cpu.flags.Cpu.zf,
+        cpu.Cpu.flags.Cpu.sf,
+        cpu.Cpu.flags.Cpu.cf,
+        cpu.Cpu.flags.Cpu.of_ );
+    s_cycles = cpu.Cpu.cycles;
+    s_text = Memory.read_bytes mem text_base 4096;
+    s_data = Memory.read_bytes mem data_base data_len;
+    s_stack = Memory.read_bytes mem stack_base stack_len;
+  }
+
+let result_to_string = function
+  | Exec.Out_of_fuel -> "out-of-fuel"
+  | Exec.Stopped o -> (
+    match o with
+    | Exec.Running -> "stopped(running?)"
+    | Exec.Builtin s -> "builtin " ^ s
+    | Exec.Syscall_trap -> "syscall"
+    | Exec.Halted -> "hlt"
+    | Exec.Faulted f -> "fault " ^ Fault.to_string f)
+
+let compare_snapshots ~trial a b =
+  let fail field detail =
+    Alcotest.failf "trial %d: %s diverges between tiers (%s)" trial field detail
+  in
+  if a.s_result <> b.s_result then
+    fail "run result"
+      (result_to_string a.s_result ^ " vs " ^ result_to_string b.s_result);
+  for i = 0 to 15 do
+    if a.s_gprs.(i) <> b.s_gprs.(i) then
+      fail
+        (Printf.sprintf "gpr %s" (Reg.name (Reg.of_index_exn i)))
+        (Printf.sprintf "0x%Lx vs 0x%Lx" a.s_gprs.(i) b.s_gprs.(i));
+    if a.s_xmms.(i) <> b.s_xmms.(i) then fail (Printf.sprintf "xmm%d" i) ""
+  done;
+  if a.s_rip <> b.s_rip then
+    fail "rip" (Printf.sprintf "0x%Lx vs 0x%Lx" a.s_rip b.s_rip);
+  if a.s_flags <> b.s_flags then fail "flags" "";
+  if a.s_cycles <> b.s_cycles then
+    fail "cycles" (Printf.sprintf "%Ld vs %Ld" a.s_cycles b.s_cycles);
+  if not (Bytes.equal a.s_text b.s_text) then fail "text page" "";
+  if not (Bytes.equal a.s_data b.s_data) then fail "data region" "";
+  if not (Bytes.equal a.s_stack b.s_stack) then fail "stack region" ""
+
+let trials = 1100
+
+let test_differential_fuzz () =
+  let p = Util.Prng.create 0xD1FFC0DEL in
+  let halted = ref 0 and faulted = ref 0 and fuel = ref 0 and other = ref 0 in
+  for trial = 0 to trials - 1 do
+    let insns = rand_program p in
+    let code = Encode.list_to_bytes insns in
+    let data = Util.Prng.bytes p data_len in
+    let init_gprs = Array.init 16 (fun _ -> Util.Prng.next64 p) in
+    let init_xmms =
+      Array.init 16 (fun _ -> (Util.Prng.next64 p, Util.Prng.next64 p))
+    in
+    let taxes =
+      if Util.Prng.int p 4 = 0 then (Util.Prng.int p 3, Util.Prng.int p 10)
+      else (0, 0)
+    in
+    let trial_seed = Util.Prng.next64 p in
+    let args ~tier =
+      run_one ~tier ~trial_seed ~taxes ~init_gprs ~init_xmms ~data ~code
+    in
+    let interp = args ~tier:false in
+    let compiled = args ~tier:true in
+    compare_snapshots ~trial interp compiled;
+    (match interp.s_result with
+    | Exec.Stopped Exec.Halted -> incr halted
+    | Exec.Stopped (Exec.Faulted _) -> incr faulted
+    | Exec.Out_of_fuel -> incr fuel
+    | _ -> incr other)
+  done;
+  (* the corpus must actually exercise the interesting exits *)
+  Alcotest.(check bool) "saw clean halts" true (!halted > 100);
+  Alcotest.(check bool) "saw faults" true (!faulted > 50);
+  Alcotest.(check bool) "saw fuel exhaustion" true (!fuel > 10);
+  Alcotest.(check bool) "saw builtin/syscall exits" true (!other > 10)
+
+(* ---- targeted compiled-tier tests ----------------------------------------- *)
+
+let load_program mem insns = Memory.write_bytes mem text_base (Encode.list_to_bytes insns)
+
+let fresh () =
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:text_base ~len:4096;
+  Memory.map mem ~addr:stack_base ~len:stack_len;
+  Cpu.set cpu Reg.RSP 0x71800L;
+  cpu.Cpu.rip <- text_base;
+  (cpu, mem)
+
+let run_to_halt cpu mem =
+  cpu.Cpu.rip <- text_base;
+  match Exec.run env cpu mem with
+  | Exec.Stopped Exec.Halted -> ()
+  | r -> Alcotest.fail ("expected hlt, got " ^ result_to_string r)
+
+(* Patching text must reach the compiled tier through invalidation: the
+   stale closures are dropped with the block and the patched bytes are
+   re-decoded and re-compiled. *)
+let test_patch_invalidates_compiled () =
+  Alcotest.(check bool) "tier on" true (Compile.enabled ());
+  let cpu, mem = fresh () in
+  load_program mem [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 1L); Insn.Hlt ];
+  run_to_halt cpu mem;
+  Alcotest.check (Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal) "first run"
+    1L (Cpu.get cpu Reg.RAX);
+  let compiles_before = (Tcache.exec_stats cpu.Cpu.tcache).Tcache.compiles in
+  Alcotest.(check bool) "block was compiled" true (compiles_before >= 1);
+  (* patch in place, invalidate, re-run: new semantics must win *)
+  let patched = Encode.list_to_bytes [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 2L); Insn.Hlt ] in
+  Memory.write_bytes mem text_base patched;
+  Cpu.invalidate_decode cpu ~addr:text_base ~len:(Bytes.length patched);
+  Alcotest.(check bool) "invalidation counted" true
+    ((Tcache.exec_stats cpu.Cpu.tcache).Tcache.invalidated >= 1);
+  run_to_halt cpu mem;
+  Alcotest.check (Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal) "patched run"
+    2L (Cpu.get cpu Reg.RAX);
+  Alcotest.(check bool) "patched block recompiled" true
+    ((Tcache.exec_stats cpu.Cpu.tcache).Tcache.compiles > compiles_before)
+
+(* A fork child reuses the parent's compiled blocks (shared Tcache
+   records carry the translation), and divergence after the fork stays
+   private to the side that patched. *)
+let test_compiled_across_fork () =
+  let cpu, mem = fresh () in
+  load_program mem [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 7L); Insn.Hlt ];
+  run_to_halt cpu mem;
+  let ccpu = Cpu.clone cpu in
+  let cmem = Memory.clone mem in
+  run_to_halt ccpu cmem;
+  Alcotest.check (Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal)
+    "child reuses compiled block" 7L (Cpu.get ccpu Reg.RAX);
+  (* child patches its private text; parent must be unaffected *)
+  let patched = Encode.list_to_bytes [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 9L); Insn.Hlt ] in
+  Memory.write_bytes cmem text_base patched;
+  Cpu.invalidate_decode ccpu ~addr:text_base ~len:(Bytes.length patched);
+  run_to_halt ccpu cmem;
+  Alcotest.check (Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal)
+    "child sees patch" 9L (Cpu.get ccpu Reg.RAX);
+  run_to_halt cpu mem;
+  Alcotest.check (Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal)
+    "parent keeps original" 7L (Cpu.get cpu Reg.RAX)
+
+(* Blocks decoded by one fork relative from a CoW-shared page are
+   published into the shared table; the other relatives reuse them
+   without re-decoding, and the payload anchor — not manual
+   invalidation — protects each space once its pages diverge. *)
+let test_published_block_and_anchor () =
+  let cpu, mem = fresh () in
+  let prog_b_addr = Int64.add text_base 0x100L in
+  load_program mem [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 1L); Insn.Hlt ];
+  Memory.write_bytes mem prog_b_addr
+    (Encode.list_to_bytes [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 2L); Insn.Hlt ]);
+  run_to_halt cpu mem;
+  let ccpu = Cpu.clone cpu in
+  let cmem = Memory.clone mem in
+  Alcotest.(check bool) "tables aliased after fork" true
+    (Tcache.is_shared ccpu.Cpu.tcache);
+  (* child decodes prog B from the fork-shared text page *)
+  ccpu.Cpu.rip <- prog_b_addr;
+  (match Exec.run env ccpu cmem with
+  | Exec.Stopped Exec.Halted -> ()
+  | r -> Alcotest.fail ("child prog B: " ^ result_to_string r));
+  Alcotest.(check bool) "publish did not materialise the table" true
+    (Tcache.is_shared ccpu.Cpu.tcache);
+  Alcotest.(check bool) "parent sees the published block" true
+    (Tcache.find cpu.Cpu.tcache prog_b_addr <> None);
+  let misses_before = (Tcache.exec_stats cpu.Cpu.tcache).Tcache.misses in
+  cpu.Cpu.rip <- prog_b_addr;
+  (match Exec.run env cpu mem with
+  | Exec.Stopped Exec.Halted -> ()
+  | r -> Alcotest.fail ("parent prog B: " ^ result_to_string r));
+  Alcotest.check (Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal)
+    "parent runs child's decode" 2L (Cpu.get cpu Reg.RAX);
+  Alcotest.(check int) "parent hit, no re-decode" misses_before
+    (Tcache.exec_stats cpu.Cpu.tcache).Tcache.misses;
+  (* parent rewrites its copy of the page: CoW gives it a fresh payload,
+     the published block's anchor goes stale for the parent only, and
+     the next fetch re-decodes — no invalidate call involved *)
+  Memory.write_bytes mem prog_b_addr
+    (Encode.list_to_bytes [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 3L); Insn.Hlt ]);
+  cpu.Cpu.rip <- prog_b_addr;
+  (match Exec.run env cpu mem with
+  | Exec.Stopped Exec.Halted -> ()
+  | r -> Alcotest.fail ("parent patched prog B: " ^ result_to_string r));
+  Alcotest.check (Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal)
+    "stale anchor forces parent re-decode" 3L (Cpu.get cpu Reg.RAX);
+  Alcotest.(check bool) "staleness counted as miss" true
+    ((Tcache.exec_stats cpu.Cpu.tcache).Tcache.misses > misses_before);
+  (* the child's payload object is unchanged, so its view is intact *)
+  ccpu.Cpu.rip <- prog_b_addr;
+  (match Exec.run env ccpu cmem with
+  | Exec.Stopped Exec.Halted -> ()
+  | r -> Alcotest.fail ("child prog B again: " ^ result_to_string r));
+  Alcotest.check (Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal)
+    "child still runs original bytes" 2L (Cpu.get ccpu Reg.RAX)
+
+let () =
+  Alcotest.run "compile"
+    [
+      ( "differential",
+        [
+          Alcotest.test_case
+            (Printf.sprintf "interpreter vs compiled tier, %d random programs"
+               trials)
+            `Slow test_differential_fuzz;
+        ] );
+      ( "targeted",
+        [
+          Alcotest.test_case "patch_text invalidates compiled block" `Quick
+            test_patch_invalidates_compiled;
+          Alcotest.test_case "compiled blocks across CoW fork" `Quick
+            test_compiled_across_fork;
+          Alcotest.test_case "published block + anchor staleness" `Quick
+            test_published_block_and_anchor;
+        ] );
+    ]

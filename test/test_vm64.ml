@@ -486,6 +486,36 @@ let test_fetch_unmapped () =
   | Exec.Faulted (Fault.Segfault _) -> ()
   | _ -> Alcotest.fail "expected fetch fault"
 
+let test_fetch_fault_retires_zero () =
+  (* fuel pinning around a segfaulting rip: the block before the bad
+     jump retires and is charged normally; the faulting fetch itself
+     retires 0 instructions and charges nothing *)
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  Memory.write_bytes mem 0x1000L
+    (Encode.list_to_bytes [ Insn.Nop; Insn.Nop; Insn.Jmp (Insn.Abs 0x9000000L) ]);
+  cpu.Cpu.rip <- 0x1000L;
+  (match Exec.step_block env cpu mem ~max_insns:50 with
+  | Exec.Running, 3 -> ()
+  | _, n -> Alcotest.failf "block before the fault: %d retired, want 3" n);
+  Alcotest.(check bool) "block was charged" true (cpu.Cpu.cycles > 0L);
+  let cycles_at_fault = cpu.Cpu.cycles in
+  (match Exec.step_block env cpu mem ~max_insns:50 with
+  | Exec.Faulted (Fault.Segfault 0x9000000L), 0 -> ()
+  | Exec.Faulted _, n -> Alcotest.failf "faulting fetch retired %d, want 0" n
+  | _ -> Alcotest.fail "expected fetch segfault");
+  Alcotest.check i64 "faulting fetch charged nothing" cycles_at_fault
+    cpu.Cpu.cycles;
+  (* and a whole-run over the same program still terminates *)
+  let cpu2 = Cpu.create () in
+  cpu2.Cpu.rip <- 0x1000L;
+  match Exec.run env cpu2 mem with
+  | Exec.Stopped (Exec.Faulted (Fault.Segfault 0x9000000L)) ->
+    Alcotest.check i64 "run charged only the retired block" cycles_at_fault
+      cpu2.Cpu.cycles
+  | _ -> Alcotest.fail "run did not stop on the fetch fault"
+
 let test_insn_tax_charged () =
   let measure tax =
     let cpu = Cpu.create () in
@@ -705,6 +735,42 @@ let test_cow_patch_text_isolation () =
   run_to_halt cpu mem;
   Alcotest.check i64 "parent keeps its own patch" 2L (Cpu.get cpu Reg.RAX)
 
+let test_exec_telemetry () =
+  (* the hit/miss/compile/invalidate counters feed the deterministic
+     --mem-stats line; pin their exact values on a tiny program *)
+  let cpu = Cpu.create () in
+  let mem = Memory.create () in
+  Memory.map mem ~addr:0x1000L ~len:4096;
+  Memory.write_bytes mem 0x1000L (Encode.list_to_bytes [ Insn.Nop; Insn.Hlt ]);
+  let snap () = Tcache.exec_stats cpu.Cpu.tcache in
+  let run_blocks cpu mem =
+    cpu.Cpu.rip <- 0x1000L;
+    match Exec.run env cpu mem with
+    | Exec.Stopped Exec.Halted -> ()
+    | _ -> Alcotest.fail "expected hlt"
+  in
+  Alcotest.(check int) "fresh cache: no misses" 0 (snap ()).Tcache.misses;
+  run_blocks cpu mem;
+  let first = snap () in
+  Alcotest.(check int) "one decode" 1 first.Tcache.misses;
+  Alcotest.(check int) "no hits yet" 0 first.Tcache.hits;
+  if Compile.enabled () then
+    Alcotest.(check int) "block compiled once" 1 first.Tcache.compiles;
+  run_blocks cpu mem;
+  let second = snap () in
+  Alcotest.(check int) "re-run hits the cache" 1 second.Tcache.hits;
+  Alcotest.(check int) "no second decode" 1 second.Tcache.misses;
+  Alcotest.(check int) "no recompilation" first.Tcache.compiles
+    second.Tcache.compiles;
+  Cpu.invalidate_decode_all cpu;
+  Alcotest.(check int) "invalidation counted" 1 (snap ()).Tcache.invalidated;
+  (* the stats record is family-wide: a fork child's decode shows up *)
+  let ccpu = Cpu.clone cpu in
+  let cmem = Memory.clone mem in
+  run_blocks ccpu cmem;
+  Alcotest.(check int) "child's decode visible in family stats" 2
+    (snap ()).Tcache.misses
+
 let test_cost_model_anchors () =
   Alcotest.(check bool) "rdrand is expensive" true
     (Cost.cycles (Insn.Rdrand Reg.RAX) > 300);
@@ -781,6 +847,8 @@ let () =
         [
           Alcotest.test_case "data segfault" `Quick test_exec_faults_reported;
           Alcotest.test_case "fetch segfault" `Quick test_fetch_unmapped;
+          Alcotest.test_case "fetch fault retires zero" `Quick
+            test_fetch_fault_retires_zero;
           Alcotest.test_case "insn tax" `Quick test_insn_tax_charged;
           Alcotest.test_case "call tax" `Quick test_call_tax_charged;
           Alcotest.test_case "cost anchors" `Quick test_cost_model_anchors;
@@ -795,5 +863,7 @@ let () =
             test_decode_cache_lazy_clone;
           Alcotest.test_case "patch_text under CoW fork" `Quick
             test_cow_patch_text_isolation;
+          Alcotest.test_case "hit/miss/compile/invalidate telemetry" `Quick
+            test_exec_telemetry;
         ] );
     ]
