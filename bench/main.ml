@@ -7,124 +7,93 @@
      bench/main.exe [OPTIONS] <exp> [...] run selected experiments
      bench/main.exe micro                 run the Bechamel micro-benchmarks
      bench/main.exe tierbench             compiled tier vs interpreter A/B
+     bench/main.exe validate FILE [...]   check telemetry JSON files
    Experiments: table1 table2 table3 table4 table5 fig5 effectiveness
                 compat theorem1 exposure ablation
-   Options:
-     --jobs N      fan the campaign workloads across N domains (default
-                   1; 0 = recommended domain count). Output is
-                   byte-identical for any N.
-     --budget N    trial budget per effectiveness cell (default 20000)
-     --mem-stats   print a deterministic fork-path + translation-cache
-                   telemetry line after each campaign (forks, pages
-                   shared vs copied-on-write, tcache hits/misses/
-                   compiles/invalidations). NOTE: tcache_compiles is 0
-                   with --compile-tier off, so tier A/B output diffs
-                   must not enable --mem-stats.
-     --compile-tier on|off
-                   enable/disable the closure-compiled execution tier
-                   (default on). Campaign output is byte-identical
-                   either way; only speed and compile counters change.
-     --bench-out FILE
-                   where to write the perf trajectory record (default
-                   BENCH_pr3.json)
-   Every experiment run also appends wall-clock + fork-path counters to
-   the --bench-out file in the working directory (perf trajectory
-   record; stdout is unaffected). *)
+   Flags are declared through Harness.Cli (shared with pssp_cli);
+   bench/main.exe --help prints the generated option list.
+
+   Every experiment run also appends wall-clock + registry metrics to
+   the --bench-out file in the working directory (schema-2 perf
+   trajectory record; stdout is unaffected). *)
 
 let section title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
 
-(* ---- fork-path telemetry + perf trajectory ------------------------------- *)
+(* ---- telemetry + perf trajectory ----------------------------------------- *)
 
 let mem_stats_enabled = ref false
 let effectiveness_budget = ref None
-let bench_out = ref "BENCH_pr3.json"
+let bench_out = ref "BENCH_pr4.json"
 
-type campaign_record = {
-  c_name : string;
-  c_wall_s : float;
-  c_forks : int;
-  c_pages_aliased : int;
-  c_cow_page_copies : int;
-  c_tcache_clones : int;
-  c_blocks_shared : int;
-  c_tables_materialised : int;
-  c_tc_hits : int;
-  c_tc_misses : int;
-  c_tc_compiles : int;
-  c_tc_invalidated : int;
-}
+let campaign_records : Util.Benchfile.campaign list ref = ref []
 
-let campaign_records : campaign_record list ref = ref []
+let metric snapshot name =
+  match List.assoc_opt name snapshot with Some v -> v | None -> 0
 
-let reset_fork_counters () =
-  Vm64.Memory.reset_counters ();
-  Vm64.Tcache.reset_counters ();
-  Vm64.Tcache.reset_exec_counters ();
-  Os.Kernel.reset_forks_served ()
-
-(* Wraps one campaign: resets the process-wide fork-path counters, times
-   the run, records the deltas for the --bench-out file, and (with
-   --mem-stats) prints them. The counters are sums over per-kernel work,
-   so the line is byte-identical for every --jobs value. *)
+(* Wraps one campaign: resets the registry, times the run, records the
+   full metrics snapshot for the --bench-out file, and (with
+   --mem-stats) prints the fork-path line. Registry snapshots are sums
+   over per-kernel work taken after worker domains join, so the line is
+   byte-identical for every --jobs value — and, with --mem-stats off,
+   stdout is byte-identical whether or not --metrics-out/--trace-out
+   are recording. *)
 let with_telemetry name f =
-  reset_fork_counters ();
+  Telemetry.Registry.reset_all ();
   let t0 = Unix.gettimeofday () in
   f ();
   let wall = Unix.gettimeofday () -. t0 in
-  let m = Vm64.Memory.counters () in
-  let tc_clones, tc_shared, tc_mat = Vm64.Tcache.counters () in
-  let xs = Vm64.Tcache.exec_counters () in
-  let r =
-    {
-      c_name = name;
-      c_wall_s = wall;
-      c_forks = Os.Kernel.forks_served ();
-      c_pages_aliased = m.Vm64.Memory.pages_aliased;
-      c_cow_page_copies = m.Vm64.Memory.cow_breaks;
-      c_tcache_clones = tc_clones;
-      c_blocks_shared = tc_shared;
-      c_tables_materialised = tc_mat;
-      c_tc_hits = xs.Vm64.Tcache.hits;
-      c_tc_misses = xs.Vm64.Tcache.misses;
-      c_tc_compiles = xs.Vm64.Tcache.compiles;
-      c_tc_invalidated = xs.Vm64.Tcache.invalidated;
-    }
-  in
-  campaign_records := r :: !campaign_records;
+  let m = Telemetry.Registry.snapshot () in
+  campaign_records :=
+    { Util.Benchfile.name; wall_s = wall; metrics = m } :: !campaign_records;
   if !mem_stats_enabled then
     Printf.printf
       "MEM_STATS %s: forks=%d pages_shared=%d pages_cow_copied=%d \
        tcache_blocks_shared=%d tcache_tables_copied=%d tcache_hits=%d \
        tcache_misses=%d tcache_compiles=%d tcache_invalidated=%d\n"
-      r.c_name r.c_forks r.c_pages_aliased r.c_cow_page_copies r.c_blocks_shared
-      r.c_tables_materialised r.c_tc_hits r.c_tc_misses r.c_tc_compiles
-      r.c_tc_invalidated
+      name
+      (metric m "os.kernel.forks")
+      (metric m Vm64.Memory.metric_pages_aliased)
+      (metric m Vm64.Memory.metric_cow_breaks)
+      (metric m Vm64.Tcache.metric_blocks_shared)
+      (metric m Vm64.Tcache.metric_tables_materialised)
+      (metric m Vm64.Tcache.metric_hits)
+      (metric m Vm64.Tcache.metric_misses)
+      (metric m Vm64.Tcache.metric_compiles)
+      (metric m Vm64.Tcache.metric_invalidated)
 
 let write_bench_json ~jobs =
   match List.rev !campaign_records with
   | [] -> ()
-  | records ->
-    let oc = open_out !bench_out in
-    let field r =
-      Printf.sprintf
-        "    {\"name\": %S, \"wall_s\": %.3f, \"forks\": %d, \
-         \"pages_shared\": %d, \"pages_cow_copied\": %d, \
-         \"tcache_clones\": %d, \"tcache_blocks_shared\": %d, \
-         \"tcache_tables_copied\": %d, \"tcache_hits\": %d, \
-         \"tcache_misses\": %d, \"tcache_compiles\": %d, \
-         \"tcache_invalidated\": %d}"
-        r.c_name r.c_wall_s r.c_forks r.c_pages_aliased r.c_cow_page_copies
-        r.c_tcache_clones r.c_blocks_shared r.c_tables_materialised r.c_tc_hits
-        r.c_tc_misses r.c_tc_compiles r.c_tc_invalidated
-    in
-    Printf.fprintf oc
-      "{\n  \"pr\": 3,\n  \"jobs\": %d,\n  \"compile_tier\": %b,\n  \
-       \"campaigns\": [\n%s\n  ]\n}\n"
-      jobs
-      (Vm64.Compile.enabled ())
-      (String.concat ",\n" (List.map field records));
-    close_out oc
+  | campaigns ->
+    Util.Benchfile.write !bench_out
+      {
+        Util.Benchfile.pr = 4;
+        jobs;
+        compile_tier = Vm64.Compile.enabled ();
+        campaigns;
+      }
+
+(* `validate FILE...`: re-read telemetry JSON through the schema-2
+   reader (campaign record first, bare metrics snapshot second) so CI
+   catches writer/reader drift. *)
+let run_validate files =
+  List.iter
+    (fun file ->
+      match Util.Benchfile.read file with
+      | Ok t ->
+        Printf.printf "VALIDATE %s: ok (campaign record, %d campaign(s))\n" file
+          (List.length t.Util.Benchfile.campaigns)
+      | Error bench_err -> (
+        match Util.Benchfile.read_metrics file with
+        | Ok m ->
+          Printf.printf "VALIDATE %s: ok (metrics snapshot, %d metric(s))\n" file
+            (List.length m)
+        | Error metrics_err ->
+          Printf.eprintf "VALIDATE %s: FAILED\n  as campaign record: %s\n  as metrics snapshot: %s\n"
+            file bench_err metrics_err;
+          exit 1))
+    files
 
 let run_fig5 ~jobs () =
   section "Figure 5 - runtime overhead vs native (28-program SPEC-like suite)";
@@ -342,60 +311,48 @@ let run_tierbench () =
   end
 
 let () =
-  let args = List.tl (Array.to_list Sys.argv) in
-  let rec parse_opts jobs acc = function
-    | [] -> (jobs, List.rev acc)
-    | "--jobs" :: n :: rest -> (
-      match int_of_string_opt n with
-      | Some j when j >= 0 -> parse_opts j acc rest
-      | _ ->
-        Printf.eprintf "--jobs expects a non-negative integer, got %s\n" n;
-        exit 1)
-    | [ "--jobs" ] ->
-      Printf.eprintf "--jobs expects an argument\n";
-      exit 1
-    | "--budget" :: n :: rest -> (
-      match int_of_string_opt n with
-      | Some b when b > 0 ->
-        effectiveness_budget := Some b;
-        parse_opts jobs acc rest
-      | _ ->
-        Printf.eprintf "--budget expects a positive integer, got %s\n" n;
-        exit 1)
-    | [ "--budget" ] ->
-      Printf.eprintf "--budget expects an argument\n";
-      exit 1
-    | "--mem-stats" :: rest ->
-      mem_stats_enabled := true;
-      parse_opts jobs acc rest
-    | "--compile-tier" :: v :: rest -> (
-      match v with
-      | "on" ->
-        Vm64.Compile.set_enabled true;
-        parse_opts jobs acc rest
-      | "off" ->
-        Vm64.Compile.set_enabled false;
-        parse_opts jobs acc rest
-      | _ ->
-        Printf.eprintf "--compile-tier expects on or off, got %s\n" v;
-        exit 1)
-    | [ "--compile-tier" ] ->
-      Printf.eprintf "--compile-tier expects an argument\n";
-      exit 1
-    | "--bench-out" :: file :: rest ->
-      bench_out := file;
-      parse_opts jobs acc rest
-    | [ "--bench-out" ] ->
-      Printf.eprintf "--bench-out expects an argument\n";
-      exit 1
-    | a :: rest -> parse_opts jobs (a :: acc) rest
+  let jobs = ref 1 in
+  let telem = Harness.Cli.telemetry_opts () in
+  let specs =
+    [
+      Harness.Cli.nonneg_int ~name:"--jobs" ~docv:"N"
+        ~doc:
+          "fan the campaign workloads across N domains (default 1;\n\
+           0 = recommended domain count). Output is byte-identical for any N."
+        (fun j -> jobs := j);
+      Harness.Cli.pos_int ~name:"--budget" ~docv:"N"
+        ~doc:"trial budget per effectiveness cell (default 20000)"
+        (fun b -> effectiveness_budget := Some b);
+      Harness.Cli.flag ~name:"--mem-stats"
+        ~doc:
+          "print a deterministic fork-path + translation-cache telemetry\n\
+           line after each campaign. NOTE: tcache_compiles is 0 with\n\
+           --compile-tier off, so tier A/B output diffs must not enable it."
+        (fun () -> mem_stats_enabled := true);
+      Harness.Cli.on_off ~name:"--compile-tier"
+        ~doc:
+          "enable/disable the closure-compiled execution tier (default on).\n\
+           Campaign output is byte-identical either way."
+        Vm64.Compile.set_enabled;
+      Harness.Cli.string_value ~name:"--bench-out" ~docv:"FILE"
+        ~doc:"where to write the perf trajectory record (default BENCH_pr4.json)"
+        (fun f -> bench_out := f);
+    ]
+    @ Harness.Cli.telemetry_specs telem
   in
-  let jobs, args = parse_opts 1 [] args in
-  let jobs = if jobs = 0 then Harness.Pool.default_jobs () else jobs in
+  let args =
+    Harness.Cli.parse_or_exit ~prog:"bench/main.exe"
+      ~positional:"[micro | tierbench | validate FILE... | <experiment>...]"
+      specs
+      (List.tl (Array.to_list Sys.argv))
+  in
+  let jobs = if !jobs = 0 then Harness.Pool.default_jobs () else !jobs in
   let run_named name f = with_telemetry name (fun () -> f ~jobs ()) in
+  Harness.Cli.telemetry_start telem;
   (match args with
   | [ "micro" ] -> run_micro ()
   | [ "tierbench" ] -> run_tierbench ()
+  | "validate" :: files -> run_validate files
   | [] ->
     print_string
       "P-SSP reproduction: regenerating every table and figure of the paper\n";
@@ -411,4 +368,5 @@ let () =
             (String.concat " " (List.map fst experiments));
           exit 1)
       names);
-  write_bench_json ~jobs
+  write_bench_json ~jobs;
+  Harness.Cli.telemetry_finish telem

@@ -41,6 +41,52 @@ let compile_image ~scheme ~static path =
   Mcc.Driver.compile ~name:(Filename.basename path) ~scheme ~linkage
     (Minic.Parser.parse (read_source path))
 
+(* ---- telemetry options (shared flag semantics with bench via Harness.Cli) -- *)
+
+let profile_conv =
+  let parse s =
+    match Harness.Cli.parse_profile_top s with
+    | Ok n -> Ok n
+    | Error msg -> Error (`Msg msg)
+  in
+  Arg.conv (parse, fun fmt n -> Format.fprintf fmt "top=%d" n)
+
+let telemetry_term =
+  let metrics_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write the final registry snapshot as schema-2 metrics JSON.")
+  in
+  let trace_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:"Stream trace spans (JSONL, one object per line) to $(docv).")
+  in
+  let profile_arg =
+    Arg.(
+      value
+      & opt (some profile_conv) None
+      & info [ "profile" ] ~docv:"top=N"
+          ~doc:"Cycle-attributed VM profile; print the N hottest guest symbols.")
+  in
+  let make metrics_out trace_out profile_top =
+    let o = Harness.Cli.telemetry_opts () in
+    o.Harness.Cli.metrics_out <- metrics_out;
+    o.Harness.Cli.trace_out <- trace_out;
+    o.Harness.Cli.profile_top <- profile_top;
+    o
+  in
+  Term.(const make $ metrics_out_arg $ trace_out_arg $ profile_arg)
+
+let image_resolver image addr =
+  Option.map
+    (fun sym -> sym.Os.Image.sym_name)
+    (Os.Image.symbol_covering image addr)
+
 let wrap f =
   try f () with
   | Minic.Lexer.Error (line, msg) ->
@@ -79,7 +125,7 @@ let compile_cmd =
     Term.(const action $ scheme_arg $ static_arg $ opt_flag $ file_arg $ out_arg)
 
 let exec_cmd =
-  let action path input =
+  let action path input telem =
     wrap (fun () ->
         let image =
           try Os.Objfile.load path
@@ -92,6 +138,7 @@ let exec_cmd =
           | Some scheme -> Mcc.Driver.preload_for scheme
           | None -> Rewriter.Driver.required_preload image
         in
+        Harness.Cli.telemetry_start telem;
         let kernel = Os.Kernel.create () in
         let proc =
           Os.Kernel.spawn kernel ~input:(Bytes.of_string input) ~preload image
@@ -101,20 +148,24 @@ let exec_cmd =
         prerr_string (Os.Process.stderr proc);
         Printf.printf "[%s: %s]\n" image.Os.Image.name
           (Os.Kernel.stop_to_string stop);
+        (* [exit] skips Fun.protect finalisers, so flush the telemetry
+           sinks before leaving. *)
+        Harness.Cli.telemetry_finish ~resolve:(image_resolver image) telem;
         match stop with Os.Kernel.Stop_exit n -> exit n | _ -> exit 128)
   in
   let bin_arg =
     Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE.pssp" ~doc:"Executable.")
   in
   let doc = "Load and run an on-disk pssp executable." in
-  Cmd.v (Cmd.info "exec" ~doc) Term.(const action $ bin_arg $ input_arg)
+  Cmd.v (Cmd.info "exec" ~doc) Term.(const action $ bin_arg $ input_arg $ telemetry_term)
 
 (* ---- run ------------------------------------------------------------------- *)
 
 let run_cmd =
-  let action scheme static path input =
+  let action scheme static path input telem =
     wrap (fun () ->
         let image = compile_image ~scheme ~static path in
+        Harness.Cli.telemetry_start telem;
         let kernel = Os.Kernel.create () in
         let proc =
           Os.Kernel.spawn kernel
@@ -127,11 +178,14 @@ let run_cmd =
         Printf.printf "[%s under %s: %s, %Ld cycles]\n" (Filename.basename path)
           (Pssp.Scheme.title scheme) (Os.Kernel.stop_to_string stop)
           (Os.Process.cycles proc);
+        (* [exit] skips Fun.protect finalisers, so flush the telemetry
+           sinks before leaving. *)
+        Harness.Cli.telemetry_finish ~resolve:(image_resolver image) telem;
         match stop with Os.Kernel.Stop_exit n -> exit n | _ -> exit 128)
   in
   let doc = "Compile and run a Mini-C program on the simulated machine." in
   Cmd.v (Cmd.info "run" ~doc)
-    Term.(const action $ scheme_arg $ static_arg $ file_arg $ input_arg)
+    Term.(const action $ scheme_arg $ static_arg $ file_arg $ input_arg $ telemetry_term)
 
 (* ---- disasm ---------------------------------------------------------------- *)
 

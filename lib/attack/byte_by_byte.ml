@@ -17,8 +17,21 @@ exception Stop of outcome
 
 type verify_mode = Hijack | Stealth
 
+(* Process-wide restart total across all attack runs in a campaign,
+   alongside the per-run count reported in [Exhausted]. Restarts are
+   rare (one per full byte-sweep failure), so a registry counter is
+   cheap. *)
+let g_restarts = Telemetry.Registry.counter "attack.restarts"
+
 let run ?(verify = Hijack) oracle ~layout ~max_trials =
   let restarts = ref 0 in
+  let note_restart () =
+    restarts := !restarts + 1;
+    Telemetry.Registry.incr g_restarts;
+    if Telemetry.Trace.enabled () then
+      Telemetry.Trace.instant "attack.restart"
+        ~args:[ ("run_restarts", string_of_int !restarts) ]
+  in
   let deepest = ref 0 in
   let budget_left () = max_trials - Oracle.queries oracle in
   let check_budget () =
@@ -61,7 +74,7 @@ let run ?(verify = Hijack) oracle ~layout ~max_trials =
         | Some byte -> collect (Bytes.cat known (Bytes.make 1 (Char.chr byte)))
         | None ->
           (* no byte survived a full sweep: canary moved under us *)
-          restarts := !restarts + 1;
+          note_restart ();
           check_budget ();
           collect (Bytes.create 0)
     in
@@ -76,7 +89,7 @@ let run ?(verify = Hijack) oracle ~layout ~max_trials =
     in
     if verified then Broken { canary; trials = Oracle.queries oracle }
     else begin
-      restarts := !restarts + 1;
+      note_restart ();
       attempt ()
     end
   in

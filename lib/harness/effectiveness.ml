@@ -27,6 +27,11 @@ let build_target target ~buffer_size =
       Rewriter.Driver.required_preload image,
       Layouts.instrumented_layout ~buffer_size )
 
+(* One tick per finished campaign cell: lets a long effectiveness run
+   report progress through --metrics-out / --trace-out without touching
+   its stdout. *)
+let g_cells = Telemetry.Registry.counter "harness.effectiveness.cells"
+
 let attack_server ?(budget = 20_000) target ~buffer_size =
   let image, preload, layout = build_target target ~buffer_size in
   let oracle = Attack.Oracle.create ~preload image in
@@ -57,6 +62,16 @@ let run ?(jobs = 1) ?(budget = 20_000) ?(targets = default_targets) () =
     Pool.map ~jobs
       (fun (target, (service, buffer_size)) ->
         let broken, trials, restarts = attack_server ~budget target ~buffer_size in
+        Telemetry.Registry.incr g_cells;
+        if Telemetry.Trace.enabled () then
+          Telemetry.Trace.instant "effectiveness.cell"
+            ~args:
+              [
+                ("target", target_name target);
+                ("service", service);
+                ("outcome", if broken then "broken" else "resisted");
+                ("trials", string_of_int trials);
+              ];
         { target; service; broken; trials; restarts })
       cells
   in

@@ -1,19 +1,30 @@
 let default_jobs () = Domain.recommended_domain_count ()
 
+(* One span per pool task when tracing is on. The untraced paths are
+   exactly the pre-telemetry code — campaign output stays byte-identical
+   with tracing off, and the serial path stays allocation-free. *)
+let traced f i x =
+  Telemetry.Trace.with_span "pool.task"
+    ~args:[ ("index", string_of_int i) ]
+    (fun () -> f x)
+
 let map ?(jobs = 1) f xs =
   let items = Array.of_list xs in
   let n = Array.length items in
   let jobs = Stdlib.min jobs n in
-  if jobs <= 1 || n <= 1 then List.map f xs
+  if jobs <= 1 || n <= 1 then
+    if not (Telemetry.Trace.enabled ()) then List.map f xs
+    else List.mapi (traced f) xs
   else begin
     let results = Array.make n None in
     let errors = Array.make n None in
     let next = Atomic.make 0 in
+    let tracing = Telemetry.Trace.enabled () in
     let worker () =
       let rec loop () =
         let i = Atomic.fetch_and_add next 1 in
         if i < n then begin
-          (match f items.(i) with
+          (match if tracing then traced f i items.(i) else f items.(i) with
           | v -> results.(i) <- Some v
           | exception e -> errors.(i) <- Some e);
           loop ()

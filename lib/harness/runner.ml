@@ -76,6 +76,13 @@ let run_built ?(input = Bytes.create 0) ?fuel ?(seed = 0x5EED5L) built =
   }
 
 let run_bench ?seed deployment bench =
+  Telemetry.Trace.with_span "runner.bench"
+    ~args:
+      [
+        ("bench", bench.Workload.Spec.bench_name);
+        ("deployment", deployment_name deployment);
+      ]
+    (fun () ->
   let built = build deployment (Workload.Spec.parse bench) in
   let run = run_built ?seed built in
   (match run.stop with
@@ -85,12 +92,19 @@ let run_bench ?seed deployment bench =
       (Printf.sprintf "Runner.run_bench: %s under %s: %s"
          bench.Workload.Spec.bench_name (deployment_name deployment)
          (Os.Kernel.stop_to_string other)));
-  run
+  run)
 
 let overhead_pct ~native run =
   Util.Stats.overhead_pct
     ~baseline:(Int64.to_float native.cycles)
     ~measured:(Int64.to_float run.cycles)
+
+(* Per-request guest-cycle distribution across every [run_server] call
+   in the process; bucket bounds bracket the few-hundred-to-few-hundred-
+   thousand-cycle requests the Table III/IV profiles produce. *)
+let g_request_cycles =
+  Telemetry.Registry.histogram "harness.server.request_cycles"
+    ~bounds:[| 100; 300; 1_000; 3_000; 10_000; 30_000; 100_000; 300_000; 1_000_000 |]
 
 type server_run = {
   avg_request_cycles : float;
@@ -143,7 +157,8 @@ let run_server ?(seed = 0x5E44EL) deployment (profile : Workload.Servers.profile
       | None -> 0.0
     in
     let parent_work = Int64.to_float (Int64.sub (Os.Process.cycles server) before) in
-    samples.(i) <- child_work +. parent_work
+    samples.(i) <- child_work +. parent_work;
+    Telemetry.Registry.observe g_request_cycles (int_of_float samples.(i))
   done;
   let xs = Vm64.Tcache.exec_stats server.Os.Process.cpu.Vm64.Cpu.tcache in
   {

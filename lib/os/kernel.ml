@@ -9,12 +9,38 @@ type t = {
   mutable forks : int;  (* fork_child calls served by this kernel *)
 }
 
-(* Process-wide fork count across all kernels (domain-safe), feeding the
-   bench driver's --mem-stats line alongside Memory/Tcache counters. *)
-let g_forks = Atomic.make 0
+(* Process-wide lifecycle telemetry across all kernels (domain-safe),
+   published to the metrics registry: forks feed the bench driver's
+   MEM_STATS line alongside the Memory/Tcache metrics; crash/exit
+   counters give campaigns a single pane of glass over guest process
+   churn. *)
+let metric_forks = "os.kernel.forks"
 
-let forks_served () = Atomic.get g_forks
-let reset_forks_served () = Atomic.set g_forks 0
+let g_forks = Telemetry.Registry.counter metric_forks
+let g_crashes = Telemetry.Registry.counter "os.kernel.crashes"
+let g_exits = Telemetry.Registry.counter "os.kernel.exits"
+
+let forks_served () = Telemetry.Registry.counter_value g_forks
+let reset_forks_served () = Telemetry.Registry.reset metric_forks
+
+(* Every transition to a dead status funnels through these two, so the
+   registry counts match the statuses processes end up with. *)
+let note_exited (p : Process.t) code =
+  Telemetry.Registry.incr g_exits;
+  p.Process.status <- Process.Exited code
+
+let note_killed (p : Process.t) signal msg =
+  Telemetry.Registry.incr g_crashes;
+  p.Process.status <- Process.Killed (signal, msg);
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.instant "kernel.crash"
+      ~args:
+        [
+          ("pid", string_of_int p.Process.pid);
+          ("signal", Process.signal_name signal);
+          ("msg", msg);
+        ]
+      ~cycles:p.Process.cpu.Cpu.cycles
 
 let exit_stub_addr = Int64.add Layout.glibc_base 0x800L
 
@@ -75,8 +101,13 @@ let spawn t ?(input = Bytes.create 0) ?(preload = Preload.No_preload)
   cpu.Cpu.fs_base <- Layout.tls_base;
   cpu.Cpu.insn_tax <- insn_tax;
   cpu.Cpu.call_tax <- call_tax;
-  ignore (Pssp.Tls.install_fresh_canary t.master_rng mem ~fs_base:Layout.tls_base);
-  Preload.on_start preload cpu.Cpu.rng mem ~fs_base:Layout.tls_base;
+  Telemetry.Trace.with_span "kernel.spawn.preload"
+    ~args:[ ("image", image.Image.name) ]
+    ~cycles:(fun () -> cpu.Cpu.cycles)
+    (fun () ->
+      ignore
+        (Pssp.Tls.install_fresh_canary t.master_rng mem ~fs_base:Layout.tls_base);
+      Preload.on_start preload cpu.Cpu.rng mem ~fs_base:Layout.tls_base);
   (* P-SSP-OWF keeps its AES key in the callee-saved r12/r13 pair, set up
      once at program start (§V-E3). *)
   if
@@ -135,7 +166,7 @@ let stop_to_string = function
 
 let fork_child t (parent : Process.t) =
   t.forks <- t.forks + 1;
-  Atomic.incr g_forks;
+  Telemetry.Registry.incr g_forks;
   let child_cpu = Cpu.clone parent.Process.cpu in
   let child_mem = Memory.clone parent.Process.mem in
   (* fork() return values *)
@@ -157,6 +188,14 @@ let fork_child t (parent : Process.t) =
     }
   in
   Hashtbl.add t.procs child_pid child;
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.instant "kernel.fork"
+      ~args:
+        [
+          ("parent", string_of_int parent.Process.pid);
+          ("child", string_of_int child_pid);
+        ]
+      ~cycles:parent.Process.cpu.Cpu.cycles;
   Cpu.set parent.Process.cpu Isa.Reg.RAX (Int64.of_int child_pid);
   parent.Process.pending_children <-
     parent.Process.pending_children @ [ child_pid ];
@@ -199,16 +238,16 @@ let rec run_loop t (p : Process.t) fuel =
     match outcome with
     | Exec.Running -> run_loop t p fuel
     | Exec.Halted ->
-      p.Process.status <- Process.Exited 0;
+      note_exited p 0;
       Stop_exit 0
     | Exec.Faulted fault ->
       let signal = Process.signal_of_fault fault in
       let msg = Fault.to_string fault in
-      p.Process.status <- Process.Killed (signal, msg);
+      note_killed p signal msg;
       Stop_kill (signal, msg)
     | Exec.Syscall_trap ->
       let msg = "raw syscall not supported" in
-      p.Process.status <- Process.Killed (Process.Sigill, msg);
+      note_killed p Process.Sigill msg;
       Stop_kill (Process.Sigill, msg)
     | Exec.Builtin name -> handle_builtin t p fuel name
   end
@@ -229,7 +268,7 @@ and handle_builtin t (p : Process.t) fuel name =
   | exception Fault.Trap fault ->
     let signal = Process.signal_of_fault fault in
     let msg = Fault.to_string fault in
-    p.Process.status <- Process.Killed (signal, msg);
+    note_killed p signal msg;
     Stop_kill (signal, msg)
   | Glibc.Ret v ->
     Cpu.set p.Process.cpu Isa.Reg.RAX v;
@@ -237,10 +276,10 @@ and handle_builtin t (p : Process.t) fuel name =
   | Glibc.Control control -> (
     match control with
     | Glibc.Exit code ->
-      p.Process.status <- Process.Exited code;
+      note_exited p code;
       Stop_exit code
     | Glibc.Abort msg ->
-      p.Process.status <- Process.Killed (Process.Sigabrt, msg);
+      note_killed p Process.Sigabrt msg;
       Stop_kill (Process.Sigabrt, msg)
     | Glibc.Fork ->
       ignore (fork_child t p);

@@ -1,0 +1,107 @@
+(* Cycle-attributed profiler over the VM's per-block exit accounting.
+
+   [Exec.step_block] calls {!note} once per dispatched basic block with
+   the block's start address and the cycles the dispatch charged
+   (straight-line costs are pre-summed by the compile tier, so one note
+   covers the whole block either way). Samples accumulate in a
+   per-domain hashtable — no sharing, no atomics on the hot path — and
+   {!dump} folds the tables, so totals are exact once worker domains
+   have joined and are independent of [--jobs] scheduling (per-block
+   cycle counts are deterministic; addition commutes).
+
+   Attribution to symbols happens at report time through an optional
+   resolver (the profiler is below the OS layer and cannot see images):
+   blocks whose addresses resolve to the same name aggregate, unresolved
+   blocks report under their hex address. *)
+
+let enabled_flag = Atomic.make false
+let set_enabled b = Atomic.set enabled_flag b
+let enabled () = Atomic.get enabled_flag
+
+type cell = { mutable cyc : int; mutable blocks : int }
+
+let tables_mu = Mutex.create ()
+let tables : (int64, cell) Hashtbl.t list ref = ref []
+
+let table_key =
+  Domain.DLS.new_key (fun () ->
+      let t : (int64, cell) Hashtbl.t = Hashtbl.create 512 in
+      Mutex.lock tables_mu;
+      tables := t :: !tables;
+      Mutex.unlock tables_mu;
+      t)
+
+let note ~addr ~cycles =
+  let t = Domain.DLS.get table_key in
+  match Hashtbl.find_opt t addr with
+  | Some c ->
+    c.cyc <- c.cyc + cycles;
+    c.blocks <- c.blocks + 1
+  | None -> Hashtbl.add t addr { cyc = cycles; blocks = 1 }
+
+type row = { addr : int64; cycles : int; blocks : int }
+
+let all_tables () =
+  Mutex.lock tables_mu;
+  let ts = !tables in
+  Mutex.unlock tables_mu;
+  ts
+
+let dump () =
+  let merged : (int64, cell) Hashtbl.t = Hashtbl.create 512 in
+  List.iter
+    (fun t ->
+      Hashtbl.iter
+        (fun addr c ->
+          match Hashtbl.find_opt merged addr with
+          | Some m ->
+            m.cyc <- m.cyc + c.cyc;
+            m.blocks <- m.blocks + c.blocks
+          | None -> Hashtbl.add merged addr { cyc = c.cyc; blocks = c.blocks })
+        t)
+    (all_tables ());
+  Hashtbl.fold (fun addr c acc -> { addr; cycles = c.cyc; blocks = c.blocks } :: acc) merged []
+  |> List.sort (fun a b ->
+         match compare b.cycles a.cycles with 0 -> Int64.compare a.addr b.addr | c -> c)
+
+let reset () = List.iter Hashtbl.reset (all_tables ())
+
+let attribute ?resolve rows =
+  let name_of addr =
+    match resolve with
+    | Some r -> (
+      match r addr with Some n -> n | None -> Printf.sprintf "0x%Lx" addr)
+    | None -> Printf.sprintf "0x%Lx" addr
+  in
+  let agg : (string, cell) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun r ->
+      let name = name_of r.addr in
+      match Hashtbl.find_opt agg name with
+      | Some c ->
+        c.cyc <- c.cyc + r.cycles;
+        c.blocks <- c.blocks + r.blocks
+      | None -> Hashtbl.add agg name { cyc = r.cycles; blocks = r.blocks })
+    rows;
+  Hashtbl.fold (fun name c acc -> (name, c.cyc, c.blocks) :: acc) agg []
+  |> List.sort (fun (na, ca, _) (nb, cb, _) ->
+         match compare cb ca with 0 -> String.compare na nb | c -> c)
+
+let report ?resolve ~top () =
+  let rows = dump () in
+  let total = List.fold_left (fun acc r -> acc + r.cycles) 0 rows in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "PROFILE top=%d total_cycles=%d\n" top total);
+  if total = 0 then Buffer.add_string buf "  (no samples: profiler was off or nothing ran)\n"
+  else begin
+    let entries = attribute ?resolve rows in
+    List.iteri
+      (fun i (name, cyc, blocks) ->
+        if i < top then
+          Buffer.add_string buf
+            (Printf.sprintf "  %2d. %-28s cycles=%-10d blocks=%-8d %5.1f%%\n" (i + 1)
+               name cyc blocks
+               (100.0 *. float_of_int cyc /. float_of_int total)))
+      entries
+  end;
+  Buffer.contents buf

@@ -1,0 +1,35 @@
+(** Cycle-attributed VM profiler.
+
+    When enabled, the execution engine calls {!note} once per dispatched
+    basic block with the VM cycles that block charged; samples land in
+    per-domain tables (no hot-path synchronisation). Totals are
+    deterministic for a deterministic workload and independent of
+    [--jobs] — read them after worker domains join.
+
+    The profiler speaks raw guest addresses; symbolisation is the
+    caller's concern via the [?resolve] argument (e.g.
+    [Os.Image.symbol_covering] for a single-image run). *)
+
+val set_enabled : bool -> unit
+val enabled : unit -> bool
+
+val note : addr:int64 -> cycles:int -> unit
+(** Attribute [cycles] to the block starting at [addr]. Callers guard on
+    {!enabled}; calling while disabled still records. *)
+
+type row = { addr : int64; cycles : int; blocks : int }
+
+val dump : unit -> row list
+(** Merged samples across all domains, sorted by cycles descending then
+    address ascending. *)
+
+val reset : unit -> unit
+
+val attribute : ?resolve:(int64 -> string option) -> row list -> (string * int * int) list
+(** Aggregate rows per resolved symbol name ([(name, cycles, blocks)],
+    cycles descending, name ascending); unresolved addresses keep their
+    hex form. *)
+
+val report : ?resolve:(int64 -> string option) -> top:int -> unit -> string
+(** Human-readable top-N table over {!dump}, 100% = all sampled
+    cycles. *)

@@ -1,0 +1,60 @@
+(** Process-wide metrics registry: named counters, fold metrics, and
+    fixed-bucket histograms behind one snapshot/reset surface.
+
+    Domain-safety contract, by backing:
+    - counters and histograms use atomics — update from any domain, read
+      any time;
+    - fold metrics ([register_group]) read subsystem-private records
+      that are mutated without synchronisation on hot paths. Their reads
+      are exact only after the updating domains have been joined (the
+      [Harness.Pool] drivers read snapshots after [Domain.join], which
+      provides the happens-before edge) — the same contract the
+      pre-registry [Memory.counters]/[Tcache.exec_counters] had.
+
+    Metric names are flat strings namespaced with dots
+    (["os.kernel.forks"], ["vm.tcache.hits"]). {!snapshot} flattens
+    histograms into [name/le=BOUND], [name/count] and [name/sum]
+    integer entries, and sorts everything by name, so snapshot-derived
+    output is byte-stable across registration order and [--jobs]. *)
+
+type counter
+
+val counter : string -> counter
+(** Get or create the named counter (atomic-backed). Raises
+    [Invalid_argument] if the name is registered with another kind. *)
+
+val incr : counter -> unit
+val add : counter -> int -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+val register_group : reset:(unit -> unit) -> (string * (unit -> int)) list -> unit
+(** Register fold metrics that share one reset action (e.g. three
+    counters folded over one list of per-family records, reset by
+    clearing the list). Raises [Invalid_argument] on duplicate names. *)
+
+type histogram
+
+val histogram : string -> bounds:int array -> histogram
+(** Get or create a histogram with the given strictly-increasing bucket
+    upper bounds; values above the last bound land in an overflow
+    bucket. *)
+
+val observe : histogram -> int -> unit
+val hist_count : histogram -> int
+val hist_sum : histogram -> int
+
+val read_int : string -> int
+(** Current value of a metric: counter value, fold result, or histogram
+    observation count. Raises [Invalid_argument] on unknown names. *)
+
+val mem : string -> bool
+
+val snapshot : unit -> (string * int) list
+(** All metrics flattened to (name, value), sorted by name. *)
+
+val reset : string -> unit
+(** Reset one metric. For a fold metric this runs its group's reset, so
+    sibling metrics registered in the same group reset too. *)
+
+val reset_all : unit -> unit

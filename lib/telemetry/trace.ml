@@ -1,0 +1,107 @@
+(* Lightweight trace spans, emitted as JSONL through a pluggable sink.
+
+   Tracing is off unless a sink is installed; every probe site guards on
+   {!enabled} so the disabled cost is one atomic load. Spans carry two
+   clocks: the caller-supplied VM cycle counter (deterministic — the
+   same workload produces the same cycle stamps on every run and every
+   [--jobs] value) and host wall-clock microseconds (for relating guest
+   work to host time; inherently nondeterministic). Consumers that diff
+   traces should key on names, depths and cycle stamps only.
+
+   Nesting depth is tracked per domain (spans never cross domains);
+   emission happens when a span ends, so a child's line precedes its
+   parent's — standard for end-stamped span logs. *)
+
+type sink = { emit : string -> unit; close : unit -> unit }
+
+let file_sink path =
+  let oc = open_out path in
+  {
+    emit = (fun line -> output_string oc line; output_char oc '\n');
+    close = (fun () -> close_out oc);
+  }
+
+let memory_sink () =
+  let lines = ref [] in
+  ( { emit = (fun line -> lines := line :: !lines); close = ignore },
+    fun () -> List.rev !lines )
+
+let sink_ref : sink option Atomic.t = Atomic.make None
+let sink_mu = Mutex.create ()
+
+let enabled () = match Atomic.get sink_ref with Some _ -> true | None -> false
+
+let set_sink s = Atomic.set sink_ref s
+
+let close () =
+  match Atomic.exchange sink_ref None with
+  | None -> ()
+  | Some s ->
+    Mutex.lock sink_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock sink_mu) s.close
+
+let emit_line line =
+  match Atomic.get sink_ref with
+  | None -> ()
+  | Some s ->
+    Mutex.lock sink_mu;
+    Fun.protect ~finally:(fun () -> Mutex.unlock sink_mu) (fun () -> s.emit line)
+
+let depth_key = Domain.DLS.new_key (fun () -> ref 0)
+
+let wall_us () = Int64.of_float (Unix.gettimeofday () *. 1e6)
+
+let args_json args = Util.Json.Obj (List.map (fun (k, v) -> (k, Util.Json.String v)) args)
+
+let span_line ~name ~args ~depth ~dom ~cyc0 ~cyc1 ~wall0 ~wall1 =
+  Util.Json.to_string
+    (Util.Json.Obj
+       ([
+          ("ev", Util.Json.String "span");
+          ("name", Util.Json.String name);
+          ("dom", Util.Json.Int dom);
+          ("depth", Util.Json.Int depth);
+          ("cyc0", Util.Json.Int (Int64.to_int cyc0));
+          ("cyc1", Util.Json.Int (Int64.to_int cyc1));
+          ("wall_us0", Util.Json.Int (Int64.to_int wall0));
+          ("wall_us1", Util.Json.Int (Int64.to_int wall1));
+        ]
+       @ if args = [] then [] else [ ("args", args_json args) ]))
+
+let instant_line ~name ~args ~dom ~cyc ~wall =
+  Util.Json.to_string
+    (Util.Json.Obj
+       ([
+          ("ev", Util.Json.String "instant");
+          ("name", Util.Json.String name);
+          ("dom", Util.Json.Int dom);
+          ("cyc", Util.Json.Int (Int64.to_int cyc));
+          ("wall_us", Util.Json.Int (Int64.to_int wall));
+        ]
+       @ if args = [] then [] else [ ("args", args_json args) ]))
+
+let dom_id () = (Domain.self () :> int)
+
+let with_span ?(args = []) ?cycles name f =
+  if not (enabled ()) then f ()
+  else begin
+    let cyc = match cycles with Some g -> g | None -> fun () -> 0L in
+    let depth = Domain.DLS.get depth_key in
+    let d = !depth in
+    let cyc0 = cyc () in
+    let wall0 = wall_us () in
+    incr depth;
+    Fun.protect
+      ~finally:(fun () ->
+        decr depth;
+        let cyc1 = cyc () in
+        let wall1 = wall_us () in
+        emit_line
+          (span_line ~name ~args ~depth:d ~dom:(dom_id ()) ~cyc0 ~cyc1 ~wall0 ~wall1))
+      f
+  end
+
+let instant ?(args = []) ?(cycles = 0L) name =
+  if enabled () then
+    emit_line
+      (instant_line ~name ~args ~dom:(dom_id ()) ~cyc:cycles ~wall:(wall_us ()))

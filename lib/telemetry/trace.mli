@@ -1,0 +1,39 @@
+(** Trace spans with VM-cycle and wall-clock timestamps, emitted as one
+    JSON object per line through a pluggable sink.
+
+    Disabled (no sink installed) the probe cost is a single atomic load;
+    call sites that would allocate an argument list should additionally
+    guard on {!enabled}. Span lines are emitted when the span {e ends},
+    so children precede parents in the output; the [depth] field
+    reconstructs the nesting. Cycle stamps come from the caller's
+    [?cycles] thunk (normally a [Cpu.t]'s cycle counter) and are
+    deterministic for a deterministic workload; wall-clock stamps are
+    host microseconds and are not. *)
+
+type sink = { emit : string -> unit; close : unit -> unit }
+
+val file_sink : string -> sink
+(** Opens the file for writing immediately; lines are flushed on
+    {!close}. *)
+
+val memory_sink : unit -> sink * (unit -> string list)
+(** In-memory sink plus an accessor returning the lines emitted so far,
+    oldest first — for tests. *)
+
+val set_sink : sink option -> unit
+(** Installing a sink enables tracing; [None] disables it (without
+    closing the previous sink — use {!close} for that). *)
+
+val close : unit -> unit
+(** Disable tracing and close the current sink, if any. *)
+
+val enabled : unit -> bool
+
+val with_span :
+  ?args:(string * string) list -> ?cycles:(unit -> int64) -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] runs [f], emitting a span line when it returns
+    (or raises). [?cycles] is sampled at begin and end; it defaults to a
+    constant [0L]. *)
+
+val instant : ?args:(string * string) list -> ?cycles:int64 -> string -> unit
+(** A zero-duration event line. *)

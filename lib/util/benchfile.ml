@@ -1,0 +1,132 @@
+(* Versioned on-disk schema for the perf trajectory record
+   (--bench-out) and the metrics snapshot (--metrics-out). Schema 2
+   replaces the hand-rolled per-counter fields of BENCH_pr2/pr3.json
+   with a generic registry snapshot: every campaign carries a
+   {"metric-name": int} object, so the CI perf gate reads one shape no
+   matter which counters future PRs add. *)
+
+let schema_version = 2
+
+type campaign = {
+  name : string;
+  wall_s : float;
+  metrics : (string * int) list;  (* name-sorted registry snapshot *)
+}
+
+type t = {
+  pr : int;
+  jobs : int;
+  compile_tier : bool;
+  campaigns : campaign list;
+}
+
+let metrics_to_json metrics = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) metrics)
+
+let campaign_to_json c =
+  Json.Obj
+    [
+      ("name", Json.String c.name);
+      ("wall_s", Json.Float c.wall_s);
+      ("metrics", metrics_to_json c.metrics);
+    ]
+
+let to_json t =
+  Json.Obj
+    [
+      ("schema", Json.Int schema_version);
+      ("pr", Json.Int t.pr);
+      ("jobs", Json.Int t.jobs);
+      ("compile_tier", Json.Bool t.compile_tier);
+      ("campaigns", Json.List (List.map campaign_to_json t.campaigns));
+    ]
+
+let write path t =
+  let oc = open_out path in
+  output_string oc (Json.to_string (to_json t));
+  output_char oc '\n';
+  close_out oc
+
+(* ---- readers -------------------------------------------------------------- *)
+
+let ( let* ) = Result.bind
+
+let require what = function Some v -> Ok v | None -> Error ("missing or ill-typed " ^ what)
+
+let check_schema j =
+  let* v = require "\"schema\"" (Option.bind (Json.member "schema" j) Json.to_int_opt) in
+  if v <> schema_version then
+    Error (Printf.sprintf "unsupported schema %d (want %d)" v schema_version)
+  else Ok ()
+
+let metrics_of_json what j =
+  let* fields = require what (Json.to_obj_opt j) in
+  List.fold_left
+    (fun acc (k, v) ->
+      let* acc = acc in
+      match Json.to_int_opt v with
+      | Some n -> Ok ((k, n) :: acc)
+      | None -> Error (Printf.sprintf "metric %S is not an integer" k))
+    (Ok []) fields
+  |> Result.map List.rev
+
+let campaign_of_json j =
+  let* name = require "campaign \"name\"" (Option.bind (Json.member "name" j) Json.to_string_opt) in
+  let* wall_s =
+    require "campaign \"wall_s\"" (Option.bind (Json.member "wall_s" j) Json.to_float_opt)
+  in
+  let* metrics =
+    let* m = require "campaign \"metrics\"" (Json.member "metrics" j) in
+    metrics_of_json "campaign \"metrics\"" m
+  in
+  Ok { name; wall_s; metrics }
+
+let of_json j =
+  let* () = check_schema j in
+  let* pr = require "\"pr\"" (Option.bind (Json.member "pr" j) Json.to_int_opt) in
+  let* jobs = require "\"jobs\"" (Option.bind (Json.member "jobs" j) Json.to_int_opt) in
+  let* compile_tier =
+    require "\"compile_tier\"" (Option.bind (Json.member "compile_tier" j) Json.to_bool_opt)
+  in
+  let* campaigns =
+    let* cs = require "\"campaigns\"" (Option.bind (Json.member "campaigns" j) Json.to_list_opt) in
+    List.fold_left
+      (fun acc c ->
+        let* acc = acc in
+        let* c = campaign_of_json c in
+        Ok (c :: acc))
+      (Ok []) cs
+    |> Result.map List.rev
+  in
+  Ok { pr; jobs; compile_tier; campaigns }
+
+let read_file path =
+  match open_in_bin path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    Ok s
+
+let read path =
+  let* s = read_file path in
+  let* j = Json.parse s in
+  of_json j
+
+(* A --metrics-out snapshot: {"schema": 2, "metrics": {...}}. *)
+
+let metrics_snapshot_to_json metrics =
+  Json.Obj [ ("schema", Json.Int schema_version); ("metrics", metrics_to_json metrics) ]
+
+let write_metrics path metrics =
+  let oc = open_out path in
+  output_string oc (Json.to_string (metrics_snapshot_to_json metrics));
+  output_char oc '\n';
+  close_out oc
+
+let read_metrics path =
+  let* s = read_file path in
+  let* j = Json.parse s in
+  let* () = check_schema j in
+  let* m = require "\"metrics\"" (Json.member "metrics" j) in
+  metrics_of_json "\"metrics\"" m

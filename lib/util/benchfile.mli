@@ -1,0 +1,37 @@
+(** Versioned schema for the telemetry JSON files.
+
+    Two shapes share the version number {!schema_version}:
+    - the perf trajectory record ([--bench-out], [BENCH_*.json]):
+      [{"schema": 2, "pr": .., "jobs": .., "compile_tier": ..,
+      "campaigns": [{"name", "wall_s", "metrics": {..}}]}]
+    - the bare metrics snapshot ([--metrics-out]):
+      [{"schema": 2, "metrics": {..}}]
+
+    Metrics objects map registry metric names to integers (histograms
+    are pre-flattened into per-bucket entries by the registry snapshot).
+    [read (write x) = Ok x] up to float representation — the CI perf
+    gate relies on this round-trip. *)
+
+val schema_version : int
+
+type campaign = {
+  name : string;
+  wall_s : float;
+  metrics : (string * int) list;  (** name-sorted registry snapshot *)
+}
+
+type t = {
+  pr : int;
+  jobs : int;
+  compile_tier : bool;
+  campaigns : campaign list;
+}
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+val write : string -> t -> unit
+val read : string -> (t, string) result
+
+val metrics_snapshot_to_json : (string * int) list -> Json.t
+val write_metrics : string -> (string * int) list -> unit
+val read_metrics : string -> ((string * int) list, string) result

@@ -1,0 +1,241 @@
+(* Minimal JSON: exactly what the telemetry files need (objects, arrays,
+   strings, ints, floats, bools, null), with a writer/parser pair that
+   round-trips. No external dependency — the toolchain image has no
+   yojson, and the subset is small enough that hand-rolling it is
+   cheaper than gating the telemetry surface on an optional library. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ---- writer -------------------------------------------------------------- *)
+
+let escape_string buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* Shortest decimal form that parses back to the same float. *)
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.15g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f -> Buffer.add_string buf (float_repr f)
+  | String s -> escape_string buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+        if i > 0 then Buffer.add_string buf ", ";
+        write buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_string buf ", ";
+        escape_string buf k;
+        Buffer.add_string buf ": ";
+        write buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  write buf j;
+  Buffer.contents buf
+
+(* ---- parser -------------------------------------------------------------- *)
+
+exception Parse_error of string
+
+let parse_error fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+type cursor = { src : string; mutable pos : int }
+
+let peek c = if c.pos < String.length c.src then Some c.src.[c.pos] else None
+
+let advance c = c.pos <- c.pos + 1
+
+let rec skip_ws c =
+  match peek c with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+    advance c;
+    skip_ws c
+  | _ -> ()
+
+let expect c ch =
+  match peek c with
+  | Some x when x = ch -> advance c
+  | Some x -> parse_error "expected %c at offset %d, got %c" ch c.pos x
+  | None -> parse_error "expected %c at offset %d, got end of input" ch c.pos
+
+let literal c word value =
+  let n = String.length word in
+  if c.pos + n <= String.length c.src && String.sub c.src c.pos n = word then begin
+    c.pos <- c.pos + n;
+    value
+  end
+  else parse_error "bad literal at offset %d" c.pos
+
+let parse_string_body c =
+  expect c '"';
+  let buf = Buffer.create 16 in
+  let rec loop () =
+    match peek c with
+    | None -> parse_error "unterminated string"
+    | Some '"' -> advance c
+    | Some '\\' -> (
+      advance c;
+      match peek c with
+      | Some '"' -> advance c; Buffer.add_char buf '"'; loop ()
+      | Some '\\' -> advance c; Buffer.add_char buf '\\'; loop ()
+      | Some '/' -> advance c; Buffer.add_char buf '/'; loop ()
+      | Some 'n' -> advance c; Buffer.add_char buf '\n'; loop ()
+      | Some 'r' -> advance c; Buffer.add_char buf '\r'; loop ()
+      | Some 't' -> advance c; Buffer.add_char buf '\t'; loop ()
+      | Some 'b' -> advance c; Buffer.add_char buf '\b'; loop ()
+      | Some 'f' -> advance c; Buffer.add_char buf '\012'; loop ()
+      | Some 'u' ->
+        advance c;
+        if c.pos + 4 > String.length c.src then parse_error "bad \\u escape";
+        let hex = String.sub c.src c.pos 4 in
+        c.pos <- c.pos + 4;
+        let code =
+          try int_of_string ("0x" ^ hex)
+          with _ -> parse_error "bad \\u escape %s" hex
+        in
+        (* basic-multilingual-plane only; enough for our own output *)
+        if code < 0x80 then Buffer.add_char buf (Char.chr code)
+        else Buffer.add_string buf (Printf.sprintf "\\u%04x" code);
+        loop ()
+      | _ -> parse_error "bad escape at offset %d" c.pos)
+    | Some ch ->
+      advance c;
+      Buffer.add_char buf ch;
+      loop ()
+  in
+  loop ();
+  Buffer.contents buf
+
+let parse_number c =
+  let start = c.pos in
+  let is_float = ref false in
+  let rec loop () =
+    match peek c with
+    | Some ('0' .. '9' | '-' | '+') ->
+      advance c;
+      loop ()
+    | Some ('.' | 'e' | 'E') ->
+      is_float := true;
+      advance c;
+      loop ()
+    | _ -> ()
+  in
+  loop ();
+  let s = String.sub c.src start (c.pos - start) in
+  if !is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> parse_error "bad number %s" s
+  else
+    match int_of_string_opt s with
+    | Some n -> Int n
+    | None -> (
+      match float_of_string_opt s with
+      | Some f -> Float f
+      | None -> parse_error "bad number %s" s)
+
+let rec parse_value c =
+  skip_ws c;
+  match peek c with
+  | None -> parse_error "unexpected end of input"
+  | Some '{' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some '}' then begin advance c; Obj [] end
+    else begin
+      let fields = ref [] in
+      let rec loop () =
+        skip_ws c;
+        let k = parse_string_body c in
+        skip_ws c;
+        expect c ':';
+        let v = parse_value c in
+        fields := (k, v) :: !fields;
+        skip_ws c;
+        match peek c with
+        | Some ',' -> advance c; loop ()
+        | Some '}' -> advance c
+        | _ -> parse_error "expected , or } at offset %d" c.pos
+      in
+      loop ();
+      Obj (List.rev !fields)
+    end
+  | Some '[' ->
+    advance c;
+    skip_ws c;
+    if peek c = Some ']' then begin advance c; List [] end
+    else begin
+      let items = ref [] in
+      let rec loop () =
+        let v = parse_value c in
+        items := v :: !items;
+        skip_ws c;
+        match peek c with
+        | Some ',' -> advance c; loop ()
+        | Some ']' -> advance c
+        | _ -> parse_error "expected , or ] at offset %d" c.pos
+      in
+      loop ();
+      List (List.rev !items)
+    end
+  | Some '"' -> String (parse_string_body c)
+  | Some 't' -> literal c "true" (Bool true)
+  | Some 'f' -> literal c "false" (Bool false)
+  | Some 'n' -> literal c "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number c
+  | Some ch -> parse_error "unexpected character %c at offset %d" ch c.pos
+
+let parse s =
+  let c = { src = s; pos = 0 } in
+  match parse_value c with
+  | v ->
+    skip_ws c;
+    if c.pos <> String.length s then Error "trailing garbage after JSON value"
+    else Ok v
+  | exception Parse_error msg -> Error msg
+
+(* ---- accessors ----------------------------------------------------------- *)
+
+let member k = function Obj fields -> List.assoc_opt k fields | _ -> None
+
+let to_int_opt = function Int n -> Some n | _ -> None
+let to_float_opt = function Float f -> Some f | Int n -> Some (float_of_int n) | _ -> None
+let to_string_opt = function String s -> Some s | _ -> None
+let to_list_opt = function List xs -> Some xs | _ -> None
+let to_obj_opt = function Obj fields -> Some fields | _ -> None
+let to_bool_opt = function Bool b -> Some b | _ -> None

@@ -1,0 +1,31 @@
+(** Minimal JSON reader/writer for the telemetry files ([--metrics-out],
+    [--trace-out], [BENCH_*.json]). [parse] and [to_string] round-trip:
+    [parse (to_string j) = Ok j] for every value this module can build
+    (float representations are chosen so they re-parse to the same
+    float). Not a general-purpose JSON library — no streaming, and
+    [\uXXXX] escapes outside ASCII are preserved literally rather than
+    decoded to UTF-8. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field of an object, [None] on missing field or non-object. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** [Int] values coerce to float. *)
+
+val to_string_opt : t -> string option
+val to_list_opt : t -> t list option
+val to_obj_opt : t -> (string * t) list option
+val to_bool_opt : t -> bool option

@@ -635,9 +635,13 @@ let sets_rip_on_running = function
   | I.Jmp _ | I.Jcc _ | I.Call _ | I.Call_ind _ | I.Ret -> true
   | _ -> false
 
+let g_uncompilable = Telemetry.Registry.counter "vm.compile.uncompilable"
+
 let compile ~is_builtin (b : Tcache.block) : Compiled.slot =
-  if Array.exists (function I.Rdtsc -> true | _ -> false) b.Tcache.insns then
+  if Array.exists (function I.Rdtsc -> true | _ -> false) b.Tcache.insns then begin
+    Telemetry.Registry.incr g_uncompilable;
     Uncompilable
+  end
   else begin
     let insns = b.Tcache.insns in
     let n = Array.length insns in

@@ -453,30 +453,44 @@ let interp_block env cpu mem b ~max_insns =
    and the closure array is reused — including by fork relatives
    sharing the block record, since compilation is deterministic and the
    result immutable. A fetch fault retires nothing. *)
+let dispatch_block env cpu mem b ~max_insns =
+  match env.on_retire with
+  | Some _ -> interp_block env cpu mem b ~max_insns
+  | None ->
+    if not (Compile.enabled ()) then interp_block env cpu mem b ~max_insns
+    else begin
+      match b.Tcache.compiled with
+      | Compile.Code c when Compile.key c == env.is_builtin ->
+        Compile.run_code c cpu mem ~limit:max_insns
+      | Compile.Uncompilable -> interp_block env cpu mem b ~max_insns
+      | _ -> (
+        (* not yet compiled, or compiled against another environment *)
+        match Compile.compile ~is_builtin:env.is_builtin b with
+        | Compile.Code c as slot ->
+          b.Tcache.compiled <- slot;
+          Tcache.note_compile cpu.Cpu.tcache;
+          Compile.run_code c cpu mem ~limit:max_insns
+        | slot ->
+          b.Tcache.compiled <- slot;
+          interp_block env cpu mem b ~max_insns)
+    end
+
 let step_block env cpu mem ~max_insns =
   match fetch_block cpu mem with
   | Error fault -> (Faulted fault, 0)
-  | Ok b -> (
-    match env.on_retire with
-    | Some _ -> interp_block env cpu mem b ~max_insns
-    | None ->
-      if not (Compile.enabled ()) then interp_block env cpu mem b ~max_insns
-      else begin
-        match b.Tcache.compiled with
-        | Compile.Code c when Compile.key c == env.is_builtin ->
-          Compile.run_code c cpu mem ~limit:max_insns
-        | Compile.Uncompilable -> interp_block env cpu mem b ~max_insns
-        | _ -> (
-          (* not yet compiled, or compiled against another environment *)
-          match Compile.compile ~is_builtin:env.is_builtin b with
-          | Compile.Code c as slot ->
-            b.Tcache.compiled <- slot;
-            Tcache.note_compile cpu.Cpu.tcache;
-            Compile.run_code c cpu mem ~limit:max_insns
-          | slot ->
-            b.Tcache.compiled <- slot;
-            interp_block env cpu mem b ~max_insns)
-      end)
+  | Ok b ->
+    if not (Telemetry.Profile.enabled ()) then dispatch_block env cpu mem b ~max_insns
+    else begin
+      (* Per-block exit accounting for the cycle profiler: everything
+         the dispatch charged (pre-summed straight-line costs in the
+         compiled tier, per-insn adds in the interpreter) is attributed
+         to the block's start address in one note. *)
+      let c0 = cpu.Cpu.cycles in
+      let r = dispatch_block env cpu mem b ~max_insns in
+      Telemetry.Profile.note ~addr:b.Tcache.bb_start
+        ~cycles:(Int64.to_int (Int64.sub cpu.Cpu.cycles c0));
+      r
+    end
 
 let step env cpu mem = fst (step_block env cpu mem ~max_insns:1)
 

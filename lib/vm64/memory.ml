@@ -41,11 +41,13 @@ type family_stats = {
    campaigns). Per-family counts are independent of scheduling, so the
    sums are too; the bench driver reads them only after worker domains
    join, which gives the happens-before edge for the plain mutable
-   fields. *)
+   fields. The fold is published to the process-wide telemetry registry
+   as a metric group; [counters]/[reset_counters] survive as thin
+   wrappers over the registry names. *)
 let registry : family_stats list ref = ref []
 let registry_mu = Mutex.create ()
 
-let counters () =
+let fold_families () =
   Mutex.lock registry_mu;
   let fams = !registry in
   Mutex.unlock registry_mu;
@@ -59,10 +61,30 @@ let counters () =
     { clones = 0; pages_aliased = 0; cow_breaks = 0 }
     fams
 
-let reset_counters () =
-  Mutex.lock registry_mu;
-  registry := [];
-  Mutex.unlock registry_mu
+let metric_clones = "vm.mem.clones"
+let metric_pages_aliased = "vm.mem.pages_aliased"
+let metric_cow_breaks = "vm.mem.cow_breaks"
+
+let () =
+  Telemetry.Registry.register_group
+    ~reset:(fun () ->
+      Mutex.lock registry_mu;
+      registry := [];
+      Mutex.unlock registry_mu)
+    [
+      (metric_clones, fun () -> (fold_families ()).clones);
+      (metric_pages_aliased, fun () -> (fold_families ()).pages_aliased);
+      (metric_cow_breaks, fun () -> (fold_families ()).cow_breaks);
+    ]
+
+let counters () =
+  {
+    clones = Telemetry.Registry.read_int metric_clones;
+    pages_aliased = Telemetry.Registry.read_int metric_pages_aliased;
+    cow_breaks = Telemetry.Registry.read_int metric_cow_breaks;
+  }
+
+let reset_counters () = Telemetry.Registry.reset metric_clones
 
 let chunk_bits = 6
 let chunk_pages = 1 lsl chunk_bits (* pages per chunk *)

@@ -93,8 +93,19 @@ val family_stats : t -> family_stats
     descendants, so they survive children being reaped). Returns a
     snapshot. *)
 
+val metric_clones : string
+val metric_pages_aliased : string
+val metric_cow_breaks : string
+(** Names under which the process-wide fork-path totals are published to
+    {!Telemetry.Registry} (one metric group; resetting any of them
+    resets all three). *)
+
 val counters : unit -> family_stats
-(** Process-wide totals across all families since {!reset_counters} —
-    domain-safe, for the bench driver's [--mem-stats] aggregation. *)
+(** Deprecated: thin wrapper over [Telemetry.Registry.read_int] of the
+    [vm.mem.*] metrics — new code should read the registry (or a
+    snapshot) directly. Process-wide totals across all families since
+    {!reset_counters}; domain-safe. Kept for one release. *)
 
 val reset_counters : unit -> unit
+(** Deprecated: equivalent to [Telemetry.Registry.reset] on the
+    [vm.mem.*] group. Kept for one release. *)

@@ -71,30 +71,29 @@ type t = {
 }
 
 (* Fork-path telemetry (process-wide; campaigns fan across domains).
-   These fire once per clone/materialise, so atomics are cheap here. *)
-let g_clones = Atomic.make 0
-let g_blocks_shared = Atomic.make 0
-let g_materialised = Atomic.make 0
+   These fire once per clone/materialise, so registry counters (shared
+   atomics) are cheap here. *)
+let metric_clones = "vm.tcache.clones"
+let metric_blocks_shared = "vm.tcache.blocks_shared"
+let metric_tables_materialised = "vm.tcache.tables_materialised"
+
+let g_clones = Telemetry.Registry.counter metric_clones
+let g_blocks_shared = Telemetry.Registry.counter metric_blocks_shared
+let g_materialised = Telemetry.Registry.counter metric_tables_materialised
 
 (* Execution-path totals fire on EVERY block dispatch, where a shared
    atomic would bounce cache lines between domains (measured: ~3x
    wall-clock on a 4-domain campaign). Instead each family registers
    its stats record once at [create] and the process totals are folded
-   over the registry on demand. Per-family counts are independent of
+   over the family registry on demand; the fold is published to the
+   telemetry registry as the [vm.tcache.hits/misses/compiles/
+   invalidated] metric group. Per-family counts are independent of
    [--jobs] scheduling, so the sums are too; they are only read after
    worker domains join (Domain.join gives the happens-before edge). *)
 let registry : exec_stats list ref = ref []
 let registry_mu = Mutex.create ()
 
-let counters () =
-  (Atomic.get g_clones, Atomic.get g_blocks_shared, Atomic.get g_materialised)
-
-let reset_counters () =
-  Atomic.set g_clones 0;
-  Atomic.set g_blocks_shared 0;
-  Atomic.set g_materialised 0
-
-let exec_counters () =
+let fold_exec () =
   Mutex.lock registry_mu;
   let fams = !registry in
   Mutex.unlock registry_mu;
@@ -109,10 +108,43 @@ let exec_counters () =
     { hits = 0; misses = 0; compiles = 0; invalidated = 0 }
     fams
 
-let reset_exec_counters () =
-  Mutex.lock registry_mu;
-  registry := [];
-  Mutex.unlock registry_mu
+let metric_hits = "vm.tcache.hits"
+let metric_misses = "vm.tcache.misses"
+let metric_compiles = "vm.tcache.compiles"
+let metric_invalidated = "vm.tcache.invalidated"
+
+let () =
+  Telemetry.Registry.register_group
+    ~reset:(fun () ->
+      Mutex.lock registry_mu;
+      registry := [];
+      Mutex.unlock registry_mu)
+    [
+      (metric_hits, fun () -> (fold_exec ()).hits);
+      (metric_misses, fun () -> (fold_exec ()).misses);
+      (metric_compiles, fun () -> (fold_exec ()).compiles);
+      (metric_invalidated, fun () -> (fold_exec ()).invalidated);
+    ]
+
+let counters () =
+  ( Telemetry.Registry.counter_value g_clones,
+    Telemetry.Registry.counter_value g_blocks_shared,
+    Telemetry.Registry.counter_value g_materialised )
+
+let reset_counters () =
+  Telemetry.Registry.reset metric_clones;
+  Telemetry.Registry.reset metric_blocks_shared;
+  Telemetry.Registry.reset metric_tables_materialised
+
+let exec_counters () =
+  {
+    hits = Telemetry.Registry.read_int metric_hits;
+    misses = Telemetry.Registry.read_int metric_misses;
+    compiles = Telemetry.Registry.read_int metric_compiles;
+    invalidated = Telemetry.Registry.read_int metric_invalidated;
+  }
+
+let reset_exec_counters () = Telemetry.Registry.reset metric_hits
 
 let create () =
   let xstats = { hits = 0; misses = 0; compiles = 0; invalidated = 0 } in
@@ -123,8 +155,8 @@ let create () =
 
 let clone t =
   t.private_table <- false;
-  Atomic.incr g_clones;
-  ignore (Atomic.fetch_and_add g_blocks_shared (Hashtbl.length t.blocks));
+  Telemetry.Registry.incr g_clones;
+  Telemetry.Registry.add g_blocks_shared (Hashtbl.length t.blocks);
   { blocks = t.blocks; private_table = false; xstats = t.xstats }
 
 let is_shared t = not t.private_table
@@ -136,7 +168,7 @@ let own t =
   if not t.private_table then begin
     t.blocks <- Hashtbl.copy t.blocks;
     t.private_table <- true;
-    Atomic.incr g_materialised
+    Telemetry.Registry.incr g_materialised
   end
 
 let find t rip = Hashtbl.find_opt t.blocks rip

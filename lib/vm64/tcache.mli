@@ -97,11 +97,27 @@ val invalidate_all : t -> unit
 val stats : t -> int * int
 (** [(blocks, instructions)] currently cached — for tests and debug. *)
 
+val metric_clones : string
+val metric_blocks_shared : string
+val metric_tables_materialised : string
+val metric_hits : string
+val metric_misses : string
+val metric_compiles : string
+val metric_invalidated : string
+(** Names under which the process-wide tcache totals are published to
+    {!Telemetry.Registry}. The first three are plain counters; the last
+    four form one fold-metric group (resetting any resets all four). *)
+
 val counters : unit -> int * int * int
-(** Process-wide fork-path telemetry since {!reset_counters}:
-    [(clones, blocks_shared_at_clone, tables_materialised)]. *)
+(** Deprecated: thin wrapper over the [vm.tcache.clones/blocks_shared/
+    tables_materialised] registry counters — new code should read the
+    registry directly. [(clones, blocks_shared_at_clone,
+    tables_materialised)] since {!reset_counters}. Kept for one
+    release. *)
 
 val reset_counters : unit -> unit
+(** Deprecated: resets the three fork-path registry counters. Kept for
+    one release. *)
 
 (** Execution-path telemetry (lookups, decodes, closure-tier activity),
     [Memory.family_stats]-style. *)
@@ -117,7 +133,12 @@ val exec_stats : t -> exec_stats
     surviving their reaping). *)
 
 val exec_counters : unit -> exec_stats
-(** Process-wide totals since {!reset_exec_counters} — domain-safe sums,
-    independent of [--jobs] scheduling. *)
+(** Deprecated: thin wrapper over [Telemetry.Registry.read_int] of the
+    [vm.tcache.hits/misses/compiles/invalidated] metrics — new code
+    should read the registry directly. Process-wide totals since
+    {!reset_exec_counters}; domain-safe sums, independent of [--jobs]
+    scheduling. Kept for one release. *)
 
 val reset_exec_counters : unit -> unit
+(** Deprecated: equivalent to [Telemetry.Registry.reset] on the
+    [vm.tcache.hits] group. Kept for one release. *)
