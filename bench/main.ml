@@ -9,7 +9,7 @@
      bench/main.exe tierbench             compiled tier vs interpreter A/B
      bench/main.exe validate FILE [...]   check telemetry JSON files
    Experiments: table1 table2 table3 table4 table5 fig5 effectiveness
-                compat theorem1 exposure ablation
+                loadbench compat theorem1 exposure ablation
    Flags are declared through Harness.Cli (shared with pssp_cli);
    bench/main.exe --help prints the generated option list.
 
@@ -24,7 +24,12 @@ let section title =
 
 let mem_stats_enabled = ref false
 let effectiveness_budget = ref None
-let bench_out = ref "BENCH_pr4.json"
+let bench_out = ref "BENCH_pr5.json"
+
+(* loadbench knobs (see the `loadbench` command) *)
+let load_connections = ref 64
+let load_keepalive = ref 8
+let load_mode = ref Net.Loadgen.Closed
 
 let campaign_records : Util.Benchfile.campaign list ref = ref []
 
@@ -68,7 +73,7 @@ let write_bench_json ~jobs =
   | campaigns ->
     Util.Benchfile.write !bench_out
       {
-        Util.Benchfile.pr = 4;
+        Util.Benchfile.pr = 5;
         jobs;
         compile_tier = Vm64.Compile.enabled ();
         campaigns;
@@ -171,6 +176,55 @@ let run_ablation () =
   Util.Table.print
     (Harness.Ablation.gb_compiled_table (Harness.Ablation.run_global_buffer_compiled ()))
 
+(* ---- loadbench: concurrent traffic against the server profiles ----------- *)
+
+let loadgen_mode_name = function
+  | Net.Loadgen.Closed -> "closed"
+  | Net.Loadgen.Open { interarrival } ->
+    Printf.sprintf "open/%Ld" interarrival
+
+let run_loadbench ~jobs () =
+  section "Loadbench - concurrent keep-alive traffic (lib/net scheduler)";
+  let total = Option.value !effectiveness_budget ~default:512 in
+  let connections = !load_connections in
+  let keepalive = !load_keepalive in
+  let mode = !load_mode in
+  Printf.printf
+    "mode=%s connections=%d keepalive=%d requests-per-cell=%d\n"
+    (loadgen_mode_name mode) connections keepalive total;
+  let cells =
+    List.concat_map
+      (fun profile ->
+        [ (profile, Harness.Runner.Native);
+          (profile, Harness.Runner.Compiler Pssp.Scheme.Pssp) ])
+      [ Workload.Servers.apache2; Workload.Servers.nginx ]
+  in
+  let results =
+    Harness.Pool.map ~jobs
+      (fun (profile, deployment) ->
+        ( profile,
+          deployment,
+          Harness.Runner.run_load deployment profile ~mode ~connections
+            ~keepalive ~total ~slow_every:17 ~abort_every:97 ))
+      cells
+  in
+  List.iter
+    (fun ((profile : Workload.Servers.profile), deployment, r) ->
+      Printf.printf
+        "LOADBENCH %s/%s: sent=%d ok=%d failed=%d aborted=%d refused=%d \
+         peak_open=%d forks=%d lat_p50=%.0f lat_p99=%.0f cycles=%Ld \
+         rps=%.1f alive=%s\n"
+        profile.Workload.Servers.profile_name
+        (Harness.Runner.deployment_name deployment)
+        r.Harness.Runner.sent r.Harness.Runner.completed
+        r.Harness.Runner.load_failed r.Harness.Runner.aborted
+        r.Harness.Runner.refused r.Harness.Runner.peak_open
+        r.Harness.Runner.load_forks r.Harness.Runner.p50_latency_cycles
+        r.Harness.Runner.p99_latency_cycles r.Harness.Runner.virtual_cycles
+        r.Harness.Runner.throughput_rps
+        (if r.Harness.Runner.server_alive then "yes" else "no"))
+    results
+
 let experiments =
   [
     ("fig5", run_fig5);
@@ -180,6 +234,7 @@ let experiments =
     ("table4", fun ~jobs:_ () -> run_table4 ());
     ("table5", run_table5);
     ("effectiveness", run_effectiveness);
+    ("loadbench", run_loadbench);
     ("compat", fun ~jobs:_ () -> run_compat ());
     ("theorem1", fun ~jobs:_ () -> run_theorem1 ());
     ("exposure", fun ~jobs:_ () -> run_exposure ());
@@ -321,8 +376,29 @@ let () =
            0 = recommended domain count). Output is byte-identical for any N."
         (fun j -> jobs := j);
       Harness.Cli.pos_int ~name:"--budget" ~docv:"N"
-        ~doc:"trial budget per effectiveness cell (default 20000)"
+        ~doc:
+          "trial budget per effectiveness cell (default 20000) /\n\
+           requests per loadbench cell (default 512)"
         (fun b -> effectiveness_budget := Some b);
+      Harness.Cli.pos_int ~name:"--connections" ~docv:"N"
+        ~doc:"loadbench: concurrent client population (default 64)"
+        (fun n -> load_connections := n);
+      Harness.Cli.pos_int ~name:"--keepalive" ~docv:"N"
+        ~doc:"loadbench: requests per connection before reconnecting (default 8)"
+        (fun n -> load_keepalive := n);
+      Harness.Cli.value ~name:"--loadgen" ~docv:"open|closed"
+        ~doc:
+          "loadbench population model: closed loop (default) or open\n\
+           arrivals on a fixed interarrival clock"
+        (fun s ->
+          match s with
+          | "closed" ->
+            load_mode := Net.Loadgen.Closed;
+            Ok ()
+          | "open" ->
+            load_mode := Net.Loadgen.Open { interarrival = 20_000L };
+            Ok ()
+          | _ -> Error (Harness.Cli.expects ~name:"--loadgen" ~what:"open or closed" s));
       Harness.Cli.flag ~name:"--mem-stats"
         ~doc:
           "print a deterministic fork-path + translation-cache telemetry\n\
@@ -335,7 +411,7 @@ let () =
            Campaign output is byte-identical either way."
         Vm64.Compile.set_enabled;
       Harness.Cli.string_value ~name:"--bench-out" ~docv:"FILE"
-        ~doc:"where to write the perf trajectory record (default BENCH_pr4.json)"
+        ~doc:"where to write the perf trajectory record (default BENCH_pr5.json)"
         (fun f -> bench_out := f);
     ]
     @ Harness.Cli.telemetry_specs telem

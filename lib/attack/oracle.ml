@@ -1,6 +1,9 @@
+type transport = Magic | Net_conn
+
 type t = {
   kernel : Os.Kernel.t;
   server : Os.Process.t;
+  transport : transport;
   mutable queries : int;
   mutable alive : bool;
 }
@@ -10,7 +13,16 @@ let create ?(seed = 0xA77ACCL) ?(preload = Os.Preload.No_preload)
   let kernel = Os.Kernel.create ~seed () in
   let server = Os.Kernel.spawn kernel ~preload ~insn_tax image in
   match Os.Kernel.run kernel server with
-  | Os.Kernel.Stop_accept -> { kernel; server; queries = 0; alive = true }
+  | Os.Kernel.Stop_accept ->
+    (* A server that bound a listening socket on its way to accept is
+       probed over real connections; the legacy victims keep the magic
+       request channel. *)
+    let transport =
+      match Os.Glibc.listener_of server.Os.Process.io with
+      | Some _ -> Net_conn
+      | None -> Magic
+    in
+    { kernel; server; transport; queries = 0; alive = true }
   | other ->
     failwith
       ("Oracle.create: server did not reach accept: "
@@ -21,24 +33,61 @@ type response =
   | Crashed of Os.Process.signal * string
   | Server_down of string
 
+let child_fate t ~drain =
+  match Os.Kernel.last_reaped t.kernel with
+  | Some child -> (
+    match child.Os.Process.status with
+    | Os.Process.Exited _ -> Survived (drain child)
+    | Os.Process.Killed (signal, msg) -> Crashed (signal, msg)
+    | _ -> Server_down "child in impossible state")
+  | None -> Server_down "no child reaped"
+
+(* Pull whatever response the server managed to send before closing —
+   a crashed child's connection was reset, but bytes written before the
+   crash are still readable (TCP delivers what was sent). *)
+let drain_conn conn =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match Net.Conn.client_recv conn ~max:4096 with
+    | Net.Conn.Data b ->
+      Buffer.add_bytes buf b;
+      go ()
+    | Net.Conn.Would_block | Net.Conn.Eof | Net.Conn.Closed -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+let query_net t payload =
+  match Os.Kernel.connect t.kernel t.server with
+  | None -> Server_down "connection refused"
+  | Some conn -> (
+    let now = Os.Kernel.now t.kernel in
+    ignore (Net.Conn.client_send conn ~now (Bytes.to_string payload));
+    Net.Conn.client_shutdown conn ~now;
+    match Os.Kernel.run t.kernel t.server with
+    | Os.Kernel.Stop_accept ->
+      Os.Kernel.reap_zombies t.kernel t.server;
+      child_fate t ~drain:(fun _ -> drain_conn conn)
+    | other ->
+      t.alive <- false;
+      Server_down (Os.Kernel.stop_to_string other))
+
+let query_magic t payload =
+  match Os.Kernel.resume_with_request t.kernel t.server payload with
+  | Os.Kernel.Stop_accept -> child_fate t ~drain:Os.Process.stdout
+  | other ->
+    t.alive <- false;
+    Server_down (Os.Kernel.stop_to_string other)
+
 let query t payload =
   if not t.alive then Server_down "server already down"
   else begin
     t.queries <- t.queries + 1;
-    match Os.Kernel.resume_with_request t.kernel t.server payload with
-    | Os.Kernel.Stop_accept -> (
-      match Os.Kernel.last_reaped t.kernel with
-      | Some child -> (
-        match child.Os.Process.status with
-        | Os.Process.Exited _ -> Survived (Os.Process.stdout child)
-        | Os.Process.Killed (signal, msg) -> Crashed (signal, msg)
-        | Os.Process.Runnable | Os.Process.Blocked_accept ->
-          Server_down "child in impossible state")
-      | None -> Server_down "no child reaped")
-    | other ->
-      t.alive <- false;
-      Server_down (Os.Kernel.stop_to_string other)
+    match t.transport with
+    | Net_conn -> query_net t payload
+    | Magic -> query_magic t payload
   end
 
+let transport t = t.transport
 let queries t = t.queries
 let server_alive t = t.alive

@@ -9,6 +9,14 @@
 
 type t
 
+type transport =
+  | Magic  (** legacy request channel: payload becomes the child's input *)
+  | Net_conn
+      (** probes travel over a {!Net.Conn}: connect, send payload, FIN,
+          observe the child's fate (and response bytes) through the
+          socket layer — chosen automatically when the server binds a
+          listening socket (e.g. {!Workload.Vuln.fork_server_net}) *)
+
 val create :
   ?seed:int64 ->
   ?preload:Os.Preload.mode ->
@@ -18,8 +26,12 @@ val create :
 (** Spawn the server and run it to its first [accept].
     Raises [Failure] if the image never reaches [accept]. *)
 
+val transport : t -> transport
+
 type response =
-  | Survived of string  (** child exited normally; its stdout *)
+  | Survived of string
+      (** child exited normally; its stdout (magic) or its connection
+          response (net) *)
   | Crashed of Os.Process.signal * string  (** signal and fault message *)
   | Server_down of string  (** the parent itself died — oracle gone *)
 

@@ -29,6 +29,10 @@ val on_off : name:string -> doc:string -> (bool -> unit) -> spec
 
 val string_value : name:string -> docv:string -> doc:string -> (string -> unit) -> spec
 
+val expects : name:string -> what:string -> string -> string
+(** ["NAME expects WHAT, got X"] — the shared rejection-message shape,
+    for custom {!value} parsers. *)
+
 val missing_arg : string -> string
 (** ["NAME expects an argument"] — the message {!parse} produces when a
     value flag ends the argv. *)

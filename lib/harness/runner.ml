@@ -174,3 +174,142 @@ let run_server ?(seed = 0x5E44EL) deployment (profile : Workload.Servers.profile
     tcache_misses = xs.Vm64.Tcache.misses;
     tcache_compiles = xs.Vm64.Tcache.compiles;
   }
+
+(* ---- concurrent load ------------------------------------------------------ *)
+
+type load_run = {
+  sent : int;
+  completed : int;
+  load_failed : int;
+  aborted : int;
+  refused : int;
+  peak_open : int;
+  virtual_cycles : int64;
+  throughput_rps : float;
+  avg_latency_cycles : float;
+  p50_latency_cycles : float;
+  p99_latency_cycles : float;
+  load_forks : int;
+  server_alive : bool;
+}
+
+let default_conn_timeout = 2_000_000L
+
+(* Instruction budget per kernel turn inside the pump. Small enough
+   that client state machines interleave with server execution well
+   below the connection idle timeout (a saturated ready queue would
+   otherwise run the whole campaign's cycles in one [schedule] call,
+   starving slow senders until their conns time out), large enough
+   that the pump loop itself is cheap. *)
+let pump_slice = 262_144
+
+(* The pump: alternate load-generator steps with kernel scheduling, and
+   when neither side can move at the current virtual time, jump the
+   clock to the earliest scheduled event (a client's send/retry stamp
+   or a blocked connection's timeout deadline). All state is per-call
+   and seeded, so a given configuration replays byte-identically no
+   matter how many worker domains run pumps concurrently. *)
+let pump kernel server lg =
+  let try_connect () = Os.Kernel.connect kernel server in
+  let stalls = ref 0 in
+  let finished = ref false in
+  while not !finished do
+    let now0 = Os.Kernel.now kernel in
+    let moved = Net.Loadgen.step lg ~now:now0 ~try_connect in
+    Os.Kernel.schedule kernel ~fuel:pump_slice;
+    if Net.Loadgen.finished lg then finished := true
+    else if moved || Int64.compare (Os.Kernel.now kernel) now0 > 0 then
+      stalls := 0
+    else begin
+      let next =
+        match (Net.Loadgen.next_event lg, Os.Kernel.next_deadline kernel) with
+        | None, None -> None
+        | (Some _ as a), None -> a
+        | None, (Some _ as b) -> b
+        | Some a, Some b -> Some (if Int64.compare a b <= 0 then a else b)
+      in
+      (match next with
+      | Some target when Int64.compare target now0 > 0 ->
+        Os.Kernel.advance_to kernel target
+      | _ -> incr stalls);
+      (* nothing scheduled and nobody movable: a protocol wedge — fail
+         the outstanding requests instead of spinning forever *)
+      if !stalls > 3 then begin
+        Net.Loadgen.force_finish lg ~now:(Os.Kernel.now kernel);
+        finished := true
+      end
+    end
+  done;
+  (* let forked children drain: parked clients half-closed their conns,
+     so blocked handlers see EOF; stragglers hit the conn timeout *)
+  Os.Kernel.schedule kernel;
+  match Os.Kernel.next_deadline kernel with
+  | Some deadline ->
+    Os.Kernel.advance_to kernel deadline;
+    Os.Kernel.schedule kernel
+  | None -> ()
+
+let run_load ?(seed = 0x5E44EL) ?(loadgen_seed = 0x10AD6E4L)
+    ?(conn_timeout = default_conn_timeout) ?(slow_every = 0) ?(abort_every = 0)
+    deployment (profile : Workload.Servers.profile) ~mode ~connections
+    ~keepalive ~total =
+  Telemetry.Trace.with_span "runner.load"
+    ~args:
+      [
+        ("profile", profile.Workload.Servers.profile_name);
+        ("deployment", deployment_name deployment);
+      ]
+    (fun () ->
+      let program = Minic.Parser.parse profile.Workload.Servers.source in
+      let built = build deployment program in
+      let kernel = Os.Kernel.create ~seed () in
+      let server =
+        Os.Kernel.spawn kernel ~preload:built.preload ~insn_tax:built.insn_tax
+          ~call_tax:built.call_tax built.image
+      in
+      (match Os.Kernel.run kernel server with
+      | Os.Kernel.Stop_accept -> ()
+      | other ->
+        failwith
+          (Printf.sprintf "Runner.run_load: %s never reached accept: %s"
+             profile.Workload.Servers.profile_name
+             (Os.Kernel.stop_to_string other)));
+      Os.Kernel.set_conn_timeout kernel (Some conn_timeout);
+      let lg =
+        Net.Loadgen.create ~seed:loadgen_seed ~slow_every ~abort_every ~mode
+          ~clients:connections ~keepalive ~total
+          ~mix:profile.Workload.Servers.requests ()
+      in
+      pump kernel server lg;
+      Os.Kernel.reap_zombies kernel server;
+      let r = Net.Loadgen.report lg in
+      let latencies = Array.map Int64.to_float r.Net.Loadgen.latencies in
+      let cycles = Os.Kernel.now kernel in
+      let ms =
+        Int64.to_float cycles /. profile.Workload.Servers.cycles_per_ms
+      in
+      {
+        sent = r.Net.Loadgen.sent;
+        completed = r.Net.Loadgen.completed;
+        load_failed = r.Net.Loadgen.failed;
+        aborted = r.Net.Loadgen.aborted;
+        refused = r.Net.Loadgen.refused;
+        peak_open = r.Net.Loadgen.peak_open;
+        virtual_cycles = cycles;
+        throughput_rps =
+          (if ms > 0.0 then float_of_int r.Net.Loadgen.completed /. (ms /. 1000.0)
+           else 0.0);
+        avg_latency_cycles =
+          (if Array.length latencies = 0 then 0.0 else Util.Stats.mean latencies);
+        p50_latency_cycles =
+          (if Array.length latencies = 0 then 0.0
+           else Util.Stats.median latencies);
+        p99_latency_cycles =
+          (if Array.length latencies = 0 then 0.0
+           else Util.Stats.percentile latencies 99.0);
+        load_forks = Os.Kernel.fork_count kernel;
+        server_alive =
+          (match server.Os.Process.status with
+          | Os.Process.Exited _ | Os.Process.Killed _ -> false
+          | _ -> true);
+      })

@@ -72,3 +72,42 @@ val run_server :
   ?seed:int64 -> deployment -> Workload.Servers.profile -> requests:int -> server_run
 (** Drive a forking server through [requests] requests (cycled through
     the profile's request mix) and average the per-request work. *)
+
+(** One {!Net.Loadgen} campaign against one server deployment. *)
+type load_run = {
+  sent : int;
+  completed : int;
+  load_failed : int;
+  aborted : int;  (** client-side abrupt disconnects *)
+  refused : int;  (** connect attempts dropped by the accept backlog *)
+  peak_open : int;  (** max simultaneously open connections *)
+  virtual_cycles : int64;  (** kernel virtual time consumed by the run *)
+  throughput_rps : float;
+      (** completed requests per modelled second (via the profile's
+          [cycles_per_ms] calibration) *)
+  avg_latency_cycles : float;
+  p50_latency_cycles : float;
+  p99_latency_cycles : float;
+  load_forks : int;
+  server_alive : bool;  (** parent still serving when the load ended *)
+}
+
+val run_load :
+  ?seed:int64 ->
+  ?loadgen_seed:int64 ->
+  ?conn_timeout:int64 ->
+  ?slow_every:int ->
+  ?abort_every:int ->
+  deployment ->
+  Workload.Servers.profile ->
+  mode:Net.Loadgen.mode ->
+  connections:int ->
+  keepalive:int ->
+  total:int ->
+  load_run
+(** Spawn the server, then pump a seeded {!Net.Loadgen} population of
+    [connections] clients (each reusing its connection for [keepalive]
+    requests) through [total] requests, interleaving client steps with
+    the kernel's ready-queue scheduler and jumping virtual time across
+    idle stretches. Deterministic for a given configuration regardless
+    of how many pumps run on other domains. *)

@@ -5,7 +5,10 @@ let errorf fmt = Printf.ksprintf (fun s -> raise (Error s)) fmt
 let builtins =
   [
     ("exit", 1); ("abort", 0); ("fork", 0); ("pthread_create", 2);
-    ("waitpid", 0); ("getpid", 0); ("accept", 0);
+    ("waitpid", 0); ("waitpid_nb", 0); ("getpid", 0); ("accept", 0);
+    ("socket", 0); ("bind", 2); ("listen", 2);
+    ("read", 3); ("write", 3); ("close", 1);
+    ("write_str", 2); ("write_int", 2);
     ("memcpy", 3); ("memmove", 3); ("memset", 3); ("memcmp", 3);
     ("strcpy", 2); ("strncpy", 3); ("strcat", 2); ("strlen", 1); ("strcmp", 2);
     ("read_input", 1); ("read_n", 2);

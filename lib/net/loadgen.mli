@@ -1,0 +1,64 @@
+(** Deterministic load generator: seeded client populations driving a
+    simulated server over {!Conn} objects.
+
+    Two shapes: [Closed] keeps a fixed population of clients, each with
+    at most one request in flight, reconnecting (keep-alive permitting)
+    as soon as the previous request resolves; [Open] admits sessions on
+    a fixed interarrival clock up to the population cap.
+
+    The generator is a pure state machine over virtual cycles — {!step}
+    takes the kernel's current time and a connect thunk, so a seeded
+    run replays byte-identically regardless of host timing or [--jobs].
+    Responses are framed by the first ['\n']. *)
+
+type mode = Closed | Open of { interarrival : int64 }
+
+type t
+
+val create :
+  ?seed:int64 ->
+  ?slow_every:int ->
+  ?slow_gap:int64 ->
+  ?abort_every:int ->
+  ?retry_gap:int64 ->
+  mode:mode ->
+  clients:int ->
+  keepalive:int ->
+  total:int ->
+  mix:string list ->
+  unit ->
+  t
+(** [slow_every = n] makes every n-th request (by global index) a
+    byte-at-a-time sender pausing [slow_gap] cycles between bytes;
+    [abort_every = n] makes every n-th request disconnect abruptly
+    halfway through sending. [keepalive] is the per-connection request
+    budget (min 1); [total] the overall request budget across all
+    clients; [mix] the request bodies, chosen per-request by the seeded
+    PRNG. *)
+
+val step : t -> now:int64 -> try_connect:(unit -> Conn.t option) -> bool
+(** Advance every client as far as it can go at [now]. Returns true if
+    any client made a transition (the pump's progress signal). *)
+
+val next_event : t -> int64 option
+(** Earliest future cycle at which some client has a scheduled move —
+    the pump jumps virtual time here when the kernel quiesces. *)
+
+val finished : t -> bool
+(** All [total] requests have been started and resolved. *)
+
+val force_finish : t -> now:int64 -> unit
+(** Stall-breaker: resolve everything outstanding as failed so the pump
+    reports instead of spinning. *)
+
+type report = {
+  sent : int;
+  completed : int;
+  failed : int;
+  aborted : int;  (** client-side abrupt disconnects (counted separately) *)
+  refused : int;  (** refused connect attempts (not requests) *)
+  peak_open : int;
+  latencies : int64 array;  (** completion order *)
+}
+
+val report : t -> report

@@ -1,0 +1,54 @@
+(* A listening socket: a bounded accept backlog of pending connections.
+   Like the kernel's SYN/accept queue, a full backlog refuses new
+   connections (the client sees ECONNREFUSED and may retry). The socket
+   is refcounted across fork/pthread fd-table clones; the last release
+   stops listening and resets whatever is still queued. *)
+
+let g_refused = Telemetry.Registry.counter "net.conn.refused"
+let g_accepted = Telemetry.Registry.counter "net.conn.accepted"
+
+type t = {
+  mutable port : int;
+  mutable backlog : int;
+  mutable listening : bool;
+  pending : Conn.t Queue.t;
+  mutable refs : int;
+}
+
+let create () =
+  { port = 0; backlog = 0; listening = false; pending = Queue.create (); refs = 1 }
+
+let bind t ~port = t.port <- port
+
+let listen t ~backlog =
+  t.backlog <- Stdlib.max 1 backlog;
+  t.listening <- true
+
+let port t = t.port
+let backlog t = t.backlog
+let listening t = t.listening
+let pending_count t = Queue.length t.pending
+let can_push t = t.listening && Queue.length t.pending < t.backlog
+let push t conn = Queue.push conn t.pending
+let note_refused () = Telemetry.Registry.incr g_refused
+
+let rec accept_opt t =
+  match Queue.take_opt t.pending with
+  | None -> None
+  | Some c ->
+    (* a client that aborted while queued never reaches the server *)
+    if Conn.is_reset c then accept_opt t
+    else begin
+      Telemetry.Registry.incr g_accepted;
+      Some c
+    end
+
+let retain t = t.refs <- t.refs + 1
+
+let release t ~now =
+  if t.refs > 0 then t.refs <- t.refs - 1;
+  if t.refs = 0 then begin
+    t.listening <- false;
+    Queue.iter (fun c -> Conn.abort c ~now) t.pending;
+    Queue.clear t.pending
+  end

@@ -1,0 +1,38 @@
+(** A listening socket with a bounded accept backlog.
+
+    Connections queue between the client's connect and the server's
+    [accept]; a full backlog refuses further connects ([can_push] is
+    false and the would-be conn is never created). Refcounted across
+    fork/pthread fd-table clones — the last {!release} stops listening
+    and aborts anything still queued. *)
+
+type t
+
+val create : unit -> t
+val bind : t -> port:int -> unit
+val listen : t -> backlog:int -> unit
+(** Start accepting; the backlog is clamped to at least 1. *)
+
+val port : t -> int
+val backlog : t -> int
+val listening : t -> bool
+val pending_count : t -> int
+
+val can_push : t -> bool
+(** Listening and the backlog has room. *)
+
+val push : t -> Conn.t -> unit
+(** Queue a connection (unchecked — callers test {!can_push} first;
+    the harness's compat shim pushes driver-delivered requests past the
+    check on purpose). *)
+
+val note_refused : unit -> unit
+(** Count one refused connect under ["net.conn.refused"]. *)
+
+val accept_opt : t -> Conn.t option
+(** Pop the oldest still-live pending connection (conns reset while
+    queued are dropped silently, like a SYN-queue entry whose client
+    went away). *)
+
+val retain : t -> unit
+val release : t -> now:int64 -> unit

@@ -6,9 +6,15 @@ type control =
   | Fork
   | Spawn_thread of { start : int64; arg : int64 }
   | Wait_child
+  | Wait_child_nb
   | Accept
+  | Sock_read of { fd : int; dst : int64; cap : int }
+  | Sock_write of { fd : int; data : bytes }
+  | Close_fd of int
 
 type outcome = Ret of int64 | Control of control
+
+type fd_obj = Fd_conn of Net.Conn.t | Fd_listener of Net.Socket.t
 
 type io = {
   mutable input : bytes;
@@ -16,6 +22,9 @@ type io = {
   output : Buffer.t;
   errout : Buffer.t;
   mutable brk : int64;
+  mutable fds : (int * fd_obj) list;
+  mutable next_fd : int;
+  mutable listener : Net.Socket.t option;
 }
 
 let make_io () =
@@ -25,16 +34,79 @@ let make_io () =
     output = Buffer.create 64;
     errout = Buffer.create 64;
     brk = Layout.heap_base;
+    fds = [];
+    next_fd = 3;
+    listener = None;
   }
 
 let clone_io io =
+  (* fork/pthread_create semantics: the child inherits the fd table, so
+     every connection (and the listener) gains one more holder *)
+  List.iter
+    (fun (_, obj) ->
+      match obj with
+      | Fd_conn c -> Net.Conn.retain c
+      | Fd_listener s -> Net.Socket.retain s)
+    io.fds;
   {
     input = Bytes.copy io.input;
     input_pos = io.input_pos;
     output = Buffer.create 64;
     errout = Buffer.create 64;
     brk = io.brk;
+    fds = io.fds;
+    next_fd = io.next_fd;
+    listener = io.listener;
   }
+
+(* ---- fd table --------------------------------------------------------- *)
+
+let fd_obj_of io fd = List.assoc_opt fd io.fds
+
+let conn_of_fd io fd =
+  match fd_obj_of io fd with Some (Fd_conn c) -> Some c | _ -> None
+
+let listener_of io = io.listener
+
+let install_fd io obj =
+  let fd = io.next_fd in
+  io.next_fd <- fd + 1;
+  io.fds <- io.fds @ [ (fd, obj) ];
+  fd
+
+let install_conn io conn =
+  Net.Conn.retain conn;
+  install_fd io (Fd_conn conn)
+
+let install_listener io sock =
+  io.listener <- Some sock;
+  install_fd io (Fd_listener sock)
+
+let close_fd io fd ~now =
+  match fd_obj_of io fd with
+  | None -> false
+  | Some obj ->
+    io.fds <- List.remove_assoc fd io.fds;
+    (match obj with
+    | Fd_conn c -> Net.Conn.server_close c ~now
+    | Fd_listener s ->
+      Net.Socket.release s ~now;
+      (match io.listener with
+      | Some cur when cur == s -> io.listener <- None
+      | _ -> ()));
+    true
+
+let close_all io ~now ~graceful =
+  List.iter
+    (fun (_, obj) ->
+      match obj with
+      | Fd_conn c ->
+        if graceful then Net.Conn.server_close c ~now
+        else Net.Conn.abort c ~now
+      | Fd_listener s -> Net.Socket.release s ~now)
+    io.fds;
+  io.fds <- [];
+  io.listener <- None
 
 let set_input io data =
   io.input <- Bytes.copy data;
@@ -73,6 +145,17 @@ let names =
     "malloc";
     "free";
     "AES_ENCRYPT_128";
+    (* fd-oriented networking (PR 5) — appended so existing slot
+       addresses stay stable *)
+    "socket";
+    "bind";
+    "listen";
+    "read";
+    "write";
+    "close";
+    "write_str";
+    "write_int";
+    "waitpid_nb";
   ]
 
 let slot_table = Hashtbl.create 64
@@ -156,12 +239,83 @@ let dispatch ~name cpu mem ~pid io =
   | "waitpid" ->
     charge cpu Cost.syscall_cycles;
     Control Wait_child
+  | "waitpid_nb" ->
+    charge cpu Cost.syscall_cycles;
+    Control Wait_child_nb
   | "getpid" ->
     charge cpu Cost.builtin_base_cycles;
     Ret (Int64.of_int pid)
   | "accept" ->
     charge cpu Cost.syscall_cycles;
     Control Accept
+  | "socket" ->
+    charge cpu Cost.syscall_cycles;
+    Ret (Int64.of_int (install_listener io (Net.Socket.create ())))
+  | "bind" -> (
+    let fd = Int64.to_int (arg cpu 0) and port = Int64.to_int (arg cpu 1) in
+    charge cpu Cost.syscall_cycles;
+    match fd_obj_of io fd with
+    | Some (Fd_listener s) ->
+      Net.Socket.bind s ~port;
+      Ret 0L
+    | _ -> Ret (-1L))
+  | "listen" -> (
+    let fd = Int64.to_int (arg cpu 0) and backlog = Int64.to_int (arg cpu 1) in
+    charge cpu Cost.syscall_cycles;
+    match fd_obj_of io fd with
+    | Some (Fd_listener s) ->
+      Net.Socket.listen s ~backlog;
+      Ret 0L
+    | _ -> Ret (-1L))
+  | "close" ->
+    charge cpu Cost.syscall_cycles;
+    Control (Close_fd (Int64.to_int (arg cpu 0)))
+  | "read" -> (
+    let fd = Int64.to_int (arg cpu 0)
+    and dst = arg cpu 1
+    and cap = Int64.to_int (arg cpu 2) in
+    charge cpu Cost.syscall_cycles;
+    match conn_of_fd io fd with
+    | Some _ -> Control (Sock_read { fd; dst; cap })
+    | None ->
+      (* no connection behind this fd: serve from stdin-style input so
+         fd-oriented handlers also run under the single-shot harness *)
+      let avail = Bytes.length io.input - io.input_pos in
+      let n = Stdlib.max 0 (Stdlib.min cap avail) in
+      charge_bytes cpu n;
+      if n > 0 then
+        Memory.write_bytes mem dst (Bytes.sub io.input io.input_pos n);
+      io.input_pos <- io.input_pos + n;
+      Ret (Int64.of_int n))
+  | "write" -> (
+    let fd = Int64.to_int (arg cpu 0)
+    and src = arg cpu 1
+    and n = Int64.to_int (arg cpu 2) in
+    charge_bytes cpu n;
+    let data = if n > 0 then Memory.read_bytes mem src n else Bytes.create 0 in
+    match conn_of_fd io fd with
+    | Some _ -> Control (Sock_write { fd; data })
+    | None ->
+      Buffer.add_bytes io.output data;
+      Ret (Int64.of_int n))
+  | "write_str" -> (
+    let fd = Int64.to_int (arg cpu 0) in
+    let s = read_cstring mem (arg cpu 1) in
+    charge_bytes cpu (String.length s);
+    match conn_of_fd io fd with
+    | Some _ -> Control (Sock_write { fd; data = Bytes.of_string s })
+    | None ->
+      Buffer.add_string io.output s;
+      Ret (Int64.of_int (String.length s)))
+  | "write_int" -> (
+    let fd = Int64.to_int (arg cpu 0) in
+    let s = Int64.to_string (arg cpu 1) in
+    charge cpu (Cost.builtin_base_cycles + 16);
+    match conn_of_fd io fd with
+    | Some _ -> Control (Sock_write { fd; data = Bytes.of_string s })
+    | None ->
+      Buffer.add_string io.output s;
+      Ret 0L)
   | "__stack_chk_fail" ->
     Buffer.add_string io.errout "*** stack smashing detected ***: terminated\n";
     Control (Abort "*** stack smashing detected ***: terminated")

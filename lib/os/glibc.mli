@@ -3,39 +3,77 @@
     Each glibc entry point occupies a fixed pseudo-address slot; a
     [call] that lands on a slot traps out of the interpreter and is
     served here, in OCaml, against the process's simulated memory.
-    Memory-writing builtins ([memcpy], [strcpy], [read_input], …)
-    perform {e raw, unchecked} byte writes — they are the overflow
+    Memory-writing builtins ([memcpy], [strcpy], [read_input], [read],
+    …) perform {e raw, unchecked} byte writes — they are the overflow
     vector the paper defends against.
 
-    Builtins that need kernel services (fork, exit, waitpid, accept)
-    return a [Control] value that {!Kernel} interprets. *)
+    Builtins that need kernel services (fork, exit, waitpid, accept,
+    and the fd operations that may block on a {!Net.Conn}) return a
+    [Control] value that {!Kernel} interprets. *)
 
 type control =
   | Exit of int
   | Abort of string  (** SIGABRT with diagnostic (stack smashing etc.) *)
   | Fork
   | Spawn_thread of { start : int64; arg : int64 }
-  | Wait_child
-  | Accept  (** server blocks for the next request; driver resumes it *)
+  | Wait_child  (** blocking waitpid: parks until a pending child dies *)
+  | Wait_child_nb  (** WNOHANG-style reap of one dead child, never parks *)
+  | Accept  (** block for the next pending connection (or driver request) *)
+  | Sock_read of { fd : int; dst : int64; cap : int }
+      (** read from a connection fd; parks when no bytes are pending *)
+  | Sock_write of { fd : int; data : bytes }
+      (** write to a connection fd; parks while the TX buffer is full.
+          The payload is snapshotted at call time, like [write(2)]. *)
+  | Close_fd of int
 
 type outcome =
   | Ret of int64  (** completed; value for rax *)
   | Control of control
 
-(** Per-process standard I/O plus the heap break. *)
+type fd_obj = Fd_conn of Net.Conn.t | Fd_listener of Net.Socket.t
+
+(** Per-process standard I/O, the heap break, and the fd table. *)
 type io = {
   mutable input : bytes;
   mutable input_pos : int;
   output : Buffer.t;
   errout : Buffer.t;
   mutable brk : int64;
+  mutable fds : (int * fd_obj) list;
+  mutable next_fd : int;
+  mutable listener : Net.Socket.t option;
+      (** the most recently created listening socket — what [accept]
+          (which takes no fd, see {!Kernel}) and kernel-side connects
+          operate on *)
 }
 
 val make_io : unit -> io
+
 val clone_io : io -> io
+(** Fork/pthread semantics: stdio buffers are fresh, pending input is
+    copied, and the fd table is inherited (each connection and listener
+    gains one more holder). *)
 
 val set_input : io -> bytes -> unit
 (** Replace the pending input (rewinds the read cursor). *)
+
+val fd_obj_of : io -> int -> fd_obj option
+val conn_of_fd : io -> int -> Net.Conn.t option
+val listener_of : io -> Net.Socket.t option
+
+val install_conn : io -> Net.Conn.t -> int
+(** Retain the connection and assign it the next fd. *)
+
+val install_listener : io -> Net.Socket.t -> int
+
+val close_fd : io -> int -> now:int64 -> bool
+(** Drop the fd; releases the underlying connection or listener.
+    [false] if the fd was not open. *)
+
+val close_all : io -> now:int64 -> graceful:bool -> unit
+(** Process-death cleanup: graceful (exit) half-closes connections so
+    buffered responses still reach the client; non-graceful (crash)
+    aborts them — the reset the attacker's client observes. *)
 
 val names : string list
 (** Every entry point, in slot order. *)

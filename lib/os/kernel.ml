@@ -1,5 +1,14 @@
 open Vm64
 
+(* PR 5: the kernel is a round-robin ready-queue scheduler. Processes
+   run in bounded slices and park in Blocked_* states for kernel
+   services (accept, conn read/write, blocking waitpid); a poll pass
+   before each dispatch wakes whoever's condition now holds, in pid
+   order, so scheduling is deterministic for a deterministic workload.
+   Virtual time ([now]) is the cycles retired across all processes —
+   one simulated core — and drives connection timeouts and the load
+   generator's clocks. *)
+
 type t = {
   procs : (int, Process.t) Hashtbl.t;
   env : Exec.env;
@@ -7,7 +16,23 @@ type t = {
   mutable next_pid : int;
   mutable last_reaped : Process.t option;
   mutable forks : int;  (* fork_child calls served by this kernel *)
+  ready : int Queue.t;
+  mutable now : int64;  (* virtual cycles retired across all processes *)
+  mutable conn_timeout : int64 option;
+  mutable next_conn_id : int;
 }
+
+exception
+  Not_blocked_in_accept of { pid : int; status : Process.status }
+
+let () =
+  Printexc.register_printer (function
+    | Not_blocked_in_accept { pid; status } ->
+      Some
+        (Printf.sprintf
+           "Kernel.Not_blocked_in_accept { pid = %d; status = %s }" pid
+           (Process.status_to_string status))
+    | _ -> None)
 
 (* Process-wide lifecycle telemetry across all kernels (domain-safe),
    published to the metrics registry: forks feed the bench driver's
@@ -20,18 +45,20 @@ let g_forks = Telemetry.Registry.counter metric_forks
 let g_crashes = Telemetry.Registry.counter "os.kernel.crashes"
 let g_exits = Telemetry.Registry.counter "os.kernel.exits"
 
-let forks_served () = Telemetry.Registry.counter_value g_forks
-let reset_forks_served () = Telemetry.Registry.reset metric_forks
-
 (* Every transition to a dead status funnels through these two, so the
-   registry counts match the statuses processes end up with. *)
-let note_exited (p : Process.t) code =
+   registry counts match the statuses processes end up with. Death also
+   tears down the fd table: exits half-close connections (buffered
+   responses still drain to the client), crashes reset them — the RST
+   the remote attacker's probe connection observes. *)
+let note_exited t (p : Process.t) code =
   Telemetry.Registry.incr g_exits;
-  p.Process.status <- Process.Exited code
+  p.Process.status <- Process.Exited code;
+  Glibc.close_all p.Process.io ~now:t.now ~graceful:true
 
-let note_killed (p : Process.t) signal msg =
+let note_killed t (p : Process.t) signal msg =
   Telemetry.Registry.incr g_crashes;
   p.Process.status <- Process.Killed (signal, msg);
+  Glibc.close_all p.Process.io ~now:t.now ~graceful:false;
   if Telemetry.Trace.enabled () then
     Telemetry.Trace.instant "kernel.crash"
       ~args:
@@ -42,7 +69,10 @@ let note_killed (p : Process.t) signal msg =
         ]
       ~cycles:p.Process.cpu.Cpu.cycles
 
-let exit_stub_addr = Int64.add Layout.glibc_base 0x800L
+(* Above the builtin slot table (39 slots x 64 B); the glibc region is
+   mapped 8 KiB so both stubs fit comfortably. *)
+let exit_stub_addr = Int64.add Layout.glibc_base 0x1800L
+let ctor_trampoline_addr = Int64.add Layout.glibc_base 0x1900L
 
 let create ?(seed = 0xC0FFEEL) ?on_retire () =
   let is_builtin addr = Glibc.name_of_addr addr in
@@ -53,6 +83,10 @@ let create ?(seed = 0xC0FFEEL) ?on_retire () =
     next_pid = 1;
     last_reaped = None;
     forks = 0;
+    ready = Queue.create ();
+    now = 0L;
+    conn_timeout = None;
+    next_conn_id = 1;
   }
 
 let find t pid = Hashtbl.find_opt t.procs pid
@@ -61,6 +95,13 @@ let fresh_pid t =
   let pid = t.next_pid in
   t.next_pid <- pid + 1;
   pid
+
+let enqueue t (p : Process.t) =
+  if (not p.Process.queued) && not (Process.status_is_dead p.Process.status)
+  then begin
+    p.Process.queued <- true;
+    Queue.push p.Process.pid t.ready
+  end
 
 (* The trampoline main returns to: pass its return value to exit(). *)
 let exit_stub_code =
@@ -125,14 +166,13 @@ let spawn t ?(input = Bytes.create 0) ?(preload = Preload.No_preload)
      a small trampoline. *)
   (match Image.find_symbol image "__pssp_ctor" with
   | Some ctor ->
-    let trampoline = Int64.add Layout.glibc_base 0x900L in
-    Memory.write_bytes mem trampoline
+    Memory.write_bytes mem ctor_trampoline_addr
       (Isa.Encode.list_to_bytes
          [
            Isa.Insn.Call (Isa.Insn.Abs ctor.Image.sym_addr);
            Isa.Insn.Jmp (Isa.Insn.Abs image.Image.entry);
          ]);
-    cpu.Cpu.rip <- trampoline
+    cpu.Cpu.rip <- ctor_trampoline_addr
   | None -> cpu.Cpu.rip <- image.Image.entry);
   let io = Glibc.make_io () in
   Glibc.set_input io input;
@@ -147,6 +187,7 @@ let spawn t ?(input = Bytes.create 0) ?(preload = Preload.No_preload)
       preload;
       status = Process.Runnable;
       pending_children = [];
+      queued = false;
     }
   in
   Hashtbl.add t.procs proc.Process.pid proc;
@@ -156,12 +197,14 @@ type stop =
   | Stop_exit of int
   | Stop_kill of Process.signal * string
   | Stop_accept
+  | Stop_io
   | Stop_fuel
 
 let stop_to_string = function
   | Stop_exit n -> Printf.sprintf "exited %d" n
   | Stop_kill (s, msg) -> Printf.sprintf "killed %s: %s" (Process.signal_name s) msg
   | Stop_accept -> "blocked on accept"
+  | Stop_io -> "blocked on io"
   | Stop_fuel -> "out of fuel"
 
 let fork_child t (parent : Process.t) =
@@ -185,6 +228,7 @@ let fork_child t (parent : Process.t) =
       preload = parent.Process.preload;
       status = Process.Runnable;
       pending_children = [];
+      queued = false;
     }
   in
   Hashtbl.add t.procs child_pid child;
@@ -199,6 +243,7 @@ let fork_child t (parent : Process.t) =
   Cpu.set parent.Process.cpu Isa.Reg.RAX (Int64.of_int child_pid);
   parent.Process.pending_children <-
     parent.Process.pending_children @ [ child_pid ];
+  enqueue t child;
   child
 
 let spawn_thread t (parent : Process.t) ~start ~arg =
@@ -226,33 +271,184 @@ let encode_wait_status (p : Process.t) =
   match p.Process.status with
   | Process.Exited n -> Int64.of_int (n land 0xFF)
   | Process.Killed _ -> 256L
-  | Process.Runnable | Process.Blocked_accept -> 512L
+  | _ -> 512L
 
-let rec run_loop t (p : Process.t) fuel =
-  if !fuel <= 0 then Stop_fuel
-  else begin
-    let outcome, retired =
-      Exec.step_block t.env p.Process.cpu p.Process.mem ~max_insns:!fuel
+(* ---- connection-level services ---------------------------------------- *)
+
+let fresh_conn ?tx_capacity t =
+  let id = t.next_conn_id in
+  t.next_conn_id <- id + 1;
+  Net.Conn.create ?tx_capacity ~id ~now:t.now ()
+
+let set_conn_timeout t timeout = t.conn_timeout <- timeout
+let now t = t.now
+
+let advance_to t target =
+  if Int64.compare target t.now > 0 then t.now <- target
+
+let connect ?tx_capacity t (p : Process.t) =
+  match Glibc.listener_of p.Process.io with
+  | Some sock when Net.Socket.can_push sock ->
+    let conn = fresh_conn ?tx_capacity t in
+    Net.Socket.push sock conn;
+    Some conn
+  | _ ->
+    Net.Socket.note_refused ();
+    None
+
+(* A blocked conn operation that outlived the timeout is torn down: the
+   conn resets and the blocked syscall completes with -1. *)
+let timed_out t conn =
+  match t.conn_timeout with
+  | Some tmo when Int64.compare (Net.Conn.idle_cycles conn ~now:t.now) tmo >= 0
+    ->
+    Net.Conn.timeout conn ~now:t.now;
+    true
+  | _ -> false
+
+(* [Some rax] when the read can complete now (may raise Fault.Trap if
+   the destination is unmapped, like any memory-writing builtin). *)
+let try_read t (p : Process.t) ~fd ~dst ~cap =
+  match Glibc.conn_of_fd p.Process.io fd with
+  | None -> Some (-1L)
+  | Some conn -> (
+    match Net.Conn.server_read conn ~now:t.now ~max:(Stdlib.max 0 cap) with
+    | Net.Conn.Data b ->
+      Memory.write_bytes p.Process.mem dst b;
+      Cpu.add_cycles p.Process.cpu
+        (Cost.builtin_byte_cycles * Bytes.length b);
+      Some (Int64.of_int (Bytes.length b))
+    | Net.Conn.Eof -> Some 0L
+    | Net.Conn.Closed -> Some (-1L)
+    | Net.Conn.Would_block -> if timed_out t conn then Some (-1L) else None)
+
+let try_write t (p : Process.t) ~fd ~data ~written =
+  match Glibc.conn_of_fd p.Process.io fd with
+  | None -> `Done (-1L)
+  | Some conn ->
+    let len = Bytes.length data in
+    let rec push written =
+      if written >= len then `Done (Int64.of_int len)
+      else
+        let chunk = Bytes.sub data written (len - written) in
+        match Net.Conn.server_write conn ~now:t.now chunk with
+        | Net.Conn.Wrote n ->
+          Cpu.add_cycles p.Process.cpu (Cost.builtin_byte_cycles * n);
+          push (written + n)
+        | Net.Conn.Conn_closed -> `Done (-1L)
+        | Net.Conn.Tx_full ->
+          if timed_out t conn then `Done (-1L) else `Blocked written
     in
-    fuel := !fuel - retired;
-    match outcome with
-    | Exec.Running -> run_loop t p fuel
-    | Exec.Halted ->
-      note_exited p 0;
-      Stop_exit 0
-    | Exec.Faulted fault ->
-      let signal = Process.signal_of_fault fault in
-      let msg = Fault.to_string fault in
-      note_killed p signal msg;
-      Stop_kill (signal, msg)
-    | Exec.Syscall_trap ->
-      let msg = "raw syscall not supported" in
-      note_killed p Process.Sigill msg;
-      Stop_kill (Process.Sigill, msg)
-    | Exec.Builtin name -> handle_builtin t p fuel name
-  end
+    push written
 
-and handle_builtin t (p : Process.t) fuel name =
+let try_accept t (p : Process.t) =
+  match Glibc.listener_of p.Process.io with
+  | None -> None (* legacy magic accept: the driver resumes us *)
+  | Some sock -> (
+    match Net.Socket.accept_opt sock with
+    | Some conn ->
+      let fd = Glibc.install_conn p.Process.io conn in
+      Net.Conn.touch conn ~now:t.now;
+      Some (Int64.of_int fd)
+    | None -> None)
+
+let do_reap t (child : Process.t) =
+  t.last_reaped <- Some child;
+  Hashtbl.remove t.procs child.Process.pid
+
+(* ---- the scheduler ---------------------------------------------------- *)
+
+let slice_insns = 4096
+
+let set_rax (p : Process.t) v = Cpu.set p.Process.cpu Isa.Reg.RAX v
+
+(* Handle one Control from a builtin. Returns true when the process may
+   keep executing in its current slice; on false it has died or parked
+   (p.status says which). *)
+let handle_control t (p : Process.t) control =
+  match control with
+  | Glibc.Exit code ->
+    note_exited t p code;
+    false
+  | Glibc.Abort msg ->
+    note_killed t p Process.Sigabrt msg;
+    false
+  | Glibc.Fork ->
+    ignore (fork_child t p);
+    true
+  | Glibc.Spawn_thread { start; arg } ->
+    ignore (spawn_thread t p ~start ~arg);
+    true
+  | Glibc.Wait_child -> (
+    match p.Process.pending_children with
+    | [] ->
+      set_rax p (-1L);
+      true
+    | child_pid :: rest -> (
+      match find t child_pid with
+      | None ->
+        p.Process.pending_children <- rest;
+        set_rax p (-1L);
+        true
+      | Some child when Process.status_is_dead child.Process.status ->
+        p.Process.pending_children <- rest;
+        do_reap t child;
+        set_rax p (encode_wait_status child);
+        true
+      | Some _ ->
+        (* non-inline waitpid: park until the child dies *)
+        p.Process.status <- Process.Blocked_wait;
+        false))
+  | Glibc.Wait_child_nb ->
+    let rec scan kept = function
+      | [] ->
+        p.Process.pending_children <- List.rev kept;
+        set_rax p (if p.Process.pending_children = [] then -1L else 0L);
+        true
+      | child_pid :: rest -> (
+        match find t child_pid with
+        | None -> scan kept rest
+        | Some child when Process.status_is_dead child.Process.status ->
+          p.Process.pending_children <- List.rev_append kept rest;
+          do_reap t child;
+          set_rax p (Int64.of_int child_pid);
+          true
+        | Some _ -> scan (child_pid :: kept) rest)
+    in
+    scan [] p.Process.pending_children
+  | Glibc.Accept -> (
+    match try_accept t p with
+    | Some rax ->
+      set_rax p rax;
+      true
+    | None ->
+      p.Process.status <- Process.Blocked_accept;
+      false)
+  | Glibc.Sock_read { fd; dst; cap } -> (
+    match try_read t p ~fd ~dst ~cap with
+    | exception Fault.Trap fault ->
+      note_killed t p (Process.signal_of_fault fault) (Fault.to_string fault);
+      false
+    | Some rax ->
+      set_rax p rax;
+      true
+    | None ->
+      p.Process.status <- Process.Blocked_read { fd; dst; cap };
+      false)
+  | Glibc.Sock_write { fd; data } -> (
+    match try_write t p ~fd ~data ~written:0 with
+    | `Done rax ->
+      set_rax p rax;
+      true
+    | `Blocked written ->
+      p.Process.status <- Process.Blocked_write { fd; data; written };
+      false)
+  | Glibc.Close_fd fd ->
+    set_rax p
+      (if Glibc.close_fd p.Process.io fd ~now:t.now then 0L else -1L);
+    true
+
+let handle_builtin t (p : Process.t) name =
   (* LD_PRELOAD semantics: the P-SSP shared library for instrumented
      binaries exports its own __stack_chk_fail (the combined
      check-and-fail routine of Figs. 3/4). *)
@@ -266,63 +462,198 @@ and handle_builtin t (p : Process.t) fuel name =
       p.Process.io
   with
   | exception Fault.Trap fault ->
-    let signal = Process.signal_of_fault fault in
-    let msg = Fault.to_string fault in
-    note_killed p signal msg;
-    Stop_kill (signal, msg)
+    note_killed t p (Process.signal_of_fault fault) (Fault.to_string fault);
+    false
   | Glibc.Ret v ->
-    Cpu.set p.Process.cpu Isa.Reg.RAX v;
-    run_loop t p fuel
-  | Glibc.Control control -> (
-    match control with
-    | Glibc.Exit code ->
-      note_exited p code;
-      Stop_exit code
-    | Glibc.Abort msg ->
-      note_killed p Process.Sigabrt msg;
-      Stop_kill (Process.Sigabrt, msg)
-    | Glibc.Fork ->
-      ignore (fork_child t p);
-      run_loop t p fuel
-    | Glibc.Spawn_thread { start; arg } ->
-      ignore (spawn_thread t p ~start ~arg);
-      run_loop t p fuel
-    | Glibc.Wait_child -> (
-      match p.Process.pending_children with
-      | [] ->
-        Cpu.set p.Process.cpu Isa.Reg.RAX (-1L);
-        run_loop t p fuel
-      | child_pid :: rest -> (
-        p.Process.pending_children <- rest;
-        match find t child_pid with
-        | None ->
-          Cpu.set p.Process.cpu Isa.Reg.RAX (-1L);
-          run_loop t p fuel
-        | Some child ->
-          (if not (Process.status_is_dead child.Process.status) then
-             ignore (run_loop t child fuel));
-          t.last_reaped <- Some child;
-          Hashtbl.remove t.procs child_pid;
-          Cpu.set p.Process.cpu Isa.Reg.RAX (encode_wait_status child);
-          run_loop t p fuel))
-    | Glibc.Accept ->
-      p.Process.status <- Process.Blocked_accept;
-      Stop_accept)
+    set_rax p v;
+    true
+  | Glibc.Control control -> handle_control t p control
+
+(* Run p for one scheduling slice (or until it parks/dies/fuel runs
+   out), advancing virtual time by the cycles it retires. *)
+let run_slice t (p : Process.t) fuel =
+  let c0 = p.Process.cpu.Cpu.cycles in
+  let budget = ref (Stdlib.min slice_insns !fuel) in
+  let continue_ = ref true in
+  while !continue_ && !budget > 0 do
+    let outcome, retired =
+      Exec.step_block t.env p.Process.cpu p.Process.mem ~max_insns:!budget
+    in
+    budget := !budget - retired;
+    fuel := !fuel - retired;
+    match outcome with
+    | Exec.Running -> ()
+    | Exec.Halted ->
+      note_exited t p 0;
+      continue_ := false
+    | Exec.Faulted fault ->
+      note_killed t p (Process.signal_of_fault fault) (Fault.to_string fault);
+      continue_ := false
+    | Exec.Syscall_trap ->
+      note_killed t p Process.Sigill "raw syscall not supported";
+      continue_ := false
+    | Exec.Builtin name ->
+      if not (handle_builtin t p name) then continue_ := false
+  done;
+  t.now <- Int64.add t.now (Int64.sub p.Process.cpu.Cpu.cycles c0)
+
+let wake t (p : Process.t) rax =
+  set_rax p rax;
+  p.Process.status <- Process.Runnable;
+  enqueue t p
+
+(* Wake every blocked process whose condition now holds, in pid order
+   (deterministic regardless of hashtable layout). *)
+let poll_blocked t =
+  let pids = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.procs [] in
+  let pids = List.sort compare pids in
+  List.iter
+    (fun pid ->
+      match find t pid with
+      | None -> ()
+      | Some p -> (
+        match p.Process.status with
+        | Process.Blocked_accept -> (
+          match try_accept t p with
+          | Some rax -> wake t p rax
+          | None -> ())
+        | Process.Blocked_read { fd; dst; cap } -> (
+          match try_read t p ~fd ~dst ~cap with
+          | exception Fault.Trap fault ->
+            note_killed t p
+              (Process.signal_of_fault fault)
+              (Fault.to_string fault)
+          | Some rax -> wake t p rax
+          | None -> ())
+        | Process.Blocked_write { fd; data; written } -> (
+          match try_write t p ~fd ~data ~written with
+          | `Done rax -> wake t p rax
+          | `Blocked written' ->
+            if written' <> written then
+              p.Process.status <-
+                Process.Blocked_write { fd; data; written = written' })
+        | Process.Blocked_wait -> (
+          match p.Process.pending_children with
+          | [] -> wake t p (-1L)
+          | child_pid :: rest -> (
+            match find t child_pid with
+            | None ->
+              p.Process.pending_children <- rest;
+              wake t p (-1L)
+            | Some child when Process.status_is_dead child.Process.status ->
+              p.Process.pending_children <- rest;
+              do_reap t child;
+              wake t p (encode_wait_status child)
+            | Some _ -> ()))
+        | Process.Runnable | Process.Exited _ | Process.Killed _ -> ()))
+    pids
+
+let schedule ?(fuel = 50_000_000) t =
+  let fuel = ref fuel in
+  let continue_ = ref true in
+  while !continue_ do
+    poll_blocked t;
+    if !fuel <= 0 then continue_ := false
+    else
+      match Queue.take_opt t.ready with
+      | None -> continue_ := false
+      | Some pid -> (
+        match find t pid with
+        | None -> ()
+        | Some p -> (
+          p.Process.queued <- false;
+          match p.Process.status with
+          | Process.Runnable ->
+            run_slice t p fuel;
+            (* round-robin: a process still runnable after its slice
+               goes to the back of the queue *)
+            (match p.Process.status with
+            | Process.Runnable -> enqueue t p
+            | _ -> ())
+          | _ -> ()))
+  done
+
+(* Earliest cycle at which a blocked conn operation would time out —
+   the pump uses this to jump virtual time across idle stretches. *)
+let next_deadline t =
+  match t.conn_timeout with
+  | None -> None
+  | Some tmo ->
+    Hashtbl.fold
+      (fun _ (p : Process.t) acc ->
+        let conn_deadline fd =
+          match Glibc.conn_of_fd p.Process.io fd with
+          | None -> None
+          | Some conn ->
+            Some (Int64.add (Net.Conn.last_activity conn) tmo)
+        in
+        let deadline =
+          match p.Process.status with
+          | Process.Blocked_read { fd; _ } -> conn_deadline fd
+          | Process.Blocked_write { fd; _ } -> conn_deadline fd
+          | _ -> None
+        in
+        match (deadline, acc) with
+        | None, acc -> acc
+        | Some d, None -> Some d
+        | Some d, Some best -> Some (if Int64.compare d best < 0 then d else best))
+      t.procs None
+
+let stop_of (p : Process.t) =
+  match p.Process.status with
+  | Process.Exited n -> Stop_exit n
+  | Process.Killed (s, msg) -> Stop_kill (s, msg)
+  | Process.Blocked_accept -> Stop_accept
+  | Process.Blocked_read _ | Process.Blocked_write _ | Process.Blocked_wait ->
+    Stop_io
+  | Process.Runnable -> Stop_fuel
 
 let run ?(fuel = 50_000_000) t p =
-  match p.Process.status with
+  (match p.Process.status with
   | Process.Exited _ | Process.Killed _ ->
     invalid_arg "Kernel.run: process already dead"
-  | Process.Runnable | Process.Blocked_accept -> run_loop t p (ref fuel)
+  | Process.Runnable -> enqueue t p
+  | _ -> ());
+  schedule ~fuel t;
+  stop_of p
+
+(* Reap p's dead children without a waitpid from the guest — the compat
+   shim uses this so [last_reaped] names the child that served the
+   request even for servers that reap lazily with waitpid_nb. *)
+let reap_zombies t (p : Process.t) =
+  let rec go kept = function
+    | [] -> p.Process.pending_children <- List.rev kept
+    | child_pid :: rest -> (
+      match find t child_pid with
+      | None -> go kept rest
+      | Some child when Process.status_is_dead child.Process.status ->
+        do_reap t child;
+        go kept rest
+      | Some _ -> go (child_pid :: kept) rest)
+  in
+  go [] p.Process.pending_children
 
 let resume_with_request ?(fuel = 50_000_000) t p request =
-  match p.Process.status with
-  | Process.Blocked_accept ->
+  (match p.Process.status with
+  | Process.Blocked_accept -> ()
+  | status -> raise (Not_blocked_in_accept { pid = p.Process.pid; status }));
+  (match Glibc.listener_of p.Process.io with
+  | Some sock when Net.Socket.listening sock ->
+    (* connection-oriented server: deliver the request as a one-shot
+       conn (send + FIN) pushed straight onto the accept backlog *)
+    let conn = fresh_conn t in
+    ignore (Net.Conn.client_send conn ~now:t.now (Bytes.to_string request));
+    Net.Conn.client_shutdown conn ~now:t.now;
+    Net.Socket.push sock conn
+  | _ ->
+    (* legacy magic delivery: request becomes the process's input *)
     Glibc.set_input p.Process.io request;
-    Cpu.set p.Process.cpu Isa.Reg.RAX 0L;
+    set_rax p 0L;
     p.Process.status <- Process.Runnable;
-    run_loop t p (ref fuel)
-  | _ -> invalid_arg "Kernel.resume_with_request: process not blocked in accept"
+    enqueue t p);
+  schedule ~fuel t;
+  reap_zombies t p;
+  stop_of p
 
 let last_reaped t = t.last_reaped
 let fork_count t = t.forks

@@ -1,14 +1,22 @@
-(** The kernel: process creation, fork/thread semantics, the run loop
-    dispatching builtins, and the request-driving interface the attack
-    harness and server benchmarks use.
+(** The kernel: process creation, fork/thread semantics, a round-robin
+    ready-queue scheduler, connection-level services over {!Net}, and
+    the request-driving interface the attack harness and server
+    benchmarks use.
 
-    Scheduling is cooperative and depth-first: [waitpid] runs the
-    waited-for child to completion inline. This is all the concurrency
-    the paper's experiments need — the byte-by-byte attack depends on
-    fork {e semantics} (TLS cloning, parent respawning children), not on
-    preemption. *)
+    Processes run in bounded instruction slices and park in [Blocked_*]
+    states for kernel services ([accept], conn [read]/[write], blocking
+    [waitpid]). Before each dispatch the scheduler polls blocked
+    processes in pid order and wakes those whose condition now holds,
+    so for a deterministic workload the interleaving is deterministic.
+    Virtual time ([now]) advances with the cycles retired across all
+    processes — one simulated core — and drives connection timeouts and
+    the load generator. *)
 
 type t
+
+exception Not_blocked_in_accept of { pid : int; status : Process.status }
+(** Raised by {!resume_with_request} when the target process is not
+    parked in [accept]. *)
 
 val create :
   ?seed:int64 ->
@@ -37,32 +45,70 @@ type stop =
   | Stop_exit of int
   | Stop_kill of Process.signal * string
   | Stop_accept  (** the process blocked in [accept] *)
+  | Stop_io  (** blocked on a conn read/write or a blocking waitpid *)
   | Stop_fuel
 
 val stop_to_string : stop -> string
 
 val run : ?fuel:int -> t -> Process.t -> stop
-(** Run until the process dies, blocks on [accept], or exhausts [fuel]
-    (instructions, shared with any children it waits on; default 50M). *)
+(** Enqueue the process (if runnable) and run the scheduler until it
+    quiesces or exhausts [fuel] (instructions, shared across all
+    runnable processes; default 50M). Returns the given process's
+    resulting state. *)
+
+val schedule : ?fuel:int -> t -> unit
+(** Run the scheduler until every process is parked or dead (or [fuel]
+    runs out), without singling out one process — the load-generator
+    pump drives the kernel with this. *)
 
 val resume_with_request : ?fuel:int -> t -> Process.t -> bytes -> stop
 (** Deliver a request to a process blocked in [accept] and keep running.
-    Raises [Invalid_argument] if it is not blocked there. *)
+    If the process listens on a {!Net.Socket}, the request arrives as a
+    one-shot connection (payload + FIN) pushed onto the accept backlog;
+    otherwise it is delivered magically as the process's input (the
+    legacy protocol). Afterwards the target's dead children are reaped
+    (see {!reap_zombies}) so {!last_reaped} names the child that served
+    the request. Raises {!Not_blocked_in_accept} if the process is
+    parked elsewhere. *)
+
+val connect : ?tx_capacity:int -> t -> Process.t -> Net.Conn.t option
+(** Client-side connect to the process's listening socket: [None] (and
+    a [net.conn.refused] tick) when there is no listener or the accept
+    backlog is full — the caller backs off and retries, like a real
+    client seeing SYN drops. *)
+
+val now : t -> int64
+(** Virtual time: cycles retired across all of this kernel's processes. *)
+
+val advance_to : t -> int64 -> unit
+(** Jump virtual time forward (never backward) — the pump uses this to
+    skip idle stretches to the next load-generator event or connection
+    deadline. *)
+
+val set_conn_timeout : t -> int64 option -> unit
+(** When set, a conn operation blocked for that many idle cycles resets
+    the connection and completes with -1 ([net.conn.timeouts]). *)
+
+val next_deadline : t -> int64 option
+(** Earliest virtual cycle at which a currently-blocked conn operation
+    would time out, if a timeout is configured. *)
+
+val reap_zombies : t -> Process.t -> unit
+(** Reap the process's dead children (without a guest waitpid), updating
+    {!last_reaped} — used by drivers for servers that reap lazily. *)
 
 val last_reaped : t -> Process.t option
-(** The most recent child reaped by a [waitpid] — the attack oracle
-    reads the child's fate here. *)
+(** The most recent child reaped — by a guest [waitpid]/[waitpid_nb] or
+    by {!reap_zombies}. The attack oracle reads the child's fate here. *)
 
 val fork_count : t -> int
 (** Forks (and thread spawns, which clone an address space) this kernel
-    has served. *)
+    has served. Process-wide counts live in the metrics registry
+    ({!metric_forks}). *)
 
-val forks_served : unit -> int
-(** Process-wide fork count across all kernels since
-    {!reset_forks_served} — for the bench driver's [--mem-stats]
-    telemetry (domain-safe). *)
-
-val reset_forks_served : unit -> unit
+val metric_forks : string
+(** Registry counter name for forks across all kernels
+    (["os.kernel.forks"]). *)
 
 val exit_stub_addr : int64
 (** Where the loader's process-exit trampoline lives ([main] returns to

@@ -13,16 +13,28 @@ let signal_of_fault = function
 type status =
   | Runnable
   | Blocked_accept
+  | Blocked_read of { fd : int; dst : int64; cap : int }
+  | Blocked_write of { fd : int; data : bytes; written : int }
+  | Blocked_wait
   | Exited of int
   | Killed of signal * string
 
 let status_is_dead = function
   | Exited _ | Killed _ -> true
-  | Runnable | Blocked_accept -> false
+  | Runnable | Blocked_accept | Blocked_read _ | Blocked_write _ | Blocked_wait
+    ->
+    false
+
+let status_is_blocked = function
+  | Blocked_accept | Blocked_read _ | Blocked_write _ | Blocked_wait -> true
+  | Runnable | Exited _ | Killed _ -> false
 
 let status_to_string = function
   | Runnable -> "runnable"
   | Blocked_accept -> "blocked (accept)"
+  | Blocked_read { fd; _ } -> Printf.sprintf "blocked (read fd %d)" fd
+  | Blocked_write { fd; _ } -> Printf.sprintf "blocked (write fd %d)" fd
+  | Blocked_wait -> "blocked (waitpid)"
   | Exited n -> Printf.sprintf "exited %d" n
   | Killed (s, msg) -> Printf.sprintf "killed %s (%s)" (signal_name s) msg
 
@@ -36,6 +48,7 @@ type t = {
   preload : Preload.mode;
   mutable status : status;
   mutable pending_children : int list;
+  mutable queued : bool;  (* already sitting in the kernel's ready queue *)
 }
 
 let crashed t = match t.status with Killed _ -> true | _ -> false

@@ -1,4 +1,5 @@
-(** A simulated process: one address space, one CPU context, stdio. *)
+(** A simulated process: one address space, one CPU context, stdio plus
+    a file-descriptor table over {!Net} connections. *)
 
 type signal = Sigsegv | Sigabrt | Sigill
 
@@ -7,11 +8,17 @@ val signal_of_fault : Vm64.Fault.t -> signal
 
 type status =
   | Runnable
-  | Blocked_accept  (** server waiting for the driver to deliver a request *)
+  | Blocked_accept  (** in [accept], waiting for a pending connection *)
+  | Blocked_read of { fd : int; dst : int64; cap : int }
+      (** in [read], waiting for conn bytes (or EOF/reset/timeout) *)
+  | Blocked_write of { fd : int; data : bytes; written : int }
+      (** in [write], waiting for TX-buffer space *)
+  | Blocked_wait  (** in blocking [waitpid] for a live child *)
   | Exited of int
   | Killed of signal * string
 
 val status_is_dead : status -> bool
+val status_is_blocked : status -> bool
 val status_to_string : status -> string
 
 type t = {
@@ -24,6 +31,8 @@ type t = {
   preload : Preload.mode;
   mutable status : status;
   mutable pending_children : int list;  (** oldest first, not yet waited *)
+  mutable queued : bool;
+      (** scheduler-internal: already in the ready queue *)
 }
 
 val crashed : t -> bool

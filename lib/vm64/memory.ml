@@ -42,8 +42,7 @@ type family_stats = {
    sums are too; the bench driver reads them only after worker domains
    join, which gives the happens-before edge for the plain mutable
    fields. The fold is published to the process-wide telemetry registry
-   as a metric group; [counters]/[reset_counters] survive as thin
-   wrappers over the registry names. *)
+   as a metric group under the [metric_*] names below. *)
 let registry : family_stats list ref = ref []
 let registry_mu = Mutex.create ()
 
@@ -76,15 +75,6 @@ let () =
       (metric_pages_aliased, fun () -> (fold_families ()).pages_aliased);
       (metric_cow_breaks, fun () -> (fold_families ()).cow_breaks);
     ]
-
-let counters () =
-  {
-    clones = Telemetry.Registry.read_int metric_clones;
-    pages_aliased = Telemetry.Registry.read_int metric_pages_aliased;
-    cow_breaks = Telemetry.Registry.read_int metric_cow_breaks;
-  }
-
-let reset_counters () = Telemetry.Registry.reset metric_clones
 
 let chunk_bits = 6
 let chunk_pages = 1 lsl chunk_bits (* pages per chunk *)

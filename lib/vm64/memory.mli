@@ -98,14 +98,5 @@ val metric_pages_aliased : string
 val metric_cow_breaks : string
 (** Names under which the process-wide fork-path totals are published to
     {!Telemetry.Registry} (one metric group; resetting any of them
-    resets all three). *)
-
-val counters : unit -> family_stats
-(** Deprecated: thin wrapper over [Telemetry.Registry.read_int] of the
-    [vm.mem.*] metrics — new code should read the registry (or a
-    snapshot) directly. Process-wide totals across all families since
-    {!reset_counters}; domain-safe. Kept for one release. *)
-
-val reset_counters : unit -> unit
-(** Deprecated: equivalent to [Telemetry.Registry.reset] on the
-    [vm.mem.*] group. Kept for one release. *)
+    resets all three). Read process-wide totals with
+    [Telemetry.Registry.read_int] on these names. *)

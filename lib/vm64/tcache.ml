@@ -126,26 +126,6 @@ let () =
       (metric_invalidated, fun () -> (fold_exec ()).invalidated);
     ]
 
-let counters () =
-  ( Telemetry.Registry.counter_value g_clones,
-    Telemetry.Registry.counter_value g_blocks_shared,
-    Telemetry.Registry.counter_value g_materialised )
-
-let reset_counters () =
-  Telemetry.Registry.reset metric_clones;
-  Telemetry.Registry.reset metric_blocks_shared;
-  Telemetry.Registry.reset metric_tables_materialised
-
-let exec_counters () =
-  {
-    hits = Telemetry.Registry.read_int metric_hits;
-    misses = Telemetry.Registry.read_int metric_misses;
-    compiles = Telemetry.Registry.read_int metric_compiles;
-    invalidated = Telemetry.Registry.read_int metric_invalidated;
-  }
-
-let reset_exec_counters () = Telemetry.Registry.reset metric_hits
-
 let create () =
   let xstats = { hits = 0; misses = 0; compiles = 0; invalidated = 0 } in
   Mutex.lock registry_mu;

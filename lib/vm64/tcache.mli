@@ -106,18 +106,9 @@ val metric_compiles : string
 val metric_invalidated : string
 (** Names under which the process-wide tcache totals are published to
     {!Telemetry.Registry}. The first three are plain counters; the last
-    four form one fold-metric group (resetting any resets all four). *)
-
-val counters : unit -> int * int * int
-(** Deprecated: thin wrapper over the [vm.tcache.clones/blocks_shared/
-    tables_materialised] registry counters — new code should read the
-    registry directly. [(clones, blocks_shared_at_clone,
-    tables_materialised)] since {!reset_counters}. Kept for one
-    release. *)
-
-val reset_counters : unit -> unit
-(** Deprecated: resets the three fork-path registry counters. Kept for
-    one release. *)
+    four form one fold-metric group (resetting any resets all four).
+    Read process-wide totals with [Telemetry.Registry.read_int] on
+    these names. *)
 
 (** Execution-path telemetry (lookups, decodes, closure-tier activity),
     [Memory.family_stats]-style. *)
@@ -131,14 +122,3 @@ type exec_stats = {
 val exec_stats : t -> exec_stats
 (** Snapshot for this cache's clone family (shared with fork relatives,
     surviving their reaping). *)
-
-val exec_counters : unit -> exec_stats
-(** Deprecated: thin wrapper over [Telemetry.Registry.read_int] of the
-    [vm.tcache.hits/misses/compiles/invalidated] metrics — new code
-    should read the registry directly. Process-wide totals since
-    {!reset_exec_counters}; domain-safe sums, independent of [--jobs]
-    scheduling. Kept for one release. *)
-
-val reset_exec_counters : unit -> unit
-(** Deprecated: equivalent to [Telemetry.Registry.reset] on the
-    [vm.tcache.hits] group. Kept for one release. *)

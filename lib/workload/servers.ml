@@ -5,21 +5,61 @@ type profile = {
   cycles_per_ms : float;
 }
 
-(* Shared fork-per-request skeleton (the worker-pool pattern of §II-B). *)
+(* Request framing shared by every profile: pull bytes off the
+   connection one at a time (slow senders may trickle) until a blank
+   line ends an HTTP-style request, the peer half-closes (EOF frames
+   the one-line DB queries), or the connection dies. Bounds-checked —
+   the deliberately vulnerable handlers live in {!Vuln}. *)
+let recv_req_src =
+  {|
+int recv_req(int fd, char req[], int cap) {
+  char ch[1];
+  int n = 0;
+  int r = read(fd, ch, 1);
+  while (r > 0) {
+    if (n < cap) {
+      req[n] = ch[0];
+      n++;
+    }
+    if (n >= 2 && req[n - 1] == '\n' && req[n - 2] == '\n') {
+      return n;
+    }
+    r = read(fd, ch, 1);
+  }
+  return n;
+}
+|}
+
+(* Shared fork-per-connection skeleton (the worker-pool pattern of
+   §II-B): the child serves its connection to completion; the parent
+   reaps opportunistically with waitpid_nb so it can keep accepting
+   while children are still serving — this is where the concurrency
+   under {!Net.Loadgen} traffic comes from. *)
 let serve_skeleton =
   {|
 int serve() {
+  int lfd;
+  int fd;
   int pid;
+  lfd = socket();
+  bind(lfd, 8080);
+  listen(lfd, 64);
   while (1) {
-    if (accept() < 0) {
+    fd = accept();
+    if (fd < 0) {
       break;
     }
     pid = fork();
     if (pid == 0) {
-      handle();
+      handle(fd);
+      close(fd);
       exit(0);
     }
-    waitpid();
+    close(fd);
+    pid = waitpid_nb();
+    while (pid > 0) {
+      pid = waitpid_nb();
+    }
   }
   return 0;
 }
@@ -35,7 +75,7 @@ int main() {
 let apache2 =
   {
     profile_name = "Apache2";
-    cycles_per_ms = 25270.0;
+    cycles_per_ms = 25750.0;
     requests =
       [
         "GET /index.html HTTP/1.1\nHost: a\nUser-Agent: ab\nAccept: */*\n\n";
@@ -89,15 +129,20 @@ int render(int pages) {
   }
   return acc;
 }
-
-int handle() {
+|}
+      ^ recv_req_src
+      ^ {|
+int handle(int fd) {
   char req[256];
-  int n = read_n(req, 255);
-  int headers = parse_headers(req, n);
-  int etag = render(6);
-  print_str("HTTP/1.1 200 OK etag=");
-  print_int((etag + headers) % 1000000);
-  print_str("\n");
+  int n = recv_req(fd, req, 255);
+  while (n > 0) {
+    int headers = parse_headers(req, n);
+    int etag = render(6);
+    write_str(fd, "HTTP/1.1 200 OK etag=");
+    write_int(fd, (etag + headers) % 1000000);
+    write_str(fd, "\n");
+    n = recv_req(fd, req, 255);
+  }
   return 0;
 }
 |}
@@ -108,7 +153,7 @@ int handle() {
 let nginx =
   {
     profile_name = "Nginx";
-    cycles_per_ms = 18940.0;
+    cycles_per_ms = 21420.0;
     requests =
       [ "GET / HTTP/1.1\nHost: n\n\n"; "GET /static.css HTTP/1.1\nHost: n\n\n" ];
     source =
@@ -140,14 +185,19 @@ int render(int kind) {
   }
   return acc;
 }
-
-int handle() {
+|}
+      ^ recv_req_src
+      ^ {|
+int handle(int fd) {
   char req[128];
-  int n = read_n(req, 127);
-  int kind = route(req, n);
-  print_str("HTTP/1.1 200 OK v=");
-  print_int(render(kind));
-  print_str("\n");
+  int n = recv_req(fd, req, 127);
+  while (n > 0) {
+    int kind = route(req, n);
+    write_str(fd, "HTTP/1.1 200 OK v=");
+    write_int(fd, render(kind));
+    write_str(fd, "\n");
+    n = recv_req(fd, req, 127);
+  }
   return 0;
 }
 |}
@@ -158,7 +208,7 @@ int handle() {
 let mysql =
   {
     profile_name = "MySQL";
-    cycles_per_ms = 2430.0;
+    cycles_per_ms = 3370.0;
     requests = [ "SELECT 481"; "SELECT 77"; "SELECT 1019" ];
     source =
       {|
@@ -212,17 +262,22 @@ int aggregate(int around) {
   }
   return acc;
 }
-
-int handle() {
+|}
+      ^ recv_req_src
+      ^ {|
+int handle(int fd) {
   char q[64];
-  int n = read_n(q, 63);
-  int key = parse_key(q, n);
-  int hit = lookup(key);
-  print_str("row=");
-  print_int(hit);
-  print_str(" agg=");
-  print_int(aggregate(key));
-  print_str("\n");
+  int n = recv_req(fd, q, 63);
+  while (n > 0) {
+    int key = parse_key(q, n);
+    int hit = lookup(key);
+    write_str(fd, "row=");
+    write_int(fd, hit);
+    write_str(fd, " agg=");
+    write_int(fd, aggregate(key));
+    write_str(fd, "\n");
+    n = recv_req(fd, q, 63);
+  }
   return 0;
 }
 |}
@@ -235,7 +290,7 @@ int handle() {
 let sqlite =
   {
     profile_name = "SQLite";
-    cycles_per_ms = 1910.0;
+    cycles_per_ms = 1920.0;
     requests = [ "SCAN 7"; "SCAN 3" ];
     source =
       {|
@@ -291,40 +346,54 @@ int sort_results(int n) {
   if (n > 0) { return result[0]; }
   return 0;
 }
-
-int handle() {
+|}
+      ^ recv_req_src
+      ^ {|
+int handle(int fd) {
   char q[64];
-  int n = read_n(q, 63);
-  int pred = parse_pred(q, n);
-  int found = scan(pred);
-  int smallest = sort_results(found);
-  print_str("rows=");
-  print_int(found);
-  print_str(" min=");
-  print_int(smallest);
-  print_str("\n");
+  int n = recv_req(fd, q, 63);
+  while (n > 0) {
+    int pred = parse_pred(q, n);
+    int found = scan(pred);
+    int smallest = sort_results(found);
+    write_str(fd, "rows=");
+    write_int(fd, found);
+    write_str(fd, " min=");
+    write_int(fd, smallest);
+    write_str(fd, "\n");
+    n = recv_req(fd, q, 63);
+  }
   return 0;
 }
 |}
       ^ serve_skeleton;
   }
 
-(* Thread-per-request variant of the serve loop. The handler runs in a
-   thread created with pthread_create; the main loop joins it before
-   accepting again (matching the drive-one-request-at-a-time harness). *)
+(* Thread-per-connection variant of the serve loop. The handler runs in
+   a thread created with pthread_create (which receives the connection
+   fd as its argument); the main loop joins it before accepting again
+   (matching the drive-one-request-at-a-time harness). *)
 let serve_skeleton_threaded =
   {|
 int conn_worker(int arg) {
-  handle();
+  handle(arg);
+  close(arg);
   return 0;
 }
 
 int serve() {
+  int lfd;
+  int fd;
+  lfd = socket();
+  bind(lfd, 8080);
+  listen(lfd, 64);
   while (1) {
-    if (accept() < 0) {
+    fd = accept();
+    if (fd < 0) {
       break;
     }
-    pthread_create(&conn_worker, 0);
+    pthread_create(&conn_worker, fd);
+    close(fd);
     waitpid();
   }
   return 0;

@@ -35,6 +35,54 @@ int handle() {
     buffer_size
   ^ serve_skeleton
 
+(* Connection-oriented variant of the serve loop: requests arrive over
+   a {!Net.Conn} fd instead of the magic input channel. The blocking
+   waitpid keeps per-probe child attribution exact for the oracle. *)
+let serve_skeleton_net =
+  {|
+int serve() {
+  int lfd;
+  int fd;
+  int pid;
+  lfd = socket();
+  bind(lfd, 8080);
+  listen(lfd, 16);
+  while (1) {
+    fd = accept();
+    if (fd < 0) {
+      break;
+    }
+    pid = fork();
+    if (pid == 0) {
+      handle(fd);
+      close(fd);
+      exit(0);
+    }
+    close(fd);
+    waitpid();
+  }
+  return 0;
+}
+
+int main() {
+  serve();
+  return 0;
+}
+|}
+
+let fork_server_net ~buffer_size =
+  Printf.sprintf
+    {|
+int handle(int fd) {
+  char buf[%d];
+  int n = read(fd, buf, 1024);
+  write_str(fd, "OK\n");
+  return 0;
+}
+|}
+    buffer_size
+  ^ serve_skeleton_net
+
 let echo_once ~buffer_size =
   Printf.sprintf
     {|

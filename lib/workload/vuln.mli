@@ -7,6 +7,12 @@ val fork_server : buffer_size:int -> string
     [buffer_size] should be a multiple of 8 so the overflow distance to
     the canary is exactly [buffer_size]. *)
 
+val fork_server_net : buffer_size:int -> string
+(** {!fork_server} over a real {!Net.Conn} file descriptor: the child
+    handler [read]s up to 1024 bytes of connection payload into its
+    fixed stack buffer in one unchecked call — the same overflow, but
+    reachable by a remote client through the socket layer. *)
+
 val echo_once : buffer_size:int -> string
 (** Single-shot vulnerable program (spawn, feed input, observe). *)
 

@@ -1,0 +1,306 @@
+(* lib/net integration: connection stream semantics, accept-backlog
+   limits, keep-alive across forked children, connection timeouts, the
+   seeded load generator, and the byte-by-byte attack carried over a
+   real connection instead of the legacy magic request channel. *)
+
+let compile ?(scheme = Pssp.Scheme.Pssp) src =
+  Mcc.Driver.compile ~scheme (Minic.Parser.parse src)
+
+let spawn_server ?(scheme = Pssp.Scheme.Pssp) src =
+  let k = Os.Kernel.create () in
+  let p = Os.Kernel.spawn k ~preload:(Mcc.Driver.preload_for scheme) (compile ~scheme src) in
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_accept -> ()
+  | other -> Alcotest.failf "server never accepted: %s" (Os.Kernel.stop_to_string other));
+  (k, p)
+
+let drain conn =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match Net.Conn.client_recv conn ~max:4096 with
+    | Net.Conn.Data b ->
+      Buffer.add_bytes buf b;
+      go ()
+    | Net.Conn.Would_block | Net.Conn.Eof | Net.Conn.Closed -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* ---- conn stream semantics ----------------------------------------------------- *)
+
+let test_eof_exactly_once () =
+  let conn = Net.Conn.create ~id:1 ~now:0L () in
+  Alcotest.(check bool) "send" true (Net.Conn.client_send conn ~now:1L "abc");
+  Net.Conn.client_shutdown conn ~now:2L;
+  (* buffered bytes drain first, in order, honouring partial reads *)
+  (match Net.Conn.server_read conn ~now:3L ~max:2 with
+  | Net.Conn.Data b -> Alcotest.(check string) "partial read" "ab" (Bytes.to_string b)
+  | _ -> Alcotest.fail "expected data");
+  (match Net.Conn.server_read conn ~now:4L ~max:16 with
+  | Net.Conn.Data b -> Alcotest.(check string) "tail" "c" (Bytes.to_string b)
+  | _ -> Alcotest.fail "expected tail");
+  (* then EOF is delivered exactly once, and only once *)
+  (match Net.Conn.server_read conn ~now:5L ~max:16 with
+  | Net.Conn.Eof -> ()
+  | _ -> Alcotest.fail "expected Eof");
+  match Net.Conn.server_read conn ~now:6L ~max:16 with
+  | Net.Conn.Closed -> ()
+  | _ -> Alcotest.fail "second read after EOF must be Closed"
+
+let test_tx_backpressure () =
+  let conn = Net.Conn.create ~tx_capacity:4 ~id:2 ~now:0L () in
+  (match Net.Conn.server_write conn ~now:1L (Bytes.of_string "abcdef") with
+  | Net.Conn.Wrote n -> Alcotest.(check int) "partial write" 4 n
+  | _ -> Alcotest.fail "expected partial write");
+  (match Net.Conn.server_write conn ~now:2L (Bytes.of_string "ef") with
+  | Net.Conn.Tx_full -> ()
+  | _ -> Alcotest.fail "expected Tx_full");
+  (match Net.Conn.client_recv conn ~max:16 with
+  | Net.Conn.Data b -> Alcotest.(check string) "client sees flushed bytes" "abcd" (Bytes.to_string b)
+  | _ -> Alcotest.fail "expected data");
+  match Net.Conn.server_write conn ~now:3L (Bytes.of_string "ef") with
+  | Net.Conn.Wrote 2 -> ()
+  | _ -> Alcotest.fail "space reclaimed after client drained"
+
+(* ---- accept backlog ------------------------------------------------------------- *)
+
+let test_backlog_overflow_refuses () =
+  (* fork_server_net listens with backlog 16: with the parent parked in
+     accept, 16 connects queue and the 17th is refused *)
+  let k, p = spawn_server (Workload.Vuln.fork_server_net ~buffer_size:16) in
+  let refused_before = Telemetry.Registry.read_int "net.conn.refused" in
+  let conns =
+    List.init 16 (fun i ->
+        match Os.Kernel.connect k p with
+        | Some c -> c
+        | None -> Alcotest.failf "connect %d refused below backlog" i)
+  in
+  (match Os.Kernel.connect k p with
+  | None -> ()
+  | Some _ -> Alcotest.fail "connect beyond backlog must be refused");
+  Alcotest.(check int) "refusal counted" (refused_before + 1)
+    (Telemetry.Registry.read_int "net.conn.refused");
+  (* the refusal leaves the queued connections fully servable *)
+  List.iter
+    (fun c ->
+      ignore (Net.Conn.client_send c ~now:(Os.Kernel.now k) "ping");
+      Net.Conn.client_shutdown c ~now:(Os.Kernel.now k))
+    conns;
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_accept -> ()
+  | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "queued conn served" true (String.length (drain c) > 0))
+    conns;
+  Alcotest.(check int) "one child per queued conn" 16 (Os.Kernel.fork_count k)
+
+(* ---- keep-alive across forked children ------------------------------------------ *)
+
+let test_keepalive_across_child () =
+  let profile = Workload.Servers.apache2 in
+  let k, p = spawn_server profile.Workload.Servers.source in
+  let conn =
+    match Os.Kernel.connect k p with
+    | Some c -> c
+    | None -> Alcotest.fail "refused"
+  in
+  let request i =
+    let req = List.nth profile.Workload.Servers.requests
+        (i mod List.length profile.Workload.Servers.requests) in
+    Alcotest.(check bool) "sent" true
+      (Net.Conn.client_send conn ~now:(Os.Kernel.now k) req);
+    (match Os.Kernel.run k p with
+    | Os.Kernel.Stop_accept -> ()
+    | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+    let resp = drain conn in
+    Alcotest.(check bool) (Printf.sprintf "response %d" i) true
+      (String.length resp > 0 && String.contains resp '\n')
+  in
+  (* several requests ride the same connection — and the same child *)
+  request 0;
+  request 1;
+  request 2;
+  Alcotest.(check int) "one fork serves the whole connection" 1
+    (Os.Kernel.fork_count k);
+  (* half-closing the conn ends the child's recv loop: it exits 0 *)
+  Net.Conn.client_shutdown conn ~now:(Os.Kernel.now k);
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_accept -> ()
+  | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+  Os.Kernel.reap_zombies k p;
+  (match Os.Kernel.last_reaped k with
+  | Some child ->
+    Alcotest.(check bool) "child exited cleanly" true
+      (child.Os.Process.status = Os.Process.Exited 0)
+  | None -> Alcotest.fail "child not reaped");
+  (* the server accepts fresh connections after the child is gone *)
+  match Os.Kernel.connect k p with
+  | Some conn2 ->
+    ignore (Net.Conn.client_send conn2 ~now:(Os.Kernel.now k)
+              (List.hd profile.Workload.Servers.requests));
+    Net.Conn.client_shutdown conn2 ~now:(Os.Kernel.now k);
+    (match Os.Kernel.run k p with
+    | Os.Kernel.Stop_accept ->
+      Alcotest.(check bool) "second connection served" true
+        (String.length (drain conn2) > 0)
+    | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other))
+  | None -> Alcotest.fail "reconnect refused"
+
+(* ---- connection timeout --------------------------------------------------------- *)
+
+let test_slow_sender_times_out () =
+  let profile = Workload.Servers.nginx in
+  let k, p = spawn_server profile.Workload.Servers.source in
+  Os.Kernel.set_conn_timeout k (Some 1_000_000L);
+  (* conn A sends half a request and goes silent *)
+  let slow =
+    match Os.Kernel.connect k p with
+    | Some c -> c
+    | None -> Alcotest.fail "refused"
+  in
+  ignore (Net.Conn.client_send slow ~now:(Os.Kernel.now k) "GET /inde");
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_accept -> ()
+  | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+  Alcotest.(check bool) "handler parked, not timed out yet" false
+    (Net.Conn.is_reset slow);
+  (* a well-behaved conn B is served while A is wedged *)
+  (match Os.Kernel.connect k p with
+  | Some good ->
+    ignore (Net.Conn.client_send good ~now:(Os.Kernel.now k)
+              (List.hd profile.Workload.Servers.requests));
+    Net.Conn.client_shutdown good ~now:(Os.Kernel.now k);
+    (match Os.Kernel.run k p with
+    | Os.Kernel.Stop_accept ->
+      Alcotest.(check bool) "good conn served around the slow one" true
+        (String.length (drain good) > 0)
+    | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other))
+  | None -> Alcotest.fail "refused");
+  (* idle past the timeout: the kernel resets A and unwedges its child *)
+  let timeouts_before = Telemetry.Registry.read_int "net.conn.timeouts" in
+  Os.Kernel.advance_to k (Int64.add (Os.Kernel.now k) 2_000_000L);
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_accept -> ()
+  | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+  Alcotest.(check bool) "slow conn reset" true (Net.Conn.is_reset slow);
+  Alcotest.(check int) "timeout counted" (timeouts_before + 1)
+    (Telemetry.Registry.read_int "net.conn.timeouts");
+  (* the ready queue is not wedged: a third connection still works *)
+  match Os.Kernel.connect k p with
+  | Some c ->
+    ignore (Net.Conn.client_send c ~now:(Os.Kernel.now k)
+              (List.hd profile.Workload.Servers.requests));
+    Net.Conn.client_shutdown c ~now:(Os.Kernel.now k);
+    (match Os.Kernel.run k p with
+    | Os.Kernel.Stop_accept ->
+      Alcotest.(check bool) "post-timeout conn served" true
+        (String.length (drain c) > 0)
+    | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other))
+  | None -> Alcotest.fail "refused"
+
+(* ---- load generator ------------------------------------------------------------- *)
+
+let run_load_cell () =
+  Harness.Runner.run_load (Harness.Runner.Compiler Pssp.Scheme.Pssp)
+    Workload.Servers.nginx ~mode:Net.Loadgen.Closed ~connections:8 ~keepalive:4
+    ~total:32 ~slow_every:7 ~abort_every:19
+
+let test_load_deterministic () =
+  let a = run_load_cell () in
+  let b = run_load_cell () in
+  Alcotest.(check bool) "identical reports" true (a = b);
+  Alcotest.(check int) "all requests begun" 32 a.Harness.Runner.sent;
+  Alcotest.(check bool) "requests completed" true (a.Harness.Runner.completed > 0);
+  Alcotest.(check bool) "aborts happened" true (a.Harness.Runner.aborted > 0);
+  Alcotest.(check int) "population saturates" 8 a.Harness.Runner.peak_open;
+  Alcotest.(check bool) "keep-alive shares forks" true
+    (a.Harness.Runner.load_forks < a.Harness.Runner.sent);
+  Alcotest.(check bool) "server survives the campaign" true
+    a.Harness.Runner.server_alive;
+  (* the campaign leaves latency and byte-flow evidence in the registry *)
+  Alcotest.(check bool) "net.* metrics populated" true
+    (Telemetry.Registry.read_int "net.conn.opened" > 0
+    && Telemetry.Registry.read_int "net.bytes.rx" > 0
+    && Telemetry.Registry.read_int "net.loadgen.responses" > 0)
+
+(* ---- the attack, carried over a connection -------------------------------------- *)
+
+let net_oracle scheme =
+  let image = compile ~scheme (Workload.Vuln.fork_server_net ~buffer_size:16) in
+  Attack.Oracle.create ~preload:(Mcc.Driver.preload_for scheme) image
+
+let layout scheme =
+  {
+    Attack.Payload.overflow_distance = 16;
+    canary_len = 8 * Pssp.Scheme.stack_words scheme;
+  }
+
+let test_net_oracle_transport () =
+  let o = net_oracle Pssp.Scheme.Ssp in
+  Alcotest.(check bool) "net transport selected" true
+    (Attack.Oracle.transport o = Attack.Oracle.Net_conn);
+  match Attack.Oracle.query o (Bytes.of_string "hello") with
+  | Attack.Oracle.Survived out -> Alcotest.(check string) "child replied" "OK\n" out
+  | _ -> Alcotest.fail "benign request crashed"
+
+let test_byte_by_byte_over_conn_breaks_ssp () =
+  let o = net_oracle Pssp.Scheme.Ssp in
+  match Attack.Byte_by_byte.run o ~layout:(layout Pssp.Scheme.Ssp) ~max_trials:4000 with
+  | Attack.Byte_by_byte.Broken { trials; _ } ->
+    Alcotest.(check bool) "found within budget" true (trials <= 4000);
+    Alcotest.(check bool) "server still up" true (Attack.Oracle.server_alive o)
+  | other ->
+    Alcotest.failf "SSP resisted over conn: %s"
+      (Attack.Byte_by_byte.outcome_to_string other)
+
+let test_byte_by_byte_over_conn_fails_pssp () =
+  let o = net_oracle Pssp.Scheme.Pssp in
+  match Attack.Byte_by_byte.run o ~layout:(layout Pssp.Scheme.Pssp) ~max_trials:3000 with
+  | Attack.Byte_by_byte.Exhausted _ -> ()
+  | other ->
+    Alcotest.failf "P-SSP broken over conn: %s"
+      (Attack.Byte_by_byte.outcome_to_string other)
+
+(* ---- typed resume error --------------------------------------------------------- *)
+
+let test_not_blocked_in_accept () =
+  (* a process that ran to exit is not parked in accept: resuming it
+     with a request is a driver bug, reported as a typed error *)
+  let scheme = Pssp.Scheme.None_ in
+  let image = compile ~scheme "int main() { return 0; }" in
+  let k = Os.Kernel.create () in
+  let p = Os.Kernel.spawn k ~preload:Os.Preload.No_preload image in
+  ignore (Os.Kernel.run_to_exit k p);
+  match Os.Kernel.resume_with_request k p (Bytes.of_string "x") with
+  | _ -> Alcotest.fail "resume on an exited process must raise"
+  | exception Os.Kernel.Not_blocked_in_accept { pid; status } ->
+    Alcotest.(check int) "pid" p.Os.Process.pid pid;
+    Alcotest.(check bool) "status carried" true (status = Os.Process.Exited 0)
+
+let () =
+  Alcotest.run "net"
+    [
+      ( "conn",
+        [
+          Alcotest.test_case "EOF exactly once on half-close" `Quick test_eof_exactly_once;
+          Alcotest.test_case "tx backpressure" `Quick test_tx_backpressure;
+        ] );
+      ( "kernel",
+        [
+          Alcotest.test_case "backlog overflow refuses" `Slow test_backlog_overflow_refuses;
+          Alcotest.test_case "keep-alive across forked child" `Slow test_keepalive_across_child;
+          Alcotest.test_case "slow sender times out" `Slow test_slow_sender_times_out;
+          Alcotest.test_case "typed resume error" `Quick test_not_blocked_in_accept;
+        ] );
+      ( "loadgen",
+        [ Alcotest.test_case "deterministic campaign" `Slow test_load_deterministic ] );
+      ( "attack over conn",
+        [
+          Alcotest.test_case "oracle picks net transport" `Slow test_net_oracle_transport;
+          Alcotest.test_case "byte-by-byte breaks SSP" `Slow
+            test_byte_by_byte_over_conn_breaks_ssp;
+          Alcotest.test_case "byte-by-byte fails on P-SSP" `Slow
+            test_byte_by_byte_over_conn_fails_pssp;
+        ] );
+    ]

@@ -64,6 +64,21 @@ let test_guarded_functions_exist () =
 
 (* ---- servers ------------------------------------------------------------------- *)
 
+let drain_conn conn =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    match Net.Conn.client_recv conn ~max:4096 with
+    | Net.Conn.Data b ->
+      Buffer.add_bytes buf b;
+      go ()
+    | Net.Conn.Would_block | Net.Conn.Eof | Net.Conn.Closed -> ()
+  in
+  go ();
+  Buffer.contents buf
+
+(* The PR 5 servers read requests from a connection fd and write the
+   response back over it, so the test plays client: connect, send the
+   request, half-close, run the kernel, read the response. *)
 let server_case (profile : Workload.Servers.profile) =
   Alcotest.test_case profile.Workload.Servers.profile_name `Slow (fun () ->
       let image =
@@ -77,16 +92,25 @@ let server_case (profile : Workload.Servers.profile) =
       | other -> Alcotest.failf "no accept: %s" (Os.Kernel.stop_to_string other));
       List.iter
         (fun req ->
-          match Os.Kernel.resume_with_request k p (Bytes.of_string req) with
-          | Os.Kernel.Stop_accept -> (
-            match Os.Kernel.last_reaped k with
-            | Some child ->
-              Alcotest.(check bool) "child exited cleanly" true
-                (child.Os.Process.status = Os.Process.Exited 0);
-              Alcotest.(check bool) "child produced a response" true
-                (String.length (Os.Process.stdout child) > 0)
-            | None -> Alcotest.fail "no child")
-          | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other))
+          match Os.Kernel.connect k p with
+          | None -> Alcotest.fail "connection refused"
+          | Some conn -> (
+            let now = Os.Kernel.now k in
+            Alcotest.(check bool) "request accepted by conn" true
+              (Net.Conn.client_send conn ~now req);
+            Net.Conn.client_shutdown conn ~now;
+            match Os.Kernel.run k p with
+            | Os.Kernel.Stop_accept -> (
+              Os.Kernel.reap_zombies k p;
+              match Os.Kernel.last_reaped k with
+              | Some child ->
+                Alcotest.(check bool) "child exited cleanly" true
+                  (child.Os.Process.status = Os.Process.Exited 0);
+                Alcotest.(check bool) "child produced a response" true
+                  (String.length (drain_conn conn) > 0)
+              | None -> Alcotest.fail "no child")
+            | other ->
+              Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other)))
         profile.Workload.Servers.requests)
 
 (* ---- victims ------------------------------------------------------------------- *)
