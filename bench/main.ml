@@ -31,6 +31,16 @@ let load_connections = ref 64
 let load_keepalive = ref 8
 let load_mode = ref Net.Loadgen.Closed
 
+type load_arch = Arch_fork | Arch_event | Arch_reuseport
+
+let load_archs = ref [ Arch_fork; Arch_event; Arch_reuseport ]
+
+let arch_profile arch profile =
+  match arch with
+  | Arch_fork -> profile
+  | Arch_event -> Workload.Servers.event_loop profile
+  | Arch_reuseport -> Workload.Servers.sharded profile
+
 let campaign_records : Util.Benchfile.campaign list ref = ref []
 
 let metric snapshot name =
@@ -194,9 +204,13 @@ let run_loadbench ~jobs () =
     (loadgen_mode_name mode) connections keepalive total;
   let cells =
     List.concat_map
-      (fun profile ->
-        [ (profile, Harness.Runner.Native);
-          (profile, Harness.Runner.Compiler Pssp.Scheme.Pssp) ])
+      (fun base ->
+        List.concat_map
+          (fun arch ->
+            let profile = arch_profile arch base in
+            [ (profile, Harness.Runner.Native);
+              (profile, Harness.Runner.Compiler Pssp.Scheme.Pssp) ])
+          !load_archs)
       [ Workload.Servers.apache2; Workload.Servers.nginx ]
   in
   let results =
@@ -212,16 +226,17 @@ let run_loadbench ~jobs () =
     (fun ((profile : Workload.Servers.profile), deployment, r) ->
       Printf.printf
         "LOADBENCH %s/%s: sent=%d ok=%d failed=%d aborted=%d refused=%d \
-         peak_open=%d forks=%d lat_p50=%.0f lat_p99=%.0f cycles=%Ld \
-         rps=%.1f alive=%s\n"
+         peak_open=%d forks=%d lat_p50=%.0f lat_p99=%.0f lat_p999=%.0f \
+         cycles=%Ld rps=%.1f sat_rps=%.1f alive=%s\n"
         profile.Workload.Servers.profile_name
         (Harness.Runner.deployment_name deployment)
         r.Harness.Runner.sent r.Harness.Runner.completed
         r.Harness.Runner.load_failed r.Harness.Runner.aborted
         r.Harness.Runner.refused r.Harness.Runner.peak_open
         r.Harness.Runner.load_forks r.Harness.Runner.p50_latency_cycles
-        r.Harness.Runner.p99_latency_cycles r.Harness.Runner.virtual_cycles
-        r.Harness.Runner.throughput_rps
+        r.Harness.Runner.p99_latency_cycles
+        r.Harness.Runner.p999_latency_cycles r.Harness.Runner.virtual_cycles
+        r.Harness.Runner.throughput_rps r.Harness.Runner.saturation_rps
         (if r.Harness.Runner.server_alive then "yes" else "no"))
     results
 
@@ -399,6 +414,29 @@ let () =
             load_mode := Net.Loadgen.Open { interarrival = 20_000L };
             Ok ()
           | _ -> Error (Harness.Cli.expects ~name:"--loadgen" ~what:"open or closed" s));
+      Harness.Cli.value ~name:"--server-arch" ~docv:"fork|event|reuseport|all"
+        ~doc:
+          "loadbench server architecture: fork-per-connection, the\n\
+           single-process epoll event loop, SO_REUSEPORT-style sharded\n\
+           acceptors, or all three (default all)"
+        (fun s ->
+          match s with
+          | "fork" ->
+            load_archs := [ Arch_fork ];
+            Ok ()
+          | "event" ->
+            load_archs := [ Arch_event ];
+            Ok ()
+          | "reuseport" ->
+            load_archs := [ Arch_reuseport ];
+            Ok ()
+          | "all" ->
+            load_archs := [ Arch_fork; Arch_event; Arch_reuseport ];
+            Ok ()
+          | _ ->
+            Error
+              (Harness.Cli.expects ~name:"--server-arch"
+                 ~what:"fork, event, reuseport or all" s));
       Harness.Cli.flag ~name:"--mem-stats"
         ~doc:
           "print a deterministic fork-path + translation-cache telemetry\n\

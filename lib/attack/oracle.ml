@@ -42,9 +42,10 @@ let child_fate t ~drain =
     | _ -> Server_down "child in impossible state")
   | None -> Server_down "no child reaped"
 
-(* Pull whatever response the server managed to send before closing —
-   a crashed child's connection was reset, but bytes written before the
-   crash are still readable (TCP delivers what was sent). *)
+(* Pull the response off a cleanly-closed connection: exit FINs the
+   conn, so buffered bytes drain before the EOF. Only consulted for
+   surviving children — a crashed child's conn was reset, and RST
+   discards the receive queue (client_recv returns Closed at once). *)
 let drain_conn conn =
   let buf = Buffer.create 64 in
   let rec go () =

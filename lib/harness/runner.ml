@@ -189,6 +189,8 @@ type load_run = {
   avg_latency_cycles : float;
   p50_latency_cycles : float;
   p99_latency_cycles : float;
+  p999_latency_cycles : float;
+  saturation_rps : float;
   load_forks : int;
   server_alive : bool;
 }
@@ -267,11 +269,14 @@ let run_load ?(seed = 0x5E44EL) ?(loadgen_seed = 0x10AD6E4L)
         Os.Kernel.spawn kernel ~preload:built.preload ~insn_tax:built.insn_tax
           ~call_tax:built.call_tax built.image
       in
+      (* Forking servers park in accept; an event-loop server parks in
+         epoll_wait and a sharded parent in waitpid (both Stop_io) —
+         each means "ready for connections". *)
       (match Os.Kernel.run kernel server with
-      | Os.Kernel.Stop_accept -> ()
+      | Os.Kernel.Stop_accept | Os.Kernel.Stop_io -> ()
       | other ->
         failwith
-          (Printf.sprintf "Runner.run_load: %s never reached accept: %s"
+          (Printf.sprintf "Runner.run_load: %s never became ready: %s"
              profile.Workload.Servers.profile_name
              (Os.Kernel.stop_to_string other)));
       Os.Kernel.set_conn_timeout kernel (Some conn_timeout);
@@ -307,6 +312,17 @@ let run_load ?(seed = 0x5E44EL) ?(loadgen_seed = 0x10AD6E4L)
         p99_latency_cycles =
           (if Array.length latencies = 0 then 0.0
            else Util.Stats.percentile latencies 99.0);
+        p999_latency_cycles =
+          (if Array.length latencies = 0 then 0.0
+           else Util.Stats.percentile latencies 99.9);
+        saturation_rps =
+          (let busy_ms =
+             Int64.to_float r.Net.Loadgen.busy_cycles
+             /. profile.Workload.Servers.cycles_per_ms
+           in
+           if busy_ms > 0.0 then
+             float_of_int r.Net.Loadgen.completed /. (busy_ms /. 1000.0)
+           else 0.0);
         load_forks = Os.Kernel.fork_count kernel;
         server_alive =
           (match server.Os.Process.status with

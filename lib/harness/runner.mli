@@ -88,6 +88,11 @@ type load_run = {
   avg_latency_cycles : float;
   p50_latency_cycles : float;
   p99_latency_cycles : float;
+  p999_latency_cycles : float;
+  saturation_rps : float;
+      (** completed requests per modelled second over the busy window
+          (first completion to last), i.e. throughput with connect
+          ramp-up excluded *)
   load_forks : int;
   server_alive : bool;  (** parent still serving when the load ended *)
 }
@@ -110,4 +115,7 @@ val run_load :
     requests) through [total] requests, interleaving client steps with
     the kernel's ready-queue scheduler and jumping virtual time across
     idle stretches. Deterministic for a given configuration regardless
-    of how many pumps run on other domains. *)
+    of how many pumps run on other domains. Works for every server
+    architecture: forking profiles park in accept, event-loop profiles
+    in epoll, sharded parents in waitpid — any quiescent block counts
+    as ready. *)

@@ -8,6 +8,7 @@ let builtins =
     ("waitpid", 0); ("waitpid_nb", 0); ("getpid", 0); ("accept", 0);
     ("socket", 0); ("bind", 2); ("listen", 2);
     ("read", 3); ("write", 3); ("close", 1);
+    ("set_nonblock", 1); ("epoll_wait", 2);
     ("write_str", 2); ("write_int", 2);
     ("memcpy", 3); ("memmove", 3); ("memset", 3); ("memcmp", 3);
     ("strcpy", 2); ("strncpy", 3); ("strcat", 2); ("strlen", 1); ("strcmp", 2);

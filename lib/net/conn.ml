@@ -35,6 +35,15 @@ type t = {
   mutable reset : bool;
   mutable eof_delivered : bool;
   mutable server_refs : int;  (* server-side fds referencing this conn *)
+  (* One-shot readiness waiters, keyed (by pid) so a waiter parked twice
+     replaces itself instead of firing twice. RX waiters fire when the
+     client makes the server side readable (bytes, FIN, RST); TX waiters
+     when it makes the server side writable again (drained bytes, RST).
+     Firing sorts by key, so several processes parked on one fd wake in
+     pid order — the determinism contract the kernel's old global poll
+     scan provided. *)
+  mutable rx_waiters : (int * (unit -> unit)) list;
+  mutable tx_waiters : (int * (unit -> unit)) list;
 }
 
 let create ?(tx_capacity = 65536) ~id ~now () =
@@ -53,7 +62,26 @@ let create ?(tx_capacity = 65536) ~id ~now () =
     reset = false;
     eof_delivered = false;
     server_refs = 0;
+    rx_waiters = [];
+    tx_waiters = [];
   }
+
+(* ---- readiness waiters ------------------------------------------------ *)
+
+let add_waiter waiters ~key f = (key, f) :: List.remove_assoc key waiters
+let add_rx_waiter t ~key f = t.rx_waiters <- add_waiter t.rx_waiters ~key f
+let add_tx_waiter t ~key f = t.tx_waiters <- add_waiter t.tx_waiters ~key f
+
+(* Clear before calling: a callback may register fresh waiters. *)
+let fire_rx t =
+  let ws = t.rx_waiters in
+  t.rx_waiters <- [];
+  List.iter (fun (_, f) -> f ()) (List.sort compare ws)
+
+let fire_tx t =
+  let ws = t.tx_waiters in
+  t.tx_waiters <- [];
+  List.iter (fun (_, f) -> f ()) (List.sort compare ws)
 
 let id t = t.id
 let opened_at t = t.opened_at
@@ -131,7 +159,10 @@ let abort t ~now =
     t.reset <- true;
     touch t ~now;
     Telemetry.Registry.incr g_reset;
-    close_event t ~now "net.conn.reset"
+    close_event t ~now "net.conn.reset";
+    (* a reset completes every blocked operation (with an error) *)
+    fire_rx t;
+    fire_tx t
   end
 
 let timeout t ~now =
@@ -147,22 +178,40 @@ let client_send t ~now data =
   else begin
     Buffer.add_string t.rx.data data;
     touch t ~now;
+    fire_rx t;
     true
   end
 
 let client_shutdown t ~now =
-  if not t.rx.fin then begin
+  if (not t.rx.fin) && not t.reset then begin
     t.rx.fin <- true;
-    touch t ~now
+    touch t ~now;
+    fire_rx t
   end
 
+(* RST semantics: a reset kills the receive queue too — buffered
+   response bytes are discarded, the client sees the connection die
+   with an error. This is the one-bit crash signal the byte-by-byte
+   attack reads (crash = RST, clean close = FIN + drained bytes), so a
+   reset must never drain like a graceful close. *)
 let client_recv t ~max =
-  let n = Stdlib.min max (avail t.tx) in
-  if n > 0 then begin
-    let b = Bytes.of_string (Buffer.sub t.tx.data t.tx.consumed n) in
-    t.tx.consumed <- t.tx.consumed + n;
-    Data b
-  end
-  else if t.reset then Closed
-  else if t.tx.fin then Eof
-  else Would_block
+  if t.reset then Closed
+  else
+    let n = Stdlib.min max (avail t.tx) in
+    if n > 0 then begin
+      let b = Bytes.of_string (Buffer.sub t.tx.data t.tx.consumed n) in
+      t.tx.consumed <- t.tx.consumed + n;
+      (* the server side regained TX space *)
+      fire_tx t;
+      Data b
+    end
+    else if t.tx.fin then Eof
+    else Would_block
+
+(* ---- readiness probes (epoll layer) ----------------------------------- *)
+
+(* True when a server-side read would not block: bytes pending, an
+   undelivered EOF, or a reset (the read completes with an error). *)
+let readable t = t.reset || avail t.rx > 0 || (t.rx.fin && not t.eof_delivered)
+
+let writable t = t.reset || t.tx.fin || tx_space t > 0

@@ -35,6 +35,26 @@ val tx_pending : t -> int
 val touch : t -> now:int64 -> unit
 (** Advance [last_activity] (monotonic; earlier stamps are ignored). *)
 
+val readable : t -> bool
+(** True when a server-side read would not block: pending RX bytes, an
+    undelivered EOF, or a reset (the read completes with an error). *)
+
+val writable : t -> bool
+(** True when a server-side write would not block (TX space, or the
+    conn is closed so the write completes with an error). *)
+
+(** {1 Readiness waiters}
+
+    One-shot callbacks the kernel parks on a connection instead of
+    polling it. RX waiters fire when the client makes the server side
+    readable (bytes, FIN, reset); TX waiters when it becomes writable
+    again (client drained bytes, reset). A waiter re-registered under
+    the same [key] replaces the previous one; firing happens in key
+    order (the kernel keys by pid, preserving pid-order wakeups). *)
+
+val add_rx_waiter : t -> key:int -> (unit -> unit) -> unit
+val add_tx_waiter : t -> key:int -> (unit -> unit) -> unit
+
 (** {1 Server side} *)
 
 val retain : t -> unit
@@ -79,5 +99,7 @@ val client_shutdown : t -> now:int64 -> unit
     returns [Eof]. *)
 
 val client_recv : t -> max:int -> read_result
-(** Drain server response bytes (buffered data is delivered even after
-    a reset, like a socket's receive queue). *)
+(** Drain server response bytes. A reset connection returns [Closed]
+    immediately and discards anything still buffered — RST kills the
+    receive queue, unlike the FIN path which drains then reports
+    [Eof]. *)

@@ -68,6 +68,7 @@ type t = {
   abort_every : int;
   retry_gap : int64;
   clients : client array;
+  parked : int Queue.t;  (* open mode: cids awaiting an arrival, FIFO *)
   mutable started : int;  (* requests begun (each resolves exactly once) *)
   mutable completed : int;
   mutable failed : int;
@@ -76,6 +77,8 @@ type t = {
   mutable open_conns : int;
   mutable peak_open : int;
   mutable latencies : int64 list;  (* completion order, newest first *)
+  mutable first_done : int64;  (* stamp of the first completion; -1 = none *)
+  mutable last_done : int64;  (* stamp of the latest completion *)
   mutable next_arrival : int64;  (* open mode only *)
   mutable transitions : int;  (* progress detector for the pump loop *)
 }
@@ -86,6 +89,10 @@ let create ?(seed = 0x10AD6E4L) ?(slow_every = 0) ?(slow_gap = 2_000L)
   if clients <= 0 then invalid_arg "Loadgen.create: clients must be positive";
   if mix = [] then invalid_arg "Loadgen.create: empty request mix";
   let initial = match mode with Closed -> Idle 0L | Open _ -> Parked in
+  let parked = Queue.create () in
+  (match mode with
+  | Open _ -> for cid = 0 to clients - 1 do Queue.push cid parked done
+  | Closed -> ());
   {
     mode;
     keepalive = Stdlib.max 1 keepalive;
@@ -99,6 +106,7 @@ let create ?(seed = 0x10AD6E4L) ?(slow_every = 0) ?(slow_gap = 2_000L)
     clients =
       Array.init clients (fun cid ->
           { cid; conn = None; left_on_conn = 0; phase = initial });
+    parked;
     started = 0;
     completed = 0;
     failed = 0;
@@ -107,6 +115,8 @@ let create ?(seed = 0x10AD6E4L) ?(slow_every = 0) ?(slow_gap = 2_000L)
     open_conns = 0;
     peak_open = 0;
     latencies = [];
+    first_done = -1L;
+    last_done = -1L;
     next_arrival = 0L;
     transitions = 0;
   }
@@ -128,7 +138,11 @@ let drop_conn t (c : client) ~now ~abortive =
    session is over), closed-loop clients are done for good. *)
 let park t (c : client) ~now =
   drop_conn t c ~now ~abortive:false;
-  c.phase <- (match t.mode with Closed -> Done | Open _ -> Parked)
+  match t.mode with
+  | Closed -> c.phase <- Done
+  | Open _ ->
+    c.phase <- Parked;
+    Queue.push c.cid t.parked
 
 let after_resolve t (c : client) ~now =
   if remaining t <= 0 then park t c ~now
@@ -265,6 +279,8 @@ let rec step_client t (c : client) ~now ~try_connect =
           Telemetry.Registry.incr g_responses;
           Telemetry.Registry.observe g_latency (Int64.to_int latency);
           t.latencies <- latency :: t.latencies;
+          if Int64.compare t.first_done 0L < 0 then t.first_done <- now;
+          t.last_done <- now;
           after_resolve t c ~now
         end;
         true
@@ -284,20 +300,17 @@ let arrivals t ~now =
       if Int64.compare t.next_arrival now > 0 || remaining t <= 0 then
         continue := false
       else begin
-        let slot =
-          Array.fold_left
-            (fun acc c ->
-              match acc with
-              | Some _ -> acc
-              | None -> if c.phase = Parked then Some c else None)
-            None t.clients
-        in
-        match slot with
+        match Queue.take_opt t.parked with
         | None -> continue := false (* at max concurrency: arrivals stall *)
-        | Some c ->
-          c.phase <- Idle t.next_arrival;
-          t.next_arrival <- Int64.add t.next_arrival interarrival;
-          moved := true
+        | Some cid ->
+          let c = t.clients.(cid) in
+          (* stale queue entries (slot re-woken some other way) are
+             skipped without consuming the arrival *)
+          if c.phase = Parked then begin
+            c.phase <- Idle t.next_arrival;
+            t.next_arrival <- Int64.add t.next_arrival interarrival;
+            moved := true
+          end
       end
     done;
     !moved
@@ -329,8 +342,7 @@ let next_event t =
   in
   (match t.mode with
   | Open _ when remaining t > 0 ->
-    if Array.exists (fun c -> c.phase = Parked) t.clients then
-      consider t.next_arrival
+    if not (Queue.is_empty t.parked) then consider t.next_arrival
   | _ -> ());
   Array.iter
     (fun c ->
@@ -366,6 +378,9 @@ type report = {
   refused : int;
   peak_open : int;
   latencies : int64 array;  (** completion order *)
+  busy_cycles : int64;
+      (** virtual cycles between the first and last completion — the
+          saturated window, excluding connect ramp-up *)
 }
 
 let report t =
@@ -377,4 +392,7 @@ let report t =
     refused = t.refused;
     peak_open = t.peak_open;
     latencies = Array.of_list (List.rev t.latencies);
+    busy_cycles =
+      (if Int64.compare t.first_done 0L < 0 then 0L
+       else Int64.sub t.last_done t.first_done);
   }

@@ -59,6 +59,9 @@ type report = {
   refused : int;  (** refused connect attempts (not requests) *)
   peak_open : int;
   latencies : int64 array;  (** completion order *)
+  busy_cycles : int64;
+      (** virtual cycles between first and last completion — the
+          saturated window, excluding connect ramp-up *)
 }
 
 val report : t -> report

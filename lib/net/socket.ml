@@ -13,10 +13,22 @@ type t = {
   mutable listening : bool;
   pending : Conn.t Queue.t;
   mutable refs : int;
+  (* One-shot accept waiters in FIFO park order. Each pushed connection
+     wakes exactly one waiter (wake-one, no thundering herd), so several
+     acceptor processes sharing a socket take turns — the wake order is
+     the order they parked, which round-robins naturally. *)
+  accept_waiters : (int * (unit -> unit)) Queue.t;
 }
 
 let create () =
-  { port = 0; backlog = 0; listening = false; pending = Queue.create (); refs = 1 }
+  {
+    port = 0;
+    backlog = 0;
+    listening = false;
+    pending = Queue.create ();
+    refs = 1;
+    accept_waiters = Queue.create ();
+  }
 
 let bind t ~port = t.port <- port
 
@@ -29,7 +41,19 @@ let backlog t = t.backlog
 let listening t = t.listening
 let pending_count t = Queue.length t.pending
 let can_push t = t.listening && Queue.length t.pending < t.backlog
-let push t conn = Queue.push conn t.pending
+
+let add_accept_waiter t ~key f =
+  (* dedup: a process re-parking before its wakeup fired keeps its slot *)
+  if not (Queue.fold (fun seen (k, _) -> seen || k = key) false t.accept_waiters)
+  then Queue.push (key, f) t.accept_waiters
+
+let push t conn =
+  Queue.push conn t.pending;
+  (* wake-one: the longest-parked acceptor gets this connection *)
+  match Queue.take_opt t.accept_waiters with
+  | Some (_, f) -> f ()
+  | None -> ()
+
 let note_refused () = Telemetry.Registry.incr g_refused
 
 let rec accept_opt t =

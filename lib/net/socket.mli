@@ -24,7 +24,12 @@ val can_push : t -> bool
 val push : t -> Conn.t -> unit
 (** Queue a connection (unchecked — callers test {!can_push} first;
     the harness's compat shim pushes driver-delivered requests past the
-    check on purpose). *)
+    check on purpose). Wakes at most one parked accept waiter. *)
+
+val add_accept_waiter : t -> key:int -> (unit -> unit) -> unit
+(** Park a one-shot accept waiter. {!push} wakes waiters one at a time
+    in park (FIFO) order — acceptor processes sharing a socket take
+    turns. Re-adding an already-parked [key] is a no-op. *)
 
 val note_refused : unit -> unit
 (** Count one refused connect under ["net.conn.refused"]. *)

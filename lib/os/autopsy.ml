@@ -35,7 +35,8 @@ let examine (proc : Process.t) =
   let verdict =
     match proc.Process.status with
     | Process.Runnable | Process.Blocked_accept | Process.Blocked_read _
-    | Process.Blocked_write _ | Process.Blocked_wait ->
+    | Process.Blocked_write _ | Process.Blocked_poll _ | Process.Blocked_wait
+      ->
       Not_dead
     | Process.Exited code -> Clean_exit code
     | Process.Killed (Process.Sigabrt, message) -> Canary_abort { message }

@@ -8,13 +8,21 @@ type control =
   | Wait_child
   | Wait_child_nb
   | Accept
+  | Listen of { fd : int; backlog : int }
   | Sock_read of { fd : int; dst : int64; cap : int }
   | Sock_write of { fd : int; data : bytes }
+  | Epoll_wait of { dst : int64; cap : int }
   | Close_fd of int
 
 type outcome = Ret of int64 | Control of control
 
 type fd_obj = Fd_conn of Net.Conn.t | Fd_listener of Net.Socket.t
+
+type fd_entry = { obj : fd_obj; mutable nonblock : bool }
+
+(* EAGAIN/EWOULDBLOCK sentinel returned by non-blocking accept/read/
+   write (-1 stays "error/closed", 0 stays "EOF"/"wrote nothing"). *)
+let eagain = -2L
 
 type io = {
   mutable input : bytes;
@@ -22,9 +30,11 @@ type io = {
   output : Buffer.t;
   errout : Buffer.t;
   mutable brk : int64;
-  mutable fds : (int * fd_obj) list;
+  fds : (int, fd_entry) Hashtbl.t;
+  mutable free_fds : int list;  (* closed fds below next_fd, ascending *)
   mutable next_fd : int;
   mutable listener : Net.Socket.t option;
+  mutable listener_fd : int;  (* fd of [listener], -1 when none *)
 }
 
 let make_io () =
@@ -34,19 +44,25 @@ let make_io () =
     output = Buffer.create 64;
     errout = Buffer.create 64;
     brk = Layout.heap_base;
-    fds = [];
+    fds = Hashtbl.create 16;
+    free_fds = [];
     next_fd = 3;
     listener = None;
+    listener_fd = -1;
   }
 
 let clone_io io =
   (* fork/pthread_create semantics: the child inherits the fd table, so
-     every connection (and the listener) gains one more holder *)
-  List.iter
-    (fun (_, obj) ->
-      match obj with
+     every connection (and the listener) gains one more holder. Status
+     flags (O_NONBLOCK) are per-entry and copied, like dup'd
+     descriptors sharing an open file description. *)
+  let fds = Hashtbl.create (Hashtbl.length io.fds) in
+  Hashtbl.iter
+    (fun fd e ->
+      (match e.obj with
       | Fd_conn c -> Net.Conn.retain c
-      | Fd_listener s -> Net.Socket.retain s)
+      | Fd_listener s -> Net.Socket.retain s);
+      Hashtbl.replace fds fd { obj = e.obj; nonblock = e.nonblock })
     io.fds;
   {
     input = Bytes.copy io.input;
@@ -54,24 +70,54 @@ let clone_io io =
     output = Buffer.create 64;
     errout = Buffer.create 64;
     brk = io.brk;
-    fds = io.fds;
+    fds;
+    free_fds = io.free_fds;
     next_fd = io.next_fd;
     listener = io.listener;
+    listener_fd = io.listener_fd;
   }
 
 (* ---- fd table --------------------------------------------------------- *)
 
-let fd_obj_of io fd = List.assoc_opt fd io.fds
+let fd_entry_of io fd = Hashtbl.find_opt io.fds fd
+
+let fd_obj_of io fd =
+  match fd_entry_of io fd with Some e -> Some e.obj | None -> None
 
 let conn_of_fd io fd =
   match fd_obj_of io fd with Some (Fd_conn c) -> Some c | _ -> None
 
 let listener_of io = io.listener
+let listener_fd io = io.listener_fd
 
+let fd_nonblock io fd =
+  match fd_entry_of io fd with Some e -> e.nonblock | None -> false
+
+let set_fd_nonblock io fd v =
+  match fd_entry_of io fd with
+  | Some e ->
+    e.nonblock <- v;
+    true
+  | None -> false
+
+let open_fds io =
+  List.sort compare (Hashtbl.fold (fun fd _ acc -> fd :: acc) io.fds [])
+
+(* Lowest closed fd first, like a real per-process table. Reuse keeps
+   fd values small and dense, so a long-lived event-loop process can
+   index flat per-fd state arrays by fd. *)
 let install_fd io obj =
-  let fd = io.next_fd in
-  io.next_fd <- fd + 1;
-  io.fds <- io.fds @ [ (fd, obj) ];
+  let fd =
+    match io.free_fds with
+    | fd :: rest ->
+      io.free_fds <- rest;
+      fd
+    | [] ->
+      let fd = io.next_fd in
+      io.next_fd <- fd + 1;
+      fd
+  in
+  Hashtbl.replace io.fds fd { obj; nonblock = false };
   fd
 
 let install_conn io conn =
@@ -80,33 +126,49 @@ let install_conn io conn =
 
 let install_listener io sock =
   io.listener <- Some sock;
-  install_fd io (Fd_listener sock)
+  let fd = install_fd io (Fd_listener sock) in
+  io.listener_fd <- fd;
+  fd
+
+(* keep [free_fds] sorted ascending; the list stays short under churn
+   because install always takes the head *)
+let rec insert_free fd = function
+  | [] -> [ fd ]
+  | hd :: tl as l ->
+    if fd < hd then fd :: l
+    else if fd = hd then l
+    else hd :: insert_free fd tl
 
 let close_fd io fd ~now =
-  match fd_obj_of io fd with
+  match fd_entry_of io fd with
   | None -> false
-  | Some obj ->
-    io.fds <- List.remove_assoc fd io.fds;
-    (match obj with
+  | Some e ->
+    Hashtbl.remove io.fds fd;
+    io.free_fds <- insert_free fd io.free_fds;
+    (match e.obj with
     | Fd_conn c -> Net.Conn.server_close c ~now
     | Fd_listener s ->
       Net.Socket.release s ~now;
       (match io.listener with
-      | Some cur when cur == s -> io.listener <- None
+      | Some cur when cur == s ->
+        io.listener <- None;
+        io.listener_fd <- -1
       | _ -> ()));
     true
 
 let close_all io ~now ~graceful =
-  List.iter
-    (fun (_, obj) ->
-      match obj with
+  Hashtbl.iter
+    (fun _ e ->
+      match e.obj with
       | Fd_conn c ->
         if graceful then Net.Conn.server_close c ~now
         else Net.Conn.abort c ~now
       | Fd_listener s -> Net.Socket.release s ~now)
     io.fds;
-  io.fds <- [];
-  io.listener <- None
+  Hashtbl.reset io.fds;
+  io.free_fds <- [];
+  io.listener <- None;
+  io.listener_fd <- -1
 
 let set_input io data =
   io.input <- Bytes.copy data;
@@ -156,6 +218,9 @@ let names =
     "write_str";
     "write_int";
     "waitpid_nb";
+    (* readiness / event-loop tier (PR 6) — appended, slots stay stable *)
+    "set_nonblock";
+    "epoll_wait";
   ]
 
 let slot_table = Hashtbl.create 64
@@ -259,14 +324,26 @@ let dispatch ~name cpu mem ~pid io =
       Net.Socket.bind s ~port;
       Ret 0L
     | _ -> Ret (-1L))
-  | "listen" -> (
+  | "listen" ->
+    (* kernel-served: listening registers the socket in the kernel's
+       port table (SO_REUSEPORT-style sharding needs the kernel to see
+       every listener on a port) *)
     let fd = Int64.to_int (arg cpu 0) and backlog = Int64.to_int (arg cpu 1) in
     charge cpu Cost.syscall_cycles;
-    match fd_obj_of io fd with
-    | Some (Fd_listener s) ->
-      Net.Socket.listen s ~backlog;
-      Ret 0L
-    | _ -> Ret (-1L))
+    Control (Listen { fd; backlog })
+  | "set_nonblock" ->
+    (* fcntl(fd, F_SETFL, O_NONBLOCK) in spirit: accept/read/write on
+       the fd return EAGAIN (-2) instead of parking *)
+    let fd = Int64.to_int (arg cpu 0) in
+    charge cpu Cost.syscall_cycles;
+    Ret (if set_fd_nonblock io fd true then 0L else -1L)
+  | "epoll_wait" ->
+    (* epoll_wait(events, cap): writes ready fds (8-byte ints) into the
+       guest array at [dst], blocking until at least one is ready. The
+       whole open fd table is the interest set — level-triggered. *)
+    let dst = arg cpu 0 and cap = Int64.to_int (arg cpu 1) in
+    charge cpu Cost.syscall_cycles;
+    Control (Epoll_wait { dst; cap })
   | "close" ->
     charge cpu Cost.syscall_cycles;
     Control (Close_fd (Int64.to_int (arg cpu 0)))

@@ -19,11 +19,18 @@ type control =
   | Wait_child  (** blocking waitpid: parks until a pending child dies *)
   | Wait_child_nb  (** WNOHANG-style reap of one dead child, never parks *)
   | Accept  (** block for the next pending connection (or driver request) *)
+  | Listen of { fd : int; backlog : int }
+      (** kernel-served so every listener lands in the kernel's
+          port-sharding table (SO_REUSEPORT semantics) *)
   | Sock_read of { fd : int; dst : int64; cap : int }
       (** read from a connection fd; parks when no bytes are pending *)
   | Sock_write of { fd : int; data : bytes }
       (** write to a connection fd; parks while the TX buffer is full.
           The payload is snapshotted at call time, like [write(2)]. *)
+  | Epoll_wait of { dst : int64; cap : int }
+      (** readiness query over the whole open fd table; parks until at
+          least one fd is ready, then writes ready fds into the guest
+          array at [dst] (8-byte slots, at most [cap]) *)
   | Close_fd of int
 
 type outcome =
@@ -32,19 +39,29 @@ type outcome =
 
 type fd_obj = Fd_conn of Net.Conn.t | Fd_listener of Net.Socket.t
 
+val eagain : int64
+(** The -2 sentinel non-blocking [accept]/[read]/[write] return instead
+    of parking (EAGAIN). Distinct from -1 (error/closed) and 0 (EOF). *)
+
 (** Per-process standard I/O, the heap break, and the fd table. *)
+type fd_entry = { obj : fd_obj; mutable nonblock : bool }
+
 type io = {
   mutable input : bytes;
   mutable input_pos : int;
   output : Buffer.t;
   errout : Buffer.t;
   mutable brk : int64;
-  mutable fds : (int * fd_obj) list;
+  fds : (int, fd_entry) Hashtbl.t;
+  mutable free_fds : int list;
+      (** closed fds below [next_fd], ascending — install reuses the
+          lowest first, keeping fd values dense under churn *)
   mutable next_fd : int;
   mutable listener : Net.Socket.t option;
       (** the most recently created listening socket — what [accept]
           (which takes no fd, see {!Kernel}) and kernel-side connects
           operate on *)
+  mutable listener_fd : int;  (** fd of [listener], -1 when none *)
 }
 
 val make_io : unit -> io
@@ -60,9 +77,20 @@ val set_input : io -> bytes -> unit
 val fd_obj_of : io -> int -> fd_obj option
 val conn_of_fd : io -> int -> Net.Conn.t option
 val listener_of : io -> Net.Socket.t option
+val listener_fd : io -> int
+
+val fd_nonblock : io -> int -> bool
+(** O_NONBLOCK status of the fd ([false] for unknown fds). *)
+
+val set_fd_nonblock : io -> int -> bool -> bool
+(** Set/clear O_NONBLOCK; [false] if the fd is not open. *)
+
+val open_fds : io -> int list
+(** Every open fd, ascending — the deterministic scan order epoll-style
+    readiness queries use. *)
 
 val install_conn : io -> Net.Conn.t -> int
-(** Retain the connection and assign it the next fd. *)
+(** Retain the connection and assign it the lowest free fd. *)
 
 val install_listener : io -> Net.Socket.t -> int
 

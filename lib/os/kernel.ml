@@ -1,13 +1,23 @@
 open Vm64
 
-(* PR 5: the kernel is a round-robin ready-queue scheduler. Processes
-   run in bounded slices and park in Blocked_* states for kernel
-   services (accept, conn read/write, blocking waitpid); a poll pass
-   before each dispatch wakes whoever's condition now holds, in pid
-   order, so scheduling is deterministic for a deterministic workload.
-   Virtual time ([now]) is the cycles retired across all processes —
-   one simulated core — and drives connection timeouts and the load
-   generator's clocks. *)
+(* PR 5 made the kernel a round-robin ready-queue scheduler; PR 6 makes
+   blocking event-driven. Processes run in bounded slices and park in
+   Blocked_* states for kernel services (accept, conn read/write,
+   epoll_wait, blocking waitpid). Instead of re-polling every blocked
+   process before each dispatch (O(procs log procs) per dispatch), a
+   parking process registers a one-shot waiter on the exact object it
+   waits for — conn RX/TX, a socket's accept queue, or (implicitly) a
+   child's death — and the event that satisfies the wait pushes its pid
+   onto a wake queue. Waiters fire in pid order within one event and
+   FIFO across events, so scheduling stays deterministic for a
+   deterministic workload. Virtual time ([now]) is the cycles retired
+   across all processes — one simulated core — and drives connection
+   timeouts and the load generator's clocks. *)
+
+(* Listeners sharing a port, SO_REUSEPORT-style: [listen] registers the
+   socket here and the kernel round-robins incoming connects across the
+   live listeners, in registration order. *)
+type port_entry = { mutable socks : Net.Socket.t list; mutable rr : int }
 
 type t = {
   procs : (int, Process.t) Hashtbl.t;
@@ -17,6 +27,16 @@ type t = {
   mutable last_reaped : Process.t option;
   mutable forks : int;  (* fork_child calls served by this kernel *)
   ready : int Queue.t;
+  wake : int Queue.t;
+      (* pids whose blocked condition may now hold (an event fired);
+         drained before each dispatch, FIFO *)
+  blocked_io : (int, unit) Hashtbl.t;
+      (* pids parked in Blocked_read/Blocked_write — the only states
+         connection timeouts apply to *)
+  mutable next_timeout_check : int64 option;
+      (* earliest deadline at which some blocked conn op could time
+         out; the sweep runs only when [now] passes this *)
+  ports : (int, port_entry) Hashtbl.t;
   mutable now : int64;  (* virtual cycles retired across all processes *)
   mutable conn_timeout : int64 option;
   mutable next_conn_id : int;
@@ -45,6 +65,33 @@ let g_forks = Telemetry.Registry.counter metric_forks
 let g_crashes = Telemetry.Registry.counter "os.kernel.crashes"
 let g_exits = Telemetry.Registry.counter "os.kernel.exits"
 
+(* Readiness events delivered to parked processes — the direct-wakeup
+   path that replaced the every-dispatch scan over all blocked procs. *)
+let g_wakeups = Telemetry.Registry.counter "os.kernel.wakeups"
+
+(* A readiness event fired for this blocked process: queue it for a
+   retry of its parked operation. The [wake_pending] flag dedups — one
+   queue slot per process no matter how many events fire. *)
+let mark_ready t (p : Process.t) =
+  if
+    Process.status_is_blocked p.Process.status
+    && not p.Process.wake_pending
+  then begin
+    p.Process.wake_pending <- true;
+    Telemetry.Registry.incr g_wakeups;
+    Queue.push p.Process.pid t.wake
+  end
+
+(* A dying child is the event a Blocked_wait parent sleeps on. *)
+let mark_parent_of_dead t (p : Process.t) =
+  match p.Process.parent with
+  | None -> ()
+  | Some ppid -> (
+    match Hashtbl.find_opt t.procs ppid with
+    | Some parent when parent.Process.status = Process.Blocked_wait ->
+      mark_ready t parent
+    | _ -> ())
+
 (* Every transition to a dead status funnels through these two, so the
    registry counts match the statuses processes end up with. Death also
    tears down the fd table: exits half-close connections (buffered
@@ -53,12 +100,14 @@ let g_exits = Telemetry.Registry.counter "os.kernel.exits"
 let note_exited t (p : Process.t) code =
   Telemetry.Registry.incr g_exits;
   p.Process.status <- Process.Exited code;
-  Glibc.close_all p.Process.io ~now:t.now ~graceful:true
+  Glibc.close_all p.Process.io ~now:t.now ~graceful:true;
+  mark_parent_of_dead t p
 
 let note_killed t (p : Process.t) signal msg =
   Telemetry.Registry.incr g_crashes;
   p.Process.status <- Process.Killed (signal, msg);
   Glibc.close_all p.Process.io ~now:t.now ~graceful:false;
+  mark_parent_of_dead t p;
   if Telemetry.Trace.enabled () then
     Telemetry.Trace.instant "kernel.crash"
       ~args:
@@ -69,7 +118,7 @@ let note_killed t (p : Process.t) signal msg =
         ]
       ~cycles:p.Process.cpu.Cpu.cycles
 
-(* Above the builtin slot table (39 slots x 64 B); the glibc region is
+(* Above the builtin slot table (41 slots x 64 B); the glibc region is
    mapped 8 KiB so both stubs fit comfortably. *)
 let exit_stub_addr = Int64.add Layout.glibc_base 0x1800L
 let ctor_trampoline_addr = Int64.add Layout.glibc_base 0x1900L
@@ -84,6 +133,10 @@ let create ?(seed = 0xC0FFEEL) ?on_retire () =
     last_reaped = None;
     forks = 0;
     ready = Queue.create ();
+    wake = Queue.create ();
+    blocked_io = Hashtbl.create 16;
+    next_timeout_check = None;
+    ports = Hashtbl.create 4;
     now = 0L;
     conn_timeout = None;
     next_conn_id = 1;
@@ -186,8 +239,9 @@ let spawn t ?(input = Bytes.create 0) ?(preload = Preload.No_preload)
       io;
       preload;
       status = Process.Runnable;
-      pending_children = [];
+      pending_children = Queue.create ();
       queued = false;
+      wake_pending = false;
     }
   in
   Hashtbl.add t.procs proc.Process.pid proc;
@@ -227,8 +281,9 @@ let fork_child t (parent : Process.t) =
       io = Glibc.clone_io parent.Process.io;
       preload = parent.Process.preload;
       status = Process.Runnable;
-      pending_children = [];
+      pending_children = Queue.create ();
       queued = false;
+      wake_pending = false;
     }
   in
   Hashtbl.add t.procs child_pid child;
@@ -241,8 +296,9 @@ let fork_child t (parent : Process.t) =
         ]
       ~cycles:parent.Process.cpu.Cpu.cycles;
   Cpu.set parent.Process.cpu Isa.Reg.RAX (Int64.of_int child_pid);
-  parent.Process.pending_children <-
-    parent.Process.pending_children @ [ child_pid ];
+  (* O(1) append (oldest child stays at the head) — a list-append here
+     goes quadratic for a fork-per-connection server reaping lazily *)
+  Queue.push child_pid parent.Process.pending_children;
   enqueue t child;
   child
 
@@ -267,10 +323,14 @@ let spawn_thread t (parent : Process.t) ~start ~arg =
       ~fs_base:cpu.Cpu.fs_base;
   child
 
+(* waitpid status word: low byte = exit code for a clean exit; for a
+   signal death, bit 8 set with the signal number in the low bits (so
+   SIGABRT encodes as 262, SIGSEGV as 267) — callers can distinguish a
+   canary abort from a wild-pointer segfault, not just "crashed". *)
 let encode_wait_status (p : Process.t) =
   match p.Process.status with
   | Process.Exited n -> Int64.of_int (n land 0xFF)
-  | Process.Killed _ -> 256L
+  | Process.Killed (s, _) -> Int64.of_int (256 lor Process.signal_number s)
   | _ -> 512L
 
 (* ---- connection-level services ---------------------------------------- *)
@@ -286,13 +346,67 @@ let now t = t.now
 let advance_to t target =
   if Int64.compare target t.now > 0 then t.now <- target
 
+(* [listen] lands here: remember every listener on the port, in
+   registration order, so connects can round-robin across them. *)
+let register_port t sock =
+  let port = Net.Socket.port sock in
+  let entry =
+    match Hashtbl.find_opt t.ports port with
+    | Some e -> e
+    | None ->
+      let e = { socks = []; rr = 0 } in
+      Hashtbl.replace t.ports port e;
+      e
+  in
+  if not (List.exists (fun s -> s == sock) entry.socks) then
+    entry.socks <- entry.socks @ [ sock ]
+
+(* Round-robin across the port's live listeners, skipping full
+   backlogs; [None] when nothing on the port can take the conn. *)
+let pick_listener t port =
+  match Hashtbl.find_opt t.ports port with
+  | None -> None
+  | Some entry ->
+    let live = List.filter Net.Socket.listening entry.socks in
+    entry.socks <- live;
+    let n = List.length live in
+    let rec probe i =
+      if i >= n then None
+      else
+        let s = List.nth live ((entry.rr + i) mod n) in
+        if Net.Socket.can_push s then begin
+          entry.rr <- (entry.rr + i + 1) mod n;
+          Some s
+        end
+        else probe (i + 1)
+    in
+    if n = 0 then None else probe 0
+
 let connect ?tx_capacity t (p : Process.t) =
-  match Glibc.listener_of p.Process.io with
-  | Some sock when Net.Socket.can_push sock ->
+  let sock =
+    match Glibc.listener_of p.Process.io with
+    | Some sock -> if Net.Socket.can_push sock then Some sock else None
+    | None ->
+      (* the target process owns no listener itself (SO_REUSEPORT
+         sharding: its forked children each listen on the port) — pick
+         one from the port table, lowest port first *)
+      let rec first = function
+        | [] -> None
+        | port :: rest -> (
+          match pick_listener t port with
+          | Some s -> Some s
+          | None -> first rest)
+      in
+      first
+        (List.sort compare
+           (Hashtbl.fold (fun port _ acc -> port :: acc) t.ports []))
+  in
+  match sock with
+  | Some sock ->
     let conn = fresh_conn ?tx_capacity t in
     Net.Socket.push sock conn;
     Some conn
-  | _ ->
+  | None ->
     Net.Socket.note_refused ();
     None
 
@@ -327,6 +441,12 @@ let try_write t (p : Process.t) ~fd ~data ~written =
   | None -> `Done (-1L)
   | Some conn ->
     let len = Bytes.length data in
+    (* write(2) semantics: once any bytes of this call landed, a close
+       mid-write reports the partial count; -1 (EPIPE) only when
+       nothing was written at all *)
+    let closed_rax written =
+      if written > 0 then Int64.of_int written else -1L
+    in
     let rec push written =
       if written >= len then `Done (Int64.of_int len)
       else
@@ -335,9 +455,10 @@ let try_write t (p : Process.t) ~fd ~data ~written =
         | Net.Conn.Wrote n ->
           Cpu.add_cycles p.Process.cpu (Cost.builtin_byte_cycles * n);
           push (written + n)
-        | Net.Conn.Conn_closed -> `Done (-1L)
+        | Net.Conn.Conn_closed -> `Done (closed_rax written)
         | Net.Conn.Tx_full ->
-          if timed_out t conn then `Done (-1L) else `Blocked written
+          if timed_out t conn then `Done (closed_rax written)
+          else `Blocked written
     in
     push written
 
@@ -351,6 +472,96 @@ let try_accept t (p : Process.t) =
       Net.Conn.touch conn ~now:t.now;
       Some (Int64.of_int fd)
     | None -> None)
+
+(* Level-triggered readiness scan over the whole fd table, ascending fd
+   order: a listener is ready when connections are queued, a conn when
+   a read would not block (bytes, EOF, reset). Ready fds are written
+   into the guest array at [dst] as 8-byte ints, at most [cap].
+   [None] = nothing ready, the caller parks. *)
+let try_epoll (p : Process.t) ~dst ~cap =
+  let io = p.Process.io in
+  let ready =
+    List.filter
+      (fun fd ->
+        match Glibc.fd_obj_of io fd with
+        | Some (Glibc.Fd_conn c) -> Net.Conn.readable c
+        | Some (Glibc.Fd_listener s) -> Net.Socket.pending_count s > 0
+        | None -> false)
+      (Glibc.open_fds io)
+  in
+  match ready with
+  | [] -> None
+  | _ ->
+    let cap = Stdlib.max 0 cap in
+    let n = ref 0 in
+    List.iter
+      (fun fd ->
+        if !n < cap then begin
+          Memory.write_u64 p.Process.mem
+            (Int64.add dst (Int64.of_int (!n * 8)))
+            (Int64.of_int fd);
+          incr n
+        end)
+      ready;
+    Cpu.add_cycles p.Process.cpu (Cost.builtin_byte_cycles * 8 * !n);
+    Some (Int64.of_int !n)
+
+(* ---- parking: register one-shot waiters on what the process awaits -- *)
+
+(* Cache the earliest cycle at which this conn's blocked op could time
+   out; the sweep only runs when [now] passes the cache. *)
+let note_io_deadline t conn =
+  match t.conn_timeout with
+  | None -> ()
+  | Some tmo -> (
+    let d = Int64.add (Net.Conn.last_activity conn) tmo in
+    match t.next_timeout_check with
+    | Some cur when Int64.compare cur d <= 0 -> ()
+    | _ -> t.next_timeout_check <- Some d)
+
+let park_read t (p : Process.t) ~fd ~dst ~cap =
+  p.Process.status <- Process.Blocked_read { fd; dst; cap };
+  match Glibc.conn_of_fd p.Process.io fd with
+  | None -> ()
+  | Some conn ->
+    Hashtbl.replace t.blocked_io p.Process.pid ();
+    Net.Conn.add_rx_waiter conn ~key:p.Process.pid (fun () -> mark_ready t p);
+    note_io_deadline t conn
+
+let park_write t (p : Process.t) ~fd ~data ~written =
+  p.Process.status <- Process.Blocked_write { fd; data; written };
+  match Glibc.conn_of_fd p.Process.io fd with
+  | None -> ()
+  | Some conn ->
+    Hashtbl.replace t.blocked_io p.Process.pid ();
+    Net.Conn.add_tx_waiter conn ~key:p.Process.pid (fun () -> mark_ready t p);
+    note_io_deadline t conn
+
+let park_accept t (p : Process.t) =
+  p.Process.status <- Process.Blocked_accept;
+  match Glibc.listener_of p.Process.io with
+  | None -> () (* legacy magic accept: the driver resumes us *)
+  | Some sock ->
+    Net.Socket.add_accept_waiter sock ~key:p.Process.pid (fun () ->
+        mark_ready t p)
+
+(* epoll parks on everything at once: any conn turning readable (or any
+   queued connect) re-queues the process for a fresh scan. Connection
+   timeouts don't apply here — an event-loop process is not stuck in
+   one conn's op, it's waiting for work. *)
+let park_poll t (p : Process.t) ~dst ~cap =
+  p.Process.status <- Process.Blocked_poll { dst; cap };
+  let io = p.Process.io in
+  List.iter
+    (fun fd ->
+      match Glibc.fd_obj_of io fd with
+      | Some (Glibc.Fd_conn c) ->
+        Net.Conn.add_rx_waiter c ~key:p.Process.pid (fun () -> mark_ready t p)
+      | Some (Glibc.Fd_listener s) ->
+        Net.Socket.add_accept_waiter s ~key:p.Process.pid (fun () ->
+            mark_ready t p)
+      | None -> ())
+    (Glibc.open_fds io)
 
 let do_reap t (child : Process.t) =
   t.last_reaped <- Some child;
@@ -380,18 +591,18 @@ let handle_control t (p : Process.t) control =
     ignore (spawn_thread t p ~start ~arg);
     true
   | Glibc.Wait_child -> (
-    match p.Process.pending_children with
-    | [] ->
+    match Queue.peek_opt p.Process.pending_children with
+    | None ->
       set_rax p (-1L);
       true
-    | child_pid :: rest -> (
+    | Some child_pid -> (
       match find t child_pid with
       | None ->
-        p.Process.pending_children <- rest;
+        ignore (Queue.pop p.Process.pending_children);
         set_rax p (-1L);
         true
       | Some child when Process.status_is_dead child.Process.status ->
-        p.Process.pending_children <- rest;
+        ignore (Queue.pop p.Process.pending_children);
         do_reap t child;
         set_rax p (encode_wait_status child);
         true
@@ -400,30 +611,49 @@ let handle_control t (p : Process.t) control =
         p.Process.status <- Process.Blocked_wait;
         false))
   | Glibc.Wait_child_nb ->
-    let rec scan kept = function
-      | [] ->
-        p.Process.pending_children <- List.rev kept;
-        set_rax p (if p.Process.pending_children = [] then -1L else 0L);
-        true
-      | child_pid :: rest -> (
-        match find t child_pid with
-        | None -> scan kept rest
-        | Some child when Process.status_is_dead child.Process.status ->
-          p.Process.pending_children <- List.rev_append kept rest;
-          do_reap t child;
-          set_rax p (Int64.of_int child_pid);
-          true
-        | Some _ -> scan (child_pid :: kept) rest)
-    in
-    scan [] p.Process.pending_children
+    (* one full rotation of the queue preserves child order; reap the
+       first dead child found, drop children already gone *)
+    let q = p.Process.pending_children in
+    let reaped = ref None in
+    let n = Queue.length q in
+    for _ = 1 to n do
+      let child_pid = Queue.pop q in
+      match find t child_pid with
+      | None -> ()
+      | Some child
+        when !reaped = None && Process.status_is_dead child.Process.status ->
+        do_reap t child;
+        reaped := Some child_pid
+      | Some _ -> Queue.push child_pid q
+    done;
+    set_rax p
+      (match !reaped with
+      | Some child_pid -> Int64.of_int child_pid
+      | None -> if Queue.is_empty q then -1L else 0L);
+    true
   | Glibc.Accept -> (
     match try_accept t p with
     | Some rax ->
       set_rax p rax;
       true
     | None ->
-      p.Process.status <- Process.Blocked_accept;
-      false)
+      if Glibc.fd_nonblock p.Process.io (Glibc.listener_fd p.Process.io)
+      then begin
+        set_rax p Glibc.eagain;
+        true
+      end
+      else begin
+        park_accept t p;
+        false
+      end)
+  | Glibc.Listen { fd; backlog } ->
+    (match Glibc.fd_obj_of p.Process.io fd with
+    | Some (Glibc.Fd_listener s) ->
+      Net.Socket.listen s ~backlog;
+      register_port t s;
+      set_rax p 0L
+    | _ -> set_rax p (-1L));
+    true
   | Glibc.Sock_read { fd; dst; cap } -> (
     match try_read t p ~fd ~dst ~cap with
     | exception Fault.Trap fault ->
@@ -433,15 +663,40 @@ let handle_control t (p : Process.t) control =
       set_rax p rax;
       true
     | None ->
-      p.Process.status <- Process.Blocked_read { fd; dst; cap };
-      false)
+      if Glibc.fd_nonblock p.Process.io fd then begin
+        set_rax p Glibc.eagain;
+        true
+      end
+      else begin
+        park_read t p ~fd ~dst ~cap;
+        false
+      end)
   | Glibc.Sock_write { fd; data } -> (
     match try_write t p ~fd ~data ~written:0 with
     | `Done rax ->
       set_rax p rax;
       true
     | `Blocked written ->
-      p.Process.status <- Process.Blocked_write { fd; data; written };
+      if Glibc.fd_nonblock p.Process.io fd then begin
+        (* short write: report what landed, EAGAIN only on zero *)
+        set_rax p
+          (if written > 0 then Int64.of_int written else Glibc.eagain);
+        true
+      end
+      else begin
+        park_write t p ~fd ~data ~written;
+        false
+      end)
+  | Glibc.Epoll_wait { dst; cap } -> (
+    match try_epoll p ~dst ~cap with
+    | exception Fault.Trap fault ->
+      note_killed t p (Process.signal_of_fault fault) (Fault.to_string fault);
+      false
+    | Some rax ->
+      set_rax p rax;
+      true
+    | None ->
+      park_poll t p ~dst ~cap;
       false)
   | Glibc.Close_fd fd ->
     set_rax p
@@ -500,59 +755,106 @@ let run_slice t (p : Process.t) fuel =
 let wake t (p : Process.t) rax =
   set_rax p rax;
   p.Process.status <- Process.Runnable;
+  Hashtbl.remove t.blocked_io p.Process.pid;
   enqueue t p
 
-(* Wake every blocked process whose condition now holds, in pid order
-   (deterministic regardless of hashtable layout). *)
-let poll_blocked t =
-  let pids = Hashtbl.fold (fun pid _ acc -> pid :: acc) t.procs [] in
-  let pids = List.sort compare pids in
-  List.iter
-    (fun pid ->
-      match find t pid with
+(* Retry the parked operation of a process whose wakeup event fired.
+   If the condition no longer holds (another process consumed the
+   bytes / the connection, or the epoll scan comes up empty), re-park —
+   the firing consumed the one-shot waiter, so it must be re-armed. *)
+let retry_blocked t (p : Process.t) =
+  match p.Process.status with
+  | Process.Blocked_accept -> (
+    match try_accept t p with
+    | Some rax -> wake t p rax
+    | None -> park_accept t p)
+  | Process.Blocked_read { fd; dst; cap } -> (
+    match try_read t p ~fd ~dst ~cap with
+    | exception Fault.Trap fault ->
+      note_killed t p (Process.signal_of_fault fault) (Fault.to_string fault)
+    | Some rax -> wake t p rax
+    | None -> park_read t p ~fd ~dst ~cap)
+  | Process.Blocked_write { fd; data; written } -> (
+    match try_write t p ~fd ~data ~written with
+    | `Done rax -> wake t p rax
+    | `Blocked written -> park_write t p ~fd ~data ~written)
+  | Process.Blocked_poll { dst; cap } -> (
+    match try_epoll p ~dst ~cap with
+    | exception Fault.Trap fault ->
+      note_killed t p (Process.signal_of_fault fault) (Fault.to_string fault)
+    | Some rax -> wake t p rax
+    | None -> park_poll t p ~dst ~cap)
+  | Process.Blocked_wait -> (
+    match Queue.peek_opt p.Process.pending_children with
+    | None -> wake t p (-1L)
+    | Some child_pid -> (
+      match find t child_pid with
+      | None ->
+        ignore (Queue.pop p.Process.pending_children);
+        wake t p (-1L)
+      | Some child when Process.status_is_dead child.Process.status ->
+        ignore (Queue.pop p.Process.pending_children);
+        do_reap t child;
+        wake t p (encode_wait_status child)
+      | Some _ -> () (* spurious (stale waiter): head child still alive *)))
+  | Process.Runnable | Process.Exited _ | Process.Killed _ -> ()
+
+(* Drain the wake queue: each pid retried once per queued event, FIFO.
+   Events fire their waiters in pid order (Conn/Socket sort by key), so
+   the composite order — FIFO across events, pid order within one — is
+   deterministic for a deterministic workload. *)
+let service_wake t =
+  let rec go () =
+    match Queue.take_opt t.wake with
+    | None -> ()
+    | Some pid ->
+      (match find t pid with
       | None -> ()
-      | Some p -> (
-        match p.Process.status with
-        | Process.Blocked_accept -> (
-          match try_accept t p with
-          | Some rax -> wake t p rax
-          | None -> ())
-        | Process.Blocked_read { fd; dst; cap } -> (
-          match try_read t p ~fd ~dst ~cap with
-          | exception Fault.Trap fault ->
-            note_killed t p
-              (Process.signal_of_fault fault)
-              (Fault.to_string fault)
-          | Some rax -> wake t p rax
-          | None -> ())
-        | Process.Blocked_write { fd; data; written } -> (
-          match try_write t p ~fd ~data ~written with
-          | `Done rax -> wake t p rax
-          | `Blocked written' ->
-            if written' <> written then
-              p.Process.status <-
-                Process.Blocked_write { fd; data; written = written' })
-        | Process.Blocked_wait -> (
-          match p.Process.pending_children with
-          | [] -> wake t p (-1L)
-          | child_pid :: rest -> (
-            match find t child_pid with
-            | None ->
-              p.Process.pending_children <- rest;
-              wake t p (-1L)
-            | Some child when Process.status_is_dead child.Process.status ->
-              p.Process.pending_children <- rest;
-              do_reap t child;
-              wake t p (encode_wait_status child)
-            | Some _ -> ()))
-        | Process.Runnable | Process.Exited _ | Process.Killed _ -> ()))
-    pids
+      | Some p ->
+        p.Process.wake_pending <- false;
+        retry_blocked t p);
+      go ()
+  in
+  go ()
+
+(* Time out idle conns with a blocked op on them. Runs only when [now]
+   passes the cached earliest deadline, so the common path costs one
+   comparison; the sweep itself is O(blocked ops), not O(procs). A
+   timed-out conn resets, which fires its waiters — the woken syscall
+   then completes with -1 through the normal retry path. *)
+let sweep_timeouts t =
+  match (t.conn_timeout, t.next_timeout_check) with
+  | Some tmo, Some due when Int64.compare t.now due >= 0 ->
+    t.next_timeout_check <- None;
+    let stale = ref [] in
+    Hashtbl.iter
+      (fun pid () ->
+        match find t pid with
+        | None -> stale := pid :: !stale
+        | Some p -> (
+          let check fd =
+            match Glibc.conn_of_fd p.Process.io fd with
+            | None -> ()
+            | Some conn ->
+              if Int64.compare (Net.Conn.idle_cycles conn ~now:t.now) tmo >= 0
+              then Net.Conn.timeout conn ~now:t.now
+              else note_io_deadline t conn
+          in
+          match p.Process.status with
+          | Process.Blocked_read { fd; _ } | Process.Blocked_write { fd; _ }
+            ->
+            check fd
+          | _ -> stale := pid :: !stale))
+      t.blocked_io;
+    List.iter (Hashtbl.remove t.blocked_io) !stale
+  | _ -> ()
 
 let schedule ?(fuel = 50_000_000) t =
   let fuel = ref fuel in
   let continue_ = ref true in
   while !continue_ do
-    poll_blocked t;
+    sweep_timeouts t;
+    service_wake t;
     if !fuel <= 0 then continue_ := false
     else
       match Queue.take_opt t.ready with
@@ -574,37 +876,41 @@ let schedule ?(fuel = 50_000_000) t =
   done
 
 (* Earliest cycle at which a blocked conn operation would time out —
-   the pump uses this to jump virtual time across idle stretches. *)
+   the pump uses this to jump virtual time across idle stretches. Scans
+   only the processes parked on conn I/O, not the whole process table. *)
 let next_deadline t =
   match t.conn_timeout with
   | None -> None
   | Some tmo ->
     Hashtbl.fold
-      (fun _ (p : Process.t) acc ->
-        let conn_deadline fd =
-          match Glibc.conn_of_fd p.Process.io fd with
-          | None -> None
-          | Some conn ->
-            Some (Int64.add (Net.Conn.last_activity conn) tmo)
-        in
+      (fun pid () acc ->
         let deadline =
-          match p.Process.status with
-          | Process.Blocked_read { fd; _ } -> conn_deadline fd
-          | Process.Blocked_write { fd; _ } -> conn_deadline fd
-          | _ -> None
+          match find t pid with
+          | None -> None
+          | Some p -> (
+            let conn_deadline fd =
+              match Glibc.conn_of_fd p.Process.io fd with
+              | None -> None
+              | Some conn -> Some (Int64.add (Net.Conn.last_activity conn) tmo)
+            in
+            match p.Process.status with
+            | Process.Blocked_read { fd; _ } -> conn_deadline fd
+            | Process.Blocked_write { fd; _ } -> conn_deadline fd
+            | _ -> None)
         in
         match (deadline, acc) with
         | None, acc -> acc
         | Some d, None -> Some d
         | Some d, Some best -> Some (if Int64.compare d best < 0 then d else best))
-      t.procs None
+      t.blocked_io None
 
 let stop_of (p : Process.t) =
   match p.Process.status with
   | Process.Exited n -> Stop_exit n
   | Process.Killed (s, msg) -> Stop_kill (s, msg)
   | Process.Blocked_accept -> Stop_accept
-  | Process.Blocked_read _ | Process.Blocked_write _ | Process.Blocked_wait ->
+  | Process.Blocked_read _ | Process.Blocked_write _ | Process.Blocked_poll _
+  | Process.Blocked_wait ->
     Stop_io
   | Process.Runnable -> Stop_fuel
 
@@ -621,17 +927,16 @@ let run ?(fuel = 50_000_000) t p =
    shim uses this so [last_reaped] names the child that served the
    request even for servers that reap lazily with waitpid_nb. *)
 let reap_zombies t (p : Process.t) =
-  let rec go kept = function
-    | [] -> p.Process.pending_children <- List.rev kept
-    | child_pid :: rest -> (
-      match find t child_pid with
-      | None -> go kept rest
-      | Some child when Process.status_is_dead child.Process.status ->
-        do_reap t child;
-        go kept rest
-      | Some _ -> go (child_pid :: kept) rest)
-  in
-  go [] p.Process.pending_children
+  let q = p.Process.pending_children in
+  let n = Queue.length q in
+  for _ = 1 to n do
+    let child_pid = Queue.pop q in
+    match find t child_pid with
+    | None -> ()
+    | Some child when Process.status_is_dead child.Process.status ->
+      do_reap t child
+    | Some _ -> Queue.push child_pid q
+  done
 
 let resume_with_request ?(fuel = 50_000_000) t p request =
   (match p.Process.status with

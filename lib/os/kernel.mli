@@ -4,13 +4,16 @@
     benchmarks use.
 
     Processes run in bounded instruction slices and park in [Blocked_*]
-    states for kernel services ([accept], conn [read]/[write], blocking
-    [waitpid]). Before each dispatch the scheduler polls blocked
-    processes in pid order and wakes those whose condition now holds,
-    so for a deterministic workload the interleaving is deterministic.
-    Virtual time ([now]) advances with the cycles retired across all
-    processes — one simulated core — and drives connection timeouts and
-    the load generator. *)
+    states for kernel services ([accept], conn [read]/[write],
+    [epoll_wait], blocking [waitpid]). Blocking registers a one-shot
+    waiter on the object being waited on (conn, socket, child); the
+    event fires the waiter, which queues the pid on a FIFO wake queue
+    the scheduler drains before dispatching — no per-dispatch scan over
+    blocked processes. Wakeups are FIFO across events and pid-ordered
+    within one event, so for a deterministic workload the interleaving
+    is deterministic. Virtual time ([now]) advances with the cycles
+    retired across all processes — one simulated core — and drives
+    connection timeouts and the load generator. *)
 
 type t
 
@@ -45,7 +48,9 @@ type stop =
   | Stop_exit of int
   | Stop_kill of Process.signal * string
   | Stop_accept  (** the process blocked in [accept] *)
-  | Stop_io  (** blocked on a conn read/write or a blocking waitpid *)
+  | Stop_io
+      (** blocked on a conn read/write, [epoll_wait], or a blocking
+          [waitpid] *)
   | Stop_fuel
 
 val stop_to_string : stop -> string
@@ -72,10 +77,13 @@ val resume_with_request : ?fuel:int -> t -> Process.t -> bytes -> stop
     parked elsewhere. *)
 
 val connect : ?tx_capacity:int -> t -> Process.t -> Net.Conn.t option
-(** Client-side connect to the process's listening socket: [None] (and
-    a [net.conn.refused] tick) when there is no listener or the accept
-    backlog is full — the caller backs off and retries, like a real
-    client seeing SYN drops. *)
+(** Client-side connect: to the process's own listening socket if it
+    holds one, else round-robin across the live listeners registered on
+    the kernel's port table (SO_REUSEPORT-style — how connects reach
+    the sharded acceptors forked by a parent that owns no socket).
+    [None] (and a [net.conn.refused] tick) when there is no listener
+    anywhere or every candidate backlog is full — the caller backs off
+    and retries, like a real client seeing SYN drops. *)
 
 val now : t -> int64
 (** Virtual time: cycles retired across all of this kernel's processes. *)

@@ -4,6 +4,11 @@
 type signal = Sigsegv | Sigabrt | Sigill
 
 val signal_name : signal -> string
+
+val signal_number : signal -> int
+(** Classic Linux signal number (SIGSEGV = 11, SIGABRT = 6, SIGILL = 4)
+    — the low bits of a crashed child's waitpid status word. *)
+
 val signal_of_fault : Vm64.Fault.t -> signal
 
 type status =
@@ -13,6 +18,8 @@ type status =
       (** in [read], waiting for conn bytes (or EOF/reset/timeout) *)
   | Blocked_write of { fd : int; data : bytes; written : int }
       (** in [write], waiting for TX-buffer space *)
+  | Blocked_poll of { dst : int64; cap : int }
+      (** in [epoll_wait], waiting for any fd to become ready *)
   | Blocked_wait  (** in blocking [waitpid] for a live child *)
   | Exited of int
   | Killed of signal * string
@@ -30,9 +37,14 @@ type t = {
   io : Glibc.io;
   preload : Preload.mode;
   mutable status : status;
-  mutable pending_children : int list;  (** oldest first, not yet waited *)
+  pending_children : int Queue.t;
+      (** oldest first, not yet waited; a queue so fork's append is O(1)
+          even for a fork-per-connection server that reaps lazily *)
   mutable queued : bool;
       (** scheduler-internal: already in the ready queue *)
+  mutable wake_pending : bool;
+      (** scheduler-internal: already in the wake queue (a readiness
+          event fired for this blocked process, retry not yet run) *)
 }
 
 val crashed : t -> bool

@@ -30,6 +30,25 @@ int recv_req(int fd, char req[], int cap) {
 }
 |}
 
+(* Blocking request loop over a profile's [respond]: every profile
+   defines `int respond(int fd, char req[], int n)` (parse + compute +
+   write the answer) and gets this same driver. The event-loop skeleton
+   reuses the same respond with its own non-blocking framing. *)
+let handle_src ~cap =
+  Printf.sprintf
+    {|
+int handle(int fd) {
+  char req[%d];
+  int n = recv_req(fd, req, %d);
+  while (n > 0) {
+    respond(fd, req, n);
+    n = recv_req(fd, req, %d);
+  }
+  return 0;
+}
+|}
+    (cap + 1) cap cap
+
 (* Shared fork-per-connection skeleton (the worker-pool pattern of
    §II-B): the child serves its connection to completion; the parent
    reaps opportunistically with waitpid_nb so it can keep accepting
@@ -132,21 +151,16 @@ int render(int pages) {
 |}
       ^ recv_req_src
       ^ {|
-int handle(int fd) {
-  char req[256];
-  int n = recv_req(fd, req, 255);
-  while (n > 0) {
-    int headers = parse_headers(req, n);
-    int etag = render(6);
-    write_str(fd, "HTTP/1.1 200 OK etag=");
-    write_int(fd, (etag + headers) % 1000000);
-    write_str(fd, "\n");
-    n = recv_req(fd, req, 255);
-  }
+int respond(int fd, char req[], int n) {
+  int headers = parse_headers(req, n);
+  int etag = render(6);
+  write_str(fd, "HTTP/1.1 200 OK etag=");
+  write_int(fd, (etag + headers) % 1000000);
+  write_str(fd, "\n");
   return 0;
 }
 |}
-      ^ serve_skeleton;
+      ^ handle_src ~cap:255 ^ serve_skeleton;
   }
 
 (* Nginx-like: minimal parsing, tiny static response. *)
@@ -188,20 +202,15 @@ int render(int kind) {
 |}
       ^ recv_req_src
       ^ {|
-int handle(int fd) {
-  char req[128];
-  int n = recv_req(fd, req, 127);
-  while (n > 0) {
-    int kind = route(req, n);
-    write_str(fd, "HTTP/1.1 200 OK v=");
-    write_int(fd, render(kind));
-    write_str(fd, "\n");
-    n = recv_req(fd, req, 127);
-  }
+int respond(int fd, char req[], int n) {
+  int kind = route(req, n);
+  write_str(fd, "HTTP/1.1 200 OK v=");
+  write_int(fd, render(kind));
+  write_str(fd, "\n");
   return 0;
 }
 |}
-      ^ serve_skeleton;
+      ^ handle_src ~cap:127 ^ serve_skeleton;
   }
 
 (* MySQL-like: point queries via binary search plus a small aggregate. *)
@@ -265,23 +274,18 @@ int aggregate(int around) {
 |}
       ^ recv_req_src
       ^ {|
-int handle(int fd) {
-  char q[64];
-  int n = recv_req(fd, q, 63);
-  while (n > 0) {
-    int key = parse_key(q, n);
-    int hit = lookup(key);
-    write_str(fd, "row=");
-    write_int(fd, hit);
-    write_str(fd, " agg=");
-    write_int(fd, aggregate(key));
-    write_str(fd, "\n");
-    n = recv_req(fd, q, 63);
-  }
+int respond(int fd, char q[], int n) {
+  int key = parse_key(q, n);
+  int hit = lookup(key);
+  write_str(fd, "row=");
+  write_int(fd, hit);
+  write_str(fd, " agg=");
+  write_int(fd, aggregate(key));
+  write_str(fd, "\n");
   return 0;
 }
 |}
-      ^ serve_skeleton;
+      ^ handle_src ~cap:63 ^ serve_skeleton;
   }
 
 (* SQLite-like: full-table scan with predicate plus an insertion sort of
@@ -349,24 +353,19 @@ int sort_results(int n) {
 |}
       ^ recv_req_src
       ^ {|
-int handle(int fd) {
-  char q[64];
-  int n = recv_req(fd, q, 63);
-  while (n > 0) {
-    int pred = parse_pred(q, n);
-    int found = scan(pred);
-    int smallest = sort_results(found);
-    write_str(fd, "rows=");
-    write_int(fd, found);
-    write_str(fd, " min=");
-    write_int(fd, smallest);
-    write_str(fd, "\n");
-    n = recv_req(fd, q, 63);
-  }
+int respond(int fd, char q[], int n) {
+  int pred = parse_pred(q, n);
+  int found = scan(pred);
+  int smallest = sort_results(found);
+  write_str(fd, "rows=");
+  write_int(fd, found);
+  write_str(fd, " min=");
+  write_int(fd, smallest);
+  write_str(fd, "\n");
   return 0;
 }
 |}
-      ^ serve_skeleton;
+      ^ handle_src ~cap:63 ^ serve_skeleton;
   }
 
 (* Thread-per-connection variant of the serve loop. The handler runs in
@@ -406,26 +405,200 @@ int main() {
 }
 |}
 
-let threaded profile =
-  let prefix =
-    match String.index_opt profile.source 'i' with
-    | _ ->
-      (* everything before the fork skeleton is the service logic *)
-      let marker = "
+(* Everything before the serve loop — setup, service logic, recv_req,
+   respond, handle — is shared by all server architectures; only the
+   skeleton after "int serve()" differs. *)
+let service_prefix profile =
+  let marker = "
 int serve()" in
-      let rec find i =
-        if i + String.length marker > String.length profile.source then
-          String.length profile.source
-        else if String.sub profile.source i (String.length marker) = marker then i
-        else find (i + 1)
-      in
-      String.sub profile.source 0 (find 0)
+  let rec find i =
+    if i + String.length marker > String.length profile.source then
+      String.length profile.source
+    else if String.sub profile.source i (String.length marker) = marker then i
+    else find (i + 1)
   in
+  String.sub profile.source 0 (find 0)
+
+let with_skeleton profile ~suffix ~skeleton =
   {
     profile with
-    profile_name = profile.profile_name ^ " (threads)";
-    source = prefix ^ serve_skeleton_threaded;
+    profile_name = profile.profile_name ^ suffix;
+    source = service_prefix profile ^ skeleton;
   }
+
+let threaded profile =
+  with_skeleton profile ~suffix:" (threads)" ~skeleton:serve_skeleton_threaded
+
+(* Event-driven single-process server: every fd is non-blocking, an
+   epoll_wait readiness loop drains whatever turned readable, and
+   per-connection request framing is incremental — partial requests
+   park in a flat per-fd buffer (fd * EV_CAP, since the kernel reuses
+   low fds) until the blank-line terminator lands, then the profile's
+   [respond] runs. EOF flushes a terminator-less request (the DB query
+   framing), so the same mixes work against every architecture. *)
+let ev_max_fds = 512
+let ev_cap = 128
+
+let serve_skeleton_event =
+  Printf.sprintf
+    {|
+int ev_nreq[%d];
+char ev_buf[%d];
+
+int ev_flush(int fd, int n) {
+  char req[%d];
+  int base = fd * %d;
+  int j = 0;
+  while (j < n) {
+    req[j] = ev_buf[base + j];
+    j++;
+  }
+  respond(fd, req, n);
+  return 0;
+}
+
+int ev_feed(int fd) {
+  char chunk[64];
+  int base = fd * %d;
+  int n = ev_nreq[fd];
+  int r = read(fd, chunk, 64);
+  while (r > 0) {
+    int i = 0;
+    while (i < r) {
+      if (n < %d) {
+        ev_buf[base + n] = chunk[i];
+        n++;
+      }
+      if (n >= 2 && ev_buf[base + n - 1] == '\n' && ev_buf[base + n - 2] == '\n') {
+        ev_flush(fd, n);
+        n = 0;
+      }
+      i++;
+    }
+    r = read(fd, chunk, 64);
+  }
+  if (r == 0) {
+    if (n > 0) {
+      ev_flush(fd, n);
+    }
+    ev_nreq[fd] = 0;
+    return 1;
+  }
+  if (r == -1) {
+    ev_nreq[fd] = 0;
+    return 1;
+  }
+  ev_nreq[fd] = n;
+  return 0;
+}
+
+int serve() {
+  int events[64];
+  int lfd;
+  int nev;
+  int k;
+  int fd;
+  int cfd;
+  lfd = socket();
+  bind(lfd, 8080);
+  listen(lfd, 256);
+  set_nonblock(lfd);
+  while (1) {
+    nev = epoll_wait(events, 64);
+    if (nev < 0) {
+      break;
+    }
+    k = 0;
+    while (k < nev) {
+      fd = events[k];
+      if (fd == lfd) {
+        cfd = accept();
+        while (cfd >= 0) {
+          if (cfd < %d) {
+            set_nonblock(cfd);
+            ev_nreq[cfd] = 0;
+          } else {
+            close(cfd);
+          }
+          cfd = accept();
+        }
+      } else {
+        if (ev_feed(fd) == 1) {
+          close(fd);
+        }
+      }
+      k++;
+    }
+  }
+  return 0;
+}
+
+int main() {
+  setup();
+  serve();
+  return 0;
+}
+|}
+    ev_max_fds (ev_max_fds * ev_cap) ev_cap ev_cap ev_cap ev_cap ev_max_fds
+
+let event_loop profile =
+  with_skeleton profile ~suffix:" (event)" ~skeleton:serve_skeleton_event
+
+(* SO_REUSEPORT-style sharding: the parent forks N acceptor children,
+   each of which opens its own listening socket on the same port; the
+   kernel round-robins incoming connects across the port's listeners.
+   Each shard serves its connections to completion, one at a time. The
+   parent owns no socket — it just holds the shards. *)
+let serve_skeleton_sharded ~shards =
+  Printf.sprintf
+    {|
+int shard_serve() {
+  int lfd;
+  int fd;
+  lfd = socket();
+  bind(lfd, 8080);
+  listen(lfd, 64);
+  while (1) {
+    fd = accept();
+    if (fd < 0) {
+      break;
+    }
+    handle(fd);
+    close(fd);
+  }
+  return 0;
+}
+
+int serve() {
+  int i;
+  int pid;
+  i = 0;
+  while (i < %d) {
+    pid = fork();
+    if (pid == 0) {
+      shard_serve();
+      exit(0);
+    }
+    i++;
+  }
+  while (1) {
+    waitpid();
+  }
+  return 0;
+}
+
+int main() {
+  setup();
+  serve();
+  return 0;
+}
+|}
+    shards
+
+let sharded ?(shards = 4) profile =
+  with_skeleton profile
+    ~suffix:(Printf.sprintf " (reuseport x%d)" shards)
+    ~skeleton:(serve_skeleton_sharded ~shards)
 
 let web = [ apache2; nginx ]
 let db = [ mysql; sqlite ]

@@ -29,3 +29,16 @@ val threaded : profile -> profile
     instead of a forked child. Canary-wise the interesting difference is
     that the P-SSP preload refreshes the shadow pair per thread
     (SV-A wraps [pthread_create] like [fork]). *)
+
+val event_loop : profile -> profile
+(** Event-driven single-process variant: non-blocking fds, an
+    [epoll_wait] readiness loop, incremental keep-alive request framing
+    in flat per-fd buffers, and the profile's own [respond] for the
+    work. One process serves every connection — the architecture whose
+    canary exposure P-SSP's per-request re-randomisation cannot rely on
+    fork to refresh. *)
+
+val sharded : ?shards:int -> profile -> profile
+(** SO_REUSEPORT-style variant: [shards] forked acceptor processes each
+    listen on the same port (their own sockets); the kernel round-robins
+    incoming connects across the port's live listeners. Default 4. *)

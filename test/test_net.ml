@@ -62,6 +62,31 @@ let test_tx_backpressure () =
   | Net.Conn.Wrote 2 -> ()
   | _ -> Alcotest.fail "space reclaimed after client drained"
 
+let test_rst_discards_buffered_bytes () =
+  let conn = Net.Conn.create ~id:3 ~now:0L () in
+  (* bytes buffered in both directions when the RST lands *)
+  (match Net.Conn.server_write conn ~now:1L (Bytes.of_string "late reply") with
+  | Net.Conn.Wrote 10 -> ()
+  | _ -> Alcotest.fail "expected full write");
+  Alcotest.(check bool) "send" true
+    (Net.Conn.client_send conn ~now:1L "partial requ");
+  Net.Conn.abort conn ~now:2L;
+  (* client direction: RST kills the receive queue — buffered response
+     bytes must not drain like a graceful FIN close would *)
+  (match Net.Conn.client_recv conn ~max:4096 with
+  | Net.Conn.Closed -> ()
+  | Net.Conn.Data _ -> Alcotest.fail "client drained stale tx after RST"
+  | Net.Conn.Eof -> Alcotest.fail "RST must not read as graceful Eof"
+  | Net.Conn.Would_block -> Alcotest.fail "expected Closed");
+  (* server direction: buffered request bytes die the same way *)
+  (match Net.Conn.server_read conn ~now:3L ~max:4096 with
+  | Net.Conn.Closed -> ()
+  | Net.Conn.Data _ -> Alcotest.fail "server drained stale rx after RST"
+  | Net.Conn.Eof -> Alcotest.fail "RST must not read as graceful Eof"
+  | Net.Conn.Would_block -> Alcotest.fail "expected Closed");
+  Alcotest.(check bool) "send on reset conn refused" false
+    (Net.Conn.client_send conn ~now:4L "x")
+
 (* ---- accept backlog ------------------------------------------------------------- *)
 
 let test_backlog_overflow_refuses () =
@@ -199,6 +224,259 @@ let test_slow_sender_times_out () =
     | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other))
   | None -> Alcotest.fail "refused"
 
+(* ---- non-blocking fds and the event-driven server tier -------------------------- *)
+
+let test_nonblock_read_eagain () =
+  (* a non-blocking read on an empty stream returns EAGAIN (-2) instead
+     of parking the process *)
+  let src =
+    {|
+int main() {
+  char buf[8];
+  int lfd;
+  int fd;
+  lfd = socket();
+  bind(lfd, 8080);
+  listen(lfd, 8);
+  fd = accept();
+  set_nonblock(fd);
+  print_int(read(fd, buf, 8));
+  exit(0);
+  return 0;
+}
+|}
+  in
+  let k = Os.Kernel.create () in
+  let p =
+    Os.Kernel.spawn k ~preload:Os.Preload.No_preload
+      (compile ~scheme:Pssp.Scheme.None_ src)
+  in
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_accept -> ()
+  | other ->
+    Alcotest.failf "server never accepted: %s" (Os.Kernel.stop_to_string other));
+  (match Os.Kernel.connect k p with
+  | Some _ -> ()
+  | None -> Alcotest.fail "refused");
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_exit 0 -> ()
+  | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+  Alcotest.(check string) "read returned EAGAIN" "-2" (Os.Process.stdout p)
+
+let spawn_ready ?(scheme = Pssp.Scheme.Pssp) src =
+  (* like spawn_server, but for architectures that park in epoll_wait
+     (event loop) or waitpid (sharded parent) rather than accept *)
+  let k = Os.Kernel.create () in
+  let p =
+    Os.Kernel.spawn k ~preload:(Mcc.Driver.preload_for scheme)
+      (compile ~scheme src)
+  in
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_accept | Os.Kernel.Stop_io -> ()
+  | other ->
+    Alcotest.failf "server never became ready: %s"
+      (Os.Kernel.stop_to_string other));
+  (k, p)
+
+let test_event_server_keepalive () =
+  let profile = Workload.Servers.event_loop Workload.Servers.nginx in
+  let k, p = spawn_ready profile.Workload.Servers.source in
+  let connect () =
+    match Os.Kernel.connect k p with
+    | Some c -> c
+    | None -> Alcotest.fail "refused"
+  in
+  let a = connect () in
+  let b = connect () in
+  let request conn label =
+    Alcotest.(check bool) "sent" true
+      (Net.Conn.client_send conn ~now:(Os.Kernel.now k)
+         (List.hd profile.Workload.Servers.requests));
+    (match Os.Kernel.run k p with
+    | Os.Kernel.Stop_io -> ()
+    | other ->
+      Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+    let resp = drain conn in
+    Alcotest.(check bool) label true
+      (String.length resp > 0 && String.contains resp '\n')
+  in
+  (* keep-alive requests interleaved across two connections, all served
+     by the one process — no forks, no threads *)
+  request a "a first";
+  request b "b first";
+  request a "a second";
+  request b "b second";
+  Alcotest.(check int) "single-process architecture" 0 (Os.Kernel.fork_count k);
+  (* half-close ends the connection server-side without killing the loop *)
+  Net.Conn.client_shutdown a ~now:(Os.Kernel.now k);
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_io -> ()
+  | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+  Alcotest.(check bool) "closed conn released" true (Net.Conn.server_closed a);
+  request b "b after a left";
+  Alcotest.(check bool) "server still alive" true
+    (match p.Os.Process.status with
+    | Os.Process.Exited _ | Os.Process.Killed _ -> false
+    | _ -> true)
+
+let run_event_load () =
+  Harness.Runner.run_load (Harness.Runner.Compiler Pssp.Scheme.Pssp)
+    (Workload.Servers.event_loop Workload.Servers.nginx)
+    ~mode:Net.Loadgen.Closed ~connections:8 ~keepalive:4 ~total:32
+    ~slow_every:7 ~abort_every:19
+
+let test_event_load_mix () =
+  (* the event-loop server under a loadgen mix of slow byte-at-a-time
+     senders and abrupt disconnects: the campaign completes, the server
+     survives, and two identical runs are byte-identical *)
+  let a = run_event_load () in
+  let b = run_event_load () in
+  Alcotest.(check bool) "identical reports" true (a = b);
+  Alcotest.(check int) "all requests begun" 32 a.Harness.Runner.sent;
+  Alcotest.(check bool) "requests completed" true
+    (a.Harness.Runner.completed > 0);
+  Alcotest.(check bool) "aborts happened" true (a.Harness.Runner.aborted > 0);
+  Alcotest.(check int) "no forks: one process serves everyone" 0
+    a.Harness.Runner.load_forks;
+  Alcotest.(check bool) "server survives the campaign" true
+    a.Harness.Runner.server_alive
+
+(* ---- SO_REUSEPORT-style sharded listeners --------------------------------------- *)
+
+let pid_shard_src ~shards =
+  Printf.sprintf
+    {|
+int shard_serve() {
+  char buf[8];
+  int lfd;
+  int fd;
+  int r;
+  lfd = socket();
+  bind(lfd, 8080);
+  listen(lfd, 8);
+  while (1) {
+    fd = accept();
+    if (fd < 0) {
+      break;
+    }
+    r = read(fd, buf, 8);
+    while (r > 0) {
+      r = read(fd, buf, 8);
+    }
+    write_int(fd, getpid());
+    write_str(fd, "\n");
+    close(fd);
+  }
+  return 0;
+}
+
+int main() {
+  int i;
+  int pid;
+  i = 0;
+  while (i < %d) {
+    pid = fork();
+    if (pid == 0) {
+      shard_serve();
+      exit(0);
+    }
+    i++;
+  }
+  while (1) {
+    waitpid();
+  }
+  return 0;
+}
+|}
+    shards
+
+let test_sharded_round_robin () =
+  (* four acceptor processes listen on the same port; the kernel
+     round-robins connects across them, so 8 connects land 2 on each
+     shard, cycling in a fixed order *)
+  let k, p = spawn_ready ~scheme:Pssp.Scheme.None_ (pid_shard_src ~shards:4) in
+  let conns =
+    List.init 8 (fun i ->
+        match Os.Kernel.connect k p with
+        | Some c -> c
+        | None -> Alcotest.failf "connect %d refused" i)
+  in
+  (* EOF-framed requests: each shard answers with its pid *)
+  List.iter
+    (fun c -> Net.Conn.client_shutdown c ~now:(Os.Kernel.now k))
+    conns;
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_io -> ()
+  | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+  let pids = List.map (fun c -> String.trim (drain c)) conns in
+  (match pids with
+  | [ a; b; c; d; a'; b'; c'; d' ] ->
+    let shard_set = List.sort_uniq compare [ a; b; c; d ] in
+    Alcotest.(check int) "four distinct shards took the first four" 4
+      (List.length shard_set);
+    Alcotest.(check (list string)) "second lap repeats the same cycle"
+      [ a; b; c; d ] [ a'; b'; c'; d' ]
+  | _ -> Alcotest.fail "expected 8 responses");
+  Alcotest.(check int) "exactly the shard forks" 4 (Os.Kernel.fork_count k)
+
+let run_sharded_load () =
+  Harness.Runner.run_load (Harness.Runner.Compiler Pssp.Scheme.Pssp)
+    (Workload.Servers.sharded Workload.Servers.nginx)
+    ~mode:Net.Loadgen.Closed ~connections:8 ~keepalive:4 ~total:32
+    ~slow_every:7 ~abort_every:19
+
+let test_sharded_load_mix () =
+  let a = run_sharded_load () in
+  let b = run_sharded_load () in
+  Alcotest.(check bool) "identical reports" true (a = b);
+  Alcotest.(check bool) "requests completed" true
+    (a.Harness.Runner.completed > 0);
+  Alcotest.(check int) "only the shard forks" 4 a.Harness.Runner.load_forks;
+  Alcotest.(check bool) "parent survives the campaign" true
+    a.Harness.Runner.server_alive
+
+(* ---- wakeup ordering ------------------------------------------------------------ *)
+
+let wake_order_transcript () =
+  (* three forked children parked in read; data arrives on their conns
+     in the order 2, 0, 1. The wake queue is FIFO across events, so the
+     whole interleaving — response bytes and virtual time — must replay
+     exactly. *)
+  let profile = Workload.Servers.mysql in
+  let k, p = spawn_server profile.Workload.Servers.source in
+  let conns =
+    Array.init 3 (fun i ->
+        let c =
+          match Os.Kernel.connect k p with
+          | Some c -> c
+          | None -> Alcotest.failf "connect %d refused" i
+        in
+        (match Os.Kernel.run k p with
+        | Os.Kernel.Stop_accept -> ()
+        | other ->
+          Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+        c)
+  in
+  List.iter
+    (fun i ->
+      ignore
+        (Net.Conn.client_send conns.(i) ~now:(Os.Kernel.now k) "SELECT 77");
+      Net.Conn.client_shutdown conns.(i) ~now:(Os.Kernel.now k))
+    [ 2; 0; 1 ];
+  (match Os.Kernel.run k p with
+  | Os.Kernel.Stop_accept -> ()
+  | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
+  let responses = Array.map drain conns in
+  Array.iter
+    (fun r -> Alcotest.(check bool) "conn served" true (String.length r > 0))
+    responses;
+  String.concat "|" (Array.to_list responses)
+  ^ Printf.sprintf "@%Ld" (Os.Kernel.now k)
+
+let test_wake_order_deterministic () =
+  Alcotest.(check string) "wakeups replay byte-identically"
+    (wake_order_transcript ()) (wake_order_transcript ())
+
 (* ---- load generator ------------------------------------------------------------- *)
 
 let run_load_cell () =
@@ -285,6 +563,8 @@ let () =
         [
           Alcotest.test_case "EOF exactly once on half-close" `Quick test_eof_exactly_once;
           Alcotest.test_case "tx backpressure" `Quick test_tx_backpressure;
+          Alcotest.test_case "RST discards buffered bytes both ways" `Quick
+            test_rst_discards_buffered_bytes;
         ] );
       ( "kernel",
         [
@@ -292,6 +572,21 @@ let () =
           Alcotest.test_case "keep-alive across forked child" `Slow test_keepalive_across_child;
           Alcotest.test_case "slow sender times out" `Slow test_slow_sender_times_out;
           Alcotest.test_case "typed resume error" `Quick test_not_blocked_in_accept;
+        ] );
+      ( "event tier",
+        [
+          Alcotest.test_case "non-blocking empty read is EAGAIN" `Quick
+            test_nonblock_read_eagain;
+          Alcotest.test_case "event-loop server keep-alive" `Slow
+            test_event_server_keepalive;
+          Alcotest.test_case "event-loop server under load mix" `Slow
+            test_event_load_mix;
+          Alcotest.test_case "sharded listeners round-robin" `Slow
+            test_sharded_round_robin;
+          Alcotest.test_case "sharded server under load mix" `Slow
+            test_sharded_load_mix;
+          Alcotest.test_case "wakeup ordering deterministic" `Slow
+            test_wake_order_deterministic;
         ] );
       ( "loadgen",
         [ Alcotest.test_case "deterministic campaign" `Slow test_load_deterministic ] );

@@ -176,12 +176,40 @@ int main() {
 |}
       ~scheme:Pssp.Scheme.Ssp
   in
-  (* crashed children report >= 256 *)
-  Alcotest.(check string) "wait status" "256" (Os.Process.stdout p)
+  (* crashed children report 256 lor signal; the memset runs off the
+     top of the stack mapping, so this is 256 lor SIGSEGV(11) = 267 *)
+  Alcotest.(check string) "wait status" "267" (Os.Process.stdout p)
 
 let test_waitpid_without_children () =
   let _, p, _ = run "int main() { print_int(waitpid()); return 0; }" in
   Alcotest.(check string) "-1" "-1" (Os.Process.stdout p)
+
+let test_reap_order_is_fork_order () =
+  (* waitpid reaps pending children in fork order (queue head first),
+     regardless of which child happens to die first — the determinism
+     the load campaigns' byte-identical replays lean on *)
+  let _, p, _ =
+    run
+      {|
+int main() {
+  int i;
+  int pid;
+  for (i = 0; i < 3; i++) {
+    pid = fork();
+    if (pid == 0) {
+      exit(10 + i);
+    }
+  }
+  print_int(waitpid());
+  print_str(" ");
+  print_int(waitpid());
+  print_str(" ");
+  print_int(waitpid());
+  return 0;
+}
+|}
+  in
+  Alcotest.(check string) "fork order" "10 11 12" (Os.Process.stdout p)
 
 let test_nested_fork () =
   let _, p, _ =
@@ -576,6 +604,8 @@ let () =
           Alcotest.test_case "wait status" `Quick test_fork_wait_status;
           Alcotest.test_case "crash encoding" `Quick test_waitpid_encodes_crash;
           Alcotest.test_case "wait without children" `Quick test_waitpid_without_children;
+          Alcotest.test_case "reap order is fork order" `Quick
+            test_reap_order_is_fork_order;
           Alcotest.test_case "nested fork" `Quick test_nested_fork;
           Alcotest.test_case "cow telemetry" `Quick test_fork_cow_telemetry;
           Alcotest.test_case "TLS cloned (SII-B)" `Quick test_fork_tls_cloned;
