@@ -24,7 +24,7 @@ let section title =
 
 let mem_stats_enabled = ref false
 let effectiveness_budget = ref None
-let bench_out = ref "BENCH_pr5.json"
+let bench_out = ref "BENCH_pr7.json"
 
 (* loadbench knobs (see the `loadbench` command) *)
 let load_connections = ref 64
@@ -83,9 +83,9 @@ let write_bench_json ~jobs =
   | campaigns ->
     Util.Benchfile.write !bench_out
       {
-        Util.Benchfile.pr = 5;
+        Util.Benchfile.pr = 7;
         jobs;
-        compile_tier = Vm64.Compile.enabled ();
+        compile_tier = Vm64.Compile.tier ();
         campaigns;
       }
 
@@ -347,27 +347,36 @@ let run_micro () =
 (* ---- tier A/B: same workload, compiled tier forced off then on ----------- *)
 
 let run_tierbench () =
-  section "Tier A/B - closure-compiled blocks vs interpreter (same workload)";
-  let profile = Workload.Servers.nginx in
-  let requests = 2000 in
-  let time_tier enabled =
-    Vm64.Compile.set_enabled enabled;
-    (* best-of-3 to shrug off GC and scheduler noise; the first run
-       doubles as warm-up for the host *)
+  section "Tier A/B - interpreter vs per-block closures vs chained/fused";
+  (* best-of-3 to shrug off GC and scheduler noise; the first run
+     doubles as warm-up for the host *)
+  let best_of_3 f =
     let best = ref infinity in
     for _ = 1 to 3 do
       let t0 = Unix.gettimeofday () in
-      ignore
-        (Harness.Runner.run_server (Harness.Runner.Compiler Pssp.Scheme.Pssp)
-           profile ~requests);
+      f ();
       let dt = Unix.gettimeofday () -. t0 in
       if dt < !best then best := dt
     done;
     !best
   in
-  let interp_s = time_tier false in
-  let compiled_s = time_tier true in
-  Vm64.Compile.set_enabled true;
+  let time_tier tier f =
+    Vm64.Compile.set_tier tier;
+    let dt = best_of_3 f in
+    Vm64.Compile.set_tier 2;
+    dt
+  in
+  (* gate 1 (PR 3): compiled execution beats the interpreter on the
+     forking-server workload *)
+  let profile = Workload.Servers.nginx in
+  let requests = 2000 in
+  let serve () =
+    ignore
+      (Harness.Runner.run_server (Harness.Runner.Compiler Pssp.Scheme.Pssp)
+         profile ~requests)
+  in
+  let interp_s = time_tier 0 serve in
+  let compiled_s = time_tier 2 serve in
   Printf.printf
     "TIERBENCH profile=%s requests=%d interp_s=%.3f compiled_s=%.3f speedup=%.2fx\n"
     profile.Workload.Servers.profile_name requests interp_s compiled_s
@@ -377,6 +386,21 @@ let run_tierbench () =
       "tierbench: compiled tier (%.3fs) is not faster than the interpreter \
        (%.3fs)\n"
       compiled_s interp_s;
+    exit 1
+  end;
+  (* gate 2 (PR 7): chaining + superblocks beat the per-block closure
+     tier on table5, serial (BENCH_pr3 baseline: 0.63s) *)
+  let table5 () = ignore (Harness.Table5.run ~jobs:1 ()) in
+  let tier1_s = time_tier 1 table5 in
+  let tier2_s = time_tier 2 table5 in
+  Printf.printf
+    "TIERBENCH2 experiment=table5 jobs=1 tier1_s=%.3f tier2_s=%.3f speedup=%.2fx\n"
+    tier1_s tier2_s (tier1_s /. tier2_s);
+  if tier2_s >= tier1_s then begin
+    Printf.eprintf
+      "tierbench: chained tier (%.3fs) is not faster than per-block closures \
+       (%.3fs)\n"
+      tier2_s tier1_s;
     exit 1
   end
 
@@ -440,16 +464,18 @@ let () =
       Harness.Cli.flag ~name:"--mem-stats"
         ~doc:
           "print a deterministic fork-path + translation-cache telemetry\n\
-           line after each campaign. NOTE: tcache_compiles is 0 with\n\
-           --compile-tier off, so tier A/B output diffs must not enable it."
+           line after each campaign. NOTE: the tcache counters depend on\n\
+           the tier (compiles is 0 when off; chained execution bypasses\n\
+           hit accounting), so tier A/B output diffs must not enable it."
         (fun () -> mem_stats_enabled := true);
-      Harness.Cli.on_off ~name:"--compile-tier"
+      Harness.Cli.tier_value ~name:"--compile-tier"
         ~doc:
-          "enable/disable the closure-compiled execution tier (default on).\n\
-           Campaign output is byte-identical either way."
-        Vm64.Compile.set_enabled;
+          "execution tier: off = interpreter, 1 = per-block closures,\n\
+           2 = chained/fused superblocks (default; on = 2). Campaign\n\
+           output is byte-identical for every tier."
+        Vm64.Compile.set_tier;
       Harness.Cli.string_value ~name:"--bench-out" ~docv:"FILE"
-        ~doc:"where to write the perf trajectory record (default BENCH_pr5.json)"
+        ~doc:"where to write the perf trajectory record (default BENCH_pr7.json)"
         (fun f -> bench_out := f);
     ]
     @ Harness.Cli.telemetry_specs telem

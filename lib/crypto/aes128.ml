@@ -40,51 +40,80 @@ let gmul a b =
   in
   loop a b 0
 
-type key = { rk : bytes array }
+(* ---- word-oriented encrypt path (T-tables) ---------------------------
+
+   The canary schemes call AES_ENCRYPT_128 on every guarded call (the
+   OWF variants), so block encryption is one of the hottest host-side
+   loops in the whole simulator. The classic T-table formulation folds
+   SubBytes + ShiftRows + MixColumns into four 256-entry word tables:
+   one round is 16 loads and 16 xors on untagged ints instead of 16
+   bit-looped GF multiplies over freshly allocated Bytes. Columns are
+   32-bit words in memory order (byte r of the column in bits 8r..8r+7),
+   so a state round-trips through int64 halves with plain masks.
+
+   The byte-oriented [aesenc]/[aesenclast]/decrypt code below is kept
+   as-is: it is the instruction-level semantics (and the reference the
+   tables are checked against in the test suite). *)
+
+(* tab_e.(r).(x): MixColumns of the column that has S[x] at row r and 0
+   elsewhere — i.e. (2S | S<<8 | S<<16 | 3S<<24) byte-rotated left r. *)
+let tab_e =
+  Array.init 4 (fun r ->
+      Array.init 256 (fun x ->
+          let s = sbox.(x) in
+          let col = [| xtime s; s; s; xtime s lxor s |] in
+          (* byte i of the rotated column is col[(i - r + 4) mod 4] *)
+          col.((4 - r) mod 4)
+          lor (col.((5 - r) mod 4) lsl 8)
+          lor (col.((6 - r) mod 4) lsl 16)
+          lor (col.((7 - r) mod 4) lsl 24)))
+
+let t0e = tab_e.(0)
+let t1e = tab_e.(1)
+let t2e = tab_e.(2)
+let t3e = tab_e.(3)
+
+type key = {
+  rk : bytes array;  (* 11 round keys, 16 bytes each (FIPS layout) *)
+  kw : int array;  (* the same 44 words, column layout of [tab_e] *)
+}
 
 let round_keys k = Array.map Bytes.copy k.rk
 
 let rcon = [| 0x01; 0x02; 0x04; 0x08; 0x10; 0x20; 0x40; 0x80; 0x1B; 0x36 |]
 
+let sub_word w =
+  sbox.(w land 0xFF)
+  lor (sbox.((w lsr 8) land 0xFF) lsl 8)
+  lor (sbox.((w lsr 16) land 0xFF) lsl 16)
+  lor (sbox.((w lsr 24) land 0xFF) lsl 24)
+
+(* rotate one memory-order byte left: [b0;b1;b2;b3] -> [b1;b2;b3;b0] *)
+let rot_word w = (w lsr 8) lor ((w land 0xFF) lsl 24)
+
 let expand_key key_bytes =
   if Bytes.length key_bytes <> 16 then invalid_arg "Aes128.expand_key: need 16 bytes";
-  (* Key schedule over 44 words of 4 bytes. *)
-  let w = Array.make 44 (Bytes.create 4) in
+  (* Key schedule over 44 words, each a column in memory order. *)
+  let kw = Array.make 44 0 in
   for i = 0 to 3 do
-    w.(i) <- Bytes.sub key_bytes (4 * i) 4
+    kw.(i) <- Int32.to_int (Bytes.get_int32_le key_bytes (4 * i)) land 0xFFFFFFFF
   done;
   for i = 4 to 43 do
-    let prev = w.(i - 1) in
-    let tmp = Bytes.copy prev in
-    if i mod 4 = 0 then begin
-      (* RotWord *)
-      let b0 = Bytes.get tmp 0 in
-      Bytes.set tmp 0 (Bytes.get tmp 1);
-      Bytes.set tmp 1 (Bytes.get tmp 2);
-      Bytes.set tmp 2 (Bytes.get tmp 3);
-      Bytes.set tmp 3 b0;
-      (* SubWord *)
-      for j = 0 to 3 do
-        Bytes.set tmp j (Char.chr sbox.(Char.code (Bytes.get tmp j)))
-      done;
-      Bytes.set tmp 0 (Char.chr (Char.code (Bytes.get tmp 0) lxor rcon.((i / 4) - 1)))
-    end;
-    let out = Bytes.create 4 in
-    for j = 0 to 3 do
-      Bytes.set out j
-        (Char.chr (Char.code (Bytes.get w.(i - 4) j) lxor Char.code (Bytes.get tmp j)))
-    done;
-    w.(i) <- out
+    let tmp =
+      if i mod 4 = 0 then sub_word (rot_word kw.(i - 1)) lxor rcon.((i / 4) - 1)
+      else kw.(i - 1)
+    in
+    kw.(i) <- kw.(i - 4) lxor tmp
   done;
   let rk =
     Array.init 11 (fun r ->
         let b = Bytes.create 16 in
         for c = 0 to 3 do
-          Bytes.blit w.((4 * r) + c) 0 b (4 * c) 4
+          Bytes.set_int32_le b (4 * c) (Int32.of_int kw.((4 * r) + c))
         done;
         b)
   in
-  { rk }
+  { rk; kw }
 
 let key_of_int64s lo hi =
   let b = Bytes.create 16 in
@@ -170,13 +199,55 @@ let aesenclast ~state ~round_key =
     invalid_arg "Aes128.aesenclast: need 16-byte operands";
   add_round_key (shift_rows (sub_bytes state)) round_key
 
+(* The full 10-round encryption over column words. Observationally the
+   same add_round_key/aesenc*9/aesenclast pipeline as before, verified
+   byte-for-byte against it by the crypto tests. *)
+let encrypt_cols kw c0 c1 c2 c3 =
+  let c0 = ref (c0 lxor kw.(0))
+  and c1 = ref (c1 lxor kw.(1))
+  and c2 = ref (c2 lxor kw.(2))
+  and c3 = ref (c3 lxor kw.(3)) in
+  for r = 1 to 9 do
+    let k = 4 * r in
+    let round a b c d i =
+      t0e.(a land 0xFF)
+      lxor t1e.((b lsr 8) land 0xFF)
+      lxor t2e.((c lsr 16) land 0xFF)
+      lxor t3e.((d lsr 24) land 0xFF)
+      lxor kw.(k + i)
+    in
+    let n0 = round !c0 !c1 !c2 !c3 0 in
+    let n1 = round !c1 !c2 !c3 !c0 1 in
+    let n2 = round !c2 !c3 !c0 !c1 2 in
+    let n3 = round !c3 !c0 !c1 !c2 3 in
+    c0 := n0;
+    c1 := n1;
+    c2 := n2;
+    c3 := n3
+  done;
+  (* last round: ShiftRows + SubBytes only *)
+  let last a b c d i =
+    sbox.(a land 0xFF)
+    lor (sbox.((b lsr 8) land 0xFF) lsl 8)
+    lor (sbox.((c lsr 16) land 0xFF) lsl 16)
+    lor (sbox.((d lsr 24) land 0xFF) lsl 24)
+    lxor kw.(40 + i)
+  in
+  ( last !c0 !c1 !c2 !c3 0,
+    last !c1 !c2 !c3 !c0 1,
+    last !c2 !c3 !c0 !c1 2,
+    last !c3 !c0 !c1 !c2 3 )
+
 let encrypt_block key pt =
   if Bytes.length pt <> 16 then invalid_arg "Aes128.encrypt_block: need 16 bytes";
-  let state = ref (add_round_key pt key.rk.(0)) in
-  for r = 1 to 9 do
-    state := aesenc ~state:!state ~round_key:key.rk.(r)
-  done;
-  aesenclast ~state:!state ~round_key:key.rk.(10)
+  let col i = Int32.to_int (Bytes.get_int32_le pt (4 * i)) land 0xFFFFFFFF in
+  let n0, n1, n2, n3 = encrypt_cols key.kw (col 0) (col 1) (col 2) (col 3) in
+  let ct = Bytes.create 16 in
+  Bytes.set_int32_le ct 0 (Int32.of_int n0);
+  Bytes.set_int32_le ct 4 (Int32.of_int n1);
+  Bytes.set_int32_le ct 8 (Int32.of_int n2);
+  Bytes.set_int32_le ct 12 (Int32.of_int n3);
+  ct
 
 let decrypt_block key ct =
   if Bytes.length ct <> 16 then invalid_arg "Aes128.decrypt_block: need 16 bytes";
@@ -188,9 +259,19 @@ let decrypt_block key ct =
   done;
   add_round_key (inv_sub_bytes (inv_shift_rows !state)) key.rk.(0)
 
+(* Allocation-free except the result pair: the int64 halves split
+   straight into column words (bytes 0-3 = column 0 = the low 32 bits
+   of [lo], and so on). *)
 let encrypt_int64s key lo hi =
-  let pt = Bytes.create 16 in
-  Bytes.set_int64_le pt 0 lo;
-  Bytes.set_int64_le pt 8 hi;
-  let ct = encrypt_block key pt in
-  (Bytes.get_int64_le ct 0, Bytes.get_int64_le ct 8)
+  let mask = 0xFFFFFFFFL in
+  let w64 v = Int64.to_int (Int64.logand v mask) in
+  let n0, n1, n2, n3 =
+    encrypt_cols key.kw (w64 lo)
+      (w64 (Int64.shift_right_logical lo 32))
+      (w64 hi)
+      (w64 (Int64.shift_right_logical hi 32))
+  in
+  let join a b =
+    Int64.logor (Int64.of_int a) (Int64.shift_left (Int64.of_int b) 32)
+  in
+  (join n0 n1, join n2 n3)

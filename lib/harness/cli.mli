@@ -27,6 +27,11 @@ val pos_int : name:string -> docv:string -> doc:string -> (int -> unit) -> spec
 val on_off : name:string -> doc:string -> (bool -> unit) -> spec
 (** Rejects with ["NAME expects on or off, got X"]. *)
 
+val tier_value : name:string -> doc:string -> (int -> unit) -> spec
+(** Execution-tier selector: accepts [off|0] (interpreter), [1]
+    (per-block closures), [2] (chained/fused), and the legacy alias
+    [on] (= 2). Rejects with ["NAME expects off, 1, 2 or on, got X"]. *)
+
 val string_value : name:string -> docv:string -> doc:string -> (string -> unit) -> spec
 
 val expects : name:string -> what:string -> string -> string

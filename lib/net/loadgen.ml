@@ -69,6 +69,14 @@ type t = {
   retry_gap : int64;
   clients : client array;
   parked : int Queue.t;  (* open mode: cids awaiting an arrival, FIFO *)
+  mutable active : int list;
+      (* cids possibly not Parked/Done, sorted ascending — the only
+         slots [step]/[next_event] visit, so a large open-mode
+         population costs O(concurrency) per pump iteration, not
+         O(population). Maintained lazily: parking leaves the cid in
+         place and the next sweep prunes it (activation dedups against
+         stale entries), so order and transitions stay byte-identical
+         to the full array walk. *)
   mutable started : int;  (* requests begun (each resolves exactly once) *)
   mutable completed : int;
   mutable failed : int;
@@ -107,6 +115,10 @@ let create ?(seed = 0x10AD6E4L) ?(slow_every = 0) ?(slow_gap = 2_000L)
       Array.init clients (fun cid ->
           { cid; conn = None; left_on_conn = 0; phase = initial });
     parked;
+    active =
+      (match mode with
+      | Closed -> List.init clients Fun.id  (* everyone starts Idle *)
+      | Open _ -> []);
     started = 0;
     completed = 0;
     failed = 0;
@@ -178,6 +190,17 @@ let begin_request t (c : client) ~now =
   c.phase <- Sending { req; sent = 0; next_at = now; started = now; gap; abort_at }
 
 let conn_dead conn = Conn.is_reset conn
+
+(* ascending insert, dropping duplicates — a parked cid pruned lazily
+   may still sit in [active] when its slot re-wakes *)
+let rec insert_active cid = function
+  | [] -> [ cid ]
+  | hd :: tl as l ->
+    if cid < hd then cid :: l
+    else if cid = hd then l
+    else hd :: insert_active cid tl
+
+let inactive (c : client) = match c.phase with Parked | Done -> true | _ -> false
 
 (* One transition attempt for one client; true if anything changed. *)
 let rec step_client t (c : client) ~now ~try_connect =
@@ -308,6 +331,7 @@ let arrivals t ~now =
              skipped without consuming the arrival *)
           if c.phase = Parked then begin
             c.phase <- Idle t.next_arrival;
+            t.active <- insert_active cid t.active;
             t.next_arrival <- Int64.add t.next_arrival interarrival;
             moved := true
           end
@@ -317,19 +341,30 @@ let arrivals t ~now =
 
 let step t ~now ~try_connect =
   let moved = ref (arrivals t ~now) in
-  Array.iter
-    (fun c ->
-      (* let a client chain transitions within one step (drain + next
-         request), bounded by the phase machine itself *)
-      let rec go budget =
-        if budget > 0 && step_client t c ~now ~try_connect then begin
-          moved := true;
-          t.transitions <- t.transitions + 1;
-          go (budget - 1)
-        end
-      in
-      go 8)
-    t.clients;
+  (* sweep only the active set, pruning slots that parked (before this
+     step or during their own transitions) as we rebuild the list —
+     same ascending-cid visit order as the full array walk, on which
+     parked/done slots were no-op transitions *)
+  let rec sweep = function
+    | [] -> []
+    | cid :: rest ->
+      let c = t.clients.(cid) in
+      if inactive c then sweep rest
+      else begin
+        (* let a client chain transitions within one step (drain + next
+           request), bounded by the phase machine itself *)
+        let rec go budget =
+          if budget > 0 && step_client t c ~now ~try_connect then begin
+            moved := true;
+            t.transitions <- t.transitions + 1;
+            go (budget - 1)
+          end
+        in
+        go 8;
+        if inactive c then sweep rest else cid :: sweep rest
+      end
+  in
+  t.active <- sweep t.active;
   !moved
 
 (* Earliest future cycle at which some client has a scheduled move. *)
@@ -344,13 +379,13 @@ let next_event t =
   | Open _ when remaining t > 0 ->
     if not (Queue.is_empty t.parked) then consider t.next_arrival
   | _ -> ());
-  Array.iter
-    (fun c ->
-      match c.phase with
+  List.iter
+    (fun cid ->
+      match t.clients.(cid).phase with
       | Idle at -> consider at
       | Sending s -> consider s.next_at
       | Parked | Awaiting _ | Done -> ())
-    t.clients;
+    t.active;
   !best
 
 (* Stall-breaker: fail everything outstanding so the pump can report
@@ -363,6 +398,7 @@ let force_finish t ~now =
       | Idle _ -> park t c ~now
       | Parked | Done -> ())
     t.clients;
+  t.active <- [];
   (* un-begun budget resolves as failed connect attempts *)
   while t.started < t.total do
     t.started <- t.started + 1;

@@ -263,6 +263,99 @@ let charge_bytes cpu n = charge cpu (Cost.builtin_base_cycles + (n * Cost.builti
 let read_cstring mem addr =
   Bytes.to_string (Memory.read_bytes mem addr (Memory.cstr_len mem addr))
 
+(* ---- pure builtin cores ------------------------------------------------ *)
+
+(* The builtins whose whole effect is a function of (cpu, mem) — no
+   [io], no kernel control transfer, no PRNG. Factored out as
+   {!Compile.builtin_fn} cores so the OS dispatch below and tier-2
+   call-site inlining ({!inline_core}) execute the {e same} closure:
+   byte writes, cycle charges, fault addresses and the rax value cannot
+   drift between the two paths. *)
+
+let core_memcpy cpu mem =
+  let dst = arg cpu 0 and src = arg cpu 1 and n = Int64.to_int (arg cpu 2) in
+  charge_bytes cpu n;
+  if n > 0 then Memory.write_bytes mem dst (Memory.read_bytes mem src n);
+  dst
+
+let core_memset cpu mem =
+  let dst = arg cpu 0 and c = Int64.to_int (arg cpu 1) and n = Int64.to_int (arg cpu 2) in
+  charge_bytes cpu n;
+  if n > 0 then Memory.write_bytes mem dst (Bytes.make n (Char.chr (c land 0xFF)));
+  dst
+
+let core_memcmp cpu mem =
+  let a = arg cpu 0 and b = arg cpu 1 and n = Int64.to_int (arg cpu 2) in
+  charge_bytes cpu n;
+  let r =
+    if n <= 0 then 0
+    else compare (Memory.read_bytes mem a n) (Memory.read_bytes mem b n)
+  in
+  Int64.of_int r
+
+let core_strcpy cpu mem =
+  (* copies the terminating NUL in the same bulk write *)
+  let dst = arg cpu 0 and src = arg cpu 1 in
+  let n = Memory.cstr_len mem src in
+  charge_bytes cpu (n + 1);
+  Memory.write_bytes mem dst (Memory.read_bytes mem src (n + 1));
+  dst
+
+let core_strncpy cpu mem =
+  let dst = arg cpu 0 and src = arg cpu 1 and n = Int64.to_int (arg cpu 2) in
+  let len = Stdlib.min (Memory.cstr_len mem src) n in
+  charge_bytes cpu n;
+  if len > 0 then Memory.write_bytes mem dst (Memory.read_bytes mem src len);
+  if n > len then
+    Memory.write_bytes mem
+      (Int64.add dst (Int64.of_int len))
+      (Bytes.make (n - len) '\000');
+  dst
+
+let core_strcat cpu mem =
+  let dst = arg cpu 0 and src = arg cpu 1 in
+  let dlen = Memory.cstr_len mem dst in
+  let slen = Memory.cstr_len mem src in
+  charge_bytes cpu (dlen + slen + 1);
+  Memory.write_bytes mem
+    (Int64.add dst (Int64.of_int dlen))
+    (Memory.read_bytes mem src (slen + 1));
+  dst
+
+let core_strlen cpu mem =
+  let n = Memory.cstr_len mem (arg cpu 0) in
+  charge_bytes cpu n;
+  Int64.of_int n
+
+let core_strcmp cpu mem =
+  let a = read_cstring mem (arg cpu 0) in
+  let b = read_cstring mem (arg cpu 1) in
+  charge_bytes cpu (String.length a + String.length b);
+  Int64.of_int (compare a b)
+
+let core_aes_encrypt cpu _mem =
+  (* Key in xmm1, plaintext in xmm15, ciphertext back to xmm15 — the
+     helper Code 8 calls. Cost matches AES-NI latency. *)
+  charge cpu Cost.aes_encrypt_call_cycles;
+  let key_lo, key_hi = Cpu.get_xmm cpu Isa.Reg.Xmm.xmm1 in
+  let pt_lo, pt_hi = Cpu.get_xmm cpu Isa.Reg.Xmm.xmm15 in
+  let key = Crypto.Aes128.key_of_int64s key_lo key_hi in
+  let ct_lo, ct_hi = Crypto.Aes128.encrypt_int64s key pt_lo pt_hi in
+  Cpu.set_xmm cpu Isa.Reg.Xmm.xmm15 (ct_lo, ct_hi);
+  0L
+
+let inline_core : string -> Compile.builtin_fn option = function
+  | "memcpy" | "memmove" -> Some core_memcpy
+  | "memset" -> Some core_memset
+  | "memcmp" -> Some core_memcmp
+  | "strcpy" -> Some core_strcpy
+  | "strncpy" -> Some core_strncpy
+  | "strcat" -> Some core_strcat
+  | "strlen" -> Some core_strlen
+  | "strcmp" -> Some core_strcmp
+  | "AES_ENCRYPT_128" -> Some core_aes_encrypt
+  | _ -> None
+
 (* ---- the canary-check routine patched into __stack_chk_fail (Fig. 4) -- *)
 
 let stack_chk_fail_pssp cpu mem =
@@ -288,6 +381,9 @@ let stack_chk_fail_pssp cpu mem =
 (* ---- dispatch --------------------------------------------------------- *)
 
 let dispatch ~name cpu mem ~pid io =
+  match inline_core name with
+  | Some core -> Ret (core cpu mem)  (* pure cores, shared with tier-2 inlining *)
+  | None -> (
   match name with
   | "exit" ->
     charge cpu Cost.builtin_base_cycles;
@@ -405,59 +501,6 @@ let dispatch ~name cpu mem ~pid io =
   | "__GI__fortify_fail" ->
     Buffer.add_string io.errout "*** buffer overflow detected ***: terminated\n";
     Control (Abort "*** buffer overflow detected ***: terminated")
-  | "memcpy" | "memmove" ->
-    let dst = arg cpu 0 and src = arg cpu 1 and n = Int64.to_int (arg cpu 2) in
-    charge_bytes cpu n;
-    if n > 0 then Memory.write_bytes mem dst (Memory.read_bytes mem src n);
-    Ret dst
-  | "memset" ->
-    let dst = arg cpu 0 and c = Int64.to_int (arg cpu 1) and n = Int64.to_int (arg cpu 2) in
-    charge_bytes cpu n;
-    if n > 0 then Memory.write_bytes mem dst (Bytes.make n (Char.chr (c land 0xFF)));
-    Ret dst
-  | "memcmp" ->
-    let a = arg cpu 0 and b = arg cpu 1 and n = Int64.to_int (arg cpu 2) in
-    charge_bytes cpu n;
-    let r =
-      if n <= 0 then 0
-      else compare (Memory.read_bytes mem a n) (Memory.read_bytes mem b n)
-    in
-    Ret (Int64.of_int r)
-  | "strcpy" ->
-    (* copies the terminating NUL in the same bulk write *)
-    let dst = arg cpu 0 and src = arg cpu 1 in
-    let n = Memory.cstr_len mem src in
-    charge_bytes cpu (n + 1);
-    Memory.write_bytes mem dst (Memory.read_bytes mem src (n + 1));
-    Ret dst
-  | "strncpy" ->
-    let dst = arg cpu 0 and src = arg cpu 1 and n = Int64.to_int (arg cpu 2) in
-    let len = Stdlib.min (Memory.cstr_len mem src) n in
-    charge_bytes cpu n;
-    if len > 0 then Memory.write_bytes mem dst (Memory.read_bytes mem src len);
-    if n > len then
-      Memory.write_bytes mem
-        (Int64.add dst (Int64.of_int len))
-        (Bytes.make (n - len) '\000');
-    Ret dst
-  | "strcat" ->
-    let dst = arg cpu 0 and src = arg cpu 1 in
-    let dlen = Memory.cstr_len mem dst in
-    let slen = Memory.cstr_len mem src in
-    charge_bytes cpu (dlen + slen + 1);
-    Memory.write_bytes mem
-      (Int64.add dst (Int64.of_int dlen))
-      (Memory.read_bytes mem src (slen + 1));
-    Ret dst
-  | "strlen" ->
-    let n = Memory.cstr_len mem (arg cpu 0) in
-    charge_bytes cpu n;
-    Ret (Int64.of_int n)
-  | "strcmp" ->
-    let a = read_cstring mem (arg cpu 0) in
-    let b = read_cstring mem (arg cpu 1) in
-    charge_bytes cpu (String.length a + String.length b);
-    Ret (Int64.of_int (compare a b))
   | "read_input" ->
     (* recv(2)-like: copies ALL pending input into the buffer with no
        bounds check and no terminator — the paper's overflow vector,
@@ -522,14 +565,4 @@ let dispatch ~name cpu mem ~pid io =
   | "free" ->
     charge cpu Cost.builtin_base_cycles;
     Ret 0L
-  | "AES_ENCRYPT_128" ->
-    (* Key in xmm1, plaintext in xmm15, ciphertext back to xmm15 — the
-       helper Code 8 calls. Cost matches AES-NI latency. *)
-    charge cpu Cost.aes_encrypt_call_cycles;
-    let key_lo, key_hi = Cpu.get_xmm cpu Isa.Reg.Xmm.xmm1 in
-    let pt_lo, pt_hi = Cpu.get_xmm cpu Isa.Reg.Xmm.xmm15 in
-    let key = Crypto.Aes128.key_of_int64s key_lo key_hi in
-    let ct_lo, ct_hi = Crypto.Aes128.encrypt_int64s key pt_lo pt_hi in
-    Cpu.set_xmm cpu Isa.Reg.Xmm.xmm15 (ct_lo, ct_hi);
-    Ret 0L
-  | other -> invalid_arg (Printf.sprintf "Glibc.dispatch: unknown builtin %s" other)
+  | other -> invalid_arg (Printf.sprintf "Glibc.dispatch: unknown builtin %s" other))

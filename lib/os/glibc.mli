@@ -112,6 +112,16 @@ val addr_of : string -> int64
 val name_of_addr : int64 -> string option
 (** [Some name] iff the address is exactly a known slot. *)
 
+val inline_core : string -> Vm64.Compile.builtin_fn option
+(** The pure cores — builtins whose entire effect is a function of
+    (cpu, mem): the mem*/str* family and [AES_ENCRYPT_128]. [dispatch]
+    executes exactly these closures for those names, so handing the
+    table to {!Vm64.Exec.create_env}'s [inline_builtin] lets tier 2 run
+    them in line at direct call sites with identical memory effects,
+    cycle charges, fault addresses and rax. [None] for every builtin
+    that touches [io] or needs kernel control (and for
+    [__stack_chk_fail], which {!Preload} may remap per-process). *)
+
 val dispatch :
   name:string -> Vm64.Cpu.t -> Vm64.Memory.t -> pid:int -> io -> outcome
 (** Execute one builtin. Arguments are taken from the SysV registers

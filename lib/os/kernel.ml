@@ -125,9 +125,15 @@ let ctor_trampoline_addr = Int64.add Layout.glibc_base 0x1900L
 
 let create ?(seed = 0xC0FFEEL) ?on_retire () =
   let is_builtin addr = Glibc.name_of_addr addr in
+  (* Tier-2 builtin inlining: the pure glibc cores (mem*/str*, AES) are
+     exactly what [handle_builtin] would run for those names — Preload's
+     per-process remapping only touches __stack_chk_fail, which
+     [inline_core] excludes — so direct calls to them may execute in
+     line inside compiled code. *)
   {
     procs = Hashtbl.create 16;
-    env = Exec.create_env ?on_retire ~is_builtin ();
+    env =
+      Exec.create_env ?on_retire ~inline_builtin:Glibc.inline_core ~is_builtin ();
     master_rng = Util.Prng.create seed;
     next_pid = 1;
     last_reaped = None;

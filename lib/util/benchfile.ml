@@ -16,7 +16,7 @@ type campaign = {
 type t = {
   pr : int;
   jobs : int;
-  compile_tier : bool;
+  compile_tier : int;  (* 0 = interpreter, 1 = closures, 2 = chained/fused *)
   campaigns : campaign list;
 }
 
@@ -36,7 +36,7 @@ let to_json t =
       ("schema", Json.Int schema_version);
       ("pr", Json.Int t.pr);
       ("jobs", Json.Int t.jobs);
-      ("compile_tier", Json.Bool t.compile_tier);
+      ("compile_tier", Json.Int t.compile_tier);
       ("campaigns", Json.List (List.map campaign_to_json t.campaigns));
     ]
 
@@ -85,7 +85,14 @@ let of_json j =
   let* pr = require "\"pr\"" (Option.bind (Json.member "pr" j) Json.to_int_opt) in
   let* jobs = require "\"jobs\"" (Option.bind (Json.member "jobs" j) Json.to_int_opt) in
   let* compile_tier =
-    require "\"compile_tier\"" (Option.bind (Json.member "compile_tier" j) Json.to_bool_opt)
+    (* PR <= 6 records carry the boolean tier switch; read it as 0/1 *)
+    let field = Json.member "compile_tier" j in
+    match Option.bind field Json.to_int_opt with
+    | Some n -> Ok n
+    | None -> (
+      match Option.bind field Json.to_bool_opt with
+      | Some b -> Ok (if b then 1 else 0)
+      | None -> Error "missing or ill-typed \"compile_tier\"")
   in
   let* campaigns =
     let* cs = require "\"campaigns\"" (Option.bind (Json.member "campaigns" j) Json.to_list_opt) in

@@ -1,11 +1,20 @@
-(* Closure compilation of Tcache blocks: every decision that depends
-   only on the instruction encoding — operand shape, immediate values,
-   addressing mode, builtin resolution for direct calls — is taken once
-   here, so the retire loop left in [run_code] is an array walk over
-   pre-specialized closures. Cycle charging and rip updates are deferred
-   to block exit (see the protocol notes on [run_code]); both were
-   per-instruction allocations in the interpreter (boxed Int64 for
-   [Cpu.add_cycles], caml_modify for rip). *)
+(* Closure compilation of Tcache blocks, lowered from the explicit
+   {!Ir} in passes (lift -> normalize -> fuse -> emit): every decision
+   that depends only on the instruction encoding — operand shape,
+   immediate values, addressing mode, builtin resolution for direct
+   calls — is taken once here, so the retire loop left in [run_code] is
+   an array walk over pre-specialized closures. Cycle charging and rip
+   updates are deferred to block exit (see the protocol notes on
+   [run_code]); both were per-instruction allocations in the interpreter
+   (boxed Int64 for [Cpu.add_cycles], caml_modify for rip).
+
+   Tier 2 ([run_tier2]) additionally chains compiled blocks through
+   their exits — a taken/fall-through/return transfer jumps straight
+   into the successor's translation instead of returning to
+   [Exec.step_block]'s dispatch loop — and fuses hot unconditional
+   chains into superblock translations. See the link-validity notes on
+   [link_live] for how invalidation and CoW forks unlink stale
+   successors. *)
 
 module I = Isa.Insn
 module O = Isa.Operand
@@ -19,25 +28,61 @@ type outcome = Compiled.outcome =
 
 type op = Cpu.t -> Memory.t -> outcome
 
-type code = {
+type builtin_fn = Cpu.t -> Memory.t -> int64
+
+(* A patched exit: the successor translation this code may enter
+   directly, valid only for the address space and invalidation epoch it
+   was resolved under (a fork relative or a post-invalidation run must
+   re-resolve — see [link_live]). *)
+type link = {
+  mutable l_space : Tcache.t option;  (* the space the link was resolved in *)
+  mutable l_epoch : int;
+  mutable l_addr : int64;  (* entry rip the target translates *)
+  mutable l_target : code option;
+}
+
+and code = {
   ops : op array;
   addrs : int64 array;  (* address of each instruction *)
   nexts : int64 array;  (* fall-through rip of each instruction *)
   csum : int array;  (* csum.(k) = static cycles of the first k insns *)
   crsum : int array;  (* crsum.(k) = call/ret insns among the first k *)
-  last_sets_rip : bool;  (* last closure writes rip when it returns Running *)
+  sets_rip : bool array;
+      (* closure writes rip when returning Running — terminators, which
+         superblock fusion can place mid-array *)
+  exit_ : Ir.exit_shape;
+  blocks : Tcache.block array;  (* constituent blocks, head first *)
+  starts : int array;  (* first instruction index of each constituent *)
   key : int64 -> string option;
       (* the [is_builtin] the code was specialized against; compare with
          (==) — code compiled for another environment must be rebuilt *)
+  mutable hot : int;  (* tier-2 entry count, drives superblock formation *)
+  mutable fuse_tried : bool;
+  link_a : link;  (* taken / unconditional / dynamic target cache *)
+  link_b : link;  (* fall-through side of a two-way branch *)
 }
 
 type Compiled.slot += Code of code | Uncompilable
 
 (* Tier switch, read once per block dispatch. Atomic so bench/tests can
-   force the interpreter path while campaign domains are quiescent. *)
-let enabled_flag = Atomic.make true
-let set_enabled b = Atomic.set enabled_flag b
-let enabled () = Atomic.get enabled_flag
+   force a tier while campaign domains are quiescent.
+   0 = interpreter, 1 = per-block closures (PR 3), 2 = chained/fused. *)
+let tier_flag = Atomic.make 2
+
+let set_tier n =
+  if n < 0 || n > 2 then invalid_arg "Compile.set_tier: expected 0, 1 or 2";
+  Atomic.set tier_flag n
+
+let tier () = Atomic.get tier_flag
+let set_enabled b = set_tier (if b then 2 else 0)
+let enabled () = tier () > 0
+
+(* Entries before a code becomes a superblock-formation candidate.
+   Tests force 1 to fuse immediately; the default keeps cold paths out
+   of the fused store. *)
+let fuse_threshold = Atomic.make 16
+let set_fuse_threshold n = Atomic.set fuse_threshold (Stdlib.max 1 n)
+let get_fuse_threshold () = Atomic.get fuse_threshold
 
 (* ---- Semantics helpers shared with the interpreter tier ------------ *)
 (* [Exec] aliases these; keeping one definition means the two tiers
@@ -100,6 +145,7 @@ let xmm_of_bytes b = (Bytes.get_int64_le b 0, Bytes.get_int64_le b 8)
 
 let rsp_i = Isa.Reg.index Isa.Reg.RSP
 let rbp_i = Isa.Reg.index Isa.Reg.RBP
+let rax_i = Isa.Reg.index Isa.Reg.RAX
 
 (* Effective address, one closure per addressing mode. Int64 addition is
    associative modulo 2^64, so the specialized sums equal the
@@ -216,7 +262,7 @@ let cond_test : I.cond -> Cpu.flags -> bool = function
    interpreter's order so a fault mid-instruction leaves identical
    partial state; comments call out the spots where that order is
    load-bearing. *)
-let insn_op ~is_builtin ~addr ~next (insn : I.t) : op =
+let insn_op ~is_builtin ~inline ~addr ~next (insn : I.t) : op =
   match insn with
   | I.Nop -> fun _ _ -> Running
   (* mov, fused operand shapes first *)
@@ -496,10 +542,30 @@ let insn_op ~is_builtin ~addr ~next (insn : I.t) : op =
     (* direct calls resolve the builtin table once, here; [code.key]
        guards against running under a different environment *)
     match is_builtin a with
-    | Some name ->
-      fun cpu _ ->
-        cpu.Cpu.rip <- next;
-        Builtin name
+    | Some name -> (
+      match inline name with
+      | Some f ->
+        (* builtin inlining: the pure core runs inside the block and
+           control falls through, so chains and superblocks continue
+           straight across the call. Protocol match with the OS path:
+           rip advances past the call before the body runs (the kernel
+           dispatches after the call retired), the return value lands
+           in rax, and a fault inside the body kills with rip already
+           past the call — which is why the Trap is consumed here and
+           not left to [run_code]'s handler (that would rewind rip to
+           the call itself). Cycle charges happen inside [f], exactly
+           as the OS dispatch would have charged them. *)
+        fun cpu mem ->
+          cpu.Cpu.rip <- next;
+          (match f cpu mem with
+          | v ->
+            Array.unsafe_set cpu.Cpu.gprs rax_i v;
+            Running
+          | exception Fault.Trap fault -> Faulted fault)
+      | None ->
+        fun cpu _ ->
+          cpu.Cpu.rip <- next;
+          Builtin name)
     | None ->
       fun cpu mem ->
         push cpu mem next;
@@ -627,49 +693,81 @@ let insn_op ~is_builtin ~addr ~next (insn : I.t) : op =
       flags.Cpu.of_ <- false;
       Running
 
-(* ---- Block translation --------------------------------------------- *)
+(* ---- Uop lowering ---------------------------------------------------- *)
 
-(* Closures that write rip when returning [Running] — only legal in the
-   terminator slot, which is where decode puts them. *)
-let sets_rip_on_running = function
-  | I.Jmp _ | I.Jcc _ | I.Call _ | I.Call_ind _ | I.Ret -> true
-  | _ -> false
+let nop_op : op = fun _ _ -> Running
+
+let uop_op ~is_builtin ~inline ~addr ~next (u : Ir.uop) : op =
+  match u with
+  | Ir.Zero r ->
+    (* normalized [xor r, r]: no operand reads, constant flag settle *)
+    fun cpu _ ->
+      Array.unsafe_set cpu.Cpu.gprs r 0L;
+      let f = cpu.Cpu.flags in
+      f.Cpu.zf <- true;
+      f.Cpu.sf <- false;
+      f.Cpu.cf <- false;
+      f.Cpu.of_ <- false;
+      Running
+  | Ir.Nop_shift -> nop_op
+  | Ir.Exec insn -> insn_op ~is_builtin ~inline ~addr ~next insn
+
+(* ---- Block translation: lift -> normalize -> emit -------------------- *)
 
 let g_uncompilable = Telemetry.Registry.counter "vm.compile.uncompilable"
 
-let compile ~is_builtin (b : Tcache.block) : Compiled.slot =
-  if Array.exists (function I.Rdtsc -> true | _ -> false) b.Tcache.insns then begin
+let fresh_link () = { l_space = None; l_epoch = 0; l_addr = 0L; l_target = None }
+
+let emit ~is_builtin ~inline (ir : Ir.t) : code =
+  let steps = ir.Ir.steps in
+  let n = Array.length steps in
+  let addrs = Array.map (fun (s : Ir.step) -> s.Ir.addr) steps in
+  let nexts = Array.map (fun (s : Ir.step) -> s.Ir.next) steps in
+  let sets_rip = Array.map (fun (s : Ir.step) -> s.Ir.sets_rip) steps in
+  let csum = Array.make (n + 1) 0 in
+  let crsum = Array.make (n + 1) 0 in
+  for i = 0 to n - 1 do
+    csum.(i + 1) <- csum.(i) + steps.(i).Ir.cost;
+    crsum.(i + 1) <- crsum.(i) + Bool.to_int steps.(i).Ir.callret
+  done;
+  let ops =
+    Array.init n (fun i ->
+        uop_op ~is_builtin ~inline ~addr:addrs.(i) ~next:nexts.(i) steps.(i).Ir.uop)
+  in
+  {
+    ops;
+    addrs;
+    nexts;
+    csum;
+    crsum;
+    sets_rip;
+    exit_ = ir.Ir.exit_;
+    blocks = Array.map (fun (p : Ir.part) -> p.Ir.block) ir.Ir.parts;
+    starts = Array.map (fun (p : Ir.part) -> p.Ir.start) ir.Ir.parts;
+    key = is_builtin;
+    hot = 0;
+    fuse_tried = Array.length ir.Ir.parts > 1;
+    link_a = fresh_link ();
+    link_b = fresh_link ();
+  }
+
+let no_inline : string -> builtin_fn option = fun _ -> None
+
+let has_rdtsc (b : Tcache.block) =
+  Array.exists (function I.Rdtsc -> true | _ -> false) b.Tcache.insns
+
+let block_ir ~is_builtin ~inline (b : Tcache.block) =
+  let inlinable name = Option.is_some (inline name) in
+  Ir.normalize (Ir.lift ~is_builtin ~inlinable b)
+
+let compile ?(inline = no_inline) ~is_builtin (b : Tcache.block) : Compiled.slot =
+  if has_rdtsc b then begin
+    (* rdtsc reads cpu.cycles mid-block, which deferred charging makes
+       stale; such blocks run interpreted *)
     Telemetry.Registry.incr g_uncompilable;
     Uncompilable
   end
-  else begin
-    let insns = b.Tcache.insns in
-    let n = Array.length insns in
-    let addrs = Array.make n b.Tcache.bb_start in
-    for i = 1 to n - 1 do
-      addrs.(i) <- b.Tcache.nexts.(i - 1)
-    done;
-    let csum = Array.make (n + 1) 0 in
-    let crsum = Array.make (n + 1) 0 in
-    for i = 0 to n - 1 do
-      csum.(i + 1) <- csum.(i) + b.Tcache.costs.(i);
-      crsum.(i + 1) <- crsum.(i) + Bool.to_int b.Tcache.callret.(i)
-    done;
-    let ops =
-      Array.init n (fun i ->
-          insn_op ~is_builtin ~addr:addrs.(i) ~next:b.Tcache.nexts.(i) insns.(i))
-    in
-    Code
-      {
-        ops;
-        addrs;
-        nexts = b.Tcache.nexts;
-        csum;
-        crsum;
-        last_sets_rip = sets_rip_on_running insns.(n - 1);
-        key = is_builtin;
-      }
-  end
+  else Code (emit ~is_builtin ~inline (block_ir ~is_builtin ~inline b))
 
 let key (c : code) = c.key
 
@@ -699,10 +797,12 @@ let run_code (code : code) cpu mem ~limit =
     match (Array.unsafe_get ops i) cpu mem with
     | Running when i + 1 < limit -> go (i + 1)
     | Running ->
-      let k = i + 1 in
-      if not (k = n && code.last_sets_rip) then
+      (* stop here (terminator or fuel boundary): settle rip to the
+         fall-through unless this closure already wrote it — in a
+         superblock, jmp/call closures sit mid-array too *)
+      if not (Array.unsafe_get code.sets_rip i) then
         cpu.Cpu.rip <- Array.unsafe_get code.nexts i;
-      finish Running k
+      finish Running (i + 1)
     | outcome -> finish outcome (i + 1)
     | exception Fault.Trap fault ->
       cpu.Cpu.rip <- Array.unsafe_get code.addrs i;
@@ -713,3 +813,217 @@ let run_code (code : code) cpu mem ~limit =
       finish (Faulted (Fault.Bad_instruction (a, "unresolved symbol " ^ s))) (i + 1)
   in
   go 0
+
+(* ---- Tier 2: chaining, superblocks, profiling attribution ----------- *)
+
+(* Every constituent is still decodable-as-cached in this space. The
+   dispatcher's fetch validated the head block only; a superblock's
+   tail constituents need their own check (their pages may have
+   CoW-diverged without any invalidation — e.g. a relative published
+   the fused translation before the pages split). *)
+let code_anchors_ok mem (c : code) =
+  let ok = ref true in
+  for i = 0 to Array.length c.blocks - 1 do
+    if not (Tcache.anchor_valid mem (Array.unsafe_get c.blocks i)) then ok := false
+  done;
+  !ok
+
+(* The code is still what the head block's slot holds. Replacing the
+   slot (superblock formation, stale-superblock strip) retargets every
+   chain link pointing at the old translation on its next traversal. *)
+let slot_current (c : code) =
+  match (Array.unsafe_get c.blocks 0).Tcache.compiled with
+  | Code c' -> c' == c
+  | _ -> false
+
+(* A link may be followed only when every way it can go stale is ruled
+   out:
+   - [l_addr]: the exit really goes where the target translates
+     (dynamic exits — ret, indirect call — carry a 1-entry inline
+     cache);
+   - [l_space] (==): links live in code objects that fork relatives
+     share; a link resolved in one address space says nothing about
+     another, so each space claims links for itself;
+   - [l_epoch]: invalidation in this space since resolution — the ONLY
+     signal for [patch_text]'s in-place mutation of a private page,
+     which anchors cannot see;
+   - [slot_current] + anchors + [key]: the target is this space's live,
+     decode-consistent translation for the right environment. *)
+let link_live tc mem (l : link) rip key =
+  match l.l_target with
+  | None -> None
+  | Some c ->
+    if
+      Int64.equal l.l_addr rip
+      && (match l.l_space with Some s -> s == tc | None -> false)
+      && l.l_epoch = Tcache.epoch tc
+      && c.key == key
+      && slot_current c
+      && code_anchors_ok mem c
+    then Some c
+    else None
+
+let link_for (c : code) rip =
+  match c.exit_ with
+  | Ir.Branch { taken; _ } ->
+    if Int64.equal rip taken then c.link_a else c.link_b
+  | _ -> c.link_a
+
+let install_link tc (l : link) rip target =
+  l.l_space <- Some tc;
+  l.l_epoch <- Tcache.epoch tc;
+  l.l_addr <- rip;
+  l.l_target <- Some target;
+  Tcache.note_chain tc
+
+(* Resolve the translation for [rip] in this space, compiling the
+   cached block if needed. [None] bounces to the dispatcher (block not
+   cached / stale / uncompilable), which decodes and accounts the miss. *)
+let resolve tc mem ~is_builtin ~inline rip =
+  match Tcache.find tc rip with
+  | Some b when Tcache.anchor_valid mem b -> (
+    match b.Tcache.compiled with
+    | Code c when c.key == is_builtin -> Some c
+    | Uncompilable -> None
+    | _ -> (
+      match compile ~inline ~is_builtin b with
+      | Code c as slot ->
+        b.Tcache.compiled <- slot;
+        Tcache.note_compile tc;
+        Some c
+      | slot ->
+        b.Tcache.compiled <- slot;
+        None))
+  | _ -> None
+
+(* Superblock caps: enough to swallow a guarded call's prologue + body
+   + epilogue chain, small enough that tail duplication (a block fused
+   into several superblocks) stays cheap. *)
+let max_super_parts = 8
+let max_super_insns = 256
+
+(* Fuse the hot single-block [c] forward along unconditional static
+   exits (fall-through, jmp abs, direct call) while the successors are
+   already this space's live translations. Conditional branches and
+   dynamic exits end the superblock — they stay chain links — and an
+   exit back into the superblock's own entries stops growth (the loop
+   closes through a link instead). The fused translation replaces the
+   head block's slot: entering the head runs the whole chain, side
+   entries to constituents keep their own per-block translations
+   (tail duplication, the classic trace-JIT shape). *)
+let try_fuse tc mem ~is_builtin ~inline (c : code) =
+  c.fuse_tried <- true;
+  let head = Array.unsafe_get c.blocks 0 in
+  let entry_of (b : Tcache.block) = b.Tcache.bb_start in
+  let rec grow ir parts =
+    if List.length parts >= max_super_parts || Ir.length ir >= max_super_insns
+    then ir
+    else
+      match Ir.jump_target ir with
+      | None -> ir
+      | Some a ->
+        if List.exists (fun b -> Int64.equal (entry_of b) a) parts then ir
+        else begin
+          match Tcache.find tc a with
+          | Some b
+            when Tcache.anchor_valid mem b
+                 && (not (has_rdtsc b))
+                 && Ir.length ir + Array.length b.Tcache.insns <= max_super_insns
+            -> grow (Ir.fuse ir (block_ir ~is_builtin ~inline b)) (b :: parts)
+          | _ -> ir
+        end
+  in
+  let ir = block_ir ~is_builtin ~inline head in
+  let fused = grow ir [ head ] in
+  if Array.length fused.Ir.parts < 2 then None
+  else begin
+    let sc = emit ~is_builtin ~inline fused in
+    (* register the tail constituents' text extents on the (shared)
+       head record BEFORE publishing the translation, so no invalidate
+       can observe the superblock without its ranges *)
+    head.Tcache.fused_ranges <-
+      Array.map
+        (fun (b : Tcache.block) -> (b.Tcache.bb_start, b.Tcache.bb_bytes))
+        (Array.sub sc.blocks 1 (Array.length sc.blocks - 1));
+    head.Tcache.compiled <- Code sc;
+    Tcache.note_superblock tc;
+    Some sc
+  end
+
+(* Per-constituent cycle attribution for the profiler: the same static
+   prefix-sum formula [run_code]'s finish charges with, split at
+   constituent boundaries, clamped to the retired prefix. Note order
+   inside a dispatch is irrelevant (the profiler aggregates by
+   address), so fused output is byte-identical to the per-block tiers. *)
+let note_profile (c : code) cpu k =
+  let parts = Array.length c.starts in
+  let n = Array.length c.ops in
+  let charge i = c.csum.(i) + (i * cpu.Cpu.insn_tax) + (c.crsum.(i) * cpu.Cpu.call_tax) in
+  let j = ref 0 in
+  while !j < parts && c.starts.(!j) < k do
+    let lo = c.starts.(!j) in
+    let hi = if !j + 1 < parts then c.starts.(!j + 1) else n in
+    let hi = if k < hi then k else hi in
+    Telemetry.Profile.note
+      ~addr:(Array.unsafe_get c.blocks !j).Tcache.bb_start
+      ~cycles:(charge hi - charge lo);
+    incr j
+  done
+
+(* The tier-2 block runner: execute [c0], then keep transferring
+   through live (or freshly patched) chain links until fuel runs out,
+   a non-[Running] outcome exits to the OS, or the successor is not
+   resolvable in-cache (bounce to the dispatcher, which decodes it).
+   Fuel, cycle and fault accounting are exactly the per-block tier's:
+   each hop retires through [run_code] with the remaining fuel. *)
+let run_tier2 cpu mem ~is_builtin ~inline (c0 : code) ~fuel =
+  let tc = cpu.Cpu.tcache in
+  let profiling = Telemetry.Profile.enabled () in
+  let threshold = Atomic.get fuse_threshold in
+  let rec enter (c : code) fuel acc =
+    let c =
+      if c.fuse_tried || c.hot < threshold then c
+      else match try_fuse tc mem ~is_builtin ~inline c with Some sc -> sc | None -> c
+    in
+    c.hot <- c.hot + 1;
+    let outcome, k = run_code c cpu mem ~limit:fuel in
+    if profiling then note_profile c cpu k;
+    let acc = acc + k and fuel = fuel - k in
+    match outcome with
+    | Running when fuel > 0 -> follow c fuel acc
+    | _ -> (outcome, acc)
+  and follow c fuel acc =
+    let rip = cpu.Cpu.rip in
+    let l = link_for c rip in
+    match link_live tc mem l rip is_builtin with
+    | Some target ->
+      Tcache.note_chain_hop tc;
+      enter target fuel acc
+    | None -> (
+      match c.exit_ with
+      | Ir.Stop -> (Running, acc)
+      | _ -> (
+        match resolve tc mem ~is_builtin ~inline rip with
+        | Some target ->
+          install_link tc l rip target;
+          Tcache.note_chain_hop tc;
+          enter target fuel acc
+        | None -> (Running, acc)))
+  in
+  (* The dispatcher validated the head block's anchor; a superblock's
+     tail constituents may still have gone stale. Strip back to a
+     single-block translation rather than run stale code. *)
+  let c0 =
+    if Array.length c0.blocks > 1 && not (code_anchors_ok mem c0) then begin
+      let head = Array.unsafe_get c0.blocks 0 in
+      head.Tcache.fused_ranges <- [||];
+      match compile ~inline ~is_builtin head with
+      | Code c as slot ->
+        head.Tcache.compiled <- slot;
+        Tcache.note_compile tc;
+        c
+      | _ -> assert false (* head compiled before; no rdtsc *)
+    end
+    else c0
+  in
+  enter c0 fuel 0

@@ -1,15 +1,29 @@
-(** Closure compilation of {!Tcache} blocks — the second execution tier.
+(** Closure compilation of {!Tcache} blocks — tiers 1 and 2 of the
+    execution stack.
 
-    [compile] translates a decoded block once into an array of closures
-    with everything resolvable at translation time already resolved:
-    operand shapes specialized (no [read64]/[write64]/effective-address
+    [compile] lowers a decoded block through the explicit {!Ir}
+    (lift -> normalize -> emit) into an array of closures with
+    everything resolvable at translation time already resolved: operand
+    shapes specialized (no [read64]/[write64]/effective-address
     matching at retire time), immediates captured, FS-segment and
     missing-index addressing split into dedicated closures, direct-call
     builtin targets resolved against the environment's table, and
     straight-line cycle costs pre-summed so {!Cpu.add_cycles} runs once
     per block exit.
 
-    The tier is semantically invisible: faults (identity and partial
+    Tier 2 ([run_tier2]) executes the same translations but keeps
+    control inside compiled code across block boundaries: each code
+    carries chain links that are patched to the successor's translation
+    the first time an exit resolves, hot codes are fused forward along
+    unconditional static exits into superblock translations, and small
+    pure glibc builtins can be emitted in line at their call sites
+    ([compile ~inline]). Links are validated per traversal against the
+    address space's identity and invalidation epoch, the target's slot
+    and decode anchors, and the environment key — see the notes in the
+    implementation for why each check exists (fork relatives,
+    [patch_text] on private pages, superblock replacement).
+
+    Both tiers are semantically invisible: faults (identity and partial
     state), fuel accounting, builtin trapping, rdrand draws and the
     cycle counter after every exit are byte-for-byte those of the
     interpreter. Blocks containing [rdtsc] are {!Uncompilable} (it reads
@@ -21,7 +35,10 @@
     closure it was specialized against, so fork clones sharing Tcache
     block records reuse it for free, and a block reached from a
     different environment is transparently recompiled. Invalidation
-    needs no extra work: dropping the {!Tcache.block} drops its slot. *)
+    needs no extra work for single blocks: dropping the {!Tcache.block}
+    drops its slot. Superblocks additionally register their fused text
+    extents on the head record ([Tcache.block.fused_ranges]) so
+    patching any constituent drops the head entry too. *)
 
 type outcome = Compiled.outcome =
   | Running
@@ -34,23 +51,70 @@ type code
 
 type Compiled.slot += Code of code | Uncompilable
 
-val compile : is_builtin:(int64 -> string option) -> Tcache.block -> Compiled.slot
-(** Always returns [Code _] or [Uncompilable]. *)
+type builtin_fn = Cpu.t -> Memory.t -> int64
+(** An inlinable builtin core: reads its arguments from the calling
+    convention registers, performs the effect (memory + cycle charges)
+    and returns the rax value. May raise {!Fault.Trap}. *)
+
+val compile :
+  ?inline:(string -> builtin_fn option) ->
+  is_builtin:(int64 -> string option) ->
+  Tcache.block ->
+  Compiled.slot
+(** Always returns [Code _] or [Uncompilable]. [inline] (default: none)
+    lets direct calls to resolved builtins execute in line — the emitted
+    closure advances rip past the call, runs the core, writes rax and
+    continues, instead of exiting to the OS dispatcher. Faults raised by
+    the core surface as [Faulted] with rip at the return point, exactly
+    as the dispatcher leaves it. *)
 
 val key : code -> int64 -> string option
 (** The [is_builtin] the code was specialized against. Stale if not
     physically equal to the current environment's resolver. *)
 
 val run_code : code -> Cpu.t -> Memory.t -> limit:int -> outcome * int
-(** Retire up to [limit] instructions from the block's start, returning
+(** Retire up to [limit] instructions from the code's start, returning
     the last outcome and the retire count, with the interpreter's exact
     cycle charging and rip/fault semantics. *)
 
+val run_tier2 :
+  Cpu.t ->
+  Memory.t ->
+  is_builtin:(int64 -> string option) ->
+  inline:(string -> builtin_fn option) ->
+  code ->
+  fuel:int ->
+  outcome * int
+(** Tier-2 dispatch: run the code, then keep transferring through live
+    chain links (patching them on first resolution, forming superblocks
+    past the hotness threshold) until fuel is exhausted, a non-[Running]
+    outcome must surface to the OS, or the successor is not resolvable
+    from the cache — in which case [(Running, retired)] bounces control
+    back to {!Exec.step_block}'s dispatcher, which decodes it. Also
+    attributes per-constituent cycles to {!Telemetry.Profile} when
+    profiling is on (the caller must not note again). *)
+
+val set_tier : int -> unit
+(** Process-wide tier switch: 0 = interpreter, 1 = per-block closures,
+    2 = chained/fused (default). Flip only while no simulated cpu is
+    mid-run — the bench driver's [--compile-tier] and tests. Raises
+    [Invalid_argument] outside [0..2]. *)
+
+val tier : unit -> int
+
 val set_enabled : bool -> unit
-(** Process-wide tier switch (default on). Flip only while no simulated
-    cpu is mid-run — the bench driver's [--compile-tier] and tests. *)
+(** [set_enabled b] = [set_tier (if b then 2 else 0)] — legacy on/off
+    switch. *)
 
 val enabled : unit -> bool
+(** Some compile tier is active ([tier () > 0]). *)
+
+val set_fuse_threshold : int -> unit
+(** Tier-2 entries a code must see before superblock formation is
+    attempted (clamped to >= 1; default 16). Tests set 1 to fuse on
+    first execution. *)
+
+val get_fuse_threshold : unit -> int
 
 (** {2 Shared semantics helpers}
 

@@ -7,10 +7,18 @@ type outcome = Compiled.outcome =
 
 type env = {
   is_builtin : int64 -> string option;
+  inline_builtin : string -> Compile.builtin_fn option;
+      (* tier-2 builtin inlining: cores a direct call may run in line
+         instead of exiting to the OS dispatcher. Default: none — only
+         environments whose dispatcher semantics the inline cores
+         reproduce exactly (the kernel's) opt in. *)
   on_retire : (Cpu.t -> Isa.Insn.t -> unit) option;
 }
 
-let create_env ?on_retire ~is_builtin () = { is_builtin; on_retire }
+let no_inline : string -> Compile.builtin_fn option = fun _ -> None
+
+let create_env ?on_retire ?(inline_builtin = no_inline) ~is_builtin () =
+  { is_builtin; inline_builtin; on_retire }
 
 let max_insn_len = 32
 
@@ -100,23 +108,10 @@ let decode_block mem rip =
     Ok (Tcache.make_block ~anchor ~start:rip (Array.of_list (List.rev !rev)))
 
 (* The cached block is only valid for THIS address space while every
-   page it was decoded from still holds the same payload object; CoW
-   never mutates an aliased payload in place, so physical identity
-   implies byte identity. This is what makes fork relatives able to
-   share one table even as each publishes new decodes into it. *)
-let anchor_valid mem (b : Tcache.block) =
-  let a = b.Tcache.anchor in
-  let n = Array.length a in
-  n = 0
-  ||
-  let ok = ref true in
-  for i = 0 to n - 1 do
-    let addr = Int64.add b.Tcache.bb_start (Int64.of_int (i * Memory.page_size)) in
-    (match Memory.code_window mem addr with
-    | Some (payload, _) -> if payload != Array.unsafe_get a i then ok := false
-    | None -> ok := false)
-  done;
-  !ok
+   page it was decoded from still holds the same payload object — the
+   check lives in {!Tcache.anchor_valid} so the tier-2 chain runner
+   applies the identical predicate before jumping into a successor. *)
+let anchor_valid mem (b : Tcache.block) = Tcache.anchor_valid mem b
 
 (* A freshly decoded block may be published into the fork-shared table
    (no private materialisation) when every anchored payload is still
@@ -448,49 +443,71 @@ let interp_block env cpu mem b ~max_insns =
   in
   go 0
 
+(* Per-block exit accounting for the cycle profiler: everything the
+   dispatch charged (pre-summed straight-line costs in the compiled
+   tier, per-insn adds in the interpreter) is attributed to the block's
+   start address in one note. The tier-2 chain runner attributes its
+   own per-constituent cycles instead (see [Compile.run_tier2]) — its
+   dispatches must NOT pass through here, or blocks would be charged
+   twice. *)
+let profiled cpu addr f =
+  if not (Telemetry.Profile.enabled ()) then f ()
+  else begin
+    let c0 = cpu.Cpu.cycles in
+    let r = f () in
+    Telemetry.Profile.note ~addr ~cycles:(Int64.to_int (Int64.sub cpu.Cpu.cycles c0));
+    r
+  end
+
 (* Tier dispatch. Traced runs always interpret (the probe observes
    every retire); otherwise a block is translated once per environment
    and the closure array is reused — including by fork relatives
    sharing the block record, since compilation is deterministic and the
-   result immutable. A fetch fault retires nothing. *)
+   result immutable. Under tier 2 the translation additionally runs
+   through the chain runner, which keeps control inside compiled code
+   across block exits until fuel runs out or a successor misses the
+   cache. A fetch fault retires nothing. *)
 let dispatch_block env cpu mem b ~max_insns =
+  let addr = b.Tcache.bb_start in
+  let interp () = profiled cpu addr (fun () -> interp_block env cpu mem b ~max_insns) in
   match env.on_retire with
-  | Some _ -> interp_block env cpu mem b ~max_insns
-  | None ->
-    if not (Compile.enabled ()) then interp_block env cpu mem b ~max_insns
-    else begin
+  | Some _ -> interp ()
+  | None -> (
+    match Compile.tier () with
+    | 0 -> interp ()
+    | tier -> (
+      let chained = tier >= 2 in
+      let run c =
+        if chained then
+          Compile.run_tier2 cpu mem ~is_builtin:env.is_builtin
+            ~inline:env.inline_builtin c ~fuel:max_insns
+        else profiled cpu addr (fun () -> Compile.run_code c cpu mem ~limit:max_insns)
+      in
       match b.Tcache.compiled with
-      | Compile.Code c when Compile.key c == env.is_builtin ->
-        Compile.run_code c cpu mem ~limit:max_insns
-      | Compile.Uncompilable -> interp_block env cpu mem b ~max_insns
+      | Compile.Code c when Compile.key c == env.is_builtin -> run c
+      | Compile.Uncompilable -> interp ()
       | _ -> (
-        (* not yet compiled, or compiled against another environment *)
-        match Compile.compile ~is_builtin:env.is_builtin b with
-        | Compile.Code c as slot ->
+        (* not yet compiled, or compiled against another environment.
+           Tier 1 compiles without inlining, preserving its exact
+           per-block dispatch protocol (builtin calls exit to the OS). *)
+        let slot =
+          if chained then
+            Compile.compile ~inline:env.inline_builtin ~is_builtin:env.is_builtin b
+          else Compile.compile ~is_builtin:env.is_builtin b
+        in
+        match slot with
+        | Compile.Code c ->
           b.Tcache.compiled <- slot;
           Tcache.note_compile cpu.Cpu.tcache;
-          Compile.run_code c cpu mem ~limit:max_insns
-        | slot ->
+          run c
+        | _ ->
           b.Tcache.compiled <- slot;
-          interp_block env cpu mem b ~max_insns)
-    end
+          interp ())))
 
 let step_block env cpu mem ~max_insns =
   match fetch_block cpu mem with
   | Error fault -> (Faulted fault, 0)
-  | Ok b ->
-    if not (Telemetry.Profile.enabled ()) then dispatch_block env cpu mem b ~max_insns
-    else begin
-      (* Per-block exit accounting for the cycle profiler: everything
-         the dispatch charged (pre-summed straight-line costs in the
-         compiled tier, per-insn adds in the interpreter) is attributed
-         to the block's start address in one note. *)
-      let c0 = cpu.Cpu.cycles in
-      let r = dispatch_block env cpu mem b ~max_insns in
-      Telemetry.Profile.note ~addr:b.Tcache.bb_start
-        ~cycles:(Int64.to_int (Int64.sub cpu.Cpu.cycles c0));
-      r
-    end
+  | Ok b -> dispatch_block env cpu mem b ~max_insns
 
 let step env cpu mem = fst (step_block env cpu mem ~max_insns:1)
 

@@ -33,12 +33,20 @@ type env
 
 val create_env :
   ?on_retire:(Cpu.t -> Isa.Insn.t -> unit) ->
+  ?inline_builtin:(string -> Compile.builtin_fn option) ->
   is_builtin:(int64 -> string option) ->
   unit ->
   env
 (** [on_retire] is invoked after each instruction's cost is charged and
     before it executes — the hook behind execution tracing. Supplying it
-    pins execution to the interpreter tier. *)
+    pins execution to the interpreter tier.
+
+    [inline_builtin] (default: none) gives tier 2 permission to run the
+    named builtin cores in line at direct call sites instead of exiting
+    with [Builtin]. Only supply cores whose effects — memory writes,
+    cycle charges, rax, fault behaviour — are exactly what the OS
+    dispatcher would have produced; with inlining on, a [Stopped
+    (Builtin _)] for those names simply never surfaces from {!run}. *)
 
 val step : env -> Cpu.t -> Memory.t -> outcome
 

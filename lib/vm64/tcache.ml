@@ -14,6 +14,14 @@ type block = {
          identity implies the decoded bytes are unchanged. An empty
          anchor (test-built blocks) is always valid. *)
   mutable compiled : Compiled.slot;
+  mutable fused_ranges : (int64 * int) array;
+      (* extra [addr, addr+len) text extents covered by a superblock
+         stored in [compiled] (tier 2 fuses successor blocks into the
+         head block's slot). Invalidation treats them like the block's
+         own bytes: patching ANY constituent must drop the head entry,
+         or a private-page in-place patch would leave a stale fused
+         translation reachable whose anchors still pass. Lives on the
+         (fork-shared) record so every relative's invalidate sees it. *)
 }
 
 let max_block_insns = 64
@@ -45,7 +53,28 @@ let make_block ?(anchor = [||]) ~start pairs =
     bb_bytes = Int64.to_int (Int64.sub !addr start);
     anchor;
     compiled = Compiled.Not_compiled;
+    fused_ranges = [||];
   }
+
+(* The cached block is only valid for a given address space while every
+   page it was decoded from still holds the same payload object; CoW
+   never mutates an aliased payload in place, so physical identity
+   implies byte identity. This is what lets fork relatives share one
+   table even as each publishes new decodes into it, and what lets
+   tier-2 chain links jump straight into a successor's translation. *)
+let anchor_valid mem b =
+  let a = b.anchor in
+  let n = Array.length a in
+  n = 0
+  ||
+  let ok = ref true in
+  for i = 0 to n - 1 do
+    let addr = Int64.add b.bb_start (Int64.of_int (i * Memory.page_size)) in
+    (match Memory.code_window mem addr with
+    | Some (payload, _) -> if payload != Array.unsafe_get a i then ok := false
+    | None -> ok := false)
+  done;
+  !ok
 
 (* Lazy copy-on-write clone: fork children alias the parent's block
    table until either side first mutates it (new decode or
@@ -62,11 +91,19 @@ type exec_stats = {
   mutable misses : int;  (* lookups that forced a decode *)
   mutable compiles : int;  (* blocks translated by the closure tier *)
   mutable invalidated : int;  (* cached blocks dropped by invalidation *)
+  mutable chains : int;  (* tier-2 exit links patched to a successor *)
+  mutable superblocks : int;  (* hot chains fused into one translation *)
+  mutable chain_hops : int;  (* dispatcher returns avoided via a link *)
 }
 
 type t = {
   mutable blocks : (int64, block) Hashtbl.t;
   mutable private_table : bool;  (* sole owner of [blocks]; safe to mutate *)
+  mutable epoch : int;
+      (* bumped whenever invalidation drops anything from THIS space's
+         table. Tier-2 chain links record the (space, epoch) they were
+         resolved under and die on mismatch — the anchor cannot catch an
+         in-place patch of a private page, the epoch can. *)
   xstats : exec_stats;
 }
 
@@ -104,14 +141,28 @@ let fold_exec () =
         misses = acc.misses + x.misses;
         compiles = acc.compiles + x.compiles;
         invalidated = acc.invalidated + x.invalidated;
+        chains = acc.chains + x.chains;
+        superblocks = acc.superblocks + x.superblocks;
+        chain_hops = acc.chain_hops + x.chain_hops;
       })
-    { hits = 0; misses = 0; compiles = 0; invalidated = 0 }
+    {
+      hits = 0;
+      misses = 0;
+      compiles = 0;
+      invalidated = 0;
+      chains = 0;
+      superblocks = 0;
+      chain_hops = 0;
+    }
     fams
 
 let metric_hits = "vm.tcache.hits"
 let metric_misses = "vm.tcache.misses"
 let metric_compiles = "vm.tcache.compiles"
 let metric_invalidated = "vm.tcache.invalidated"
+let metric_chains = "vm.compile.chains_patched"
+let metric_superblocks = "vm.compile.superblocks"
+let metric_chain_hops = "vm.compile.dispatch_avoided"
 
 let () =
   Telemetry.Registry.register_group
@@ -124,20 +175,33 @@ let () =
       (metric_misses, fun () -> (fold_exec ()).misses);
       (metric_compiles, fun () -> (fold_exec ()).compiles);
       (metric_invalidated, fun () -> (fold_exec ()).invalidated);
+      (metric_chains, fun () -> (fold_exec ()).chains);
+      (metric_superblocks, fun () -> (fold_exec ()).superblocks);
+      (metric_chain_hops, fun () -> (fold_exec ()).chain_hops);
     ]
 
 let create () =
-  let xstats = { hits = 0; misses = 0; compiles = 0; invalidated = 0 } in
+  let xstats =
+    {
+      hits = 0;
+      misses = 0;
+      compiles = 0;
+      invalidated = 0;
+      chains = 0;
+      superblocks = 0;
+      chain_hops = 0;
+    }
+  in
   Mutex.lock registry_mu;
   registry := xstats :: !registry;
   Mutex.unlock registry_mu;
-  { blocks = Hashtbl.create 256; private_table = true; xstats }
+  { blocks = Hashtbl.create 256; private_table = true; epoch = 0; xstats }
 
 let clone t =
   t.private_table <- false;
   Telemetry.Registry.incr g_clones;
   Telemetry.Registry.add g_blocks_shared (Hashtbl.length t.blocks);
-  { blocks = t.blocks; private_table = false; xstats = t.xstats }
+  { blocks = t.blocks; private_table = false; epoch = 0; xstats = t.xstats }
 
 let is_shared t = not t.private_table
 
@@ -159,6 +223,10 @@ let find t rip = Hashtbl.find_opt t.blocks rip
 let note_hit t = t.xstats.hits <- t.xstats.hits + 1
 let note_miss t = t.xstats.misses <- t.xstats.misses + 1
 let note_compile t = t.xstats.compiles <- t.xstats.compiles + 1
+let note_chain t = t.xstats.chains <- t.xstats.chains + 1
+let note_superblock t = t.xstats.superblocks <- t.xstats.superblocks + 1
+let note_chain_hop t = t.xstats.chain_hops <- t.xstats.chain_hops + 1
+let epoch t = t.epoch
 
 (* [publish]: insert into the table *without* breaking fork sharing.
    Sound only because hits re-validate the block's anchor: a relative
@@ -177,13 +245,19 @@ let add ?(publish = false) t block =
 let invalidate_range t ~addr ~len =
   if len > 0 then begin
     let lo = addr and hi = Int64.add addr (Int64.of_int len) in
+    let overlaps start len =
+      let e = Int64.add start (Int64.of_int len) in
+      Int64.compare start hi < 0 && Int64.compare lo e < 0
+    in
     let stale =
       Hashtbl.fold
         (fun start b acc ->
-          let b_end = Int64.add b.bb_start (Int64.of_int b.bb_bytes) in
-          (* overlap: [bb_start, b_end) ∩ [lo, hi) ≠ ∅ *)
-          if Int64.compare b.bb_start hi < 0 && Int64.compare lo b_end < 0 then
-            start :: acc
+          (* overlap: [bb_start, b_end) ∩ [lo, hi) ≠ ∅ — or any fused
+             extent of a superblock stored in this block's slot *)
+          if
+            overlaps b.bb_start b.bb_bytes
+            || Array.exists (fun (a, l) -> overlaps a l) b.fused_ranges
+          then start :: acc
           else acc)
         t.blocks []
     in
@@ -191,8 +265,8 @@ let invalidate_range t ~addr ~len =
       own t;
       List.iter (Hashtbl.remove t.blocks) stale;
       let n = List.length stale in
-      t.xstats.invalidated <- t.xstats.invalidated + n
-
+      t.xstats.invalidated <- t.xstats.invalidated + n;
+      t.epoch <- t.epoch + 1
     end
   end
 
@@ -205,8 +279,8 @@ let invalidate_all t =
     t.private_table <- true
   end;
   if n > 0 then begin
-    t.xstats.invalidated <- t.xstats.invalidated + n
-
+    t.xstats.invalidated <- t.xstats.invalidated + n;
+    t.epoch <- t.epoch + 1
   end
 
 let stats t =
@@ -218,4 +292,7 @@ let exec_stats t =
     misses = t.xstats.misses;
     compiles = t.xstats.compiles;
     invalidated = t.xstats.invalidated;
+    chains = t.xstats.chains;
+    superblocks = t.xstats.superblocks;
+    chain_hops = t.xstats.chain_hops;
   }

@@ -40,14 +40,29 @@ type block = {
           blocks into a fork-shared table sound. Empty = always valid
           (test-built blocks). *)
   mutable compiled : Compiled.slot;
-      (** closure-tier translation, written at most once per
-          environment by {!Exec}; monotone and deterministic, so clones
-          aliasing this record share compiled code for free. Starts
-          [Not_compiled]; dropping the block drops the translation,
-          which is how invalidation reaches the compile tier. *)
+      (** closure-tier translation, written by {!Exec}/{!Compile};
+          deterministic, so clones aliasing this record share compiled
+          code for free. Starts [Not_compiled]; dropping the block drops
+          the translation, which is how invalidation reaches the compile
+          tier. Tier 2 may later replace a [Code] slot with a superblock
+          that subsumes it (same entry semantics, more instructions). *)
+  mutable fused_ranges : (int64 * int) array;
+      (** extra [(addr, len)] text extents covered by a superblock
+          stored in [compiled] — the fused successors' bytes.
+          {!invalidate_range} treats them like the block's own range, so
+          patching any constituent drops the head entry. On the shared
+          record, so every fork relative's invalidation sees it. *)
 }
 
 val max_block_insns : int
+
+val anchor_valid : Memory.t -> block -> bool
+(** The block is still decodable-as-cached in this address space: every
+    covered page holds the same payload {e object} it was decoded from
+    (physical equality — CoW never mutates an aliased payload in
+    place). Empty anchor (test-built blocks) is always valid. Checked by
+    {!Exec.fetch_block} on every hit and by tier-2 chain links before
+    jumping into a successor's translation. *)
 
 val make_block : ?anchor:bytes array -> start:int64 -> (Isa.Insn.t * int) array -> block
 (** [make_block ~start pairs] precomputes the dispatch arrays from
@@ -79,6 +94,24 @@ val note_miss : t -> unit
 val note_compile : t -> unit
 (** Record one closure-tier block translation. *)
 
+val note_chain : t -> unit
+(** Record one tier-2 exit link patched to a successor's translation. *)
+
+val note_superblock : t -> unit
+(** Record one hot chain fused into a superblock translation. *)
+
+val note_chain_hop : t -> unit
+(** Record one block-to-block transfer served by a chain link (a return
+    to the dispatch loop avoided). *)
+
+val epoch : t -> int
+(** Invalidation epoch of this address space: bumped every time
+    invalidation drops anything from the table. Tier-2 chain links
+    record the (space, epoch) they were resolved under and are dead on
+    mismatch — this is what unlinks stale successors after
+    [patch_text], which mutates private pages in place where the anchor
+    check cannot see it. *)
+
 val add : ?publish:bool -> t -> block -> unit
 (** Insert a block. With [~publish:true] the insert goes into the
     (possibly fork-shared) table without materialising a private copy —
@@ -104,19 +137,25 @@ val metric_hits : string
 val metric_misses : string
 val metric_compiles : string
 val metric_invalidated : string
-(** Names under which the process-wide tcache totals are published to
-    {!Telemetry.Registry}. The first three are plain counters; the last
-    four form one fold-metric group (resetting any resets all four).
-    Read process-wide totals with [Telemetry.Registry.read_int] on
-    these names. *)
+val metric_chains : string
+val metric_superblocks : string
+val metric_chain_hops : string
+(** Names under which the process-wide tcache/compile-tier totals are
+    published to {!Telemetry.Registry}. clones/blocks_shared/
+    tables_materialised are plain counters; the rest form one
+    fold-metric group (resetting any resets all). Read process-wide
+    totals with [Telemetry.Registry.read_int] on these names. *)
 
-(** Execution-path telemetry (lookups, decodes, closure-tier activity),
+(** Execution-path telemetry (lookups, decodes, compile-tier activity),
     [Memory.family_stats]-style. *)
 type exec_stats = {
   mutable hits : int;  (** block lookups served from the cache *)
   mutable misses : int;  (** lookups that forced a decode *)
   mutable compiles : int;  (** blocks translated by the closure tier *)
   mutable invalidated : int;  (** cached blocks dropped by invalidation *)
+  mutable chains : int;  (** tier-2 exit links patched to a successor *)
+  mutable superblocks : int;  (** hot chains fused into one translation *)
+  mutable chain_hops : int;  (** dispatcher returns avoided via a link *)
 }
 
 val exec_stats : t -> exec_stats

@@ -1,12 +1,13 @@
-(* Differential oracle for the closure-compiled execution tier.
+(* Differential oracle for the compiled execution tiers.
 
-   The compiled tier must be observationally identical to the
+   Every compiled tier must be observationally identical to the
    interpreter: same registers, flags, xmm state, memory, cycle counter,
    RNG draws and fault identity after every run. Rather than trusting
    each specialized closure individually, we fuzz: generate random
-   encodable instruction sequences, run each twice from identical
-   initial state — once with the tier disabled, once enabled — and
-   compare the complete machine state. *)
+   encodable instruction sequences, run each three times from identical
+   initial state — interpreter, tier 1 (per-block closures), tier 2
+   (chained/fused, with the fuse threshold forced to 1 so superblocks
+   actually form) — and compare the complete machine state. *)
 
 open Isa
 open Vm64
@@ -175,7 +176,7 @@ type snapshot = {
 
 let run_one ~tier ~trial_seed ~taxes:(insn_tax, call_tax) ~init_gprs ~init_xmms
     ~data ~code =
-  Compile.set_enabled tier;
+  Compile.set_tier tier;
   let cpu = Cpu.create ~seed:trial_seed () in
   let mem = Memory.create () in
   Memory.map mem ~addr:text_base ~len:4096;
@@ -193,7 +194,7 @@ let run_one ~tier ~trial_seed ~taxes:(insn_tax, call_tax) ~init_gprs ~init_xmms
   cpu.Cpu.call_tax <- call_tax;
   cpu.Cpu.rip <- text_base;
   let result = Exec.run ~max_insns:200 env cpu mem in
-  Compile.set_enabled true;
+  Compile.set_tier 2;
   {
     s_result = result;
     s_gprs = Array.copy cpu.Cpu.gprs;
@@ -220,9 +221,10 @@ let result_to_string = function
     | Exec.Halted -> "hlt"
     | Exec.Faulted f -> "fault " ^ Fault.to_string f)
 
-let compare_snapshots ~trial a b =
+let compare_snapshots ~trial ~what a b =
   let fail field detail =
-    Alcotest.failf "trial %d: %s diverges between tiers (%s)" trial field detail
+    Alcotest.failf "trial %d: %s diverges between interpreter and %s (%s)"
+      trial field what detail
   in
   if a.s_result <> b.s_result then
     fail "run result"
@@ -248,6 +250,10 @@ let trials = 1100
 let test_differential_fuzz () =
   let p = Util.Prng.create 0xD1FFC0DEL in
   let halted = ref 0 and faulted = ref 0 and fuel = ref 0 and other = ref 0 in
+  (* force superblock formation on the very first re-entry so the fused
+     paths face the same corpus as the plain chained ones *)
+  let saved_threshold = Compile.get_fuse_threshold () in
+  Compile.set_fuse_threshold 1;
   for trial = 0 to trials - 1 do
     let insns = rand_program p in
     let code = Encode.list_to_bytes insns in
@@ -264,15 +270,18 @@ let test_differential_fuzz () =
     let args ~tier =
       run_one ~tier ~trial_seed ~taxes ~init_gprs ~init_xmms ~data ~code
     in
-    let interp = args ~tier:false in
-    let compiled = args ~tier:true in
-    compare_snapshots ~trial interp compiled;
+    let interp = args ~tier:0 in
+    let tier1 = args ~tier:1 in
+    let tier2 = args ~tier:2 in
+    compare_snapshots ~trial ~what:"tier 1" interp tier1;
+    compare_snapshots ~trial ~what:"tier 2" interp tier2;
     (match interp.s_result with
     | Exec.Stopped Exec.Halted -> incr halted
     | Exec.Stopped (Exec.Faulted _) -> incr faulted
     | Exec.Out_of_fuel -> incr fuel
     | _ -> incr other)
   done;
+  Compile.set_fuse_threshold saved_threshold;
   (* the corpus must actually exercise the interesting exits *)
   Alcotest.(check bool) "saw clean halts" true (!halted > 100);
   Alcotest.(check bool) "saw faults" true (!faulted > 50);
@@ -399,6 +408,150 @@ let test_published_block_and_anchor () =
   Alcotest.check (Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal)
     "child still runs original bytes" 2L (Cpu.get ccpu Reg.RAX)
 
+(* ---- tier-2 chaining / superblock tests ------------------------------------ *)
+
+let block_b = Int64.add text_base 0x80L
+let block_c = Int64.add text_base 0x100L
+
+let mov_hlt reg v = Encode.list_to_bytes [ Insn.Mov (Operand.reg reg, Operand.imm v); Insn.Hlt ]
+
+(* A: rax <- 1, jmp B.  B: rbx <- v, hlt.  Tier 2 patches A's exit to
+   call B's closure directly (or fuses the pair), so re-running A never
+   revisits the dispatcher for B: patching B exercises the link-epoch
+   and fused-range invalidation paths, not the per-fetch anchor check. *)
+let load_two_blocks mem ~b_value =
+  load_program mem
+    [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 1L); Insn.Jmp (Insn.Abs block_b) ];
+  Memory.write_bytes mem block_b (mov_hlt Reg.RBX b_value)
+
+let check_reg msg reg v cpu =
+  Alcotest.check (Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal) msg v (Cpu.get cpu reg)
+
+let with_fuse_threshold n f =
+  let saved = Compile.get_fuse_threshold () in
+  Compile.set_fuse_threshold n;
+  Fun.protect ~finally:(fun () -> Compile.set_fuse_threshold saved) f
+
+let test_chained_exit_invalidation () =
+  with_fuse_threshold 1_000_000 @@ fun () ->
+  let cpu, mem = fresh () in
+  load_two_blocks mem ~b_value:2L;
+  run_to_halt cpu mem;
+  run_to_halt cpu mem;
+  let stats = Tcache.exec_stats cpu.Cpu.tcache in
+  Alcotest.(check bool) "exit link patched" true (stats.Tcache.chains >= 1);
+  Alcotest.(check int) "no superblock at this threshold" 0 stats.Tcache.superblocks;
+  check_reg "chained run" Reg.RBX 2L cpu;
+  Memory.write_bytes mem block_b (mov_hlt Reg.RBX 9L);
+  Cpu.invalidate_decode cpu ~addr:block_b ~len:16;
+  run_to_halt cpu mem;
+  check_reg "patched successor executed, not the stale link" Reg.RBX 9L cpu
+
+let test_superblock_constituent_patch () =
+  with_fuse_threshold 1 @@ fun () ->
+  let cpu, mem = fresh () in
+  load_two_blocks mem ~b_value:2L;
+  run_to_halt cpu mem;
+  run_to_halt cpu mem;
+  let stats = Tcache.exec_stats cpu.Cpu.tcache in
+  Alcotest.(check bool) "superblock formed" true (stats.Tcache.superblocks >= 1);
+  run_to_halt cpu mem;
+  check_reg "fused run" Reg.RBX 2L cpu;
+  (* patch the *interior* constituent: B's own record is dropped by the
+     range walk, and the head's fused_ranges entry must take the
+     superblock (which tail-duplicated B's code under A's address) down
+     with it *)
+  Memory.write_bytes mem block_b (mov_hlt Reg.RBX 9L);
+  Cpu.invalidate_decode cpu ~addr:block_b ~len:16;
+  run_to_halt cpu mem;
+  check_reg "patched constituent executed" Reg.RBX 9L cpu;
+  check_reg "head semantics intact" Reg.RAX 1L cpu
+
+let test_superblock_across_fork () =
+  with_fuse_threshold 1 @@ fun () ->
+  let cpu, mem = fresh () in
+  load_two_blocks mem ~b_value:2L;
+  run_to_halt cpu mem;
+  run_to_halt cpu mem;
+  Alcotest.(check bool) "superblock formed" true
+    ((Tcache.exec_stats cpu.Cpu.tcache).Tcache.superblocks >= 1);
+  let ccpu = Cpu.clone cpu in
+  let cmem = Memory.clone mem in
+  run_to_halt ccpu cmem;
+  check_reg "child reuses the superblock" Reg.RBX 2L ccpu;
+  (* the child patches its private copy of B and invalidates through the
+     family-shared table: the fused head is dropped for every relative,
+     yet each side must keep executing its own bytes *)
+  Memory.write_bytes cmem block_b (mov_hlt Reg.RBX 9L);
+  Cpu.invalidate_decode ccpu ~addr:block_b ~len:16;
+  run_to_halt ccpu cmem;
+  check_reg "child sees patch" Reg.RBX 9L ccpu;
+  run_to_halt cpu mem;
+  check_reg "parent keeps original" Reg.RBX 2L cpu;
+  (* second family: fork while the superblock is live, then have the
+     child write B's CoW-shared page with no invalidate call at all.
+     A's page is untouched, so the dispatcher's head-anchor check
+     passes; only the entry-time constituent-anchor sweep can strip the
+     stale tail-duplicated copy of B *)
+  let cpu, mem = fresh () in
+  load_two_blocks mem ~b_value:2L;
+  run_to_halt cpu mem;
+  run_to_halt cpu mem;
+  Alcotest.(check bool) "second family fused" true
+    ((Tcache.exec_stats cpu.Cpu.tcache).Tcache.superblocks >= 1);
+  let dcpu = Cpu.clone cpu in
+  let dmem = Memory.clone mem in
+  Memory.write_bytes dmem block_b (mov_hlt Reg.RBX 5L);
+  run_to_halt dcpu dmem;
+  check_reg "constituent anchor strips the fusion" Reg.RBX 5L dcpu;
+  run_to_halt cpu mem;
+  check_reg "parent unaffected by CoW divergence" Reg.RBX 2L cpu
+
+(* Superblock fusion must not perturb profiler attribution: the fused
+   closure retires a whole chain in one sweep, yet its per-constituent
+   self-notes must reproduce the per-block rows byte for byte —
+   including the insn/call tax terms. *)
+let test_superblock_profile_attribution () =
+  with_fuse_threshold 1 @@ fun () ->
+  let profile_rows ~tier =
+    Compile.set_tier tier;
+    Telemetry.Profile.reset ();
+    Telemetry.Profile.set_enabled true;
+    let cpu, mem = fresh () in
+    load_program mem
+      [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 1L); Insn.Jmp (Insn.Abs block_b) ];
+    Memory.write_bytes mem block_b
+      (Encode.list_to_bytes
+         [ Insn.Mov (Operand.reg Reg.RBX, Operand.imm 2L); Insn.Jmp (Insn.Abs block_c) ]);
+    Memory.write_bytes mem block_c (mov_hlt Reg.RCX 3L);
+    cpu.Cpu.insn_tax <- 2;
+    cpu.Cpu.call_tax <- 7;
+    for _ = 1 to 10 do
+      run_to_halt cpu mem
+    done;
+    Telemetry.Profile.set_enabled false;
+    let rows = Telemetry.Profile.dump () in
+    Telemetry.Profile.reset ();
+    Compile.set_tier 2;
+    (rows, Tcache.exec_stats cpu.Cpu.tcache)
+  in
+  let rows1, _ = profile_rows ~tier:1 in
+  let rows2, stats2 = profile_rows ~tier:2 in
+  Alcotest.(check bool) "tier-2 run actually fused" true (stats2.Tcache.superblocks >= 1);
+  Alcotest.(check bool) "profile saw the blocks" true (List.length rows1 >= 3);
+  if rows1 <> rows2 then begin
+    let show rows =
+      String.concat "; "
+        (List.map
+           (fun r ->
+             Printf.sprintf "0x%Lx: %d cycles / %d blocks" r.Telemetry.Profile.addr
+               r.Telemetry.Profile.cycles r.Telemetry.Profile.blocks)
+           rows)
+    in
+    Alcotest.failf "attribution diverges under fusion:\n  tier 1: %s\n  tier 2: %s"
+      (show rows1) (show rows2)
+  end
+
 let () =
   Alcotest.run "compile"
     [
@@ -417,5 +570,16 @@ let () =
             test_compiled_across_fork;
           Alcotest.test_case "published block + anchor staleness" `Quick
             test_published_block_and_anchor;
+        ] );
+      ( "tier-2",
+        [
+          Alcotest.test_case "patching a chained successor unlinks it" `Quick
+            test_chained_exit_invalidation;
+          Alcotest.test_case "patching inside a superblock drops the fusion"
+            `Quick test_superblock_constituent_patch;
+          Alcotest.test_case "superblock invalidation across CoW fork" `Quick
+            test_superblock_across_fork;
+          Alcotest.test_case "profile attribution identical under fusion"
+            `Quick test_superblock_profile_attribution;
         ] );
     ]

@@ -223,7 +223,7 @@ let test_benchfile_roundtrip () =
     {
       Util.Benchfile.pr = 4;
       jobs = 2;
-      compile_tier = true;
+      compile_tier = 2;
       campaigns =
         [
           {
@@ -264,7 +264,7 @@ let specs_for jobs budget tier =
   [
     Harness.Cli.nonneg_int ~name:"--jobs" ~docv:"N" ~doc:"jobs" (fun v -> jobs := v);
     Harness.Cli.pos_int ~name:"--budget" ~docv:"N" ~doc:"budget" (fun v -> budget := v);
-    Harness.Cli.on_off ~name:"--compile-tier" ~doc:"tier" (fun v -> tier := v);
+    Harness.Cli.tier_value ~name:"--compile-tier" ~doc:"tier" (fun v -> tier := v);
   ]
 
 let check_bad specs args expected =
@@ -274,7 +274,7 @@ let check_bad specs args expected =
   | Harness.Cli.Help -> Alcotest.fail "unexpected help"
 
 let test_cli_parse () =
-  let jobs = ref 1 and budget = ref 0 and tier = ref true in
+  let jobs = ref 1 and budget = ref 0 and tier = ref 2 in
   let specs = specs_for jobs budget tier in
   (match
      Harness.Cli.parse specs
@@ -284,7 +284,15 @@ let test_cli_parse () =
     Alcotest.(check (list string)) "positionals in order" [ "table5"; "micro" ] p;
     Alcotest.(check int) "--jobs applied" 4 !jobs;
     Alcotest.(check int) "--budget applied" 500 !budget;
-    Alcotest.(check bool) "--compile-tier applied" false !tier
+    Alcotest.(check int) "--compile-tier applied" 0 !tier;
+    (match Harness.Cli.parse specs [ "--compile-tier"; "1" ] with
+    | Harness.Cli.Positionals [] ->
+      Alcotest.(check int) "--compile-tier 1 applied" 1 !tier
+    | _ -> Alcotest.fail "--compile-tier 1 must parse");
+    (match Harness.Cli.parse specs [ "--compile-tier"; "on" ] with
+    | Harness.Cli.Positionals [] ->
+      Alcotest.(check int) "--compile-tier on means 2" 2 !tier
+    | _ -> Alcotest.fail "--compile-tier on must parse")
   | _ -> Alcotest.fail "mixed flags + positionals must parse");
   match Harness.Cli.parse specs [ "--help" ] with
   | Harness.Cli.Help -> ()
@@ -294,7 +302,7 @@ let test_cli_parse () =
    historical stderr contract, and [parse_or_exit] turns each into a
    non-zero exit. *)
 let test_cli_errors () =
-  let jobs = ref 1 and budget = ref 0 and tier = ref true in
+  let jobs = ref 1 and budget = ref 0 and tier = ref 2 in
   let specs = specs_for jobs budget tier in
   check_bad specs [ "--jobs"; "x" ] "--jobs expects a non-negative integer, got x";
   check_bad specs [ "--jobs"; "-2" ] "--jobs expects a non-negative integer, got -2";
@@ -303,7 +311,7 @@ let test_cli_errors () =
   check_bad specs [ "--budget" ] "--budget expects an argument";
   check_bad specs
     [ "--compile-tier"; "maybe" ]
-    "--compile-tier expects on or off, got maybe"
+    "--compile-tier expects off, 1, 2 or on, got maybe"
 
 let test_cli_profile_top () =
   (match Harness.Cli.parse_profile_top "top=10" with
@@ -322,12 +330,12 @@ let test_cli_profile_top () =
 let test_cli_usage () =
   let usage =
     Harness.Cli.usage ~prog:"bench/main.exe" ~positional:"[<experiment>...]"
-      (specs_for (ref 0) (ref 0) (ref true))
+      (specs_for (ref 0) (ref 0) (ref 2))
   in
   Alcotest.(check bool) "usage lists --jobs" true
     (Astring.String.is_infix ~affix:"--jobs N" usage);
-  Alcotest.(check bool) "usage lists on|off docv" true
-    (Astring.String.is_infix ~affix:"--compile-tier on|off" usage)
+  Alcotest.(check bool) "usage lists tier docv" true
+    (Astring.String.is_infix ~affix:"--compile-tier off|1|2|on" usage)
 
 let () =
   Alcotest.run "telemetry"
