@@ -24,7 +24,7 @@ let section title =
 
 let mem_stats_enabled = ref false
 let effectiveness_budget = ref None
-let bench_out = ref "BENCH_pr7.json"
+let bench_out = ref "BENCH_pr8.json"
 
 (* loadbench knobs (see the `loadbench` command) *)
 let load_connections = ref 64
@@ -83,7 +83,7 @@ let write_bench_json ~jobs =
   | campaigns ->
     Util.Benchfile.write !bench_out
       {
-        Util.Benchfile.pr = 7;
+        Util.Benchfile.pr = 8;
         jobs;
         compile_tier = Vm64.Compile.tier ();
         campaigns;
@@ -347,7 +347,8 @@ let run_micro () =
 (* ---- tier A/B: same workload, compiled tier forced off then on ----------- *)
 
 let run_tierbench () =
-  section "Tier A/B - interpreter vs per-block closures vs chained/fused";
+  section
+    "Tier A/B - interpreter vs closures vs chained/fused vs register caching";
   (* best-of-3 to shrug off GC and scheduler noise; the first run
      doubles as warm-up for the host *)
   let best_of_3 f =
@@ -360,10 +361,22 @@ let run_tierbench () =
     done;
     !best
   in
-  let time_tier tier f =
+  (* each timed cell also lands in the --bench-out record as its own
+     campaign (one entry per tier), so the perf trajectory file carries
+     the tier deltas alongside the campaign walls *)
+  let time_tier ~workload tier f =
     Vm64.Compile.set_tier tier;
+    Telemetry.Registry.reset_all ();
     let dt = best_of_3 f in
-    Vm64.Compile.set_tier 2;
+    let m = Telemetry.Registry.snapshot () in
+    campaign_records :=
+      {
+        Util.Benchfile.name = Printf.sprintf "tierbench/%s@tier%d" workload tier;
+        wall_s = dt;
+        metrics = m;
+      }
+      :: !campaign_records;
+    Vm64.Compile.set_tier 3;
     dt
   in
   (* gate 1 (PR 3): compiled execution beats the interpreter on the
@@ -375,8 +388,8 @@ let run_tierbench () =
       (Harness.Runner.run_server (Harness.Runner.Compiler Pssp.Scheme.Pssp)
          profile ~requests)
   in
-  let interp_s = time_tier 0 serve in
-  let compiled_s = time_tier 2 serve in
+  let interp_s = time_tier ~workload:"nginx" 0 serve in
+  let compiled_s = time_tier ~workload:"nginx" 3 serve in
   Printf.printf
     "TIERBENCH profile=%s requests=%d interp_s=%.3f compiled_s=%.3f speedup=%.2fx\n"
     profile.Workload.Servers.profile_name requests interp_s compiled_s
@@ -391,8 +404,8 @@ let run_tierbench () =
   (* gate 2 (PR 7): chaining + superblocks beat the per-block closure
      tier on table5, serial (BENCH_pr3 baseline: 0.63s) *)
   let table5 () = ignore (Harness.Table5.run ~jobs:1 ()) in
-  let tier1_s = time_tier 1 table5 in
-  let tier2_s = time_tier 2 table5 in
+  let tier1_s = time_tier ~workload:"table5" 1 table5 in
+  let tier2_s = time_tier ~workload:"table5" 2 table5 in
   Printf.printf
     "TIERBENCH2 experiment=table5 jobs=1 tier1_s=%.3f tier2_s=%.3f speedup=%.2fx\n"
     tier1_s tier2_s (tier1_s /. tier2_s);
@@ -401,6 +414,19 @@ let run_tierbench () =
       "tierbench: chained tier (%.3fs) is not faster than per-block closures \
        (%.3fs)\n"
       tier2_s tier1_s;
+    exit 1
+  end;
+  (* gate 3 (PR 8): register caching beats the plain chained tier on the
+     same serial table5 workload *)
+  let tier3_s = time_tier ~workload:"table5" 3 table5 in
+  Printf.printf
+    "TIERBENCH3 experiment=table5 jobs=1 tier2_s=%.3f tier3_s=%.3f speedup=%.2fx\n"
+    tier2_s tier3_s (tier2_s /. tier3_s);
+  if tier3_s >= tier2_s then begin
+    Printf.eprintf
+      "tierbench: register-caching tier (%.3fs) is not faster than the \
+       chained tier (%.3fs)\n"
+      tier3_s tier2_s;
     exit 1
   end
 
@@ -471,11 +497,12 @@ let () =
       Harness.Cli.tier_value ~name:"--compile-tier"
         ~doc:
           "execution tier: off = interpreter, 1 = per-block closures,\n\
-           2 = chained/fused superblocks (default; on = 2). Campaign\n\
-           output is byte-identical for every tier."
+           2 = chained/fused superblocks, 3 = register caching\n\
+           (default; on = 3). Campaign output is byte-identical for\n\
+           every tier."
         Vm64.Compile.set_tier;
       Harness.Cli.string_value ~name:"--bench-out" ~docv:"FILE"
-        ~doc:"where to write the perf trajectory record (default BENCH_pr7.json)"
+        ~doc:"where to write the perf trajectory record (default BENCH_pr8.json)"
         (fun f -> bench_out := f);
     ]
     @ Harness.Cli.telemetry_specs telem

@@ -40,12 +40,13 @@ let on_off ~name ~doc set =
    aliases ("on" = the highest tier, "off" = interpreter), so scripts
    written against the PR 3 boolean flag keep working. *)
 let tier_value ~name ~doc set =
-  value ~name ~docv:"off|1|2|on" ~doc (fun s ->
+  value ~name ~docv:"off|1|2|3|on" ~doc (fun s ->
       match s with
       | "off" | "0" -> set 0; Ok ()
       | "1" -> set 1; Ok ()
-      | "2" | "on" -> set 2; Ok ()
-      | _ -> Error (expects ~name ~what:"off, 1, 2 or on" s))
+      | "2" -> set 2; Ok ()
+      | "3" | "on" -> set 3; Ok ()
+      | _ -> Error (expects ~name ~what:"off, 1, 2, 3 or on" s))
 
 let string_value ~name ~docv ~doc set =
   value ~name ~docv ~doc (fun s -> set s; Ok ())

@@ -29,8 +29,9 @@ val on_off : name:string -> doc:string -> (bool -> unit) -> spec
 
 val tier_value : name:string -> doc:string -> (int -> unit) -> spec
 (** Execution-tier selector: accepts [off|0] (interpreter), [1]
-    (per-block closures), [2] (chained/fused), and the legacy alias
-    [on] (= 2). Rejects with ["NAME expects off, 1, 2 or on, got X"]. *)
+    (per-block closures), [2] (chained/fused), [3] (register caching),
+    and the legacy alias [on] (= 3, the highest tier). Rejects with
+    ["NAME expects off, 1, 2, 3 or on, got X"]. *)
 
 val string_value : name:string -> docv:string -> doc:string -> (string -> unit) -> spec
 

@@ -16,7 +16,9 @@ type campaign = {
 type t = {
   pr : int;
   jobs : int;
-  compile_tier : int;  (* 0 = interpreter, 1 = closures, 2 = chained/fused *)
+  compile_tier : int;
+      (* 0 = interpreter, 1 = closures, 2 = chained/fused,
+         3 = chained/fused + register caching *)
   campaigns : campaign list;
 }
 

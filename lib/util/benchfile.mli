@@ -24,8 +24,9 @@ type t = {
   pr : int;
   jobs : int;
   compile_tier : int;
-      (** 0 = interpreter, 1 = per-block closures, 2 = chained/fused.
-          PR <= 6 records stored a boolean; the reader maps it to 0/1. *)
+      (** 0 = interpreter, 1 = per-block closures, 2 = chained/fused,
+          3 = chained/fused + register caching. PR <= 6 records stored
+          a boolean; the reader maps it to 0/1. *)
   campaigns : campaign list;
 }
 

@@ -1,4 +1,4 @@
-(** Closure compilation of {!Tcache} blocks — tiers 1 and 2 of the
+(** Closure compilation of {!Tcache} blocks — tiers 1, 2 and 3 of the
     execution stack.
 
     [compile] lowers a decoded block through the explicit {!Ir}
@@ -23,13 +23,22 @@
     implementation for why each check exists (fork relatives,
     [patch_text] on private pages, superblock replacement).
 
-    Both tiers are semantically invisible: faults (identity and partial
+    Tier 3 additionally caches the translation's hottest guest
+    registers (picked by {!Ir.cache_plan}) in closure "locals" —
+    arguments threaded through a continuation chain — writing them back
+    to {!Cpu.t} gprs only at exits, chain transfers, kernel-visible
+    outcomes and faults. The spill protocol notes in the implementation
+    ([emit3]) explain why every fault still observes exact architectural
+    register state.
+
+    All tiers are semantically invisible: faults (identity and partial
     state), fuel accounting, builtin trapping, rdrand draws and the
     cycle counter after every exit are byte-for-byte those of the
-    interpreter. Blocks containing [rdtsc] are {!Uncompilable} (it reads
-    the cycle counter mid-block, which deferred charging would skew) and
-    run interpreted, as do traced runs ([on_retire] observes every
-    retire, which the compiled loop deliberately does not).
+    interpreter. [rdtsc] compiles against the retired prefix's static
+    cycle charge (deferred charging leaves [cycles] at the entry value,
+    and the charge to any mid-block point is translation-time static).
+    Traced runs still interpret ([on_retire] observes every retire,
+    which the compiled loop deliberately does not).
 
     Compiled code is immutable and keyed ([(==)]) to the [is_builtin]
     closure it was specialized against, so fork clones sharing Tcache
@@ -51,6 +60,9 @@ type code
 
 type Compiled.slot += Code of code | Uncompilable
 
+(** [Uncompilable] is retained for slot compatibility; since [rdtsc]
+    became emittable, {!compile} always returns [Code _]. *)
+
 type builtin_fn = Cpu.t -> Memory.t -> int64
 (** An inlinable builtin core: reads its arguments from the calling
     convention registers, performs the effect (memory + cycle charges)
@@ -61,7 +73,7 @@ val compile :
   is_builtin:(int64 -> string option) ->
   Tcache.block ->
   Compiled.slot
-(** Always returns [Code _] or [Uncompilable]. [inline] (default: none)
+(** Always returns [Code _]. [inline] (default: none)
     lets direct calls to resolved builtins execute in line — the emitted
     closure advances rip past the call, runs the core, writes rax and
     continues, instead of exiting to the OS dispatcher. Faults raised by
@@ -71,6 +83,11 @@ val compile :
 val key : code -> int64 -> string option
 (** The [is_builtin] the code was specialized against. Stale if not
     physically equal to the current environment's resolver. *)
+
+val cached_regs : code -> int array
+(** The gpr indices the tier-3 chain caches in closure locals (a copy;
+    empty when the translation has no register-caching chain — no
+    register passed {!Ir.cache_plan}'s profitability bar). *)
 
 val run_code : code -> Cpu.t -> Memory.t -> limit:int -> outcome * int
 (** Retire up to [limit] instructions from the code's start, returning
@@ -85,25 +102,29 @@ val run_tier2 :
   code ->
   fuel:int ->
   outcome * int
-(** Tier-2 dispatch: run the code, then keep transferring through live
-    chain links (patching them on first resolution, forming superblocks
-    past the hotness threshold) until fuel is exhausted, a non-[Running]
-    outcome must surface to the OS, or the successor is not resolvable
-    from the cache — in which case [(Running, retired)] bounces control
-    back to {!Exec.step_block}'s dispatcher, which decodes it. Also
-    attributes per-constituent cycles to {!Telemetry.Profile} when
-    profiling is on (the caller must not note again). *)
+(** Tier-2/3 dispatch: run the code, then keep transferring through
+    live chain links (patching them on first resolution, forming
+    superblocks past the hotness threshold) until fuel is exhausted, a
+    non-[Running] outcome must surface to the OS, or the successor is
+    not resolvable from the cache — in which case [(Running, retired)]
+    bounces control back to {!Exec.step_block}'s dispatcher, which
+    decodes it. At tier 3 each hop runs the register-caching chain
+    instead of the per-step loop whenever remaining fuel covers the
+    whole translation. Also attributes per-constituent cycles to
+    {!Telemetry.Profile} when profiling is on (the caller must not note
+    again). *)
 
 val set_tier : int -> unit
 (** Process-wide tier switch: 0 = interpreter, 1 = per-block closures,
-    2 = chained/fused (default). Flip only while no simulated cpu is
-    mid-run — the bench driver's [--compile-tier] and tests. Raises
-    [Invalid_argument] outside [0..2]. *)
+    2 = chained/fused, 3 = chained/fused with register caching
+    (default). Flip only while no simulated cpu is mid-run — the bench
+    driver's [--compile-tier] and tests. Raises [Invalid_argument]
+    outside [0..3]. *)
 
 val tier : unit -> int
 
 val set_enabled : bool -> unit
-(** [set_enabled b] = [set_tier (if b then 2 else 0)] — legacy on/off
+(** [set_enabled b] = [set_tier (if b then 3 else 0)] — legacy on/off
     switch. *)
 
 val enabled : unit -> bool

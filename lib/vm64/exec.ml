@@ -463,10 +463,11 @@ let profiled cpu addr f =
    every retire); otherwise a block is translated once per environment
    and the closure array is reused — including by fork relatives
    sharing the block record, since compilation is deterministic and the
-   result immutable. Under tier 2 the translation additionally runs
-   through the chain runner, which keeps control inside compiled code
-   across block exits until fuel runs out or a successor misses the
-   cache. A fetch fault retires nothing. *)
+   result immutable. Under tiers 2 and 3 the translation additionally
+   runs through the chain runner, which keeps control inside compiled
+   code across block exits until fuel runs out or a successor misses
+   the cache (tier 3 further swaps each hop to the register-caching
+   chain when fuel covers it). A fetch fault retires nothing. *)
 let dispatch_block env cpu mem b ~max_insns =
   let addr = b.Tcache.bb_start in
   let interp () = profiled cpu addr (fun () -> interp_block env cpu mem b ~max_insns) in

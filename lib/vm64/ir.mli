@@ -9,7 +9,9 @@
 type uop =
   | Exec of Isa.Insn.t  (** general case, per-insn lowering *)
   | Zero of int  (** [xor r, r] zero idiom (gpr index): no operand reads *)
-  | Nop_shift  (** masked shift count 0: architectural no-op *)
+  | Nop_cost
+      (** architectural no-op that still charges its decoded cost:
+          masked shift count 0, [mov r, r] self-move *)
 
 type step = {
   addr : int64;  (** the instruction's own address *)
@@ -50,8 +52,19 @@ val lift :
     falls through — its body emitted in line — or exits to the OS). *)
 
 val normalize : t -> t
-(** Per-step strength reduction (zero idiom, dead shifts); each rewrite
-    is observationally identical per retired instruction. *)
+(** Per-step strength reduction (zero idiom, dead shifts, self-moves);
+    each rewrite is observationally identical per retired instruction. *)
+
+val step_gprs : step -> int list * int list
+(** [(reads, writes)] over gpr indices, from the instruction's operand
+    roles. Drives tier 3's caching heuristic only — conservative
+    over-approximation is fine, correctness never depends on it. *)
+
+val cache_plan : ?limit:int -> t -> int array
+(** The translation's hot gprs, most-accessed first, at most [limit]
+    (default 2). Only registers touched at least three times qualify
+    (entry reload + exit spill must pay for themselves); ties break
+    toward the lower index so the plan is deterministic. *)
 
 val jump_target : t -> int64 option
 (** The unconditional static successor, if the exit has one. *)

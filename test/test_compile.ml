@@ -4,10 +4,12 @@
    interpreter: same registers, flags, xmm state, memory, cycle counter,
    RNG draws and fault identity after every run. Rather than trusting
    each specialized closure individually, we fuzz: generate random
-   encodable instruction sequences, run each three times from identical
+   encodable instruction sequences, run each four times from identical
    initial state — interpreter, tier 1 (per-block closures), tier 2
    (chained/fused, with the fuse threshold forced to 1 so superblocks
-   actually form) — and compare the complete machine state. *)
+   actually form), tier 3 (register caching, exercising the spill
+   protocol at every fault and kernel boundary) — and compare the
+   complete machine state. *)
 
 open Isa
 open Vm64
@@ -132,7 +134,7 @@ let rand_insn p =
   | 61 -> Insn.Ret
   | 62 -> Insn.Leave
   | 63 | 64 -> Insn.Rdrand (rand_reg p)
-  | 65 -> Insn.Rdtsc (* whole block falls back to the interpreter *)
+  | 65 -> Insn.Rdtsc (* compiled against the static prefix charge *)
   | 66 -> Insn.Syscall
   | 67 | 68 | 69 -> Insn.Movq_to_xmm (rand_xmm p, rand_reg p)
   | 70 | 71 -> Insn.Movq_from_xmm (rand_reg p, rand_xmm p)
@@ -194,7 +196,7 @@ let run_one ~tier ~trial_seed ~taxes:(insn_tax, call_tax) ~init_gprs ~init_xmms
   cpu.Cpu.call_tax <- call_tax;
   cpu.Cpu.rip <- text_base;
   let result = Exec.run ~max_insns:200 env cpu mem in
-  Compile.set_tier 2;
+  Compile.set_tier 3;
   {
     s_result = result;
     s_gprs = Array.copy cpu.Cpu.gprs;
@@ -273,8 +275,10 @@ let test_differential_fuzz () =
     let interp = args ~tier:0 in
     let tier1 = args ~tier:1 in
     let tier2 = args ~tier:2 in
+    let tier3 = args ~tier:3 in
     compare_snapshots ~trial ~what:"tier 1" interp tier1;
     compare_snapshots ~trial ~what:"tier 2" interp tier2;
+    compare_snapshots ~trial ~what:"tier 3" interp tier3;
     (match interp.s_result with
     | Exec.Stopped Exec.Halted -> incr halted
     | Exec.Stopped (Exec.Faulted _) -> incr faulted
@@ -510,7 +514,9 @@ let test_superblock_across_fork () =
 (* Superblock fusion must not perturb profiler attribution: the fused
    closure retires a whole chain in one sweep, yet its per-constituent
    self-notes must reproduce the per-block rows byte for byte —
-   including the insn/call tax terms. *)
+   including the insn/call tax terms. RAX is hammered in every block so
+   the tier-3 run genuinely caches it: the register-caching chain must
+   attribute through the same prefix-sum notes as the per-step loop. *)
 let test_superblock_profile_attribution () =
   with_fuse_threshold 1 @@ fun () ->
   let profile_rows ~tier =
@@ -519,11 +525,19 @@ let test_superblock_profile_attribution () =
     Telemetry.Profile.set_enabled true;
     let cpu, mem = fresh () in
     load_program mem
-      [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 1L); Insn.Jmp (Insn.Abs block_b) ];
+      [ Insn.Mov (Operand.reg Reg.RAX, Operand.imm 1L);
+        Insn.Bin (Insn.Add, Operand.reg Reg.RAX, Operand.imm 2L);
+        Insn.Jmp (Insn.Abs block_b) ];
     Memory.write_bytes mem block_b
       (Encode.list_to_bytes
-         [ Insn.Mov (Operand.reg Reg.RBX, Operand.imm 2L); Insn.Jmp (Insn.Abs block_c) ]);
-    Memory.write_bytes mem block_c (mov_hlt Reg.RCX 3L);
+         [ Insn.Bin (Insn.Add, Operand.reg Reg.RAX, Operand.imm 3L);
+           Insn.Mov (Operand.reg Reg.RBX, Operand.imm 2L);
+           Insn.Jmp (Insn.Abs block_c) ]);
+    Memory.write_bytes mem block_c
+      (Encode.list_to_bytes
+         [ Insn.Bin (Insn.Add, Operand.reg Reg.RAX, Operand.imm 4L);
+           Insn.Mov (Operand.reg Reg.RCX, Operand.imm 3L);
+           Insn.Hlt ]);
     cpu.Cpu.insn_tax <- 2;
     cpu.Cpu.call_tax <- 7;
     for _ = 1 to 10 do
@@ -532,25 +546,215 @@ let test_superblock_profile_attribution () =
     Telemetry.Profile.set_enabled false;
     let rows = Telemetry.Profile.dump () in
     Telemetry.Profile.reset ();
-    Compile.set_tier 2;
+    Compile.set_tier 3;
     (rows, Tcache.exec_stats cpu.Cpu.tcache)
   in
   let rows1, _ = profile_rows ~tier:1 in
   let rows2, stats2 = profile_rows ~tier:2 in
+  let rows3, stats3 = profile_rows ~tier:3 in
   Alcotest.(check bool) "tier-2 run actually fused" true (stats2.Tcache.superblocks >= 1);
+  Alcotest.(check bool) "tier-3 run actually fused" true (stats3.Tcache.superblocks >= 1);
   Alcotest.(check bool) "profile saw the blocks" true (List.length rows1 >= 3);
-  if rows1 <> rows2 then begin
-    let show rows =
-      String.concat "; "
-        (List.map
-           (fun r ->
-             Printf.sprintf "0x%Lx: %d cycles / %d blocks" r.Telemetry.Profile.addr
-               r.Telemetry.Profile.cycles r.Telemetry.Profile.blocks)
-           rows)
-    in
-    Alcotest.failf "attribution diverges under fusion:\n  tier 1: %s\n  tier 2: %s"
-      (show rows1) (show rows2)
-  end
+  let show rows =
+    String.concat "; "
+      (List.map
+         (fun r ->
+           Printf.sprintf "0x%Lx: %d cycles / %d blocks" r.Telemetry.Profile.addr
+             r.Telemetry.Profile.cycles r.Telemetry.Profile.blocks)
+         rows)
+  in
+  let check_same what rows =
+    if rows1 <> rows then
+      Alcotest.failf "attribution diverges under fusion:\n  tier 1: %s\n  %s: %s"
+        (show rows1) what (show rows)
+  in
+  check_same "tier 2" rows2;
+  check_same "tier 3" rows3
+
+(* ---- tier-3 register caching ----------------------------------------------- *)
+
+let mk_block ~start insns =
+  Tcache.make_block ~start
+    (Array.of_list
+       (List.map (fun i -> (i, Bytes.length (Encode.list_to_bytes [ i ]))) insns))
+
+let no_builtin _ = None
+
+(* The self-move peephole: [mov r, r] normalizes to the cost-only no-op
+   while a real register move stays executable, and neither rewrite
+   loses the decoded cycle cost. *)
+let test_normalize_self_move () =
+  let b =
+    mk_block ~start:text_base
+      [
+        Insn.Mov (Operand.reg Reg.RCX, Operand.reg Reg.RCX);
+        Insn.Mov (Operand.reg Reg.RCX, Operand.reg Reg.RDX);
+        Insn.Hlt;
+      ]
+  in
+  let ir = Ir.normalize (Ir.lift ~is_builtin:no_builtin ~inlinable:(fun _ -> false) b) in
+  (match ir.Ir.steps.(0).Ir.uop with
+  | Ir.Nop_cost -> ()
+  | _ -> Alcotest.fail "mov rcx, rcx must normalize to Nop_cost");
+  (match ir.Ir.steps.(1).Ir.uop with
+  | Ir.Exec (Insn.Mov _) -> ()
+  | _ -> Alcotest.fail "mov rcx, rdx must stay a real move");
+  Alcotest.(check int) "self-move keeps the move's decoded cost"
+    ir.Ir.steps.(1).Ir.cost ir.Ir.steps.(0).Ir.cost
+
+(* The caching heuristic is deterministic: most-accessed register first,
+   only registers worth an entry reload + exit spill qualify, and a
+   block containing rdtsc still translates (against the static prefix
+   charge) rather than falling back to the interpreter. *)
+let test_cache_plan_and_rdtsc_compiles () =
+  let b =
+    mk_block ~start:text_base
+      [
+        Insn.Bin (Insn.Add, Operand.reg Reg.RBX, Operand.imm 1L);
+        Insn.Bin (Insn.Add, Operand.reg Reg.RBX, Operand.reg Reg.RCX);
+        Insn.Bin (Insn.Add, Operand.reg Reg.RCX, Operand.imm 2L);
+        Insn.Mov (Operand.reg Reg.RCX, Operand.reg Reg.RBX);
+        Insn.Rdtsc;
+        Insn.Hlt;
+      ]
+  in
+  (match Compile.compile ~is_builtin:no_builtin b with
+  | Compile.Code c ->
+    Alcotest.(check (array int))
+      "plan picks the hot gprs, hottest first"
+      [| Reg.index Reg.RBX; Reg.index Reg.RCX |]
+      (Compile.cached_regs c)
+  | _ -> Alcotest.fail "rdtsc block must still compile");
+  (* rax/rdx are written once each by rdtsc: below the profitability
+     bar, so they must not appear in the plan *)
+  let cold =
+    mk_block ~start:text_base [ Insn.Rdtsc; Insn.Hlt ]
+  in
+  match Compile.compile ~is_builtin:no_builtin cold with
+  | Compile.Code c ->
+    Alcotest.(check (array int)) "cold block caches nothing" [||]
+      (Compile.cached_regs c)
+  | _ -> Alcotest.fail "cold rdtsc block must still compile"
+
+let int64_t = Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal
+
+(* Fault-exact spills: trap mid-superblock on a store page-fault while a
+   cached register is live (modified since entry) in a closure local.
+   Every interpreter-visible fact — gprs, flags, rip, cycles, fault
+   identity — must match a tier-1 replay of the same machine. *)
+let test_spill_exactness_on_fault () =
+  with_fuse_threshold 1 @@ fun () ->
+  let run_at tier =
+    Compile.set_tier tier;
+    Fun.protect ~finally:(fun () -> Compile.set_tier 3) @@ fun () ->
+    let cpu, mem = fresh () in
+    Memory.map mem ~addr:data_base ~len:data_len;
+    load_program mem
+      [
+        Insn.Bin (Insn.Add, Operand.reg Reg.RBX, Operand.imm 5L);
+        Insn.Jmp (Insn.Abs block_b);
+      ];
+    Memory.write_bytes mem block_b
+      (Encode.list_to_bytes
+         [
+           Insn.Bin (Insn.Add, Operand.reg Reg.RBX, Operand.imm 1L);
+           Insn.Push (Operand.reg Reg.RBX);
+           Insn.Mov (Operand.mem ~base:Reg.R13 0L, Operand.reg Reg.RBX);
+           Insn.Bin (Insn.Add, Operand.reg Reg.RBX, Operand.imm 100L);
+           Insn.Hlt;
+         ]);
+    cpu.Cpu.insn_tax <- 2;
+    cpu.Cpu.call_tax <- 7;
+    (* warm up with the store aimed at mapped data: two halting runs
+       form the superblock, whose fused IR caches rbx *)
+    Cpu.set cpu Reg.R13 data_base;
+    run_to_halt cpu mem;
+    run_to_halt cpu mem;
+    if tier = 3 then begin
+      Alcotest.(check bool) "superblock formed" true
+        ((Tcache.exec_stats cpu.Cpu.tcache).Tcache.superblocks >= 1);
+      match Tcache.find cpu.Cpu.tcache text_base with
+      | Some blk -> (
+        match blk.Tcache.compiled with
+        | Compile.Code c ->
+          Alcotest.(check (array int)) "rbx is cached in the fused chain"
+            [| Reg.index Reg.RBX |] (Compile.cached_regs c)
+        | _ -> Alcotest.fail "fused head has no compiled slot")
+      | None -> Alcotest.fail "fused head record missing"
+    end;
+    (* aim the store at unmapped space: the chain faults with rbx live
+       in a closure local, two adds retired, the +100 not *)
+    Cpu.set cpu Reg.R13 0x9000000L;
+    Cpu.set cpu Reg.RBX 0L;
+    cpu.Cpu.rip <- text_base;
+    let result = Exec.run env cpu mem in
+    ( result,
+      Array.copy cpu.Cpu.gprs,
+      ( cpu.Cpu.flags.Cpu.zf,
+        cpu.Cpu.flags.Cpu.sf,
+        cpu.Cpu.flags.Cpu.cf,
+        cpu.Cpu.flags.Cpu.of_ ),
+      cpu.Cpu.rip,
+      cpu.Cpu.cycles )
+  in
+  let r1, g1, f1, rip1, c1 = run_at 1 in
+  let r3, g3, f3, rip3, c3 = run_at 3 in
+  (match r3 with
+  | Exec.Stopped (Exec.Faulted _) -> ()
+  | r -> Alcotest.fail ("expected a page fault, got " ^ result_to_string r));
+  Alcotest.(check string) "fault identity matches tier 1"
+    (result_to_string r1) (result_to_string r3);
+  for i = 0 to 15 do
+    Alcotest.check int64_t
+      (Printf.sprintf "gpr %s at fault" (Reg.name (Reg.of_index_exn i)))
+      g1.(i) g3.(i)
+  done;
+  Alcotest.(check bool) "flags at fault" true (f1 = f3);
+  Alcotest.check int64_t "rip points at the faulting store" rip1 rip3;
+  Alcotest.check int64_t "cycles at fault" c1 c3;
+  (* the spilled value is the architecturally current one *)
+  Alcotest.check int64_t "rbx shows exactly the retired adds" 6L
+    g3.(Reg.index Reg.RBX)
+
+(* patch_text inside the cached region at tier 3: invalidating an
+   interior constituent must take the register-caching chain down with
+   the superblock, and the patched bytes must retranslate. *)
+let test_tier3_patch_in_cached_region () =
+  with_fuse_threshold 1 @@ fun () ->
+  Compile.set_tier 3;
+  let cpu, mem = fresh () in
+  load_program mem
+    [
+      Insn.Bin (Insn.Add, Operand.reg Reg.RBX, Operand.imm 1L);
+      Insn.Bin (Insn.Add, Operand.reg Reg.RBX, Operand.imm 2L);
+      Insn.Jmp (Insn.Abs block_b);
+    ];
+  let b_bytes v =
+    Encode.list_to_bytes
+      [ Insn.Bin (Insn.Add, Operand.reg Reg.RBX, Operand.imm v); Insn.Hlt ]
+  in
+  Memory.write_bytes mem block_b (b_bytes 4L);
+  run_to_halt cpu mem;
+  run_to_halt cpu mem;
+  Alcotest.(check bool) "superblock formed" true
+    ((Tcache.exec_stats cpu.Cpu.tcache).Tcache.superblocks >= 1);
+  (match Tcache.find cpu.Cpu.tcache text_base with
+  | Some blk -> (
+    match blk.Tcache.compiled with
+    | Compile.Code c ->
+      Alcotest.(check (array int)) "rbx cached in the superblock"
+        [| Reg.index Reg.RBX |] (Compile.cached_regs c)
+    | _ -> Alcotest.fail "head has no compiled slot")
+  | None -> Alcotest.fail "head record missing");
+  Cpu.set cpu Reg.RBX 0L;
+  run_to_halt cpu mem;
+  check_reg "fused run through the cached chain" Reg.RBX 7L cpu;
+  Memory.write_bytes mem block_b (b_bytes 40L);
+  Cpu.invalidate_decode cpu ~addr:block_b ~len:16;
+  Cpu.set cpu Reg.RBX 0L;
+  run_to_halt cpu mem;
+  check_reg "patched constituent executed, stale cached chain dropped"
+    Reg.RBX 43L cpu
 
 let () =
   Alcotest.run "compile"
@@ -581,5 +785,16 @@ let () =
             test_superblock_across_fork;
           Alcotest.test_case "profile attribution identical under fusion"
             `Quick test_superblock_profile_attribution;
+        ] );
+      ( "tier-3",
+        [
+          Alcotest.test_case "normalize rewrites mov r,r to Nop_cost" `Quick
+            test_normalize_self_move;
+          Alcotest.test_case "cache plan is deterministic; rdtsc compiles"
+            `Quick test_cache_plan_and_rdtsc_compiles;
+          Alcotest.test_case "spills are fault-exact mid-superblock" `Quick
+            test_spill_exactness_on_fault;
+          Alcotest.test_case "patching inside the cached region retranslates"
+            `Quick test_tier3_patch_in_cached_region;
         ] );
     ]

@@ -289,9 +289,13 @@ let test_cli_parse () =
     | Harness.Cli.Positionals [] ->
       Alcotest.(check int) "--compile-tier 1 applied" 1 !tier
     | _ -> Alcotest.fail "--compile-tier 1 must parse");
+    (match Harness.Cli.parse specs [ "--compile-tier"; "2" ] with
+    | Harness.Cli.Positionals [] ->
+      Alcotest.(check int) "--compile-tier 2 applied" 2 !tier
+    | _ -> Alcotest.fail "--compile-tier 2 must parse");
     (match Harness.Cli.parse specs [ "--compile-tier"; "on" ] with
     | Harness.Cli.Positionals [] ->
-      Alcotest.(check int) "--compile-tier on means 2" 2 !tier
+      Alcotest.(check int) "--compile-tier on means 3" 3 !tier
     | _ -> Alcotest.fail "--compile-tier on must parse")
   | _ -> Alcotest.fail "mixed flags + positionals must parse");
   match Harness.Cli.parse specs [ "--help" ] with
@@ -311,7 +315,7 @@ let test_cli_errors () =
   check_bad specs [ "--budget" ] "--budget expects an argument";
   check_bad specs
     [ "--compile-tier"; "maybe" ]
-    "--compile-tier expects off, 1, 2 or on, got maybe"
+    "--compile-tier expects off, 1, 2, 3 or on, got maybe"
 
 let test_cli_profile_top () =
   (match Harness.Cli.parse_profile_top "top=10" with
@@ -335,7 +339,7 @@ let test_cli_usage () =
   Alcotest.(check bool) "usage lists --jobs" true
     (Astring.String.is_infix ~affix:"--jobs N" usage);
   Alcotest.(check bool) "usage lists tier docv" true
-    (Astring.String.is_infix ~affix:"--compile-tier off|1|2|on" usage)
+    (Astring.String.is_infix ~affix:"--compile-tier off|1|2|3|on" usage)
 
 let () =
   Alcotest.run "telemetry"
