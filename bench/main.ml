@@ -7,91 +7,119 @@
      bench/main.exe [OPTIONS] <exp> [...] run selected experiments
      bench/main.exe micro                 run the Bechamel micro-benchmarks
      bench/main.exe tierbench             compiled tier vs interpreter A/B
+     bench/main.exe zygotebench           cold-boot vs zygote-resume A/B
      bench/main.exe validate FILE [...]   check telemetry JSON files
+     bench/main.exe merge FILE [...]      combine --shard output files
    Experiments: table1 table2 table3 table4 table5 fig5 effectiveness
                 loadbench compat theorem1 exposure ablation
    Flags are declared through Harness.Cli (shared with pssp_cli);
    bench/main.exe --help prints the generated option list.
 
+   Every experiment is a Harness.Campaign — a fixed number of
+   deterministic cells plus a merge step that renders the stdout body —
+   so this driver is a table-driven dispatcher over Harness.Campaigns.
+   [--shards N] runs each campaign as N in-process shard passes
+   (byte-identical output for every N); [--shard K/N] computes one
+   shard silently and records its rows in the --bench-out file for a
+   later [merge].
+
    Every experiment run also appends wall-clock + registry metrics to
-   the --bench-out file in the working directory (schema-2 perf
+   the --bench-out file in the working directory (schema-3 perf
    trajectory record; stdout is unaffected). *)
 
-let section title =
-  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+let section = Harness.Campaign.section
 
 (* ---- telemetry + perf trajectory ----------------------------------------- *)
 
 let mem_stats_enabled = ref false
 let effectiveness_budget = ref None
-let bench_out = ref "BENCH_pr8.json"
+let bench_out = ref "BENCH_pr9.json"
 
-(* loadbench knobs (see the `loadbench` command) *)
+(* loadbench knobs (see the `loadbench` campaign) *)
 let load_connections = ref 64
 let load_keepalive = ref 8
 let load_mode = ref Net.Loadgen.Closed
 
-type load_arch = Arch_fork | Arch_event | Arch_reuseport
+let load_archs =
+  ref [ Harness.Loadbench.Fork; Harness.Loadbench.Event; Harness.Loadbench.Reuseport ]
 
-let load_archs = ref [ Arch_fork; Arch_event; Arch_reuseport ]
+(* effectiveness victim respawn (--zygote) *)
+let respawn = ref Attack.Oracle.No_respawn
 
-let arch_profile arch profile =
-  match arch with
-  | Arch_fork -> profile
-  | Arch_event -> Workload.Servers.event_loop profile
-  | Arch_reuseport -> Workload.Servers.sharded profile
+(* shard execution (--shards N / --shard K/N) *)
+let shards = ref 1
+let shard_spec : (int * int) option ref = ref None
 
 let campaign_records : Util.Benchfile.campaign list ref = ref []
 
 let metric snapshot name =
   match List.assoc_opt name snapshot with Some v -> v | None -> 0
 
-(* Wraps one campaign: resets the registry, times the run, records the
-   full metrics snapshot for the --bench-out file, and (with
-   --mem-stats) prints the fork-path line. Registry snapshots are sums
-   over per-kernel work taken after worker domains join, so the line is
-   byte-identical for every --jobs value — and, with --mem-stats off,
-   stdout is byte-identical whether or not --metrics-out/--trace-out
-   are recording. *)
-let with_telemetry name f =
-  Telemetry.Registry.reset_all ();
-  let t0 = Unix.gettimeofday () in
-  f ();
-  let wall = Unix.gettimeofday () -. t0 in
-  let m = Telemetry.Registry.snapshot () in
+(* The deterministic fork-path line (--mem-stats). Registry snapshots
+   are sums over per-kernel work taken after worker domains join, so
+   the line is byte-identical for every --jobs and --shards value —
+   and, with --mem-stats off, stdout is byte-identical whether or not
+   --metrics-out/--trace-out are recording. *)
+let print_mem_stats name m =
+  Printf.printf
+    "MEM_STATS %s: forks=%d pages_shared=%d pages_cow_copied=%d \
+     tcache_blocks_shared=%d tcache_tables_copied=%d tcache_hits=%d \
+     tcache_misses=%d tcache_compiles=%d tcache_invalidated=%d\n"
+    name
+    (metric m "os.kernel.forks")
+    (metric m Vm64.Memory.metric_pages_aliased)
+    (metric m Vm64.Memory.metric_cow_breaks)
+    (metric m Vm64.Tcache.metric_blocks_shared)
+    (metric m Vm64.Tcache.metric_tables_materialised)
+    (metric m Vm64.Tcache.metric_hits)
+    (metric m Vm64.Tcache.metric_misses)
+    (metric m Vm64.Tcache.metric_compiles)
+    (metric m Vm64.Tcache.metric_invalidated)
+
+let record ?context ?cells ~name ~wall_s metrics =
   campaign_records :=
-    { Util.Benchfile.name; wall_s = wall; metrics = m } :: !campaign_records;
-  if !mem_stats_enabled then
-    Printf.printf
-      "MEM_STATS %s: forks=%d pages_shared=%d pages_cow_copied=%d \
-       tcache_blocks_shared=%d tcache_tables_copied=%d tcache_hits=%d \
-       tcache_misses=%d tcache_compiles=%d tcache_invalidated=%d\n"
-      name
-      (metric m "os.kernel.forks")
-      (metric m Vm64.Memory.metric_pages_aliased)
-      (metric m Vm64.Memory.metric_cow_breaks)
-      (metric m Vm64.Tcache.metric_blocks_shared)
-      (metric m Vm64.Tcache.metric_tables_materialised)
-      (metric m Vm64.Tcache.metric_hits)
-      (metric m Vm64.Tcache.metric_misses)
-      (metric m Vm64.Tcache.metric_compiles)
-      (metric m Vm64.Tcache.metric_invalidated)
+    Util.Benchfile.campaign ?context ?cells ~name ~wall_s metrics
+    :: !campaign_records
 
 let write_bench_json ~jobs =
   match List.rev !campaign_records with
   | [] -> ()
   | campaigns ->
+    let shards, shard =
+      match !shard_spec with
+      | Some (k, n) -> (n, Some k)
+      | None -> (!shards, None)
+    in
     Util.Benchfile.write !bench_out
-      {
-        Util.Benchfile.pr = 8;
-        jobs;
-        compile_tier = Vm64.Compile.tier ();
-        campaigns;
-      }
+      (Util.Benchfile.make ~shards ?shard ~pr:9 ~jobs
+         ~compile_tier:(Vm64.Compile.tier ()) campaigns)
 
-(* `validate FILE...`: re-read telemetry JSON through the schema-2
+(* One campaign under the dispatcher. In shard mode compute this
+   shard's rows silently and carry them to the merge step through the
+   --bench-out file; otherwise run all cells (as --shards in-process
+   passes), render, and record the merged metrics. *)
+let run_campaign ~jobs (c : Harness.Campaign.t) =
+  match !shard_spec with
+  | Some (k, n) ->
+    Telemetry.Registry.reset_all ();
+    let t0 = Unix.gettimeofday () in
+    let rows = Harness.Campaign.run_shard ~jobs ~shards:n ~shard:k c in
+    let wall = Unix.gettimeofday () -. t0 in
+    record ~context:c.Harness.Campaign.context
+      ~cells:(List.map (fun (i, row) -> (i, Util.Hex.of_string row)) rows)
+      ~name:c.Harness.Campaign.name ~wall_s:wall
+      (Telemetry.Registry.snapshot ())
+  | None ->
+    let t0 = Unix.gettimeofday () in
+    let m = Harness.Campaign.run ~jobs ~shards:!shards c in
+    let wall = Unix.gettimeofday () -. t0 in
+    record ~context:c.Harness.Campaign.context ~name:c.Harness.Campaign.name
+      ~wall_s:wall m;
+    if !mem_stats_enabled then print_mem_stats c.Harness.Campaign.name m
+
+(* `validate FILE...`: re-read telemetry JSON through the Benchfile
    reader (campaign record first, bare metrics snapshot second) so CI
-   catches writer/reader drift. *)
+   catches writer/reader drift. Accepts schema 2 and 3. *)
 let run_validate files =
   List.iter
     (fun file ->
@@ -110,151 +138,107 @@ let run_validate files =
           exit 1))
     files
 
-let run_fig5 ~jobs () =
-  section "Figure 5 - runtime overhead vs native (28-program SPEC-like suite)";
-  let r = Harness.Fig5.run ~jobs () in
-  Util.Table.print (Harness.Fig5.to_table r);
-  print_newline ();
-  print_string (Harness.Fig5.to_chart r);
-  Printf.printf
-    "Paper: compiler-based 0.24%% avg, instrumentation-based 1.01%% avg.\n\
-     Measured: compiler %.2f%%, instrumentation %.2f%%.\n"
-    r.Harness.Fig5.compiler_avg r.Harness.Fig5.instr_avg
+(* ---- merge: combine --shard output files ---------------------------------- *)
 
-let run_table1 ~jobs () =
-  section "Table I - brute-force defence comparison (all cells measured)";
-  Util.Table.print (Harness.Table1.to_table (Harness.Table1.run ~jobs ()));
-  print_string
-    "Paper: SSP no-BROP-prevention; RAF incorrect; DynaGuard 1.5%/156%;\n\
-     DCR NA/>24%; P-SSP prevents BROP, correct, lightest overheads.\n"
+let die fmt =
+  Printf.ksprintf
+    (fun msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1)
+    fmt
 
-let run_table2 ~jobs () =
-  section "Table II - code expansion";
-  let r = Harness.Table2.run ~jobs () in
-  Util.Table.print (Harness.Table2.to_table r);
-  print_string
-    "Paper: 0.27% compiler / 0 dynamic / 2.78% static (on multi-MB glibc\n\
-     binaries; our binaries are a few KB, so fixed-size additions weigh\n\
-     proportionally more - the ordering and the exact 0 are the result).\n"
-
-let run_table3 () =
-  section "Table III - web server response time (ms per request)";
-  Util.Table.print (Harness.Table34.to_table3 (Harness.Table34.run_web ()));
-  print_string "Paper: Apache2 33.006/33.008/33.099; Nginx 3.088/3.090/3.088.\n"
-
-let run_table4 () =
-  section "Table IV - database server query time and memory";
-  Util.Table.print (Harness.Table34.to_table4 (Harness.Table34.run_db ()));
-  print_string
-    "Paper: MySQL 3.33 ms & 22.59 MB in all three columns; SQLite\n\
-     167.27/167.27/167 ms. The invariance across columns is the result.\n";
-  Util.Table.print (Harness.Table34.latency_table (Harness.Table34.run_latency ()))
-
-let run_table5 ~jobs () =
-  section "Table V - prologue+epilogue canary cycles";
-  Util.Table.print (Harness.Table5.to_table (Harness.Table5.run ~jobs ()));
-  print_string "Paper: P-SSP 6; P-SSP-NT 343; P-SSP-LV 343 / 986; P-SSP-OWF 278.\n"
-
-let run_effectiveness ~jobs () =
-  section "Effectiveness (SVI-C) - byte-by-byte attacks on forking servers";
-  Util.Table.print
-    (Harness.Effectiveness.to_table
-       (Harness.Effectiveness.run ~jobs ?budget:!effectiveness_budget ()));
-  print_string
-    "Paper: the attack succeeds on SSP-compiled Nginx/Ali and fails on the\n\
-     P-SSP-compiled versions.\n"
-
-let run_compat () =
-  section "Compatibility (SVI-C) - P-SSP and SSP in one control flow";
-  Util.Table.print (Harness.Compat.to_table (Harness.Compat.run ()))
-
-let run_theorem1 () =
-  section "Theorem 1 - exposed shadow halves carry no information about C";
-  Util.Table.print (Harness.Theorem1.to_table (Harness.Theorem1.run ()));
-  Util.Table.print (Harness.Theorem1.machine_table (Harness.Theorem1.run_machine ()))
-
-let run_exposure () =
-  section "Exposure resilience (SIV-C) - leak one frame, forge another";
-  Util.Table.print (Harness.Exposure.to_table (Harness.Exposure.run ()))
-
-let run_ablation () =
-  section "Ablations - nonce, canary width, global-buffer variant";
-  Util.Table.print (Harness.Ablation.nonce_table (Harness.Ablation.run_nonce ()));
-  Util.Table.print (Harness.Ablation.width_table (Harness.Ablation.run_width ()));
-  Util.Table.print
-    (Harness.Ablation.buffer_table (Harness.Ablation.run_global_buffer ()));
-  Util.Table.print
-    (Harness.Ablation.gb_compiled_table (Harness.Ablation.run_global_buffer_compiled ()))
-
-(* ---- loadbench: concurrent traffic against the server profiles ----------- *)
-
-let loadgen_mode_name = function
-  | Net.Loadgen.Closed -> "closed"
-  | Net.Loadgen.Open { interarrival } ->
-    Printf.sprintf "open/%Ld" interarrival
-
-let run_loadbench ~jobs () =
-  section "Loadbench - concurrent keep-alive traffic (lib/net scheduler)";
-  let total = Option.value !effectiveness_budget ~default:512 in
-  let connections = !load_connections in
-  let keepalive = !load_keepalive in
-  let mode = !load_mode in
-  Printf.printf
-    "mode=%s connections=%d keepalive=%d requests-per-cell=%d\n"
-    (loadgen_mode_name mode) connections keepalive total;
-  let cells =
-    List.concat_map
-      (fun base ->
-        List.concat_map
-          (fun arch ->
-            let profile = arch_profile arch base in
-            [ (profile, Harness.Runner.Native);
-              (profile, Harness.Runner.Compiler Pssp.Scheme.Pssp) ])
-          !load_archs)
-      [ Workload.Servers.apache2; Workload.Servers.nginx ]
+(* Read the shard files, check that they tile a single run (same shard
+   count, every shard index present exactly once, campaign lists and
+   contexts agree), then render each campaign's body from the union of
+   rows and write the merged record. Output is byte-identical to
+   running the same experiments unsharded. *)
+let run_merge ~config files =
+  if files = [] then die "merge: no shard files given";
+  let records =
+    List.map
+      (fun file ->
+        match Util.Benchfile.read file with
+        | Ok t -> (file, t)
+        | Error msg -> die "merge: %s: %s" file msg)
+      files
   in
-  let results =
-    Harness.Pool.map ~jobs
-      (fun (profile, deployment) ->
-        ( profile,
-          deployment,
-          Harness.Runner.run_load deployment profile ~mode ~connections
-            ~keepalive ~total ~slow_every:17 ~abort_every:97 ))
-      cells
+  let first_file, first = List.hd records in
+  let n = first.Util.Benchfile.shards in
+  let campaign_names (t : Util.Benchfile.t) =
+    List.map
+      (fun (c : Util.Benchfile.campaign) -> c.Util.Benchfile.name)
+      t.Util.Benchfile.campaigns
   in
+  let seen = Hashtbl.create 8 in
   List.iter
-    (fun ((profile : Workload.Servers.profile), deployment, r) ->
-      Printf.printf
-        "LOADBENCH %s/%s: sent=%d ok=%d failed=%d aborted=%d refused=%d \
-         peak_open=%d forks=%d lat_p50=%.0f lat_p99=%.0f lat_p999=%.0f \
-         cycles=%Ld rps=%.1f sat_rps=%.1f alive=%s\n"
-        profile.Workload.Servers.profile_name
-        (Harness.Runner.deployment_name deployment)
-        r.Harness.Runner.sent r.Harness.Runner.completed
-        r.Harness.Runner.load_failed r.Harness.Runner.aborted
-        r.Harness.Runner.refused r.Harness.Runner.peak_open
-        r.Harness.Runner.load_forks r.Harness.Runner.p50_latency_cycles
-        r.Harness.Runner.p99_latency_cycles
-        r.Harness.Runner.p999_latency_cycles r.Harness.Runner.virtual_cycles
-        r.Harness.Runner.throughput_rps r.Harness.Runner.saturation_rps
-        (if r.Harness.Runner.server_alive then "yes" else "no"))
-    results
-
-let experiments =
-  [
-    ("fig5", run_fig5);
-    ("table1", run_table1);
-    ("table2", run_table2);
-    ("table3", fun ~jobs:_ () -> run_table3 ());
-    ("table4", fun ~jobs:_ () -> run_table4 ());
-    ("table5", run_table5);
-    ("effectiveness", run_effectiveness);
-    ("loadbench", run_loadbench);
-    ("compat", fun ~jobs:_ () -> run_compat ());
-    ("theorem1", fun ~jobs:_ () -> run_theorem1 ());
-    ("exposure", fun ~jobs:_ () -> run_exposure ());
-    ("ablation", fun ~jobs:_ () -> run_ablation ());
-  ]
+    (fun (file, (t : Util.Benchfile.t)) ->
+      if t.Util.Benchfile.shards <> n then
+        die "merge: %s has %d shard(s), expected %d" file
+          t.Util.Benchfile.shards n;
+      (match t.Util.Benchfile.shard with
+      | None -> die "merge: %s is not a shard file (no \"shard\" index)" file
+      | Some k ->
+        if Hashtbl.mem seen k then
+          die "merge: duplicate shard %d/%d (%s)" k n file;
+        Hashtbl.add seen k ());
+      if campaign_names t <> campaign_names first then
+        die "merge: %s lists different campaigns than %s" file first_file)
+    records;
+  if Hashtbl.length seen <> n then
+    die "merge: have %d of %d shard file(s)" (Hashtbl.length seen) n;
+  let merged =
+    List.mapi
+      (fun idx (c : Util.Benchfile.campaign) ->
+        let name = c.Util.Benchfile.name in
+        let parts =
+          List.map
+            (fun (file, (t : Util.Benchfile.t)) ->
+              let part = List.nth t.Util.Benchfile.campaigns idx in
+              if
+                not
+                  (String.equal part.Util.Benchfile.context
+                     c.Util.Benchfile.context)
+              then
+                die
+                  "merge: %s: campaign %s ran under a different configuration\n\
+                  \  %s\n\
+                  \  vs %s"
+                  file name part.Util.Benchfile.context c.Util.Benchfile.context;
+              part)
+            records
+        in
+        let rows =
+          List.concat_map
+            (fun (p : Util.Benchfile.campaign) ->
+              List.map
+                (fun (i, hex) -> (i, Bytes.to_string (Util.Hex.to_bytes hex)))
+                p.Util.Benchfile.cells)
+            parts
+        in
+        (match Harness.Campaigns.find config name with
+        | Some campaign ->
+          Harness.Campaign.render ~context:c.Util.Benchfile.context campaign rows
+        | None -> die "merge: unknown campaign %s" name);
+        let metrics =
+          Telemetry.Registry.merge
+            (List.map
+               (fun (p : Util.Benchfile.campaign) -> p.Util.Benchfile.metrics)
+               parts)
+        in
+        if !mem_stats_enabled then print_mem_stats name metrics;
+        Util.Benchfile.campaign ~context:c.Util.Benchfile.context ~name
+          ~wall_s:
+            (List.fold_left
+               (fun acc (p : Util.Benchfile.campaign) ->
+                 acc +. p.Util.Benchfile.wall_s)
+               0.0 parts)
+          metrics)
+      first.Util.Benchfile.campaigns
+  in
+  Util.Benchfile.write !bench_out
+    (Util.Benchfile.make ~shards:n ~merged_from:files
+       ~pr:first.Util.Benchfile.pr ~jobs:first.Util.Benchfile.jobs
+       ~compile_tier:first.Util.Benchfile.compile_tier merged)
 
 (* ---- Bechamel micro-suite: one Test.make per table ----------------------- *)
 
@@ -297,11 +281,14 @@ let micro_tests () =
     in
     let kernel = Os.Kernel.create () in
     let server = Os.Kernel.spawn kernel ~preload:Os.Preload.Pssp_wide image in
-    ignore (Os.Kernel.run kernel server);
+    Os.Kernel.enqueue kernel server;
+    Os.Kernel.schedule kernel;
     Test.make ~name:"table3/4: one served request (Nginx profile)"
       (Staged.stage (fun () ->
-           ignore
-             (Os.Kernel.resume_with_request kernel server (Bytes.of_string "GET /"))))
+           Os.Kernel.deliver_request kernel server (Bytes.of_string "GET /");
+           Os.Kernel.schedule kernel;
+           Os.Kernel.reap_zombies kernel server;
+           ignore (Os.Kernel.stop_of server)))
   in
   let prologue =
     Test.make ~name:"table5: 3k guarded calls (P-SSP-NT)"
@@ -368,14 +355,10 @@ let run_tierbench () =
     Vm64.Compile.set_tier tier;
     Telemetry.Registry.reset_all ();
     let dt = best_of_3 f in
-    let m = Telemetry.Registry.snapshot () in
-    campaign_records :=
-      {
-        Util.Benchfile.name = Printf.sprintf "tierbench/%s@tier%d" workload tier;
-        wall_s = dt;
-        metrics = m;
-      }
-      :: !campaign_records;
+    record
+      ~name:(Printf.sprintf "tierbench/%s@tier%d" workload tier)
+      ~wall_s:dt
+      (Telemetry.Registry.snapshot ());
     Vm64.Compile.set_tier 3;
     dt
   in
@@ -430,6 +413,69 @@ let run_tierbench () =
     exit 1
   end
 
+(* ---- zygote A/B: cold-boot vs snapshot-resume victim respawn ------------- *)
+
+let run_zygotebench ~jobs () =
+  section "Zygote A/B - cold-boot vs snapshot-resume victim respawn";
+  let image =
+    Mcc.Driver.compile ~scheme:Pssp.Scheme.Pssp
+      (Minic.Parser.parse (Workload.Vuln.fork_server ~buffer_size:16))
+  in
+  (* gate (PR 9): thawing the warm snapshot beats re-running boot in an
+     empty translation cache. The respawn loop is the unit an attack's
+     restarts pay for; amplifying it isolates the cost from attack
+     noise. *)
+  let respawns = 500 in
+  let time_respawns mode name =
+    Telemetry.Registry.reset_all ();
+    let oracle =
+      Attack.Oracle.create ~preload:Os.Preload.Pssp_wide ~respawn:mode image
+    in
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to respawns do
+      ignore (Attack.Oracle.restart_victim oracle)
+    done;
+    let dt = Unix.gettimeofday () -. t0 in
+    record
+      ~name:(Printf.sprintf "zygotebench/respawn@%s" name)
+      ~wall_s:dt
+      (Telemetry.Registry.snapshot ());
+    dt
+  in
+  let cold_s = time_respawns Attack.Oracle.Cold "cold" in
+  let zygote_s = time_respawns Attack.Oracle.Zygote "zygote" in
+  Printf.printf
+    "ZYGOTEBENCH respawns=%d cold_s=%.3f zygote_s=%.3f speedup=%.2fx\n" respawns
+    cold_s zygote_s (cold_s /. zygote_s);
+  if zygote_s >= cold_s then begin
+    Printf.eprintf
+      "zygotebench: zygote resume (%.3fs) is not faster than cold boot \
+       (%.3fs)\n"
+      zygote_s cold_s;
+    exit 1
+  end;
+  (* the full effectiveness campaign under both respawn modes (same
+     attack, bit-identical victims — only the restart path differs),
+     recorded in the perf trajectory file *)
+  let budget = Option.value !effectiveness_budget ~default:20_000 in
+  let time_eff mode name =
+    Telemetry.Registry.reset_all ();
+    let t0 = Unix.gettimeofday () in
+    ignore (Harness.Effectiveness.run ~jobs ~budget ~respawn:mode ());
+    let dt = Unix.gettimeofday () -. t0 in
+    record
+      ~name:(Printf.sprintf "zygotebench/effectiveness@%s" name)
+      ~wall_s:dt
+      (Telemetry.Registry.snapshot ());
+    dt
+  in
+  let eff_cold_s = time_eff Attack.Oracle.Cold "cold" in
+  let eff_zygote_s = time_eff Attack.Oracle.Zygote "zygote" in
+  Printf.printf
+    "ZYGOTEBENCH2 experiment=effectiveness budget=%d jobs=%d cold_s=%.3f \
+     zygote_s=%.3f speedup=%.2fx\n"
+    budget jobs eff_cold_s eff_zygote_s (eff_cold_s /. eff_zygote_s)
+
 let () =
   let jobs = ref 1 in
   let telem = Harness.Cli.telemetry_opts () in
@@ -445,6 +491,42 @@ let () =
           "trial budget per effectiveness cell (default 20000) /\n\
            requests per loadbench cell (default 512)"
         (fun b -> effectiveness_budget := Some b);
+      Harness.Cli.pos_int ~name:"--shards" ~docv:"N"
+        ~doc:
+          "run each campaign as N in-process shard passes and merge\n\
+           (default 1). Output is byte-identical for any N."
+        (fun n -> shards := n);
+      Harness.Cli.value ~name:"--shard" ~docv:"K/N"
+        ~doc:
+          "compute only shard K of N (0-based) and record its rows in\n\
+           the --bench-out file for a later `merge`; prints nothing"
+        (fun s ->
+          match Scanf.sscanf_opt s "%d/%d%!" (fun k n -> (k, n)) with
+          | Some (k, n) when n >= 1 && k >= 0 && k < n ->
+            shard_spec := Some (k, n);
+            Ok ()
+          | _ ->
+            Error
+              (Harness.Cli.expects ~name:"--shard" ~what:"K/N with 0 <= K < N" s));
+      Harness.Cli.value ~name:"--zygote" ~docv:"off|on|cold"
+        ~doc:
+          "effectiveness victim respawn at each attack restart: off\n\
+           (default) keeps the long-lived parent, on thaws the zygote\n\
+           snapshot captured at boot, cold boots afresh (on and cold are\n\
+           observationally identical; only the restart cost differs)"
+        (fun s ->
+          match s with
+          | "off" ->
+            respawn := Attack.Oracle.No_respawn;
+            Ok ()
+          | "on" ->
+            respawn := Attack.Oracle.Zygote;
+            Ok ()
+          | "cold" ->
+            respawn := Attack.Oracle.Cold;
+            Ok ()
+          | _ ->
+            Error (Harness.Cli.expects ~name:"--zygote" ~what:"off, on or cold" s));
       Harness.Cli.pos_int ~name:"--connections" ~docv:"N"
         ~doc:"loadbench: concurrent client population (default 64)"
         (fun n -> load_connections := n);
@@ -472,16 +554,21 @@ let () =
         (fun s ->
           match s with
           | "fork" ->
-            load_archs := [ Arch_fork ];
+            load_archs := [ Harness.Loadbench.Fork ];
             Ok ()
           | "event" ->
-            load_archs := [ Arch_event ];
+            load_archs := [ Harness.Loadbench.Event ];
             Ok ()
           | "reuseport" ->
-            load_archs := [ Arch_reuseport ];
+            load_archs := [ Harness.Loadbench.Reuseport ];
             Ok ()
           | "all" ->
-            load_archs := [ Arch_fork; Arch_event; Arch_reuseport ];
+            load_archs :=
+              [
+                Harness.Loadbench.Fork;
+                Harness.Loadbench.Event;
+                Harness.Loadbench.Reuseport;
+              ];
             Ok ()
           | _ ->
             Error
@@ -502,38 +589,63 @@ let () =
            every tier."
         Vm64.Compile.set_tier;
       Harness.Cli.string_value ~name:"--bench-out" ~docv:"FILE"
-        ~doc:"where to write the perf trajectory record (default BENCH_pr8.json)"
+        ~doc:"where to write the perf trajectory record (default BENCH_pr9.json)"
         (fun f -> bench_out := f);
     ]
     @ Harness.Cli.telemetry_specs telem
   in
   let args =
     Harness.Cli.parse_or_exit ~prog:"bench/main.exe"
-      ~positional:"[micro | tierbench | validate FILE... | <experiment>...]"
+      ~positional:
+        "[micro | tierbench | zygotebench | validate FILE... | merge FILE... \
+         | <experiment>...]"
       specs
       (List.tl (Array.to_list Sys.argv))
   in
+  if !shard_spec <> None && !shards <> 1 then begin
+    Printf.eprintf "--shard and --shards are mutually exclusive\n";
+    exit 1
+  end;
   let jobs = if !jobs = 0 then Harness.Pool.default_jobs () else !jobs in
-  let run_named name f = with_telemetry name (fun () -> f ~jobs ()) in
+  let config =
+    {
+      Harness.Campaigns.budget = !effectiveness_budget;
+      connections = !load_connections;
+      keepalive = !load_keepalive;
+      load_mode = !load_mode;
+      load_archs = !load_archs;
+      respawn = !respawn;
+    }
+  in
   Harness.Cli.telemetry_start telem;
   (match args with
   | [ "micro" ] -> run_micro ()
   | [ "tierbench" ] -> run_tierbench ()
+  | [ "zygotebench" ] -> run_zygotebench ~jobs ()
   | "validate" :: files -> run_validate files
+  | "merge" :: files -> run_merge ~config files
   | [] ->
-    print_string
-      "P-SSP reproduction: regenerating every table and figure of the paper\n";
-    List.iter (fun (name, f) -> run_named name f) experiments
+    if !shard_spec = None then
+      print_string
+        "P-SSP reproduction: regenerating every table and figure of the paper\n";
+    List.iter (run_campaign ~jobs) (Harness.Campaigns.all config)
   | names ->
+    let campaigns = Harness.Campaigns.all config in
     List.iter
       (fun name ->
-        match List.assoc_opt name experiments with
-        | Some f -> run_named name f
+        match
+          List.find_opt
+            (fun (c : Harness.Campaign.t) ->
+              String.equal c.Harness.Campaign.name name)
+            campaigns
+        with
+        | Some c -> run_campaign ~jobs c
         | None ->
           Printf.eprintf "unknown experiment %s (have: %s, micro, tierbench)\n"
             name
-            (String.concat " " (List.map fst experiments));
+            (String.concat " " (Harness.Campaigns.names config));
           exit 1)
       names);
-  write_bench_json ~jobs;
+  (* merge writes its own combined record *)
+  (match args with "merge" :: _ -> () | _ -> write_bench_json ~jobs);
   Harness.Cli.telemetry_finish telem

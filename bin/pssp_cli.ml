@@ -143,7 +143,11 @@ let exec_cmd =
         let proc =
           Os.Kernel.spawn kernel ~input:(Bytes.of_string input) ~preload image
         in
-        let stop = Os.Kernel.run kernel proc in
+        let stop =
+          Os.Kernel.enqueue kernel proc;
+          Os.Kernel.schedule kernel;
+          Os.Kernel.stop_of proc
+        in
         print_string (Os.Process.stdout proc);
         prerr_string (Os.Process.stderr proc);
         Printf.printf "[%s: %s]\n" image.Os.Image.name
@@ -172,7 +176,11 @@ let run_cmd =
             ~input:(Bytes.of_string input)
             ~preload:(Mcc.Driver.preload_for scheme) image
         in
-        let stop = Os.Kernel.run kernel proc in
+        let stop =
+          Os.Kernel.enqueue kernel proc;
+          Os.Kernel.schedule kernel;
+          Os.Kernel.stop_of proc
+        in
         print_string (Os.Process.stdout proc);
         prerr_string (Os.Process.stderr proc);
         Printf.printf "[%s under %s: %s, %Ld cycles]\n" (Filename.basename path)
@@ -215,7 +223,11 @@ let rewrite_cmd =
               ~preload:(Rewriter.Driver.required_preload patched)
               patched
           in
-          let stop = Os.Kernel.run kernel proc in
+          let stop =
+          Os.Kernel.enqueue kernel proc;
+          Os.Kernel.schedule kernel;
+          Os.Kernel.stop_of proc
+        in
           print_string (Os.Process.stdout proc);
           Printf.printf "[instrumented: %s]\n" (Os.Kernel.stop_to_string stop)
         end
@@ -243,7 +255,11 @@ let trace_cmd =
           Os.Kernel.spawn kernel ~input:(Bytes.of_string input)
             ~preload:(Mcc.Driver.preload_for scheme) image
         in
-        let stop = Os.Kernel.run kernel proc in
+        let stop =
+          Os.Kernel.enqueue kernel proc;
+          Os.Kernel.schedule kernel;
+          Os.Kernel.stop_of proc
+        in
         Printf.printf "stopped: %s (%d instructions retired)\n"
           (Os.Kernel.stop_to_string stop)
           (Os.Debug.retired tracer);
@@ -305,7 +321,11 @@ let fuzz_cmd =
         let proc =
           Os.Kernel.spawn kernel ~preload:(Mcc.Driver.preload_for scheme) image
         in
-        let stop = Os.Kernel.run ~fuel:20_000_000 kernel proc in
+        let stop =
+          Os.Kernel.enqueue kernel proc;
+          Os.Kernel.schedule ~fuel:20_000_000 kernel;
+          Os.Kernel.stop_of proc
+        in
         (stop, Os.Process.stdout proc)
       in
       let reference = run Pssp.Scheme.None_ in

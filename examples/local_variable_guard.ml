@@ -24,7 +24,11 @@ let () =
       Os.Kernel.spawn kernel ~input:payload
         ~preload:(Mcc.Driver.preload_for scheme) image
     in
-    let stop = Os.Kernel.run kernel proc in
+    let stop =
+          Os.Kernel.enqueue kernel proc;
+          Os.Kernel.schedule kernel;
+          Os.Kernel.stop_of proc
+        in
     Printf.printf "  %-10s -> %-45s stdout: %s\n" (Pssp.Scheme.name scheme)
       (Os.Kernel.stop_to_string stop)
       (String.trim (Os.Process.stdout proc))

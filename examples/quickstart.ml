@@ -29,7 +29,11 @@ let run_under scheme ~input =
     Os.Kernel.spawn kernel ~input ~preload:(Mcc.Driver.preload_for scheme) image
   in
   (* 3. run to completion *)
-  let stop = Os.Kernel.run kernel proc in
+  let stop =
+          Os.Kernel.enqueue kernel proc;
+          Os.Kernel.schedule kernel;
+          Os.Kernel.stop_of proc
+        in
   Printf.printf "  %-10s %-12s -> %s\n" (Pssp.Scheme.name scheme)
     (Printf.sprintf "(%dB input)" (Bytes.length input))
     (Os.Kernel.stop_to_string stop)

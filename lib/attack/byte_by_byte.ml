@@ -30,7 +30,11 @@ let run ?(verify = Hijack) oracle ~layout ~max_trials =
     Telemetry.Registry.incr g_restarts;
     if Telemetry.Trace.enabled () then
       Telemetry.Trace.instant "attack.restart"
-        ~args:[ ("run_restarts", string_of_int !restarts) ]
+        ~args:[ ("run_restarts", string_of_int !restarts) ];
+    (* under a Cold/Zygote oracle the restart also replaces the victim
+       (fresh worker pool / respawned service); a No_respawn oracle
+       keeps the same parent, as the historical attack did *)
+    ignore (Oracle.restart_victim oracle)
   in
   let deepest = ref 0 in
   let budget_left () = max_trials - Oracle.queries oracle in

@@ -1,32 +1,95 @@
 type transport = Magic | Net_conn
 
+(* What happens to the victim when the attack declares a restart (a
+   full byte-sweep failed — the canary moved under the attacker) or
+   loses the server: keep hammering the same long-lived parent (the
+   historical oracle), cold-boot a fresh kernel + spawn + warmup, or
+   thaw a warm zygote snapshot captured at the first accept. Cold and
+   Zygote are observationally identical — the snapshot round-trip is
+   bit-exact — so they bench the same attack while isolating the
+   restart cost the prefork pattern amortizes. *)
+type respawn = No_respawn | Cold | Zygote
+
 type t = {
-  kernel : Os.Kernel.t;
-  server : Os.Process.t;
+  mutable kernel : Os.Kernel.t;
+  mutable server : Os.Process.t;
   transport : transport;
   mutable queries : int;
   mutable alive : bool;
+  (* the respawn recipe *)
+  seed : int64;
+  preload : Os.Preload.mode;
+  insn_tax : int;
+  image : Os.Image.t;
+  respawn : respawn;
+  snapshot : Os.Snapshot.t option;  (* [Some] iff [Zygote] *)
+  mutable respawns : int;
 }
 
-let create ?(seed = 0xA77ACCL) ?(preload = Os.Preload.No_preload)
-    ?(insn_tax = 0) image =
+let g_respawns = Telemetry.Registry.counter "attack.victim_respawns"
+
+(* Cold boot: fresh kernel, spawn, run to the first accept. *)
+let boot ~seed ~preload ~insn_tax image =
   let kernel = Os.Kernel.create ~seed () in
   let server = Os.Kernel.spawn kernel ~preload ~insn_tax image in
-  match Os.Kernel.run kernel server with
-  | Os.Kernel.Stop_accept ->
-    (* A server that bound a listening socket on its way to accept is
-       probed over real connections; the legacy victims keep the magic
-       request channel. *)
-    let transport =
-      match Os.Glibc.listener_of server.Os.Process.io with
-      | Some _ -> Net_conn
-      | None -> Magic
-    in
-    { kernel; server; transport; queries = 0; alive = true }
+  Os.Kernel.enqueue kernel server;
+  Os.Kernel.schedule kernel;
+  match Os.Kernel.stop_of server with
+  | Os.Kernel.Stop_accept -> (kernel, server)
   | other ->
     failwith
       ("Oracle.create: server did not reach accept: "
       ^ Os.Kernel.stop_to_string other)
+
+let create ?(seed = 0xA77ACCL) ?(preload = Os.Preload.No_preload)
+    ?(insn_tax = 0) ?(respawn = No_respawn) image =
+  let kernel, server = boot ~seed ~preload ~insn_tax image in
+  (* A server that bound a listening socket on its way to accept is
+     probed over real connections; the legacy victims keep the magic
+     request channel. *)
+  let transport =
+    match Os.Glibc.listener_of server.Os.Process.io with
+    | Some _ -> Net_conn
+    | None -> Magic
+  in
+  let snapshot =
+    match respawn with
+    | Zygote -> Some (Os.Snapshot.capture kernel server)
+    | No_respawn | Cold -> None
+  in
+  {
+    kernel;
+    server;
+    transport;
+    queries = 0;
+    alive = true;
+    seed;
+    preload;
+    insn_tax;
+    image;
+    respawn;
+    snapshot;
+    respawns = 0;
+  }
+
+let restart_victim t =
+  match t.respawn with
+  | No_respawn -> false
+  | Cold | Zygote ->
+    let kernel, server =
+      match t.snapshot with
+      | None -> boot ~seed:t.seed ~preload:t.preload ~insn_tax:t.insn_tax t.image
+      | Some snap ->
+        let kernel = Os.Kernel.create ~seed:t.seed () in
+        let server = Os.Snapshot.resume kernel snap in
+        (kernel, server)
+    in
+    t.kernel <- kernel;
+    t.server <- server;
+    t.alive <- true;
+    t.respawns <- t.respawns + 1;
+    Telemetry.Registry.incr g_respawns;
+    true
 
 type response =
   | Survived of string
@@ -65,7 +128,8 @@ let query_net t payload =
     let now = Os.Kernel.now t.kernel in
     ignore (Net.Conn.client_send conn ~now (Bytes.to_string payload));
     Net.Conn.client_shutdown conn ~now;
-    match Os.Kernel.run t.kernel t.server with
+    Os.Kernel.schedule t.kernel;
+    match Os.Kernel.stop_of t.server with
     | Os.Kernel.Stop_accept ->
       Os.Kernel.reap_zombies t.kernel t.server;
       child_fate t ~drain:(fun _ -> drain_conn conn)
@@ -74,7 +138,10 @@ let query_net t payload =
       Server_down (Os.Kernel.stop_to_string other))
 
 let query_magic t payload =
-  match Os.Kernel.resume_with_request t.kernel t.server payload with
+  Os.Kernel.deliver_request t.kernel t.server payload;
+  Os.Kernel.schedule t.kernel;
+  Os.Kernel.reap_zombies t.kernel t.server;
+  match Os.Kernel.stop_of t.server with
   | Os.Kernel.Stop_accept -> child_fate t ~drain:Os.Process.stdout
   | other ->
     t.alive <- false;
@@ -92,3 +159,4 @@ let query t payload =
 let transport t = t.transport
 let queries t = t.queries
 let server_alive t = t.alive
+let respawns t = t.respawns

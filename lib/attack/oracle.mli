@@ -17,14 +17,36 @@ type transport =
           socket layer — chosen automatically when the server binds a
           listening socket (e.g. {!Workload.Vuln.fork_server_net}) *)
 
+(** Victim lifecycle across attack restarts (a restart = a full
+    byte-sweep failed, or the parent died). [No_respawn] keeps
+    hammering the same long-lived parent — the historical oracle.
+    [Cold] boots a fresh kernel + spawn + warmup each restart; [Zygote]
+    thaws a warm {!Os.Snapshot} captured at the first accept. Cold and
+    Zygote are observationally identical (the snapshot round-trip is
+    bit-exact), isolating exactly the restart cost the prefork/zygote
+    pattern amortizes. *)
+type respawn = No_respawn | Cold | Zygote
+
 val create :
   ?seed:int64 ->
   ?preload:Os.Preload.mode ->
   ?insn_tax:int ->
+  ?respawn:respawn ->
   Os.Image.t ->
   t
-(** Spawn the server and run it to its first [accept].
-    Raises [Failure] if the image never reaches [accept]. *)
+(** Spawn the server and run it to its first [accept] (capturing the
+    zygote snapshot there when [respawn] is [Zygote]; default
+    [No_respawn]). Raises [Failure] if the image never reaches
+    [accept]. *)
+
+val restart_victim : t -> bool
+(** Replace the victim per the [respawn] policy; [false] (and no-op)
+    under [No_respawn]. The replacement is booted to its first
+    [accept] and the oracle is alive again; the query/trial counter
+    keeps counting. Counts under ["attack.victim_respawns"]. *)
+
+val respawns : t -> int
+(** Victim replacements served by {!restart_victim} so far. *)
 
 val transport : t -> transport
 

@@ -4,27 +4,28 @@ type nonce_row = { nonce_scheme : Pssp.Scheme.t; broken : bool; trials : int }
 
 (* OWF canaries are return-address-bound, so the campaign verifies with
    a stealth (rbp-only) corruption instead of a ret hijack. *)
-let run_nonce ?(budget = 30_000) () =
+let nonce_schemes = [ Pssp.Scheme.Pssp_owf; Pssp.Scheme.Pssp_owf_weak ]
+
+let nonce_cell ~budget scheme =
   let buffer_size = 16 in
   let program = Minic.Parser.parse (Workload.Vuln.fork_server ~buffer_size) in
-  List.map
-    (fun scheme ->
-      let image = Mcc.Driver.compile ~scheme program in
-      let oracle =
-        Attack.Oracle.create ~preload:(Mcc.Driver.preload_for scheme) image
-      in
-      let layout = Layouts.compiler_layout scheme ~buffer_size in
-      let broken, trials =
-        match
-          Attack.Byte_by_byte.run ~verify:Attack.Byte_by_byte.Stealth oracle
-            ~layout ~max_trials:budget
-        with
-        | Attack.Byte_by_byte.Broken { trials; _ } -> (true, trials)
-        | Attack.Byte_by_byte.Exhausted { trials; _ }
-        | Attack.Byte_by_byte.Oracle_lost { trials; _ } -> (false, trials)
-      in
-      { nonce_scheme = scheme; broken; trials })
-    [ Pssp.Scheme.Pssp_owf; Pssp.Scheme.Pssp_owf_weak ]
+  let image = Mcc.Driver.compile ~scheme program in
+  let oracle =
+    Attack.Oracle.create ~preload:(Mcc.Driver.preload_for scheme) image
+  in
+  let layout = Layouts.compiler_layout scheme ~buffer_size in
+  let broken, trials =
+    match
+      Attack.Byte_by_byte.run ~verify:Attack.Byte_by_byte.Stealth oracle
+        ~layout ~max_trials:budget
+    with
+    | Attack.Byte_by_byte.Broken { trials; _ } -> (true, trials)
+    | Attack.Byte_by_byte.Exhausted { trials; _ }
+    | Attack.Byte_by_byte.Oracle_lost { trials; _ } -> (false, trials)
+  in
+  { nonce_scheme = scheme; broken; trials }
+
+let run_nonce ?(budget = 30_000) () = List.map (nonce_cell ~budget) nonce_schemes
 
 let nonce_table rows =
   let t =
@@ -241,3 +242,36 @@ let gb_compiled_table r =
       Util.Table.cell_float ~digits:1 r.gb_cycles_per_call ^ " (rdrand-bound, ~P-SSP-NT)";
     ];
   t
+
+(* ---- the campaign ------------------------------------------------------- *)
+
+(* Five cells: one per nonce scheme, then the width, model-level
+   global-buffer, and compiled global-buffer sub-runs. The latter three
+   stay single cells because each threads one PRNG through its whole
+   sweep — splitting them would change the draw sequence. *)
+type cell =
+  | Nonce of nonce_row
+  | Width of width_row list
+  | Buffer of buffer_row list
+  | Gb of gb_compiled
+
+let campaign () =
+  Campaign.v ~name:"ablation"
+    ~title:"Ablations - nonce, canary width, global-buffer variant"
+    ~cells:5
+    ~run_cell:(fun i ->
+      Campaign.pack
+        (match i with
+        | 0 | 1 -> Nonce (nonce_cell ~budget:30_000 (List.nth nonce_schemes i))
+        | 2 -> Width (run_width ())
+        | 3 -> Buffer (run_global_buffer ())
+        | _ -> Gb (run_global_buffer_compiled ())))
+    ~merge:(fun rows ->
+      match List.map (fun r -> (Campaign.unpack r : cell)) rows with
+      | [ Nonce n0; Nonce n1; Width w; Buffer b; Gb gb ] ->
+        Util.Table.print (nonce_table [ n0; n1 ]);
+        Util.Table.print (width_table w);
+        Util.Table.print (buffer_table b);
+        Util.Table.print (gb_compiled_table gb)
+      | _ -> failwith "Ablation.campaign: unexpected cell shape")
+    ()

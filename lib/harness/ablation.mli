@@ -58,3 +58,8 @@ val run_global_buffer_compiled : ?budget:int -> unit -> gb_compiled
     layout claim, and measure its per-call cost. *)
 
 val gb_compiled_table : gb_compiled -> Util.Table.t
+
+val campaign : unit -> Campaign.t
+(** Five cells: the two nonce schemes, then the width, model-level
+    global-buffer, and compiled global-buffer sub-runs (each of which
+    threads one PRNG through its sweep, so each stays a single cell). *)

@@ -1,0 +1,79 @@
+(* First-class campaign descriptor: every experiment the bench driver
+   can run is a fixed number of deterministic, self-contained cells
+   plus a merge step that renders the historical stdout body from the
+   cells' marshalled rows.
+
+   The two invariants the whole shard design rests on:
+   - cells are self-contained (each builds its own kernel/rng from
+     fixed seeds — the {!Pool} contract), so a cell's row does not
+     depend on which shard or domain computed it;
+   - rendering happens only in [merge], from the ordered row list, so
+     a serial run IS the 1-shard run and byte-identity between shard
+     counts is structural rather than something each campaign must
+     re-establish. *)
+
+type t = {
+  name : string;  (* CLI name, e.g. "fig5" *)
+  title : string;  (* section heading the driver prints *)
+  context : string;  (* config fingerprint line; "" = none *)
+  cells : int;
+  run_cell : int -> string;  (* marshalled row for cell i *)
+  merge : string list -> unit;  (* print the body from rows in cell order *)
+}
+
+let v ?(context = "") ~name ~title ~cells ~run_cell ~merge () =
+  { name; title; context; cells; run_cell; merge }
+
+(* Rows cross shard boundaries (and shard files) as marshalled
+   strings; cells pack plain data records only, never closures. *)
+let pack v = Marshal.to_string v []
+let unpack s = Marshal.from_string s 0
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+(* Shard k of n owns the cells with index = k (mod n): contiguous
+   campaigns (e.g. per-benchmark cells sorted hot-to-cold) spread
+   evenly instead of one shard inheriting a hot prefix. *)
+let shard_cells t ~shards ~shard =
+  List.filter (fun i -> i mod shards = shard) (List.init t.cells Fun.id)
+
+let run_shard ?(jobs = 1) ~shards ~shard t =
+  if shards < 1 then invalid_arg "Campaign.run_shard: shards must be >= 1";
+  if shard < 0 || shard >= shards then
+    invalid_arg "Campaign.run_shard: shard index out of range";
+  Pool.map ~jobs (fun i -> (i, t.run_cell i)) (shard_cells t ~shards ~shard)
+
+let render ?context t rows =
+  let context = Option.value context ~default:t.context in
+  let rows = List.sort (fun (a, _) (b, _) -> compare a b) rows in
+  List.iteri
+    (fun k (i, _) ->
+      if i <> k then
+        failwith
+          (Printf.sprintf "Campaign.render: %s rows not contiguous (cell %d %s)"
+             t.name k
+             (if i > k then "missing" else "duplicated")))
+    rows;
+  section t.title;
+  if not (String.equal context "") then print_string (context ^ "\n");
+  t.merge (List.map snd rows)
+
+(* In-process run across [shards] sequential passes: each pass resets
+   the registry, computes its cells, and snapshots; row lists
+   concatenate and snapshots merge (every registry backing is additive
+   over disjoint work partitions). [shards = 1] is the plain serial
+   run — the same code path, so output is byte-identical for every
+   shard count by construction. Returns the merged metrics snapshot
+   for the perf trajectory record. *)
+let run ?(jobs = 1) ?(shards = 1) t =
+  let per_shard =
+    List.init shards (fun s ->
+        Telemetry.Registry.reset_all ();
+        let rows = run_shard ~jobs ~shards ~shard:s t in
+        (rows, Telemetry.Registry.snapshot ()))
+  in
+  let rows = List.concat_map fst per_shard in
+  let metrics = Telemetry.Registry.merge (List.map snd per_shard) in
+  render t rows;
+  metrics

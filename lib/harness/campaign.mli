@@ -1,0 +1,66 @@
+(** First-class campaign execution: every bench experiment is a fixed
+    number of deterministic {e cells} plus a {e merge} step that
+    renders the stdout body from the cells' rows.
+
+    Cells are self-contained (the {!Pool} contract: each builds its own
+    kernel and PRNG state from fixed seeds), so any partition of the
+    cell set — across domains ([jobs]) or across shards — produces the
+    same rows. Rendering happens only in [merge], from the full ordered
+    row list, which makes serial output byte-identical to any shard
+    count by construction. *)
+
+type t = {
+  name : string;  (** CLI/Benchfile name, e.g. ["fig5"] *)
+  title : string;  (** section heading printed before the body *)
+  context : string;
+      (** config fingerprint line printed after the heading (and
+          recorded in shard files, where merging checks agreement);
+          [""] when the campaign takes no configuration *)
+  cells : int;  (** number of cells; cell indices are [0 .. cells-1] *)
+  run_cell : int -> string;  (** marshalled row of one cell *)
+  merge : string list -> unit;
+      (** print the campaign body from the rows in cell order *)
+}
+
+val v :
+  ?context:string ->
+  name:string ->
+  title:string ->
+  cells:int ->
+  run_cell:(int -> string) ->
+  merge:(string list -> unit) ->
+  unit ->
+  t
+
+val pack : 'a -> string
+(** [Marshal] a row for transport across shard boundaries. Rows must be
+    plain data (no closures). *)
+
+val unpack : string -> 'a
+(** Inverse of {!pack}. As with [Marshal.from_string], the result type
+    is up to the caller — campaigns unpack only rows they packed. *)
+
+val section : string -> unit
+(** Print the underlined section heading (shared with the driver's
+    non-campaign sections). *)
+
+val shard_cells : t -> shards:int -> shard:int -> int list
+(** Cell indices owned by [shard] of [shards]: [i mod shards = shard]. *)
+
+val run_shard : ?jobs:int -> shards:int -> shard:int -> t -> (int * string) list
+(** Compute one shard's [(cell index, row)] pairs over a {!Pool} of
+    [jobs] domains. No output, no registry reset — the caller brackets
+    the run with [Telemetry.Registry.reset_all]/[snapshot] to obtain
+    the shard's additive metrics. *)
+
+val render : ?context:string -> t -> (int * string) list -> unit
+(** Print heading, context line, and body from the union of per-shard
+    row lists (any order; must form a contiguous [0..n-1] index range —
+    raises [Failure] otherwise). [?context] overrides [t.context] when
+    rendering rows read back from shard files. *)
+
+val run : ?jobs:int -> ?shards:int -> t -> (string * int) list
+(** Run the whole campaign in-process as [shards] sequential passes
+    (default 1) and render it; returns the merged registry snapshot.
+    Each pass is bracketed by [reset_all]/[snapshot], so the returned
+    metrics equal a serial run's snapshot for every shard count. *)

@@ -1,0 +1,27 @@
+(** The ordered registry of bench campaigns: fig5, table1, table2,
+    table3, table4, table5, effectiveness, loadbench, compat, theorem1,
+    exposure, ablation — the historical experiment order.
+
+    Campaigns are constructed from a {!config} (built after CLI
+    parsing), so flag-dependent campaigns — effectiveness's budget and
+    respawn mode, loadbench's traffic shape — capture the parsed
+    values; the rest ignore it. *)
+
+type config = {
+  budget : int option;
+      (** [--budget]: trials per effectiveness cell (default 20_000) /
+          requests per loadbench cell (default 512) *)
+  connections : int;  (** loadbench concurrent client population *)
+  keepalive : int;  (** loadbench requests per connection *)
+  load_mode : Net.Loadgen.mode;
+  load_archs : Loadbench.arch list;
+  respawn : Attack.Oracle.respawn;
+      (** [--zygote]: victim respawn mode for effectiveness *)
+}
+
+val default_config : config
+(** The historical flag defaults. *)
+
+val all : config -> Campaign.t list
+val find : config -> string -> Campaign.t option
+val names : config -> string list

@@ -10,8 +10,9 @@ type result = { scenarios : scenario list }
 let run_image ?(input = Bytes.create 0) image preload =
   let kernel = Os.Kernel.create () in
   let proc = Os.Kernel.spawn kernel ~input ~preload image in
-  let stop = Os.Kernel.run kernel proc in
-  (kernel, stop)
+  Os.Kernel.enqueue kernel proc;
+  Os.Kernel.schedule kernel;
+  (kernel, Os.Kernel.stop_of proc)
 
 (* P-SSP child returns through frames created before fork: the defining
    compatibility property (the §III caveat). *)
@@ -169,21 +170,22 @@ let mixed_schemes ~app ~lib ~label =
     detail = Os.Kernel.stop_to_string stop;
   }
 
-let run () =
-  {
-    scenarios =
-      [
-        pssp_fork_return ();
-        ssp_under_pssp_preload ();
-        ssp_smash_with_override ();
-        pssp_calls_ssp_library ();
-        instrumented_fork_stability ();
-        mixed_schemes ~app:Pssp.Scheme.Pssp ~lib:Pssp.Scheme.Ssp
-          ~label:"one binary: P-SSP app functions calling SSP library functions";
-        mixed_schemes ~app:Pssp.Scheme.Ssp ~lib:Pssp.Scheme.Pssp
-          ~label:"one binary: SSP app functions calling P-SSP library functions";
-      ];
-  }
+let scenario_cells =
+  [
+    pssp_fork_return;
+    ssp_under_pssp_preload;
+    ssp_smash_with_override;
+    pssp_calls_ssp_library;
+    instrumented_fork_stability;
+    (fun () ->
+      mixed_schemes ~app:Pssp.Scheme.Pssp ~lib:Pssp.Scheme.Ssp
+        ~label:"one binary: P-SSP app functions calling SSP library functions");
+    (fun () ->
+      mixed_schemes ~app:Pssp.Scheme.Ssp ~lib:Pssp.Scheme.Pssp
+        ~label:"one binary: SSP app functions calling P-SSP library functions");
+  ]
+
+let run () = { scenarios = List.map (fun f -> f ()) scenario_cells }
 
 let to_table result =
   let t =
@@ -204,3 +206,14 @@ let to_table result =
   t
 
 let all_passed result = List.for_all (fun s -> s.passed) result.scenarios
+
+let campaign () =
+  Campaign.v ~name:"compat"
+    ~title:"Compatibility (SVI-C) - P-SSP and SSP in one control flow"
+    ~cells:(List.length scenario_cells)
+    ~run_cell:(fun i -> Campaign.pack ((List.nth scenario_cells i) ()))
+    ~merge:(fun rows ->
+      Util.Table.print
+        (to_table
+           { scenarios = List.map (fun r -> (Campaign.unpack r : scenario)) rows }))
+    ()

@@ -14,3 +14,6 @@ type result = { scenarios : scenario list }
 val run : unit -> result
 val to_table : result -> Util.Table.t
 val all_passed : result -> bool
+
+val campaign : unit -> Campaign.t
+(** One cell per compatibility scenario. *)

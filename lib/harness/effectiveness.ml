@@ -32,9 +32,10 @@ let build_target target ~buffer_size =
    its stdout. *)
 let g_cells = Telemetry.Registry.counter "harness.effectiveness.cells"
 
-let attack_server ?(budget = 20_000) target ~buffer_size =
+let attack_server ?(budget = 20_000) ?(respawn = Attack.Oracle.No_respawn)
+    target ~buffer_size =
   let image, preload, layout = build_target target ~buffer_size in
-  let oracle = Attack.Oracle.create ~preload image in
+  let oracle = Attack.Oracle.create ~preload ~respawn image in
   match Attack.Byte_by_byte.run oracle ~layout ~max_trials:budget with
   | Attack.Byte_by_byte.Broken { trials; _ } -> (true, trials, 0)
   | Attack.Byte_by_byte.Exhausted { trials; restarts; _ } ->
@@ -52,30 +53,30 @@ let default_targets =
     Instrumented;
   ]
 
-let run ?(jobs = 1) ?(budget = 20_000) ?(targets = default_targets) () =
-  let cells =
-    List.concat_map
-      (fun target -> List.map (fun service -> (target, service)) services)
-      targets
+let cells_of targets =
+  List.concat_map
+    (fun target -> List.map (fun service -> (target, service)) services)
+    targets
+
+let run_cell ~budget ~respawn (target, (service, buffer_size)) =
+  let broken, trials, restarts =
+    attack_server ~budget ~respawn target ~buffer_size
   in
-  let rows =
-    Pool.map ~jobs
-      (fun (target, (service, buffer_size)) ->
-        let broken, trials, restarts = attack_server ~budget target ~buffer_size in
-        Telemetry.Registry.incr g_cells;
-        if Telemetry.Trace.enabled () then
-          Telemetry.Trace.instant "effectiveness.cell"
-            ~args:
-              [
-                ("target", target_name target);
-                ("service", service);
-                ("outcome", if broken then "broken" else "resisted");
-                ("trials", string_of_int trials);
-              ];
-        { target; service; broken; trials; restarts })
-      cells
-  in
-  { rows }
+  Telemetry.Registry.incr g_cells;
+  if Telemetry.Trace.enabled () then
+    Telemetry.Trace.instant "effectiveness.cell"
+      ~args:
+        [
+          ("target", target_name target);
+          ("service", service);
+          ("outcome", if broken then "broken" else "resisted");
+          ("trials", string_of_int trials);
+        ];
+  { target; service; broken; trials; restarts }
+
+let run ?(jobs = 1) ?(budget = 20_000) ?(respawn = Attack.Oracle.No_respawn)
+    ?(targets = default_targets) () =
+  { rows = Pool.map ~jobs (run_cell ~budget ~respawn) (cells_of targets) }
 
 let to_table result =
   let t =
@@ -96,3 +97,17 @@ let to_table result =
         ])
     result.rows;
   t
+
+let campaign ?(budget = 20_000) ?(respawn = Attack.Oracle.No_respawn) () =
+  let cells = cells_of default_targets in
+  Campaign.v ~name:"effectiveness"
+    ~title:"Effectiveness (SVI-C) - byte-by-byte attacks on forking servers"
+    ~cells:(List.length cells)
+    ~run_cell:(fun i -> Campaign.pack (run_cell ~budget ~respawn (List.nth cells i)))
+    ~merge:(fun rows ->
+      Util.Table.print
+        (to_table { rows = List.map (fun r -> (Campaign.unpack r : row)) rows });
+      print_string
+        "Paper: the attack succeeds on SSP-compiled Nginx/Ali and fails on the\n\
+         P-SSP-compiled versions.\n")
+    ()

@@ -21,14 +21,30 @@ type row = {
 
 type result = { rows : row list }
 
-val run : ?jobs:int -> ?budget:int -> ?targets:target list -> unit -> result
+val run :
+  ?jobs:int ->
+  ?budget:int ->
+  ?respawn:Attack.Oracle.respawn ->
+  ?targets:target list ->
+  unit ->
+  result
 (** [budget] defaults to 20_000 trials per cell. Default targets:
     SSP, P-SSP, P-SSP-NT, P-SSP-OWF, instrumented P-SSP. [jobs] fans
     the target x service cells out over a {!Pool} of domains; results
-    are identical for every [jobs]. *)
+    are identical for every [jobs]. [respawn] (default [No_respawn],
+    the historical behaviour) replaces the victim at each attack
+    restart — [Zygote] thaws the warm snapshot captured at boot,
+    [Cold] boots afresh; the two are observationally identical. *)
 
 val to_table : result -> Util.Table.t
 
 val attack_server :
-  ?budget:int -> target -> buffer_size:int -> bool * int * int
+  ?budget:int ->
+  ?respawn:Attack.Oracle.respawn ->
+  target ->
+  buffer_size:int ->
+  bool * int * int
 (** [(broken, trials, restarts)] for one campaign — exposed for tests. *)
+
+val campaign : ?budget:int -> ?respawn:Attack.Oracle.respawn -> unit -> Campaign.t
+(** One cell per target x service pair over the default target list. *)

@@ -89,3 +89,18 @@ let to_table result =
         ])
     result.rows;
   t
+
+let default_schemes = [ Pssp.Scheme.Pssp; Pssp.Scheme.Pssp_nt; Pssp.Scheme.Pssp_owf ]
+
+let campaign () =
+  Campaign.v ~name:"exposure"
+    ~title:"Exposure resilience (SIV-C) - leak one frame, forge another"
+    ~cells:(List.length default_schemes)
+    ~run_cell:(fun i ->
+      let scheme = List.nth default_schemes i in
+      let hijacked, leak_bytes = attack_with_leak scheme in
+      Campaign.pack { scheme; leak_bytes; hijacked })
+    ~merge:(fun rows ->
+      Util.Table.print
+        (to_table { rows = List.map (fun r -> (Campaign.unpack r : row)) rows }))
+    ()

@@ -22,3 +22,6 @@ val to_table : result -> Util.Table.t
 
 val attack_with_leak : Pssp.Scheme.t -> bool * string
 (** [(hijacked, leaked_hex)] — exposed for tests. *)
+
+val campaign : unit -> Campaign.t
+(** One cell per default scheme. *)

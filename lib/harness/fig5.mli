@@ -27,3 +27,7 @@ val to_chart : ?width:int -> result -> string
 (** Render the figure as horizontal bars (one row per benchmark, two
     bars: compiler-based and instrumentation-based overhead), the way
     the paper presents Figure 5. *)
+
+val campaign : unit -> Campaign.t
+(** One cell per benchmark of the full suite; the merge step prints the
+    table, chart, and paper-comparison footer. *)

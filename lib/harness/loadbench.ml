@@ -1,0 +1,71 @@
+(* Loadbench: concurrent keep-alive traffic against the server
+   profiles, across server architectures and deployments. Lived in
+   bench/main.ml before the Campaign API; the knobs arrive through the
+   campaign constructor so the driver stays a table-driven dispatcher. *)
+
+type arch = Fork | Event | Reuseport
+
+let arch_profile arch profile =
+  match arch with
+  | Fork -> profile
+  | Event -> Workload.Servers.event_loop profile
+  | Reuseport -> Workload.Servers.sharded profile
+
+let mode_name = function
+  | Net.Loadgen.Closed -> "closed"
+  | Net.Loadgen.Open { interarrival } -> Printf.sprintf "open/%Ld" interarrival
+
+(* One cell = one profile x arch x deployment combination; the row
+   carries only what the LOADBENCH line prints (the profile record
+   itself holds no closures, but the names are all the merge needs). *)
+type row = {
+  row_profile : string;
+  row_deployment : string;
+  row_run : Runner.load_run;
+}
+
+let cells_of ~archs =
+  List.concat_map
+    (fun base ->
+      List.concat_map
+        (fun arch ->
+          let profile = arch_profile arch base in
+          [ (profile, Runner.Native); (profile, Runner.Compiler Pssp.Scheme.Pssp) ])
+        archs)
+    [ Workload.Servers.apache2; Workload.Servers.nginx ]
+
+let print_row r =
+  let lr = r.row_run in
+  Printf.printf
+    "LOADBENCH %s/%s: sent=%d ok=%d failed=%d aborted=%d refused=%d \
+     peak_open=%d forks=%d lat_p50=%.0f lat_p99=%.0f lat_p999=%.0f \
+     cycles=%Ld rps=%.1f sat_rps=%.1f alive=%s\n"
+    r.row_profile r.row_deployment lr.Runner.sent lr.Runner.completed
+    lr.Runner.load_failed lr.Runner.aborted lr.Runner.refused
+    lr.Runner.peak_open lr.Runner.load_forks lr.Runner.p50_latency_cycles
+    lr.Runner.p99_latency_cycles lr.Runner.p999_latency_cycles
+    lr.Runner.virtual_cycles lr.Runner.throughput_rps lr.Runner.saturation_rps
+    (if lr.Runner.server_alive then "yes" else "no")
+
+let campaign ~mode ~connections ~keepalive ~archs ~total () =
+  let cells = cells_of ~archs in
+  Campaign.v ~name:"loadbench"
+    ~title:"Loadbench - concurrent keep-alive traffic (lib/net scheduler)"
+    ~context:
+      (Printf.sprintf "mode=%s connections=%d keepalive=%d requests-per-cell=%d"
+         (mode_name mode) connections keepalive total)
+    ~cells:(List.length cells)
+    ~run_cell:(fun i ->
+      let (profile : Workload.Servers.profile), deployment = List.nth cells i in
+      let r =
+        Runner.run_load deployment profile ~mode ~connections ~keepalive ~total
+          ~slow_every:17 ~abort_every:97
+      in
+      Campaign.pack
+        {
+          row_profile = profile.Workload.Servers.profile_name;
+          row_deployment = Runner.deployment_name deployment;
+          row_run = r;
+        })
+    ~merge:(fun rows -> List.iter (fun r -> print_row (Campaign.unpack r)) rows)
+    ()

@@ -1,0 +1,24 @@
+(** Loadbench: the concurrent keep-alive traffic campaign (one cell per
+    server profile x architecture x deployment), formerly a bench/main
+    special case. *)
+
+type arch = Fork | Event | Reuseport
+
+val arch_profile : arch -> Workload.Servers.profile -> Workload.Servers.profile
+(** Wrap a forking profile into the event-loop or SO_REUSEPORT-sharded
+    variant; [Fork] is the identity. *)
+
+val mode_name : Net.Loadgen.mode -> string
+(** ["closed"] or ["open/INTERARRIVAL"], as the header line prints it. *)
+
+val campaign :
+  mode:Net.Loadgen.mode ->
+  connections:int ->
+  keepalive:int ->
+  archs:arch list ->
+  total:int ->
+  unit ->
+  Campaign.t
+(** The campaign's context line is the historical
+    [mode=... connections=... keepalive=... requests-per-cell=...]
+    header. *)

@@ -67,7 +67,9 @@ let run_built ?(input = Bytes.create 0) ?fuel ?(seed = 0x5EED5L) built =
     Os.Kernel.spawn kernel ~input ~preload:built.preload ~insn_tax:built.insn_tax
       ~call_tax:built.call_tax built.image
   in
-  let stop = Os.Kernel.run ?fuel kernel proc in
+  Os.Kernel.enqueue kernel proc;
+  Os.Kernel.schedule ?fuel kernel;
+  let stop = Os.Kernel.stop_of proc in
   {
     stop;
     cycles = Os.Process.cycles proc;
@@ -129,7 +131,9 @@ let run_server ?(seed = 0x5E44EL) deployment (profile : Workload.Servers.profile
     Os.Kernel.spawn kernel ~preload:built.preload ~insn_tax:built.insn_tax
       ~call_tax:built.call_tax built.image
   in
-  (match Os.Kernel.run kernel server with
+  Os.Kernel.enqueue kernel server;
+  Os.Kernel.schedule kernel;
+  (match Os.Kernel.stop_of server with
   | Os.Kernel.Stop_accept -> ()
   | other ->
     failwith
@@ -141,7 +145,10 @@ let run_server ?(seed = 0x5E44EL) deployment (profile : Workload.Servers.profile
   for i = 0 to requests - 1 do
     let request = Bytes.of_string mix.(i mod Array.length mix) in
     let before = Os.Process.cycles server in
-    (match Os.Kernel.resume_with_request kernel server request with
+    Os.Kernel.deliver_request kernel server request;
+    Os.Kernel.schedule kernel;
+    Os.Kernel.reap_zombies kernel server;
+    (match Os.Kernel.stop_of server with
     | Os.Kernel.Stop_accept -> ()
     | other ->
       failwith
@@ -272,7 +279,9 @@ let run_load ?(seed = 0x5E44EL) ?(loadgen_seed = 0x10AD6E4L)
       (* Forking servers park in accept; an event-loop server parks in
          epoll_wait and a sharded parent in waitpid (both Stop_io) —
          each means "ready for connections". *)
-      (match Os.Kernel.run kernel server with
+      Os.Kernel.enqueue kernel server;
+      Os.Kernel.schedule kernel;
+      (match Os.Kernel.stop_of server with
       | Os.Kernel.Stop_accept | Os.Kernel.Stop_io -> ()
       | other ->
         failwith

@@ -35,7 +35,9 @@ let correctness_probe scheme =
   in
   let kernel = Os.Kernel.create () in
   let parent = Os.Kernel.spawn kernel ~preload:(Mcc.Driver.preload_for scheme) image in
-  match Os.Kernel.run kernel parent with
+  Os.Kernel.enqueue kernel parent;
+  Os.Kernel.schedule kernel;
+  match Os.Kernel.stop_of parent with
   | Os.Kernel.Stop_exit 0 -> (
     match Os.Kernel.last_reaped kernel with
     | Some child -> child.Os.Process.status = Os.Process.Exited 7
@@ -61,34 +63,31 @@ let instr_deployment_for (scheme : Pssp.Scheme.t) =
   | Pssp_gb ->
     None
 
+let schemes =
+  [
+    Pssp.Scheme.Ssp;
+    Pssp.Scheme.Raf_ssp;
+    Pssp.Scheme.Dynaguard;
+    Pssp.Scheme.Dcr;
+    Pssp.Scheme.Pssp;
+  ]
+
+let measure_row ~brop_budget ~benches scheme =
+  let brop_prevented, brop_trials = brop_campaign scheme ~budget:brop_budget in
+  let correct = correctness_probe scheme in
+  let compiler_overhead_pct =
+    match scheme with
+    | Pssp.Scheme.Ssp -> None (* the baseline everything compares to *)
+    | _ -> Some (mean_overhead benches (Runner.Compiler scheme))
+  in
+  let instr_overhead_pct =
+    Option.map (mean_overhead benches) (instr_deployment_for scheme)
+  in
+  { scheme; brop_prevented; brop_trials; correct; compiler_overhead_pct;
+    instr_overhead_pct }
+
 let run ?(jobs = 1) ?(brop_budget = 6000) ?(benches = default_benches) () =
-  let schemes =
-    [
-      Pssp.Scheme.Ssp;
-      Pssp.Scheme.Raf_ssp;
-      Pssp.Scheme.Dynaguard;
-      Pssp.Scheme.Dcr;
-      Pssp.Scheme.Pssp;
-    ]
-  in
-  let rows =
-    Pool.map ~jobs
-      (fun scheme ->
-        let brop_prevented, brop_trials = brop_campaign scheme ~budget:brop_budget in
-        let correct = correctness_probe scheme in
-        let compiler_overhead_pct =
-          match scheme with
-          | Pssp.Scheme.Ssp -> None (* the baseline everything compares to *)
-          | _ -> Some (mean_overhead benches (Runner.Compiler scheme))
-        in
-        let instr_overhead_pct =
-          Option.map (mean_overhead benches) (instr_deployment_for scheme)
-        in
-        { scheme; brop_prevented; brop_trials; correct; compiler_overhead_pct;
-          instr_overhead_pct })
-      schemes
-  in
-  { rows }
+  { rows = Pool.map ~jobs (measure_row ~brop_budget ~benches) schemes }
 
 let to_table result =
   let t =
@@ -116,3 +115,19 @@ let to_table result =
         ])
     result.rows;
   t
+
+let campaign () =
+  Campaign.v ~name:"table1"
+    ~title:"Table I - brute-force defence comparison (all cells measured)"
+    ~cells:(List.length schemes)
+    ~run_cell:(fun i ->
+      Campaign.pack
+        (measure_row ~brop_budget:6000 ~benches:default_benches
+           (List.nth schemes i)))
+    ~merge:(fun rows ->
+      Util.Table.print
+        (to_table { rows = List.map (fun r -> (Campaign.unpack r : row)) rows });
+      print_string
+        "Paper: SSP no-BROP-prevention; RAF incorrect; DynaGuard 1.5%/156%;\n\
+         DCR NA/>24%; P-SSP prevents BROP, correct, lightest overheads.\n")
+    ()

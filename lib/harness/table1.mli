@@ -30,3 +30,6 @@ val run :
     {!Pool} of domains; results are identical for every [jobs]. *)
 
 val to_table : result -> Util.Table.t
+
+val campaign : unit -> Campaign.t
+(** One cell per scheme (default budget and benchmark subset). *)

@@ -26,3 +26,6 @@ val run : ?jobs:int -> ?benches:Workload.Spec.bench list -> unit -> result
     results are identical for every [jobs]. *)
 
 val to_table : result -> Util.Table.t
+
+val campaign : unit -> Campaign.t
+(** One cell per benchmark of the full suite. *)

@@ -127,3 +127,61 @@ let latency_table rows =
         ])
     rows;
   t
+
+(* ---- campaigns ---------------------------------------------------------- *)
+
+let campaign3 () =
+  let profiles = Workload.Servers.web in
+  Campaign.v ~name:"table3"
+    ~title:"Table III - web server response time (ms per request)"
+    ~cells:(List.length profiles)
+    ~run_cell:(fun i -> Campaign.pack (measure ~requests:300 (List.nth profiles i)))
+    ~merge:(fun rows ->
+      Util.Table.print
+        (to_table3 { rows = List.map (fun r -> (Campaign.unpack r : row)) rows });
+      print_string
+        "Paper: Apache2 33.006/33.008/33.099; Nginx 3.088/3.090/3.088.\n")
+    ()
+
+(* Table IV interleaves two cell kinds: the per-service db rows first,
+   then the latency-percentile extension's service x deployment cells. *)
+type t4_cell = Db of row | Lat of latency_row
+
+let latency_cell ~requests profile (label, deployment) =
+  let r = Runner.run_server deployment profile ~requests in
+  {
+    lat_service = profile.Workload.Servers.profile_name;
+    deployment = label;
+    p50_ms = r.Runner.p50_request_cycles /. profile.Workload.Servers.cycles_per_ms;
+    p99_ms = r.Runner.p99_request_cycles /. profile.Workload.Servers.cycles_per_ms;
+  }
+
+let latency_deployments =
+  [ ("native", Runner.Native); ("P-SSP", Runner.Compiler Pssp.Scheme.Pssp) ]
+
+let campaign4 () =
+  let dbs = Workload.Servers.db in
+  let lat_cells =
+    List.concat_map
+      (fun profile -> List.map (fun d -> (profile, d)) latency_deployments)
+      (Workload.Servers.web @ Workload.Servers.db)
+  in
+  let n_db = List.length dbs in
+  Campaign.v ~name:"table4"
+    ~title:"Table IV - database server query time and memory"
+    ~cells:(n_db + List.length lat_cells)
+    ~run_cell:(fun i ->
+      if i < n_db then Campaign.pack (Db (measure ~requests:200 (List.nth dbs i)))
+      else
+        let profile, d = List.nth lat_cells (i - n_db) in
+        Campaign.pack (Lat (latency_cell ~requests:200 profile d)))
+    ~merge:(fun rows ->
+      let cells = List.map (fun r -> (Campaign.unpack r : t4_cell)) rows in
+      let db_rows = List.filter_map (function Db r -> Some r | Lat _ -> None) cells in
+      let lat_rows = List.filter_map (function Lat r -> Some r | Db _ -> None) cells in
+      Util.Table.print (to_table4 { rows = db_rows });
+      print_string
+        "Paper: MySQL 3.33 ms & 22.59 MB in all three columns; SQLite\n\
+         167.27/167.27/167 ms. The invariance across columns is the result.\n";
+      Util.Table.print (latency_table lat_rows))
+    ()

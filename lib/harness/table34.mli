@@ -42,3 +42,10 @@ val run_latency : ?requests:int -> unit -> latency_row list
     P-SSP. *)
 
 val latency_table : latency_row list -> Util.Table.t
+
+val campaign3 : unit -> Campaign.t
+(** Table III: one cell per web profile (300 requests each). *)
+
+val campaign4 : unit -> Campaign.t
+(** Table IV: one cell per db profile plus one per service x deployment
+    latency-percentile cell (200 requests each). *)

@@ -25,3 +25,6 @@ val to_table : result -> Util.Table.t
 val measure_scheme : ?calls:int -> Pssp.Scheme.t -> criticals:int -> float
 (** Exposed for tests: per-call canary cost of a scheme on a frame with
     the given number of [critical] variables. *)
+
+val campaign : unit -> Campaign.t
+(** One cell per scheme row (default 20_000 calls). *)

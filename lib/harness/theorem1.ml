@@ -91,7 +91,9 @@ let run_machine ?(children = 2000) ?(seed = 0x7E02L) () =
   in
   let kernel = Os.Kernel.create ~seed () in
   let server = Os.Kernel.spawn kernel ~preload:Os.Preload.Pssp_wide image in
-  (match Os.Kernel.run kernel server with
+  Os.Kernel.enqueue kernel server;
+  Os.Kernel.schedule kernel;
+  (match Os.Kernel.stop_of server with
   | Os.Kernel.Stop_accept -> ()
   | other -> failwith ("Theorem1.run_machine: " ^ Os.Kernel.stop_to_string other));
   let fs_base = Vm64.Layout.tls_base in
@@ -101,7 +103,10 @@ let run_machine ?(children = 2000) ?(seed = 0x7E02L) () =
   let c_stable = ref true in
   let byte0 = Array.make 256 0 in
   for _ = 1 to children do
-    (match Os.Kernel.resume_with_request kernel server (Bytes.of_string "ping") with
+    Os.Kernel.deliver_request kernel server (Bytes.of_string "ping");
+    Os.Kernel.schedule kernel;
+    Os.Kernel.reap_zombies kernel server;
+    (match Os.Kernel.stop_of server with
     | Os.Kernel.Stop_accept -> ()
     | other -> failwith ("Theorem1.run_machine: " ^ Os.Kernel.stop_to_string other));
     match Os.Kernel.last_reaped kernel with
@@ -147,3 +152,21 @@ let machine_table r =
         (if r.c1_uniform then "uniform" else "BIASED");
     ];
   t
+
+(* Cell 0 = the statistical run, cell 1 = the machine-level run; the
+   merge step unpacks them positionally. *)
+let campaign () =
+  Campaign.v ~name:"theorem1"
+    ~title:"Theorem 1 - exposed shadow halves carry no information about C"
+    ~cells:2
+    ~run_cell:(fun i ->
+      match i with
+      | 0 -> Campaign.pack (run ())
+      | _ -> Campaign.pack (run_machine ()))
+    ~merge:(fun rows ->
+      match rows with
+      | [ stat; machine ] ->
+        Util.Table.print (to_table (Campaign.unpack stat : result));
+        Util.Table.print (machine_table (Campaign.unpack machine : machine_result))
+      | _ -> failwith "Theorem1.campaign: expected 2 cells")
+    ()

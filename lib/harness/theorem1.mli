@@ -37,3 +37,6 @@ val run_machine : ?children:int -> ?seed:int64 -> unit -> machine_result
 (** [children] defaults to 2000. *)
 
 val machine_table : machine_result -> Util.Table.t
+
+val campaign : unit -> Campaign.t
+(** Two cells: the statistical run and the machine-level run. *)

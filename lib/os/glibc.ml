@@ -77,6 +77,66 @@ let clone_io io =
     listener_fd = io.listener_fd;
   }
 
+(* Zygote-snapshot semantics: a frozen fd table must not alias live
+   kernel objects, so every listener is rebuilt as a fresh socket with
+   the same port/backlog/listening state (and an empty backlog — a
+   checkpoint holds no in-flight SYNs). Sockets shared by several fds
+   (dup-style) stay shared in the copy. Connection fds are refused: a
+   zygote is captured quiescent, parked in accept/epoll with no client
+   attached. *)
+let snapshot_io io =
+  let memo = ref [] in
+  let build_sock s =
+    let s' = Net.Socket.create () in
+    Net.Socket.bind s' ~port:(Net.Socket.port s);
+    if Net.Socket.listening s then
+      Net.Socket.listen s' ~backlog:(Net.Socket.backlog s);
+    memo := (s, s') :: !memo;
+    s'
+  in
+  (* one refcount per holding fd, like clone_io *)
+  let rebuild_sock s =
+    match List.assq_opt s !memo with
+    | Some s' ->
+      Net.Socket.retain s';
+      s'
+    | None -> build_sock s
+  in
+  let fds = Hashtbl.create (max 16 (Hashtbl.length io.fds)) in
+  Hashtbl.iter
+    (fun fd e ->
+      match e.obj with
+      | Fd_conn _ ->
+        invalid_arg
+          "Glibc.snapshot_io: open connection fd (snapshot a quiescent \
+           process)"
+      | Fd_listener s ->
+        Hashtbl.replace fds fd
+          { obj = Fd_listener (rebuild_sock s); nonblock = e.nonblock })
+    io.fds;
+  let copy_buf b =
+    let b' = Buffer.create (max 64 (Buffer.length b)) in
+    Buffer.add_string b' (Buffer.contents b);
+    b'
+  in
+  {
+    input = Bytes.copy io.input;
+    input_pos = io.input_pos;
+    output = copy_buf io.output;
+    errout = copy_buf io.errout;
+    brk = io.brk;
+    fds;
+    free_fds = io.free_fds;
+    next_fd = io.next_fd;
+    listener =
+      (* the [listener] field is a plain alias, not a refcount holder *)
+      Option.map
+        (fun s ->
+          match List.assq_opt s !memo with Some s' -> s' | None -> build_sock s)
+        io.listener;
+    listener_fd = io.listener_fd;
+  }
+
 (* ---- fd table --------------------------------------------------------- *)
 
 let fd_entry_of io fd = Hashtbl.find_opt io.fds fd

@@ -71,6 +71,15 @@ val clone_io : io -> io
     copied, and the fd table is inherited (each connection and listener
     gains one more holder). *)
 
+val snapshot_io : io -> io
+(** Zygote-snapshot copy: stdio buffer {e contents} are preserved (a
+    resumed process must be indistinguishable from the frozen one) and
+    every listener is rebuilt as a fresh socket with the same
+    port/backlog/listening state, empty backlog, same fd numbering —
+    the copy aliases no live kernel object. Raises [Invalid_argument]
+    if any connection fd is open: snapshots are taken of quiescent
+    processes parked in [accept]/[epoll_wait]. *)
+
 val set_input : io -> bytes -> unit
 (** Replace the pending input (rewinds the read cursor). *)
 

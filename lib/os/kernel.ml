@@ -920,15 +920,6 @@ let stop_of (p : Process.t) =
     Stop_io
   | Process.Runnable -> Stop_fuel
 
-let run ?(fuel = 50_000_000) t p =
-  (match p.Process.status with
-  | Process.Exited _ | Process.Killed _ ->
-    invalid_arg "Kernel.run: process already dead"
-  | Process.Runnable -> enqueue t p
-  | _ -> ());
-  schedule ~fuel t;
-  stop_of p
-
 (* Reap p's dead children without a waitpid from the guest — the compat
    shim uses this so [last_reaped] names the child that served the
    request even for servers that reap lazily with waitpid_nb. *)
@@ -944,11 +935,19 @@ let reap_zombies t (p : Process.t) =
     | Some _ -> Queue.push child_pid q
   done
 
-let resume_with_request ?(fuel = 50_000_000) t p request =
+(* The internal [enqueue] silently skips dead processes (scheduler
+   convenience); handing a dead process to the public entry point is a
+   driver bug and says so. *)
+let enqueue t (p : Process.t) =
+  if Process.status_is_dead p.Process.status then
+    invalid_arg "Kernel.enqueue: process already dead";
+  enqueue t p
+
+let deliver_request t (p : Process.t) request =
   (match p.Process.status with
   | Process.Blocked_accept -> ()
   | status -> raise (Not_blocked_in_accept { pid = p.Process.pid; status }));
-  (match Glibc.listener_of p.Process.io with
+  match Glibc.listener_of p.Process.io with
   | Some sock when Net.Socket.listening sock ->
     (* connection-oriented server: deliver the request as a one-shot
        conn (send + FIN) pushed straight onto the accept backlog *)
@@ -961,15 +960,99 @@ let resume_with_request ?(fuel = 50_000_000) t p request =
     Glibc.set_input p.Process.io request;
     set_rax p 0L;
     p.Process.status <- Process.Runnable;
-    enqueue t p);
-  schedule ~fuel t;
-  reap_zombies t p;
-  stop_of p
+    enqueue t p
 
 let last_reaped t = t.last_reaped
 let fork_count t = t.forks
 
 let run_to_exit ?fuel t p =
-  match run ?fuel t p with
+  enqueue t p;
+  schedule ?fuel t;
+  match stop_of p with
   | Stop_exit code -> code
   | other -> failwith ("Kernel.run_to_exit: " ^ stop_to_string other)
+
+(* ---- zygote snapshots ------------------------------------------------- *)
+
+(* A frozen, fully warmed process: private CoW page-store clone, exact
+   CPU state (RNG position preserved — see {!Cpu.snapshot}), compiled
+   translation cache, and a rebuilt fd table that aliases no live
+   kernel object. [resume_snapshot] thaws a fresh process from it in
+   any kernel, bit-identical to the original at capture time — the
+   prefork/zygote pattern: pay cold spawn + warmup once, then stamp out
+   warm copies. *)
+type snapshot = {
+  snap_image : Image.t;
+  snap_mem : Memory.t;
+  snap_cpu : Cpu.t;
+  snap_io : Glibc.io;
+  snap_preload : Preload.mode;
+  snap_status : Process.status;
+  snap_now : int64;  (* kernel virtual time at capture *)
+}
+
+let g_captures = Telemetry.Registry.counter "os.snapshot.captures"
+let g_resumes = Telemetry.Registry.counter "os.snapshot.resumes"
+
+let capture_snapshot t (p : Process.t) =
+  (match p.Process.status with
+  | Process.Runnable | Process.Blocked_accept | Process.Blocked_poll _ -> ()
+  | status ->
+    invalid_arg
+      (Printf.sprintf "Kernel.capture_snapshot: unsupported status (%s)"
+         (Process.status_to_string status)));
+  if not (Queue.is_empty p.Process.pending_children) then
+    invalid_arg "Kernel.capture_snapshot: process has pending children";
+  Telemetry.Registry.incr g_captures;
+  {
+    snap_image = p.Process.image;
+    snap_mem = Memory.clone p.Process.mem;
+    snap_cpu = Cpu.snapshot p.Process.cpu;
+    snap_io = Glibc.snapshot_io p.Process.io;
+    snap_preload = p.Process.preload;
+    snap_status = p.Process.status;
+    snap_now = t.now;
+  }
+
+let resume_snapshot t snap =
+  Telemetry.Registry.incr g_resumes;
+  (* clone-of-clone: the snapshot stays frozen and can be resumed any
+     number of times *)
+  let mem = Memory.clone snap.snap_mem in
+  let cpu = Cpu.snapshot snap.snap_cpu in
+  let io = Glibc.snapshot_io snap.snap_io in
+  let proc =
+    {
+      Process.pid = fresh_pid t;
+      parent = None;
+      image = snap.snap_image;
+      mem;
+      cpu;
+      io;
+      preload = snap.snap_preload;
+      status = Process.Runnable;
+      pending_children = Queue.create ();
+      queued = false;
+      wake_pending = false;
+    }
+  in
+  Hashtbl.add t.procs proc.Process.pid proc;
+  (* listeners frozen in the fd table come back live: register their
+     ports so connects can reach them *)
+  List.iter
+    (fun fd ->
+      match Glibc.fd_obj_of io fd with
+      | Some (Glibc.Fd_listener s) when Net.Socket.listening s ->
+        register_port t s
+      | _ -> ())
+    (Glibc.open_fds io);
+  (* re-create the frozen park, re-arming the one-shot waiters the
+     original held at capture *)
+  (match snap.snap_status with
+  | Process.Runnable -> enqueue t proc
+  | Process.Blocked_accept -> park_accept t proc
+  | Process.Blocked_poll { dst; cap } -> park_poll t proc ~dst ~cap
+  | _ -> assert false (* capture_snapshot rejects everything else *));
+  (* a resumed process has already retired its warmup cycles *)
+  advance_to t snap.snap_now;
+  proc

@@ -18,8 +18,8 @@
 type t
 
 exception Not_blocked_in_accept of { pid : int; status : Process.status }
-(** Raised by {!resume_with_request} when the target process is not
-    parked in [accept]. *)
+(** Raised by {!deliver_request} when the target process is not parked
+    in [accept]. *)
 
 val create :
   ?seed:int64 ->
@@ -55,26 +55,32 @@ type stop =
 
 val stop_to_string : stop -> string
 
-val run : ?fuel:int -> t -> Process.t -> stop
-(** Enqueue the process (if runnable) and run the scheduler until it
-    quiesces or exhausts [fuel] (instructions, shared across all
-    runnable processes; default 50M). Returns the given process's
-    resulting state. *)
+val enqueue : t -> Process.t -> unit
+(** Queue a runnable process for the scheduler (idempotent — a process
+    already in the ready queue keeps its one slot; blocked processes
+    are queued but skipped at dispatch until an event wakes them).
+    Raises [Invalid_argument] if the process is already dead. The old
+    [run k p] composite is [enqueue k p; schedule k; stop_of p]. *)
 
 val schedule : ?fuel:int -> t -> unit
 (** Run the scheduler until every process is parked or dead (or [fuel]
-    runs out), without singling out one process — the load-generator
-    pump drives the kernel with this. *)
+    runs out — instructions, shared across all runnable processes;
+    default 50M), without singling out one process. Drivers pair this
+    with {!enqueue}/{!deliver_request} and read results off
+    {!stop_of}. *)
 
-val resume_with_request : ?fuel:int -> t -> Process.t -> bytes -> stop
-(** Deliver a request to a process blocked in [accept] and keep running.
-    If the process listens on a {!Net.Socket}, the request arrives as a
-    one-shot connection (payload + FIN) pushed onto the accept backlog;
-    otherwise it is delivered magically as the process's input (the
-    legacy protocol). Afterwards the target's dead children are reaped
-    (see {!reap_zombies}) so {!last_reaped} names the child that served
-    the request. Raises {!Not_blocked_in_accept} if the process is
-    parked elsewhere. *)
+val stop_of : Process.t -> stop
+(** The process's current state as a scheduler stop reason. *)
+
+val deliver_request : t -> Process.t -> bytes -> unit
+(** Deliver a request to a process blocked in [accept] {e without}
+    running the scheduler. If the process listens on a {!Net.Socket},
+    the request arrives as a one-shot connection (payload + FIN) pushed
+    onto the accept backlog; otherwise it is delivered magically as the
+    process's input (the legacy protocol) and the process is enqueued.
+    Follow with {!schedule} (and {!reap_zombies} if {!last_reaped}
+    should name the child that served the request). Raises
+    {!Not_blocked_in_accept} if the process is parked elsewhere. *)
 
 val connect : ?tx_capacity:int -> t -> Process.t -> Net.Conn.t option
 (** Client-side connect: to the process's own listening socket if it
@@ -123,5 +129,33 @@ val exit_stub_addr : int64
     it). *)
 
 val run_to_exit : ?fuel:int -> t -> Process.t -> int
-(** Like {!run} but expects a plain exit; raises [Failure] with the stop
-    description otherwise. Returns the exit code. *)
+(** {!enqueue} + {!schedule}, expecting a plain exit; raises [Failure]
+    with the stop description otherwise. Returns the exit code. *)
+
+(** {1 Zygote snapshots}
+
+    A snapshot freezes a fully loaded, protected, warmed process — CoW
+    page-store clone, exact CPU state including the RNG position and
+    the compiled translation-cache tier, and a rebuilt fd table that
+    aliases no live kernel object. Resuming stamps out a warm copy in
+    any kernel, bit-identical to the frozen original: the
+    prefork/zygote pattern production servers use, here so campaigns
+    restart trial victims without paying cold spawn + warmup each
+    time. *)
+
+type snapshot
+
+val capture_snapshot : t -> Process.t -> snapshot
+(** Freeze the process. It must be quiescent — [Runnable], parked in
+    [accept], or parked in [epoll_wait], with no pending children and
+    no open connection fds; raises [Invalid_argument] otherwise. The
+    live process is unaffected and keeps running. *)
+
+val resume_snapshot : t -> snapshot -> Process.t
+(** Thaw a fresh process (new pid) from the snapshot into this kernel:
+    listeners are re-registered on the kernel's port table and the
+    frozen park is re-armed ([accept]/[epoll_wait] waiters), so the
+    resumed process is immediately connectable. The snapshot itself
+    stays frozen and can be resumed any number of times. Virtual time
+    advances to at least the capture-time clock, so a resumed
+    process's cycle counts continue where the original's stood. *)

@@ -1,0 +1,7 @@
+(* Thin façade over the kernel's zygote-snapshot machinery, so drivers
+   read [Os.Snapshot.capture]/[resume] without reaching into Kernel. *)
+
+type t = Kernel.snapshot
+
+let capture = Kernel.capture_snapshot
+let resume = Kernel.resume_snapshot

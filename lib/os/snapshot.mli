@@ -1,0 +1,14 @@
+(** Zygote process snapshots.
+
+    [capture] freezes a fully loaded, protected, warmed process — CoW
+    page-store family, fd table, TLS/canary state, and the compiled
+    translation-cache tier; [resume] thaws a warm copy into any
+    kernel, bit-identical to the frozen original. See
+    {!Kernel.capture_snapshot} and {!Kernel.resume_snapshot} for the
+    precise contract (quiescence requirements, re-armed parks, pid and
+    virtual-time semantics). *)
+
+type t = Kernel.snapshot
+
+val capture : Kernel.t -> Process.t -> t
+val resume : Kernel.t -> t -> Process.t

@@ -141,6 +141,22 @@ let snapshot () =
   |> List.concat_map (fun (name, e) -> flatten name e.backing)
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
 
+(* Shard-merge combination. Every backing is additive over disjoint
+   work partitions — counters and histogram buckets/sums count events,
+   fold metrics fold per-family records created by the work — so the
+   pointwise sum of per-shard snapshots (each taken after a reset_all,
+   covering exactly that shard's cells) equals the snapshot a serial
+   run would produce. *)
+let merge snapshots =
+  let tbl = Hashtbl.create 64 in
+  List.iter
+    (List.iter (fun (name, v) ->
+         Hashtbl.replace tbl name
+           (v + Option.value ~default:0 (Hashtbl.find_opt tbl name))))
+    snapshots;
+  Hashtbl.fold (fun name v acc -> (name, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
 let reset name =
   match find name with
   | None -> invalid_arg ("Registry.reset: unknown metric " ^ name)

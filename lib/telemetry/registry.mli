@@ -53,6 +53,13 @@ val mem : string -> bool
 val snapshot : unit -> (string * int) list
 (** All metrics flattened to (name, value), sorted by name. *)
 
+val merge : (string * int) list list -> (string * int) list
+(** Combine per-shard snapshots into one name-sorted snapshot by
+    pointwise sum over the union of names. Every backing is additive
+    over disjoint work partitions, so merging the snapshots of N
+    shards (each reset before its shard ran) is byte-identical to the
+    snapshot of the equivalent serial run. *)
+
 val reset : string -> unit
 (** Reset one metric. For a fold metric this runs its group's reset, so
     sibling metrics registered in the same group reset too. *)

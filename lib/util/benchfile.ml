@@ -1,16 +1,25 @@
 (* Versioned on-disk schema for the perf trajectory record
-   (--bench-out) and the metrics snapshot (--metrics-out). Schema 2
-   replaces the hand-rolled per-counter fields of BENCH_pr2/pr3.json
-   with a generic registry snapshot: every campaign carries a
-   {"metric-name": int} object, so the CI perf gate reads one shape no
-   matter which counters future PRs add. *)
+   (--bench-out), the metrics snapshot (--metrics-out), and shard
+   files. Schema 2 replaced the hand-rolled per-counter fields of
+   BENCH_pr2/pr3.json with a generic registry snapshot: every campaign
+   carries a {"metric-name": int} object. Schema 3 adds shard
+   provenance — shard index/count on files written by `--shard K/N`,
+   merged-from on files produced by `bench merge` — and optional
+   per-campaign cell rows (hex-encoded marshalled cells a shard file
+   carries so the merge step can render the combined body). Readers
+   accept both versions. *)
 
-let schema_version = 2
+let schema_version = 3
 
 type campaign = {
   name : string;
   wall_s : float;
   metrics : (string * int) list;  (* name-sorted registry snapshot *)
+  context : string;
+      (* campaign-config fingerprint (e.g. the loadbench header line);
+         shards must agree on it before their rows may merge *)
+  cells : (int * string) list;
+      (* (cell index, hex-encoded marshalled row) — only in shard files *)
 }
 
 type t = {
@@ -19,28 +28,56 @@ type t = {
   compile_tier : int;
       (* 0 = interpreter, 1 = closures, 2 = chained/fused,
          3 = chained/fused + register caching *)
+  shards : int;  (* total shard count; 1 = unsharded *)
+  shard : int option;  (* Some k on a shard file (0-based, of [shards]) *)
+  merged_from : string list;  (* shard files a `bench merge` combined *)
   campaigns : campaign list;
 }
+
+let campaign ?(context = "") ?(cells = []) ~name ~wall_s metrics =
+  { name; wall_s; metrics; context; cells }
+
+let make ?(shards = 1) ?shard ?(merged_from = []) ~pr ~jobs ~compile_tier
+    campaigns =
+  { pr; jobs; compile_tier; shards; shard; merged_from; campaigns }
 
 let metrics_to_json metrics = Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) metrics)
 
 let campaign_to_json c =
   Json.Obj
-    [
-      ("name", Json.String c.name);
-      ("wall_s", Json.Float c.wall_s);
-      ("metrics", metrics_to_json c.metrics);
-    ]
+    ([
+       ("name", Json.String c.name);
+       ("wall_s", Json.Float c.wall_s);
+       ("metrics", metrics_to_json c.metrics);
+     ]
+    @ (if String.equal c.context "" then []
+       else [ ("context", Json.String c.context) ])
+    @
+    match c.cells with
+    | [] -> []
+    | cells ->
+      [
+        ( "cells",
+          Json.List
+            (List.map
+               (fun (i, row) -> Json.List [ Json.Int i; Json.String row ])
+               cells) );
+      ])
 
 let to_json t =
   Json.Obj
-    [
-      ("schema", Json.Int schema_version);
-      ("pr", Json.Int t.pr);
-      ("jobs", Json.Int t.jobs);
-      ("compile_tier", Json.Int t.compile_tier);
-      ("campaigns", Json.List (List.map campaign_to_json t.campaigns));
-    ]
+    ([
+       ("schema", Json.Int schema_version);
+       ("pr", Json.Int t.pr);
+       ("jobs", Json.Int t.jobs);
+       ("compile_tier", Json.Int t.compile_tier);
+       ("shards", Json.Int t.shards);
+     ]
+    @ (match t.shard with Some k -> [ ("shard", Json.Int k) ] | None -> [])
+    @ (match t.merged_from with
+      | [] -> []
+      | fs -> [ ("merged_from", Json.List (List.map (fun f -> Json.String f) fs)) ])
+    @ [ ("campaigns", Json.List (List.map campaign_to_json t.campaigns)) ])
 
 let write path t =
   let oc = open_out path in
@@ -56,8 +93,8 @@ let require what = function Some v -> Ok v | None -> Error ("missing or ill-type
 
 let check_schema j =
   let* v = require "\"schema\"" (Option.bind (Json.member "schema" j) Json.to_int_opt) in
-  if v <> schema_version then
-    Error (Printf.sprintf "unsupported schema %d (want %d)" v schema_version)
+  if v <> 2 && v <> schema_version then
+    Error (Printf.sprintf "unsupported schema %d (want 2 or %d)" v schema_version)
   else Ok ()
 
 let metrics_of_json what j =
@@ -71,6 +108,22 @@ let metrics_of_json what j =
     (Ok []) fields
   |> Result.map List.rev
 
+let cells_of_json j =
+  match Json.to_list_opt j with
+  | None -> Error "campaign \"cells\" is not a list"
+  | Some entries ->
+    List.fold_left
+      (fun acc e ->
+        let* acc = acc in
+        match Json.to_list_opt e with
+        | Some [ i; row ] -> (
+          match (Json.to_int_opt i, Json.to_string_opt row) with
+          | Some i, Some row -> Ok ((i, row) :: acc)
+          | _ -> Error "ill-typed cell entry")
+        | _ -> Error "ill-typed cell entry")
+      (Ok []) entries
+    |> Result.map List.rev
+
 let campaign_of_json j =
   let* name = require "campaign \"name\"" (Option.bind (Json.member "name" j) Json.to_string_opt) in
   let* wall_s =
@@ -80,7 +133,16 @@ let campaign_of_json j =
     let* m = require "campaign \"metrics\"" (Json.member "metrics" j) in
     metrics_of_json "campaign \"metrics\"" m
   in
-  Ok { name; wall_s; metrics }
+  let context =
+    Option.value ~default:""
+      (Option.bind (Json.member "context" j) Json.to_string_opt)
+  in
+  let* cells =
+    match Json.member "cells" j with
+    | None -> Ok []
+    | Some c -> cells_of_json c
+  in
+  Ok { name; wall_s; metrics; context; cells }
 
 let of_json j =
   let* () = check_schema j in
@@ -96,6 +158,16 @@ let of_json j =
       | Some b -> Ok (if b then 1 else 0)
       | None -> Error "missing or ill-typed \"compile_tier\"")
   in
+  (* schema-2 files carry no shard provenance: an unsharded record *)
+  let shards =
+    Option.value ~default:1 (Option.bind (Json.member "shards" j) Json.to_int_opt)
+  in
+  let shard = Option.bind (Json.member "shard" j) Json.to_int_opt in
+  let merged_from =
+    match Option.bind (Json.member "merged_from" j) Json.to_list_opt with
+    | None -> []
+    | Some fs -> List.filter_map Json.to_string_opt fs
+  in
   let* campaigns =
     let* cs = require "\"campaigns\"" (Option.bind (Json.member "campaigns" j) Json.to_list_opt) in
     List.fold_left
@@ -106,7 +178,7 @@ let of_json j =
       (Ok []) cs
     |> Result.map List.rev
   in
-  Ok { pr; jobs; compile_tier; campaigns }
+  Ok { pr; jobs; compile_tier; shards; shard; merged_from; campaigns }
 
 let read_file path =
   match open_in_bin path with
@@ -122,7 +194,7 @@ let read path =
   let* j = Json.parse s in
   of_json j
 
-(* A --metrics-out snapshot: {"schema": 2, "metrics": {...}}. *)
+(* A --metrics-out snapshot: {"schema": 3, "metrics": {...}}. *)
 
 let metrics_snapshot_to_json metrics =
   Json.Obj [ ("schema", Json.Int schema_version); ("metrics", metrics_to_json metrics) ]

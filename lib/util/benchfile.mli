@@ -1,14 +1,20 @@
 (** Versioned schema for the telemetry JSON files.
 
     Two shapes share the version number {!schema_version}:
-    - the perf trajectory record ([--bench-out], [BENCH_*.json]):
-      [{"schema": 2, "pr": .., "jobs": .., "compile_tier": ..,
-      "campaigns": [{"name", "wall_s", "metrics": {..}}]}]
+    - the perf trajectory record ([--bench-out], [BENCH_*.json], and
+      the shard files [--shard K/N] writes):
+      [{"schema": 3, "pr": .., "jobs": .., "compile_tier": ..,
+      "shards": .., "shard"?: .., "merged_from"?: [..],
+      "campaigns": [{"name", "wall_s", "metrics": {..},
+      "context"?: .., "cells"?: [[i, hex], ..]}]}]
     - the bare metrics snapshot ([--metrics-out]):
-      [{"schema": 2, "metrics": {..}}]
+      [{"schema": 3, "metrics": {..}}]
 
-    Metrics objects map registry metric names to integers (histograms
-    are pre-flattened into per-bucket entries by the registry snapshot).
+    Schema 3 adds shard provenance (shard index/count, merged-from)
+    and optional per-campaign cell rows; readers accept schema 2 files
+    (which read back as unsharded records) as well. Metrics objects
+    map registry metric names to integers (histograms are
+    pre-flattened into per-bucket entries by the registry snapshot).
     [read (write x) = Ok x] up to float representation — the CI perf
     gate relies on this round-trip. *)
 
@@ -18,6 +24,14 @@ type campaign = {
   name : string;
   wall_s : float;
   metrics : (string * int) list;  (** name-sorted registry snapshot *)
+  context : string;
+      (** campaign-config fingerprint (e.g. the loadbench header
+          line); shards must agree on it before their rows may merge.
+          [""] when the campaign takes no configuration. *)
+  cells : (int * string) list;
+      (** (cell index, hex-encoded marshalled row) pairs — present
+          only in shard files, where they carry the shard's computed
+          rows to the merge step *)
 }
 
 type t = {
@@ -27,8 +41,31 @@ type t = {
       (** 0 = interpreter, 1 = per-block closures, 2 = chained/fused,
           3 = chained/fused + register caching. PR <= 6 records stored
           a boolean; the reader maps it to 0/1. *)
+  shards : int;  (** total shard count; 1 = unsharded *)
+  shard : int option;
+      (** [Some k] on a file written by [--shard K/N] (0-based) *)
+  merged_from : string list;
+      (** shard files a [bench merge] combined into this record *)
   campaigns : campaign list;
 }
+
+val campaign :
+  ?context:string ->
+  ?cells:(int * string) list ->
+  name:string ->
+  wall_s:float ->
+  (string * int) list ->
+  campaign
+
+val make :
+  ?shards:int ->
+  ?shard:int ->
+  ?merged_from:string list ->
+  pr:int ->
+  jobs:int ->
+  compile_tier:int ->
+  campaign list ->
+  t
 
 val to_json : t -> Json.t
 val of_json : Json.t -> (t, string) result

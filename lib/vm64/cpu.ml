@@ -58,6 +58,23 @@ let clone t =
     tcache = Tcache.clone t.tcache;
   }
 
+let snapshot t =
+  {
+    gprs = Array.copy t.gprs;
+    xmms = Array.copy t.xmms;
+    rip = t.rip;
+    flags =
+      { zf = t.flags.zf; sf = t.flags.sf; cf = t.flags.cf; of_ = t.flags.of_ };
+    fs_base = t.fs_base;
+    cycles = t.cycles;
+    insn_tax = t.insn_tax;
+    call_tax = t.call_tax;
+    (* exact RNG state, unlike [clone]: a resumed snapshot must replay
+       the same rdrand stream a cold spawn of the same seed would *)
+    rng = Util.Prng.copy t.rng;
+    tcache = Tcache.clone t.tcache;
+  }
+
 let add_cycles t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
 
 let invalidate_decode t ~addr ~len = Tcache.invalidate_range t.tcache ~addr ~len

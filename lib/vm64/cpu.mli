@@ -41,6 +41,13 @@ val clone : t -> t
     and child draw different entropy afterwards (as real [rdrand]
     would). *)
 
+val snapshot : t -> t
+(** Deep copy preserving the exact RNG state (unlike {!clone}, which
+    splits it). Used by zygote snapshots: a process resumed from a
+    snapshot must draw the same [rdrand] stream the frozen original
+    would have, so restored runs are bit-identical to cold spawns. The
+    translation cache is shared copy-on-mutate, like {!clone}. *)
+
 val add_cycles : t -> int -> unit
 
 val invalidate_decode : t -> addr:int64 -> len:int -> unit

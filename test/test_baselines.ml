@@ -31,9 +31,22 @@ int main() {
 }
 |}
 
+(* enqueue + schedule + stop_of: run one process to its next park *)
+let kernel_run k p =
+  Os.Kernel.enqueue k p;
+  Os.Kernel.schedule k;
+  Os.Kernel.stop_of p
+
+(* deliver + schedule + reap: the old resume-with-request composite *)
+let kernel_resume k p req =
+  Os.Kernel.deliver_request k p req;
+  Os.Kernel.schedule k;
+  Os.Kernel.reap_zombies k p;
+  Os.Kernel.stop_of p
+
 let pause kernel image preload =
   let proc = Os.Kernel.spawn kernel ~preload image in
-  match Os.Kernel.run kernel proc with
+  match kernel_run kernel proc with
   | Os.Kernel.Stop_accept -> proc
   | other -> Alcotest.failf "never paused: %s" (Os.Kernel.stop_to_string other)
 
@@ -61,7 +74,7 @@ let test_dynaguard_buffer_tracks_frames () =
       (Vm64.Memory.read_u64 mem addr)
   done;
   (* finish the run: epilogues decrement the count back to zero *)
-  (match Os.Kernel.resume_with_request kernel proc (Bytes.create 0) with
+  (match kernel_resume kernel proc (Bytes.create 0) with
   | Os.Kernel.Stop_exit _ -> ()
   | other -> Alcotest.failf "did not finish: %s" (Os.Kernel.stop_to_string other));
   Alcotest.(check int) "buffer drained on return" 0 (dg_count mem)
@@ -96,7 +109,7 @@ int main() {
     Os.Kernel.spawn kernel ~preload:Os.Preload.Dynaguard_fix (compile src)
   in
   let parent_c = Pssp.Tls.canary proc.Os.Process.mem ~fs_base:Vm64.Layout.tls_base in
-  (match Os.Kernel.run kernel proc with
+  (match kernel_run kernel proc with
   | Os.Kernel.Stop_exit _ -> ()
   | other -> Alcotest.failf "run: %s" (Os.Kernel.stop_to_string other));
   match Os.Kernel.last_reaped kernel with
@@ -145,7 +158,7 @@ let test_dcr_list_structure () =
   let sorted = List.sort Int64.compare nodes in
   Alcotest.(check bool) "list runs from newest (lowest) upwards" true (sorted = nodes);
   (* unwind: the head pointer must retreat as frames pop *)
-  (match Os.Kernel.resume_with_request kernel proc (Bytes.create 0) with
+  (match kernel_resume kernel proc (Bytes.create 0) with
   | Os.Kernel.Stop_exit _ -> ()
   | other -> Alcotest.failf "did not finish: %s" (Os.Kernel.stop_to_string other));
   Alcotest.check i64 "head cleared after full unwind" 0L (dcr_head mem)

@@ -193,7 +193,9 @@ int main() { return f(); }
   let image = Mcc.Driver.compile ~scheme:Pssp.Scheme.Pssp_owf (Minic.Parser.parse src) in
   let kernel = Os.Kernel.create () in
   let proc = Os.Kernel.spawn kernel image in
-  (match Os.Kernel.run kernel proc with
+  Os.Kernel.enqueue kernel proc;
+  Os.Kernel.schedule kernel;
+  (match Os.Kernel.stop_of proc with
   | Os.Kernel.Stop_accept -> ()
   | other -> Alcotest.failf "pause: %s" (Os.Kernel.stop_to_string other));
   let cpu = proc.Os.Process.cpu in

@@ -10,7 +10,9 @@ let run ?input ?fuel ?(scheme = Pssp.Scheme.None_) src =
     Os.Kernel.spawn k ?input ~preload:(Mcc.Driver.preload_for scheme)
       (compile ~scheme src)
   in
-  (Os.Kernel.run ?fuel k p, p)
+  Os.Kernel.enqueue k p;
+  Os.Kernel.schedule ?fuel k;
+  (Os.Kernel.stop_of p, p)
 
 (* ---- stack behaviour ----------------------------------------------------- *)
 

@@ -6,11 +6,17 @@ open Minic
 let compile ?(scheme = Pssp.Scheme.None_) ?linkage src =
   Mcc.Driver.compile ~scheme ?linkage (Parser.parse src)
 
+(* enqueue + schedule + stop_of: run one process to its next park *)
+let kernel_run ?fuel k p =
+  Os.Kernel.enqueue k p;
+  Os.Kernel.schedule ?fuel k;
+  Os.Kernel.stop_of p
+
 (* Run a program and return (exit_code, stdout). *)
 let run ?(scheme = Pssp.Scheme.None_) ?input src =
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ?input ~preload:(Mcc.Driver.preload_for scheme) (compile ~scheme src) in
-  match Os.Kernel.run k p with
+  match kernel_run k p with
   | Os.Kernel.Stop_exit code -> (code, Os.Process.stdout p)
   | other -> Alcotest.failf "program died: %s" (Os.Kernel.stop_to_string other)
 
@@ -492,7 +498,7 @@ let test_overflow_detected_each_scheme () =
           ~preload:(Mcc.Driver.preload_for scheme)
           (compile ~scheme src)
       in
-      match Os.Kernel.run k p with
+      match kernel_run k p with
       | Os.Kernel.Stop_kill (Os.Process.Sigabrt, _) -> ()
       | other ->
         Alcotest.failf "%s missed the smash: %s" (Pssp.Scheme.name scheme)
@@ -509,7 +515,7 @@ let test_lv_detects_intra_frame_overflow () =
   (* NT misses it (stealthy corruption of the critical buffer) *)
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ~input:payload (compile ~scheme:Pssp.Scheme.Pssp_nt src) in
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_exit 0 ->
     let out = Os.Process.stdout p in
     Alcotest.(check bool) "critical buffer corrupted silently" true
@@ -520,7 +526,7 @@ let test_lv_detects_intra_frame_overflow () =
   let p2 =
     Os.Kernel.spawn k2 ~input:payload (compile ~scheme:(Pssp.Scheme.Pssp_lv 1) src)
   in
-  match Os.Kernel.run k2 p2 with
+  match kernel_run k2 p2 with
   | Os.Kernel.Stop_kill (Os.Process.Sigabrt, _) -> ()
   | other -> Alcotest.failf "LV missed it: %s" (Os.Kernel.stop_to_string other)
 
@@ -550,7 +556,7 @@ int main() {
     let image = Mcc.Driver.compile ~scheme:Pssp.Scheme.Pssp ~optimize (Minic.Parser.parse src) in
     let k = Os.Kernel.create () in
     let p = Os.Kernel.spawn k ~preload:Os.Preload.Pssp_wide image in
-    let stop = Os.Kernel.run k p in
+    let stop = kernel_run k p in
     (stop, Os.Process.stdout p, Os.Image.code_size image, Os.Process.cycles p)
   in
   let stop0, out0, size0, cyc0 = run_opt false in
@@ -570,7 +576,7 @@ let test_peephole_suite_differential () =
         in
         let k = Os.Kernel.create () in
         let p = Os.Kernel.spawn k image in
-        match Os.Kernel.run ~fuel:80_000_000 k p with
+        match kernel_run ~fuel:80_000_000 k p with
         | Os.Kernel.Stop_exit 0 -> Os.Process.stdout p
         | other -> Alcotest.failf "%s: %s" bench.Workload.Spec.bench_name (Os.Kernel.stop_to_string other)
       in
@@ -593,7 +599,7 @@ let test_peephole_keeps_ssp_patterns () =
     Os.Kernel.spawn k ~input:(Bytes.make 48 'A')
       ~preload:(Rewriter.Driver.required_preload patched) patched
   in
-  match Os.Kernel.run k p with
+  match kernel_run k p with
   | Os.Kernel.Stop_kill (Os.Process.Sigabrt, _) -> ()
   | other -> Alcotest.failf "smash missed: %s" (Os.Kernel.stop_to_string other)
 
@@ -602,7 +608,7 @@ let test_optimized_div_by_zero_still_faults () =
   let image = Mcc.Driver.compile ~scheme:Pssp.Scheme.None_ ~optimize:true (Minic.Parser.parse src) in
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k image in
-  match Os.Kernel.run k p with
+  match kernel_run k p with
   | Os.Kernel.Stop_kill (Os.Process.Sigill, _) -> ()
   | other -> Alcotest.failf "optimizer ate the fault: %s" (Os.Kernel.stop_to_string other)
 
@@ -617,7 +623,7 @@ let test_folding_shrinks_code () =
   let image = Mcc.Driver.compile ~scheme:Pssp.Scheme.None_ ~optimize:true (Minic.Parser.parse src) in
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k image in
-  Alcotest.(check bool) "value" true (Os.Kernel.run k p = Os.Kernel.Stop_exit 5)
+  Alcotest.(check bool) "value" true (kernel_run k p = Os.Kernel.Stop_exit 5)
 
 let test_peephole_rewrite_patterns () =
   (* unit-level: push/pop fusion and jump threading *)

@@ -6,10 +6,16 @@
 let compile ?(scheme = Pssp.Scheme.Pssp) src =
   Mcc.Driver.compile ~scheme (Minic.Parser.parse src)
 
+(* enqueue + schedule + stop_of: run one process to its next park *)
+let kernel_run k p =
+  Os.Kernel.enqueue k p;
+  Os.Kernel.schedule k;
+  Os.Kernel.stop_of p
+
 let spawn_server ?(scheme = Pssp.Scheme.Pssp) src =
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ~preload:(Mcc.Driver.preload_for scheme) (compile ~scheme src) in
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_accept -> ()
   | other -> Alcotest.failf "server never accepted: %s" (Os.Kernel.stop_to_string other));
   (k, p)
@@ -111,7 +117,7 @@ let test_backlog_overflow_refuses () =
       ignore (Net.Conn.client_send c ~now:(Os.Kernel.now k) "ping");
       Net.Conn.client_shutdown c ~now:(Os.Kernel.now k))
     conns;
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_accept -> ()
   | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
   List.iter
@@ -135,7 +141,7 @@ let test_keepalive_across_child () =
         (i mod List.length profile.Workload.Servers.requests) in
     Alcotest.(check bool) "sent" true
       (Net.Conn.client_send conn ~now:(Os.Kernel.now k) req);
-    (match Os.Kernel.run k p with
+    (match kernel_run k p with
     | Os.Kernel.Stop_accept -> ()
     | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
     let resp = drain conn in
@@ -150,7 +156,7 @@ let test_keepalive_across_child () =
     (Os.Kernel.fork_count k);
   (* half-closing the conn ends the child's recv loop: it exits 0 *)
   Net.Conn.client_shutdown conn ~now:(Os.Kernel.now k);
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_accept -> ()
   | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
   Os.Kernel.reap_zombies k p;
@@ -165,7 +171,7 @@ let test_keepalive_across_child () =
     ignore (Net.Conn.client_send conn2 ~now:(Os.Kernel.now k)
               (List.hd profile.Workload.Servers.requests));
     Net.Conn.client_shutdown conn2 ~now:(Os.Kernel.now k);
-    (match Os.Kernel.run k p with
+    (match kernel_run k p with
     | Os.Kernel.Stop_accept ->
       Alcotest.(check bool) "second connection served" true
         (String.length (drain conn2) > 0)
@@ -185,7 +191,7 @@ let test_slow_sender_times_out () =
     | None -> Alcotest.fail "refused"
   in
   ignore (Net.Conn.client_send slow ~now:(Os.Kernel.now k) "GET /inde");
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_accept -> ()
   | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
   Alcotest.(check bool) "handler parked, not timed out yet" false
@@ -196,7 +202,7 @@ let test_slow_sender_times_out () =
     ignore (Net.Conn.client_send good ~now:(Os.Kernel.now k)
               (List.hd profile.Workload.Servers.requests));
     Net.Conn.client_shutdown good ~now:(Os.Kernel.now k);
-    (match Os.Kernel.run k p with
+    (match kernel_run k p with
     | Os.Kernel.Stop_accept ->
       Alcotest.(check bool) "good conn served around the slow one" true
         (String.length (drain good) > 0)
@@ -205,7 +211,7 @@ let test_slow_sender_times_out () =
   (* idle past the timeout: the kernel resets A and unwedges its child *)
   let timeouts_before = Telemetry.Registry.read_int "net.conn.timeouts" in
   Os.Kernel.advance_to k (Int64.add (Os.Kernel.now k) 2_000_000L);
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_accept -> ()
   | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
   Alcotest.(check bool) "slow conn reset" true (Net.Conn.is_reset slow);
@@ -217,7 +223,7 @@ let test_slow_sender_times_out () =
     ignore (Net.Conn.client_send c ~now:(Os.Kernel.now k)
               (List.hd profile.Workload.Servers.requests));
     Net.Conn.client_shutdown c ~now:(Os.Kernel.now k);
-    (match Os.Kernel.run k p with
+    (match kernel_run k p with
     | Os.Kernel.Stop_accept ->
       Alcotest.(check bool) "post-timeout conn served" true
         (String.length (drain c) > 0)
@@ -251,14 +257,14 @@ int main() {
     Os.Kernel.spawn k ~preload:Os.Preload.No_preload
       (compile ~scheme:Pssp.Scheme.None_ src)
   in
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_accept -> ()
   | other ->
     Alcotest.failf "server never accepted: %s" (Os.Kernel.stop_to_string other));
   (match Os.Kernel.connect k p with
   | Some _ -> ()
   | None -> Alcotest.fail "refused");
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_exit 0 -> ()
   | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
   Alcotest.(check string) "read returned EAGAIN" "-2" (Os.Process.stdout p)
@@ -271,7 +277,7 @@ let spawn_ready ?(scheme = Pssp.Scheme.Pssp) src =
     Os.Kernel.spawn k ~preload:(Mcc.Driver.preload_for scheme)
       (compile ~scheme src)
   in
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_accept | Os.Kernel.Stop_io -> ()
   | other ->
     Alcotest.failf "server never became ready: %s"
@@ -292,7 +298,7 @@ let test_event_server_keepalive () =
     Alcotest.(check bool) "sent" true
       (Net.Conn.client_send conn ~now:(Os.Kernel.now k)
          (List.hd profile.Workload.Servers.requests));
-    (match Os.Kernel.run k p with
+    (match kernel_run k p with
     | Os.Kernel.Stop_io -> ()
     | other ->
       Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
@@ -309,7 +315,7 @@ let test_event_server_keepalive () =
   Alcotest.(check int) "single-process architecture" 0 (Os.Kernel.fork_count k);
   (* half-close ends the connection server-side without killing the loop *)
   Net.Conn.client_shutdown a ~now:(Os.Kernel.now k);
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_io -> ()
   | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
   Alcotest.(check bool) "closed conn released" true (Net.Conn.server_closed a);
@@ -405,7 +411,7 @@ let test_sharded_round_robin () =
   List.iter
     (fun c -> Net.Conn.client_shutdown c ~now:(Os.Kernel.now k))
     conns;
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_io -> ()
   | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
   let pids = List.map (fun c -> String.trim (drain c)) conns in
@@ -451,7 +457,7 @@ let wake_order_transcript () =
           | Some c -> c
           | None -> Alcotest.failf "connect %d refused" i
         in
-        (match Os.Kernel.run k p with
+        (match kernel_run k p with
         | Os.Kernel.Stop_accept -> ()
         | other ->
           Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
@@ -463,7 +469,7 @@ let wake_order_transcript () =
         (Net.Conn.client_send conns.(i) ~now:(Os.Kernel.now k) "SELECT 77");
       Net.Conn.client_shutdown conns.(i) ~now:(Os.Kernel.now k))
     [ 2; 0; 1 ];
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_accept -> ()
   | other -> Alcotest.failf "server died: %s" (Os.Kernel.stop_to_string other));
   let responses = Array.map drain conns in
@@ -550,8 +556,8 @@ let test_not_blocked_in_accept () =
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ~preload:Os.Preload.No_preload image in
   ignore (Os.Kernel.run_to_exit k p);
-  match Os.Kernel.resume_with_request k p (Bytes.of_string "x") with
-  | _ -> Alcotest.fail "resume on an exited process must raise"
+  match Os.Kernel.deliver_request k p (Bytes.of_string "x") with
+  | () -> Alcotest.fail "delivery to an exited process must raise"
   | exception Os.Kernel.Not_blocked_in_accept { pid; status } ->
     Alcotest.(check int) "pid" p.Os.Process.pid pid;
     Alcotest.(check bool) "status carried" true (status = Os.Process.Exited 0)

@@ -5,10 +5,23 @@ let i64 = Alcotest.testable (Fmt.fmt "0x%Lx") Int64.equal
 let compile ?(scheme = Pssp.Scheme.None_) src =
   Mcc.Driver.compile ~scheme (Minic.Parser.parse src)
 
+(* enqueue + schedule + stop_of: run one process to its next park *)
+let kernel_run k p =
+  Os.Kernel.enqueue k p;
+  Os.Kernel.schedule k;
+  Os.Kernel.stop_of p
+
+(* deliver + schedule + reap: the old resume-with-request composite *)
+let kernel_resume k p req =
+  Os.Kernel.deliver_request k p req;
+  Os.Kernel.schedule k;
+  Os.Kernel.reap_zombies k p;
+  Os.Kernel.stop_of p
+
 let run ?input ?preload ?(scheme = Pssp.Scheme.None_) src =
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ?input ?preload (compile ~scheme src) in
-  let stop = Os.Kernel.run k p in
+  let stop = kernel_run k p in
   (k, p, stop)
 
 (* ---- basic program lifecycle ---------------------------------------------- *)
@@ -41,10 +54,10 @@ let test_abort () =
 let test_run_dead_process_rejected () =
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k (compile "int main() { return 0; }") in
-  ignore (Os.Kernel.run k p);
+  ignore (kernel_run k p);
   Alcotest.check_raises "already dead"
-    (Invalid_argument "Kernel.run: process already dead") (fun () ->
-      ignore (Os.Kernel.run k p))
+    (Invalid_argument "Kernel.enqueue: process already dead") (fun () ->
+      ignore (kernel_run k p))
 
 (* ---- glibc builtins -------------------------------------------------------- *)
 
@@ -111,7 +124,7 @@ let test_rand_deterministic_per_seed () =
   let go () =
     let k = Os.Kernel.create ~seed:99L () in
     let p = Os.Kernel.spawn k (compile "int main() { print_int(rand()); return 0; }") in
-    ignore (Os.Kernel.run k p);
+    ignore (kernel_run k p);
     Os.Process.stdout p
   in
   Alcotest.(check string) "reproducible" (go ()) (go ())
@@ -257,7 +270,7 @@ let test_fork_tls_cloned () =
   let image = compile fork_src in
   let p = Os.Kernel.spawn k image in
   let parent_canary = Pssp.Tls.canary p.Os.Process.mem ~fs_base:Vm64.Layout.tls_base in
-  ignore (Os.Kernel.run k p);
+  ignore (kernel_run k p);
   match Os.Kernel.last_reaped k with
   | Some child ->
     Alcotest.check i64 "child canary = parent canary" parent_canary
@@ -278,7 +291,7 @@ let test_preload_pssp_wide () =
   let c = canary_of p in
   let pair = shadow_of p in
   Alcotest.check i64 "shadow XORs to C at start" c (Pssp.Canary.combine pair);
-  ignore (Os.Kernel.run k p);
+  ignore (kernel_run k p);
   (match Os.Kernel.last_reaped k with
   | Some child ->
     let child_pair = shadow_of child in
@@ -294,7 +307,7 @@ let test_preload_raf_changes_canary () =
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ~preload:Os.Preload.Raf (compile ~scheme:Pssp.Scheme.Ssp fork_src) in
   let c = canary_of p in
-  ignore (Os.Kernel.run k p);
+  ignore (kernel_run k p);
   match Os.Kernel.last_reaped k with
   | Some child ->
     Alcotest.(check bool) "RAF refreshed the TLS canary" false (canary_of child = c)
@@ -374,10 +387,10 @@ int main() {
   in
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k (compile src) in
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_accept -> ()
   | other -> Alcotest.fail (Os.Kernel.stop_to_string other));
-  ignore (Os.Kernel.resume_with_request k p (Bytes.of_string "x"));
+  ignore (kernel_resume k p (Bytes.of_string "x"));
   Alcotest.(check string) "original helper" "1" (Os.Process.stdout p);
   let helper = (Os.Image.find_symbol_exn p.Os.Process.image "helper").Os.Image.sym_addr in
   let patch =
@@ -386,12 +399,12 @@ int main() {
   in
   (* a raw memory write leaves the cached decode of helper stale... *)
   Vm64.Memory.write_bytes p.Os.Process.mem helper patch;
-  ignore (Os.Kernel.resume_with_request k p (Bytes.of_string "x"));
+  ignore (kernel_resume k p (Bytes.of_string "x"));
   Alcotest.(check string) "stale decode after raw write" "11"
     (Os.Process.stdout p);
   (* ...patch_text writes and invalidates, so the new code executes *)
   Os.Process.patch_text p ~addr:helper patch;
-  ignore (Os.Kernel.resume_with_request k p (Bytes.of_string "x"));
+  ignore (kernel_resume k p (Bytes.of_string "x"));
   Alcotest.(check string) "patched helper after invalidation" "112"
     (Os.Process.stdout p)
 
@@ -417,7 +430,7 @@ let test_tracer_ring () =
   let tracer = Os.Debug.ring_tracer ~capacity:4 in
   let k = Os.Kernel.create ~on_retire:(Os.Debug.on_retire tracer) () in
   let p = Os.Kernel.spawn k (compile "int main() { return 1 + 2; }") in
-  ignore (Os.Kernel.run k p);
+  ignore (kernel_run k p);
   let lines = Os.Debug.recent tracer () in
   Alcotest.(check int) "window size" 4 (List.length lines);
   Alcotest.(check bool) "many retired" true (Os.Debug.retired tracer > 4);
@@ -448,7 +461,7 @@ int main() { return outer(1); }
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k (compile src) in
   (* run until exit; backtrace at that point still has the frames *)
-  ignore (Os.Kernel.run k p);
+  ignore (kernel_run k p);
   let frames = Os.Debug.backtrace p in
   let names = List.filter_map (fun f -> f.Os.Debug.in_function) frames in
   Alcotest.(check bool) "sees middle" true (List.mem "middle" names);
@@ -461,7 +474,7 @@ let test_backtrace_survives_smash () =
     Os.Kernel.spawn k ~input:(Bytes.make 64 'Z')
       (compile ~scheme:Pssp.Scheme.None_ (Workload.Vuln.echo_once ~buffer_size:16))
   in
-  ignore (Os.Kernel.run k p);
+  ignore (kernel_run k p);
   (* the rbp chain is trashed; the walker must terminate, not loop *)
   let frames = Os.Debug.backtrace p in
   Alcotest.(check bool) "bounded" true (List.length frames <= 64)
@@ -471,7 +484,7 @@ let test_backtrace_survives_smash () =
 let autopsy_of ?input ~scheme src =
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ?input ~preload:(Mcc.Driver.preload_for scheme) (compile ~scheme src) in
-  ignore (Os.Kernel.run k p);
+  ignore (kernel_run k p);
   Os.Autopsy.examine p
 
 let vuln_src = Workload.Vuln.echo_once ~buffer_size:16
@@ -548,7 +561,7 @@ let test_objfile_rewritten_roundtrip () =
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ~input:(Bytes.of_string "ok") back in
   Alcotest.(check bool) "reloaded binary runs" true
-    (Os.Kernel.run k p = Os.Kernel.Stop_exit 0)
+    (kernel_run k p = Os.Kernel.Stop_exit 0)
 
 let test_objfile_rejects_garbage () =
   let check_fails b =
@@ -572,7 +585,7 @@ let test_objfile_save_load () =
   Sys.remove path;
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k back in
-  ignore (Os.Kernel.run k p);
+  ignore (kernel_run k p);
   Alcotest.(check string) "runs after reload" "persisted" (Os.Process.stdout p)
 
 let () =

@@ -6,8 +6,9 @@
 let run_image ?(input = Bytes.create 0) image preload =
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ~input ~preload image in
-  let stop = Os.Kernel.run ~fuel:20_000_000 k p in
-  (stop, Os.Process.stdout p)
+  Os.Kernel.enqueue k p;
+  Os.Kernel.schedule ~fuel:20_000_000 k;
+  (Os.Kernel.stop_of p, Os.Process.stdout p)
 
 let build_variants program =
   let compiled scheme optimize =

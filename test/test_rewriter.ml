@@ -6,6 +6,12 @@ let compile ?(scheme = Pssp.Scheme.Ssp) ?linkage src =
 
 let vuln = Workload.Vuln.echo_once ~buffer_size:16
 
+(* enqueue + schedule + stop_of: run one process to its next park *)
+let kernel_run k p =
+  Os.Kernel.enqueue k p;
+  Os.Kernel.schedule k;
+  Os.Kernel.stop_of p
+
 let guarded_src =
   {|
 int f1() { char a[8]; read_input(a); return 0; }
@@ -94,13 +100,13 @@ let test_instrumented_runs_and_detects () =
   (* benign *)
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ~input:(Bytes.of_string "ok") ~preload patched in
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_exit 0 -> ()
   | other -> Alcotest.failf "benign: %s" (Os.Kernel.stop_to_string other));
   (* smash *)
   let k2 = Os.Kernel.create () in
   let p2 = Os.Kernel.spawn k2 ~input:(Bytes.make 48 'A') ~preload patched in
-  match Os.Kernel.run k2 p2 with
+  match kernel_run k2 p2 with
   | Os.Kernel.Stop_kill (Os.Process.Sigabrt, _) -> ()
   | other -> Alcotest.failf "smash missed: %s" (Os.Kernel.stop_to_string other)
 
@@ -127,12 +133,12 @@ let test_instrument_static () =
   (* runs without any preload: the added code is self-contained *)
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ~input:(Bytes.of_string "hi") patched in
-  (match Os.Kernel.run k p with
+  (match kernel_run k p with
   | Os.Kernel.Stop_exit 0 -> ()
   | other -> Alcotest.failf "static benign: %s" (Os.Kernel.stop_to_string other));
   let k2 = Os.Kernel.create () in
   let p2 = Os.Kernel.spawn k2 ~input:(Bytes.make 48 'A') patched in
-  match Os.Kernel.run k2 p2 with
+  match kernel_run k2 p2 with
   | Os.Kernel.Stop_kill (Os.Process.Sigabrt, _) -> ()
   | other -> Alcotest.failf "static smash missed: %s" (Os.Kernel.stop_to_string other)
 

@@ -1,0 +1,132 @@
+(* Campaign sharding: serial output is byte-identical to any shard
+   count, shards partition the cell space, and merged registry
+   snapshots equal the serial ones. *)
+
+let capture_stdout f =
+  flush stdout;
+  let file = Filename.temp_file "capture" ".out" in
+  let fd = Unix.openfile file [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o600 in
+  let saved = Unix.dup Unix.stdout in
+  Unix.dup2 fd Unix.stdout;
+  Unix.close fd;
+  let restore () =
+    flush stdout;
+    Unix.dup2 saved Unix.stdout;
+    Unix.close saved
+  in
+  let r =
+    try f ()
+    with e ->
+      restore ();
+      Sys.remove file;
+      raise e
+  in
+  restore ();
+  let ic = open_in_bin file in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  Sys.remove file;
+  (r, s)
+
+let metrics = Alcotest.(list (pair string int))
+
+let check_shard_invariant name campaign =
+  let serial_metrics, serial_out = capture_stdout (fun () -> Harness.Campaign.run campaign) in
+  Alcotest.(check bool) (name ^ ": serial output nonempty") true (String.length serial_out > 0);
+  List.iter
+    (fun shards ->
+      let m, out =
+        capture_stdout (fun () -> Harness.Campaign.run ~shards campaign)
+      in
+      Alcotest.(check string)
+        (Printf.sprintf "%s: %d-shard stdout byte-identical" name shards)
+        serial_out out;
+      Alcotest.check metrics
+        (Printf.sprintf "%s: %d-shard metrics identical" name shards)
+        serial_metrics m)
+    [ 2; 4 ]
+
+(* ---- the two campaigns the CI smoke step shards ---------------------------- *)
+
+let test_effectiveness_shard_identical () =
+  check_shard_invariant "effectiveness"
+    (Harness.Effectiveness.campaign ~budget:1_500 ())
+
+let test_loadbench_shard_identical () =
+  check_shard_invariant "loadbench"
+    (Harness.Loadbench.campaign ~mode:Net.Loadgen.Closed ~connections:16
+       ~keepalive:4
+       ~archs:[ Harness.Loadbench.Fork; Harness.Loadbench.Event ]
+       ~total:64 ())
+
+(* a cheap structural campaign exercises jobs x shards composition *)
+let test_shard_with_jobs () =
+  let c = Harness.Table2.campaign () in
+  let serial_metrics, serial_out = capture_stdout (fun () -> Harness.Campaign.run c) in
+  let m, out =
+    capture_stdout (fun () -> Harness.Campaign.run ~jobs:2 ~shards:3 c)
+  in
+  Alcotest.(check string) "jobs=2 shards=3 stdout" serial_out out;
+  Alcotest.check metrics "jobs=2 shards=3 metrics" serial_metrics m
+
+(* ---- partitioning ----------------------------------------------------------- *)
+
+let test_shards_partition_cells () =
+  let c = Harness.Effectiveness.campaign ~budget:200 () in
+  let shards = 3 in
+  let owned =
+    List.concat_map
+      (fun k -> Harness.Campaign.shard_cells c ~shards ~shard:k)
+      (List.init shards Fun.id)
+  in
+  Alcotest.(check (list int))
+    "every cell owned exactly once"
+    (List.init c.Harness.Campaign.cells Fun.id)
+    (List.sort compare owned);
+  (* shard rows carry their original indices *)
+  let rows = Harness.Campaign.run_shard c ~shards ~shard:1 in
+  Alcotest.(check (list int))
+    "row indices = owned cells"
+    (Harness.Campaign.shard_cells c ~shards ~shard:1)
+    (List.map fst rows)
+
+let test_render_rejects_missing_cell () =
+  let c = Harness.Table2.campaign () in
+  let rows = Harness.Campaign.run_shard c ~shards:2 ~shard:0 in
+  (* half the cells are missing: render must refuse, not print garbage *)
+  match capture_stdout (fun () -> Harness.Campaign.render c rows) with
+  | _ -> Alcotest.fail "render with missing cells must fail"
+  | exception Failure _ -> ()
+
+let test_run_shard_validates_ranges () =
+  let c = Harness.Table2.campaign () in
+  (match Harness.Campaign.run_shard c ~shards:0 ~shard:0 with
+  | _ -> Alcotest.fail "shards=0 must be rejected"
+  | exception Invalid_argument _ -> ());
+  match Harness.Campaign.run_shard c ~shards:2 ~shard:2 with
+  | _ -> Alcotest.fail "shard out of range must be rejected"
+  | exception Invalid_argument _ -> ()
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "byte identity",
+        [
+          Alcotest.test_case "effectiveness: serial = 2-shard = 4-shard" `Slow
+            test_effectiveness_shard_identical;
+          Alcotest.test_case "loadbench: serial = 2-shard = 4-shard" `Slow
+            test_loadbench_shard_identical;
+          Alcotest.test_case "table2 under jobs=2 shards=3" `Quick
+            test_shard_with_jobs;
+        ] );
+      ( "partitioning",
+        [
+          Alcotest.test_case "shards tile the cell space" `Quick
+            test_shards_partition_cells;
+          Alcotest.test_case "render rejects missing cells" `Quick
+            test_render_rejects_missing_cell;
+          Alcotest.test_case "run_shard validates ranges" `Quick
+            test_run_shard_validates_ranges;
+        ] );
+    ]

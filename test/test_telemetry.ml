@@ -173,7 +173,9 @@ let test_profile_attribution () =
   Telemetry.Profile.set_enabled true;
   let kernel = Os.Kernel.create () in
   let proc = Os.Kernel.spawn kernel ~preload:Os.Preload.Pssp_wide image in
-  let stop = Os.Kernel.run kernel proc in
+  Os.Kernel.enqueue kernel proc;
+  Os.Kernel.schedule kernel;
+  let stop = Os.Kernel.stop_of proc in
   Telemetry.Profile.set_enabled false;
   Alcotest.(check string) "program exits cleanly" "exited 0"
     (Os.Kernel.stop_to_string stop);
@@ -220,19 +222,11 @@ let test_json_roundtrip () =
 
 let test_benchfile_roundtrip () =
   let t =
-    {
-      Util.Benchfile.pr = 4;
-      jobs = 2;
-      compile_tier = 2;
-      campaigns =
-        [
-          {
-            Util.Benchfile.name = "effectiveness";
-            wall_s = 1.25;
-            metrics = [ ("a.count", 3); ("b.count", 0) ];
-          };
-        ];
-    }
+    Util.Benchfile.make ~pr:4 ~jobs:2 ~compile_tier:2
+      [
+        Util.Benchfile.campaign ~name:"effectiveness" ~wall_s:1.25
+          [ ("a.count", 3); ("b.count", 0) ];
+      ]
   in
   let file = Filename.temp_file "bench" ".json" in
   Util.Benchfile.write file t;
@@ -240,6 +234,22 @@ let test_benchfile_roundtrip () =
   | Ok t' -> Alcotest.(check bool) "campaign record round-trips" true (t = t')
   | Error e -> Alcotest.failf "read failed: %s" e);
   Sys.remove file;
+  (* a shard file: provenance and hex-encoded cell rows survive *)
+  let sharded =
+    Util.Benchfile.make ~shards:4 ~shard:1 ~pr:9 ~jobs:1 ~compile_tier:3
+      [
+        Util.Benchfile.campaign ~context:"budget=500"
+          ~cells:[ (1, "00ff10"); (5, "abcd") ]
+          ~name:"effectiveness" ~wall_s:0.5
+          [ ("a.count", 7) ];
+      ]
+  in
+  let sfile = Filename.temp_file "shard" ".json" in
+  Util.Benchfile.write sfile sharded;
+  (match Util.Benchfile.read sfile with
+  | Ok t' -> Alcotest.(check bool) "shard file round-trips" true (sharded = t')
+  | Error e -> Alcotest.failf "shard read failed: %s" e);
+  Sys.remove sfile;
   let metrics = [ ("x", 1); ("y", 2) ] in
   let mfile = Filename.temp_file "metrics" ".json" in
   Util.Benchfile.write_metrics mfile metrics;

@@ -5,11 +5,17 @@
 let schemes_to_check =
   [ Pssp.Scheme.None_; Pssp.Scheme.Ssp; Pssp.Scheme.Pssp; Pssp.Scheme.Pssp_owf ]
 
+(* enqueue + schedule + stop_of: run one process to its next park *)
+let kernel_run ?fuel k p =
+  Os.Kernel.enqueue k p;
+  Os.Kernel.schedule ?fuel k;
+  Os.Kernel.stop_of p
+
 let run_bench bench scheme =
   let image = Mcc.Driver.compile ~scheme (Workload.Spec.parse bench) in
   let k = Os.Kernel.create () in
   let p = Os.Kernel.spawn k ~preload:(Mcc.Driver.preload_for scheme) image in
-  match Os.Kernel.run ~fuel:80_000_000 k p with
+  match kernel_run ~fuel:80_000_000 k p with
   | Os.Kernel.Stop_exit 0 -> Os.Process.stdout p
   | other ->
     Alcotest.failf "%s/%s: %s" bench.Workload.Spec.bench_name
@@ -87,7 +93,7 @@ let server_case (profile : Workload.Servers.profile) =
       in
       let k = Os.Kernel.create () in
       let p = Os.Kernel.spawn k ~preload:Os.Preload.Pssp_wide image in
-      (match Os.Kernel.run k p with
+      (match kernel_run k p with
       | Os.Kernel.Stop_accept -> ()
       | other -> Alcotest.failf "no accept: %s" (Os.Kernel.stop_to_string other));
       List.iter
@@ -99,7 +105,7 @@ let server_case (profile : Workload.Servers.profile) =
             Alcotest.(check bool) "request accepted by conn" true
               (Net.Conn.client_send conn ~now req);
             Net.Conn.client_shutdown conn ~now;
-            match Os.Kernel.run k p with
+            match kernel_run k p with
             | Os.Kernel.Stop_accept -> (
               Os.Kernel.reap_zombies k p;
               match Os.Kernel.last_reaped k with
@@ -134,7 +140,7 @@ let test_raf_probe_discriminates () =
   let child_status scheme =
     let k = Os.Kernel.create () in
     let p = Os.Kernel.spawn k ~preload:(Mcc.Driver.preload_for scheme) (image scheme) in
-    ignore (Os.Kernel.run k p);
+    ignore (kernel_run k p);
     match Os.Kernel.last_reaped k with
     | Some child -> child.Os.Process.status
     | None -> Alcotest.fail "no child"
