@@ -33,7 +33,7 @@ let section = Harness.Campaign.section
 
 let mem_stats_enabled = ref false
 let effectiveness_budget = ref None
-let bench_out = ref "BENCH_pr9.json"
+let bench_out = ref "BENCH_pr10.json"
 
 (* loadbench knobs (see the `loadbench` campaign) *)
 let load_connections = ref 64
@@ -45,6 +45,9 @@ let load_archs =
 
 (* effectiveness victim respawn (--zygote) *)
 let respawn = ref Attack.Oracle.No_respawn
+
+(* --scheme (repeatable): narrow effectiveness to these schemes *)
+let schemes = ref []
 
 (* shard execution (--shards N / --shard K/N) *)
 let shards = ref 1
@@ -91,7 +94,7 @@ let write_bench_json ~jobs =
       | None -> (!shards, None)
     in
     Util.Benchfile.write !bench_out
-      (Util.Benchfile.make ~shards ?shard ~pr:9 ~jobs
+      (Util.Benchfile.make ~shards ?shard ~pr:10 ~jobs
          ~compile_tier:(Vm64.Compile.tier ()) campaigns)
 
 (* One campaign under the dispatcher. In shard mode compute this
@@ -527,6 +530,12 @@ let () =
             Ok ()
           | _ ->
             Error (Harness.Cli.expects ~name:"--zygote" ~what:"off, on or cold" s));
+      Harness.Cli.scheme_value ~name:"--scheme"
+        ~doc:
+          "narrow the effectiveness campaign to this protection scheme\n\
+           (repeatable; default: the full target list). Rejects names\n\
+           Pssp.Scheme.of_name does not know."
+        (fun s -> schemes := !schemes @ [ s ]);
       Harness.Cli.pos_int ~name:"--connections" ~docv:"N"
         ~doc:"loadbench: concurrent client population (default 64)"
         (fun n -> load_connections := n);
@@ -589,7 +598,7 @@ let () =
            every tier."
         Vm64.Compile.set_tier;
       Harness.Cli.string_value ~name:"--bench-out" ~docv:"FILE"
-        ~doc:"where to write the perf trajectory record (default BENCH_pr9.json)"
+        ~doc:"where to write the perf trajectory record (default BENCH_pr10.json)"
         (fun f -> bench_out := f);
     ]
     @ Harness.Cli.telemetry_specs telem
@@ -615,6 +624,7 @@ let () =
       load_mode = !load_mode;
       load_archs = !load_archs;
       respawn = !respawn;
+      schemes = !schemes;
     }
   in
   Harness.Cli.telemetry_start telem;

@@ -22,7 +22,8 @@ let scheme_conv =
 let scheme_arg =
   let doc =
     "Protection scheme: none, ssp, raf-ssp, dynaguard, dcr, pssp, pssp-nt, \
-     pssp-lvN, pssp-owf, pssp-owf-weak."
+     pssp-lvN, pssp-owf, pssp-owf-weak, shadow-compact, shadow-parallel, \
+     pac-canary, wasm-ssp."
   in
   Arg.(value & opt scheme_conv Pssp.Scheme.Pssp & info [ "s"; "scheme" ] ~doc)
 
@@ -380,7 +381,8 @@ let schemes_cmd =
     List.iter
       (fun s -> Printf.printf "%-14s %s\n" (Pssp.Scheme.name s) (Pssp.Scheme.title s))
       (Pssp.Scheme.all_basic @ Pssp.Scheme.all_extensions
-      @ [ Pssp.Scheme.Pssp_owf_weak; Pssp.Scheme.Pssp_gb ])
+      @ [ Pssp.Scheme.Pssp_owf_weak; Pssp.Scheme.Pssp_gb ]
+      @ Pssp.Scheme.all_families)
   in
   Cmd.v (Cmd.info "schemes" ~doc:"List available protection schemes.")
     Term.(const action $ const ())

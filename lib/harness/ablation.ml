@@ -243,35 +243,109 @@ let gb_compiled_table r =
     ];
   t
 
+(* ---- 4. the defense families as compiled code --------------------------- *)
+
+type family_row = {
+  fam_scheme : Pssp.Scheme.t;
+  fam_broken : bool;
+  fam_trials : int;
+  fam_guard_words : int;
+  fam_cycles_per_call : float;
+}
+
+(* Same probes as the compiled global-buffer cell, one row per family:
+   byte-by-byte outcome, on-frame guard words, prologue+epilogue cycles.
+   Expected column: shadow stacks and PAC resist with zero or one guard
+   word; wasm-ssp keeps the SSP layout and falls the same way. *)
+let family_cell ?(budget = 12_000) scheme =
+  let buffer_size = 16 in
+  let program = Minic.Parser.parse (Workload.Vuln.fork_server ~buffer_size) in
+  let image = Mcc.Driver.compile ~scheme program in
+  let oracle =
+    Attack.Oracle.create ~preload:(Mcc.Driver.preload_for scheme) image
+  in
+  let layout = Layouts.compiler_layout scheme ~buffer_size in
+  let fam_broken, fam_trials =
+    match Attack.Byte_by_byte.run oracle ~layout ~max_trials:budget with
+    | Attack.Byte_by_byte.Broken { trials; _ } -> (true, trials)
+    | Attack.Byte_by_byte.Exhausted { trials; _ }
+    | Attack.Byte_by_byte.Oracle_lost { trials; _ } -> (false, trials)
+  in
+  let handle = Option.get (Minic.Ast.find_func program "handle") in
+  let frame = Mcc.Frame.layout ~scheme handle in
+  {
+    fam_scheme = scheme;
+    fam_broken;
+    fam_trials;
+    fam_guard_words = frame.Mcc.Frame.guard_words;
+    fam_cycles_per_call = Table5.measure_scheme ~calls:5000 scheme ~criticals:0;
+  }
+
+let family_schemes = Pssp.Scheme.all_families
+
+let run_families ?budget () = List.map (family_cell ?budget) family_schemes
+
+let family_table rows =
+  let t =
+    Util.Table.create
+      ~title:
+        "Ablation: defense families (shadow stacks, PAC canary, Wasm SSP) \
+         as compiled code"
+      [ "Scheme"; "Byte-by-byte"; "Guard words"; "Cycles per call" ]
+  in
+  List.iter
+    (fun r ->
+      Util.Table.add_row t
+        [
+          Pssp.Scheme.title r.fam_scheme;
+          (if r.fam_broken then Printf.sprintf "BROKEN after %d" r.fam_trials
+           else Printf.sprintf "resisted %d trials" r.fam_trials);
+          string_of_int r.fam_guard_words;
+          Util.Table.cell_float ~digits:1 r.fam_cycles_per_call;
+        ])
+    rows;
+  t
+
 (* ---- the campaign ------------------------------------------------------- *)
 
-(* Five cells: one per nonce scheme, then the width, model-level
-   global-buffer, and compiled global-buffer sub-runs. The latter three
-   stay single cells because each threads one PRNG through its whole
-   sweep — splitting them would change the draw sequence. *)
+(* Nine cells: one per nonce scheme, the width, model-level
+   global-buffer, and compiled global-buffer sub-runs, then one per
+   defense family. Width/Buffer stay single cells because each threads
+   one PRNG through its whole sweep — splitting them would change the
+   draw sequence. *)
 type cell =
   | Nonce of nonce_row
   | Width of width_row list
   | Buffer of buffer_row list
   | Gb of gb_compiled
+  | Family of family_row
 
 let campaign () =
   Campaign.v ~name:"ablation"
-    ~title:"Ablations - nonce, canary width, global-buffer variant"
-    ~cells:5
+    ~title:"Ablations - nonce, canary width, global-buffer, defense families"
+    ~cells:(5 + List.length family_schemes)
     ~run_cell:(fun i ->
       Campaign.pack
         (match i with
         | 0 | 1 -> Nonce (nonce_cell ~budget:30_000 (List.nth nonce_schemes i))
         | 2 -> Width (run_width ())
         | 3 -> Buffer (run_global_buffer ())
-        | _ -> Gb (run_global_buffer_compiled ())))
+        | 4 -> Gb (run_global_buffer_compiled ())
+        | i -> Family (family_cell (List.nth family_schemes (i - 5)))))
     ~merge:(fun rows ->
       match List.map (fun r -> (Campaign.unpack r : cell)) rows with
-      | [ Nonce n0; Nonce n1; Width w; Buffer b; Gb gb ] ->
+      | Nonce n0 :: Nonce n1 :: Width w :: Buffer b :: Gb gb :: families ->
+        let families =
+          List.map
+            (function
+              | Family f -> f
+              | _ -> failwith "Ablation.campaign: unexpected cell shape")
+            families
+        in
         Util.Table.print (nonce_table [ n0; n1 ]);
         Util.Table.print (width_table w);
         Util.Table.print (buffer_table b);
-        Util.Table.print (gb_compiled_table gb)
+        Util.Table.print (gb_compiled_table gb);
+        Util.Table.print (family_table families)
       | _ -> failwith "Ablation.campaign: unexpected cell shape")
     ()

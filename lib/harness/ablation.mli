@@ -59,7 +59,25 @@ val run_global_buffer_compiled : ?budget:int -> unit -> gb_compiled
 
 val gb_compiled_table : gb_compiled -> Util.Table.t
 
+type family_row = {
+  fam_scheme : Pssp.Scheme.t;
+  fam_broken : bool;  (** byte-by-byte outcome against the compiled scheme *)
+  fam_trials : int;
+  fam_guard_words : int;  (** on-frame guard words (0 for shadow stacks) *)
+  fam_cycles_per_call : float;  (** prologue+epilogue cost *)
+}
+
+val family_cell : ?budget:int -> Pssp.Scheme.t -> family_row
+(** One defense-family scheme as real generated code: attack it, record
+    its guard layout, and measure its per-call cost. *)
+
+val run_families : ?budget:int -> unit -> family_row list
+(** [family_cell] over {!Pssp.Scheme.all_families}. *)
+
+val family_table : family_row list -> Util.Table.t
+
 val campaign : unit -> Campaign.t
-(** Five cells: the two nonce schemes, then the width, model-level
+(** Nine cells: the two nonce schemes, the width, model-level
     global-buffer, and compiled global-buffer sub-runs (each of which
-    threads one PRNG through its sweep, so each stays a single cell). *)
+    threads one PRNG through its sweep, so each stays a single cell),
+    then one cell per defense-family scheme. *)

@@ -13,6 +13,9 @@ type config = {
   load_mode : Net.Loadgen.mode;
   load_archs : Loadbench.arch list;
   respawn : Attack.Oracle.respawn;  (* --zygote, effectiveness only *)
+  schemes : Pssp.Scheme.t list;
+      (* --scheme (repeatable): narrow effectiveness to these schemes;
+         [] = the full default target list *)
 }
 
 let default_config =
@@ -23,6 +26,7 @@ let default_config =
     load_mode = Net.Loadgen.Closed;
     load_archs = [ Loadbench.Fork; Loadbench.Event; Loadbench.Reuseport ];
     respawn = Attack.Oracle.No_respawn;
+    schemes = [];
   }
 
 let all config =
@@ -33,7 +37,12 @@ let all config =
     Table34.campaign3 ();
     Table34.campaign4 ();
     Table5.campaign ();
-    Effectiveness.campaign ?budget:config.budget ~respawn:config.respawn ();
+    Effectiveness.campaign ?budget:config.budget ~respawn:config.respawn
+      ?targets:
+        (match config.schemes with
+        | [] -> None
+        | schemes -> Some (List.map (fun s -> Effectiveness.Scheme s) schemes))
+      ();
     Loadbench.campaign ~mode:config.load_mode ~connections:config.connections
       ~keepalive:config.keepalive ~archs:config.load_archs
       ~total:(Option.value config.budget ~default:512)

@@ -17,6 +17,9 @@ type config = {
   load_archs : Loadbench.arch list;
   respawn : Attack.Oracle.respawn;
       (** [--zygote]: victim respawn mode for effectiveness *)
+  schemes : Pssp.Scheme.t list;
+      (** [--scheme] (repeatable): narrow the effectiveness targets to
+          these schemes; [[]] keeps the full default list *)
 }
 
 val default_config : config

@@ -51,6 +51,26 @@ let tier_value ~name ~doc set =
 let string_value ~name ~docv ~doc set =
   value ~name ~docv ~doc (fun s -> set s; Ok ())
 
+(* The scheme names a selector flag advertises: the paper schemes, the
+   extensions, and the defense families — every [Scheme.of_name]-able
+   spelling except the open-ended pssp-lvN family, which the two
+   listed widths stand in for. *)
+let known_scheme_names =
+  List.map Pssp.Scheme.name
+    (Pssp.Scheme.all_basic @ Pssp.Scheme.all_extensions
+    @ [ Pssp.Scheme.Pssp_owf_weak; Pssp.Scheme.Pssp_gb ]
+    @ Pssp.Scheme.all_families)
+
+let unknown_scheme s =
+  Printf.sprintf "unknown scheme %S (have: %s)" s
+    (String.concat " " known_scheme_names)
+
+let scheme_value ~name ~doc set =
+  value ~name ~docv:"SCHEME" ~doc (fun s ->
+      match Pssp.Scheme.of_name s with
+      | Some scheme -> set scheme; Ok ()
+      | None -> Error (unknown_scheme s))
+
 type parsed = Positionals of string list | Help | Bad of string
 
 let parse specs args =

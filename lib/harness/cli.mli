@@ -35,6 +35,14 @@ val tier_value : name:string -> doc:string -> (int -> unit) -> spec
 
 val string_value : name:string -> docv:string -> doc:string -> (string -> unit) -> spec
 
+val scheme_value : name:string -> doc:string -> (Pssp.Scheme.t -> unit) -> spec
+(** Protection-scheme selector via {!Pssp.Scheme.of_name}. Rejects with
+    {!unknown_scheme}'s message. *)
+
+val unknown_scheme : string -> string
+(** ["unknown scheme \"X\" (have: none ssp ... wasm-ssp)"] — the pinned
+    rejection message for scheme selector flags. *)
+
 val expects : name:string -> what:string -> string -> string
 (** ["NAME expects WHAT, got X"] — the shared rejection-message shape,
     for custom {!value} parsers. *)

@@ -50,8 +50,9 @@ let default_targets =
     Scheme Pssp.Scheme.Pssp;
     Scheme Pssp.Scheme.Pssp_nt;
     Scheme Pssp.Scheme.Pssp_owf;
-    Instrumented;
   ]
+  @ List.map (fun s -> Scheme s) Pssp.Scheme.all_families
+  @ [ Instrumented ]
 
 let cells_of targets =
   List.concat_map
@@ -98,8 +99,9 @@ let to_table result =
     result.rows;
   t
 
-let campaign ?(budget = 20_000) ?(respawn = Attack.Oracle.No_respawn) () =
-  let cells = cells_of default_targets in
+let campaign ?(budget = 20_000) ?(respawn = Attack.Oracle.No_respawn)
+    ?(targets = default_targets) () =
+  let cells = cells_of targets in
   Campaign.v ~name:"effectiveness"
     ~title:"Effectiveness (SVI-C) - byte-by-byte attacks on forking servers"
     ~cells:(List.length cells)

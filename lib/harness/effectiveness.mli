@@ -46,5 +46,11 @@ val attack_server :
   bool * int * int
 (** [(broken, trials, restarts)] for one campaign — exposed for tests. *)
 
-val campaign : ?budget:int -> ?respawn:Attack.Oracle.respawn -> unit -> Campaign.t
-(** One cell per target x service pair over the default target list. *)
+val campaign :
+  ?budget:int ->
+  ?respawn:Attack.Oracle.respawn ->
+  ?targets:target list ->
+  unit ->
+  Campaign.t
+(** One cell per target x service pair; [targets] defaults to the full
+    default target list (the bench driver's [--scheme] narrows it). *)

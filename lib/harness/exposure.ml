@@ -27,10 +27,19 @@ let forge scheme leaked =
        leaking frame's return address, so it should NOT transfer *)
     Bytes.copy leaked
   | Pssp.Scheme.Ssp | Pssp.Scheme.Raf_ssp | Pssp.Scheme.Dynaguard
-  | Pssp.Scheme.Dcr | Pssp.Scheme.Pssp_lv _ | Pssp.Scheme.Pssp_gb ->
+  | Pssp.Scheme.Dcr | Pssp.Scheme.Pssp_lv _ | Pssp.Scheme.Pssp_gb
+  | Pssp.Scheme.Wasm_ssp ->
     (* single word (or chain replay): the leak is the forgery *)
     Bytes.copy leaked
-  | Pssp.Scheme.None_ -> Bytes.create 0
+  | Pssp.Scheme.Pac_canary ->
+    (* replay the leaked signed canary verbatim; the MAC binds it to the
+       leaking frame's address, so it transfers only between frames at
+       the same address (the classic PAC replay caveat) *)
+    Bytes.copy leaked
+  | Pssp.Scheme.None_ | Pssp.Scheme.Shadow_compact
+  | Pssp.Scheme.Shadow_parallel ->
+    (* nothing on the frame to leak or forge *)
+    Bytes.create 0
 
 let attack_with_leak scheme =
   let program = Minic.Parser.parse Workload.Vuln.leaky_server in

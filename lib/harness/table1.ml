@@ -60,9 +60,11 @@ let instr_deployment_for (scheme : Pssp.Scheme.t) =
   | Dynaguard -> Some Runner.Dynaguard_pin
   | Dcr -> Some Runner.Dcr_static
   | Ssp | Raf_ssp | None_ | Pssp_nt | Pssp_lv _ | Pssp_owf | Pssp_owf_weak
-  | Pssp_gb ->
+  | Pssp_gb | Shadow_compact | Shadow_parallel | Pac_canary | Wasm_ssp ->
     None
 
+(* The paper's Table I set, extended with the beyond-the-paper defense
+   families so every row exists for every scheme head-to-head. *)
 let schemes =
   [
     Pssp.Scheme.Ssp;
@@ -71,6 +73,7 @@ let schemes =
     Pssp.Scheme.Dcr;
     Pssp.Scheme.Pssp;
   ]
+  @ Pssp.Scheme.all_families
 
 let measure_row ~brop_budget ~benches scheme =
   let brop_prevented, brop_trials = brop_campaign scheme ~budget:brop_budget in

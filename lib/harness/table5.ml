@@ -67,6 +67,11 @@ let specs =
     ("P-SSP-LV (2 variables)", Pssp.Scheme.Pssp_lv 1, 1);
     ("P-SSP-LV (4 variables)", Pssp.Scheme.Pssp_lv 3, 3);
     ("P-SSP-OWF", Pssp.Scheme.Pssp_owf, 0);
+    (* beyond the paper: the defense-family schemes, same harness *)
+    ("Shadow stack (compact)", Pssp.Scheme.Shadow_compact, 0);
+    ("Shadow stack (parallel)", Pssp.Scheme.Shadow_parallel, 0);
+    ("PAC canary", Pssp.Scheme.Pac_canary, 0);
+    ("Wasm SSP", Pssp.Scheme.Wasm_ssp, 0);
   ]
 
 let run ?(jobs = 1) ?(calls = 20_000) () =

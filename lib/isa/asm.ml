@@ -31,6 +31,8 @@ let pp fmt insn =
   | Setcc (c, r) -> fprintf fmt "set%-4s %a" (Insn.cond_name c) Reg.pp r
   | Leave -> fprintf fmt "leaveq"
   | Rdrand r -> fprintf fmt "rdrand %a" Reg.pp r
+  | Pac (d, m) -> fprintf fmt "pac    %a,%a" Reg.pp m Reg.pp d
+  | Aut (d, m) -> fprintf fmt "aut    %a,%a" Reg.pp m Reg.pp d
   | Rdtsc -> fprintf fmt "rdtsc"
   | Syscall -> fprintf fmt "syscall"
   | Hlt -> fprintf fmt "hlt"

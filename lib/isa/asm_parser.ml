@@ -152,6 +152,13 @@ let parse_insn_at line text =
     match ops () with
     | [ r ] -> Insn.Rdrand (parse_gpr line r)
     | _ -> fail line "rdrand expects one register")
+  | "pac" | "aut" -> (
+    (* AT&T order modifier,dst *)
+    match ops () with
+    | [ m; d ] ->
+      let d = parse_gpr line d and m = parse_gpr line m in
+      if mnemonic = "pac" then Insn.Pac (d, m) else Insn.Aut (d, m)
+    | _ -> fail line "%s expects two registers" mnemonic)
   | "mov" | "movq" -> (
     (* AT&T order src,dst; movq additionally covers the GPR<->XMM and
        XMM-store forms *)

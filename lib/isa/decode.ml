@@ -129,6 +129,12 @@ let decode code off =
     | 0x41 -> Insn.Rdtsc
     | 0x42 -> Insn.Syscall
     | 0x43 -> Insn.Hlt
+    | 0x44 ->
+      let d = reg c in
+      Insn.Pac (d, reg c)
+    | 0x45 ->
+      let d = reg c in
+      Insn.Aut (d, reg c)
     | 0x50 ->
       let x = xmm c in
       Insn.Movq_to_xmm (x, reg c)

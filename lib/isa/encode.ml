@@ -23,6 +23,8 @@ let opcode = function
   | Rdtsc -> 0x41
   | Syscall -> 0x42
   | Hlt -> 0x43
+  | Pac _ -> 0x44
+  | Aut _ -> 0x45
   | Movq_to_xmm _ -> 0x50
   | Movq_from_xmm _ -> 0x51
   | Pinsrq_high _ -> 0x52
@@ -111,6 +113,9 @@ let encode buf insn =
     add_u8 buf (Insn.cond_index c);
     add_reg buf r
   | Rdrand r -> add_reg buf r
+  | Pac (d, m) | Aut (d, m) ->
+    add_reg buf d;
+    add_reg buf m
   | Movq_to_xmm (x, r) | Pinsrq_high (x, r) ->
     add_xmm buf x;
     add_reg buf r

@@ -66,6 +66,8 @@ type t =
   | Setcc of cond * Reg.t
   | Rdrand of Reg.t
   | Rdtsc
+  | Pac of Reg.t * Reg.t
+  | Aut of Reg.t * Reg.t
   | Syscall
   | Hlt
   | Movq_to_xmm of Reg.Xmm.t * Reg.t
@@ -85,6 +87,7 @@ let is_terminator = function
   | Ret | Jmp _ | Hlt -> true
   | Nop | Mov _ | Movb _ | Movl _ | Lea _ | Push _ | Pop _ | Bin _ | Shift _
   | Neg _ | Not _ | Jcc _ | Call _ | Call_ind _ | Leave | Setcc _ | Rdrand _ | Rdtsc
+  | Pac _ | Aut _
   | Syscall | Movq_to_xmm _ | Movq_from_xmm _ | Pinsrq_high _ | Movhps_load _
   | Movq_store _ | Movdqu_load _ | Movdqu_store _ | Aesenc _ | Aesenclast _
   | Pcmpeq128 _ -> false
@@ -95,6 +98,7 @@ let mentioned_symbols = function
   | Jmp t | Jcc (_, t) | Call t -> target_symbols t
   | Nop | Mov _ | Movb _ | Movl _ | Lea _ | Push _ | Pop _ | Bin _ | Shift _
   | Neg _ | Not _ | Call_ind _ | Ret | Leave | Setcc _ | Rdrand _ | Rdtsc
+  | Pac _ | Aut _
   | Syscall | Hlt
   | Movq_to_xmm _ | Movq_from_xmm _ | Pinsrq_high _ | Movhps_load _
   | Movq_store _ | Movdqu_load _ | Movdqu_store _ | Aesenc _ | Aesenclast _
@@ -108,6 +112,7 @@ let resolve lookup insn =
   | Call t -> Call (target t)
   | Nop | Mov _ | Movb _ | Movl _ | Lea _ | Push _ | Pop _ | Bin _ | Shift _
   | Neg _ | Not _ | Call_ind _ | Ret | Leave | Setcc _ | Rdrand _ | Rdtsc
+  | Pac _ | Aut _
   | Syscall | Hlt
   | Movq_to_xmm _ | Movq_from_xmm _ | Pinsrq_high _ | Movhps_load _
   | Movq_store _ | Movdqu_load _ | Movdqu_store _ | Aesenc _ | Aesenclast _

@@ -51,6 +51,14 @@ type t =
   | Setcc of cond * Reg.t  (** reg := 1 if cond else 0 (whole register) *)
   | Rdrand of Reg.t  (** hardware entropy; sets CF=1 on success (always, here) *)
   | Rdtsc  (** cycle counter into rdx:rax *)
+  | Pac of Reg.t * Reg.t
+      (** [Pac (dst, modifier)]: replace dst's top 16 bits with the MAC
+          of its low 48 bits and the modifier under the per-process
+          {!Vm64.Cpu.t.pac_key} (AArch64 [pacga]-style, tag in the
+          unused VA bits) *)
+  | Aut of Reg.t * Reg.t
+      (** [Aut (dst, modifier)]: authenticate dst's tag; sets ZF iff it
+          is valid and strips the tag (dst := low 48 bits) *)
   | Syscall  (** number in rax; handled by the OS layer *)
   | Hlt
   | Movq_to_xmm of Reg.Xmm.t * Reg.t  (** low qword := gpr, high qword := 0 *)

@@ -13,7 +13,8 @@ let preload_for (scheme : Pssp.Scheme.t) =
   | Raf_ssp -> Os.Preload.Raf
   | Dynaguard -> Os.Preload.Dynaguard_fix
   | Dcr -> Os.Preload.Dcr_fix
-  | None_ | Ssp | Pssp_nt | Pssp_lv _ | Pssp_owf | Pssp_owf_weak | Pssp_gb ->
+  | None_ | Ssp | Pssp_nt | Pssp_lv _ | Pssp_owf | Pssp_owf_weak | Pssp_gb
+  | Shadow_compact | Shadow_parallel | Pac_canary | Wasm_ssp ->
     Os.Preload.No_preload
 
 let compile ?(name = "a.out") ?(scheme = Pssp.Scheme.Ssp)

@@ -21,7 +21,8 @@ let align16 n = (n + 15) land lnot 15
 let scheme_guard_words (scheme : Pssp.Scheme.t) =
   match scheme with
   | Pssp.Scheme.None_ -> 0
-  | Ssp | Raf_ssp | Dynaguard | Dcr | Pssp_gb -> 1
+  | Shadow_compact | Shadow_parallel -> 0 (* guard lives off-frame *)
+  | Ssp | Raf_ssp | Dynaguard | Dcr | Pssp_gb | Pac_canary | Wasm_ssp -> 1
   | Pssp | Pssp_nt | Pssp_lv _ -> 2
   | Pssp_owf | Pssp_owf_weak -> 3 (* nonce + 16-byte ciphertext *)
 

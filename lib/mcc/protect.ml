@@ -12,6 +12,7 @@ let fs_canary = Operand.fs Vm64.Layout.tls_canary_offset
 let fs_shadow0 = Operand.fs Vm64.Layout.tls_shadow_offset
 let fs_shadow1 = Operand.fs Vm64.Layout.tls_shadow_offset_hi
 let fs_dcr_head = Operand.fs Vm64.Layout.tls_dcr_head_offset
+let fs_shadow_sp = Operand.fs Vm64.Layout.tls_shadow_sp_offset
 
 let slot off = Operand.rbp_rel off
 
@@ -287,6 +288,64 @@ let epilogue_dcr b =
     ];
   Builder.label b done_
 
+(* ---- shadow stacks (Burow et al.'s SoK) --------------------------------- *)
+
+(* Compact variant: a separate return-address stack with its own pointer
+   in TLS. The prologue pushes the frame's return address; the epilogue
+   pops it and compares against the (possibly overwritten) one about to
+   be used. No canary word on the frame at all. *)
+let prologue_shadow_compact b =
+  Builder.emit_all b
+    [
+      Mov (rcx, fs_shadow_sp);
+      Mov (rax, slot 8) (* the return address *);
+      Mov (Operand.mem_of Reg.RCX, rax);
+      Bin (Add, rcx, Operand.imm 8L);
+      Mov (fs_shadow_sp, rcx);
+    ]
+
+let epilogue_shadow_compact b =
+  Builder.emit_all b
+    [
+      Mov (rcx, fs_shadow_sp);
+      Bin (Sub, rcx, Operand.imm 8L);
+      Mov (fs_shadow_sp, rcx);
+      Mov (rdx, Operand.mem_of Reg.RCX);
+      Bin (Xor, rdx, slot 8);
+    ];
+  fail_check b E
+
+(* Parallel variant: each return-address slot is mirrored at a fixed
+   offset below the stack — no pointer to maintain, one store and one
+   compare at a constant displacement from rbp. *)
+let parallel_mirror_slot =
+  Operand.mem_of
+    ~disp:(Int64.sub 8L Vm64.Layout.shadow_parallel_delta)
+    Reg.RBP
+
+let prologue_shadow_parallel b =
+  Builder.emit_all b [ Mov (rax, slot 8); Mov (parallel_mirror_slot, rax) ]
+
+let epilogue_shadow_parallel b =
+  Builder.emit_all b
+    [ Mov (rdx, slot 8); Bin (Xor, rdx, parallel_mirror_slot) ];
+  fail_check b E
+
+(* ---- PACed canary (Liljestrand et al.) ---------------------------------- *)
+
+(* Draw a fresh random canary per call and sign it under the per-process
+   PAC key with the frame address (rbp) as modifier: a disclosed canary
+   neither replays across forks (fresh draw) nor relocates to another
+   frame (the MAC binds rbp). *)
+let prologue_pac_canary b =
+  Builder.emit_all b
+    [ Rdrand Reg.RAX; Pac (Reg.RAX, Reg.RBP); Mov (slot (-8), rax) ]
+
+let epilogue_pac_canary b =
+  (* [aut] sets ZF iff the tag authenticates under (key, rbp) *)
+  Builder.emit_all b [ Mov (rdx, slot (-8)); Aut (Reg.RDX, Reg.RBP) ];
+  fail_check b E
+
 (* ---- dispatch ----------------------------------------------------------- *)
 
 let prologue ~scheme b (frame : Frame.t) =
@@ -302,6 +361,12 @@ let prologue ~scheme b (frame : Frame.t) =
     | Pssp_owf -> prologue_pssp_owf b
     | Pssp_owf_weak -> prologue_pssp_owf ~weak:true b
     | Pssp_gb -> prologue_pssp_gb b
+    | Shadow_compact -> prologue_shadow_compact b
+    | Shadow_parallel -> prologue_shadow_parallel b
+    | Pac_canary -> prologue_pac_canary b
+    (* wasm-ssp compiles exactly like SSP; the no-trap semantics are a
+       property of the process's address space (see Os.Kernel.spawn) *)
+    | Wasm_ssp -> prologue_ssp b
 
 let epilogue ~scheme b (frame : Frame.t) =
   if frame.Frame.guarded then
@@ -314,3 +379,7 @@ let epilogue ~scheme b (frame : Frame.t) =
     | Pssp_lv _ -> epilogue_pssp_lv b frame
     | Pssp_owf | Pssp_owf_weak -> epilogue_pssp_owf b
     | Pssp_gb -> epilogue_pssp_gb b
+    | Shadow_compact -> epilogue_shadow_compact b
+    | Shadow_parallel -> epilogue_shadow_parallel b
+    | Pac_canary -> epilogue_pac_canary b
+    | Wasm_ssp -> epilogue_ssp b

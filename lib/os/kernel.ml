@@ -217,6 +217,32 @@ let spawn t ?(input = Bytes.create 0) ?(preload = Preload.No_preload)
     Cpu.set cpu Isa.Reg.R12 (Util.Prng.next64 t.master_rng);
     Cpu.set cpu Isa.Reg.R13 (Util.Prng.next64 t.master_rng)
   end;
+  (* Scheme-family setup, keyed on the image's scheme tag so processes
+     under other schemes keep their exact memory footprint and PRNG
+     stream. The regions are ordinary mappings: CoW fork and zygote
+     snapshots clone them with the rest of the address space. *)
+  if String.equal image.Image.scheme_tag "shadow-compact" then begin
+    (* the compact shadow stack, plus its pointer in TLS *)
+    Memory.map mem ~addr:Layout.shadow_stack_base ~len:Layout.shadow_stack_size;
+    Memory.write_u64 mem
+      (Int64.add Layout.tls_base Layout.tls_shadow_sp_offset)
+      Layout.shadow_stack_base
+  end;
+  if String.equal image.Image.scheme_tag "shadow-parallel" then
+    (* the mirror of the stack's return-address slots, at a fixed delta *)
+    Memory.map mem
+      ~addr:
+        (Int64.sub
+           (Int64.sub Layout.stack_top (Int64.of_int Layout.stack_size))
+           Layout.shadow_parallel_delta)
+      ~len:Layout.stack_size;
+  if String.equal image.Image.scheme_tag "pac-canary" then
+    cpu.Cpu.pac_key <- Util.Prng.next64 t.master_rng;
+  if String.equal image.Image.scheme_tag "wasm-ssp" then
+    (* linear-memory semantics: a write running off the top of the stack
+       lands in this spill region instead of trapping, so an overflow is
+       only caught when the epilogue canary check runs *)
+    Memory.map mem ~addr:Layout.stack_top ~len:Layout.wasm_spill_size;
   (* initial stack: rsp -> return address = exit trampoline *)
   let rsp = Int64.sub Layout.stack_top 64L in
   Cpu.set cpu Isa.Reg.RSP (Int64.sub rsp 8L);

@@ -10,6 +10,10 @@ type t =
   | Pssp_owf
   | Pssp_owf_weak
   | Pssp_gb
+  | Shadow_compact
+  | Shadow_parallel
+  | Pac_canary
+  | Wasm_ssp
 
 let name = function
   | None_ -> "none"
@@ -23,6 +27,10 @@ let name = function
   | Pssp_owf -> "pssp-owf"
   | Pssp_owf_weak -> "pssp-owf-weak"
   | Pssp_gb -> "pssp-gb"
+  | Shadow_compact -> "shadow-compact"
+  | Shadow_parallel -> "shadow-parallel"
+  | Pac_canary -> "pac-canary"
+  | Wasm_ssp -> "wasm-ssp"
 
 let title = function
   | None_ -> "Native"
@@ -36,6 +44,10 @@ let title = function
   | Pssp_owf -> "P-SSP-OWF"
   | Pssp_owf_weak -> "P-SSP-OWF (no nonce, ablation)"
   | Pssp_gb -> "P-SSP-GB (global buffer, SVII-C)"
+  | Shadow_compact -> "Shadow stack (compact)"
+  | Shadow_parallel -> "Shadow stack (parallel)"
+  | Pac_canary -> "PAC canary"
+  | Wasm_ssp -> "Wasm SSP (no-trap)"
 
 let of_name s =
   match s with
@@ -49,6 +61,10 @@ let of_name s =
   | "pssp-owf" -> Some Pssp_owf
   | "pssp-owf-weak" -> Some Pssp_owf_weak
   | "pssp-gb" -> Some Pssp_gb
+  | "shadow-compact" -> Some Shadow_compact
+  | "shadow-parallel" -> Some Shadow_parallel
+  | "pac-canary" -> Some Pac_canary
+  | "wasm-ssp" -> Some Wasm_ssp
   | _ ->
     if String.length s > 7 && String.sub s 0 7 = "pssp-lv" then
       match int_of_string_opt (String.sub s 7 (String.length s - 7)) with
@@ -58,20 +74,23 @@ let of_name s =
 
 let all_basic = [ None_; Ssp; Raf_ssp; Dynaguard; Dcr; Pssp ]
 let all_extensions = [ Pssp_nt; Pssp_lv 2; Pssp_lv 4; Pssp_owf ]
+let all_families = [ Shadow_compact; Shadow_parallel; Pac_canary; Wasm_ssp ]
 
 let prevents_brop = function
-  | None_ | Ssp | Pssp_owf_weak -> false
+  | None_ | Ssp | Pssp_owf_weak | Wasm_ssp -> false
   | Raf_ssp | Dynaguard | Dcr | Pssp | Pssp_nt | Pssp_lv _ | Pssp_owf | Pssp_gb
-    -> true
+  | Shadow_compact | Shadow_parallel | Pac_canary -> true
 
 let preserves_correctness = function
   | Raf_ssp -> false
   | None_ | Ssp | Dynaguard | Dcr | Pssp | Pssp_nt | Pssp_lv _ | Pssp_owf
-  | Pssp_owf_weak | Pssp_gb -> true
+  | Pssp_owf_weak | Pssp_gb | Shadow_compact | Shadow_parallel | Pac_canary
+  | Wasm_ssp -> true
 
 let stack_words = function
   | None_ -> 0
-  | Ssp | Raf_ssp | Dynaguard | Dcr | Pssp_gb -> 1
+  | Shadow_compact | Shadow_parallel -> 0 (* guard lives off-frame *)
+  | Ssp | Raf_ssp | Dynaguard | Dcr | Pssp_gb | Pac_canary | Wasm_ssp -> 1
   | Pssp | Pssp_nt -> 2
   | Pssp_lv _ -> 2 (* return-address guard; per-variable canaries are extra *)
   | Pssp_owf | Pssp_owf_weak -> 3 (* nonce + 128-bit ciphertext *)

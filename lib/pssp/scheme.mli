@@ -31,6 +31,27 @@ type t =
           stack (preserving the SSP layout and the full 64-bit entropy);
           the matching C1 lives in a per-process buffer that fork clones
           with the address space *)
+  | Shadow_compact
+      (** shadow stack, compact variant (Burow et al.'s SoK): the
+          prologue pushes the return address onto a separate
+          return-address stack with its own pointer ([%fs:0x2c0]); the
+          epilogue pops and compares. No canary word on the frame. *)
+  | Shadow_parallel
+      (** shadow stack, parallel variant: each return-address slot is
+          mirrored at a fixed offset below the stack
+          ({!Vm64.Layout.shadow_parallel_delta}); no separate pointer. *)
+  | Pac_canary
+      (** PACed canary (Liljestrand et al.): the prologue draws a fresh
+          random canary and signs it with the [pac] instruction under
+          the per-process key, bound to the frame address; the epilogue
+          authenticates with [aut]. A disclosed canary does not replay
+          across forks (fresh draw per call) or frames (MAC binds the
+          address). *)
+  | Wasm_ssp
+      (** Wasm-flavoured SSP (Michaud): identical canary check, but the
+          process models linear-memory semantics — out-of-frame writes
+          land silently instead of trapping, so an overflow is detected
+          only when the epilogue check runs. *)
 
 val name : t -> string
 (** Short machine-friendly name, e.g. ["pssp-nt"], ["pssp-lv2"]. *)
@@ -46,6 +67,10 @@ val all_basic : t list
 
 val all_extensions : t list
 (** [Pssp_nt; Pssp_lv 2; Pssp_lv 4; Pssp_owf] — the Table V set. *)
+
+val all_families : t list
+(** The beyond-the-paper defense families: [Shadow_compact;
+    Shadow_parallel; Pac_canary; Wasm_ssp]. *)
 
 val prevents_brop : t -> bool
 (** The "BROP Prevention" column of Table I (expected values; the

@@ -17,6 +17,13 @@ let set_shadow_pair mem ~fs_base (p : Canary.pair) =
   Memory.write_u64 mem (shadow_addr fs_base) p.c0;
   Memory.write_u64 mem (shadow_addr_hi fs_base) p.c1
 
+let shadow_sp_addr fs_base = Int64.add fs_base Layout.tls_shadow_sp_offset
+
+let shadow_sp mem ~fs_base = Memory.read_u64 mem (shadow_sp_addr fs_base)
+
+let set_shadow_sp mem ~fs_base v =
+  Memory.write_u64 mem (shadow_sp_addr fs_base) v
+
 let shadow_packed mem ~fs_base = Memory.read_u64 mem (shadow_addr fs_base)
 
 let set_shadow_packed mem ~fs_base w =

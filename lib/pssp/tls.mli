@@ -11,6 +11,12 @@ val set_canary : Vm64.Memory.t -> fs_base:int64 -> int64 -> unit
 val shadow_pair : Vm64.Memory.t -> fs_base:int64 -> Canary.pair
 val set_shadow_pair : Vm64.Memory.t -> fs_base:int64 -> Canary.pair -> unit
 
+val shadow_sp : Vm64.Memory.t -> fs_base:int64 -> int64
+(** The compact shadow stack's pointer at [%fs:0x2c0] (shadow-compact
+    processes only; 0 elsewhere). *)
+
+val set_shadow_sp : Vm64.Memory.t -> fs_base:int64 -> int64 -> unit
+
 val shadow_packed : Vm64.Memory.t -> fs_base:int64 -> int64
 val set_shadow_packed : Vm64.Memory.t -> fs_base:int64 -> int64 -> unit
 

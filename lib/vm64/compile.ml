@@ -617,6 +617,25 @@ let insn_op ~is_builtin ~inline ~addr ~next (insn : I.t) : op =
       flags.Cpu.cf <- true;
       flags.Cpu.zf <- false;
       Running
+  | I.Pac (d, m) ->
+    let d = Isa.Reg.index d and m = Isa.Reg.index m in
+    fun cpu _ ->
+      let value = Array.unsafe_get cpu.Cpu.gprs d in
+      let modifier = Array.unsafe_get cpu.Cpu.gprs m in
+      Array.unsafe_set cpu.Cpu.gprs d (Cpu.pac_sign cpu ~value ~modifier);
+      Running
+  | I.Aut (d, m) ->
+    let d = Isa.Reg.index d and m = Isa.Reg.index m in
+    fun cpu _ ->
+      let value = Array.unsafe_get cpu.Cpu.gprs d in
+      let modifier = Array.unsafe_get cpu.Cpu.gprs m in
+      let flags = cpu.Cpu.flags in
+      flags.Cpu.zf <- Cpu.pac_auth cpu ~value ~modifier;
+      flags.Cpu.sf <- false;
+      flags.Cpu.cf <- false;
+      flags.Cpu.of_ <- false;
+      Array.unsafe_set cpu.Cpu.gprs d (Cpu.pac_strip value);
+      Running
   | I.Rdtsc ->
     (* reads cpu.cycles mid-block, which deferred charging leaves at the
        block-entry value; [emit] intercepts it with a closure that adds

@@ -1,4 +1,5 @@
 let rdrand_cycles = 334
+let pac_cycles = 4
 let aes_encrypt_call_cycles = 110
 let syscall_cycles = 150
 let fork_cycles = 2500
@@ -22,6 +23,8 @@ let cycles = function
   | Ret -> 2
   | Leave -> 2
   | Rdrand _ -> rdrand_cycles
+  (* Liljestrand et al. measure ~4 cycles per QARMA-latency pac/aut *)
+  | Pac _ | Aut _ -> pac_cycles
   | Rdtsc -> 24
   | Syscall -> 2 (* trap itself; kernel work charged separately *)
   | Hlt -> 1

@@ -12,6 +12,10 @@ val cycles : Isa.Insn.t -> int
 val rdrand_cycles : int
 (** Exposed for the Table V calibration note. *)
 
+val pac_cycles : int
+(** Latency of one [pac]/[aut] — calibrated to the ~4-cycle QARMA
+    estimate Liljestrand et al. use for PA instructions. *)
+
 val aes_encrypt_call_cycles : int
 (** Cost charged by the glibc [AES_ENCRYPT_128] helper (10 rounds plus
     key schedule, amortised), matching AES-NI latency on Haswell. *)

@@ -14,6 +14,7 @@ type t = {
   mutable cycles : int64;
   mutable insn_tax : int;
   mutable call_tax : int;
+  mutable pac_key : int64;
   rng : Util.Prng.t;
   tcache : Tcache.t;
 }
@@ -28,6 +29,7 @@ let create ?(seed = 0x5EEDL) () =
     cycles = 0L;
     insn_tax = 0;
     call_tax = 0;
+    pac_key = 0L;
     rng = Util.Prng.create seed;
     tcache = Tcache.create ();
   }
@@ -49,6 +51,9 @@ let clone t =
     cycles = t.cycles;
     insn_tax = t.insn_tax;
     call_tax = t.call_tax;
+    (* fork children inherit the key: frames signed by the parent must
+       still authenticate when the child returns through them *)
+    pac_key = t.pac_key;
     rng = Util.Prng.split t.rng;
     (* the child starts from the parent's decoded blocks (its text is
        byte-identical at fork time); the table stays physically shared
@@ -69,6 +74,7 @@ let snapshot t =
     cycles = t.cycles;
     insn_tax = t.insn_tax;
     call_tax = t.call_tax;
+    pac_key = t.pac_key;
     (* exact RNG state, unlike [clone]: a resumed snapshot must replay
        the same rdrand stream a cold spawn of the same seed would *)
     rng = Util.Prng.copy t.rng;
@@ -76,6 +82,40 @@ let snapshot t =
   }
 
 let add_cycles t n = t.cycles <- Int64.add t.cycles (Int64.of_int n)
+
+(* ---- pointer-authentication MAC (the [pac]/[aut] instructions) ----
+
+   A 16-bit tag over the value's low 48 bits and a modifier (the frame
+   address), keyed by the per-process [pac_key] — a SplitMix64-style
+   finalizer stands in for QARMA: deterministic, cheap, and it mixes
+   every input bit into the tag. Signed values carry the tag in their
+   high 16 bits, like real PAC in an address space with unused VA
+   top bits. *)
+
+let pac_low48_mask = 0x0000_FFFF_FFFF_FFFFL
+
+let pac_mix x =
+  let open Int64 in
+  let x = mul (logxor x (shift_right_logical x 33)) 0xFF51AFD7ED558CCDL in
+  let x = mul (logxor x (shift_right_logical x 33)) 0xC4CEB9FE1A85EC53L in
+  logxor x (shift_right_logical x 33)
+
+let pac_tag t ~value ~modifier =
+  let low = Int64.logand value pac_low48_mask in
+  let h = pac_mix (Int64.logxor (pac_mix (Int64.logxor t.pac_key low)) modifier) in
+  Int64.to_int (Int64.logand h 0xFFFFL)
+
+let pac_sign t ~value ~modifier =
+  let tag = pac_tag t ~value ~modifier in
+  Int64.logor
+    (Int64.logand value pac_low48_mask)
+    (Int64.shift_left (Int64.of_int tag) 48)
+
+let pac_auth t ~value ~modifier =
+  let tag = Int64.to_int (Int64.shift_right_logical value 48) land 0xFFFF in
+  tag = pac_tag t ~value ~modifier
+
+let pac_strip value = Int64.logand value pac_low48_mask
 
 let invalidate_decode t ~addr ~len = Tcache.invalidate_range t.tcache ~addr ~len
 let invalidate_decode_all t = Tcache.invalidate_all t.tcache

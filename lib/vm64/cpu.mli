@@ -20,6 +20,11 @@ type t = {
   mutable call_tax : int;
       (** extra cycles charged per call/ret — models the trampoline cost
           of static binary rewriting (the DCR deployment) *)
+  mutable pac_key : int64;
+      (** per-process pointer-authentication key behind the [pac]/[aut]
+          instructions. Installed at spawn for pac-canary processes,
+          inherited verbatim by {!clone} (fork children must still
+          authenticate parent-signed frames) and {!snapshot}. *)
   rng : Util.Prng.t;  (** entropy source behind [rdrand] *)
   tcache : Tcache.t;
       (** per-address-space basic-block translation cache; fork children
@@ -49,6 +54,23 @@ val snapshot : t -> t
     translation cache is shared copy-on-mutate, like {!clone}. *)
 
 val add_cycles : t -> int -> unit
+
+(** {2 Pointer-authentication MAC}
+
+    The keyed tag behind the [pac]/[aut] instructions: a 16-bit MAC
+    over a value's low 48 bits and a 64-bit modifier, carried in the
+    value's high 16 bits (unused VA top bits, as on AArch64). *)
+
+val pac_sign : t -> value:int64 -> modifier:int64 -> int64
+(** [pac_sign t ~value ~modifier] replaces the top 16 bits of [value]
+    with the tag MAC(pac_key, low48(value), modifier). *)
+
+val pac_auth : t -> value:int64 -> modifier:int64 -> bool
+(** Whether [value]'s top 16 bits carry the valid tag for its low 48
+    bits under [modifier]. *)
+
+val pac_strip : int64 -> int64
+(** Drop the tag bits: the low 48 bits of the value. *)
 
 val invalidate_decode : t -> addr:int64 -> len:int -> unit
 (** Drop cached decodes overlapping [addr, addr+len). Must be called

@@ -358,6 +358,18 @@ let execute env cpu mem insn next_rip =
     flags.cf <- true;
     flags.zf <- false;
     continue_at cpu next_rip
+  | Pac (d, m) ->
+    let value = Cpu.get cpu d and modifier = Cpu.get cpu m in
+    Cpu.set cpu d (Cpu.pac_sign cpu ~value ~modifier);
+    continue_at cpu next_rip
+  | Aut (d, m) ->
+    let value = Cpu.get cpu d and modifier = Cpu.get cpu m in
+    flags.zf <- Cpu.pac_auth cpu ~value ~modifier;
+    flags.sf <- false;
+    flags.cf <- false;
+    flags.of_ <- false;
+    Cpu.set cpu d (Cpu.pac_strip value);
+    continue_at cpu next_rip
   | Rdtsc ->
     let tsc = cpu.Cpu.cycles in
     Cpu.set cpu Isa.Reg.RAX (Int64.logand tsc 0xFFFFFFFFL);

@@ -164,6 +164,7 @@ let step_gprs (s : step) : int list * int list =
     | I.Leave -> ([ rbp ], [ rsp; rbp ])
     | I.Setcc (_, r) -> ([], [ ri r ])
     | I.Rdrand r -> ([], [ ri r ])
+    | I.Pac (d, m) | I.Aut (d, m) -> ([ ri d; ri m ], [ ri d ])
     | I.Movq_to_xmm (_, r) | I.Pinsrq_high (_, r) -> ([ ri r ], [])
     | I.Movq_from_xmm (r, _) -> ([], [ ri r ])
     | I.Movhps_load (_, m) | I.Movdqu_load (_, m) | I.Pcmpeq128 (_, m) ->

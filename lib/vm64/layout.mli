@@ -43,6 +43,27 @@ val tls_shadow_offset_hi : int64
 val tls_dcr_head_offset : int64
 (** [%fs:0x2b8] — DCR's pointer to the newest in-stack canary. *)
 
+val tls_shadow_sp_offset : int64
+(** [%fs:0x2c0] — the compact shadow stack's own stack pointer. Grows
+    up from {!shadow_stack_base}, one qword per live return address. *)
+
+val shadow_stack_base : int64
+(** Base of the compact shadow-stack region (shadow-compact scheme).
+    Mapped at spawn, cloned CoW by fork/snapshot like any region. *)
+
+val shadow_stack_size : int
+
+val shadow_parallel_delta : int64
+(** Parallel shadow stacks mirror each return-address slot at
+    [slot - shadow_parallel_delta]: a fixed offset below the stack, so
+    the mirror region [stack - delta] never collides with other
+    mappings and the displacement still fits the ISA's i32 fields. *)
+
+val wasm_spill_size : int
+(** Size of the writable region mapped immediately above {!stack_top}
+    for wasm-ssp processes: out-of-frame writes land there silently
+    instead of trapping, modelling linear-memory stores. *)
+
 val dynaguard_buffer_base : int64
 (** DynaGuard's canary-address buffer: word 0 is the live count,
     followed by the recorded canary addresses. *)

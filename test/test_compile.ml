@@ -146,6 +146,8 @@ let rand_insn p =
   | 88 | 89 -> Insn.Aesenc (rand_xmm p, rand_xmm p)
   | 90 | 91 -> Insn.Aesenclast (rand_xmm p, rand_xmm p)
   | 92 | 93 | 94 -> Insn.Pcmpeq128 (rand_xmm p, rand_mem_record p)
+  | 95 | 96 -> Insn.Pac (rand_reg p, rand_reg p)
+  | 97 | 98 -> Insn.Aut (rand_reg p, rand_reg p)
   | _ -> Insn.Nop
 
 (* Not every generated shape is encodable (e.g. mem-to-mem moves);
@@ -180,6 +182,9 @@ let run_one ~tier ~trial_seed ~taxes:(insn_tax, call_tax) ~init_gprs ~init_xmms
     ~data ~code =
   Compile.set_tier tier;
   let cpu = Cpu.create ~seed:trial_seed () in
+  (* keyed MAC for Pac/Aut: same derivation in every tier, so signed
+     values and authentication verdicts must agree bit-for-bit *)
+  cpu.Cpu.pac_key <- Int64.logxor trial_seed 0x9E3779B97F4A7C15L;
   let mem = Memory.create () in
   Memory.map mem ~addr:text_base ~len:4096;
   Memory.map mem ~addr:data_base ~len:data_len;

@@ -101,6 +101,70 @@ let test_effectiveness_pssp_holds () =
       Harness.Effectiveness.Instrumented;
     ]
 
+(* ---- pinned byte-by-byte outcomes for the defense families ---------------- *)
+
+let test_effectiveness_shadow_detects_without_canary () =
+  (* shadow stacks put no canary on the frame (canary_len = 0), so the
+     attack has nothing to disclose: every hijack probe trips the
+     epilogue's return-address check, burning a restart each time *)
+  List.iter
+    (fun scheme ->
+      let broken, _, restarts =
+        Harness.Effectiveness.attack_server ~budget:400
+          (Harness.Effectiveness.Scheme scheme) ~buffer_size:16
+      in
+      Alcotest.(check bool) (Pssp.Scheme.name scheme ^ " resists") false broken;
+      Alcotest.(check bool)
+        (Pssp.Scheme.name scheme ^ " detected without canary")
+        true (restarts > 0))
+    [ Pssp.Scheme.Shadow_compact; Pssp.Scheme.Shadow_parallel ]
+
+let test_effectiveness_pac_no_fork_transfer () =
+  (* the PAC prologue signs a fresh random draw per call, so a canary
+     byte disclosed in one forked child is stale in the next — the
+     attack never accumulates a prefix *)
+  let broken, _, _ =
+    Harness.Effectiveness.attack_server ~budget:2500
+      (Harness.Effectiveness.Scheme Pssp.Scheme.Pac_canary) ~buffer_size:16
+  in
+  Alcotest.(check bool) "pac-canary resists" false broken
+
+let test_wasm_ssp_detects_only_at_epilogue () =
+  (* the same wild write that traps mid-copy under ssp (SIGSEGV at the
+     unmapped page past stack_top) lands silently under wasm-ssp and is
+     caught only by the epilogue canary check (SIGABRT) *)
+  let long_payload = Bytes.make 5000 'A' in
+  let crash scheme =
+    let image =
+      Mcc.Driver.compile ~scheme
+        (Minic.Parser.parse (Workload.Vuln.fork_server ~buffer_size:16))
+    in
+    let oracle =
+      Attack.Oracle.create ~preload:(Mcc.Driver.preload_for scheme) image
+    in
+    match Attack.Oracle.query oracle long_payload with
+    | Attack.Oracle.Crashed (s, _) -> Os.Process.signal_name s
+    | Attack.Oracle.Survived _ -> "survived"
+    | Attack.Oracle.Server_down _ -> "server-down"
+  in
+  Alcotest.(check string) "ssp traps mid-write" "SIGSEGV" (crash Pssp.Scheme.Ssp);
+  Alcotest.(check string) "wasm-ssp detects only at the epilogue" "SIGABRT"
+    (crash Pssp.Scheme.Wasm_ssp)
+
+let test_ablation_families () =
+  (* the family cells of the ablation grid: outcome + guard layout *)
+  let shadow = Harness.Ablation.family_cell ~budget:400 Pssp.Scheme.Shadow_compact in
+  Alcotest.(check bool) "shadow-compact resists" false
+    shadow.Harness.Ablation.fam_broken;
+  Alcotest.(check int) "shadow-compact keeps the guard off-frame" 0
+    shadow.Harness.Ablation.fam_guard_words;
+  let pac = Harness.Ablation.family_cell ~budget:400 Pssp.Scheme.Pac_canary in
+  Alcotest.(check bool) "pac-canary resists" false pac.Harness.Ablation.fam_broken;
+  Alcotest.(check int) "pac-canary keeps SSP's one guard word" 1
+    pac.Harness.Ablation.fam_guard_words;
+  Alcotest.(check bool) "pac-canary costs cycles" true
+    (pac.Harness.Ablation.fam_cycles_per_call > 0.0)
+
 let test_threaded_server_attack () =
   (* threads clone the TLS exactly like fork (SII-B), so the attack story
      must carry over: threaded SSP falls, threaded P-SSP holds (the
@@ -216,6 +280,13 @@ let () =
           Alcotest.test_case "exposure resilience" `Slow test_exposure;
           Alcotest.test_case "SSP falls" `Slow test_effectiveness_ssp_falls;
           Alcotest.test_case "P-SSP holds" `Slow test_effectiveness_pssp_holds;
+          Alcotest.test_case "shadow stacks detect without canary" `Slow
+            test_effectiveness_shadow_detects_without_canary;
+          Alcotest.test_case "PAC disclosure does not transfer across forks"
+            `Slow test_effectiveness_pac_no_fork_transfer;
+          Alcotest.test_case "wasm-ssp detects only at the epilogue" `Slow
+            test_wasm_ssp_detects_only_at_epilogue;
+          Alcotest.test_case "family ablation cells" `Slow test_ablation_families;
           Alcotest.test_case "threaded-server attack" `Slow test_threaded_server_attack;
           Alcotest.test_case "nonce ablation" `Slow test_ablation_nonce;
           Alcotest.test_case "width ablation" `Slow test_ablation_width_scaling;

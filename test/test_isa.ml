@@ -67,6 +67,8 @@ let gen_insn =
         map2 (fun c r -> Insn.Setcc (c, r)) gen_cond gen_reg;
         map (fun r -> Insn.Rdrand r) gen_reg;
         return Insn.Rdtsc;
+        map2 (fun d m -> Insn.Pac (d, m)) gen_reg gen_reg;
+        map2 (fun d m -> Insn.Aut (d, m)) gen_reg gen_reg;
         return Insn.Syscall;
         return Insn.Hlt;
         map2 (fun x r -> Insn.Movq_to_xmm (x, r)) gen_xmm gen_reg;

@@ -31,6 +31,10 @@ let build_variants program =
     compiled Pssp.Scheme.Pssp_owf false;
     compiled Pssp.Scheme.Dcr false;
     compiled Pssp.Scheme.Pssp_gb false;
+    compiled Pssp.Scheme.Shadow_compact false;
+    compiled Pssp.Scheme.Shadow_parallel false;
+    compiled Pssp.Scheme.Pac_canary false;
+    compiled Pssp.Scheme.Wasm_ssp false;
     instrumented;
   ]
 

@@ -198,7 +198,53 @@ let test_scheme_names_roundtrip () =
         true
         (Pssp.Scheme.of_name (Pssp.Scheme.name s) = Some s))
     (Pssp.Scheme.all_basic @ Pssp.Scheme.all_extensions
-    @ [ Pssp.Scheme.Pssp_lv 7; Pssp.Scheme.Pssp_owf_weak ])
+    @ [ Pssp.Scheme.Pssp_lv 7; Pssp.Scheme.Pssp_owf_weak; Pssp.Scheme.Pssp_gb ]
+    @ Pssp.Scheme.all_families)
+
+let test_family_metadata () =
+  Alcotest.(check bool) "shadow-compact prevents BROP" true
+    (Pssp.Scheme.prevents_brop Pssp.Scheme.Shadow_compact);
+  Alcotest.(check bool) "shadow-parallel prevents BROP" true
+    (Pssp.Scheme.prevents_brop Pssp.Scheme.Shadow_parallel);
+  Alcotest.(check bool) "pac-canary prevents BROP" true
+    (Pssp.Scheme.prevents_brop Pssp.Scheme.Pac_canary);
+  Alcotest.(check bool) "wasm-ssp does not prevent BROP" false
+    (Pssp.Scheme.prevents_brop Pssp.Scheme.Wasm_ssp);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool)
+        (Pssp.Scheme.name s ^ " preserves correctness")
+        true
+        (Pssp.Scheme.preserves_correctness s))
+    Pssp.Scheme.all_families;
+  (* shadow stacks keep the guard off-frame; pac/wasm keep SSP's slot *)
+  Alcotest.(check int) "shadow-compact words" 0
+    (Pssp.Scheme.stack_words Pssp.Scheme.Shadow_compact);
+  Alcotest.(check int) "shadow-parallel words" 0
+    (Pssp.Scheme.stack_words Pssp.Scheme.Shadow_parallel);
+  Alcotest.(check int) "pac-canary words" 1
+    (Pssp.Scheme.stack_words Pssp.Scheme.Pac_canary);
+  Alcotest.(check int) "wasm-ssp words" 1
+    (Pssp.Scheme.stack_words Pssp.Scheme.Wasm_ssp)
+
+(* the bench driver's --scheme rejection message is a pinned surface *)
+let test_unknown_scheme_message () =
+  Alcotest.(check bool)
+    "of_name rejects" true
+    (Pssp.Scheme.of_name "shadow-banana" = None);
+  let msg = Harness.Cli.unknown_scheme "shadow-banana" in
+  Alcotest.(check bool)
+    "pinned prefix" true
+    (String.length msg >= 31
+    && String.sub msg 0 31 = "unknown scheme \"shadow-banana\" ");
+  List.iter
+    (fun family ->
+      let name = Pssp.Scheme.name family in
+      Alcotest.(check bool)
+        (name ^ " listed in the have-set")
+        true
+        (Astring.String.is_infix ~affix:name msg))
+    Pssp.Scheme.all_families
 
 let test_scheme_expectations () =
   Alcotest.(check bool) "SSP does not prevent BROP" false
@@ -258,6 +304,9 @@ let () =
       ( "scheme",
         [
           Alcotest.test_case "names roundtrip" `Quick test_scheme_names_roundtrip;
+          Alcotest.test_case "family metadata" `Quick test_family_metadata;
+          Alcotest.test_case "unknown scheme message" `Quick
+            test_unknown_scheme_message;
           Alcotest.test_case "Table I expectations" `Quick test_scheme_expectations;
           Alcotest.test_case "stack words" `Quick test_scheme_stack_words;
         ] );

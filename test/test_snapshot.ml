@@ -179,6 +179,57 @@ let test_patch_text_after_resume_invalidates () =
   serve k r "x";
   Alcotest.(check string) "sibling copy unpatched" "11" (Os.Process.stdout r)
 
+(* ---- defense-family state across snapshots and forks ------------------------ *)
+
+let test_pac_key_survives_resume () =
+  (* the per-process signing key lives in the CPU record; a thawed copy
+     must authenticate frames with the exact key the frozen process
+     signed them under *)
+  let image =
+    compile ~scheme:Pssp.Scheme.Pac_canary (Workload.Vuln.fork_server ~buffer_size:16)
+  in
+  let k, p = boot ~preload:Os.Preload.No_preload image in
+  let key = p.Os.Process.cpu.Vm64.Cpu.pac_key in
+  Alcotest.(check bool) "spawn drew a key" false (Int64.equal key 0L);
+  let snap = Os.Snapshot.capture k p in
+  let q = Os.Snapshot.resume k snap in
+  Alcotest.check i64 "resumed key" key q.Os.Process.cpu.Vm64.Cpu.pac_key;
+  (* and the thawed server still signs/authenticates its handler frames *)
+  serve k q "AAAA";
+  Alcotest.(check bool) "resumed pac server back in accept" true
+    (Os.Kernel.stop_of q = Os.Kernel.Stop_accept)
+
+let test_shadow_siblings_do_not_share () =
+  (* two copies thawed from one snapshot have CoW-isolated shadow
+     regions: a push in one must not appear in the other or in the
+     frozen original *)
+  let image =
+    compile ~scheme:Pssp.Scheme.Shadow_compact
+      (Workload.Vuln.fork_server ~buffer_size:16)
+  in
+  let k, p = boot ~preload:Os.Preload.No_preload image in
+  let sp0 = Pssp.Tls.shadow_sp p.Os.Process.mem ~fs_base:Vm64.Layout.tls_base in
+  Alcotest.check i64 "boot initialised the shadow SP"
+    Vm64.Layout.shadow_stack_base sp0;
+  let snap = Os.Snapshot.capture k p in
+  let q1 = Os.Snapshot.resume k snap in
+  let q2 = Os.Snapshot.resume k snap in
+  (* simulate a shadow push in q1: bump its pointer and write an entry *)
+  Vm64.Memory.write_u64 q1.Os.Process.mem Vm64.Layout.shadow_stack_base 0xFACEL;
+  Pssp.Tls.set_shadow_sp q1.Os.Process.mem ~fs_base:Vm64.Layout.tls_base
+    (Int64.add Vm64.Layout.shadow_stack_base 8L);
+  Alcotest.check i64 "sibling's shadow entry untouched" 0L
+    (Vm64.Memory.read_u64 q2.Os.Process.mem Vm64.Layout.shadow_stack_base);
+  Alcotest.check i64 "sibling's shadow SP untouched"
+    Vm64.Layout.shadow_stack_base
+    (Pssp.Tls.shadow_sp q2.Os.Process.mem ~fs_base:Vm64.Layout.tls_base);
+  Alcotest.check i64 "frozen original untouched" 0L
+    (Vm64.Memory.read_u64 p.Os.Process.mem Vm64.Layout.shadow_stack_base);
+  (* both siblings still serve: their own shadow regions are intact *)
+  serve k q2 "AAAA";
+  Alcotest.(check bool) "sibling serves and re-accepts" true
+    (Os.Kernel.stop_of q2 = Os.Kernel.Stop_accept)
+
 (* ---- the oracle's zygote mode ----------------------------------------------- *)
 
 let test_oracle_zygote_respawn_counts () =
@@ -231,6 +282,13 @@ let () =
             test_compiled_blocks_survive_resume;
           Alcotest.test_case "patch_text after resume invalidates" `Quick
             test_patch_text_after_resume_invalidates;
+        ] );
+      ( "defense families",
+        [
+          Alcotest.test_case "PAC key survives capture/resume" `Quick
+            test_pac_key_survives_resume;
+          Alcotest.test_case "sibling zygote copies do not share shadow stacks"
+            `Quick test_shadow_siblings_do_not_share;
         ] );
       ( "oracle",
         [
